@@ -1,0 +1,64 @@
+//! Metadata catalog benchmarks: inserts, indexed and unindexed selects,
+//! and persistence roundtrips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mh_store::{Column, ColumnType, Database, Predicate, Schema, Value};
+
+fn populated(n: usize, indexed: bool) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "metric",
+        Schema::new(vec![
+            Column::not_null("mv", ColumnType::Int),
+            Column::not_null("iteration", ColumnType::Int),
+            Column::not_null("key", ColumnType::Text),
+            Column::new("value", ColumnType::Real),
+        ]),
+    )
+    .unwrap();
+    if indexed {
+        db.table_mut("metric").unwrap().create_index("mv").unwrap();
+    }
+    let t = db.table_mut("metric").unwrap();
+    for i in 0..n {
+        t.insert(vec![
+            Value::Int((i % 50) as i64),
+            Value::Int(i as i64),
+            Value::Text("loss".into()),
+            Value::Real((i as f64 * 0.7).sin().abs()),
+        ])
+        .unwrap();
+    }
+    db
+}
+
+fn bench_catalog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("catalog");
+    g.sample_size(20);
+    g.bench_function("insert-5k", |b| b.iter(|| populated(5000, false)));
+
+    let flat = populated(5000, false);
+    let indexed = populated(5000, true);
+    g.bench_function("select-scan", |b| {
+        b.iter(|| {
+            flat.table("metric")
+                .unwrap()
+                .select(&Predicate::Eq("mv".into(), Value::Int(7)))
+        })
+    });
+    g.bench_function("select-indexed", |b| {
+        b.iter(|| {
+            indexed
+                .table("metric")
+                .unwrap()
+                .select(&Predicate::Eq("mv".into(), Value::Int(7)))
+        })
+    });
+    g.bench_function("serialize-roundtrip", |b| {
+        b.iter(|| Database::from_bytes(&flat.to_bytes()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_catalog);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Compressor micro-benchmarks: throughput on the payloads PAS actually
+//! stores — high-order byte planes (low entropy) and low-order planes
+//! (near-random) of trained weight matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mh_compress::{compress, decompress, Level};
+use mh_dnn::{zoo, Weights};
+use mh_tensor::SegmentedMatrix;
+
+fn plane_data(plane: usize) -> Vec<u8> {
+    let net = zoo::vgg_s(10);
+    let w = Weights::init(&net, 42).unwrap();
+    let mut out = Vec::new();
+    for (_, m) in w.layers() {
+        out.extend_from_slice(SegmentedMatrix::from_matrix(m).plane(plane));
+    }
+    out
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let high = plane_data(0);
+    let low = plane_data(3);
+    let mut g = c.benchmark_group("compress");
+    g.sample_size(20);
+    for (name, data) in [("plane0-high", &high), ("plane3-low", &low)] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        for (lname, level) in [("fast", Level::Fast), ("default", Level::Default)] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{name}/{lname}"), data.len()),
+                data,
+                |b, d| b.iter(|| compress(d, level)),
+            );
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("decompress");
+    g.sample_size(20);
+    for (name, data) in [("plane0-high", &high), ("plane3-low", &low)] {
+        let packed = compress(data, Level::Default);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new(name, data.len()), &packed, |b, p| {
+            b.iter(|| decompress(p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

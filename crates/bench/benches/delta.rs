@@ -1,0 +1,43 @@
+//! Delta operator micro-benchmarks: compute and apply over close and
+//! unrelated matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mh_delta::{Delta, DeltaOp};
+use mh_tensor::Matrix;
+
+fn matrices() -> (Matrix, Matrix, Matrix) {
+    let base = Matrix::from_fn(256, 257, |r, c| ((r * 257 + c) as f32 * 0.137).sin() * 0.3);
+    let close = base.map(|x| x + 1e-4);
+    let far = Matrix::from_fn(256, 257, |r, c| ((r * 257 + c) as f32 * 1.7).cos() * 2.0);
+    (base, close, far)
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let (base, close, far) = matrices();
+    let bytes = (base.len() * 4) as u64;
+
+    let mut g = c.benchmark_group("delta-compute");
+    g.throughput(Throughput::Bytes(bytes));
+    for op in [DeltaOp::Sub, DeltaOp::Xor] {
+        g.bench_with_input(BenchmarkId::new(op.name(), "close"), &close, |b, t| {
+            b.iter(|| Delta::compute(&base, t, op))
+        });
+        g.bench_with_input(BenchmarkId::new(op.name(), "far"), &far, |b, t| {
+            b.iter(|| Delta::compute(&base, t, op))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("delta-apply");
+    g.throughput(Throughput::Bytes(bytes));
+    for op in [DeltaOp::Sub, DeltaOp::Xor] {
+        let d = Delta::compute(&base, &close, op);
+        g.bench_with_input(BenchmarkId::new(op.name(), "apply"), &d, |b, d| {
+            b.iter(|| d.apply(&base))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

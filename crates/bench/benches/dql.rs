@@ -1,0 +1,41 @@
+//! DQL benchmarks: parsing and select-query execution over a populated
+//! repository.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mh_dlv::{CommitRequest, Repository};
+use mh_dnn::{zoo, Weights};
+use mh_dql::{parse, Executor};
+
+fn populated_repo(n: usize) -> (Repository, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("mh-bench-dql-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let repo = Repository::init(&dir).unwrap();
+    let net = zoo::lenet_s(5);
+    let w = Weights::init(&net, 1).unwrap();
+    for i in 0..n {
+        let mut req = CommitRequest::new(&format!("model-{i:03}"), net.clone());
+        req.snapshots = vec![(0, w.clone())];
+        req.accuracy = Some(0.5 + (i as f32) / (2 * n) as f32);
+        repo.commit(&req).unwrap();
+    }
+    (repo, dir)
+}
+
+fn bench_dql(c: &mut Criterion) {
+    let q1 = r#"select m1 where m1.name like "model-0%" and m1.accuracy > 0.55 and m1["conv[1,2]"].next has RELU"#;
+    c.bench_function("dql-parse", |b| b.iter(|| parse(q1).unwrap()));
+
+    let (repo, dir) = populated_repo(40);
+    let exec = Executor::new(&repo);
+    let mut g = c.benchmark_group("dql-exec");
+    g.sample_size(10);
+    g.bench_function("select-metadata", |b| {
+        b.iter(|| exec.run(r#"select m1 where m1.accuracy > 0.6"#).unwrap())
+    });
+    g.bench_function("select-structural", |b| b.iter(|| exec.run(q1).unwrap()));
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_dql);
+criterion_main!(benches);

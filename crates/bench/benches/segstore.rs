@@ -1,0 +1,79 @@
+//! Segment store benchmarks: plan materialization and full / partial /
+//! parallel snapshot retrieval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mh_compress::Level;
+use mh_delta::DeltaOp;
+use mh_dnn::{zoo, Weights};
+use mh_pas::{solver, CostModel, GraphBuilder, SegmentStore, VertexId};
+use std::path::PathBuf;
+
+fn setup() -> (mh_pas::StorageGraph, mh_pas::StoragePlan, std::collections::BTreeMap<VertexId, mh_tensor::Matrix>, Vec<Vec<VertexId>>) {
+    let net = zoo::alexnet_s(6);
+    let base = Weights::init(&net, 3).unwrap();
+    let mut builder = GraphBuilder::new(CostModel::default());
+    let mut groups = Vec::new();
+    let mut indices = Vec::new();
+    for i in 0..4usize {
+        let w: Weights = base
+            .layers()
+            .map(|(n, m)| (n.clone(), m.map(|x| x + i as f32 * 1e-4)))
+            .collect();
+        builder.add_snapshot("chain", i, &w);
+        groups.push(builder.snapshot_members("chain", i).unwrap());
+        indices.push(i);
+    }
+    builder.link_version_chain("chain", &indices);
+    let (graph, matrices) = builder.finish();
+    let plan = solver::mst(&graph).unwrap();
+    (graph, plan, matrices, groups)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mh-bench-seg-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn bench_segstore(c: &mut Criterion) {
+    let (graph, plan, matrices, groups) = setup();
+    let mut g = c.benchmark_group("segstore");
+    g.sample_size(10);
+
+    g.bench_function("create", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let dir = temp_dir(&format!("create{i}"));
+            i += 1;
+            let s = SegmentStore::create(&dir, &graph, &plan, &matrices, DeltaOp::Sub, Level::Fast)
+                .unwrap();
+            let bytes = s.bytes_on_disk();
+            std::fs::remove_dir_all(&dir).ok();
+            bytes
+        })
+    });
+
+    let dir = temp_dir("retrieval");
+    let store =
+        SegmentStore::create(&dir, &graph, &plan, &matrices, DeltaOp::Sub, Level::Fast).unwrap();
+    let last_group = groups.last().unwrap().clone();
+    g.bench_function("recreate-snapshot-full", |b| {
+        b.iter(|| store.recreate_group(&last_group).unwrap())
+    });
+    g.bench_function("recreate-snapshot-parallel", |b| {
+        b.iter(|| store.recreate_group_parallel(&last_group).unwrap())
+    });
+    g.bench_function("recreate-snapshot-1byte-bounds", |b| {
+        b.iter(|| {
+            for &v in &last_group {
+                store.recreate_bounds(v, 1).unwrap();
+            }
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_segstore);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Archival solver scalability on synthetic storage graphs (the RD-style
+//! scaling axis of §V): random version chains with materialize and delta
+//! options, growing vertex counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mh_pas::{apply_alpha_budgets, solver, EdgeKind, RetrievalScheme, StorageGraph, NULL_VERTEX};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random SD-like graph: `versions` chains of `snaps` snapshots, each with
+/// `layers` matrices; delta edges along chains plus cross-version links.
+fn synthetic_graph(versions: usize, snaps: usize, layers: usize, seed: u64) -> StorageGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = StorageGraph::new();
+    let mut prev_snapshot: Vec<Vec<usize>> = Vec::new();
+    let mut first_of_version: Vec<Vec<usize>> = Vec::new();
+    for v in 0..versions {
+        let mut prev: Option<Vec<usize>> = None;
+        for s in 0..snaps {
+            let mut members = Vec::new();
+            for l in 0..layers {
+                let size = 1000.0 * (1.0 + l as f64);
+                let vid = g.add_vertex(&format!("v{v}/s{s}/l{l}"));
+                g.add_edge(NULL_VERTEX, vid, EdgeKind::Materialize, size, size * 0.5);
+                if let Some(p) = &prev {
+                    // Chain delta: 5-20% of materialized size.
+                    let frac = rng.gen_range(0.05..0.20);
+                    g.add_delta_pair(p[l], vid, size * frac, size * 0.5 * frac + 10.0);
+                }
+                members.push(vid);
+            }
+            if s == 0 {
+                first_of_version.push(members.clone());
+            }
+            g.add_snapshot(&format!("v{v}/s{s}"), members.clone(), f64::INFINITY);
+            prev = Some(members);
+        }
+        prev_snapshot.push(prev.unwrap());
+    }
+    // Cross-version fine-tuning deltas from version 0's latest snapshot.
+    #[allow(clippy::needless_range_loop)]
+    for v in 1..versions {
+        for l in 0..layers {
+            let size = 1000.0 * (1.0 + l as f64);
+            let frac = rng.gen_range(0.2..0.5);
+            g.add_delta_pair(
+                prev_snapshot[0][l],
+                first_of_version[v][l],
+                size * frac,
+                size * 0.5 * frac + 10.0,
+            );
+        }
+    }
+    g
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    for (versions, snaps) in [(4usize, 4usize), (8, 6), (12, 10)] {
+        let mut g = synthetic_graph(versions, snaps, 4, 7);
+        apply_alpha_budgets(&mut g, 1.5, RetrievalScheme::Independent).unwrap();
+        let n = g.num_vertices() - 1;
+        group.bench_with_input(BenchmarkId::new("mst", n), &g, |b, g| {
+            b.iter(|| solver::mst(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("spt", n), &g, |b, g| {
+            b.iter(|| solver::spt(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("last", n), &g, |b, g| {
+            b.iter(|| solver::last(g, 0.5).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pas-mt", n), &g, |b, g| {
+            b.iter(|| solver::pas_mt(g, RetrievalScheme::Independent).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pas-pt", n), &g, |b, g| {
+            b.iter(|| solver::pas_pt(g, RetrievalScheme::Independent).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

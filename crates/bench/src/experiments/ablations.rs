@@ -1,0 +1,142 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. Group (co-usage) budgets vs naively splitting the budget across a
+//!    snapshot's matrices (§IV-C argues splitting wastes storage).
+//! 2. Delta direction (forward vs backward footprints).
+//! 3. Compressor effort level (speed/ratio trade-off of `mh-compress`).
+
+use crate::experiments::fig6c::build_sd_graph;
+use crate::report::{results_dir, Table};
+use crate::workload::snapshot_pair;
+use mh_compress::Level;
+use mh_delta::{Delta, DeltaOp};
+use mh_pas::{apply_alpha_budgets, solver, RetrievalScheme, StorageGraph};
+use std::time::Instant;
+
+/// Replace each co-usage group with singleton groups carrying an equal
+/// share of the budget (the strawman the paper's formulation generalizes).
+fn split_budgets(graph: &StorageGraph) -> StorageGraph {
+    let mut g = graph.clone();
+    let old = std::mem::take(&mut g.snapshots);
+    for s in old {
+        let share = s.budget / s.members.len() as f64;
+        for (i, &m) in s.members.iter().enumerate() {
+            g.snapshots.push(mh_pas::SnapshotGroup {
+                name: format!("{}/{}", s.name, i),
+                members: vec![m],
+                budget: share,
+            });
+        }
+    }
+    g
+}
+
+fn group_vs_split(t: &mut Table, versions: usize, snapshots: usize) {
+    let graph = build_sd_graph(versions, snapshots);
+    let scheme = RetrievalScheme::Independent;
+    for alpha in [1.2, 1.6, 2.5] {
+        let mut grouped = graph.clone();
+        apply_alpha_budgets(&mut grouped, alpha, scheme).expect("budgets");
+        let split = split_budgets(&grouped);
+        let plan_g = solver::pas_mt(&grouped, scheme).expect("grouped");
+        let plan_s = solver::pas_mt(&split, scheme).expect("split");
+        t.row(vec![
+            "group-vs-split".into(),
+            format!("alpha={alpha}"),
+            format!("grouped Cs={:.0}", plan_g.storage_cost(&grouped)),
+            format!(
+                "split Cs={:.0} ({:+.1}%)",
+                plan_s.storage_cost(&split),
+                100.0 * (plan_s.storage_cost(&split) / plan_g.storage_cost(&grouped) - 1.0)
+            ),
+        ]);
+    }
+}
+
+fn delta_direction(t: &mut Table, iters: usize) {
+    let (a, b) = snapshot_pair(iters);
+    for op in [DeltaOp::Sub, DeltaOp::Xor] {
+        let mut fwd = 0usize;
+        let mut bwd = 0usize;
+        for (name, mb) in b.layers() {
+            let ma = a.get(name).expect("shared layer");
+            let f = Delta::compute(ma, mb, op);
+            let r = Delta::compute(mb, ma, op);
+            fwd += mh_compress::compressed_len(&f.word_bytes(), Level::Default);
+            bwd += mh_compress::compressed_len(&r.word_bytes(), Level::Default);
+        }
+        t.row(vec![
+            "delta-direction".into(),
+            op.name().into(),
+            format!("forward={fwd}"),
+            format!("backward={bwd} ({:+.1}%)", 100.0 * (bwd as f64 / fwd as f64 - 1.0)),
+        ]);
+    }
+}
+
+fn compressor_levels(t: &mut Table, iters: usize) {
+    let (_, w) = snapshot_pair(iters);
+    // Concatenate the top byte planes of all matrices: the archival store's
+    // hottest payload.
+    let mut plane0 = Vec::new();
+    for (_, m) in w.layers() {
+        plane0.extend_from_slice(mh_tensor::SegmentedMatrix::from_matrix(m).plane(0));
+    }
+    for (name, level) in [("fast", Level::Fast), ("default", Level::Default), ("best", Level::Best)] {
+        let start = Instant::now();
+        let packed = mh_compress::compress(&plane0, level);
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        t.row(vec![
+            "compressor-level".into(),
+            name.into(),
+            format!("ratio={:.2}x", plane0.len() as f64 / packed.len() as f64),
+            format!("{ms:.1} ms"),
+        ]);
+    }
+}
+
+fn lossy_checkpoints(t: &mut Table, iters: usize) {
+    use mh_dlv::{ArchiveConfig, CommitRequest, Repository};
+    use mh_tensor::Scheme;
+    let m = crate::workload::checkpointed_model(3, iters.max(3) / 3);
+    for (name, scheme) in [
+        ("lossless", None),
+        ("fixed8", Some(Scheme::Fixed { bits: 8 })),
+        ("quant-uniform8", Some(Scheme::QuantUniform { bits: 8 })),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "mh-abl-lossy-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let repo = Repository::init(&dir).expect("init");
+        let mut req = CommitRequest::new("m", m.network.clone());
+        req.snapshots = m.result.snapshots.clone();
+        repo.commit(&req).expect("commit");
+        let report = repo
+            .archive(&ArchiveConfig { checkpoint_scheme: scheme, ..Default::default() })
+            .expect("archive");
+        // Latest snapshot always survives exactly.
+        let latest = repo.get_weights("m", None).expect("latest");
+        assert_eq!(&latest, &m.result.snapshots.last().unwrap().1);
+        t.row(vec![
+            "lossy-checkpoints".into(),
+            name.into(),
+            format!("disk={}", report.bytes_on_disk),
+            format!("plan Cs={:.0}", report.storage_cost),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+pub fn run(iters: usize) -> std::io::Result<()> {
+    let mut t = Table::new(
+        "Ablations — co-usage budgets, delta direction, compressor levels, lossy checkpoints",
+        &["Ablation", "Setting", "Primary", "Comparison"],
+    );
+    group_vs_split(&mut t, 3, 3);
+    delta_direction(&mut t, iters);
+    compressor_levels(&mut t, iters);
+    lossy_checkpoints(&mut t, iters);
+    t.emit(&results_dir(), "ablations")
+}

@@ -1,0 +1,76 @@
+//! Fig 6(a) — compression/accuracy trade-off of the float representation
+//! schemes.
+//!
+//! For each scheme, every weight matrix of three trained models is encoded,
+//! compressed (per byte plane where the scheme is word-shaped), and decoded
+//! again; we report the average compression ratio (original f32 bytes /
+//! compressed bytes) against the average test-accuracy drop.
+
+use crate::report::{results_dir, Table};
+use crate::workload::three_models;
+use mh_compress::{compressed_len, Level};
+use mh_dnn::{accuracy, Weights};
+use mh_tensor::{decode, encode, split_byte_planes, word_width, Scheme};
+
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::F32,
+        Scheme::F16,
+        Scheme::Bf16,
+        Scheme::Fixed { bits: 16 },
+        Scheme::Fixed { bits: 8 },
+        Scheme::QuantUniform { bits: 8 },
+        Scheme::QuantUniform { bits: 4 },
+        Scheme::QuantRandom { bits: 8, seed: 7 },
+        Scheme::QuantRandom { bits: 4, seed: 7 },
+    ]
+}
+
+/// Compressed footprint of one encoded matrix: per-plane when word-shaped,
+/// whole payload otherwise; codebooks are charged to the footprint.
+fn footprint(enc: &mh_tensor::EncodedMatrix, level: Level) -> usize {
+    let payload = match word_width(enc.scheme) {
+        Some(w) if enc.payload.len().is_multiple_of(w) => split_byte_planes(&enc.payload, w)
+            .iter()
+            .map(|p| compressed_len(p, level))
+            .sum(),
+        _ => compressed_len(&enc.payload, level),
+    };
+    payload + enc.codebook.as_ref().map_or(0, |cb| cb.to_bytes().len())
+}
+
+pub fn run(iters: usize) -> std::io::Result<()> {
+    let models = three_models(6, iters);
+    let mut t = Table::new(
+        "Fig 6(a) — compression ratio vs accuracy drop per float scheme",
+        &["Scheme", "Compression ratio", "Accuracy drop (pp)", "Lossless"],
+    );
+    for scheme in schemes() {
+        let mut total_ratio = 0.0f64;
+        let mut total_drop = 0.0f64;
+        for m in &models {
+            let full_acc = accuracy(&m.network, &m.result.weights, &m.data.test)
+                .expect("eval");
+            let mut orig = 0usize;
+            let mut packed = 0usize;
+            let mut lossy: Weights = Weights::new();
+            for (name, mat) in m.result.weights.layers() {
+                let enc = encode(mat, scheme, false);
+                orig += mat.len() * 4;
+                packed += footprint(&enc, Level::Default);
+                lossy.insert(name, decode(&enc));
+            }
+            let lossy_acc = accuracy(&m.network, &lossy, &m.data.test).expect("eval");
+            total_ratio += orig as f64 / packed as f64;
+            total_drop += f64::from(full_acc - lossy_acc) * 100.0;
+        }
+        let n = models.len() as f64;
+        t.row(vec![
+            scheme.name(),
+            format!("{:.2}x", total_ratio / n),
+            format!("{:+.2}", total_drop / n),
+            scheme.is_lossless().to_string(),
+        ]);
+    }
+    t.emit(&results_dir(), "fig6a")
+}

@@ -1,0 +1,75 @@
+//! Fig 6(b) — compression performance of Materialize vs Delta-SUB vs
+//! Delta-XOR across the three relationship classes: Similar (retrained)
+//! models, Fine-tuned models, and adjacent Snapshots.
+//!
+//! Numbers are compressed size as a percentage of the uncompressed f32
+//! footprint (lower is better), lossless (float 32) — matching the
+//! figure's setting.
+
+use crate::report::{results_dir, Table};
+use crate::workload::{finetuned_pair, similar_pair, snapshot_pair};
+use mh_compress::{compressed_len, Level};
+use mh_delta::{Delta, DeltaOp};
+use mh_dnn::Weights;
+use mh_tensor::{split_byte_planes, SegmentedMatrix};
+
+/// Compressed bytes of a matrix stored outright (per-plane compression).
+fn materialize_bytes(w: &Weights) -> (usize, usize) {
+    let mut orig = 0usize;
+    let mut packed = 0usize;
+    for (_, m) in w.layers() {
+        orig += m.len() * 4;
+        let seg = SegmentedMatrix::from_matrix(m);
+        for p in 0..4 {
+            packed += compressed_len(seg.plane(p), Level::Default);
+        }
+    }
+    (orig, packed)
+}
+
+/// Compressed bytes of the target expressed as a delta from the base.
+fn delta_bytes(base: &Weights, target: &Weights, op: DeltaOp) -> usize {
+    let mut packed = 0usize;
+    for (name, t) in target.layers() {
+        let empty = mh_tensor::Matrix::zeros(0, 0);
+        let b = base.get(name).unwrap_or(&empty);
+        let d = Delta::compute(b, t, op);
+        for plane in split_byte_planes(&d.word_bytes(), 4) {
+            packed += compressed_len(&plane, Level::Default);
+        }
+    }
+    packed
+}
+
+pub fn run(iters: usize) -> std::io::Result<()> {
+    let scenarios: Vec<(&str, (Weights, Weights))> = vec![
+        ("Similar (retrained)", similar_pair(iters)),
+        ("Fine-tuned", finetuned_pair(iters)),
+        ("Snapshots (adjacent)", snapshot_pair(iters)),
+    ];
+    let mut t = Table::new(
+        "Fig 6(b) — storage as % of uncompressed, per delta scheme (lossless f32)",
+        &["Scenario", "Materialize %", "Delta-SUB %", "Delta-XOR %", "Winner"],
+    );
+    for (name, (base, target)) in scenarios {
+        let (orig, mat) = materialize_bytes(&target);
+        let sub = delta_bytes(&base, &target, DeltaOp::Sub);
+        let xor = delta_bytes(&base, &target, DeltaOp::Xor);
+        let pct = |x: usize| 100.0 * x as f64 / orig as f64;
+        let winner = if mat <= sub && mat <= xor {
+            "materialize"
+        } else if sub <= xor {
+            "delta-sub"
+        } else {
+            "delta-xor"
+        };
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", pct(mat)),
+            format!("{:.1}", pct(sub)),
+            format!("{:.1}", pct(xor)),
+            winner.to_string(),
+        ]);
+    }
+    t.emit(&results_dir(), "fig6b")
+}

@@ -1,0 +1,57 @@
+//! Fig 6(d) — progressive query evaluation using high-order bytes.
+//!
+//! Each of the three trained models is archived; every test input is then
+//! answered progressively (top-1 and top-k). We report, per prefix size,
+//! the fraction of compressed data that had to be retrieved and the
+//! fraction of queries whose prediction was *not yet* determined at that
+//! prefix (the "error rate requiring lower-order bytes").
+
+use crate::report::{results_dir, Table};
+use crate::workload::three_models;
+use mh_compress::Level;
+use mh_delta::DeltaOp;
+use mh_pas::{solver, CostModel, GraphBuilder, ModelBinding, ProgressiveEvaluator, SegmentStore};
+
+pub fn run(classes: usize, iters: usize) -> std::io::Result<()> {
+    let models = three_models(classes, iters);
+    let mut t = Table::new(
+        "Fig 6(d) — progressive evaluation: data retrieved vs undetermined queries",
+        &[
+            "Model",
+            "top-k",
+            "avg % data read",
+            "% undetermined @1B",
+            "% undetermined @2B",
+            "% undetermined @3B",
+            "accuracy",
+        ],
+    );
+    for m in &models {
+        // Archive the final snapshot (materialized, MST of one snapshot).
+        let mut builder = GraphBuilder::new(CostModel::default());
+        let lv = builder.add_snapshot(m.name, 0, &m.result.weights);
+        let (graph, mats) = builder.finish();
+        let plan = solver::mst(&graph).expect("mst");
+        let dir = std::env::temp_dir().join(format!("mh-fig6d-{}-{}", std::process::id(), m.name));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SegmentStore::create(&dir, &graph, &plan, &mats, DeltaOp::Sub, Level::Default)
+            .expect("store");
+        let binding = ModelBinding::new(m.network.clone(), lv);
+        let ev = ProgressiveEvaluator::new(&store, &binding);
+
+        for top_k in [1usize, 3] {
+            let stats = ev.eval_batch(&m.data.test, top_k).expect("batch");
+            t.row(vec![
+                m.name.to_string(),
+                format!("top-{top_k}"),
+                format!("{:.1}", stats.read_fraction() * 100.0),
+                format!("{:.1}", stats.fraction_beyond(1) * 100.0),
+                format!("{:.1}", stats.fraction_beyond(2) * 100.0),
+                format!("{:.1}", stats.fraction_beyond(3) * 100.0),
+                format!("{:.3}", stats.accuracy()),
+            ]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    t.emit(&results_dir(), "fig6d")
+}

@@ -1,0 +1,112 @@
+//! RD — the synthetic repository collection derived from SD (§V-A): vary
+//! delta closeness, group size, and model count, and check the archival
+//! solvers scale and keep their ordering (the paper's "scale well on
+//! synthetic models" claim).
+
+use crate::report::{results_dir, Table};
+use mh_pas::{
+    apply_alpha_budgets, solver, EdgeKind, RetrievalScheme, StorageGraph, NULL_VERTEX,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Synthetic SD-like graph with parameterized structure.
+pub fn rd_graph(
+    versions: usize,
+    snaps: usize,
+    layers: usize,
+    delta_frac: f64,
+    seed: u64,
+) -> StorageGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = StorageGraph::new();
+    let mut latest_of_first: Vec<usize> = Vec::new();
+    let mut firsts: Vec<Vec<usize>> = Vec::new();
+    for v in 0..versions {
+        let mut prev: Option<Vec<usize>> = None;
+        for s in 0..snaps {
+            let mut members = Vec::new();
+            for l in 0..layers {
+                let size = 500.0 * (1.0 + l as f64) * rng.gen_range(0.8..1.2);
+                let vid = g.add_vertex(&format!("v{v}/s{s}/l{l}"));
+                g.add_edge(NULL_VERTEX, vid, EdgeKind::Materialize, size, size * 0.5);
+                if let Some(p) = &prev {
+                    let f = delta_frac * rng.gen_range(0.6..1.4);
+                    g.add_delta_pair(p[l], vid, size * f, size * 0.5 * f + 5.0);
+                }
+                members.push(vid);
+            }
+            if s == 0 {
+                firsts.push(members.clone());
+            }
+            g.add_snapshot(&format!("v{v}/s{s}"), members.clone(), f64::INFINITY);
+            prev = Some(members);
+        }
+        if v == 0 {
+            latest_of_first = prev.unwrap();
+        }
+    }
+    // Fine-tuning edges: every version's first snapshot deltas against
+    // version 0's latest (the shared initialization).
+    for first in firsts.iter().skip(1) {
+        for (l, &vid) in first.iter().enumerate() {
+            let size = 500.0 * (1.0 + l as f64);
+            let f = (delta_frac * 2.0).min(0.9) * rng.gen_range(0.6..1.4);
+            g.add_delta_pair(latest_of_first[l], vid, size * f, size * 0.5 * f + 5.0);
+        }
+    }
+    g
+}
+
+pub fn run() -> std::io::Result<()> {
+    let mut t = Table::new(
+        "RD — solver scaling across repository shapes (alpha = 1.6, independent)",
+        &[
+            "versions×snaps×layers",
+            "delta frac",
+            "matrices",
+            "MST Cs",
+            "LAST Cs/MST",
+            "MT Cs/MST",
+            "PT Cs/MST",
+            "MT ms",
+            "PT ms",
+        ],
+    );
+    let scheme = RetrievalScheme::Independent;
+    let shapes: Vec<(usize, usize, usize, f64)> = vec![
+        (4, 4, 4, 0.10),
+        (4, 4, 4, 0.40),
+        (4, 4, 4, 0.80),
+        (8, 6, 4, 0.15),
+        (8, 6, 8, 0.15),
+        (16, 8, 4, 0.15),
+        (24, 10, 4, 0.15),
+    ];
+    for (versions, snaps, layers, frac) in shapes {
+        let mut g = rd_graph(versions, snaps, layers, frac, 11);
+        apply_alpha_budgets(&mut g, 1.6, scheme).expect("budgets");
+        let mst = solver::mst(&g).expect("mst").storage_cost(&g);
+        let last = solver::last(&g, 0.6).expect("last").storage_cost(&g);
+        let t0 = Instant::now();
+        let mt = solver::pas_mt(&g, scheme).expect("mt");
+        let mt_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let t0 = Instant::now();
+        let pt = solver::pas_pt(&g, scheme).expect("pt");
+        let pt_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        assert!(mt.satisfies_budgets(&g, scheme) && pt.satisfies_budgets(&g, scheme));
+        t.row(vec![
+            format!("{versions}x{snaps}x{layers}"),
+            format!("{frac:.2}"),
+            (g.num_vertices() - 1).to_string(),
+            format!("{mst:.0}"),
+            format!("{:.3}", last / mst),
+            format!("{:.3}", mt.storage_cost(&g) / mst),
+            format!("{:.3}", pt.storage_cost(&g) / mst),
+            format!("{mt_ms:.0}"),
+            format!("{pt_ms:.0}"),
+        ]);
+    }
+    t.emit(&results_dir(), "rd")
+}

@@ -1,0 +1,26 @@
+//! Table I — popular CNN models: architecture strings and |W|.
+//!
+//! The architectures are reconstructed from their published layer shapes;
+//! the parameter counts are recomputed from those shapes and printed next
+//! to the figures the paper reports.
+
+use crate::report::{results_dir, Table};
+use mh_dnn::zoo;
+
+pub fn run() -> std::io::Result<()> {
+    let mut t = Table::new(
+        "Table I — Popular CNN Models for Object Recognition",
+        &["Name", "Architecture", "|W| computed", "|W| published"],
+    );
+    for row in zoo::table1() {
+        t.row(vec![
+            row.name.to_string(),
+            row.architecture.clone(),
+            row.computed_params
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.2e}", row.published_w),
+        ]);
+    }
+    t.emit(&results_dir(), "table1")
+}

@@ -1,0 +1,85 @@
+//! Table IV — delta performance for lossless & lossy schemes (32 bits).
+//!
+//! On a fine-tuned model pair, eight configurations — {float, after
+//! normalization} × {lossless f32, fixed point 32-bit} × {whole-payload,
+//! bytewise} compression — each measured for Materialize and Delta-SUB.
+//! Cells are compressed size as % of the uncompressed footprint.
+
+use crate::report::{results_dir, Table};
+use crate::workload::finetuned_pair;
+use mh_compress::{compressed_len, Level};
+use mh_dnn::Weights;
+use mh_tensor::{encode, split_byte_planes, Scheme};
+
+/// Compress a 4-byte-word payload either whole or per byte plane.
+fn packed_size(words: &[u8], bytewise: bool) -> usize {
+    if bytewise {
+        split_byte_planes(words, 4)
+            .iter()
+            .map(|p| compressed_len(p, Level::Default))
+            .sum()
+    } else {
+        compressed_len(words, Level::Default)
+    }
+}
+
+/// Encode every layer of `w` under `scheme` (optionally normalized),
+/// returning the concatenated 4-byte-word payloads per layer.
+fn payloads(w: &Weights, scheme: Scheme, normalize: bool) -> Vec<Vec<u8>> {
+    w.layers()
+        .map(|(_, m)| encode(m, scheme, normalize).payload)
+        .collect()
+}
+
+/// Wrapping 32-bit word subtraction of two payloads (positions beyond the
+/// base read as zero) — the delta in the *encoded* domain.
+fn word_delta(base: &[u8], target: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(target.len());
+    for (i, tc) in target.chunks_exact(4).enumerate() {
+        let t = u32::from_be_bytes(tc.try_into().unwrap());
+        let b = base
+            .get(i * 4..i * 4 + 4)
+            .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+            .unwrap_or(0);
+        out.extend_from_slice(&t.wrapping_sub(b).to_be_bytes());
+    }
+    out
+}
+
+pub fn run(iters: usize) -> std::io::Result<()> {
+    let (base, target) = finetuned_pair(iters);
+    let mut t = Table::new(
+        "Table IV — delta performance for lossless & lossy schemes (32 bits), % of uncompressed",
+        &["Representation", "Configuration", "Materialize %", "Delta-SUB %"],
+    );
+
+    let orig: usize = target.layers().map(|(_, m)| m.len() * 4).sum();
+    let configs: Vec<(&str, &str, Scheme, bool, bool)> = vec![
+        ("Float", "Lossless", Scheme::F32, false, false),
+        ("Float", "Lossless, bytewise", Scheme::F32, false, true),
+        ("Float", "Fix point", Scheme::Fixed { bits: 32 }, false, false),
+        ("Float", "Fix point, bytewise", Scheme::Fixed { bits: 32 }, false, true),
+        ("Normalized", "Lossless", Scheme::F32, true, false),
+        ("Normalized", "Lossless, bytewise", Scheme::F32, true, true),
+        ("Normalized", "Fix point", Scheme::Fixed { bits: 32 }, true, false),
+        ("Normalized", "Fix point, bytewise", Scheme::Fixed { bits: 32 }, true, true),
+    ];
+    for (rep, cfg, scheme, normalize, bytewise) in configs {
+        let base_payloads = payloads(&base, scheme, normalize);
+        let target_payloads = payloads(&target, scheme, normalize);
+        let mut mat = 0usize;
+        let mut sub = 0usize;
+        for (b, t_) in base_payloads.iter().zip(&target_payloads) {
+            mat += packed_size(t_, bytewise);
+            sub += packed_size(&word_delta(b, t_), bytewise);
+        }
+        let pct = |x: usize| 100.0 * x as f64 / orig as f64;
+        t.row(vec![
+            rep.to_string(),
+            cfg.to_string(),
+            format!("{:.2}", pct(mat)),
+            format!("{:.2}", pct(sub)),
+        ]);
+    }
+    t.emit(&results_dir(), "table4")
+}

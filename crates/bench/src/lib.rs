@@ -1,0 +1,10 @@
+//! # mh-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! ModelHub paper's evaluation (§V), on the scaled substrate described in
+//! DESIGN.md. The `repro` binary drives the experiments in
+//! [`experiments`]; Criterion micro-benches live under `benches/`.
+
+pub mod experiments;
+pub mod report;
+pub mod workload;

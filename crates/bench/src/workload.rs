@@ -1,0 +1,111 @@
+//! Shared workload construction for the experiments: trained model
+//! families, fine-tuned pairs, and checkpoint chains, all deterministic per
+//! seed.
+
+use mh_dnn::{
+    fine_tune_setup, synth_dataset, zoo, Dataset, Hyperparams, Network, SynthConfig,
+    TrainResult, Trainer, Weights,
+};
+
+/// A trained model with its data.
+pub struct TrainedModel {
+    pub name: &'static str,
+    pub network: Network,
+    pub result: TrainResult,
+    pub data: Dataset,
+}
+
+pub fn dataset(classes: usize, seed: u64) -> Dataset {
+    synth_dataset(&SynthConfig {
+        num_classes: classes,
+        train_per_class: 12,
+        test_per_class: 5,
+        noise: 0.1,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn train(
+    name: &'static str,
+    network: Network,
+    data: Dataset,
+    seed: u64,
+    iters: usize,
+    snapshot_every: usize,
+) -> TrainedModel {
+    let trainer = Trainer {
+        hp: Hyperparams { base_lr: 0.06, ..Default::default() },
+        snapshot_every,
+    };
+    let init = Weights::init(&network, seed).expect("valid zoo network");
+    let result = trainer
+        .train(&network, init, &data, iters)
+        .expect("training succeeds");
+    TrainedModel { name, network, result, data }
+}
+
+/// The three "real-world" models of §V-A, scaled: LeNet-, AlexNet- and
+/// VGG-style networks trained on synthetic vision data.
+pub fn three_models(classes: usize, iters: usize) -> Vec<TrainedModel> {
+    vec![
+        train("lenet", zoo::lenet_s(classes), dataset(classes, 101), 11, iters, 0),
+        train("alexnet", zoo::alexnet_s(classes), dataset(classes, 102), 12, iters, 0),
+        train("vgg", zoo::vgg_s(classes), dataset(classes, 103), 13, iters, 0),
+    ]
+}
+
+/// Fig 6(b) scenario: two *retrained* models — same architecture, different
+/// initialization — whose parameters are uncorrelated.
+pub fn similar_pair(iters: usize) -> (Weights, Weights) {
+    let a = train("a", zoo::lenet_s(5), dataset(5, 201), 21, iters, 0);
+    let b = train("b", zoo::lenet_s(5), dataset(5, 201), 99, iters, 0);
+    (a.result.weights, b.result.weights)
+}
+
+/// Fig 6(b) scenario: a base model and its fine-tuned descendant (shared
+/// feature layers, replaced head, brief fine-tuning).
+pub fn finetuned_pair(iters: usize) -> (Weights, Weights) {
+    let base = train("base", zoo::lenet_s(5), dataset(5, 301), 31, iters, 0);
+    let (ft_net, ft_init) =
+        fine_tune_setup(&base.network, &base.result.weights, 4, 77).expect("fine-tune");
+    let trainer = Trainer::new(Hyperparams { base_lr: 0.01, ..Default::default() });
+    let ft = trainer
+        .train(&ft_net, ft_init, &dataset(4, 302), iters / 2)
+        .expect("fine-tune training");
+    // Compare over shared layers only: drop the replaced head from both.
+    let shared_a: Weights = base
+        .result
+        .weights
+        .layers()
+        .filter(|(n, _)| ft.weights.get(n).is_some())
+        .map(|(n, m)| (n.clone(), m.clone()))
+        .collect();
+    let shared_b: Weights = ft
+        .weights
+        .layers()
+        .filter(|(n, _)| base.result.weights.get(n).is_some())
+        .map(|(n, m)| (n.clone(), m.clone()))
+        .collect();
+    (shared_a, shared_b)
+}
+
+/// Fig 6(b) scenario: adjacent checkpoints of a single training run.
+pub fn snapshot_pair(iters: usize) -> (Weights, Weights) {
+    let m = train("snaps", zoo::lenet_s(5), dataset(5, 401), 41, iters, iters / 2);
+    let snaps = &m.result.snapshots;
+    assert!(snaps.len() >= 2);
+    (snaps[snaps.len() - 2].1.clone(), snaps[snaps.len() - 1].1.clone())
+}
+
+/// One trained model with a checkpoint chain (for archival experiments).
+pub fn checkpointed_model(snapshots: usize, iters_each: usize) -> TrainedModel {
+    train(
+        "chain",
+        zoo::lenet_s(5),
+        dataset(5, 501),
+        51,
+        snapshots * iters_each,
+        iters_each,
+    )
+}

@@ -1,0 +1,305 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Code lengths are produced with the package-merge algorithm, which yields
+//! optimal prefix codes under a maximum-length constraint (we use 15 bits,
+//! the DEFLATE limit). Codes are then assigned canonically so the decoder
+//! only needs the length table.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CompressError;
+
+/// Maximum code length in bits.
+pub const MAX_BITS: u32 = 15;
+
+/// Package-merge over frequencies that must already be sorted ascending.
+fn code_lengths(freqs: &[u64], max_bits: u32) -> Vec<u8> {
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match active.len() {
+        0 => return lengths,
+        1 => {
+            lengths[active[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    debug_assert!(
+        (1usize << max_bits) >= active.len(),
+        "max_bits too small for alphabet"
+    );
+
+    // Package-merge. A "package" is a set of original items; we only need
+    // each package's total weight and, per original item, how many of the
+    // first `level` coin rows it appears in. We track per-item counts via
+    // item index lists; packages are small for our alphabets (<= 288), so
+    // the quadratic merge cost is fine.
+    #[derive(Clone)]
+    struct Pkg {
+        weight: u64,
+        /// Count of each active item contained in this package.
+        items: Vec<u32>,
+    }
+
+    let m = active.len();
+    let singletons: Vec<Pkg> = active
+        .iter()
+        .enumerate()
+        .map(|(j, &sym)| Pkg {
+            weight: freqs[sym],
+            items: {
+                let mut v = vec![0u32; m];
+                v[j] = 1;
+                v
+            },
+        })
+        .collect();
+
+    // `prev` holds the solution row from the previous level.
+    let mut prev: Vec<Pkg> = Vec::new();
+    for _level in 0..max_bits {
+        // Merge singletons with pairwise packages of `prev`.
+        let mut paired: Vec<Pkg> = Vec::with_capacity(prev.len() / 2);
+        let mut it = prev.chunks_exact(2);
+        for pair in &mut it {
+            let mut items = pair[0].items.clone();
+            for (a, b) in items.iter_mut().zip(&pair[1].items) {
+                *a += b;
+            }
+            paired.push(Pkg { weight: pair[0].weight + pair[1].weight, items });
+        }
+        let mut merged: Vec<Pkg> = Vec::with_capacity(singletons.len() + paired.len());
+        let (mut i, mut j) = (0, 0);
+        while i < singletons.len() || j < paired.len() {
+            let take_single = j >= paired.len()
+                || (i < singletons.len() && singletons[i].weight <= paired[j].weight);
+            if take_single {
+                merged.push(singletons[i].clone());
+                i += 1;
+            } else {
+                merged.push(paired[j].clone());
+                j += 1;
+            }
+        }
+        prev = merged;
+    }
+
+    // Take the cheapest 2m - 2 packages; each occurrence of item j adds one
+    // bit to its code length.
+    let mut counts = vec![0u32; m];
+    for pkg in prev.iter().take(2 * m - 2) {
+        for (c, k) in counts.iter_mut().zip(&pkg.items) {
+            *c += k;
+        }
+    }
+    for (j, &sym) in active.iter().enumerate() {
+        debug_assert!(counts[j] >= 1 && counts[j] <= max_bits);
+        lengths[sym] = counts[j] as u8;
+    }
+    lengths
+}
+
+/// Compute optimal length-limited code lengths for symbol frequencies.
+///
+/// Symbols with zero frequency get length 0 (absent from the code). If only
+/// one symbol occurs it is assigned length 1 so the decoder stays a prefix
+/// code.
+pub fn sorted_code_lengths(freqs: &[u64], max_bits: u32) -> Vec<u8> {
+    // Package-merge requires singletons sorted by weight, so sort here and
+    // un-permute at the end.
+    let n = freqs.len();
+    let mut order: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    order.sort_by_key(|&i| freqs[i]);
+    let sorted: Vec<u64> = order.iter().map(|&i| freqs[i]).collect();
+    let lens = code_lengths(&sorted, max_bits);
+    let mut out = vec![0u8; n];
+    for (j, &sym) in order.iter().enumerate() {
+        out[sym] = lens[j];
+    }
+    out
+}
+
+/// Canonical encoder: symbol -> (code bits, length).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<u16>,
+    lengths: Vec<u8>,
+}
+
+impl Encoder {
+    /// Build from a code-length table (canonical assignment: shorter codes
+    /// first, ties broken by symbol order; codes are emitted LSB-first so we
+    /// store them bit-reversed).
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CompressError> {
+        let mut bl_count = [0u32; (MAX_BITS + 1) as usize];
+        for &l in lengths {
+            if u32::from(l) > MAX_BITS {
+                return Err(CompressError::Corrupt("code length exceeds limit"));
+            }
+            bl_count[l as usize] += 1;
+        }
+        bl_count[0] = 0;
+        let mut next_code = [0u32; (MAX_BITS + 2) as usize];
+        let mut code = 0u32;
+        for bits in 1..=MAX_BITS as usize {
+            code = (code + bl_count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+        let mut codes = vec![0u16; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let c = next_code[l as usize];
+            next_code[l as usize] += 1;
+            if c >= (1 << l) {
+                return Err(CompressError::Corrupt("over-subscribed code"));
+            }
+            // Reverse the l-bit code for LSB-first emission.
+            let mut rev = 0u32;
+            for b in 0..l {
+                if c & (1 << b) != 0 {
+                    rev |= 1 << (l - 1 - b);
+                }
+            }
+            codes[sym] = rev as u16;
+        }
+        Ok(Self { codes, lengths: lengths.to_vec() })
+    }
+
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, sym: usize) {
+        let l = self.lengths[sym];
+        debug_assert!(l > 0, "writing symbol with zero length: {sym}");
+        w.write_bits(u64::from(self.codes[sym]), u32::from(l));
+    }
+
+    #[inline]
+    pub fn length(&self, sym: usize) -> u8 {
+        self.lengths[sym]
+    }
+}
+
+/// Table-driven canonical decoder.
+///
+/// Uses a single-level lookup table of `MAX_BITS` bits: simple and fast
+/// enough for archival workloads (32K entries per table).
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// Indexed by the next MAX_BITS input bits (LSB-first): packed
+    /// (symbol << 4) | length. length == 0 marks an invalid entry.
+    table: Vec<u32>,
+}
+
+impl Decoder {
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CompressError> {
+        let enc = Encoder::from_lengths(lengths)?;
+        let mut table = vec![0u32; 1 << MAX_BITS];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let code = u32::from(enc.codes[sym]);
+            let step = 1u32 << l;
+            let mut idx = code;
+            while idx < (1 << MAX_BITS) {
+                table[idx as usize] = ((sym as u32) << 4) | u32::from(l);
+                idx += step;
+            }
+        }
+        Ok(Self { table })
+    }
+
+    /// Decode one symbol from the reader.
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> Result<usize, CompressError> {
+        let bits = r.peek_bits(MAX_BITS) as usize;
+        let entry = self.table[bits];
+        let len = entry & 0xf;
+        if len == 0 {
+            return Err(CompressError::Corrupt("invalid Huffman code"));
+        }
+        r.consume(len)?;
+        Ok((entry >> 4) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(freqs: &[u64], stream: &[usize]) {
+        let lens = sorted_code_lengths(freqs, MAX_BITS);
+        let enc = Encoder::from_lengths(&lens).unwrap();
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.read(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (0..100).map(|i| (i * i + 1) as u64).collect();
+        let lens = sorted_code_lengths(&freqs, MAX_BITS);
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let mut freqs = vec![0u64; 10];
+        freqs[3] = 42;
+        let lens = sorted_code_lengths(&freqs, MAX_BITS);
+        assert_eq!(lens[3], 1);
+        roundtrip(&freqs, &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let freqs = vec![5, 1];
+        roundtrip(&freqs, &[0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn skewed_distribution_roundtrip() {
+        let mut freqs = vec![0u64; 256];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = if i < 4 { 10_000 } else { 1 + (i as u64 % 7) };
+        }
+        let stream: Vec<usize> = (0..2000).map(|i| (i * 37) % 256).collect();
+        roundtrip(&freqs, &stream);
+    }
+
+    #[test]
+    fn length_limit_respected_under_extreme_skew() {
+        // Fibonacci-like frequencies force deep trees in unlimited Huffman.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lens = sorted_code_lengths(&freqs, MAX_BITS);
+        assert!(lens.iter().all(|&l| u32::from(l) <= MAX_BITS));
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9);
+        let stream: Vec<usize> = (0..500).map(|i| i % 40).collect();
+        roundtrip(&freqs, &stream);
+    }
+}

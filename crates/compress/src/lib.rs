@@ -1,0 +1,222 @@
+//! # mh-compress
+//!
+//! A from-scratch general-purpose lossless byte compressor, the ModelHub
+//! substitute for zlib: LZ77 (32 KiB window, hash-chain match finder, lazy
+//! matching) followed by canonical length-limited Huffman coding, wrapped in
+//! a small self-describing container with an Adler-32 integrity check.
+//!
+//! The compressor also evaluates raw storage and run-length encoding and
+//! keeps whichever payload is smallest, so worst-case expansion is a few
+//! bytes of header.
+//!
+//! ```
+//! use mh_compress::{compress, decompress, Level};
+//! let data = b"high-order bytes of float matrices have low entropy".repeat(8);
+//! let packed = compress(&data, Level::Default);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(decompress(&packed).unwrap(), data);
+//! ```
+
+pub mod bitio;
+pub mod format;
+pub mod huffman;
+pub mod lz77;
+pub mod rle;
+
+use format::{adler32, read_varint, write_varint, MAGIC, METHOD_LZ_HUFF, METHOD_RLE, METHOD_STORE};
+
+/// Errors produced while decoding a compressed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The stream ended before decoding completed.
+    UnexpectedEof,
+    /// Structural corruption with a static description.
+    Corrupt(&'static str),
+    /// Magic bytes did not match the MHZ container.
+    BadMagic,
+    /// Unknown method byte.
+    UnknownMethod(u8),
+    /// Adler-32 mismatch after decoding.
+    ChecksumMismatch { expected: u32, actual: u32 },
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnexpectedEof => write!(f, "unexpected end of compressed stream"),
+            Self::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+            Self::BadMagic => write!(f, "not an MHZ container"),
+            Self::UnknownMethod(m) => write!(f, "unknown compression method {m}"),
+            Self::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: expected {expected:#x}, got {actual:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Compression effort level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Level {
+    /// Greedy matching, short chains. Fastest.
+    Fast,
+    /// Lazy matching, moderate chains. Comparable to zlib level 6, which is
+    /// what the paper's evaluation used.
+    #[default]
+    Default,
+    /// Lazy matching, deep chains. Slowest, densest.
+    Best,
+}
+
+impl Level {
+    fn matcher(self) -> lz77::MatcherConfig {
+        match self {
+            Level::Fast => lz77::MatcherConfig::fast(),
+            Level::Default => lz77::MatcherConfig::default_level(),
+            Level::Best => lz77::MatcherConfig::best(),
+        }
+    }
+}
+
+/// Compress `data` into an MHZ container.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let lz = format::lz_huff_compress(data, level.matcher());
+    let rle = rle::encode(data);
+
+    let (method, payload) = if lz.len() <= rle.len() && lz.len() < data.len() {
+        (METHOD_LZ_HUFF, lz)
+    } else if rle.len() < data.len() {
+        (METHOD_RLE, rle)
+    } else {
+        (METHOD_STORE, data.to_vec())
+    };
+
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(&MAGIC);
+    out.push(method);
+    write_varint(&mut out, data.len() as u64);
+    out.extend_from_slice(&adler32(data).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompress an MHZ container produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if data.len() < 4 || data[..4] != MAGIC {
+        return Err(CompressError::BadMagic);
+    }
+    let method = *data.get(4).ok_or(CompressError::UnexpectedEof)?;
+    let mut pos = 5usize;
+    let orig_len = read_varint(data, &mut pos)? as usize;
+    if pos + 4 > data.len() {
+        return Err(CompressError::UnexpectedEof);
+    }
+    let expected = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+    pos += 4;
+    let payload = &data[pos..];
+    let out = match method {
+        METHOD_STORE => {
+            if payload.len() != orig_len {
+                return Err(CompressError::Corrupt("stored length mismatch"));
+            }
+            payload.to_vec()
+        }
+        METHOD_RLE => rle::decode(payload, orig_len)?,
+        METHOD_LZ_HUFF => format::decode_tokens(payload, orig_len)?,
+        m => return Err(CompressError::UnknownMethod(m)),
+    };
+    let actual = adler32(&out);
+    if actual != expected {
+        return Err(CompressError::ChecksumMismatch { expected, actual });
+    }
+    Ok(out)
+}
+
+/// Compressed size without keeping the container (used by PAS cost
+/// estimation when only the footprint matters).
+pub fn compressed_len(data: &[u8], level: Level) -> usize {
+    compress(data, level).len()
+}
+
+/// Compression ratio `original / compressed` (>= 1.0 means it shrank).
+pub fn ratio(data: &[u8], level: Level) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    data.len() as f64 / compress(data, level).len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_roundtrip_all_levels() {
+        let data = b"abcabcabc the quick brown fox".repeat(50);
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let c = compress(&data, level);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = compress(b"", Level::Default);
+        assert_eq!(decompress(&c).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn incompressible_input_falls_back_to_store() {
+        let mut x = 0x243F6A88u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let c = compress(&data, Level::Default);
+        assert!(c.len() <= data.len() + 16, "expansion bounded: {} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn all_zero_uses_few_bytes() {
+        let data = vec![0u8; 1 << 16];
+        let c = compress(&data, Level::Default);
+        assert!(c.len() < 1024, "zeros should crush: {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn checksum_catches_payload_bitflip() {
+        let data = b"integrity matters for archived parameters".repeat(30);
+        let mut c = compress(&data, Level::Default);
+        let idx = c.len() - 3;
+        c[idx] ^= 0x40;
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decompress(b"NOPE...."), Err(CompressError::BadMagic));
+        assert_eq!(decompress(b""), Err(CompressError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data = b"some data to compress".repeat(20);
+        let c = compress(&data, Level::Default);
+        for cut in [5, 8, c.len() / 2, c.len() - 1] {
+            assert!(decompress(&c[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn level_ordering_on_compressible_data() {
+        let data: Vec<u8> = (0..20_000u32).map(|i| ((i / 64) % 17) as u8).collect();
+        let fast = compress(&data, Level::Fast).len();
+        let best = compress(&data, Level::Best).len();
+        assert!(best <= fast + 64, "best ({best}) should not lose to fast ({fast})");
+    }
+}

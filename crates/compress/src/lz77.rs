@@ -1,0 +1,259 @@
+//! LZ77 tokenization with a hash-chain match finder.
+//!
+//! Produces a stream of literals and (length, distance) matches using the
+//! DEFLATE parameters: a 32 KiB window, match lengths 3..=258. Higher
+//! compression levels enable lazy matching and longer hash chains.
+
+/// Sliding-window size in bytes.
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Minimum encodable match length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum encodable match length.
+pub const MAX_MATCH: usize = 258;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    Literal(u8),
+    /// A back-reference: copy `len` bytes starting `dist` bytes back.
+    Match { len: u16, dist: u16 },
+}
+
+/// Effort knobs derived from the compression level.
+#[derive(Debug, Clone, Copy)]
+pub struct MatcherConfig {
+    /// Maximum hash-chain positions examined per match attempt.
+    pub max_chain: usize,
+    /// Stop searching once a match at least this long is found.
+    pub good_enough: usize,
+    /// Defer emitting a match by one byte if the next position matches longer.
+    pub lazy: bool,
+}
+
+impl MatcherConfig {
+    pub fn fast() -> Self {
+        Self { max_chain: 8, good_enough: 32, lazy: false }
+    }
+    pub fn default_level() -> Self {
+        Self { max_chain: 64, good_enough: 128, lazy: true }
+    }
+    pub fn best() -> Self {
+        Self { max_chain: 1024, good_enough: MAX_MATCH, lazy: true }
+    }
+}
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = u32::from(data[pos])
+        | (u32::from(data[pos + 1]) << 8)
+        | (u32::from(data[pos + 2]) << 16);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Longest common prefix of `data[a..]` and `data[b..]`, capped at MAX_MATCH.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize) -> usize {
+    let max = (data.len() - b).min(MAX_MATCH);
+    let mut l = 0;
+    // Compare 8 bytes at a time.
+    while l + 8 <= max {
+        let x = u64::from_le_bytes(data[a + l..a + l + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b + l..b + l + 8].try_into().unwrap());
+        let xor = x ^ y;
+        if xor != 0 {
+            return l + (xor.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < max && data[a + l] == data[b + l] {
+        l += 1;
+    }
+    l
+}
+
+/// Hash-chain match finder over the whole input buffer.
+struct Matcher<'a> {
+    data: &'a [u8],
+    head: Vec<i32>,
+    prev: Vec<i32>,
+    cfg: MatcherConfig,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(data: &'a [u8], cfg: MatcherConfig) -> Self {
+        Self { data, head: vec![-1; HASH_SIZE], prev: vec![-1; data.len()], cfg }
+    }
+
+    /// Insert position `pos` into the hash chains (requires pos+2 < len).
+    #[inline]
+    fn insert(&mut self, pos: usize) {
+        if pos + MIN_MATCH > self.data.len() {
+            return;
+        }
+        let h = hash3(self.data, pos);
+        self.prev[pos] = self.head[h];
+        self.head[h] = pos as i32;
+    }
+
+    /// Best match at `pos` looking back through the chain, or None.
+    fn find(&self, pos: usize) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > self.data.len() {
+            return None;
+        }
+        let h = hash3(self.data, pos);
+        let mut cand = self.head[h];
+        let min_pos = pos.saturating_sub(WINDOW_SIZE) as i64;
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = self.cfg.max_chain;
+        while cand >= 0 && i64::from(cand) >= min_pos && chain > 0 {
+            let c = cand as usize;
+            debug_assert!(c < pos);
+            let l = match_len(self.data, c, pos);
+            if l > best_len {
+                best_len = l;
+                best_dist = pos - c;
+                if l >= self.cfg.good_enough {
+                    break;
+                }
+            }
+            cand = self.prev[c];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+/// Tokenize `data` into an LZ77 token stream.
+pub fn tokenize(data: &[u8], cfg: MatcherConfig) -> Vec<Token> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut m = Matcher::new(data, cfg);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let found = m.find(pos);
+        match found {
+            None => {
+                out.push(Token::Literal(data[pos]));
+                m.insert(pos);
+                pos += 1;
+            }
+            Some((mut len, mut dist)) => {
+                // Lazy matching: peek one byte ahead; if strictly longer,
+                // emit a literal now and take the later match. Track which
+                // positions already entered the dictionary so no position is
+                // inserted twice (a double insert creates a hash-chain
+                // self-loop).
+                let mut insert_from = pos;
+                if cfg.lazy && len < cfg.good_enough && pos + 1 < data.len() {
+                    m.insert(pos);
+                    insert_from = pos + 1;
+                    if let Some((l2, d2)) = m.find(pos + 1) {
+                        if l2 > len {
+                            out.push(Token::Literal(data[pos]));
+                            pos += 1;
+                            len = l2;
+                            dist = d2;
+                        }
+                    }
+                }
+                out.push(Token::Match { len: len as u16, dist: dist as u16 });
+                // Positions inside the match still feed the dictionary.
+                let end = (pos + len).min(data.len());
+                for p in insert_from..end {
+                    m.insert(p);
+                }
+                pos = end;
+            }
+        }
+    }
+    out
+}
+
+/// Reconstruct the original bytes from a token stream.
+pub fn detokenize(tokens: &[Token], size_hint: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size_hint);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let start = out.len() - dist;
+                // Overlapping copies are the point of LZ77; copy bytewise.
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], cfg: MatcherConfig) {
+        let toks = tokenize(data, cfg);
+        let back = detokenize(&toks, data.len());
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        for cfg in [MatcherConfig::fast(), MatcherConfig::default_level(), MatcherConfig::best()] {
+            roundtrip(b"", cfg);
+            roundtrip(b"a", cfg);
+            roundtrip(b"ab", cfg);
+            roundtrip(b"abc", cfg);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_uses_matches() {
+        let data: Vec<u8> = b"abcabcabcabcabcabcabcabc".to_vec();
+        let toks = tokenize(&data, MatcherConfig::default_level());
+        assert!(toks.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert_eq!(detokenize(&toks, data.len()), data);
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        let data = vec![7u8; 1000];
+        let toks = tokenize(&data, MatcherConfig::best());
+        assert!(toks.len() < 30, "run of equal bytes should compress to few tokens, got {}", toks.len());
+        assert_eq!(detokenize(&toks, data.len()), data);
+    }
+
+    #[test]
+    fn pseudo_random_roundtrip() {
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        for cfg in [MatcherConfig::fast(), MatcherConfig::default_level(), MatcherConfig::best()] {
+            roundtrip(&data, cfg);
+        }
+    }
+
+    #[test]
+    fn long_distance_within_window() {
+        let mut data = vec![0u8; 0];
+        data.extend_from_slice(b"the quick brown fox jumps over the lazy dog");
+        data.extend(std::iter::repeat_n(b'x', 20_000));
+        data.extend_from_slice(b"the quick brown fox jumps over the lazy dog");
+        roundtrip(&data, MatcherConfig::best());
+    }
+}

@@ -1,0 +1,126 @@
+//! Byte-level run-length encoding.
+//!
+//! Useful for extremely repetitive inputs (e.g. zeroed byte planes) where it
+//! beats LZ77 header overhead. Format: a sequence of `(control, ...)` where
+//! control < 128 means "copy the next control+1 literal bytes" and
+//! control >= 128 means "repeat the next byte control-126 times" (runs of
+//! 2..=129).
+
+use crate::CompressError;
+
+const MAX_LITERALS: usize = 128;
+const MAX_RUN: usize = 129;
+const MIN_RUN: usize = 3;
+
+/// RLE-encode `data`.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, start: usize, end: usize| {
+        let mut s = start;
+        while s < end {
+            let n = (end - s).min(MAX_LITERALS);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&data[s..s + n]);
+            s += n;
+        }
+    };
+
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < MAX_RUN {
+            run += 1;
+        }
+        if run >= MIN_RUN {
+            flush_literals(&mut out, lit_start, i);
+            out.push((run - 2 + 128) as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(&mut out, lit_start, data.len());
+    out
+}
+
+/// Decode an RLE stream; `orig_len` is validated against the result.
+pub fn decode(data: &[u8], orig_len: usize) -> Result<Vec<u8>, CompressError> {
+    let mut out = Vec::with_capacity(orig_len);
+    let mut i = 0usize;
+    while i < data.len() {
+        let ctrl = data[i];
+        i += 1;
+        if ctrl < 128 {
+            let n = ctrl as usize + 1;
+            if i + n > data.len() {
+                return Err(CompressError::UnexpectedEof);
+            }
+            out.extend_from_slice(&data[i..i + n]);
+            i += n;
+        } else {
+            let n = ctrl as usize - 128 + 2;
+            let b = *data.get(i).ok_or(CompressError::UnexpectedEof)?;
+            i += 1;
+            out.extend(std::iter::repeat_n(b, n));
+        }
+        if out.len() > orig_len {
+            return Err(CompressError::Corrupt("RLE output exceeds declared length"));
+        }
+    }
+    if out.len() != orig_len {
+        return Err(CompressError::Corrupt("RLE output length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let enc = encode(data);
+        assert_eq!(decode(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn basic_cases() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"aaa");
+        roundtrip(b"aaab");
+        roundtrip(b"abcabcabc");
+    }
+
+    #[test]
+    fn long_runs_compress() {
+        let data = vec![0u8; 100_000];
+        let enc = encode(&data);
+        assert!(enc.len() < 2000, "all-zero input should shrink massively: {}", enc.len());
+        assert_eq!(decode(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn literal_heavy_input_bounded_expansion() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let enc = encode(&data);
+        // Worst case adds one control byte per 128 literals.
+        assert!(enc.len() <= data.len() + data.len() / 128 + 16);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn mixed_runs_and_literals() {
+        let mut data = Vec::new();
+        for i in 0..500u32 {
+            data.extend(std::iter::repeat_n((i % 7) as u8, (i % 11) as usize + 1));
+            data.push(255 - (i % 5) as u8);
+        }
+        roundtrip(&data);
+    }
+}

@@ -1,0 +1,88 @@
+//! Adversarial decoder inputs: hand-crafted containers that are
+//! structurally plausible but semantically broken must all be rejected
+//! without panics.
+
+use mh_compress::format::{write_varint, METHOD_LZ_HUFF, METHOD_RLE, METHOD_STORE};
+use mh_compress::huffman::{Decoder, Encoder};
+use mh_compress::{compress, decompress, CompressError, Level};
+
+fn container(method: u8, orig_len: u64, checksum: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"MHZ1");
+    out.push(method);
+    write_varint(&mut out, orig_len);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[test]
+fn unknown_method_byte() {
+    let c = container(9, 0, 0, &[]);
+    assert!(matches!(decompress(&c), Err(CompressError::UnknownMethod(9))));
+}
+
+#[test]
+fn stored_length_lies() {
+    // Claims 10 bytes, ships 3.
+    let c = container(METHOD_STORE, 10, 0, b"abc");
+    assert!(decompress(&c).is_err());
+}
+
+#[test]
+fn rle_declares_more_than_it_decodes() {
+    // A single literal control (copy 1 byte) but orig_len 100.
+    let c = container(METHOD_RLE, 100, 0, &[0, b'x']);
+    assert!(decompress(&c).is_err());
+    // Run that overshoots the declared length.
+    let c = container(METHOD_RLE, 2, 0, &[255, b'y']); // run of 129
+    assert!(decompress(&c).is_err());
+}
+
+#[test]
+fn huffman_payload_with_headers_only() {
+    // A LZ payload that ends inside the code-length tables.
+    let c = container(METHOD_LZ_HUFF, 5, 0, &[0x12, 0x34]);
+    assert!(decompress(&c).is_err());
+}
+
+#[test]
+fn checksum_must_match_even_for_store() {
+    let c = container(METHOD_STORE, 3, 0xdeadbeef, b"abc");
+    assert!(matches!(
+        decompress(&c),
+        Err(CompressError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn over_subscribed_code_lengths_rejected() {
+    // Three symbols of length 1 violate Kraft; the table builder must
+    // refuse rather than emit overlapping codes.
+    let lens = vec![1u8, 1, 1];
+    assert!(Encoder::from_lengths(&lens).is_err());
+    assert!(Decoder::from_lengths(&lens).is_err());
+}
+
+#[test]
+fn valid_but_incomplete_code_space_decodes_or_errors() {
+    // A single symbol of length 2 leaves most of the code space invalid;
+    // decoding bits that land in the hole must error, not panic.
+    let lens = vec![0u8, 2];
+    let dec = Decoder::from_lengths(&lens).unwrap();
+    let data = [0xffu8];
+    let mut r = mh_compress::bitio::BitReader::new(&data);
+    // Whatever happens, no panic; either symbol 1 or an error.
+    let _ = dec.read(&mut r);
+}
+
+#[test]
+fn roundtrip_many_sizes_near_block_boundaries() {
+    for n in [0usize, 1, 2, 3, 255, 256, 257, 4095, 4096, 4097] {
+        let data: Vec<u8> = (0..n).map(|i| (i * 31 % 251) as u8).collect();
+        for level in [Level::Fast, Level::Best] {
+            let c = compress(&data, level);
+            assert_eq!(decompress(&c).unwrap(), data, "n={n}");
+        }
+    }
+}

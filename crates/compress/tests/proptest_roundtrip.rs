@@ -1,0 +1,56 @@
+//! Property-based roundtrip tests for the compressor.
+
+use mh_compress::{compress, decompress, Level};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let c = compress(&data, level);
+            prop_assert_eq!(decompress(&c).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn roundtrip_low_entropy(
+        seed in any::<u8>(),
+        runs in proptest::collection::vec((any::<u8>(), 1usize..200), 0..64)
+    ) {
+        let mut data = vec![seed];
+        for (b, n) in runs {
+            data.extend(std::iter::repeat_n(b, n));
+        }
+        let c = compress(&data, Level::Default);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_structured(blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..32), 1..32)) {
+        // Repeat a small set of blocks to exercise back-references heavily.
+        let mut data = Vec::new();
+        for i in 0..200usize {
+            data.extend_from_slice(&blocks[i % blocks.len()]);
+        }
+        let c = compress(&data, Level::Best);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(mut data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // With or without a valid magic prefix, arbitrary bytes must decode
+        // to Ok or Err, never panic.
+        let _ = decompress(&data);
+        if data.len() >= 4 {
+            data[..4].copy_from_slice(b"MHZ1");
+            let _ = decompress(&data);
+        }
+    }
+
+    #[test]
+    fn compression_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        prop_assert_eq!(compress(&data, Level::Default), compress(&data, Level::Default));
+    }
+}

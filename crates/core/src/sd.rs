@@ -1,0 +1,145 @@
+//! The synthetic repository generator — the paper's §V-A "automatic
+//! modeler".
+//!
+//! SD simulates a modeler who takes a trained base model and enumerates
+//! fine-tuned variants for a new prediction task: each model version is a
+//! (possibly mutated) descendant of the base with warm-started weights and
+//! a chain of checkpoint snapshots. RD variants scale SD along delta
+//! closeness, group size and version count.
+
+use mh_dlv::{CommitRequest, Repository, VersionKey};
+use mh_dnn::{
+    fine_tune_setup, synth_dataset, zoo, Dataset, Hyperparams, SynthConfig, Trainer, Weights,
+};
+use crate::CoreError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for SD generation.
+#[derive(Debug, Clone)]
+pub struct SdConfig {
+    /// Number of fine-tuned model versions to enumerate (the paper used 54).
+    pub num_versions: usize,
+    /// Checkpoint snapshots per version (the paper used 10).
+    pub snapshots_per_version: usize,
+    /// Model family: 0 = lenet_s, 1 = alexnet_s, 2 = vgg_s.
+    pub family: usize,
+    /// Classes in the base task and in the fine-tuning task.
+    pub base_classes: usize,
+    pub finetune_classes: usize,
+    /// Training iterations between checkpoints.
+    pub iters_per_snapshot: usize,
+    pub seed: u64,
+}
+
+impl Default for SdConfig {
+    fn default() -> Self {
+        Self {
+            num_versions: 6,
+            snapshots_per_version: 4,
+            family: 0,
+            base_classes: 4,
+            finetune_classes: 3,
+            iters_per_snapshot: 4,
+            seed: 1234,
+        }
+    }
+}
+
+/// The generated repository contents.
+#[derive(Debug)]
+pub struct SdRepo {
+    pub base: VersionKey,
+    pub versions: Vec<VersionKey>,
+    pub dataset: Dataset,
+}
+
+fn family_net(family: usize, classes: usize) -> mh_dnn::Network {
+    match family {
+        0 => zoo::lenet_s(classes),
+        1 => zoo::alexnet_s(classes),
+        _ => zoo::vgg_s(classes),
+    }
+}
+
+/// Generate the SD workload into a repository: one trained base model plus
+/// `num_versions` fine-tuned descendants, each checkpointed
+/// `snapshots_per_version` times.
+pub fn generate_sd(repo: &Repository, cfg: &SdConfig) -> Result<SdRepo, CoreError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let base_data = synth_dataset(&SynthConfig {
+        num_classes: cfg.base_classes,
+        train_per_class: 10,
+        test_per_class: 4,
+        noise: 0.1,
+        seed: cfg.seed,
+        ..Default::default()
+    });
+    let ft_data = synth_dataset(&SynthConfig {
+        num_classes: cfg.finetune_classes,
+        train_per_class: 10,
+        test_per_class: 4,
+        noise: 0.1,
+        seed: cfg.seed + 1,
+        ..Default::default()
+    });
+
+    // Train the base model (the "trained VGG" being fine-tuned).
+    let base_net = family_net(cfg.family, cfg.base_classes);
+    let trainer = Trainer {
+        hp: Hyperparams { base_lr: 0.08, ..Default::default() },
+        snapshot_every: cfg.iters_per_snapshot,
+    };
+    let init = Weights::init(&base_net, cfg.seed).map_err(CoreError::Network)?;
+    let iters = cfg.iters_per_snapshot * cfg.snapshots_per_version;
+    let result = trainer
+        .train(&base_net, init, &base_data, iters)
+        .map_err(CoreError::Network)?;
+    let mut req = CommitRequest::new("sd-base", base_net.clone());
+    req.snapshots = result
+        .snapshots
+        .iter()
+        .map(|(i, w)| (*i, w.clone()))
+        .collect();
+    req.log = result.log.clone();
+    req.accuracy = Some(result.final_accuracy);
+    req.comment = "SD base model".into();
+    let base_key = repo.commit(&req).map_err(CoreError::Dlv)?;
+
+    // Enumerate fine-tuned variants: hyperparameter alternations mimicking
+    // practice (varied lr, momentum, frozen feature layers).
+    let mut versions = Vec::new();
+    for v in 0..cfg.num_versions {
+        let (ft_net, ft_init) = fine_tune_setup(
+            &base_net,
+            &result.weights,
+            cfg.finetune_classes,
+            cfg.seed + 100 + v as u64,
+        )
+        .map_err(CoreError::Network)?;
+        let mut hp = Hyperparams {
+            base_lr: *[0.05f32, 0.02, 0.01].get(v % 3).unwrap(),
+            momentum: if v % 2 == 0 { 0.9 } else { 0.8 },
+            ..Default::default()
+        };
+        if rng.gen_bool(0.5) {
+            // Freeze the first conv layer (classic fine-tuning practice).
+            hp.layer_lr.insert("conv1".into(), 0.0);
+        }
+        let trainer = Trainer { hp: hp.clone(), snapshot_every: cfg.iters_per_snapshot };
+        let r = trainer
+            .train(&ft_net, ft_init, &ft_data, iters)
+            .map_err(CoreError::Network)?;
+        let name = format!("sd-ft{v:02}");
+        let mut req = CommitRequest::new(&name, ft_net.clone());
+        req.snapshots = r.snapshots.iter().map(|(i, w)| (*i, w.clone())).collect();
+        req.log = r.log.clone();
+        req.accuracy = Some(r.final_accuracy);
+        req.parent = Some(base_key.to_string());
+        req.hyperparams.insert("base_lr".into(), hp.base_lr.to_string());
+        req.hyperparams.insert("momentum".into(), hp.momentum.to_string());
+        req.comment = format!("SD fine-tuned variant {v}");
+        versions.push(repo.commit(&req).map_err(CoreError::Dlv)?);
+    }
+    Ok(SdRepo { base: base_key, versions, dataset: ft_data })
+}

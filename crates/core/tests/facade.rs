@@ -1,0 +1,116 @@
+//! Facade tests: the `ModelHub` type end to end, plus the SD generator's
+//! statistical properties (adjacent snapshots close, retrained models far
+//! — the premise the archival experiments rest on).
+
+use mh_dlv::CommitRequest;
+use mh_dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
+use mh_dql::QueryResult;
+use modelhub_core::{generate_sd, ModelHub, SdConfig};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mh-core-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn facade_init_open_query_archive() {
+    let dir = temp_dir("facade");
+    let root = dir.join("repo");
+    {
+        let mut hub = ModelHub::init(&root).unwrap();
+        let net = zoo::lenet_s(3);
+        let data = synth_dataset(&SynthConfig {
+            num_classes: 3,
+            train_per_class: 8,
+            test_per_class: 4,
+            seed: 2,
+            ..Default::default()
+        });
+        let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+        let r = trainer
+            .train(&net, Weights::init(&net, 1).unwrap(), &data, 10)
+            .unwrap();
+        let mut req = CommitRequest::new("facade-model", net);
+        req.snapshots = vec![(10, r.weights)];
+        req.accuracy = Some(r.final_accuracy);
+        hub.repo().commit(&req).unwrap();
+        hub.register_dataset("d", data.clone());
+        hub.register_config("myconf", Hyperparams { base_lr: 0.02, ..Default::default() });
+
+        // DQL through the facade with the registered config.
+        let out = hub
+            .query(
+                r#"evaluate m from "facade%" with config = "myconf"
+                   keep top(1, m["loss"], 3)"#,
+            )
+            .unwrap();
+        let QueryResult::Evaluated(rows) = out else { panic!() };
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].kept);
+
+        // Archive + progressive through the facade.
+        hub.archive(&Default::default()).unwrap();
+        let (x, _) = &data.test[0];
+        let p = hub.progressive_eval("facade-model", x, 1).unwrap();
+        assert_eq!(p.prediction.len(), 1);
+        assert!(p.read_fraction() <= 1.0);
+    }
+    // Re-open an existing instance.
+    let hub = ModelHub::open(&root).unwrap();
+    assert!(hub.repo().list().len() >= 2, "original + kept eval model");
+    // Unknown model errors cleanly.
+    assert!(hub
+        .progressive_eval("no-such-model", &mh_tensor::Tensor3::zeros(1, 16, 16), 1)
+        .is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sd_statistics_match_the_papers_premise() {
+    let dir = temp_dir("sd-stats");
+    let repo = mh_dlv::Repository::init(&dir).unwrap();
+    let sd = generate_sd(
+        &repo,
+        &SdConfig { num_versions: 2, snapshots_per_version: 3, ..Default::default() },
+    )
+    .unwrap();
+
+    // (a) Adjacent checkpoints of the same version are close.
+    let v0 = sd.versions[0].to_string();
+    let s0 = repo.get_weights(&v0, Some(0)).unwrap();
+    let s1 = repo.get_weights(&v0, Some(1)).unwrap();
+    let adjacent = s0.distance(&s1);
+
+    // (b) Fine-tuned siblings share ancestry: closer than chance but
+    // farther than adjacent checkpoints.
+    let v1 = sd.versions[1].to_string();
+    let sib = repo.get_weights(&v1, Some(0)).unwrap();
+    let sibling = s0.distance(&sib);
+
+    assert!(adjacent > 0.0);
+    assert!(
+        adjacent < sibling + 1e-9,
+        "checkpoint distance {adjacent} should not exceed sibling distance {sibling}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn facade_hub_roundtrip() {
+    let base = temp_dir("facade-hub");
+    let hub_dir = base.join("hub");
+    let a = ModelHub::init(&base.join("a")).unwrap();
+    let net = zoo::lenet_s(2);
+    let mut req = CommitRequest::new("shared", net.clone());
+    req.snapshots = vec![(0, Weights::init(&net, 1).unwrap())];
+    a.repo().commit(&req).unwrap();
+    a.publish(&hub_dir, "team/models").unwrap();
+    let hits = ModelHub::search(&hub_dir, "%shared%").unwrap();
+    assert_eq!(hits.len(), 1);
+    let b = ModelHub::pull(&hub_dir, "team/models", &base.join("b")).unwrap();
+    assert_eq!(b.repo().list().len(), 1);
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,280 @@
+//! # mh-delta
+//!
+//! Delta encoding between versioned float matrices (§IV-B "Delta Encoding
+//! across Snapshots").
+//!
+//! Two operators, both *exactly* invertible on IEEE-754 bit patterns:
+//!
+//! * **Sub** — wrapping 32-bit integer subtraction of the bit patterns.
+//!   For nearby values this produces deltas with long runs of `0x00`/`0xFF`
+//!   bytes, which entropy-code extremely well. (Plain float subtraction is
+//!   not exactly invertible due to rounding, so an archival store cannot
+//!   use it; integer subtraction of the patterns is the standard
+//!   compression-literature equivalent.)
+//! * **Xor** — bitwise XOR of the patterns.
+//!
+//! Mismatched shapes (the paper's extended-version note) are handled by
+//! virtually zero-extending or cropping the base to the target's shape, so
+//! any matrix can be delta-encoded against any other.
+
+use mh_tensor::{split_byte_planes, Matrix};
+
+/// The delta operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Wrapping integer subtraction of bit patterns.
+    Sub,
+    /// Bitwise XOR of bit patterns.
+    Xor,
+}
+
+impl DeltaOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            DeltaOp::Sub => "delta-sub",
+            DeltaOp::Xor => "delta-xor",
+        }
+    }
+}
+
+/// A delta that recreates a target matrix from a base matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    pub op: DeltaOp,
+    rows: usize,
+    cols: usize,
+    /// One 32-bit word per target element.
+    words: Vec<u32>,
+}
+
+/// Bit pattern of the base element at the target's (r, c), or 0 if the
+/// base does not cover that position.
+#[inline]
+fn base_bits(base: &Matrix, r: usize, c: usize) -> u32 {
+    if r < base.rows() && c < base.cols() {
+        base.get(r, c).to_bits()
+    } else {
+        0
+    }
+}
+
+impl Delta {
+    /// Compute the delta that recreates `target` from `base`.
+    pub fn compute(base: &Matrix, target: &Matrix, op: DeltaOp) -> Self {
+        let (rows, cols) = target.shape();
+        let mut words = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let t = target.get(r, c).to_bits();
+                let b = base_bits(base, r, c);
+                words.push(match op {
+                    DeltaOp::Sub => t.wrapping_sub(b),
+                    DeltaOp::Xor => t ^ b,
+                });
+            }
+        }
+        Self { op, rows, cols, words }
+    }
+
+    /// Recreate the target from the base this delta was computed against.
+    /// (Any base works shape-wise; correctness requires the original base.)
+    pub fn apply(&self, base: &Matrix) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let d = self.words[r * self.cols + c];
+                let b = base_bits(base, r, c);
+                let bits = match self.op {
+                    DeltaOp::Sub => b.wrapping_add(d),
+                    DeltaOp::Xor => b ^ d,
+                };
+                data.push(f32::from_bits(bits));
+            }
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn num_elements(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Serialized payload with a small header.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 4 + 12);
+        out.push(match self.op {
+            DeltaOp::Sub => 1u8,
+            DeltaOp::Xor => 2u8,
+        });
+        out.extend_from_slice(&(self.rows as u32).to_le_bytes());
+        out.extend_from_slice(&(self.cols as u32).to_le_bytes());
+        for &w in &self.words {
+            out.extend_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        if data.len() < 9 {
+            return None;
+        }
+        let op = match data[0] {
+            1 => DeltaOp::Sub,
+            2 => DeltaOp::Xor,
+            _ => return None,
+        };
+        let rows = u32::from_le_bytes(data[1..5].try_into().unwrap()) as usize;
+        let cols = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
+        let body = &data[9..];
+        if body.len() != rows.checked_mul(cols)?.checked_mul(4)? {
+            return None;
+        }
+        let words = body
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+            .collect();
+        Some(Self { op, rows, cols, words })
+    }
+
+    /// The raw word bytes (no header), big-endian (so byte-plane splitting
+    /// puts the most significant delta byte in plane 0) — what PAS
+    /// compresses.
+    pub fn word_bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_be_bytes()).collect()
+    }
+
+    /// Byte planes of the delta words (plane 0 = most significant byte),
+    /// for segmented storage of deltas.
+    pub fn byte_planes(&self) -> Vec<Vec<u8>> {
+        split_byte_planes(&self.word_bytes(), 4)
+    }
+
+    /// Fraction of delta words that are exactly zero — a cheap closeness
+    /// statistic used by PAS cost estimation.
+    pub fn zero_fraction(&self) -> f64 {
+        if self.words.is_empty() {
+            return 1.0;
+        }
+        self.words.iter().filter(|&&w| w == 0).count() as f64 / self.words.len() as f64
+    }
+}
+
+/// Bitwise equality of two matrices (distinguishes -0.0 from 0.0 and treats
+/// identical NaN patterns as equal — exactly what archival recovery needs).
+pub fn bit_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_target(close: bool) -> (Matrix, Matrix) {
+        let base = Matrix::from_fn(6, 7, |r, c| ((r * 7 + c) as f32 * 0.37).sin() * 0.5);
+        let target = if close {
+            base.map(|x| x + 1e-4)
+        } else {
+            Matrix::from_fn(6, 7, |r, c| ((r * 7 + c) as f32 * 1.7).cos() * 2.0)
+        };
+        (base, target)
+    }
+
+    #[test]
+    fn sub_roundtrip_exact() {
+        for close in [true, false] {
+            let (b, t) = base_target(close);
+            let d = Delta::compute(&b, &t, DeltaOp::Sub);
+            assert!(bit_equal(&d.apply(&b), &t));
+        }
+    }
+
+    #[test]
+    fn xor_roundtrip_exact() {
+        for close in [true, false] {
+            let (b, t) = base_target(close);
+            let d = Delta::compute(&b, &t, DeltaOp::Xor);
+            assert!(bit_equal(&d.apply(&b), &t));
+        }
+    }
+
+    #[test]
+    fn self_delta_is_zero() {
+        let (b, _) = base_target(true);
+        for op in [DeltaOp::Sub, DeltaOp::Xor] {
+            let d = Delta::compute(&b, &b, op);
+            assert_eq!(d.zero_fraction(), 1.0);
+            assert!(bit_equal(&d.apply(&b), &b));
+        }
+    }
+
+    #[test]
+    fn mismatched_shapes_grow_and_shrink() {
+        let base = Matrix::from_fn(4, 4, |r, c| (r + c) as f32);
+        let bigger = Matrix::from_fn(6, 5, |r, c| (r * c) as f32 + 0.5);
+        let smaller = Matrix::from_fn(2, 3, |r, c| (r + 2 * c) as f32 - 0.25);
+        for op in [DeltaOp::Sub, DeltaOp::Xor] {
+            let d1 = Delta::compute(&base, &bigger, op);
+            assert!(bit_equal(&d1.apply(&base), &bigger));
+            let d2 = Delta::compute(&base, &smaller, op);
+            assert!(bit_equal(&d2.apply(&base), &smaller));
+        }
+    }
+
+    #[test]
+    fn delta_from_empty_base_is_materialization() {
+        let empty = Matrix::zeros(0, 0);
+        let t = Matrix::from_fn(3, 3, |r, c| (r as f32) - (c as f32) * 0.5);
+        let d = Delta::compute(&empty, &t, DeltaOp::Sub);
+        assert!(bit_equal(&d.apply(&empty), &t));
+        // XOR against zero bits is the identity on patterns.
+        let dx = Delta::compute(&empty, &t, DeltaOp::Xor);
+        assert!(bit_equal(&dx.apply(&empty), &t));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (b, t) = base_target(true);
+        let d = Delta::compute(&b, &t, DeltaOp::Xor);
+        let bytes = d.to_bytes();
+        let back = Delta::from_bytes(&bytes).unwrap();
+        assert_eq!(back, d);
+        assert!(Delta::from_bytes(&bytes[..5]).is_none());
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(Delta::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn close_matrices_give_compressible_deltas() {
+        // The core premise of Fig 6(b): deltas between nearby snapshots
+        // have low-entropy high bytes.
+        let (b, t) = base_target(true);
+        let d = Delta::compute(&b, &t, DeltaOp::Sub);
+        let planes = d.byte_planes();
+        // Top delta byte should be overwhelmingly 0x00 or 0xff.
+        let top = &planes[0];
+        let trivial = top.iter().filter(|&&x| x == 0 || x == 0xff).count();
+        assert!(
+            trivial as f64 > 0.9 * top.len() as f64,
+            "top delta plane not sparse: {trivial}/{}",
+            top.len()
+        );
+    }
+
+    #[test]
+    fn negative_zero_and_nan_patterns_survive() {
+        let base = Matrix::from_vec(1, 3, vec![1.0, -0.0, f32::NAN]);
+        let target = Matrix::from_vec(1, 3, vec![-0.0, f32::NAN, 2.0]);
+        for op in [DeltaOp::Sub, DeltaOp::Xor] {
+            let d = Delta::compute(&base, &target, op);
+            assert!(bit_equal(&d.apply(&base), &target), "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! `dlv diff`: side-by-side comparison of two model versions over both the
+//! metadata (architecture, hyperparameters, accuracy) and the learned
+//! parameters.
+
+use crate::repo::Repository;
+use crate::DlvError;
+use std::collections::BTreeSet;
+
+/// The outcome of comparing two versions.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    pub left: String,
+    pub right: String,
+    /// Layers present only in the left version (name, definition).
+    pub only_left: Vec<(String, String)>,
+    /// Layers present only in the right version.
+    pub only_right: Vec<(String, String)>,
+    /// Layers present in both but with different definitions:
+    /// (name, left def, right def).
+    pub changed: Vec<(String, String, String)>,
+    /// Hyperparameters that differ: (key, left, right) with "" for absent.
+    pub hyper_diff: Vec<(String, String, String)>,
+    pub accuracy_left: Option<f64>,
+    pub accuracy_right: Option<f64>,
+    /// Mean absolute difference over shared same-shape weight matrices
+    /// (None when either side's weights are unavailable).
+    pub weight_distance: Option<f32>,
+}
+
+impl DiffReport {
+    pub fn is_architecture_identical(&self) -> bool {
+        self.only_left.is_empty() && self.only_right.is_empty() && self.changed.is_empty()
+    }
+
+    /// Render a human-readable report (the CLI front end of `dlv diff`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("diff {} .. {}\n", self.left, self.right));
+        for (n, d) in &self.only_left {
+            out.push_str(&format!("- layer {n}: {d}\n"));
+        }
+        for (n, d) in &self.only_right {
+            out.push_str(&format!("+ layer {n}: {d}\n"));
+        }
+        for (n, l, r) in &self.changed {
+            out.push_str(&format!("~ layer {n}: {l} -> {r}\n"));
+        }
+        for (k, l, r) in &self.hyper_diff {
+            out.push_str(&format!("~ hyper {k}: '{l}' -> '{r}'\n"));
+        }
+        match (self.accuracy_left, self.accuracy_right) {
+            (Some(a), Some(b)) => {
+                out.push_str(&format!("accuracy: {a:.4} -> {b:.4} ({:+.4})\n", b - a))
+            }
+            _ => out.push_str("accuracy: (missing on at least one side)\n"),
+        }
+        if let Some(d) = self.weight_distance {
+            out.push_str(&format!("mean |Δweight| over shared layers: {d:.6}\n"));
+        }
+        out
+    }
+}
+
+/// Compare two versions in a repository.
+pub fn diff(repo: &Repository, left: &str, right: &str) -> Result<DiffReport, DlvError> {
+    let dl = repo.desc(left)?;
+    let dr = repo.desc(right)?;
+    let lmap: std::collections::BTreeMap<&String, &String> =
+        dl.layers.iter().map(|(n, d)| (n, d)).collect();
+    let rmap: std::collections::BTreeMap<&String, &String> =
+        dr.layers.iter().map(|(n, d)| (n, d)).collect();
+    let mut only_left = Vec::new();
+    let mut only_right = Vec::new();
+    let mut changed = Vec::new();
+    for (n, d) in &lmap {
+        match rmap.get(n) {
+            None => only_left.push(((*n).clone(), (*d).clone())),
+            Some(rd) if rd != d => {
+                changed.push(((*n).clone(), (*d).clone(), (*rd).clone()))
+            }
+            _ => {}
+        }
+    }
+    for (n, d) in &rmap {
+        if !lmap.contains_key(n) {
+            only_right.push(((*n).clone(), (*d).clone()));
+        }
+    }
+
+    let keys: BTreeSet<&String> = dl
+        .hyperparams
+        .keys()
+        .chain(dr.hyperparams.keys())
+        .collect();
+    let mut hyper_diff = Vec::new();
+    for k in keys {
+        let lv = dl.hyperparams.get(k).cloned().unwrap_or_default();
+        let rv = dr.hyperparams.get(k).cloned().unwrap_or_default();
+        if lv != rv {
+            hyper_diff.push((k.clone(), lv, rv));
+        }
+    }
+
+    let weight_distance = match (repo.get_weights(left, None), repo.get_weights(right, None)) {
+        (Ok(a), Ok(b)) => Some(a.distance(&b)),
+        _ => None,
+    };
+
+    Ok(DiffReport {
+        left: dl.summary.key.to_string(),
+        right: dr.summary.key.to_string(),
+        only_left,
+        only_right,
+        changed,
+        hyper_diff,
+        accuracy_left: dl.summary.accuracy,
+        accuracy_right: dr.summary.accuracy,
+        weight_distance,
+    })
+}

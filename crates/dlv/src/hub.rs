@@ -1,0 +1,128 @@
+//! The hosted ModelHub service (§III-C), simulated as a directory-based
+//! registry: `dlv publish`, `dlv search`, `dlv pull`.
+//!
+//! A published repository is copied wholesale under the hub root; search
+//! matches over repository names and model-version names/comments.
+
+use crate::repo::Repository;
+use crate::DlvError;
+use mh_store::like_match;
+use std::path::{Path, PathBuf};
+
+/// A hub rooted at a directory.
+#[derive(Debug)]
+pub struct Hub {
+    root: PathBuf,
+}
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchHit {
+    pub repo: String,
+    pub version: String,
+    pub architecture: String,
+    pub comment: String,
+}
+
+fn copy_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        let to = dst.join(entry.file_name());
+        if entry.file_type()?.is_dir() {
+            copy_dir(&entry.path(), &to)?;
+        } else {
+            std::fs::copy(entry.path(), &to)?;
+        }
+    }
+    Ok(())
+}
+
+impl Hub {
+    /// Open (or create) a hub at `root`.
+    pub fn open(root: &Path) -> Result<Self, DlvError> {
+        std::fs::create_dir_all(root).map_err(DlvError::Io)?;
+        Ok(Self { root: root.to_path_buf() })
+    }
+
+    /// `dlv publish`: push a repository under a public name (replacing any
+    /// previous publication of the same name).
+    pub fn publish(&self, repo: &Repository, name: &str) -> Result<(), DlvError> {
+        let dst = self.root.join(name);
+        if dst.exists() {
+            std::fs::remove_dir_all(&dst).map_err(DlvError::Io)?;
+        }
+        copy_dir(repo.root(), &dst).map_err(DlvError::Io)?;
+        Ok(())
+    }
+
+    /// Published repository names. Names may contain `/` (e.g.
+    /// `team/vision`): a directory is a repository iff it holds a
+    /// `catalog.mhs`; other directories are namespaces to recurse into.
+    pub fn repositories(&self) -> Result<Vec<String>, DlvError> {
+        fn walk(dir: &Path, prefix: &str, out: &mut Vec<String>) -> std::io::Result<()> {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                if !entry.file_type()?.is_dir() {
+                    continue;
+                }
+                let name = entry.file_name().to_string_lossy().to_string();
+                let full = if prefix.is_empty() {
+                    name
+                } else {
+                    format!("{prefix}/{name}")
+                };
+                if entry.path().join("catalog.mhs").exists() {
+                    out.push(full);
+                } else {
+                    walk(&entry.path(), &full, out)?;
+                }
+            }
+            Ok(())
+        }
+        let mut out = Vec::new();
+        walk(&self.root, "", &mut out).map_err(DlvError::Io)?;
+        out.sort();
+        Ok(out)
+    }
+
+    /// `dlv search`: match a SQL-LIKE pattern against repository names,
+    /// model names and comments.
+    pub fn search(&self, pattern: &str) -> Result<Vec<SearchHit>, DlvError> {
+        let mut hits = Vec::new();
+        for repo_name in self.repositories()? {
+            let repo = Repository::open(&self.root.join(&repo_name))?;
+            for summary in repo.list() {
+                let hay = [
+                    repo_name.as_str(),
+                    summary.key.name.as_str(),
+                    summary.comment.as_str(),
+                ];
+                if hay.iter().any(|h| like_match(pattern, h))
+                    || hay.iter().any(|h| h.contains(pattern))
+                {
+                    hits.push(SearchHit {
+                        repo: repo_name.clone(),
+                        version: summary.key.to_string(),
+                        architecture: summary.architecture.clone(),
+                        comment: summary.comment.clone(),
+                    });
+                }
+            }
+        }
+        Ok(hits)
+    }
+
+    /// `dlv pull`: clone a published repository to a local destination.
+    pub fn pull(&self, name: &str, dest: &Path) -> Result<Repository, DlvError> {
+        let src = self.root.join(name);
+        if !src.exists() {
+            return Err(DlvError::NoSuchVersion(name.to_string()));
+        }
+        if dest.exists() {
+            return Err(DlvError::AlreadyExists(dest.display().to_string()));
+        }
+        copy_dir(&src, dest).map_err(DlvError::Io)?;
+        Repository::open(dest)
+    }
+}

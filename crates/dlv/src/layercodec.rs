@@ -1,0 +1,117 @@
+//! Text codec for layer definitions, used to persist the network DAG in
+//! the catalog's `node` table (the paper's `Node(id, node, A)` relation,
+//! with `A` the attribute list).
+
+use mh_dnn::{Activation, LayerKind, PoolKind};
+
+/// Serialize a layer kind to a compact `TYPE k=v ...` string.
+pub fn encode_layer(kind: &LayerKind) -> String {
+    match kind {
+        LayerKind::Input { channels, height, width } => {
+            format!("INPUT c={channels} h={height} w={width}")
+        }
+        LayerKind::Conv { out_channels, kernel, stride, pad } => {
+            format!("CONV out={out_channels} k={kernel} s={stride} p={pad}")
+        }
+        LayerKind::Pool { kind, size, stride } => {
+            let k = match kind {
+                PoolKind::Max => "max",
+                PoolKind::Avg => "avg",
+            };
+            format!("POOL kind={k} size={size} s={stride}")
+        }
+        LayerKind::Full { out } => format!("FULL out={out}"),
+        LayerKind::Act(Activation::ReLU) => "RELU".to_string(),
+        LayerKind::Act(Activation::Sigmoid) => "SIGMOID".to_string(),
+        LayerKind::Act(Activation::Tanh) => "TANH".to_string(),
+        LayerKind::Flatten => "FLATTEN".to_string(),
+        LayerKind::Softmax => "SOFTMAX".to_string(),
+        LayerKind::Dropout { rate } => format!("DROPOUT rate={rate}"),
+        LayerKind::Lrn { size, alpha, beta, k } => {
+            format!("NORM size={size} alpha={alpha} beta={beta} k={k}")
+        }
+    }
+}
+
+/// Parse a string produced by [`encode_layer`].
+pub fn decode_layer(s: &str) -> Option<LayerKind> {
+    let mut parts = s.split_whitespace();
+    let ty = parts.next()?;
+    let mut attrs = std::collections::BTreeMap::new();
+    for p in parts {
+        let (k, v) = p.split_once('=')?;
+        attrs.insert(k, v);
+    }
+    let get_usize = |k: &str| -> Option<usize> { attrs.get(k)?.parse().ok() };
+    Some(match ty {
+        "INPUT" => LayerKind::Input {
+            channels: get_usize("c")?,
+            height: get_usize("h")?,
+            width: get_usize("w")?,
+        },
+        "CONV" => LayerKind::Conv {
+            out_channels: get_usize("out")?,
+            kernel: get_usize("k")?,
+            stride: get_usize("s")?,
+            pad: get_usize("p")?,
+        },
+        "POOL" => LayerKind::Pool {
+            kind: match *attrs.get("kind")? {
+                "max" => PoolKind::Max,
+                "avg" => PoolKind::Avg,
+                _ => return None,
+            },
+            size: get_usize("size")?,
+            stride: get_usize("s")?,
+        },
+        "FULL" => LayerKind::Full { out: get_usize("out")? },
+        "RELU" => LayerKind::Act(Activation::ReLU),
+        "SIGMOID" => LayerKind::Act(Activation::Sigmoid),
+        "TANH" => LayerKind::Act(Activation::Tanh),
+        "FLATTEN" => LayerKind::Flatten,
+        "SOFTMAX" => LayerKind::Softmax,
+        "DROPOUT" => LayerKind::Dropout { rate: attrs.get("rate")?.parse().ok()? },
+        "NORM" => LayerKind::Lrn {
+            size: get_usize("size")?,
+            alpha: attrs.get("alpha")?.parse().ok()?,
+            beta: attrs.get("beta")?.parse().ok()?,
+            k: attrs.get("k")?.parse().ok()?,
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let kinds = vec![
+            LayerKind::Input { channels: 3, height: 224, width: 224 },
+            LayerKind::Conv { out_channels: 64, kernel: 3, stride: 1, pad: 1 },
+            LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 },
+            LayerKind::Pool { kind: PoolKind::Avg, size: 3, stride: 1 },
+            LayerKind::Full { out: 4096 },
+            LayerKind::Act(Activation::ReLU),
+            LayerKind::Act(Activation::Sigmoid),
+            LayerKind::Act(Activation::Tanh),
+            LayerKind::Flatten,
+            LayerKind::Softmax,
+            LayerKind::Dropout { rate: 0.5 },
+            LayerKind::Lrn { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 },
+        ];
+        for k in kinds {
+            let s = encode_layer(&k);
+            assert_eq!(decode_layer(&s), Some(k), "codec failed for '{s}'");
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(decode_layer(""), None);
+        assert_eq!(decode_layer("WIBBLE x=1"), None);
+        assert_eq!(decode_layer("CONV out=8"), None); // missing attrs
+        assert_eq!(decode_layer("POOL kind=squish size=2 s=2"), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! # mh-dlv
+//!
+//! DLV — the model versioning system of the ModelHub paper (§III): a
+//! git-like VCS specialized for DNN lifecycle artifacts. Model versions
+//! carry a network definition, checkpointed weight snapshots, extracted
+//! metadata (hyperparameters, training measurements) and associated files;
+//! lineage between versions is first-class.
+//!
+//! Storage is split-backend: structured metadata in the `mh-store`
+//! relational catalog, float parameters staged as compressed blobs and
+//! archived into `mh-pas` segment stores by `dlv archive`. The hosted
+//! ModelHub service (publish / search / pull) is a directory-based hub.
+//!
+//! ```
+//! use mh_dlv::{CommitRequest, Repository};
+//! use mh_dnn::{zoo, Weights};
+//!
+//! let dir = std::env::temp_dir().join(format!("dlv-doc-{}", std::process::id()));
+//! let repo = Repository::init(&dir).unwrap();
+//!
+//! // Commit a model version: network + weight snapshot(s) + metadata.
+//! let net = zoo::lenet_s(10);
+//! let mut req = CommitRequest::new("lenet", net);
+//! req.snapshots = vec![(0, Weights::init(&req.network, 42).unwrap())];
+//! req.comment = "initial version".into();
+//! let key = repo.commit(&req).unwrap();
+//! assert_eq!(key.to_string(), "lenet:1");
+//!
+//! // Explore it.
+//! assert_eq!(repo.list().len(), 1);
+//! assert!(repo.desc("lenet").unwrap().layers.len() > 5);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod diff;
+pub mod hash;
+pub mod hub;
+pub mod layercodec;
+pub mod repo;
+pub mod wfile;
+
+pub use diff::{diff, DiffReport};
+pub use hub::{Hub, SearchHit};
+pub use repo::{
+    ArchiveConfig, ArchiveId, ArchiveReport, CommitRequest, Repository, SnapshotInfo,
+    VersionDesc, VersionKey, VersionSummary,
+};
+
+/// Errors from DLV operations.
+#[derive(Debug)]
+pub enum DlvError {
+    Io(std::io::Error),
+    Store(mh_store::StoreError),
+    Network(mh_dnn::NetworkError),
+    Pas(mh_pas::PasError),
+    Pas2(mh_pas::PlanError),
+    Compress(mh_compress::CompressError),
+    Corrupt(&'static str),
+    NoSuchVersion(String),
+    NoSuchSnapshot(usize),
+    NoSuchFile(String),
+    AlreadyExists(String),
+    NotARepository(String),
+    EmptyCommit,
+    NothingToArchive,
+    /// Deletion refused: version is archived in a shared PAS store.
+    Archived(String),
+    /// Deletion refused: version has lineage descendants.
+    HasDescendants(String),
+}
+
+impl std::fmt::Display for DlvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Store(e) => write!(f, "catalog error: {e}"),
+            Self::Network(e) => write!(f, "network error: {e}"),
+            Self::Pas(e) => write!(f, "archival error: {e}"),
+            Self::Pas2(e) => write!(f, "archival plan error: {e}"),
+            Self::Compress(e) => write!(f, "compression error: {e}"),
+            Self::Corrupt(m) => write!(f, "corrupt repository: {m}"),
+            Self::NoSuchVersion(v) => write!(f, "no such model version '{v}'"),
+            Self::NoSuchSnapshot(i) => write!(f, "no such snapshot {i}"),
+            Self::NoSuchFile(p) => write!(f, "no such file '{p}'"),
+            Self::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            Self::NotARepository(p) => write!(f, "not a dlv repository: {p}"),
+            Self::EmptyCommit => write!(f, "commit needs at least one snapshot"),
+            Self::NothingToArchive => write!(f, "no staged snapshots to archive"),
+            Self::Archived(v) => write!(f, "'{v}' is archived; archived versions cannot be deleted"),
+            Self::HasDescendants(v) => write!(f, "'{v}' has lineage descendants; delete them first"),
+        }
+    }
+}
+
+impl std::error::Error for DlvError {}

@@ -1,0 +1,92 @@
+//! Binary weight-blob format: stores a [`Weights`] collection, compressed
+//! per matrix, for staged (not-yet-archived) snapshots.
+
+use crate::DlvError;
+use mh_compress::Level;
+use mh_dnn::Weights;
+use mh_tensor::Matrix;
+
+const MAGIC: &[u8; 4] = b"MHW1";
+
+/// Serialize weights to a compressed blob.
+pub fn weights_to_bytes(w: &Weights, level: Level) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(w.len() as u32).to_le_bytes());
+    for (name, m) in w.layers() {
+        let nb = name.as_bytes();
+        out.extend_from_slice(&(nb.len() as u32).to_le_bytes());
+        out.extend_from_slice(nb);
+        out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+        out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+        let packed = mh_compress::compress(&m.to_le_bytes(), level);
+        out.extend_from_slice(&(packed.len() as u64).to_le_bytes());
+        out.extend_from_slice(&packed);
+    }
+    out
+}
+
+/// Deserialize a blob produced by [`weights_to_bytes`].
+pub fn weights_from_bytes(data: &[u8]) -> Result<Weights, DlvError> {
+    let corrupt = |m: &'static str| DlvError::Corrupt(m);
+    if data.len() < 8 || &data[..4] != MAGIC {
+        return Err(corrupt("not a weight blob"));
+    }
+    let mut pos = 4usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], DlvError> {
+        if *pos + n > data.len() {
+            return Err(corrupt("truncated weight blob"));
+        }
+        let s = &data[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let mut w = Weights::new();
+    for _ in 0..count {
+        let nlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+            .map_err(|_| corrupt("bad layer name"))?;
+        let rows = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let cols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let plen = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let packed = take(&mut pos, plen)?;
+        let raw = mh_compress::decompress(packed).map_err(DlvError::Compress)?;
+        let m = Matrix::from_le_bytes(rows, cols, &raw)
+            .ok_or_else(|| corrupt("matrix size mismatch"))?;
+        w.insert(&name, m);
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mh_dnn::{zoo, Weights};
+
+    #[test]
+    fn roundtrip() {
+        let net = zoo::lenet_s(5);
+        let w = Weights::init(&net, 3).unwrap();
+        let blob = weights_to_bytes(&w, Level::Fast);
+        let back = weights_from_bytes(&blob).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let net = zoo::lenet_s(2);
+        let w = Weights::init(&net, 1).unwrap();
+        let blob = weights_to_bytes(&w, Level::Fast);
+        for cut in [0, 3, 10, blob.len() / 2, blob.len() - 1] {
+            assert!(weights_from_bytes(&blob[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_weights() {
+        let w = Weights::new();
+        let blob = weights_to_bytes(&w, Level::Fast);
+        assert_eq!(weights_from_bytes(&blob).unwrap(), w);
+    }
+}

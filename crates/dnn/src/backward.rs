@@ -1,0 +1,552 @@
+//! Backpropagation for chain networks with a softmax + cross-entropy head.
+//!
+//! ModelHub only needs training to *generate* realistic checkpoint
+//! trajectories (close-by snapshots, fine-tuned variants) — the substrate
+//! the archival experiments run on — so this is a straightforward
+//! CPU implementation.
+
+use crate::forward::{activate_grad, forward_trace, Trace};
+use crate::layer::{LayerKind, PoolKind};
+use crate::network::{Network, NetworkError, NodeId};
+use crate::weights::Weights;
+use mh_tensor::{Matrix, Tensor3};
+use std::collections::BTreeMap;
+
+/// Per-layer weight gradients (same shapes as the weights).
+#[derive(Debug, Clone, Default)]
+pub struct Gradients {
+    pub mats: BTreeMap<String, Matrix>,
+    /// Cross-entropy loss of the forward pass that produced these gradients.
+    pub loss: f32,
+}
+
+impl Gradients {
+    /// Elementwise accumulate another gradient set (for minibatching).
+    pub fn accumulate(&mut self, other: &Gradients) {
+        for (name, g) in &other.mats {
+            match self.mats.get_mut(name) {
+                Some(acc) => {
+                    let s = acc.as_mut_slice();
+                    for (a, b) in s.iter_mut().zip(g.as_slice()) {
+                        *a += b;
+                    }
+                }
+                None => {
+                    self.mats.insert(name.clone(), g.clone());
+                }
+            }
+        }
+        self.loss += other.loss;
+    }
+
+    /// Scale all gradients (e.g. by 1/batch).
+    pub fn scale(&mut self, s: f32) {
+        for g in self.mats.values_mut() {
+            for v in g.as_mut_slice() {
+                *v *= s;
+            }
+        }
+        self.loss *= s;
+    }
+}
+
+/// Cross-entropy loss of a probability vector against a label.
+pub fn cross_entropy(probs: &Tensor3, label: usize) -> f32 {
+    let p = probs.as_slice().get(label).copied().unwrap_or(0.0);
+    -(p.max(1e-12)).ln()
+}
+
+/// Run forward + backward for one labelled example, returning weight
+/// gradients and the loss. The network's final layer must be Softmax.
+pub fn backward(
+    net: &Network,
+    weights: &Weights,
+    input: &Tensor3,
+    label: usize,
+) -> Result<Gradients, NetworkError> {
+    let trace = forward_trace(net, weights, input)?;
+    backward_from_trace(net, weights, input, label, &trace)
+}
+
+/// Backward pass reusing a recorded forward trace.
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
+pub fn backward_from_trace(
+    net: &Network,
+    weights: &Weights,
+    input: &Tensor3,
+    label: usize,
+    trace: &Trace,
+) -> Result<Gradients, NetworkError> {
+    let order = net.topo_order()?;
+    let input_id = net.input_node()?;
+    let last = *order.last().ok_or(NetworkError::BadInput)?;
+    let last_node = net.node(last)?;
+    if !matches!(last_node.kind, LayerKind::Softmax) {
+        return Err(NetworkError::ShapeMismatch { node: last_node.name.clone() });
+    }
+
+    let probs = &trace.activations[&last];
+    let loss = cross_entropy(probs, label);
+
+    // dL/d(softmax input) = p - onehot.
+    let mut grad: Tensor3 = {
+        let mut g = probs.clone();
+        let s = g.as_mut_slice();
+        if label < s.len() {
+            s[label] -= 1.0;
+        }
+        g
+    };
+
+    let node_input = |id: NodeId| -> Result<Tensor3, NetworkError> {
+        if id == input_id {
+            Ok(input.clone())
+        } else {
+            let prev = net.prev(id);
+            if prev.len() != 1 {
+                return Err(NetworkError::NotAChain { node: net.node(id)?.name.clone() });
+            }
+            Ok(trace.activations[&prev[0]].clone())
+        }
+    };
+
+    let mut grads = Gradients { mats: BTreeMap::new(), loss };
+    // Skip the softmax node itself: `grad` is already dL/d(its input).
+    for &id in order.iter().rev().skip(1) {
+        let node = net.node(id)?;
+        let x = node_input(id)?;
+        grad = match &node.kind {
+            LayerKind::Input { .. } => break,
+            LayerKind::Full { out } => {
+                let w = weights
+                    .get(&node.name)
+                    .ok_or(NetworkError::ShapeMismatch { node: node.name.clone() })?;
+                let n_in = x.len();
+                let mut dw = Matrix::zeros(*out, n_in + 1);
+                let mut dx = Tensor3::zeros(x.shape().0, x.shape().1, x.shape().2);
+                let g = grad.as_slice();
+                let xs = x.as_slice();
+                for o in 0..*out {
+                    let go = g[o];
+                    if go != 0.0 {
+                        for i in 0..n_in {
+                            dw.set(o, i, go * xs[i]);
+                        }
+                        dw.set(o, n_in, go);
+                        let row = w.row(o);
+                        for (dxi, wi) in dx.as_mut_slice().iter_mut().zip(&row[..n_in]) {
+                            *dxi += go * wi;
+                        }
+                    }
+                }
+                grads.mats.insert(node.name.clone(), dw);
+                dx
+            }
+            LayerKind::Conv { out_channels, kernel, stride, pad } => {
+                let w = weights
+                    .get(&node.name)
+                    .ok_or(NetworkError::ShapeMismatch { node: node.name.clone() })?;
+                let (in_c, _, _) = x.shape();
+                let (oc, oh, ow) = grad.shape();
+                debug_assert_eq!(oc, *out_channels);
+                let k = *kernel;
+                let bias_col = in_c * k * k;
+                let mut dw = Matrix::zeros(oc, bias_col + 1);
+                let mut dx = Tensor3::zeros(x.shape().0, x.shape().1, x.shape().2);
+                let (_, ih, iw) = x.shape();
+                for o in 0..oc {
+                    let wrow = w.row(o);
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = grad.get(o, oy, ox);
+                            if g == 0.0 {
+                                continue;
+                            }
+                            dw.set(o, bias_col, dw.get(o, bias_col) + g);
+                            let y0 = (oy * stride) as isize - *pad as isize;
+                            let x0 = (ox * stride) as isize - *pad as isize;
+                            for ic in 0..in_c {
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        let yy = y0 + ky as isize;
+                                        let xx = x0 + kx as isize;
+                                        if yy < 0
+                                            || xx < 0
+                                            || yy as usize >= ih
+                                            || xx as usize >= iw
+                                        {
+                                            continue;
+                                        }
+                                        let widx = (ic * k + ky) * k + kx;
+                                        let xv = x.get(ic, yy as usize, xx as usize);
+                                        dw.set(o, widx, dw.get(o, widx) + g * xv);
+                                        let cur = dx.get(ic, yy as usize, xx as usize);
+                                        dx.set(
+                                            ic,
+                                            yy as usize,
+                                            xx as usize,
+                                            cur + g * wrow[widx],
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                grads.mats.insert(node.name.clone(), dw);
+                dx
+            }
+            LayerKind::Pool { kind, size, stride } => {
+                let (c, _, _) = x.shape();
+                let (_, oh, ow) = grad.shape();
+                let mut dx = Tensor3::zeros(x.shape().0, x.shape().1, x.shape().2);
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = grad.get(ch, oy, ox);
+                            if g == 0.0 {
+                                continue;
+                            }
+                            match kind {
+                                PoolKind::Max => {
+                                    // Route to the (first) argmax position.
+                                    let mut best = f32::NEG_INFINITY;
+                                    let (mut by, mut bx) = (0, 0);
+                                    for ky in 0..*size {
+                                        for kx in 0..*size {
+                                            let v = x.get(
+                                                ch,
+                                                oy * stride + ky,
+                                                ox * stride + kx,
+                                            );
+                                            if v > best {
+                                                best = v;
+                                                by = oy * stride + ky;
+                                                bx = ox * stride + kx;
+                                            }
+                                        }
+                                    }
+                                    dx.set(ch, by, bx, dx.get(ch, by, bx) + g);
+                                }
+                                PoolKind::Avg => {
+                                    let share = g / (*size * *size) as f32;
+                                    for ky in 0..*size {
+                                        for kx in 0..*size {
+                                            let (yy, xx) =
+                                                (oy * stride + ky, ox * stride + kx);
+                                            dx.set(ch, yy, xx, dx.get(ch, yy, xx) + share);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                dx
+            }
+            LayerKind::Act(a) => {
+                let mut dx = grad.clone();
+                for (d, xi) in dx.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                    *d *= activate_grad(*a, *xi);
+                }
+                // Reshape to the input's shape (identical sizes).
+                Tensor3::from_vec(x.shape().0, x.shape().1, x.shape().2, dx.into_vec())
+            }
+            LayerKind::Flatten | LayerKind::Dropout { .. } => {
+                Tensor3::from_vec(x.shape().0, x.shape().1, x.shape().2, grad.as_slice().to_vec())
+            }
+            LayerKind::Lrn { size, alpha, beta, k } => {
+                // y_i = x_i · b_i^{-β} with b_i = k + (α/n)·Σ_{j∈W(i)} x_j².
+                // dx_m = g_m·b_m^{-β} − (2αβ/n)·x_m·Σ_{i: m∈W(i)} g_i·x_i·b_i^{-β-1}.
+                let (c, h, w) = x.shape();
+                let n = *size as f32;
+                let scale = *alpha / n;
+                let mut dx = Tensor3::zeros(c, h, w);
+                for yy in 0..h {
+                    for xx in 0..w {
+                        // Precompute b_i per channel at this position.
+                        let mut b = vec![*k; c];
+                        for (i, bi) in b.iter_mut().enumerate() {
+                            let (lo, hi) = crate::forward::lrn_window(i, c, *size);
+                            for j in lo..hi {
+                                let v = x.get(j, yy, xx);
+                                *bi += scale * v * v;
+                            }
+                        }
+                        for m in 0..c {
+                            let gm = grad.get(m, yy, xx);
+                            let mut acc = gm * b[m].powf(-beta);
+                            // Channels i whose window contains m are the
+                            // same set as m's own window (symmetric).
+                            let (lo, hi) = crate::forward::lrn_window(m, c, *size);
+                            let xm = x.get(m, yy, xx);
+                            let mut cross = 0.0f32;
+                            for i in lo..hi {
+                                cross += grad.get(i, yy, xx)
+                                    * x.get(i, yy, xx)
+                                    * b[i].powf(-beta - 1.0);
+                            }
+                            acc -= 2.0 * scale * *beta * xm * cross;
+                            dx.set(m, yy, xx, acc);
+                        }
+                    }
+                }
+                dx
+            }
+            LayerKind::Softmax => unreachable!("softmax skipped above"),
+        };
+    }
+    Ok(grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::forward;
+    use crate::layer::{Activation, LayerKind, PoolKind};
+    use crate::network::Network;
+    use crate::weights::Weights;
+
+    fn lenet_micro() -> (Network, Weights) {
+        let mut n = Network::new();
+        n.append("data", LayerKind::Input { channels: 1, height: 6, width: 6 }).unwrap();
+        n.append("conv1", LayerKind::Conv { out_channels: 2, kernel: 3, stride: 1, pad: 0 })
+            .unwrap();
+        n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
+        n.append("pool1", LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 }).unwrap();
+        n.append("fc1", LayerKind::Full { out: 3 }).unwrap();
+        n.append("prob", LayerKind::Softmax).unwrap();
+        let w = Weights::init(&n, 99).unwrap();
+        (n, w)
+    }
+
+    fn numeric_grad(
+        net: &Network,
+        weights: &Weights,
+        input: &Tensor3,
+        label: usize,
+        layer: &str,
+        r: usize,
+        c: usize,
+    ) -> f32 {
+        let eps = 1e-3;
+        let mut wp = weights.clone();
+        let m = wp.get_mut(layer).unwrap();
+        let orig = m.get(r, c);
+        m.set(r, c, orig + eps);
+        let lp = cross_entropy(&forward(net, &wp, input).unwrap(), label);
+        let m = wp.get_mut(layer).unwrap();
+        m.set(r, c, orig - eps);
+        let lm = cross_entropy(&forward(net, &wp, input).unwrap(), label);
+        (lp - lm) / (2.0 * eps)
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (net, weights) = lenet_micro();
+        let input = Tensor3::from_vec(
+            1,
+            6,
+            6,
+            (0..36).map(|i| ((i as f32) * 0.37).sin() * 0.8).collect(),
+        );
+        let label = 1usize;
+        let grads = backward(&net, &weights, &input, label).unwrap();
+        for layer in ["conv1", "fc1"] {
+            let g = &grads.mats[layer];
+            // Spot-check a grid of entries including the bias column.
+            let (rows, cols) = g.shape();
+            for &(r, c) in &[
+                (0, 0),
+                (0, cols - 1),
+                (rows - 1, cols / 2),
+                (rows / 2, 1),
+            ] {
+                let num = numeric_grad(&net, &weights, &input, label, layer, r, c);
+                let ana = g.get(r, c);
+                assert!(
+                    (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                    "{layer}[{r},{c}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_decreases_with_a_gradient_step() {
+        let (net, mut weights) = lenet_micro();
+        let input = Tensor3::filled(1, 6, 6, 0.5);
+        let label = 2usize;
+        let before = cross_entropy(&forward(&net, &weights, &input).unwrap(), label);
+        for _ in 0..10 {
+            let grads = backward(&net, &weights, &input, label).unwrap();
+            for (name, g) in &grads.mats {
+                let m = weights.get_mut(name).unwrap();
+                for (w, d) in m.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *w -= 0.5 * d;
+                }
+            }
+        }
+        let after = cross_entropy(&forward(&net, &weights, &input).unwrap(), label);
+        assert!(after < before, "loss must drop: {before} -> {after}");
+        assert!(after < 0.1, "overfitting one point should reach near-zero loss: {after}");
+    }
+
+    #[test]
+    fn avg_pool_gradient_flows() {
+        let mut n = Network::new();
+        n.append("data", LayerKind::Input { channels: 1, height: 4, width: 4 }).unwrap();
+        n.append("pool", LayerKind::Pool { kind: PoolKind::Avg, size: 2, stride: 2 }).unwrap();
+        n.append("fc", LayerKind::Full { out: 2 }).unwrap();
+        n.append("prob", LayerKind::Softmax).unwrap();
+        let w = Weights::init(&n, 5).unwrap();
+        let x = Tensor3::filled(1, 4, 4, 1.0);
+        let g = backward(&n, &w, &x, 0).unwrap();
+        assert!(g.mats.contains_key("fc"));
+        assert!(g.loss > 0.0);
+    }
+
+    #[test]
+    fn training_head_must_be_softmax() {
+        let mut n = Network::new();
+        n.append("data", LayerKind::Input { channels: 1, height: 2, width: 2 }).unwrap();
+        n.append("fc", LayerKind::Full { out: 2 }).unwrap();
+        let w = Weights::init(&n, 5).unwrap();
+        let x = Tensor3::filled(1, 2, 2, 1.0);
+        assert!(backward(&n, &w, &x, 0).is_err());
+    }
+
+    #[test]
+    fn gradient_accumulate_and_scale() {
+        let (net, weights) = lenet_micro();
+        let x = Tensor3::filled(1, 6, 6, 0.3);
+        let g1 = backward(&net, &weights, &x, 0).unwrap();
+        let mut acc = Gradients::default();
+        acc.accumulate(&g1);
+        acc.accumulate(&g1);
+        acc.scale(0.5);
+        for (name, g) in &g1.mats {
+            let a = &acc.mats[name];
+            for (x, y) in a.as_slice().iter().zip(g.as_slice()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+        assert!((acc.loss - g1.loss).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod lrn_tests {
+    use super::*;
+    use crate::forward::{forward, lrn_forward};
+    use crate::layer::{Activation, LayerKind};
+    use crate::network::Network;
+    use crate::weights::Weights;
+    use mh_tensor::Tensor3;
+
+    fn lrn_net() -> (Network, Weights) {
+        let mut n = Network::new();
+        n.append("data", LayerKind::Input { channels: 1, height: 6, width: 6 }).unwrap();
+        n.append("conv1", LayerKind::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 0 })
+            .unwrap();
+        n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
+        n.append("norm1", LayerKind::Lrn { size: 3, alpha: 0.5, beta: 0.75, k: 2.0 }).unwrap();
+        n.append("fc1", LayerKind::Full { out: 3 }).unwrap();
+        n.append("prob", LayerKind::Softmax).unwrap();
+        let w = Weights::init(&n, 31).unwrap();
+        (n, w)
+    }
+
+    #[test]
+    fn lrn_forward_known_values() {
+        // Single position, 2 channels, window 3 (covers both).
+        let x = Tensor3::from_vec(2, 1, 1, vec![3.0, 4.0]);
+        let y = lrn_forward(&x, 3, 3.0, 1.0, 1.0);
+        // b = 1 + (3/3)*(9+16) = 26 for both channels; beta=1 -> divide.
+        assert!((y.as_slice()[0] - 3.0 / 26.0).abs() < 1e-6);
+        assert!((y.as_slice()[1] - 4.0 / 26.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lrn_gradient_matches_finite_difference() {
+        let (net, weights) = lrn_net();
+        let input = Tensor3::from_vec(
+            1,
+            6,
+            6,
+            (0..36).map(|i| ((i as f32) * 0.53).sin() * 0.7).collect(),
+        );
+        let label = 2usize;
+        let grads = backward(&net, &weights, &input, label).unwrap();
+        // Finite differences through the whole network including LRN.
+        for layer in ["conv1", "fc1"] {
+            let g = &grads.mats[layer];
+            let (rows, cols) = g.shape();
+            for &(r, c) in &[(0usize, 0usize), (rows - 1, cols - 1), (rows / 2, cols / 2)] {
+                let eps = 1e-3;
+                let mut wp = weights.clone();
+                let m = wp.get_mut(layer).unwrap();
+                let orig = m.get(r, c);
+                m.set(r, c, orig + eps);
+                let lp = cross_entropy(&forward(&net, &wp, &input).unwrap(), label);
+                let m = wp.get_mut(layer).unwrap();
+                m.set(r, c, orig - eps);
+                let lm = cross_entropy(&forward(&net, &wp, &input).unwrap(), label);
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = g.get(r, c);
+                assert!(
+                    (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                    "{layer}[{r},{c}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lrn_interval_contains_exact() {
+        use crate::interval::{interval_forward, IntervalWeights};
+        use mh_tensor::SegmentedMatrix;
+        let (net, weights) = lrn_net();
+        let input = Tensor3::from_vec(1, 6, 6, (0..36).map(|i| ((i as f32) * 0.21).cos()).collect());
+        let exact = forward(&net, &weights, &input).unwrap();
+        for k in 1..=4usize {
+            let mut iw = IntervalWeights::default();
+            for (name, m) in weights.layers() {
+                let (lo, hi) = SegmentedMatrix::from_matrix(m).bounds(k);
+                iw.insert(name, lo, hi);
+            }
+            let iv = interval_forward(&net, &iw, &input).unwrap();
+            assert!(iv.is_valid(), "k={k}");
+            assert!(iv.contains(&exact), "k={k}: exact escapes LRN interval");
+        }
+    }
+
+    #[test]
+    fn training_through_lrn_reduces_loss() {
+        use crate::data::{synth_dataset, SynthConfig};
+        use crate::train::{Hyperparams, Trainer};
+        let mut n = Network::new();
+        n.append("data", LayerKind::Input { channels: 1, height: 8, width: 8 }).unwrap();
+        n.append("conv1", LayerKind::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 0 })
+            .unwrap();
+        n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
+        n.append("norm1", LayerKind::Lrn { size: 3, alpha: 1e-2, beta: 0.75, k: 1.0 }).unwrap();
+        n.append("fc1", LayerKind::Full { out: 2 }).unwrap();
+        n.append("prob", LayerKind::Softmax).unwrap();
+        let data = synth_dataset(&SynthConfig {
+            num_classes: 2,
+            height: 8,
+            width: 8,
+            train_per_class: 10,
+            test_per_class: 5,
+            noise: 0.05,
+            seed: 6,
+        });
+        let trainer = Trainer::new(Hyperparams { base_lr: 0.1, ..Default::default() });
+        let init = Weights::init(&n, 5).unwrap();
+        let r = trainer.train(&n, init, &data, 40).unwrap();
+        let first: f32 = r.log[..5].iter().map(|e| e.loss).sum::<f32>() / 5.0;
+        let last: f32 = r.log[35..].iter().map(|e| e.loss).sum::<f32>() / 5.0;
+        assert!(last < first, "loss should fall through LRN: {first} -> {last}");
+    }
+}

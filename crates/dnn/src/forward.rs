@@ -1,0 +1,363 @@
+//! Forward evaluation of a network on a data point (`dlv eval`, DQL
+//! `evaluate`, and the testing half of the lifecycle loop).
+
+use crate::layer::{Activation, LayerKind, PoolKind};
+use crate::network::{Network, NetworkError, NodeId};
+use crate::weights::Weights;
+use mh_tensor::Tensor3;
+use std::collections::BTreeMap;
+
+/// Full forward trace: activation at every node (kept for backprop and
+/// debugging queries).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Output activation per node, in topological order.
+    pub activations: BTreeMap<NodeId, Tensor3>,
+    /// The final (sink) node's output.
+    pub output: Tensor3,
+}
+
+/// Run the network forward on one input, recording every activation.
+pub fn forward_trace(
+    net: &Network,
+    weights: &Weights,
+    input: &Tensor3,
+) -> Result<Trace, NetworkError> {
+    let order = net.topo_order()?;
+    let input_id = net.input_node()?;
+    let mut acts: BTreeMap<NodeId, Tensor3> = BTreeMap::new();
+    let mut last = input_id;
+    for id in order {
+        let node = net.node(id)?;
+        let x = if id == input_id {
+            input.clone()
+        } else {
+            let prev = net.prev(id);
+            if prev.len() != 1 {
+                return Err(NetworkError::NotAChain { node: node.name.clone() });
+            }
+            acts[&prev[0]].clone()
+        };
+        let y = apply_layer(&node.kind, &node.name, weights, &x)?;
+        acts.insert(id, y);
+        last = id;
+    }
+    let output = acts[&last].clone();
+    Ok(Trace { activations: acts, output })
+}
+
+/// Run the network forward, returning only the output activation.
+pub fn forward(
+    net: &Network,
+    weights: &Weights,
+    input: &Tensor3,
+) -> Result<Tensor3, NetworkError> {
+    Ok(forward_trace(net, weights, input)?.output)
+}
+
+/// Predict the class label (argmax of the final activation).
+pub fn predict(
+    net: &Network,
+    weights: &Weights,
+    input: &Tensor3,
+) -> Result<usize, NetworkError> {
+    Ok(forward(net, weights, input)?.argmax())
+}
+
+/// Classification accuracy over a labelled set.
+pub fn accuracy(
+    net: &Network,
+    weights: &Weights,
+    data: &[(Tensor3, usize)],
+) -> Result<f32, NetworkError> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (x, label) in data {
+        if predict(net, weights, x)? == *label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / data.len() as f32)
+}
+
+/// Apply a single layer.
+pub fn apply_layer(
+    kind: &LayerKind,
+    name: &str,
+    weights: &Weights,
+    x: &Tensor3,
+) -> Result<Tensor3, NetworkError> {
+    let missing = || NetworkError::ShapeMismatch { node: name.to_string() };
+    match *kind {
+        LayerKind::Input { channels, height, width } => {
+            if x.shape() != (channels, height, width) {
+                return Err(missing());
+            }
+            Ok(x.clone())
+        }
+        LayerKind::Conv { out_channels, kernel, stride, pad } => {
+            let w = weights.get(name).ok_or_else(missing)?;
+            conv_forward(x, w, out_channels, kernel, stride, pad, name)
+        }
+        LayerKind::Pool { kind, size, stride } => Ok(pool_forward(x, kind, size, stride)),
+        LayerKind::Full { out } => {
+            let w = weights.get(name).ok_or_else(missing)?;
+            if w.cols() != x.len() + 1 || w.rows() != out {
+                return Err(missing());
+            }
+            let mut y = Tensor3::zeros(out, 1, 1);
+            let flat = x.as_slice();
+            for o in 0..out {
+                let row = w.row(o);
+                let mut acc = row[x.len()]; // bias
+                for (wi, xi) in row[..x.len()].iter().zip(flat) {
+                    acc += wi * xi;
+                }
+                y.as_mut_slice()[o] = acc;
+            }
+            Ok(y)
+        }
+        LayerKind::Act(a) => Ok(x.map(|v| activate(a, v))),
+        LayerKind::Flatten => {
+            Ok(Tensor3::from_vec(x.len(), 1, 1, x.as_slice().to_vec()))
+        }
+        LayerKind::Softmax => Ok(softmax(x)),
+        LayerKind::Dropout { .. } => Ok(x.clone()), // identity at inference
+        LayerKind::Lrn { size, alpha, beta, k } => Ok(lrn_forward(x, size, alpha, beta, k)),
+    }
+}
+
+/// Channel window `[lo, hi)` around channel `i` for an LRN of width `size`.
+#[inline]
+pub(crate) fn lrn_window(i: usize, c: usize, size: usize) -> (usize, usize) {
+    let half = size / 2;
+    (i.saturating_sub(half), (i + half + 1).min(c))
+}
+
+/// Local response normalization across channels.
+pub fn lrn_forward(x: &Tensor3, size: usize, alpha: f32, beta: f32, k: f32) -> Tensor3 {
+    let (c, h, w) = x.shape();
+    let mut y = Tensor3::zeros(c, h, w);
+    let scale = alpha / size as f32;
+    for yy in 0..h {
+        for xx in 0..w {
+            for i in 0..c {
+                let (lo, hi) = lrn_window(i, c, size);
+                let mut acc = k;
+                for j in lo..hi {
+                    let v = x.get(j, yy, xx);
+                    acc += scale * v * v;
+                }
+                y.set(i, yy, xx, x.get(i, yy, xx) * acc.powf(-beta));
+            }
+        }
+    }
+    y
+}
+
+#[inline]
+pub fn activate(a: Activation, v: f32) -> f32 {
+    match a {
+        Activation::ReLU => v.max(0.0),
+        Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        Activation::Tanh => v.tanh(),
+    }
+}
+
+/// Derivative of the activation given its *input* value.
+#[inline]
+pub fn activate_grad(a: Activation, v: f32) -> f32 {
+    match a {
+        Activation::ReLU => {
+            if v > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Activation::Sigmoid => {
+            let s = 1.0 / (1.0 + (-v).exp());
+            s * (1.0 - s)
+        }
+        Activation::Tanh => 1.0 - v.tanh().powi(2),
+    }
+}
+
+fn conv_forward(
+    x: &Tensor3,
+    w: &mh_tensor::Matrix,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    name: &str,
+) -> Result<Tensor3, NetworkError> {
+    let (in_c, h, win) = x.shape();
+    let kind = LayerKind::Conv { out_channels, kernel, stride, pad };
+    let (oc, oh, ow) = kind
+        .output_shape((in_c, h, win))
+        .ok_or(NetworkError::ShapeMismatch { node: name.to_string() })?;
+    if w.shape() != (out_channels, in_c * kernel * kernel + 1) {
+        return Err(NetworkError::ShapeMismatch { node: name.to_string() });
+    }
+    let mut y = Tensor3::zeros(oc, oh, ow);
+    let bias_col = in_c * kernel * kernel;
+    for o in 0..oc {
+        let row = w.row(o);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = row[bias_col];
+                let y0 = (oy * stride) as isize - pad as isize;
+                let x0 = (ox * stride) as isize - pad as isize;
+                for ic in 0..in_c {
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let v = x.get_padded(ic, y0 + ky as isize, x0 + kx as isize);
+                            if v != 0.0 {
+                                acc += row[(ic * kernel + ky) * kernel + kx] * v;
+                            }
+                        }
+                    }
+                }
+                y.set(o, oy, ox, acc);
+            }
+        }
+    }
+    Ok(y)
+}
+
+fn pool_forward(x: &Tensor3, kind: PoolKind, size: usize, stride: usize) -> Tensor3 {
+    let (c, h, w) = x.shape();
+    let oh = (h - size) / stride + 1;
+    let ow = (w - size) / stride + 1;
+    let mut y = Tensor3::zeros(c, oh, ow);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut sum = 0.0f32;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        let v = x.get(ch, oy * stride + ky, ox * stride + kx);
+                        best = best.max(v);
+                        sum += v;
+                    }
+                }
+                let out = match kind {
+                    PoolKind::Max => best,
+                    PoolKind::Avg => sum / (size * size) as f32,
+                };
+                y.set(ch, oy, ox, out);
+            }
+        }
+    }
+    y
+}
+
+/// Numerically-stable softmax over the flattened tensor.
+pub fn softmax(x: &Tensor3) -> Tensor3 {
+    let m = x
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.as_slice().iter().map(|&v| (v - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    Tensor3::from_vec(x.len(), 1, 1, exps.into_iter().map(|e| e / z).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use mh_tensor::Matrix;
+
+    fn chain() -> (Network, Weights) {
+        let mut n = Network::new();
+        n.append("data", LayerKind::Input { channels: 1, height: 4, width: 4 }).unwrap();
+        n.append("conv1", LayerKind::Conv { out_channels: 1, kernel: 2, stride: 1, pad: 0 })
+            .unwrap();
+        n.append("pool1", LayerKind::Pool { kind: PoolKind::Max, size: 3, stride: 1 }).unwrap();
+        n.append("fc1", LayerKind::Full { out: 2 }).unwrap();
+        n.append("prob", LayerKind::Softmax).unwrap();
+        let mut w = Weights::new();
+        // conv kernel = all ones, bias 1.
+        w.insert("conv1", Matrix::from_vec(1, 5, vec![1.0, 1.0, 1.0, 1.0, 1.0]));
+        w.insert("fc1", Matrix::from_vec(2, 2, vec![1.0, 0.0, -1.0, 0.0]));
+        (n, w)
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let (n, w) = chain();
+        let x = Tensor3::filled(1, 4, 4, 1.0);
+        // conv output: each 2x2 window sums to 4, +1 bias = 5 (3x3 map).
+        // max pool 3x3 -> 5. fc: [5*1+0, 5*-1+0] = [5, -5].
+        let tr = forward_trace(&n, &w, &x).unwrap();
+        let fc = n.node_by_name("fc1").unwrap().id;
+        assert_eq!(tr.activations[&fc].as_slice(), &[5.0, -5.0]);
+        let p = tr.output;
+        assert!((p.as_slice()[0] + p.as_slice()[1] - 1.0).abs() < 1e-6);
+        assert!(p.as_slice()[0] > 0.99);
+        assert_eq!(predict(&n, &w, &x).unwrap(), 0);
+    }
+
+    #[test]
+    fn avg_pool() {
+        let x = Tensor3::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = pool_forward(&x, PoolKind::Avg, 2, 2);
+        assert_eq!(y.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn conv_with_padding_and_stride() {
+        let x = Tensor3::filled(1, 3, 3, 1.0);
+        let w = Matrix::from_vec(1, 10, vec![1.0; 10]);
+        let y = conv_forward(&x, &w, 1, 3, 2, 1, "c").unwrap();
+        assert_eq!(y.shape(), (1, 2, 2));
+        // Top-left window covers 4 real pixels (corner) + bias 1 = 5.
+        assert_eq!(y.get(0, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let x = Tensor3::from_vec(3, 1, 1, vec![1000.0, 1000.0, 1000.0]);
+        let p = softmax(&x);
+        assert!((p.as_slice().iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        for &v in p.as_slice() {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn missing_weights_is_error() {
+        let (n, _) = chain();
+        let w = Weights::new();
+        let x = Tensor3::filled(1, 4, 4, 1.0);
+        assert!(forward(&n, &w, &x).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let (n, w) = chain();
+        let pos = Tensor3::filled(1, 4, 4, 1.0);
+        let neg = Tensor3::filled(1, 4, 4, -1.0);
+        // pos predicts 0; neg: conv = -4+1=-3, fc = [-3, 3] -> class 1.
+        let data = vec![(pos, 0), (neg, 1)];
+        assert_eq!(accuracy(&n, &w, &data).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn activation_grads_match_finite_difference() {
+        for a in [Activation::ReLU, Activation::Sigmoid, Activation::Tanh] {
+            for v in [-1.5f32, -0.3, 0.2, 2.0] {
+                let eps = 1e-3;
+                let num = (activate(a, v + eps) - activate(a, v - eps)) / (2.0 * eps);
+                let ana = activate_grad(a, v);
+                assert!((num - ana).abs() < 1e-2, "{a:?} at {v}: {num} vs {ana}");
+            }
+        }
+    }
+}

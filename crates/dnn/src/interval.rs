@@ -1,0 +1,488 @@
+//! Interval (perturbation-aware) forward evaluation — §IV-D of the paper.
+//!
+//! When PAS has retrieved only the high-order byte planes of the weights,
+//! each weight is known to lie in an interval `[w_min, w_max]`. This module
+//! evaluates the network carrying 2-D perturbation bounds instead of point
+//! activations, and implements the error-determinism condition (Lemma 4):
+//! if one class's lower output bound exceeds every other class's upper
+//! bound, the prediction is certain and the low-order bytes never need to
+//! be read.
+
+use crate::forward::activate;
+use crate::layer::{LayerKind, PoolKind};
+use crate::network::{Network, NetworkError};
+use crate::weights::Weights;
+use mh_tensor::{Matrix, Tensor3};
+use std::collections::BTreeMap;
+
+/// An activation tensor with elementwise lower/upper bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalTensor {
+    pub lo: Tensor3,
+    pub hi: Tensor3,
+}
+
+impl IntervalTensor {
+    /// Exact (zero-width) interval around a tensor.
+    pub fn exact(t: &Tensor3) -> Self {
+        Self { lo: t.clone(), hi: t.clone() }
+    }
+
+    pub fn shape(&self) -> (usize, usize, usize) {
+        self.lo.shape()
+    }
+
+    /// Maximum interval width across elements.
+    pub fn max_width(&self) -> f32 {
+        self.lo
+            .as_slice()
+            .iter()
+            .zip(self.hi.as_slice())
+            .map(|(l, h)| h - l)
+            .fold(0.0, f32::max)
+    }
+
+    /// Every element's interval must be non-empty.
+    pub fn is_valid(&self) -> bool {
+        self.lo
+            .as_slice()
+            .iter()
+            .zip(self.hi.as_slice())
+            .all(|(l, h)| l <= h && l.is_finite() && h.is_finite())
+    }
+
+    /// Whether `t` lies within the bounds elementwise.
+    pub fn contains(&self, t: &Tensor3) -> bool {
+        self.lo
+            .as_slice()
+            .iter()
+            .zip(self.hi.as_slice())
+            .zip(t.as_slice())
+            .all(|((l, h), x)| l <= x && x <= h)
+    }
+}
+
+/// Weight bounds per parametric layer: `(W_min, W_max)`.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalWeights {
+    pub bounds: BTreeMap<String, (Matrix, Matrix)>,
+}
+
+impl IntervalWeights {
+    /// Zero-width intervals from exact weights.
+    pub fn exact(w: &Weights) -> Self {
+        Self {
+            bounds: w
+                .layers()
+                .map(|(n, m)| (n.clone(), (m.clone(), m.clone())))
+                .collect(),
+        }
+    }
+
+    pub fn insert(&mut self, layer: &str, lo: Matrix, hi: Matrix) {
+        assert_eq!(lo.shape(), hi.shape(), "interval bound shapes differ");
+        self.bounds.insert(layer.to_string(), (lo, hi));
+    }
+
+    pub fn get(&self, layer: &str) -> Option<(&Matrix, &Matrix)> {
+        self.bounds.get(layer).map(|(l, h)| (l, h))
+    }
+}
+
+/// Interval product bound: `[wl,wh] * x` for exact `x >= or < 0`, or the
+/// general four-product min/max.
+#[inline]
+fn imul(wl: f32, wh: f32, xl: f32, xh: f32) -> (f32, f32) {
+    // General case: extremes among the four corner products.
+    let a = wl * xl;
+    let b = wl * xh;
+    let c = wh * xl;
+    let d = wh * xh;
+    (a.min(b).min(c).min(d), a.max(b).max(c).max(d))
+}
+
+/// Evaluate the network on an exact input with interval weights, returning
+/// bounds on the final activation.
+pub fn interval_forward(
+    net: &Network,
+    iw: &IntervalWeights,
+    input: &Tensor3,
+) -> Result<IntervalTensor, NetworkError> {
+    let order = net.topo_order()?;
+    let input_id = net.input_node()?;
+    let mut acts: BTreeMap<usize, IntervalTensor> = BTreeMap::new();
+    let mut last = input_id;
+    for id in order {
+        let node = net.node(id)?;
+        let x = if id == input_id {
+            IntervalTensor::exact(input)
+        } else {
+            let prev = net.prev(id);
+            if prev.len() != 1 {
+                return Err(NetworkError::NotAChain { node: node.name.clone() });
+            }
+            acts[&prev[0]].clone()
+        };
+        let y = apply_interval_layer(&node.kind, &node.name, iw, &x)?;
+        acts.insert(id, y);
+        last = id;
+    }
+    Ok(acts.remove(&last).expect("last node evaluated"))
+}
+
+fn apply_interval_layer(
+    kind: &LayerKind,
+    name: &str,
+    iw: &IntervalWeights,
+    x: &IntervalTensor,
+) -> Result<IntervalTensor, NetworkError> {
+    let missing = || NetworkError::ShapeMismatch { node: name.to_string() };
+    match *kind {
+        LayerKind::Input { .. } => Ok(x.clone()),
+        LayerKind::Full { out } => {
+            let (wl, wh) = iw.get(name).ok_or_else(missing)?;
+            let n_in = x.lo.len();
+            if wl.cols() != n_in + 1 || wl.rows() != out {
+                return Err(missing());
+            }
+            let mut lo = Tensor3::zeros(out, 1, 1);
+            let mut hi = Tensor3::zeros(out, 1, 1);
+            for o in 0..out {
+                let rl = wl.row(o);
+                let rh = wh.row(o);
+                let mut acc_l = rl[n_in];
+                let mut acc_h = rh[n_in];
+                for i in 0..n_in {
+                    let (pl, ph) =
+                        imul(rl[i], rh[i], x.lo.as_slice()[i], x.hi.as_slice()[i]);
+                    acc_l += pl;
+                    acc_h += ph;
+                }
+                lo.as_mut_slice()[o] = acc_l;
+                hi.as_mut_slice()[o] = acc_h;
+            }
+            Ok(IntervalTensor { lo, hi })
+        }
+        LayerKind::Conv { out_channels, kernel, stride, pad } => {
+            let (wl, wh) = iw.get(name).ok_or_else(missing)?;
+            let in_shape = x.lo.shape();
+            let (oc, oh, ow) = kind.output_shape(in_shape).ok_or_else(missing)?;
+            let in_c = in_shape.0;
+            if wl.shape() != (out_channels, in_c * kernel * kernel + 1) {
+                return Err(missing());
+            }
+            let bias_col = in_c * kernel * kernel;
+            let mut lo = Tensor3::zeros(oc, oh, ow);
+            let mut hi = Tensor3::zeros(oc, oh, ow);
+            for o in 0..oc {
+                let rl = wl.row(o);
+                let rh = wh.row(o);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc_l = rl[bias_col];
+                        let mut acc_h = rh[bias_col];
+                        let y0 = (oy * stride) as isize - pad as isize;
+                        let x0 = (ox * stride) as isize - pad as isize;
+                        for ic in 0..in_c {
+                            for ky in 0..kernel {
+                                for kx in 0..kernel {
+                                    let yy = y0 + ky as isize;
+                                    let xx = x0 + kx as isize;
+                                    let (xl, xh) = (
+                                        x.lo.get_padded(ic, yy, xx),
+                                        x.hi.get_padded(ic, yy, xx),
+                                    );
+                                    if xl == 0.0 && xh == 0.0 {
+                                        continue;
+                                    }
+                                    let widx = (ic * kernel + ky) * kernel + kx;
+                                    let (pl, ph) = imul(rl[widx], rh[widx], xl, xh);
+                                    acc_l += pl;
+                                    acc_h += ph;
+                                }
+                            }
+                        }
+                        lo.set(o, oy, ox, acc_l);
+                        hi.set(o, oy, ox, acc_h);
+                    }
+                }
+            }
+            Ok(IntervalTensor { lo, hi })
+        }
+        LayerKind::Pool { kind: pk, size, stride } => {
+            let (c, _, _) = x.lo.shape();
+            let (_, oh, ow) = kind.output_shape(x.lo.shape()).ok_or_else(missing)?;
+            let mut lo = Tensor3::zeros(c, oh, ow);
+            let mut hi = Tensor3::zeros(c, oh, ow);
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let (mut best_l, mut best_h) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+                        let (mut sum_l, mut sum_h) = (0.0f32, 0.0f32);
+                        for ky in 0..size {
+                            for kx in 0..size {
+                                let l = x.lo.get(ch, oy * stride + ky, ox * stride + kx);
+                                let h = x.hi.get(ch, oy * stride + ky, ox * stride + kx);
+                                best_l = best_l.max(l);
+                                best_h = best_h.max(h);
+                                sum_l += l;
+                                sum_h += h;
+                            }
+                        }
+                        let (l, h) = match pk {
+                            // max is monotone: bound by max of los / max of his.
+                            PoolKind::Max => (best_l, best_h),
+                            PoolKind::Avg => {
+                                let n = (size * size) as f32;
+                                (sum_l / n, sum_h / n)
+                            }
+                        };
+                        lo.set(ch, oy, ox, l);
+                        hi.set(ch, oy, ox, h);
+                    }
+                }
+            }
+            Ok(IntervalTensor { lo, hi })
+        }
+        LayerKind::Act(a) => {
+            // All supported activations are monotone non-decreasing.
+            Ok(IntervalTensor {
+                lo: x.lo.map(|v| activate(a, v)),
+                hi: x.hi.map(|v| activate(a, v)),
+            })
+        }
+        LayerKind::Flatten | LayerKind::Dropout { .. } => {
+            let n = x.lo.len();
+            Ok(IntervalTensor {
+                lo: Tensor3::from_vec(n, 1, 1, x.lo.as_slice().to_vec()),
+                hi: Tensor3::from_vec(n, 1, 1, x.hi.as_slice().to_vec()),
+            })
+        }
+        LayerKind::Lrn { size, alpha, beta, k } => {
+            // y = x · b^{-β} with b ≥ k > 0. Bound b from the squared
+            // interval extremes, then take the four-corner extremes of the
+            // quotient (x may straddle zero, so all corners matter).
+            let (c, h, w) = x.lo.shape();
+            let scale = alpha / size as f32;
+            let mut lo = Tensor3::zeros(c, h, w);
+            let mut hi = Tensor3::zeros(c, h, w);
+            for yy in 0..h {
+                for xx in 0..w {
+                    for i in 0..c {
+                        let (wl, wh) = crate::forward::lrn_window(i, c, size);
+                        let (mut b_lo, mut b_hi) = (k, k);
+                        for j in wl..wh {
+                            let (l, hgh) = (x.lo.get(j, yy, xx), x.hi.get(j, yy, xx));
+                            // Square bounds: min is 0 if the interval
+                            // straddles zero.
+                            let sq_hi = (l * l).max(hgh * hgh);
+                            let sq_lo = if l <= 0.0 && hgh >= 0.0 {
+                                0.0
+                            } else {
+                                (l * l).min(hgh * hgh)
+                            };
+                            b_lo += scale * sq_lo;
+                            b_hi += scale * sq_hi;
+                        }
+                        let (f_lo, f_hi) = (b_hi.powf(-beta), b_lo.powf(-beta)); // decreasing
+                        let (xl, xh) = (x.lo.get(i, yy, xx), x.hi.get(i, yy, xx));
+                        let corners = [xl * f_lo, xl * f_hi, xh * f_lo, xh * f_hi];
+                        lo.set(i, yy, xx, corners.iter().copied().fold(f32::INFINITY, f32::min));
+                        hi.set(i, yy, xx, corners.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+                    }
+                }
+            }
+            Ok(IntervalTensor { lo, hi })
+        }
+        LayerKind::Softmax => {
+            // p_i = exp(o_i) / sum_j exp(o_j). Lower bound: own logit at lo,
+            // competitors at hi; upper bound: the reverse.
+            let n = x.lo.len();
+            let lo_in = x.lo.as_slice();
+            let hi_in = x.hi.as_slice();
+            // Stabilize with the global max upper bound.
+            let m = hi_in.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exp_lo: Vec<f32> = lo_in.iter().map(|&v| (v - m).exp()).collect();
+            let exp_hi: Vec<f32> = hi_in.iter().map(|&v| (v - m).exp()).collect();
+            let sum_hi: f32 = exp_hi.iter().sum();
+            let sum_lo: f32 = exp_lo.iter().sum();
+            let mut lo = Vec::with_capacity(n);
+            let mut hi = Vec::with_capacity(n);
+            for i in 0..n {
+                // With very wide logit bounds the exponentials can
+                // underflow to 0, making these ratios 0/0; fall back to the
+                // trivially sound probability bounds in that case.
+                let dl = exp_lo[i] + (sum_hi - exp_hi[i]);
+                let l = if dl > 0.0 { exp_lo[i] / dl } else { 0.0 };
+                let dh = exp_hi[i] + (sum_lo - exp_lo[i]);
+                let h = if dh > 0.0 { (exp_hi[i] / dh).min(1.0) } else { 1.0 };
+                lo.push(l.min(h));
+                hi.push(h);
+            }
+            Ok(IntervalTensor {
+                lo: Tensor3::from_vec(n, 1, 1, lo),
+                hi: Tensor3::from_vec(n, 1, 1, hi),
+            })
+        }
+    }
+}
+
+/// Lemma 4 generalized to top-k: the top-k prediction set is *determined*
+/// iff the k-th largest lower bound exceeds the largest upper bound of
+/// every index outside the candidate set. Returns the determined indices
+/// (sorted by lower bound, descending) or `None` if low-order bytes are
+/// needed.
+pub fn determined_top_k(out: &IntervalTensor, k: usize) -> Option<Vec<usize>> {
+    let n = out.lo.len();
+    if k == 0 || k > n {
+        return None;
+    }
+    // Any non-finite bound means the interval evaluation lost precision
+    // entirely; never declare determination from it (f32::max would
+    // silently drop NaNs below).
+    if !out.is_valid() {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| out.lo.as_slice()[b].total_cmp(&out.lo.as_slice()[a]));
+    let candidates = &idx[..k];
+    let threshold = out.lo.as_slice()[candidates[k - 1]];
+    let rest_max = idx[k..]
+        .iter()
+        .map(|&i| out.hi.as_slice()[i])
+        .fold(f32::NEG_INFINITY, f32::max);
+    if threshold > rest_max {
+        Some(candidates.to_vec())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::forward;
+    use crate::layer::{Activation, LayerKind, PoolKind};
+    use crate::network::Network;
+    use crate::weights::Weights;
+    use mh_tensor::SegmentedMatrix;
+
+    fn tiny() -> (Network, Weights) {
+        let mut n = Network::new();
+        n.append("data", LayerKind::Input { channels: 1, height: 6, width: 6 }).unwrap();
+        n.append("conv1", LayerKind::Conv { out_channels: 3, kernel: 3, stride: 1, pad: 1 })
+            .unwrap();
+        n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
+        n.append("pool1", LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 }).unwrap();
+        n.append("fc1", LayerKind::Full { out: 4 }).unwrap();
+        n.append("prob", LayerKind::Softmax).unwrap();
+        let w = Weights::init(&n, 11).unwrap();
+        (n, w)
+    }
+
+    fn sample_input() -> Tensor3 {
+        Tensor3::from_vec(1, 6, 6, (0..36).map(|i| ((i as f32) * 0.41).cos()).collect())
+    }
+
+    #[test]
+    fn exact_intervals_match_point_forward() {
+        let (n, w) = tiny();
+        let x = sample_input();
+        let exact = forward(&n, &w, &x).unwrap();
+        let iv = interval_forward(&n, &IntervalWeights::exact(&w), &x).unwrap();
+        for i in 0..exact.len() {
+            assert!((iv.lo.as_slice()[i] - exact.as_slice()[i]).abs() < 1e-5);
+            assert!((iv.hi.as_slice()[i] - exact.as_slice()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn true_output_always_inside_bounds() {
+        let (n, w) = tiny();
+        let x = sample_input();
+        let exact = forward(&n, &w, &x).unwrap();
+        for planes in 1..=4usize {
+            let mut iw = IntervalWeights::default();
+            for (name, m) in w.layers() {
+                let seg = SegmentedMatrix::from_matrix(m);
+                let (lo, hi) = seg.bounds(planes);
+                iw.insert(name, lo, hi);
+            }
+            let iv = interval_forward(&n, &iw, &x).unwrap();
+            assert!(iv.is_valid());
+            assert!(
+                iv.contains(&exact),
+                "true output escapes bounds at {planes} planes"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_with_more_planes() {
+        let (n, w) = tiny();
+        let x = sample_input();
+        let mut widths = Vec::new();
+        for planes in 1..=4usize {
+            let mut iw = IntervalWeights::default();
+            for (name, m) in w.layers() {
+                let (lo, hi) = SegmentedMatrix::from_matrix(m).bounds(planes);
+                iw.insert(name, lo, hi);
+            }
+            let iv = interval_forward(&n, &iw, &x).unwrap();
+            widths.push(iv.max_width());
+        }
+        assert!(widths[0] >= widths[1] && widths[1] >= widths[2] && widths[2] >= widths[3]);
+        assert!(widths[3] < 1e-5, "full precision width ~0, got {}", widths[3]);
+    }
+
+    #[test]
+    fn determinism_condition() {
+        // Clearly separated intervals.
+        let iv = IntervalTensor {
+            lo: Tensor3::from_vec(3, 1, 1, vec![0.8, 0.0, 0.1]),
+            hi: Tensor3::from_vec(3, 1, 1, vec![0.9, 0.3, 0.2]),
+        };
+        assert_eq!(determined_top_k(&iv, 1), Some(vec![0]));
+        // Overlapping: 2nd candidate's hi exceeds winner's lo.
+        let iv2 = IntervalTensor {
+            lo: Tensor3::from_vec(3, 1, 1, vec![0.5, 0.0, 0.1]),
+            hi: Tensor3::from_vec(3, 1, 1, vec![0.9, 0.6, 0.2]),
+        };
+        assert_eq!(determined_top_k(&iv2, 1), None);
+        // Top-2 of the first example: {0, 1}? lo order: 0 (0.8), 2 (0.1), 1 (0.0)
+        // candidates {0,2}, threshold 0.1, rest max = hi[1] = 0.3 -> undetermined.
+        assert_eq!(determined_top_k(&iv, 2), None);
+    }
+
+    #[test]
+    fn determinism_with_exact_weights_matches_prediction() {
+        let (n, w) = tiny();
+        let x = sample_input();
+        let iv = interval_forward(&n, &IntervalWeights::exact(&w), &x).unwrap();
+        let pred = forward(&n, &w, &x).unwrap().argmax();
+        let det = determined_top_k(&iv, 1).expect("exact weights must be determined");
+        assert_eq!(det[0], pred);
+    }
+
+    #[test]
+    fn softmax_interval_probabilities_valid() {
+        let iv_in = IntervalTensor {
+            lo: Tensor3::from_vec(3, 1, 1, vec![1.0, -1.0, 0.0]),
+            hi: Tensor3::from_vec(3, 1, 1, vec![1.5, -0.5, 0.5]),
+        };
+        let out = apply_interval_layer(&LayerKind::Softmax, "p", &IntervalWeights::default(), &iv_in)
+            .unwrap();
+        assert!(out.is_valid());
+        for (l, h) in out.lo.as_slice().iter().zip(out.hi.as_slice()) {
+            assert!(*l >= 0.0 && *h <= 1.0 && l <= h);
+        }
+    }
+
+    #[test]
+    fn interval_multiplication_corner_cases() {
+        assert_eq!(imul(-1.0, 2.0, -3.0, 1.0), (-6.0, 3.0));
+        assert_eq!(imul(0.0, 0.0, -5.0, 5.0), (0.0, 0.0));
+        assert_eq!(imul(2.0, 3.0, 4.0, 5.0), (8.0, 15.0));
+        assert_eq!(imul(-3.0, -2.0, 4.0, 5.0), (-15.0, -8.0));
+    }
+}

@@ -1,0 +1,187 @@
+//! Layer definitions: the building blocks of a DNN in the ModelHub data
+//! model (§II). A layer maps `(W, H, X) -> Y` where `W` are learned
+//! parameters and `H` hyperparameters fixed at construction.
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    Max,
+    Avg,
+}
+
+/// Activation flavour for unary nonlinearities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    ReLU,
+    Sigmoid,
+    Tanh,
+}
+
+/// The kind of a layer plus its hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerKind {
+    /// Data entry point with a fixed shape (channels, height, width).
+    Input { channels: usize, height: usize, width: usize },
+    /// 2-D convolution with zero padding. Parametric.
+    Conv { out_channels: usize, kernel: usize, stride: usize, pad: usize },
+    /// Spatial pooling. Non-parametric.
+    Pool { kind: PoolKind, size: usize, stride: usize },
+    /// Fully-connected ("ip"/"full") layer. Parametric.
+    Full { out: usize },
+    /// Elementwise activation. Non-parametric.
+    Act(Activation),
+    /// Flatten C×H×W to 1×1×(C·H·W). Non-parametric.
+    Flatten,
+    /// Softmax over the flattened output. Non-parametric.
+    Softmax,
+    /// Dropout: identity at inference; scales gradients during training.
+    Dropout { rate: f32 },
+    /// Local response normalization across channels (AlexNet's "norm"
+    /// layer): `y_i = x_i / (k + (alpha/size)·Σ_{j∈window(i)} x_j²)^beta`.
+    /// Non-parametric.
+    Lrn { size: usize, alpha: f32, beta: f32, k: f32 },
+}
+
+impl LayerKind {
+    /// Whether the layer carries learned parameters (`W != ∅`).
+    pub fn is_parametric(&self) -> bool {
+        matches!(self, LayerKind::Conv { .. } | LayerKind::Full { .. })
+    }
+
+    /// Short conventional name used in descriptions and DQL templates
+    /// (CONV, POOL, FULL, RELU, ...).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            LayerKind::Input { .. } => "INPUT",
+            LayerKind::Conv { .. } => "CONV",
+            LayerKind::Pool { .. } => "POOL",
+            LayerKind::Full { .. } => "FULL",
+            LayerKind::Act(Activation::ReLU) => "RELU",
+            LayerKind::Act(Activation::Sigmoid) => "SIGMOID",
+            LayerKind::Act(Activation::Tanh) => "TANH",
+            LayerKind::Flatten => "FLATTEN",
+            LayerKind::Softmax => "SOFTMAX",
+            LayerKind::Dropout { .. } => "DROPOUT",
+            LayerKind::Lrn { .. } => "NORM",
+        }
+    }
+
+    /// Output shape for a given input shape, or None if incompatible.
+    pub fn output_shape(
+        &self,
+        input: (usize, usize, usize),
+    ) -> Option<(usize, usize, usize)> {
+        let (c, h, w) = input;
+        match *self {
+            LayerKind::Input { channels, height, width } => Some((channels, height, width)),
+            LayerKind::Conv { out_channels, kernel, stride, pad } => {
+                if stride == 0 || kernel == 0 {
+                    return None;
+                }
+                let he = h + 2 * pad;
+                let we = w + 2 * pad;
+                if he < kernel || we < kernel {
+                    return None;
+                }
+                Some((out_channels, (he - kernel) / stride + 1, (we - kernel) / stride + 1))
+            }
+            LayerKind::Pool { size, stride, .. } => {
+                if stride == 0 || size == 0 || h < size || w < size {
+                    return None;
+                }
+                Some((c, (h - size) / stride + 1, (w - size) / stride + 1))
+            }
+            LayerKind::Full { out } => Some((out, 1, 1)),
+            LayerKind::Act(_) | LayerKind::Dropout { .. } | LayerKind::Lrn { .. } => {
+                Some((c, h, w))
+            }
+            LayerKind::Flatten => Some((c * h * w, 1, 1)),
+            LayerKind::Softmax => Some((c * h * w, 1, 1)),
+        }
+    }
+
+    /// Shape of the parameter matrix (rows, cols) with the bias folded in as
+    /// the last column (the paper's `W·(x,1)` convention), or None for
+    /// non-parametric layers.
+    pub fn param_shape(&self, input: (usize, usize, usize)) -> Option<(usize, usize)> {
+        let (c, _, _) = input;
+        match *self {
+            LayerKind::Conv { out_channels, kernel, .. } => {
+                Some((out_channels, c * kernel * kernel + 1))
+            }
+            LayerKind::Full { out } => {
+                let (ci, hi, wi) = input;
+                Some((out, ci * hi * wi + 1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of learned parameters for a given input shape.
+    pub fn param_count(&self, input: (usize, usize, usize)) -> usize {
+        self.param_shape(input).map_or(0, |(r, c)| r * c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes() {
+        let conv = LayerKind::Conv { out_channels: 20, kernel: 5, stride: 1, pad: 0 };
+        assert_eq!(conv.output_shape((1, 28, 28)), Some((20, 24, 24)));
+        assert_eq!(conv.param_shape((1, 28, 28)), Some((20, 26)));
+        let conv_s2 = LayerKind::Conv { out_channels: 8, kernel: 3, stride: 2, pad: 1 };
+        assert_eq!(conv_s2.output_shape((3, 12, 12)), Some((8, 6, 6)));
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let pool = LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 };
+        assert_eq!(pool.output_shape((20, 24, 24)), Some((20, 12, 12)));
+        assert_eq!(pool.param_count((20, 24, 24)), 0);
+        assert!(!pool.is_parametric());
+    }
+
+    #[test]
+    fn full_shapes() {
+        let full = LayerKind::Full { out: 500 };
+        assert_eq!(full.output_shape((50, 4, 4)), Some((500, 1, 1)));
+        assert_eq!(full.param_shape((50, 4, 4)), Some((500, 801)));
+    }
+
+    #[test]
+    fn lenet_param_count_matches_paper() {
+        // LeNet in Fig. 2: conv1(20@5x5 on 1ch), conv2(50@5x5 on 20ch),
+        // ip1(500 on 50*4*4), ip2(10 on 500). Paper: |W| = 4.31e5 (431,080
+        // including biases).
+        let conv1 = LayerKind::Conv { out_channels: 20, kernel: 5, stride: 1, pad: 0 };
+        let conv2 = LayerKind::Conv { out_channels: 50, kernel: 5, stride: 1, pad: 0 };
+        let ip1 = LayerKind::Full { out: 500 };
+        let ip2 = LayerKind::Full { out: 10 };
+        let total = conv1.param_count((1, 28, 28))
+            + conv2.param_count((20, 12, 12))
+            + ip1.param_count((50, 4, 4))
+            + ip2.param_count((500, 1, 1));
+        assert_eq!(total, 431_080);
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        let conv = LayerKind::Conv { out_channels: 4, kernel: 7, stride: 1, pad: 0 };
+        assert_eq!(conv.output_shape((1, 5, 5)), None);
+        let pool = LayerKind::Pool { kind: PoolKind::Avg, size: 3, stride: 0 };
+        assert_eq!(pool.output_shape((1, 5, 5)), None);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(LayerKind::Softmax.type_name(), "SOFTMAX");
+        assert_eq!(LayerKind::Act(Activation::ReLU).type_name(), "RELU");
+        assert_eq!(
+            LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 }.type_name(),
+            "POOL"
+        );
+    }
+}

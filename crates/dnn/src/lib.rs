@@ -1,0 +1,36 @@
+//! # mh-dnn
+//!
+//! The deep-network substrate of the ModelHub reproduction: layer DAGs,
+//! forward evaluation, SGD training with checkpoint snapshots, fine-tuning,
+//! synthetic vision datasets, a model zoo, and the interval (perturbation)
+//! evaluation machinery behind PAS's progressive queries.
+//!
+//! ```
+//! use mh_dnn::{zoo, weights::Weights, forward::predict};
+//! use mh_tensor::Tensor3;
+//! let net = zoo::lenet_s(10);
+//! let w = Weights::init(&net, 42).unwrap();
+//! let x = Tensor3::zeros(1, 16, 16);
+//! let label = predict(&net, &w, &x).unwrap();
+//! assert!(label < 10);
+//! ```
+
+pub mod backward;
+pub mod data;
+pub mod forward;
+pub mod interval;
+pub mod layer;
+pub mod metrics;
+pub mod network;
+pub mod train;
+pub mod weights;
+pub mod zoo;
+
+pub use data::{synth_dataset, Dataset, SynthConfig};
+pub use forward::{accuracy, forward, forward_trace, predict};
+pub use interval::{determined_top_k, interval_forward, IntervalTensor, IntervalWeights};
+pub use layer::{Activation, LayerKind, PoolKind};
+pub use metrics::{compare_models, confusion_matrix, top_k_accuracy, ConfusionMatrix, ModelComparison};
+pub use network::{Network, NetworkError, Node, NodeId};
+pub use train::{fine_tune_setup, Hyperparams, LogEntry, TrainResult, Trainer};
+pub use weights::Weights;

@@ -1,0 +1,223 @@
+//! Evaluation metrics beyond top-1 accuracy: confusion matrices, top-k
+//! accuracy, and pairwise model comparison on a dataset (the paper's
+//! retrieval query type (d), "comparing the results of different models on
+//! a dataset").
+
+use crate::forward::forward;
+use crate::network::{Network, NetworkError};
+use crate::weights::Weights;
+use mh_tensor::Tensor3;
+
+/// A confusion matrix: `counts[truth][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Recall per class (diagonal / row sum); None for unseen classes.
+    pub fn per_class_recall(&self) -> Vec<Option<f64>> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let total: usize = row.iter().sum();
+                if total == 0 {
+                    None
+                } else {
+                    Some(row[i] as f64 / total as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Render as an aligned text grid.
+    pub fn render(&self) -> String {
+        let n = self.counts.len();
+        let mut out = String::from("truth\\pred");
+        for j in 0..n {
+            out.push_str(&format!(" {j:>5}"));
+        }
+        out.push('\n');
+        for (i, row) in self.counts.iter().enumerate() {
+            out.push_str(&format!("{i:>10}"));
+            for c in row {
+                out.push_str(&format!(" {c:>5}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Confusion matrix of a model over a labelled set.
+pub fn confusion_matrix(
+    net: &Network,
+    weights: &Weights,
+    data: &[(Tensor3, usize)],
+    num_classes: usize,
+) -> Result<ConfusionMatrix, NetworkError> {
+    let mut counts = vec![vec![0usize; num_classes]; num_classes];
+    for (x, label) in data {
+        let pred = forward(net, weights, x)?.argmax();
+        if *label < num_classes && pred < num_classes {
+            counts[*label][pred] += 1;
+        }
+    }
+    Ok(ConfusionMatrix { counts })
+}
+
+/// Top-k accuracy: the true label appears among the k highest outputs.
+pub fn top_k_accuracy(
+    net: &Network,
+    weights: &Weights,
+    data: &[(Tensor3, usize)],
+    k: usize,
+) -> Result<f64, NetworkError> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let mut hits = 0usize;
+    for (x, label) in data {
+        let out = forward(net, weights, x)?;
+        let mut idx: Vec<usize> = (0..out.len()).collect();
+        idx.sort_by(|&a, &b| out.as_slice()[b].total_cmp(&out.as_slice()[a]));
+        if idx.iter().take(k).any(|i| i == label) {
+            hits += 1;
+        }
+    }
+    Ok(hits as f64 / data.len() as f64)
+}
+
+/// Pairwise comparison of two models on the same dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelComparison {
+    /// Fraction of inputs where both predict the same class.
+    pub agreement: f64,
+    /// Accuracy of each model.
+    pub accuracy_a: f64,
+    pub accuracy_b: f64,
+    /// Inputs where A is right and B wrong / B right and A wrong.
+    pub only_a_correct: usize,
+    pub only_b_correct: usize,
+    pub total: usize,
+}
+
+/// Compare two (network, weights) pairs sample by sample.
+pub fn compare_models(
+    a: (&Network, &Weights),
+    b: (&Network, &Weights),
+    data: &[(Tensor3, usize)],
+) -> Result<ModelComparison, NetworkError> {
+    let mut agree = 0usize;
+    let mut correct_a = 0usize;
+    let mut correct_b = 0usize;
+    let mut only_a = 0usize;
+    let mut only_b = 0usize;
+    for (x, label) in data {
+        let pa = forward(a.0, a.1, x)?.argmax();
+        let pb = forward(b.0, b.1, x)?.argmax();
+        if pa == pb {
+            agree += 1;
+        }
+        let (ca, cb) = (pa == *label, pb == *label);
+        correct_a += usize::from(ca);
+        correct_b += usize::from(cb);
+        only_a += usize::from(ca && !cb);
+        only_b += usize::from(cb && !ca);
+    }
+    let n = data.len().max(1) as f64;
+    Ok(ModelComparison {
+        agreement: agree as f64 / n,
+        accuracy_a: correct_a as f64 / n,
+        accuracy_b: correct_b as f64 / n,
+        only_a_correct: only_a,
+        only_b_correct: only_b,
+        total: data.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{synth_dataset, SynthConfig};
+    use crate::train::{Hyperparams, Trainer};
+    use crate::zoo;
+
+    fn trained(seed: u64, iters: usize) -> (Network, Weights, crate::data::Dataset) {
+        let net = zoo::lenet_s(3);
+        let data = synth_dataset(&SynthConfig {
+            num_classes: 3,
+            train_per_class: 10,
+            test_per_class: 6,
+            noise: 0.05,
+            seed: 4,
+            ..Default::default()
+        });
+        let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+        let init = Weights::init(&net, seed).unwrap();
+        let r = trainer.train(&net, init, &data, iters).unwrap();
+        (net, r.weights, data)
+    }
+
+    #[test]
+    fn confusion_matrix_consistent_with_accuracy() {
+        let (net, w, data) = trained(1, 25);
+        let cm = confusion_matrix(&net, &w, &data.test, 3).unwrap();
+        assert_eq!(cm.total(), data.test.len());
+        let acc = crate::forward::accuracy(&net, &w, &data.test).unwrap();
+        assert!((cm.accuracy() - f64::from(acc)).abs() < 1e-9);
+        assert_eq!(cm.per_class_recall().len(), 3);
+        let text = cm.render();
+        assert!(text.lines().count() == 4);
+    }
+
+    #[test]
+    fn top_k_monotone_in_k() {
+        let (net, w, data) = trained(1, 10);
+        let t1 = top_k_accuracy(&net, &w, &data.test, 1).unwrap();
+        let t2 = top_k_accuracy(&net, &w, &data.test, 2).unwrap();
+        let t3 = top_k_accuracy(&net, &w, &data.test, 3).unwrap();
+        assert!(t1 <= t2 && t2 <= t3);
+        assert!((t3 - 1.0).abs() < 1e-9, "top-3 of 3 classes is always a hit");
+    }
+
+    #[test]
+    fn self_comparison_is_total_agreement() {
+        let (net, w, data) = trained(2, 10);
+        let cmp = compare_models((&net, &w), (&net, &w), &data.test).unwrap();
+        assert_eq!(cmp.agreement, 1.0);
+        assert_eq!(cmp.only_a_correct, 0);
+        assert_eq!(cmp.only_b_correct, 0);
+        assert_eq!(cmp.accuracy_a, cmp.accuracy_b);
+    }
+
+    #[test]
+    fn different_models_disagree_somewhere() {
+        let (net, w1, data) = trained(3, 25);
+        let (_, w2, _) = trained(99, 2); // barely trained
+        let cmp = compare_models((&net, &w1), (&net, &w2), &data.test).unwrap();
+        assert!(cmp.accuracy_a >= cmp.accuracy_b);
+        assert!(cmp.agreement <= 1.0);
+        assert_eq!(cmp.total, data.test.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Learned parameters: an ordered collection of named float matrices, one
+//! per parametric layer, with the bias folded in as the last column
+//! (`W·(x,1)` — the paper's convention).
+
+use crate::network::{Network, NetworkError};
+use mh_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Weight assignment for a network: layer name -> parameter matrix.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Weights {
+    mats: BTreeMap<String, Matrix>,
+}
+
+impl Weights {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Xavier/Glorot-style initialization for every parametric layer of
+    /// `net`, deterministic for a given seed.
+    pub fn init(net: &Network, seed: u64) -> Result<Self, NetworkError> {
+        let shapes = net.infer_shapes()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mats = BTreeMap::new();
+        for node in net.nodes() {
+            if let Some((rows, cols)) = node.kind.param_shape(shapes[&node.id].0) {
+                let fan_in = (cols - 1).max(1) as f32;
+                let bound = (3.0 / fan_in).sqrt();
+                let mut m = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    for c in 0..cols - 1 {
+                        m.set(r, c, rng.gen_range(-bound..bound));
+                    }
+                    m.set(r, cols - 1, 0.0); // bias starts at zero
+                }
+                mats.insert(node.name.clone(), m);
+            }
+        }
+        Ok(Self { mats })
+    }
+
+    pub fn insert(&mut self, layer: &str, m: Matrix) {
+        self.mats.insert(layer.to_string(), m);
+    }
+
+    pub fn get(&self, layer: &str) -> Option<&Matrix> {
+        self.mats.get(layer)
+    }
+
+    pub fn get_mut(&mut self, layer: &str) -> Option<&mut Matrix> {
+        self.mats.get_mut(layer)
+    }
+
+    pub fn remove(&mut self, layer: &str) -> Option<Matrix> {
+        self.mats.remove(layer)
+    }
+
+    pub fn layers(&self) -> impl Iterator<Item = (&String, &Matrix)> {
+        self.mats.iter()
+    }
+
+    pub fn layer_names(&self) -> Vec<String> {
+        self.mats.keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.mats.values().map(Matrix::len).sum()
+    }
+
+    /// Total bytes at full f32 precision.
+    pub fn byte_size(&self) -> usize {
+        self.param_count() * 4
+    }
+
+    /// Check the weights cover exactly the parametric layers of `net` with
+    /// the right shapes.
+    pub fn validate(&self, net: &Network) -> Result<(), NetworkError> {
+        let shapes = net.infer_shapes()?;
+        for node in net.nodes() {
+            if let Some(shape) = node.kind.param_shape(shapes[&node.id].0) {
+                match self.mats.get(&node.name) {
+                    Some(m) if m.shape() == shape => {}
+                    _ => return Err(NetworkError::ShapeMismatch { node: node.name.clone() }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Mean absolute difference across shared layers (used by `dlv diff`).
+    pub fn distance(&self, other: &Weights) -> f32 {
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for (name, m) in &self.mats {
+            if let Some(o) = other.mats.get(name) {
+                if o.shape() == m.shape() {
+                    total += f64::from(m.mean_abs_diff(o)) * m.len() as f64;
+                    count += m.len();
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            (total / count as f64) as f32
+        }
+    }
+}
+
+impl FromIterator<(String, Matrix)> for Weights {
+    fn from_iter<T: IntoIterator<Item = (String, Matrix)>>(iter: T) -> Self {
+        Self { mats: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, LayerKind};
+
+    fn net() -> Network {
+        let mut n = Network::new();
+        n.append("data", LayerKind::Input { channels: 1, height: 6, width: 6 }).unwrap();
+        n.append("conv1", LayerKind::Conv { out_channels: 2, kernel: 3, stride: 1, pad: 0 })
+            .unwrap();
+        n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
+        n.append("fc1", LayerKind::Full { out: 3 }).unwrap();
+        n
+    }
+
+    #[test]
+    fn init_shapes_match_network() {
+        let n = net();
+        let w = Weights::init(&n, 1).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.get("conv1").unwrap().shape(), (2, 10));
+        assert_eq!(w.get("fc1").unwrap().shape(), (3, 2 * 4 * 4 + 1));
+        w.validate(&n).unwrap();
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let n = net();
+        assert_eq!(Weights::init(&n, 7).unwrap(), Weights::init(&n, 7).unwrap());
+        assert_ne!(Weights::init(&n, 7).unwrap(), Weights::init(&n, 8).unwrap());
+    }
+
+    #[test]
+    fn validate_catches_missing_layer() {
+        let n = net();
+        let mut w = Weights::init(&n, 1).unwrap();
+        w.remove("fc1");
+        assert!(w.validate(&n).is_err());
+    }
+
+    #[test]
+    fn distance_zero_to_self() {
+        let n = net();
+        let w = Weights::init(&n, 3).unwrap();
+        assert_eq!(w.distance(&w), 0.0);
+        let w2 = Weights::init(&n, 4).unwrap();
+        assert!(w.distance(&w2) > 0.0);
+    }
+
+    #[test]
+    fn param_count_and_bytes() {
+        let n = net();
+        let w = Weights::init(&n, 1).unwrap();
+        assert_eq!(w.param_count(), 2 * 10 + 3 * 33);
+        assert_eq!(w.byte_size(), w.param_count() * 4);
+    }
+}

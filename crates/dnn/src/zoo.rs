@@ -1,0 +1,233 @@
+//! Model zoo: architecture constructors.
+//!
+//! Two tiers:
+//!
+//! * **Full-scale descriptors** of the paper's Table I models (LeNet,
+//!   AlexNet, VGG-16, ResNet pattern) — `Network` objects with the real
+//!   published layer shapes, used for parameter counting and architecture
+//!   strings; never trained here.
+//! * **Scaled trainable models** (`lenet_s`, `alexnet_s`, `vgg_s`) sized
+//!   for CPU training on synthetic data, preserving the architectural
+//!   shape (conv/pool stacking depth, fc head) of their namesakes.
+
+use crate::layer::{Activation, LayerKind, PoolKind};
+use crate::network::Network;
+
+fn conv(out_channels: usize, kernel: usize, stride: usize, pad: usize) -> LayerKind {
+    LayerKind::Conv { out_channels, kernel, stride, pad }
+}
+
+fn maxpool(size: usize, stride: usize) -> LayerKind {
+    LayerKind::Pool { kind: PoolKind::Max, size, stride }
+}
+
+/// The classic LeNet of Fig. 2 (28×28 input, 431,080 parameters).
+pub fn lenet() -> Network {
+    let mut n = Network::new();
+    n.append("data", LayerKind::Input { channels: 1, height: 28, width: 28 }).unwrap();
+    n.append("conv1", conv(20, 5, 1, 0)).unwrap();
+    n.append("pool1", maxpool(2, 2)).unwrap();
+    n.append("conv2", conv(50, 5, 1, 0)).unwrap();
+    n.append("pool2", maxpool(2, 2)).unwrap();
+    n.append("ip1", LayerKind::Full { out: 500 }).unwrap();
+    n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("ip2", LayerKind::Full { out: 10 }).unwrap();
+    n.append("prob", LayerKind::Softmax).unwrap();
+    n
+}
+
+/// Full-scale AlexNet layer shapes (227×227×3 input), for Table I counting.
+pub fn alexnet() -> Network {
+    let mut n = Network::new();
+    n.append("data", LayerKind::Input { channels: 3, height: 227, width: 227 }).unwrap();
+    n.append("conv1", conv(96, 11, 4, 0)).unwrap();
+    n.append("pool1", maxpool(3, 2)).unwrap();
+    n.append("conv2", conv(256, 5, 1, 2)).unwrap();
+    n.append("pool2", maxpool(3, 2)).unwrap();
+    n.append("conv3", conv(384, 3, 1, 1)).unwrap();
+    n.append("conv4", conv(384, 3, 1, 1)).unwrap();
+    n.append("conv5", conv(256, 3, 1, 1)).unwrap();
+    n.append("pool5", maxpool(3, 2)).unwrap();
+    n.append("fc6", LayerKind::Full { out: 4096 }).unwrap();
+    n.append("fc7", LayerKind::Full { out: 4096 }).unwrap();
+    n.append("fc8", LayerKind::Full { out: 1000 }).unwrap();
+    n.append("prob", LayerKind::Softmax).unwrap();
+    n
+}
+
+/// Full-scale VGG-16 layer shapes (224×224×3 input), for Table I counting.
+pub fn vgg16() -> Network {
+    let mut n = Network::new();
+    n.append("data", LayerKind::Input { channels: 3, height: 224, width: 224 }).unwrap();
+    let blocks: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    for (b, &(ch, reps)) in blocks.iter().enumerate() {
+        for r in 0..reps {
+            n.append(&format!("conv{}_{}", b + 1, r + 1), conv(ch, 3, 1, 1)).unwrap();
+        }
+        n.append(&format!("pool{}", b + 1), maxpool(2, 2)).unwrap();
+    }
+    n.append("fc6", LayerKind::Full { out: 4096 }).unwrap();
+    n.append("fc7", LayerKind::Full { out: 4096 }).unwrap();
+    n.append("fc8", LayerKind::Full { out: 1000 }).unwrap();
+    n.append("prob", LayerKind::Softmax).unwrap();
+    n
+}
+
+/// Scaled LeNet for CPU training: 16×16 input, two conv/pool stages.
+pub fn lenet_s(num_classes: usize) -> Network {
+    let mut n = Network::new();
+    n.append("data", LayerKind::Input { channels: 1, height: 16, width: 16 }).unwrap();
+    n.append("conv1", conv(8, 3, 1, 0)).unwrap();
+    n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("pool1", maxpool(2, 2)).unwrap();
+    n.append("conv2", conv(16, 3, 1, 0)).unwrap();
+    n.append("relu2", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("pool2", maxpool(2, 2)).unwrap();
+    n.append("ip1", LayerKind::Full { out: 64 }).unwrap();
+    n.append("relu3", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("ip2", LayerKind::Full { out: num_classes }).unwrap();
+    n.append("prob", LayerKind::Softmax).unwrap();
+    n
+}
+
+/// Scaled AlexNet-like model (deeper conv stack, two fc layers).
+pub fn alexnet_s(num_classes: usize) -> Network {
+    let mut n = Network::new();
+    n.append("data", LayerKind::Input { channels: 1, height: 16, width: 16 }).unwrap();
+    n.append("conv1", conv(12, 3, 1, 1)).unwrap();
+    n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("pool1", maxpool(2, 2)).unwrap();
+    n.append("norm1", LayerKind::Lrn { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 })
+        .unwrap();
+    n.append("conv2", conv(24, 3, 1, 1)).unwrap();
+    n.append("relu2", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("conv3", conv(24, 3, 1, 1)).unwrap();
+    n.append("relu3", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("pool2", maxpool(2, 2)).unwrap();
+    n.append("fc6", LayerKind::Full { out: 128 }).unwrap();
+    n.append("relu6", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("fc7", LayerKind::Full { out: 64 }).unwrap();
+    n.append("relu7", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("fc8", LayerKind::Full { out: num_classes }).unwrap();
+    n.append("prob", LayerKind::Softmax).unwrap();
+    n
+}
+
+/// Scaled VGG-like model (stacked 3×3 conv blocks, three fc layers).
+pub fn vgg_s(num_classes: usize) -> Network {
+    let mut n = Network::new();
+    n.append("data", LayerKind::Input { channels: 1, height: 16, width: 16 }).unwrap();
+    let blocks: &[(usize, usize)] = &[(16, 2), (32, 2)];
+    for (b, &(ch, reps)) in blocks.iter().enumerate() {
+        for r in 0..reps {
+            n.append(&format!("conv{}_{}", b + 1, r + 1), conv(ch, 3, 1, 1)).unwrap();
+            n.append(&format!("relu{}_{}", b + 1, r + 1), LayerKind::Act(Activation::ReLU))
+                .unwrap();
+        }
+        n.append(&format!("pool{}", b + 1), maxpool(2, 2)).unwrap();
+    }
+    n.append("fc6", LayerKind::Full { out: 160 }).unwrap();
+    n.append("relu6", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("fc7", LayerKind::Full { out: 96 }).unwrap();
+    n.append("relu7", LayerKind::Act(Activation::ReLU)).unwrap();
+    n.append("fc8", LayerKind::Full { out: num_classes }).unwrap();
+    n.append("prob", LayerKind::Softmax).unwrap();
+    n
+}
+
+/// One Table I row: published figures next to counts recomputed from the
+/// constructed architectures.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    pub name: &'static str,
+    pub architecture: String,
+    /// Parameter count computed from the constructed network, if built.
+    pub computed_params: Option<usize>,
+    /// The |W| figure printed in the paper.
+    pub published_w: f64,
+}
+
+/// Reproduce Table I ("Popular CNN Models for Object Recognition").
+pub fn table1() -> Vec<Table1Row> {
+    let lenet_net = lenet();
+    let alexnet_net = alexnet();
+    let vgg_net = vgg16();
+    vec![
+        Table1Row {
+            name: "LeNet",
+            architecture: lenet_net.architecture_string(),
+            computed_params: lenet_net.param_count().ok(),
+            published_w: 4.31e5,
+        },
+        Table1Row {
+            name: "AlexNet",
+            architecture: alexnet_net.architecture_string(),
+            computed_params: alexnet_net.param_count().ok(),
+            published_w: 6e7,
+        },
+        Table1Row {
+            name: "VGG",
+            architecture: vgg_net.architecture_string(),
+            computed_params: vgg_net.param_count().ok(),
+            published_w: 1.96e10,
+        },
+        Table1Row {
+            name: "ResNet",
+            // Not constructed (residual joins are out of chain-eval scope);
+            // the architecture string comes from the paper.
+            architecture: "(LconvLpool)(Lconv){150}LpoolLip".into(),
+            computed_params: None,
+            published_w: 1.13e10,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_matches_paper_count() {
+        assert_eq!(lenet().param_count().unwrap(), 431_080);
+        assert_eq!(lenet().architecture_string(), "LconvLpoolLconvLpoolLip{2}");
+    }
+
+    #[test]
+    fn alexnet_count_near_published() {
+        // ~61M parameters (the paper rounds to 6e7).
+        let count = alexnet().param_count().unwrap() as f64;
+        assert!((5.5e7..6.5e7).contains(&count), "alexnet params {count}");
+    }
+
+    #[test]
+    fn vgg16_count_is_138m() {
+        let count = vgg16().param_count().unwrap() as f64;
+        assert!((1.3e8..1.45e8).contains(&count), "vgg params {count}");
+        assert_eq!(
+            vgg16().architecture_string(),
+            "Lconv{2}LpoolLconv{2}LpoolLconv{3}LpoolLconv{3}LpoolLconv{3}LpoolLip{3}"
+        );
+    }
+
+    #[test]
+    fn scaled_models_are_well_formed() {
+        for net in [lenet_s(10), alexnet_s(10), vgg_s(10)] {
+            let count = net.param_count().unwrap();
+            assert!(count > 1000, "model too small: {count}");
+            net.infer_shapes().unwrap();
+        }
+        // Size ordering mirrors the real families.
+        let l = lenet_s(10).param_count().unwrap();
+        let a = alexnet_s(10).param_count().unwrap();
+        let v = vgg_s(10).param_count().unwrap();
+        assert!(l < a && a < v, "sizes: lenet {l}, alexnet {a}, vgg {v}");
+    }
+
+    #[test]
+    fn table1_rows() {
+        let rows = table1();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].computed_params, Some(431_080));
+        assert!(rows[3].computed_params.is_none());
+    }
+}

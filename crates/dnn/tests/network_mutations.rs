@@ -1,0 +1,93 @@
+//! Property tests over network structure mutations: insert/delete/slice
+//! keep the DAG well-formed, shapes inferable where expected, and ids
+//! stable.
+
+use mh_dnn::{zoo, Activation, LayerKind};
+use proptest::prelude::*;
+
+/// Apply a random sequence of structure-preserving mutations.
+#[derive(Debug, Clone)]
+enum Mutation {
+    InsertAfter { victim: usize },
+    Delete { victim: usize },
+}
+
+fn arb_mutations() -> impl Strategy<Value = Vec<Mutation>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<usize>().prop_map(|victim| Mutation::InsertAfter { victim }),
+            any::<usize>().prop_map(|victim| Mutation::Delete { victim }),
+        ],
+        0..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mutations_preserve_dag_invariants(muts in arb_mutations()) {
+        let mut net = zoo::lenet_s(5);
+        let input = net.input_node().unwrap();
+        let mut inserted = 0usize;
+        for m in muts {
+            // Only elementwise layers are always shape-compatible.
+            match m {
+                Mutation::InsertAfter { victim } => {
+                    let ids: Vec<usize> = net.nodes().map(|n| n.id).collect();
+                    let target = ids[victim % ids.len()];
+                    // Never insert after the sink softmax (training head
+                    // invariant), and never create duplicate names.
+                    if net.next(target).is_empty() {
+                        continue;
+                    }
+                    let name = format!("mut{inserted}");
+                    inserted += 1;
+                    net.insert_after(target, &name, LayerKind::Act(Activation::Tanh)).unwrap();
+                }
+                Mutation::Delete { victim } => {
+                    let deletable: Vec<usize> = net
+                        .nodes()
+                        .filter(|n| {
+                            matches!(n.kind, LayerKind::Act(_) | LayerKind::Dropout { .. })
+                        })
+                        .map(|n| n.id)
+                        .collect();
+                    if deletable.is_empty() {
+                        continue;
+                    }
+                    net.delete_node(deletable[victim % deletable.len()]).unwrap();
+                }
+            }
+            // Invariants after every step.
+            prop_assert!(net.topo_order().is_ok());
+            prop_assert_eq!(net.input_node().unwrap(), input);
+            prop_assert!(net.infer_shapes().is_ok());
+            // Parametric layer set unchanged (we only touch elementwise).
+            prop_assert_eq!(
+                net.parametric_layers().unwrap(),
+                vec!["conv1", "conv2", "ip1", "ip2"]
+            );
+        }
+    }
+
+    #[test]
+    fn slices_between_random_endpoints_are_well_formed(a in any::<usize>(), b in any::<usize>()) {
+        let net = zoo::alexnet_s(5);
+        let ids: Vec<usize> = net.nodes().map(|n| n.id).collect();
+        let (start, end) = (ids[a % ids.len()], ids[b % ids.len()]);
+        let sub = net.slice(start, end).unwrap();
+        // Either empty (no path) or a DAG whose sources/sinks are within
+        // the requested endpoints.
+        prop_assert!(sub.topo_order().is_ok());
+        if sub.num_nodes() > 0 {
+            for s in sub.sources() {
+                prop_assert!(s == start || sub.prev(s).is_empty());
+            }
+            // Every kept node lies on a start→end path, so start and end
+            // themselves are kept.
+            prop_assert!(sub.node(start).is_ok());
+            prop_assert!(sub.node(end).is_ok());
+        }
+    }
+}

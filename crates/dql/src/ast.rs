@@ -1,0 +1,155 @@
+//! DQL abstract syntax.
+
+/// A literal value in a predicate or assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Str(String),
+    Num(f64),
+    /// A list of literals (`in [...]`).
+    List(Vec<Literal>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A path rooted at a model alias: `m1.name`,
+/// `m1["conv*"]`, `m1["conv*"].next`, `config.base_lr`,
+/// `config.net["conv*"].lr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    pub root: String,
+    pub steps: Vec<PathStep>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStep {
+    /// `.attr`
+    Attr(String),
+    /// `["selector"]`
+    Selector(String),
+}
+
+impl Path {
+    pub fn attr_only(&self) -> Option<&str> {
+        match self.steps.as_slice() {
+            [PathStep::Attr(a)] => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A node template: `POOL("MAX")`, `RELU("relu$1")`, `FULL(100)`, ...
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTemplate {
+    pub ty: String,
+    pub args: Vec<Literal>,
+}
+
+/// Boolean predicate over model versions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    True,
+    Cmp(Path, CmpOp, Literal),
+    Like(Path, String),
+    /// `path has TEMPLATE(...)`: some node reached via the path matches the
+    /// template.
+    Has(Path, NodeTemplate),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+/// `select <alias> where <pred>`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    pub alias: String,
+    pub pred: Pred,
+}
+
+/// `slice <out> from <in> where <pred> mutate out.input = in["..."] and
+/// out.output = in["..."]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceQuery {
+    pub out_alias: String,
+    pub in_alias: String,
+    pub pred: Pred,
+    pub input_selector: String,
+    pub output_selector: String,
+}
+
+/// One mutation action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationAction {
+    /// `m["sel"].insert = TEMPLATE("name$1")`: insert the templated node
+    /// after every node matched by the selector.
+    Insert { selector: String, template: NodeTemplate },
+    /// `m["sel"].delete`: remove every matched node, reconnecting around it.
+    Delete { selector: String },
+}
+
+/// `construct <out> from <in> where <pred> mutate <actions...>`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstructQuery {
+    pub out_alias: String,
+    pub in_alias: String,
+    pub pred: Pred,
+    pub actions: Vec<MutationAction>,
+}
+
+/// The `from` source of an evaluate query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalSource {
+    /// Models selected by name pattern (a string literal source).
+    Named(String),
+    /// A nested query whose results are evaluated.
+    Nested(Box<Query>),
+}
+
+/// One `vary` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VaryClause {
+    /// `config.<key> in [v1, v2, ...]`
+    Grid { key: String, values: Vec<Literal> },
+    /// `config.net["sel"].lr auto` — per-layer learning-rate multipliers
+    /// explored with the default strategy.
+    LayerLrAuto { selector: String },
+    /// `config.input_data in ["path1", "path2"]`
+    InputData { names: Vec<String> },
+}
+
+/// The `keep` rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeepRule {
+    /// `top(k, m["metric"], iters)`.
+    Top { k: usize, metric: String, iterations: usize },
+    /// `m["metric"] <op> threshold` after `iterations`.
+    Threshold { metric: String, op: CmpOp, value: f64, iterations: usize },
+}
+
+/// `evaluate <alias> from <source> with config = "..." vary ... keep ...`
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluateQuery {
+    pub alias: String,
+    pub source: EvalSource,
+    /// Base config reference (a template name or path).
+    pub config: Option<String>,
+    pub vary: Vec<VaryClause>,
+    pub keep: Option<KeepRule>,
+}
+
+/// A parsed DQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Select(SelectQuery),
+    Slice(SliceQuery),
+    Construct(ConstructQuery),
+    Evaluate(EvaluateQuery),
+}

@@ -1,0 +1,61 @@
+//! # mh-dql
+//!
+//! DQL — the SQL-inspired domain-specific language for model exploration
+//! and enumeration (§III-B of the ModelHub paper). Four query forms:
+//!
+//! * `select` — filter model versions by metadata and structural
+//!   conditions (`m["conv[1,3,5]"].next has POOL("MAX")`);
+//! * `slice` — extract a reusable sub-network between two layers;
+//! * `construct … mutate` — derive new architectures by inserting or
+//!   deleting layers at selector-matched positions;
+//! * `evaluate … with / vary / keep` — enumerate (model × hyperparameter)
+//!   combinations, train them, and keep the top-k / thresholded winners,
+//!   committing them back into the repository with lineage.
+//!
+//! ```no_run
+//! use mh_dql::Executor;
+//! # fn demo(repo: &mh_dlv::Repository) -> Result<(), mh_dql::DqlError> {
+//! let exec = Executor::new(repo);
+//! let result = exec.run(r#"select m1 where m1.name like "alexnet%""#)?;
+//! # let _ = result; Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod optimizer;
+pub mod parser;
+pub mod selector;
+pub mod token;
+
+pub use ast::{Query, SelectQuery};
+pub use exec::{DerivedModel, EvalOutcome, Executor, QueryResult};
+pub use optimizer::optimize;
+pub use parser::{parse, ParseError};
+pub use selector::{substitute, Selector, SelectorError};
+
+/// Errors from DQL parsing or execution.
+#[derive(Debug)]
+pub enum DqlError {
+    Parse(ParseError),
+    Selector(SelectorError),
+    Dlv(mh_dlv::DlvError),
+    Network(mh_dnn::NetworkError),
+    UnknownDataset(String),
+    BadQuery(&'static str),
+}
+
+impl std::fmt::Display for DqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "parse error: {e}"),
+            Self::Selector(e) => write!(f, "selector error: {e}"),
+            Self::Dlv(e) => write!(f, "repository error: {e}"),
+            Self::Network(e) => write!(f, "network error: {e}"),
+            Self::UnknownDataset(d) => write!(f, "unknown dataset '{d}'"),
+            Self::BadQuery(m) => write!(f, "bad query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DqlError {}

@@ -1,0 +1,140 @@
+//! The DQL optimizer (the "DQL Parser & Optimizer" box of Fig. 3).
+//!
+//! Two rewrites, both semantics-preserving:
+//!
+//! 1. **Conjunct reordering by cost.** Structural `has` predicates load
+//!    and traverse the model's network DAG, while metadata comparisons
+//!    read the already-materialized version summary. Within an `And`
+//!    chain, cheap predicates are evaluated first so expensive structural
+//!    checks only run on survivors. (Boolean `&&` short-circuits, so this
+//!    is a pure win; `Or` chains are reordered symmetrically to put cheap
+//!    *accepting* conditions first.)
+//! 2. **Constant folding** of double negations.
+
+use crate::ast::Pred;
+
+/// Relative evaluation cost of a predicate atom.
+fn cost(p: &Pred) -> u32 {
+    match p {
+        Pred::True => 0,
+        Pred::Cmp(..) => 1,
+        Pred::Like(..) => 2,
+        // Loads the network from the catalog and walks the DAG.
+        Pred::Has(..) => 100,
+        Pred::Not(inner) => cost(inner),
+        Pred::And(a, b) | Pred::Or(a, b) => cost(a).saturating_add(cost(b)),
+    }
+}
+
+/// Flatten an `And`/`Or` spine into its conjuncts/disjuncts.
+fn flatten(p: Pred, and: bool, out: &mut Vec<Pred>) {
+    match (p, and) {
+        (Pred::And(a, b), true) => {
+            flatten(*a, true, out);
+            flatten(*b, true, out);
+        }
+        (Pred::Or(a, b), false) => {
+            flatten(*a, false, out);
+            flatten(*b, false, out);
+        }
+        (other, _) => out.push(other),
+    }
+}
+
+/// Rebuild a left-deep chain from ordered parts.
+fn rebuild(mut parts: Vec<Pred>, and: bool) -> Pred {
+    let Some(mut acc) = parts.first().cloned() else {
+        return Pred::True;
+    };
+    for p in parts.drain(1..) {
+        acc = if and {
+            Pred::And(Box::new(acc), Box::new(p))
+        } else {
+            Pred::Or(Box::new(acc), Box::new(p))
+        };
+    }
+    acc
+}
+
+/// Optimize a predicate. The result is logically equivalent for
+/// well-formed predicates (verified by property tests) but orders
+/// conjuncts cheapest-first. Ill-formed atoms (unknown attributes) may
+/// surface their error from a different position, since short-circuit
+/// order changes.
+pub fn optimize(pred: &Pred) -> Pred {
+    match pred {
+        Pred::And(..) => {
+            let mut parts = Vec::new();
+            flatten(pred.clone(), true, &mut parts);
+            let mut parts: Vec<Pred> = parts.iter().map(optimize).collect();
+            parts.sort_by_key(cost);
+            rebuild(parts, true)
+        }
+        Pred::Or(..) => {
+            let mut parts = Vec::new();
+            flatten(pred.clone(), false, &mut parts);
+            let mut parts: Vec<Pred> = parts.iter().map(optimize).collect();
+            parts.sort_by_key(cost);
+            rebuild(parts, false)
+        }
+        Pred::Not(inner) => match &**inner {
+            // Double negation elimination.
+            Pred::Not(x) => optimize(x),
+            _ => Pred::Not(Box::new(optimize(inner))),
+        },
+        leaf => leaf.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Literal, NodeTemplate, Path, PathStep};
+
+    fn cmp(attr: &str, v: f64) -> Pred {
+        Pred::Cmp(
+            Path { root: "m".into(), steps: vec![PathStep::Attr(attr.into())] },
+            CmpOp::Gt,
+            Literal::Num(v),
+        )
+    }
+
+    fn has(sel: &str) -> Pred {
+        Pred::Has(
+            Path { root: "m".into(), steps: vec![PathStep::Selector(sel.into())] },
+            NodeTemplate { ty: "POOL".into(), args: vec![] },
+        )
+    }
+
+    #[test]
+    fn structural_predicates_sink_to_the_right() {
+        let p = Pred::And(
+            Box::new(has("conv*")),
+            Box::new(Pred::And(Box::new(cmp("accuracy", 0.5)), Box::new(has("relu*")))),
+        );
+        let o = optimize(&p);
+        // Flattened order: Cmp first, Has atoms after.
+        let mut parts = Vec::new();
+        flatten(o, true, &mut parts);
+        assert_eq!(parts.len(), 3);
+        assert!(matches!(parts[0], Pred::Cmp(..)));
+        assert!(matches!(parts[1], Pred::Has(..)));
+        assert!(matches!(parts[2], Pred::Has(..)));
+    }
+
+    #[test]
+    fn double_negation_folds() {
+        let p = Pred::Not(Box::new(Pred::Not(Box::new(cmp("id", 1.0)))));
+        assert_eq!(optimize(&p), cmp("id", 1.0));
+        // Triple negation keeps one Not.
+        let p3 = Pred::Not(Box::new(p));
+        assert!(matches!(optimize(&p3), Pred::Not(_)));
+    }
+
+    #[test]
+    fn leaves_unchanged() {
+        let p = cmp("params", 10.0);
+        assert_eq!(optimize(&p), p);
+        assert_eq!(optimize(&Pred::True), Pred::True);
+    }
+}

@@ -1,0 +1,580 @@
+//! Recursive-descent parser for DQL.
+
+use crate::ast::*;
+use crate::token::{lex, Kw, LexError, Token};
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    Lex(LexError),
+    /// Expected something else at the given token index.
+    Expected(&'static str, usize),
+    TrailingTokens(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Lex(e) => write!(f, "lex error: {e}"),
+            Self::Expected(what, at) => write!(f, "expected {what} at token {at}"),
+            Self::TrailingTokens(at) => write!(f, "unexpected trailing input at token {at}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a DQL query string.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = lex(input).map_err(ParseError::Lex)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError::TrailingTokens(p.pos));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        if self.peek() == Some(&Token::Keyword(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw, what: &'static str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::Expected(what, self.pos))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &'static str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => Err(ParseError::Expected(what, self.pos.saturating_sub(1))),
+        }
+    }
+
+    fn expect_str(&mut self, what: &'static str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            _ => Err(ParseError::Expected(what, self.pos.saturating_sub(1))),
+        }
+    }
+
+    fn expect(&mut self, t: Token, what: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(&t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError::Expected(what, self.pos))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        match self.peek() {
+            Some(Token::Keyword(Kw::Select)) => self.select().map(Query::Select),
+            Some(Token::Keyword(Kw::Slice)) => self.slice().map(Query::Slice),
+            Some(Token::Keyword(Kw::Construct)) => self.construct().map(Query::Construct),
+            Some(Token::Keyword(Kw::Evaluate)) => self.evaluate().map(Query::Evaluate),
+            _ => Err(ParseError::Expected(
+                "select / slice / construct / evaluate",
+                self.pos,
+            )),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectQuery, ParseError> {
+        self.expect_kw(Kw::Select, "select")?;
+        let alias = self.expect_ident("model alias")?;
+        let pred = if self.eat_kw(Kw::Where) {
+            self.pred()?
+        } else {
+            Pred::True
+        };
+        Ok(SelectQuery { alias, pred })
+    }
+
+    fn slice(&mut self) -> Result<SliceQuery, ParseError> {
+        self.expect_kw(Kw::Slice, "slice")?;
+        let out_alias = self.expect_ident("output alias")?;
+        self.expect_kw(Kw::From, "from")?;
+        let in_alias = self.expect_ident("input alias")?;
+        let pred = if self.eat_kw(Kw::Where) { self.pred()? } else { Pred::True };
+        self.expect_kw(Kw::Mutate, "mutate")?;
+        // out.input = in["sel"] and out.output = in["sel"]
+        let mut input_selector = None;
+        let mut output_selector = None;
+        loop {
+            let alias = self.expect_ident("slice alias")?;
+            if alias != out_alias {
+                return Err(ParseError::Expected("output alias on mutate lhs", self.pos));
+            }
+            self.expect(Token::Dot, ".")?;
+            let which = self.expect_ident("'input' or 'output'")?;
+            self.expect(Token::Eq, "=")?;
+            let _src = self.expect_ident("input alias")?;
+            self.expect(Token::LBracket, "[")?;
+            let sel = self.expect_str("selector string")?;
+            self.expect(Token::RBracket, "]")?;
+            match which.as_str() {
+                "input" => input_selector = Some(sel),
+                "output" => output_selector = Some(sel),
+                _ => return Err(ParseError::Expected("'input' or 'output'", self.pos)),
+            }
+            if !self.eat_kw(Kw::And) {
+                break;
+            }
+        }
+        Ok(SliceQuery {
+            out_alias,
+            in_alias,
+            pred,
+            input_selector: input_selector
+                .ok_or(ParseError::Expected("input selector", self.pos))?,
+            output_selector: output_selector
+                .ok_or(ParseError::Expected("output selector", self.pos))?,
+        })
+    }
+
+    fn construct(&mut self) -> Result<ConstructQuery, ParseError> {
+        self.expect_kw(Kw::Construct, "construct")?;
+        let out_alias = self.expect_ident("output alias")?;
+        self.expect_kw(Kw::From, "from")?;
+        let in_alias = self.expect_ident("input alias")?;
+        let pred = if self.eat_kw(Kw::Where) { self.pred()? } else { Pred::True };
+        self.expect_kw(Kw::Mutate, "mutate")?;
+        let mut actions = Vec::new();
+        loop {
+            // m["sel"].insert = TEMPLATE(...)  |  m["sel"].delete
+            let _alias = self.expect_ident("model alias")?;
+            self.expect(Token::LBracket, "[")?;
+            let selector = self.expect_str("selector string")?;
+            self.expect(Token::RBracket, "]")?;
+            self.expect(Token::Dot, ".")?;
+            match self.next() {
+                Some(Token::Keyword(Kw::Insert)) => {
+                    self.expect(Token::Eq, "=")?;
+                    let template = self.node_template()?;
+                    actions.push(MutationAction::Insert { selector, template });
+                }
+                Some(Token::Keyword(Kw::Delete)) => {
+                    actions.push(MutationAction::Delete { selector });
+                }
+                _ => return Err(ParseError::Expected("insert or delete", self.pos)),
+            }
+            if !self.eat_kw(Kw::And) {
+                break;
+            }
+        }
+        Ok(ConstructQuery { out_alias, in_alias, pred, actions })
+    }
+
+    fn evaluate(&mut self) -> Result<EvaluateQuery, ParseError> {
+        self.expect_kw(Kw::Evaluate, "evaluate")?;
+        let alias = self.expect_ident("model alias")?;
+        self.expect_kw(Kw::From, "from")?;
+        let source = match self.peek() {
+            Some(Token::Str(_)) => {
+                let s = self.expect_str("source")?;
+                EvalSource::Named(s)
+            }
+            Some(Token::LParen) => {
+                self.next();
+                let q = self.query()?;
+                self.expect(Token::RParen, ")")?;
+                EvalSource::Nested(Box::new(q))
+            }
+            _ => {
+                // A nested query without parentheses.
+                let q = self.query()?;
+                EvalSource::Nested(Box::new(q))
+            }
+        };
+        let mut config = None;
+        if self.eat_kw(Kw::With) {
+            // with config = "..."
+            let ident = self.expect_ident("'config'")?;
+            if ident != "config" {
+                return Err(ParseError::Expected("'config'", self.pos));
+            }
+            self.expect(Token::Eq, "=")?;
+            config = Some(self.expect_str("config reference")?);
+        }
+        let mut vary = Vec::new();
+        if self.eat_kw(Kw::Vary) {
+            loop {
+                vary.push(self.vary_clause()?);
+                if !self.eat_kw(Kw::And) {
+                    break;
+                }
+            }
+        }
+        let mut keep = None;
+        if self.eat_kw(Kw::Keep) {
+            keep = Some(self.keep_rule(&alias)?);
+        }
+        Ok(EvaluateQuery { alias, source, config, vary, keep })
+    }
+
+    /// `config.base_lr in [...]` | `config.net["sel"].lr auto` |
+    /// `config.input_data in [...]`
+    fn vary_clause(&mut self) -> Result<VaryClause, ParseError> {
+        let root = self.expect_ident("'config'")?;
+        if root != "config" {
+            return Err(ParseError::Expected("'config'", self.pos));
+        }
+        self.expect(Token::Dot, ".")?;
+        let field = self.expect_ident("config field")?;
+        if field == "net" {
+            self.expect(Token::LBracket, "[")?;
+            let selector = self.expect_str("selector")?;
+            self.expect(Token::RBracket, "]")?;
+            self.expect(Token::Dot, ".")?;
+            let sub = self.expect_ident("'lr'")?;
+            if sub != "lr" {
+                return Err(ParseError::Expected("'lr'", self.pos));
+            }
+            self.expect_kw(Kw::Auto, "auto")?;
+            return Ok(VaryClause::LayerLrAuto { selector });
+        }
+        self.expect_kw(Kw::In, "in")?;
+        let values = self.literal_list()?;
+        if field == "input_data" {
+            let names = values
+                .into_iter()
+                .map(|l| match l {
+                    Literal::Str(s) => Ok(s),
+                    _ => Err(ParseError::Expected("string dataset names", self.pos)),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(VaryClause::InputData { names });
+        }
+        Ok(VaryClause::Grid { key: field, values })
+    }
+
+    /// `top(k, m["metric"], iters)` or `m["metric"] < value , iters`.
+    fn keep_rule(&mut self, alias: &str) -> Result<KeepRule, ParseError> {
+        if self.eat_kw(Kw::Top) {
+            self.expect(Token::LParen, "(")?;
+            let k = self.number()? as usize;
+            self.expect(Token::Comma, ",")?;
+            let metric = self.metric_ref(alias)?;
+            self.expect(Token::Comma, ",")?;
+            let iterations = self.number()? as usize;
+            self.expect(Token::RParen, ")")?;
+            return Ok(KeepRule::Top { k, metric, iterations });
+        }
+        let metric = self.metric_ref(alias)?;
+        let op = self.cmp_op()?;
+        let value = self.number()?;
+        self.expect(Token::Comma, ",")?;
+        let iterations = self.number()? as usize;
+        Ok(KeepRule::Threshold { metric, op, value, iterations })
+    }
+
+    /// `m["loss"]` or `m.loss`.
+    fn metric_ref(&mut self, alias: &str) -> Result<String, ParseError> {
+        let root = self.expect_ident("metric alias")?;
+        if root != alias {
+            return Err(ParseError::Expected("evaluate alias in metric", self.pos));
+        }
+        match self.next() {
+            Some(Token::LBracket) => {
+                let m = self.expect_str("metric name")?;
+                self.expect(Token::RBracket, "]")?;
+                Ok(m)
+            }
+            Some(Token::Dot) => self.expect_ident("metric name"),
+            _ => Err(ParseError::Expected("metric reference", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            _ => Err(ParseError::Expected("number", self.pos.saturating_sub(1))),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        match self.next() {
+            Some(Token::Eq) => Ok(CmpOp::Eq),
+            Some(Token::Ne) => Ok(CmpOp::Ne),
+            Some(Token::Lt) => Ok(CmpOp::Lt),
+            Some(Token::Le) => Ok(CmpOp::Le),
+            Some(Token::Gt) => Ok(CmpOp::Gt),
+            Some(Token::Ge) => Ok(CmpOp::Ge),
+            _ => Err(ParseError::Expected("comparison operator", self.pos.saturating_sub(1))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.peek() {
+            Some(Token::Str(_)) => Ok(Literal::Str(self.expect_str("string")?)),
+            Some(Token::Number(_)) => Ok(Literal::Num(self.number()?)),
+            Some(Token::LBracket) => self.literal_list().map(Literal::List),
+            _ => Err(ParseError::Expected("literal", self.pos)),
+        }
+    }
+
+    fn literal_list(&mut self) -> Result<Vec<Literal>, ParseError> {
+        self.expect(Token::LBracket, "[")?;
+        let mut out = Vec::new();
+        if self.peek() != Some(&Token::RBracket) {
+            loop {
+                out.push(self.literal()?);
+                if !matches!(self.peek(), Some(Token::Comma)) {
+                    break;
+                }
+                self.next();
+            }
+        }
+        self.expect(Token::RBracket, "]")?;
+        Ok(out)
+    }
+
+    /// Boolean predicate with `and` binding tighter than `or`.
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.pred_and()?;
+        while self.eat_kw(Kw::Or) {
+            let right = self.pred_and()?;
+            left = Pred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.pred_atom()?;
+        while self.eat_kw(Kw::And) {
+            let right = self.pred_atom()?;
+            left = Pred::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_atom(&mut self) -> Result<Pred, ParseError> {
+        if self.eat_kw(Kw::Not) {
+            let inner = self.pred_atom()?;
+            return Ok(Pred::Not(Box::new(inner)));
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.next();
+            let inner = self.pred()?;
+            self.expect(Token::RParen, ")")?;
+            return Ok(inner);
+        }
+        let path = self.path()?;
+        match self.peek() {
+            Some(Token::Keyword(Kw::Like)) => {
+                self.next();
+                let pat = self.expect_str("like pattern")?;
+                Ok(Pred::Like(path, pat))
+            }
+            Some(Token::Keyword(Kw::Has)) => {
+                self.next();
+                let tpl = self.node_template()?;
+                Ok(Pred::Has(path, tpl))
+            }
+            _ => {
+                let op = self.cmp_op()?;
+                let lit = self.literal()?;
+                Ok(Pred::Cmp(path, op, lit))
+            }
+        }
+    }
+
+    /// `alias(.attr | ["sel"])*`
+    fn path(&mut self) -> Result<Path, ParseError> {
+        let root = self.expect_ident("path root")?;
+        let mut steps = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Dot) => {
+                    self.next();
+                    steps.push(PathStep::Attr(self.expect_ident("attribute")?));
+                }
+                Some(Token::LBracket) => {
+                    self.next();
+                    let sel = self.expect_str("selector")?;
+                    self.expect(Token::RBracket, "]")?;
+                    steps.push(PathStep::Selector(sel));
+                }
+                _ => break,
+            }
+        }
+        Ok(Path { root, steps })
+    }
+
+    /// `NAME("arg", 2, ...)` or bare `NAME`.
+    fn node_template(&mut self) -> Result<NodeTemplate, ParseError> {
+        let ty = self.expect_ident("template name")?;
+        let mut args = Vec::new();
+        if self.peek() == Some(&Token::LParen) {
+            self.next();
+            if self.peek() != Some(&Token::RParen) {
+                loop {
+                    args.push(self.literal()?);
+                    if !matches!(self.peek(), Some(Token::Comma)) {
+                        break;
+                    }
+                    self.next();
+                }
+            }
+            self.expect(Token::RParen, ")")?;
+        }
+        Ok(NodeTemplate { ty: ty.to_ascii_uppercase(), args })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_query1() {
+        let q = parse(
+            r#"select m1
+               where m1.name like "alexnet_%" and
+                     m1.creation_time > 1448150400 and
+                     m1["conv[1,3,5]"].next has POOL("MAX")"#,
+        )
+        .unwrap();
+        let Query::Select(s) = q else { panic!("expected select") };
+        assert_eq!(s.alias, "m1");
+        // Predicate is a left-nested And of three atoms.
+        let Pred::And(lhs, rhs) = &s.pred else { panic!() };
+        assert!(matches!(**rhs, Pred::Has(_, _)));
+        let Pred::And(a, b) = &**lhs else { panic!() };
+        assert!(matches!(**a, Pred::Like(_, _)));
+        assert!(matches!(**b, Pred::Cmp(_, CmpOp::Gt, _)));
+    }
+
+    #[test]
+    fn parse_paper_query2() {
+        let q = parse(
+            r#"slice m2 from m1
+               where m1.name like "alexnet-origin%"
+               mutate m2.input = m1["conv1"] and
+                      m2.output = m1["fc7"]"#,
+        )
+        .unwrap();
+        let Query::Slice(s) = q else { panic!("expected slice") };
+        assert_eq!(s.input_selector, "conv1");
+        assert_eq!(s.output_selector, "fc7");
+    }
+
+    #[test]
+    fn parse_paper_query3() {
+        let q = parse(
+            r#"construct m2 from m1
+               where m1.name like "alexnet-avgv1%" and
+                     m1["conv*($1)"].next has POOL("AVG")
+               mutate m1["conv*($1)"].insert = RELU("relu$1")"#,
+        )
+        .unwrap();
+        let Query::Construct(c) = q else { panic!("expected construct") };
+        assert_eq!(c.actions.len(), 1);
+        let MutationAction::Insert { selector, template } = &c.actions[0] else {
+            panic!()
+        };
+        assert_eq!(selector, "conv*($1)");
+        assert_eq!(template.ty, "RELU");
+        assert_eq!(template.args, vec![Literal::Str("relu$1".into())]);
+    }
+
+    #[test]
+    fn parse_paper_query4() {
+        let q = parse(
+            r#"evaluate m
+               from "query3"
+               with config = "path to config"
+               vary config.base_lr in [0.1, 0.01, 0.001] and
+                    config.net["conv*"].lr auto and
+                    config.input_data in ["path1", "path2"]
+               keep top(5, m["loss"], 100)"#,
+        )
+        .unwrap();
+        let Query::Evaluate(e) = q else { panic!("expected evaluate") };
+        assert_eq!(e.source, EvalSource::Named("query3".into()));
+        assert_eq!(e.config.as_deref(), Some("path to config"));
+        assert_eq!(e.vary.len(), 3);
+        assert!(matches!(&e.vary[0], VaryClause::Grid { key, values } if key == "base_lr" && values.len() == 3));
+        assert!(matches!(&e.vary[1], VaryClause::LayerLrAuto { selector } if selector == "conv*"));
+        assert!(matches!(&e.vary[2], VaryClause::InputData { names } if names.len() == 2));
+        assert_eq!(
+            e.keep,
+            Some(KeepRule::Top { k: 5, metric: "loss".into(), iterations: 100 })
+        );
+    }
+
+    #[test]
+    fn parse_nested_evaluate() {
+        let q = parse(
+            r#"evaluate m from (construct m2 from m1 where m1.name like "x%" mutate m1["conv1"].delete)
+               keep m["loss"] < 0.5, 20"#,
+        )
+        .unwrap();
+        let Query::Evaluate(e) = q else { panic!() };
+        assert!(matches!(e.source, EvalSource::Nested(_)));
+        assert_eq!(
+            e.keep,
+            Some(KeepRule::Threshold {
+                metric: "loss".into(),
+                op: CmpOp::Lt,
+                value: 0.5,
+                iterations: 20
+            })
+        );
+    }
+
+    #[test]
+    fn parse_delete_action() {
+        let q = parse(r#"construct m2 from m1 mutate m1["drop*"].delete"#).unwrap();
+        let Query::Construct(c) = q else { panic!() };
+        assert_eq!(c.actions, vec![MutationAction::Delete { selector: "drop*".into() }]);
+    }
+
+    #[test]
+    fn or_and_precedence_and_parens() {
+        let q = parse(r#"select m where m.a > 1 or m.b > 2 and m.c > 3"#).unwrap();
+        let Query::Select(s) = q else { panic!() };
+        // Parses as a OR (b AND c).
+        let Pred::Or(_, rhs) = &s.pred else { panic!("or at top") };
+        assert!(matches!(**rhs, Pred::And(_, _)));
+        let q2 = parse(r#"select m where (m.a > 1 or m.b > 2) and m.c > 3"#).unwrap();
+        let Query::Select(s2) = q2 else { panic!() };
+        assert!(matches!(s2.pred, Pred::And(_, _)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("select").is_err());
+        assert!(parse("frobnicate m1").is_err());
+        assert!(parse(r#"select m1 where m1.name like"#).is_err());
+        assert!(parse(r#"select m1 where m1.x > 1 extra"#).is_err());
+    }
+}

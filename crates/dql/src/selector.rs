@@ -1,0 +1,261 @@
+//! The node-selector mini-pattern language used inside `m["..."]`.
+//!
+//! Supported syntax (a regexp-flavoured subset sufficient for the paper's
+//! queries):
+//!
+//! * literal characters — match themselves;
+//! * `*` — matches any (possibly empty) run of characters, lazily extended
+//!   with backtracking;
+//! * `?` — matches exactly one character;
+//! * `[a,b,c]` — alternation over comma-separated literal strings
+//!   (e.g. `conv[1,3,5]`);
+//! * `( ... )` — grouping (no semantic effect on matching).
+//!
+//! Every `*`, `?` and `[...]` is a capture; `$1`, `$2`, … in replacement
+//! templates refer to them in order (the paper's `conv*($1)` ↦
+//! `RELU("relu$1")` idiom).
+
+/// One compiled pattern element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Item {
+    Lit(char),
+    Star,
+    One,
+    Alt(Vec<String>),
+}
+
+/// A compiled selector pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    items: Vec<Item>,
+    source: String,
+}
+
+/// Selector parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectorError {
+    UnclosedBracket,
+    UnbalancedParen,
+    EmptyAlternative,
+}
+
+impl std::fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnclosedBracket => write!(f, "unclosed '[' in selector"),
+            Self::UnbalancedParen => write!(f, "unbalanced parentheses in selector"),
+            Self::EmptyAlternative => write!(f, "empty alternative in selector"),
+        }
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+impl Selector {
+    /// Compile a pattern.
+    pub fn compile(pattern: &str) -> Result<Self, SelectorError> {
+        let mut items = Vec::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut depth = 0i32;
+        while i < chars.len() {
+            match chars[i] {
+                '*' => items.push(Item::Star),
+                '?' => items.push(Item::One),
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Err(SelectorError::UnbalancedParen);
+                    }
+                }
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or(SelectorError::UnclosedBracket)?;
+                    let body: String = chars[i + 1..i + 1 + close].iter().collect();
+                    let alts: Vec<String> =
+                        body.split(',').map(|s| s.trim().to_string()).collect();
+                    if alts.iter().any(String::is_empty) {
+                        return Err(SelectorError::EmptyAlternative);
+                    }
+                    items.push(Item::Alt(alts));
+                    i += close + 1;
+                }
+                c => items.push(Item::Lit(c)),
+            }
+            i += 1;
+        }
+        if depth != 0 {
+            return Err(SelectorError::UnbalancedParen);
+        }
+        Ok(Self { items, source: pattern.to_string() })
+    }
+
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Match a name; on success, return the captures (one per wildcard, in
+    /// pattern order).
+    pub fn captures(&self, name: &str) -> Option<Vec<String>> {
+        let chars: Vec<char> = name.chars().collect();
+        let mut caps = Vec::new();
+        if self.match_from(0, &chars, 0, &mut caps) {
+            Some(caps)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the name matches.
+    pub fn is_match(&self, name: &str) -> bool {
+        self.captures(name).is_some()
+    }
+
+    fn match_from(
+        &self,
+        item_idx: usize,
+        text: &[char],
+        pos: usize,
+        caps: &mut Vec<String>,
+    ) -> bool {
+        if item_idx == self.items.len() {
+            return pos == text.len();
+        }
+        match &self.items[item_idx] {
+            Item::Lit(c) => {
+                if text.get(pos) == Some(c) {
+                    self.match_from(item_idx + 1, text, pos + 1, caps)
+                } else {
+                    false
+                }
+            }
+            Item::One => {
+                if pos < text.len() {
+                    caps.push(text[pos].to_string());
+                    if self.match_from(item_idx + 1, text, pos + 1, caps) {
+                        return true;
+                    }
+                    caps.pop();
+                }
+                false
+            }
+            Item::Star => {
+                // Try progressively longer captures.
+                for end in pos..=text.len() {
+                    caps.push(text[pos..end].iter().collect());
+                    if self.match_from(item_idx + 1, text, end, caps) {
+                        return true;
+                    }
+                    caps.pop();
+                }
+                false
+            }
+            Item::Alt(alts) => {
+                for alt in alts {
+                    let ac: Vec<char> = alt.chars().collect();
+                    if text[pos..].starts_with(&ac) {
+                        caps.push(alt.clone());
+                        if self.match_from(item_idx + 1, text, pos + ac.len(), caps) {
+                            return true;
+                        }
+                        caps.pop();
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Substitute `$1`, `$2`, … in a template with captures.
+pub fn substitute(template: &str, caps: &[String]) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = template.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] == '$' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            let n: usize = chars[i + 1..j].iter().collect::<String>().parse().unwrap_or(0);
+            if n >= 1 && n <= caps.len() {
+                out.push_str(&caps[n - 1]);
+            }
+            i = j;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_star() {
+        let s = Selector::compile("conv*").unwrap();
+        assert_eq!(s.captures("conv1"), Some(vec!["1".into()]));
+        assert_eq!(s.captures("conv"), Some(vec!["".into()]));
+        assert_eq!(s.captures("conv2_3"), Some(vec!["2_3".into()]));
+        assert!(s.captures("pool1").is_none());
+    }
+
+    #[test]
+    fn bracket_alternation() {
+        // The paper's Query 1 selector.
+        let s = Selector::compile("conv[1,3,5]").unwrap();
+        assert!(s.is_match("conv1"));
+        assert!(s.is_match("conv3"));
+        assert!(s.is_match("conv5"));
+        assert!(!s.is_match("conv2"));
+        assert!(!s.is_match("conv15"));
+        assert_eq!(s.captures("conv3"), Some(vec!["3".into()]));
+    }
+
+    #[test]
+    fn grouped_star_capture() {
+        // The paper's Query 3 selector: conv*($1).
+        let s = Selector::compile("conv(*)").unwrap();
+        assert_eq!(s.captures("conv2_1"), Some(vec!["2_1".into()]));
+        let caps = s.captures("conv7").unwrap();
+        assert_eq!(substitute("relu$1", &caps), "relu7");
+    }
+
+    #[test]
+    fn question_mark() {
+        let s = Selector::compile("ip?").unwrap();
+        assert!(s.is_match("ip1"));
+        assert!(!s.is_match("ip"));
+        assert!(!s.is_match("ip12"));
+    }
+
+    #[test]
+    fn multiple_wildcards() {
+        let s = Selector::compile("*_*").unwrap();
+        let caps = s.captures("conv1_2").unwrap();
+        assert_eq!(caps, vec!["conv1".to_string(), "2".to_string()]);
+        assert_eq!(substitute("$1-x-$2", &caps), "conv1-x-2");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Selector::compile("a[b"), Err(SelectorError::UnclosedBracket));
+        assert_eq!(Selector::compile("a(b"), Err(SelectorError::UnbalancedParen));
+        assert_eq!(Selector::compile("a)b"), Err(SelectorError::UnbalancedParen));
+        assert_eq!(Selector::compile("x[,y]"), Err(SelectorError::EmptyAlternative));
+    }
+
+    #[test]
+    fn substitute_edge_cases() {
+        assert_eq!(substitute("no refs", &["a".into()]), "no refs");
+        assert_eq!(substitute("$9", &["a".into()]), ""); // out of range drops
+        assert_eq!(substitute("a$1b$1c", &["X".into()]), "aXbXc");
+    }
+}

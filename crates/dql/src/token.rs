@@ -1,0 +1,292 @@
+//! Lexer for DQL.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (lowercased); DQL keywords are case-insensitive.
+    Keyword(Kw),
+    /// Identifier (model aliases, attribute names, template names).
+    Ident(String),
+    /// Quoted string literal (single or double quotes).
+    Str(String),
+    Number(f64),
+    // Punctuation / operators.
+    Dot,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Select,
+    Slice,
+    Construct,
+    Evaluate,
+    From,
+    Where,
+    Mutate,
+    With,
+    Vary,
+    Keep,
+    And,
+    Or,
+    Not,
+    Like,
+    Has,
+    In,
+    Auto,
+    Top,
+    Insert,
+    Delete,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "select" => Kw::Select,
+        "slice" => Kw::Slice,
+        "construct" => Kw::Construct,
+        "evaluate" => Kw::Evaluate,
+        "from" => Kw::From,
+        "where" => Kw::Where,
+        "mutate" => Kw::Mutate,
+        "with" => Kw::With,
+        "vary" => Kw::Vary,
+        "keep" => Kw::Keep,
+        "and" => Kw::And,
+        "or" => Kw::Or,
+        "not" => Kw::Not,
+        "like" => Kw::Like,
+        "has" => Kw::Has,
+        "in" => Kw::In,
+        "auto" => Kw::Auto,
+        "top" => Kw::Top,
+        "insert" => Kw::Insert,
+        "delete" => Kw::Delete,
+        _ => return None,
+    })
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LexError {
+    UnterminatedString(usize),
+    BadNumber(usize),
+    UnexpectedChar(char, usize),
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnterminatedString(p) => write!(f, "unterminated string at byte {p}"),
+            Self::BadNumber(p) => write!(f, "malformed number at byte {p}"),
+            Self::UnexpectedChar(c, p) => write!(f, "unexpected character '{c}' at byte {p}"),
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a DQL query string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+                if chars.get(i) == Some(&'=') {
+                    i += 1; // accept '==' as '='
+                }
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(LexError::UnterminatedString(start)),
+                        Some(&ch) if ch == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&'\\') if chars.get(i + 1).is_some() => {
+                            s.push(chars[i + 1]);
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && i > start
+                            && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                // A trailing '.' belongs to attribute access, not the number.
+                let mut end = i;
+                if end > start && chars[end - 1] == '.' {
+                    end -= 1;
+                    i = end;
+                }
+                let text: String = chars[start..end].iter().collect();
+                let n: f64 = text.parse().map_err(|_| LexError::BadNumber(start))?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                match keyword(&text) {
+                    Some(kw) => out.push(Token::Keyword(kw)),
+                    None => out.push(Token::Ident(text)),
+                }
+            }
+            other => return Err(LexError::UnexpectedChar(other, i)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_query1() {
+        let toks = lex(r#"select m1 where m1.name like "alexnet_%" and m1["conv[1,3,5]"].next has POOL("MAX")"#)
+            .unwrap();
+        assert_eq!(toks[0], Token::Keyword(Kw::Select));
+        assert_eq!(toks[1], Token::Ident("m1".into()));
+        assert!(toks.contains(&Token::Str("alexnet_%".into())));
+        assert!(toks.contains(&Token::Str("conv[1,3,5]".into())));
+        assert!(toks.contains(&Token::Keyword(Kw::Has)));
+        assert!(toks.contains(&Token::Str("MAX".into())));
+    }
+
+    #[test]
+    fn lex_numbers_and_ops() {
+        let toks = lex("x >= 0.5 and y != 3 and z in [0.1, 0.01, 1e-3]").unwrap();
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Number(0.5)));
+        assert!(toks.contains(&Token::Number(1e-3)));
+    }
+
+    #[test]
+    fn number_followed_by_dot_attribute() {
+        // "top(5, m..." style: number then punctuation.
+        let toks = lex("top(5, m1.loss)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Kw::Top),
+                Token::LParen,
+                Token::Number(5.0),
+                Token::Comma,
+                Token::Ident("m1".into()),
+                Token::Dot,
+                Token::Ident("loss".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(lex("\"oops"), Err(LexError::UnterminatedString(_))));
+        assert!(matches!(lex("a # b"), Err(LexError::UnexpectedChar('#', _))));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let toks = lex("SELECT m1 WHERE m1.name LIKE 'x%'").unwrap();
+        assert_eq!(toks[0], Token::Keyword(Kw::Select));
+        assert_eq!(toks[2], Token::Keyword(Kw::Where));
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let toks = lex(r#""a\"b""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("a\"b".into())]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Parser robustness: arbitrary input never panics, and well-formed
+//! queries round-trip through structural generation.
+
+use mh_dql::{parse, Selector};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_strings(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parse_never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("select".to_string()), Just("slice".to_string()),
+                Just("construct".to_string()), Just("evaluate".to_string()),
+                Just("from".to_string()), Just("where".to_string()),
+                Just("mutate".to_string()), Just("vary".to_string()),
+                Just("keep".to_string()), Just("and".to_string()),
+                Just("like".to_string()), Just("has".to_string()),
+                Just("m1".to_string()), Just("top".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just("[".to_string()), Just("]".to_string()),
+                Just("=".to_string()), Just(">".to_string()),
+                Just("\"x%\"".to_string()), Just("0.5".to_string()),
+                Just(".".to_string()), Just(",".to_string()),
+            ],
+            0..24
+        )
+    ) {
+        let _ = parse(&words.join(" "));
+    }
+
+    #[test]
+    fn generated_select_queries_parse(
+        name in "[a-z][a-z0-9-]{0,8}",
+        threshold in 0.0f64..1.0,
+        sel in "[a-z][a-z0-9]{0,4}",
+    ) {
+        let q = format!(
+            r#"select m1 where m1.name like "{name}%" and m1.accuracy > {threshold} and m1["{sel}*"].next has POOL("MAX")"#
+        );
+        parse(&q).expect("generated query must parse");
+    }
+
+    #[test]
+    fn selector_compile_never_panics(pattern in ".{0,40}") {
+        if let Ok(sel) = Selector::compile(&pattern) {
+            // Matching arbitrary names must also be panic-free and
+            // backtracking must terminate.
+            let _ = sel.is_match("conv1_2");
+            let _ = sel.captures("pool");
+        }
+    }
+
+    #[test]
+    fn selector_literal_patterns_match_exactly(name in "[a-z0-9_]{0,12}") {
+        let sel = Selector::compile(&name).unwrap();
+        let extended = format!("{name}x");
+        prop_assert!(sel.is_match(&name));
+        prop_assert!(!sel.is_match(&extended));
+    }
+
+    #[test]
+    fn star_matches_any_extension(prefix in "[a-z]{1,5}", rest in "[a-z0-9_]{0,8}") {
+        let sel = Selector::compile(&format!("{prefix}*")).unwrap();
+        let caps = sel.captures(&format!("{prefix}{rest}")).expect("must match");
+        prop_assert_eq!(caps, vec![rest]);
+    }
+}
+
+// ---- optimizer equivalence -------------------------------------------
+
+use mh_dql::ast::{CmpOp, Literal, Path, PathStep, Pred};
+use mh_dql::optimize;
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let leaf = prop_oneof![
+        Just(Pred::True),
+        (0u8..3, -2.0f64..2.0).prop_map(|(attr, v)| {
+            let name = ["accuracy", "params", "id"][attr as usize];
+            Pred::Cmp(
+                Path { root: "m".into(), steps: vec![PathStep::Attr(name.into())] },
+                CmpOp::Gt,
+                Literal::Num(v),
+            )
+        }),
+        "[a-c%]{0,4}".prop_map(|pat| Pred::Like(
+            Path { root: "m".into(), steps: vec![PathStep::Attr("name".into())] },
+            pat,
+        )),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Pred::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Pure evaluation over a fake metadata row (no repository needed).
+fn eval_pure(p: &Pred, accuracy: f64, params: f64, id: f64, name: &str) -> bool {
+    match p {
+        Pred::True => true,
+        Pred::And(a, b) => {
+            eval_pure(a, accuracy, params, id, name) && eval_pure(b, accuracy, params, id, name)
+        }
+        Pred::Or(a, b) => {
+            eval_pure(a, accuracy, params, id, name) || eval_pure(b, accuracy, params, id, name)
+        }
+        Pred::Not(a) => !eval_pure(a, accuracy, params, id, name),
+        Pred::Cmp(path, CmpOp::Gt, Literal::Num(v)) => {
+            let x = match path.steps.first() {
+                Some(PathStep::Attr(a)) if a == "accuracy" => accuracy,
+                Some(PathStep::Attr(a)) if a == "params" => params,
+                _ => id,
+            };
+            x > *v
+        }
+        Pred::Like(_, pat) => mh_store::like_match(pat, name),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn optimizer_preserves_semantics(
+        p in arb_pred(),
+        accuracy in -1.0f64..1.0,
+        params in -1.0f64..1.0,
+        id in -1.0f64..1.0,
+        name in "[a-c]{0,4}",
+    ) {
+        let o = optimize(&p);
+        prop_assert_eq!(
+            eval_pure(&p, accuracy, params, id, &name),
+            eval_pure(&o, accuracy, params, id, &name),
+            "optimizer changed semantics for {:?} -> {:?}", p, o
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end DQL tests: build a small repository of trained models, then
+//! run the paper's four query archetypes against it.
+
+use mh_dlv::{CommitRequest, Repository};
+use mh_dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
+use mh_dql::{Executor, QueryResult};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mh-dql-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn dataset() -> mh_dnn::Dataset {
+    synth_dataset(&SynthConfig {
+        num_classes: 3,
+        train_per_class: 8,
+        test_per_class: 4,
+        noise: 0.05,
+        seed: 21,
+        ..Default::default()
+    })
+}
+
+/// A repo with a lenet family (trained) and an alexnet-style model.
+fn fixture(tag: &str) -> (Repository, PathBuf) {
+    let dir = temp_dir(tag);
+    let repo = Repository::init(&dir).unwrap();
+    let data = dataset();
+    let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+
+    for (name, seed) in [("lenet-origin", 1u64), ("lenet-avgv1", 2)] {
+        let net = zoo::lenet_s(3);
+        let init = Weights::init(&net, seed).unwrap();
+        let result = trainer.train(&net, init, &data, 8).unwrap();
+        let mut req = CommitRequest::new(name, net);
+        req.snapshots = vec![(8, result.weights)];
+        req.accuracy = Some(result.final_accuracy);
+        req.comment = format!("{name} baseline");
+        repo.commit(&req).unwrap();
+    }
+    {
+        let net = zoo::alexnet_s(3);
+        let init = Weights::init(&net, 5).unwrap();
+        let result = trainer.train(&net, init, &data, 4).unwrap();
+        let mut req = CommitRequest::new("alexnet-v1", net);
+        req.snapshots = vec![(4, result.weights)];
+        req.accuracy = Some(result.final_accuracy);
+        repo.commit(&req).unwrap();
+    }
+    (repo, dir)
+}
+
+#[test]
+fn select_by_name_and_structure() {
+    let (repo, dir) = fixture("select");
+    let exec = Executor::new(&repo);
+
+    // Name pattern only.
+    let QueryResult::Versions(v) = exec
+        .run(r#"select m1 where m1.name like "lenet%""#)
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(v.len(), 2);
+
+    // Structural condition: lenet_s has conv layers followed by relu, and
+    // pools downstream: conv1.next is relu1, not a POOL.
+    let QueryResult::Versions(v) = exec
+        .run(r#"select m1 where m1["conv?"].next has POOL("MAX")"#)
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert!(v.is_empty(), "conv is followed by relu, not pool: {v:?}");
+
+    // relu1.next IS a max pool in both scaled families (lenet_s and
+    // alexnet_s), so the structural filter alone matches all three.
+    let QueryResult::Versions(v) = exec
+        .run(r#"select m1 where m1["relu[1,2]"].next has POOL("MAX")"#)
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(v.len(), 3, "relu->maxpool appears in every committed model");
+
+    // Mixing the structural condition with a name predicate narrows it —
+    // the paper's Query 1 shape.
+    let QueryResult::Versions(v) = exec
+        .run(r#"select m1 where m1.name like "lenet%" and m1["relu[1,2]"].next has POOL("MAX")"#)
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(v.len(), 2, "both lenets have relu->maxpool");
+
+    // Numeric predicate over metadata.
+    let QueryResult::Versions(v) = exec
+        .run(r#"select m1 where m1.params > 1 and m1.accuracy >= 0"#)
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(v.len(), 3);
+
+    // Or / not combinations.
+    let QueryResult::Versions(v) = exec
+        .run(r#"select m1 where m1.name like "alexnet%" or m1.name like "lenet-origin%""#)
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(v.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slice_extracts_subnetwork_with_weights() {
+    let (repo, dir) = fixture("slice");
+    let exec = Executor::new(&repo);
+    let QueryResult::Derived(d) = exec
+        .run(
+            r#"slice m2 from m1 where m1.name like "lenet-origin%"
+               mutate m2.input = m1["conv1"] and m2.output = m1["ip1"]"#,
+        )
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(d.len(), 1);
+    let sub = &d[0].network;
+    let names: Vec<&str> = sub.nodes().map(|n| n.name.as_str()).collect();
+    assert!(names.contains(&"conv1") && names.contains(&"ip1"));
+    assert!(!names.contains(&"data") && !names.contains(&"ip2"));
+    // Warm-start weights for surviving parametric layers came along.
+    let init = d[0].init.as_ref().unwrap();
+    assert!(init.get("conv1").is_some() && init.get("ip1").is_some());
+    assert!(init.get("ip2").is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn construct_inserts_templated_layers() {
+    let (repo, dir) = fixture("construct");
+    let exec = Executor::new(&repo);
+    // Insert a tanh after every pool (captures number the new layers).
+    let QueryResult::Derived(d) = exec
+        .run(
+            r#"construct m2 from m1 where m1.name like "lenet%"
+               mutate m1["pool(*)"].insert = TANH("posttanh$1")"#,
+        )
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(d.len(), 2);
+    for dm in &d {
+        let names: Vec<&str> = dm.network.nodes().map(|n| n.name.as_str()).collect();
+        assert!(names.contains(&"posttanh1"), "{names:?}");
+        assert!(names.contains(&"posttanh2"), "{names:?}");
+        // Inserted after pool1: pool1 -> posttanh1 -> conv2.
+        let pool1 = dm.network.node_by_name("pool1").unwrap().id;
+        let next = dm.network.next(pool1);
+        assert_eq!(next.len(), 1);
+        assert_eq!(dm.network.node(next[0]).unwrap().name, "posttanh1");
+        dm.network.infer_shapes().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn construct_delete_layers() {
+    let (repo, dir) = fixture("delete");
+    let exec = Executor::new(&repo);
+    let QueryResult::Derived(d) = exec
+        .run(
+            r#"construct m2 from m1 where m1.name like "lenet-origin%"
+               mutate m1["relu3"].delete"#,
+        )
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(d.len(), 1);
+    assert!(d[0].network.node_by_name("relu3").is_err());
+    // ip1 now feeds ip2 directly.
+    let ip1 = d[0].network.node_by_name("ip1").unwrap().id;
+    let next = d[0].network.next(ip1);
+    assert_eq!(d[0].network.node(next[0]).unwrap().name, "ip2");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evaluate_grid_search_and_keep_top() {
+    let (repo, dir) = fixture("evaluate");
+    let mut exec = Executor::new(&repo);
+    exec.register_dataset("synth3", dataset());
+    let before = repo.list().len();
+
+    let QueryResult::Evaluated(rows) = exec
+        .run(
+            r#"evaluate m from "lenet-origin%"
+               vary config.base_lr in [0.1, 0.01]
+               keep top(1, m["loss"], 5)"#,
+        )
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(rows.len(), 2, "2 lr values × 1 model");
+    let kept: Vec<_> = rows.iter().filter(|r| r.kept).collect();
+    assert_eq!(kept.len(), 1);
+    // The kept model was committed with lineage back to the source.
+    let committed = kept[0].committed.as_ref().unwrap();
+    assert_eq!(repo.list().len(), before + 1);
+    assert!(repo
+        .lineage()
+        .iter()
+        .any(|(base, derived)| base == "lenet-origin:1" && derived == &committed.to_string()));
+    // Kept rows sort first and have the lowest loss.
+    assert!(rows[0].kept);
+    assert!(rows[0].loss <= rows[1].loss);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evaluate_nested_construct_with_layer_lr_auto() {
+    let (repo, dir) = fixture("nested");
+    let mut exec = Executor::new(&repo);
+    exec.register_dataset("synth3", dataset());
+    exec.auto_lr_grid = vec![1.0, 0.0]; // second config freezes matched layers
+
+    let QueryResult::Evaluated(rows) = exec
+        .run(
+            r#"evaluate m from (construct m2 from m1 where m1.name like "lenet-origin%"
+                                mutate m1["pool2"].insert = TANH("t1"))
+               vary config.net["conv*"].lr auto
+               keep top(2, m["loss"], 4)"#,
+        )
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(rows.len(), 2, "one derived model × 2 auto lr settings");
+    assert!(rows.iter().all(|r| r.kept));
+    assert!(rows.iter().all(|r| r.config.contains("lr[conv*]")));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evaluate_threshold_keep_and_input_data() {
+    let (repo, dir) = fixture("threshold");
+    let mut exec = Executor::new(&repo);
+    exec.register_dataset("easy", dataset());
+    exec.register_dataset(
+        "noisy",
+        synth_dataset(&SynthConfig {
+            num_classes: 3,
+            train_per_class: 8,
+            test_per_class: 4,
+            noise: 0.6,
+            seed: 77,
+            ..Default::default()
+        }),
+    );
+    let QueryResult::Evaluated(rows) = exec
+        .run(
+            r#"evaluate m from "alexnet%"
+               vary config.input_data in ["easy", "noisy"]
+               keep m["loss"] < 100.0, 3"#,
+        )
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().any(|r| r.config.contains("data=easy")));
+    assert!(rows.iter().any(|r| r.config.contains("data=noisy")));
+    assert!(rows.iter().all(|r| r.kept), "threshold 100 keeps everything");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_queries_fail_cleanly() {
+    let (repo, dir) = fixture("bad");
+    let exec = Executor::new(&repo);
+    assert!(exec.run("select m1 where m2.name like 'x'").is_err());
+    assert!(exec.run("select m1 where m1.nonsense > 1").is_err());
+    assert!(exec.run("not a query at all").is_err());
+    // Evaluate without a dataset registered.
+    assert!(exec
+        .run(r#"evaluate m from "lenet%" keep top(1, m["loss"], 2)"#)
+        .is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,550 @@
+//! Build a [`StorageGraph`] from the weight artifacts of a model
+//! repository.
+//!
+//! The builder registers one vertex per (version, snapshot, layer) matrix
+//! and one co-usage group per snapshot, then generates storage options:
+//!
+//! * a materialize edge ν₀ → v for every matrix (cost = measured compressed
+//!   size of its byte planes);
+//! * delta edges between matching layers of **adjacent snapshots** within
+//!   a version (both directions);
+//! * delta edges between matching layers of the **latest snapshots** of
+//!   lineage-related versions (the fine-tuning case) — exactly where §IV-B
+//!   found deltas to pay off.
+//!
+//! Costs are measured by actually compressing the candidate payloads, so
+//! the optimization operates on real footprints rather than guesses.
+
+use crate::graph::{EdgeKind, StorageGraph, VertexId, NULL_VERTEX};
+use crate::plan::RetrievalScheme;
+use crate::solver;
+use mh_compress::Level;
+use mh_delta::{Delta, DeltaOp};
+use mh_dnn::Weights;
+use mh_tensor::{Matrix, SegmentedMatrix};
+use std::collections::BTreeMap;
+
+/// A storage tier: an alternative physical placement with its own
+/// storage/recreation trade-off (the paper's "remote storage option ...
+/// storage cost is lower and the recreation cost is higher" generalized to
+/// parallel edges). Multipliers apply to the measured baseline costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageTier {
+    pub name: &'static str,
+    pub storage_mult: f64,
+    pub recreation_mult: f64,
+}
+
+impl StorageTier {
+    /// The default local tier (measured costs as-is).
+    pub fn local() -> Self {
+        Self { name: "local", storage_mult: 1.0, recreation_mult: 1.0 }
+    }
+
+    /// A remote/cold tier: cheaper capacity, slower reads.
+    pub fn remote() -> Self {
+        Self { name: "remote", storage_mult: 0.4, recreation_mult: 5.0 }
+    }
+}
+
+/// Cost-model knobs.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Compression level used when measuring storage costs.
+    pub level: Level,
+    /// Recreation cost = read_weight * compressed_bytes
+    ///                 + apply_weight * uncompressed_bytes.
+    pub read_weight: f64,
+    pub apply_weight: f64,
+    /// Delta operator whose footprint defines delta edge costs.
+    pub delta_op: DeltaOp,
+    /// Storage tiers; every candidate edge is offered once per tier
+    /// (parallel edges between the same vertices), letting the solvers
+    /// pick placements per matrix.
+    pub tiers: Vec<StorageTier>,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            level: Level::Fast,
+            read_weight: 1.0,
+            apply_weight: 0.25,
+            delta_op: DeltaOp::Sub,
+            tiers: vec![StorageTier::local()],
+        }
+    }
+}
+
+impl CostModel {
+    /// A local + remote two-tier configuration.
+    pub fn with_remote_tier() -> Self {
+        Self { tiers: vec![StorageTier::local(), StorageTier::remote()], ..Self::default() }
+    }
+}
+
+/// Incrementally assembles the storage graph for a repository.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    cost: CostModel,
+    graph: StorageGraph,
+    matrices: BTreeMap<VertexId, Matrix>,
+    /// (version, snapshot index) -> layer name -> vertex.
+    snapshots: BTreeMap<(String, usize), BTreeMap<String, VertexId>>,
+}
+
+impl GraphBuilder {
+    pub fn new(cost: CostModel) -> Self {
+        Self {
+            cost,
+            graph: StorageGraph::new(),
+            matrices: BTreeMap::new(),
+            snapshots: BTreeMap::new(),
+        }
+    }
+
+    fn compressed_planes_size(&self, bytes: &[u8]) -> f64 {
+        mh_tensor::split_byte_planes(bytes, 4)
+            .iter()
+            .map(|p| mh_compress::compressed_len(p, self.cost.level))
+            .sum::<usize>() as f64
+    }
+
+    fn recreation_cost(&self, compressed: f64, uncompressed: f64) -> f64 {
+        self.cost.read_weight * compressed + self.cost.apply_weight * uncompressed
+    }
+
+    /// Register a snapshot's weights. Creates vertices, the co-usage group,
+    /// and materialize edges. Returns the vertices per layer.
+    pub fn add_snapshot(
+        &mut self,
+        version: &str,
+        snap_idx: usize,
+        weights: &Weights,
+    ) -> BTreeMap<String, VertexId> {
+        let mut layer_vertices = BTreeMap::new();
+        for (layer, m) in weights.layers() {
+            let label = format!("{version}/s{snap_idx}/{layer}");
+            let v = self.graph.add_vertex(&label);
+            // Materialize option: segmented planes, individually compressed.
+            let seg = SegmentedMatrix::from_matrix(m);
+            let compressed: f64 = (0..4)
+                .map(|p| mh_compress::compressed_len(seg.plane(p), self.cost.level))
+                .sum::<usize>() as f64;
+            let uncompressed = (m.len() * 4) as f64;
+            let rc = self.recreation_cost(compressed, uncompressed);
+            for tier in &self.cost.tiers {
+                self.graph.add_edge(
+                    NULL_VERTEX,
+                    v,
+                    EdgeKind::Materialize,
+                    compressed * tier.storage_mult,
+                    rc * tier.recreation_mult,
+                );
+            }
+            self.matrices.insert(v, m.clone());
+            layer_vertices.insert(layer.clone(), v);
+        }
+        let members: Vec<VertexId> = layer_vertices.values().copied().collect();
+        self.graph
+            .add_snapshot(&format!("{version}/s{snap_idx}"), members, f64::INFINITY);
+        self.snapshots
+            .insert((version.to_string(), snap_idx), layer_vertices.clone());
+        layer_vertices
+    }
+
+    /// Register a snapshot at *byte-segment granularity* (the §IV-C
+    /// generalization): each matrix becomes two vertices — its high-order
+    /// byte planes (0-1) and its low-order planes (2-3) — with separately
+    /// measured costs. Two co-usage groups are created: the full snapshot
+    /// (all segments; budget for full-precision retrieval) and a `…#hi`
+    /// preview group (high segments only; budget for partial-precision
+    /// queries like `dlv desc` plots and progressive evaluation).
+    ///
+    /// Combined with storage tiers this lets the solvers, e.g., keep the
+    /// high-order segments on fast local storage while pushing low-order
+    /// bytes to a cold tier.
+    pub fn add_snapshot_segmented(
+        &mut self,
+        version: &str,
+        snap_idx: usize,
+        weights: &Weights,
+    ) -> BTreeMap<String, (VertexId, VertexId)> {
+        let mut out = BTreeMap::new();
+        let mut full_members = Vec::new();
+        let mut hi_members = Vec::new();
+        for (layer, m) in weights.layers() {
+            let seg = SegmentedMatrix::from_matrix(m);
+            let uncompressed_half = (m.len() * 2) as f64;
+            let mut halves = Vec::with_capacity(2);
+            for (suffix, planes) in [("hi", [0usize, 1]), ("lo", [2, 3])] {
+                let cs: f64 = planes
+                    .iter()
+                    .map(|&p| mh_compress::compressed_len(seg.plane(p), self.cost.level))
+                    .sum::<usize>() as f64;
+                let rc = self.recreation_cost(cs, uncompressed_half);
+                let v = self
+                    .graph
+                    .add_vertex(&format!("{version}/s{snap_idx}/{layer}#{suffix}"));
+                for tier in &self.cost.tiers {
+                    self.graph.add_edge(
+                        NULL_VERTEX,
+                        v,
+                        EdgeKind::Materialize,
+                        cs * tier.storage_mult,
+                        rc * tier.recreation_mult,
+                    );
+                }
+                halves.push(v);
+            }
+            let (hi, lo) = (halves[0], halves[1]);
+            full_members.push(hi);
+            full_members.push(lo);
+            hi_members.push(hi);
+            out.insert(layer.clone(), (hi, lo));
+        }
+        self.graph.add_snapshot(
+            &format!("{version}/s{snap_idx}"),
+            full_members,
+            f64::INFINITY,
+        );
+        self.graph.add_snapshot(
+            &format!("{version}/s{snap_idx}#hi"),
+            hi_members,
+            f64::INFINITY,
+        );
+        out
+    }
+
+    /// Add delta edges between two registered snapshots for every layer
+    /// name they share.
+    pub fn link_snapshots(
+        &mut self,
+        version_a: &str,
+        snap_a: usize,
+        version_b: &str,
+        snap_b: usize,
+    ) {
+        let Some(a) = self.snapshots.get(&(version_a.to_string(), snap_a)).cloned() else {
+            return;
+        };
+        let Some(b) = self.snapshots.get(&(version_b.to_string(), snap_b)).cloned() else {
+            return;
+        };
+        for (layer, &va) in &a {
+            let Some(&vb) = b.get(layer) else { continue };
+            let ma = self.matrices[&va].clone();
+            let mb = self.matrices[&vb].clone();
+            // Forward delta a -> b.
+            let dab = Delta::compute(&ma, &mb, self.cost.delta_op);
+            let s_ab = self.compressed_planes_size(&dab.word_bytes());
+            let rc_ab = self.recreation_cost(s_ab, (mb.len() * 4) as f64);
+            // Backward delta b -> a.
+            let dba = Delta::compute(&mb, &ma, self.cost.delta_op);
+            let s_ba = self.compressed_planes_size(&dba.word_bytes());
+            let rc_ba = self.recreation_cost(s_ba, (ma.len() * 4) as f64);
+            for tier in &self.cost.tiers {
+                self.graph.add_edge(
+                    va,
+                    vb,
+                    EdgeKind::Delta,
+                    s_ab * tier.storage_mult,
+                    rc_ab * tier.recreation_mult,
+                );
+                self.graph.add_edge(
+                    vb,
+                    va,
+                    EdgeKind::Delta,
+                    s_ba * tier.storage_mult,
+                    rc_ba * tier.recreation_mult,
+                );
+            }
+        }
+    }
+
+    /// Link all adjacent snapshot pairs of one version (checkpoint chain).
+    pub fn link_version_chain(&mut self, version: &str, snapshot_indices: &[usize]) {
+        for pair in snapshot_indices.windows(2) {
+            self.link_snapshots(version, pair[0], version, pair[1]);
+        }
+    }
+
+    /// The vertex of a specific layer matrix, if registered.
+    pub fn vertex_of(&self, version: &str, snap_idx: usize, layer: &str) -> Option<VertexId> {
+        self.snapshots
+            .get(&(version.to_string(), snap_idx))?
+            .get(layer)
+            .copied()
+    }
+
+    /// Members of a registered snapshot group.
+    pub fn snapshot_members(&self, version: &str, snap_idx: usize) -> Option<Vec<VertexId>> {
+        self.snapshots
+            .get(&(version.to_string(), snap_idx))
+            .map(|m| m.values().copied().collect())
+    }
+
+    /// Finish, returning the graph and the matrix contents.
+    pub fn finish(self) -> (StorageGraph, BTreeMap<VertexId, Matrix>) {
+        (self.graph, self.matrices)
+    }
+
+    pub fn graph(&self) -> &StorageGraph {
+        &self.graph
+    }
+}
+
+/// Set every snapshot budget to `alpha ×` its SPT recreation cost — the
+/// constraint sweep of Fig 6(c): `Cr(T, sᵢ) ≤ α · Cr(SPT, sᵢ)`.
+pub fn apply_alpha_budgets(
+    graph: &mut StorageGraph,
+    alpha: f64,
+    scheme: RetrievalScheme,
+) -> Result<(), crate::plan::PlanError> {
+    let spt = solver::spt(graph)?;
+    let costs: Vec<f64> = graph
+        .snapshots
+        .iter()
+        .map(|s| spt.snapshot_recreation_cost(graph, &s.members, scheme))
+        .collect();
+    for (s, c) in graph.snapshots.iter_mut().zip(costs) {
+        s.budget = alpha * c;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mh_dnn::{zoo, Weights};
+
+    fn snapshot_weights(seed: u64, jitter: f32) -> Weights {
+        let net = zoo::lenet_s(4);
+        let base = Weights::init(&net, seed).unwrap();
+        if jitter == 0.0 {
+            base
+        } else {
+            base.layers()
+                .map(|(n, m)| (n.clone(), m.map(|x| x + jitter)))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn builder_registers_vertices_and_groups() {
+        let mut b = GraphBuilder::new(CostModel::default());
+        let w = snapshot_weights(1, 0.0);
+        let lv = b.add_snapshot("v1", 0, &w);
+        assert_eq!(lv.len(), w.len());
+        let (g, mats) = b.finish();
+        assert_eq!(g.num_vertices(), 1 + w.len());
+        assert_eq!(g.snapshots.len(), 1);
+        assert!(g.is_complete());
+        assert_eq!(mats.len(), w.len());
+    }
+
+    #[test]
+    fn close_snapshots_get_cheap_delta_edges() {
+        let mut b = GraphBuilder::new(CostModel::default());
+        let w0 = snapshot_weights(1, 0.0);
+        let w1 = snapshot_weights(1, 1e-4); // adjacent checkpoint: tiny drift
+        b.add_snapshot("v1", 0, &w0);
+        b.add_snapshot("v1", 1, &w1);
+        b.link_version_chain("v1", &[0, 1]);
+        let (g, _) = b.finish();
+        // Delta edges must be cheaper than materialize edges for the same
+        // target (that's why delta encoding wins for checkpoints).
+        for e in g.edges().iter().filter(|e| e.kind == EdgeKind::Delta) {
+            let mat_cost = g
+                .edges()
+                .iter()
+                .find(|o| o.kind == EdgeKind::Materialize && o.to == e.to)
+                .unwrap()
+                .storage_cost;
+            assert!(
+                e.storage_cost < mat_cost,
+                "delta {} !< materialize {}",
+                e.storage_cost,
+                mat_cost
+            );
+        }
+    }
+
+    #[test]
+    fn unrelated_versions_get_expensive_deltas() {
+        let mut b = GraphBuilder::new(CostModel::default());
+        let w0 = snapshot_weights(1, 0.0);
+        let w1 = snapshot_weights(999, 0.0); // retrained: unrelated weights
+        b.add_snapshot("a", 0, &w0);
+        b.add_snapshot("b", 0, &w1);
+        b.link_snapshots("a", 0, "b", 0);
+        let (g, _) = b.finish();
+        // For uncorrelated parameters the delta is roughly as expensive as
+        // materializing (the Fig 6(b) "Similar models" finding).
+        for e in g.edges().iter().filter(|e| e.kind == EdgeKind::Delta) {
+            let mat = g
+                .edges()
+                .iter()
+                .find(|o| o.kind == EdgeKind::Materialize && o.to == e.to)
+                .unwrap()
+                .storage_cost;
+            assert!(
+                e.storage_cost > 0.7 * mat,
+                "unrelated delta unexpectedly cheap: {} vs {}",
+                e.storage_cost,
+                mat
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_solve_and_store() {
+        let mut b = GraphBuilder::new(CostModel::default());
+        let w0 = snapshot_weights(7, 0.0);
+        let w1 = snapshot_weights(7, 5e-5);
+        let w2 = snapshot_weights(7, 1e-4);
+        b.add_snapshot("v1", 0, &w0);
+        b.add_snapshot("v1", 1, &w1);
+        b.add_snapshot("v1", 2, &w2);
+        b.link_version_chain("v1", &[0, 1, 2]);
+        let (mut g, mats) = b.finish();
+        apply_alpha_budgets(&mut g, 2.0, RetrievalScheme::Independent).unwrap();
+        let plan = solver::pas_mt(&g, RetrievalScheme::Independent).unwrap();
+        assert!(plan.satisfies_budgets(&g, RetrievalScheme::Independent));
+        // Storage should beat the all-materialized plan.
+        let spt = solver::spt(&g).unwrap();
+        assert!(plan.storage_cost(&g) <= spt.storage_cost(&g));
+        assert_eq!(mats.len(), g.num_vertices() - 1);
+    }
+
+    #[test]
+    fn alpha_budget_scaling() {
+        let mut b = GraphBuilder::new(CostModel::default());
+        let w0 = snapshot_weights(3, 0.0);
+        b.add_snapshot("v", 0, &w0);
+        let (mut g, _) = b.finish();
+        apply_alpha_budgets(&mut g, 1.5, RetrievalScheme::Independent).unwrap();
+        let spt = solver::spt(&g).unwrap();
+        let base = spt.snapshot_recreation_cost(&g, &g.snapshots[0].members, RetrievalScheme::Independent);
+        assert!((g.snapshots[0].budget - 1.5 * base).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod tier_tests {
+    use super::*;
+    use crate::plan::RetrievalScheme;
+    use mh_dnn::{zoo, Weights};
+
+    #[test]
+    fn two_tiers_create_parallel_edges() {
+        let mut b = GraphBuilder::new(CostModel::with_remote_tier());
+        let net = zoo::lenet_s(3);
+        let w = Weights::init(&net, 1).unwrap();
+        b.add_snapshot("v", 0, &w);
+        let (g, _) = b.finish();
+        // Every matrix has two materialize options (local + remote).
+        for v in g.matrix_vertices() {
+            let mats: Vec<_> = g
+                .incoming(v)
+                .iter()
+                .map(|&e| g.edge(e))
+                .filter(|e| e.kind == EdgeKind::Materialize)
+                .collect();
+            assert_eq!(mats.len(), 2);
+            // Remote = cheaper storage, costlier recreation.
+            let (a, b) = (mats[0], mats[1]);
+            let (local, remote) = if a.storage_cost < b.storage_cost { (b, a) } else { (a, b) };
+            assert!(remote.storage_cost < local.storage_cost);
+            assert!(remote.recreation_cost > local.recreation_cost);
+        }
+    }
+
+    #[test]
+    fn tight_budgets_choose_local_loose_choose_remote() {
+        let mut b = GraphBuilder::new(CostModel::with_remote_tier());
+        let net = zoo::lenet_s(3);
+        let w = Weights::init(&net, 2).unwrap();
+        b.add_snapshot("v", 0, &w);
+        let (graph, _) = b.finish();
+        let scheme = RetrievalScheme::Independent;
+
+        // Tight: α = 1 forces shortest recreation = local placements.
+        let mut tight = graph.clone();
+        apply_alpha_budgets(&mut tight, 1.0, scheme).unwrap();
+        let plan_t = solver::pas_mt(&tight, scheme).unwrap();
+        assert!(plan_t.satisfies_budgets(&tight, scheme));
+
+        // Loose: α huge lets the MST pick the cheap remote tier.
+        let mut loose = graph.clone();
+        apply_alpha_budgets(&mut loose, 1e9, scheme).unwrap();
+        let plan_l = solver::pas_mt(&loose, scheme).unwrap();
+        assert!(
+            plan_l.storage_cost(&loose) < plan_t.storage_cost(&tight),
+            "loose budgets must unlock the cheap tier: {} !< {}",
+            plan_l.storage_cost(&loose),
+            plan_t.storage_cost(&tight)
+        );
+        // And the loose plan's recreation is worse — the trade was real.
+        let rc_t = plan_t.snapshot_recreation_cost(&tight, &tight.snapshots[0].members, scheme);
+        let rc_l = plan_l.snapshot_recreation_cost(&loose, &loose.snapshots[0].members, scheme);
+        assert!(rc_l > rc_t);
+    }
+
+    #[test]
+    fn segment_granularity_with_tiers_splits_placement() {
+        // High-order segments must answer preview queries fast (tight #hi
+        // budget); low-order segments are free to go remote. The optimal
+        // plan therefore mixes tiers within one matrix — the paper's
+        // "decisions at a very fine granularity".
+        let mut b = GraphBuilder::new(CostModel::with_remote_tier());
+        let net = zoo::lenet_s(3);
+        let w = Weights::init(&net, 3).unwrap();
+        b.add_snapshot_segmented("v", 0, &w);
+        let (mut graph, _) = b.finish();
+        let scheme = RetrievalScheme::Independent;
+
+        // Budgets: preview group at its SPT optimum (forces local hi),
+        // full group unconstrained (lets lo go remote).
+        let spt = solver::spt(&graph).unwrap();
+        for i in 0..graph.snapshots.len() {
+            let s = &graph.snapshots[i];
+            let budget = if s.name.ends_with("#hi") {
+                spt.snapshot_recreation_cost(&graph, &s.members, scheme)
+            } else {
+                f64::INFINITY
+            };
+            graph.snapshots[i].budget = budget;
+        }
+        let plan = solver::pas_mt(&graph, scheme).unwrap();
+        assert!(plan.satisfies_budgets(&graph, scheme));
+
+        // Classify placements by comparing the chosen edge against the two
+        // available materialize options.
+        let placement = |v: VertexId| -> &'static str {
+            let chosen = graph.edge(plan.parent_edge(v).unwrap());
+            let cheapest_storage = graph
+                .incoming(v)
+                .iter()
+                .map(|&e| graph.edge(e).storage_cost)
+                .fold(f64::INFINITY, f64::min);
+            if (chosen.storage_cost - cheapest_storage).abs() < 1e-9 {
+                "remote"
+            } else {
+                "local"
+            }
+        };
+        let mut hi_local = 0;
+        let mut lo_remote = 0;
+        for v in graph.matrix_vertices() {
+            let label = graph.label(v).to_string();
+            match (label.ends_with("#hi"), placement(v)) {
+                (true, "local") => hi_local += 1,
+                (false, "remote") => lo_remote += 1,
+                _ => {}
+            }
+        }
+        assert!(hi_local > 0, "some high segments pinned local");
+        assert!(lo_remote > 0, "some low segments offloaded remote");
+    }
+}

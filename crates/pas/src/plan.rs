@@ -1,0 +1,346 @@
+//! Storage plans (Definition 2) and their cost model (Table III).
+//!
+//! For the Independent and Parallel retrieval schemes the optimal plan is a
+//! spanning tree rooted at ν₀ (Lemma 2), so a plan is represented as a
+//! parent-edge assignment per matrix vertex.
+
+use crate::graph::{EdgeId, StorageGraph, VertexId, NULL_VERTEX};
+use std::collections::BTreeSet;
+
+/// How a snapshot's matrices are recreated (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalScheme {
+    /// Matrices one by one; cost = Σ path costs.
+    Independent,
+    /// All matrices concurrently; cost = max path cost.
+    Parallel,
+    /// Shared path prefixes computed once; cost = Σ over the union of path
+    /// edges (the Steiner tree induced inside the plan tree).
+    Reusable,
+}
+
+/// A spanning-tree storage plan: one incoming edge per matrix vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoragePlan {
+    /// `parent_edge[v]` is the edge that recreates v. Index 0 (ν₀) is None.
+    parent_edge: Vec<Option<EdgeId>>,
+}
+
+impl StoragePlan {
+    /// Build from an explicit parent-edge assignment.
+    pub fn from_parents(graph: &StorageGraph, parent_edge: Vec<Option<EdgeId>>) -> Result<Self, PlanError> {
+        let plan = Self { parent_edge };
+        plan.validate(graph)?;
+        Ok(plan)
+    }
+
+    /// An unvalidated plan under construction (all vertices unassigned).
+    pub fn empty(graph: &StorageGraph) -> Self {
+        Self { parent_edge: vec![None; graph.num_vertices()] }
+    }
+
+    pub fn set_parent(&mut self, v: VertexId, e: EdgeId) {
+        self.parent_edge[v] = Some(e);
+    }
+
+    pub fn parent_edge(&self, v: VertexId) -> Option<EdgeId> {
+        self.parent_edge[v]
+    }
+
+    /// The parent vertex of `v` in the tree.
+    pub fn parent(&self, graph: &StorageGraph, v: VertexId) -> Option<VertexId> {
+        self.parent_edge[v].map(|e| graph.edge(e).from)
+    }
+
+    /// Children of `v` under this plan.
+    pub fn children(&self, graph: &StorageGraph, v: VertexId) -> Vec<VertexId> {
+        (1..graph.num_vertices())
+            .filter(|&u| self.parent(graph, u) == Some(v))
+            .collect()
+    }
+
+    /// All vertices in the subtree rooted at `v` (including `v`).
+    pub fn subtree(&self, graph: &StorageGraph, v: VertexId) -> BTreeSet<VertexId> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            if out.insert(u) {
+                stack.extend(self.children(graph, u));
+            }
+        }
+        out
+    }
+
+    /// Check every matrix vertex has a parent edge and the structure is a
+    /// tree rooted at ν₀.
+    pub fn validate(&self, graph: &StorageGraph) -> Result<(), PlanError> {
+        if self.parent_edge.len() != graph.num_vertices() {
+            return Err(PlanError::WrongSize);
+        }
+        if self.parent_edge[NULL_VERTEX].is_some() {
+            return Err(PlanError::NullHasParent);
+        }
+        for v in graph.matrix_vertices() {
+            let e = self.parent_edge[v].ok_or(PlanError::Unassigned(v))?;
+            if graph.edge(e).to != v {
+                return Err(PlanError::EdgeMismatch(v));
+            }
+        }
+        // Walk each path to the root, detecting cycles.
+        for v in graph.matrix_vertices() {
+            let mut seen = BTreeSet::new();
+            let mut cur = v;
+            while cur != NULL_VERTEX {
+                if !seen.insert(cur) {
+                    return Err(PlanError::Cycle(v));
+                }
+                cur = self.parent(graph, cur).ok_or(PlanError::Unassigned(cur))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Edges along the recreation path ν₀ → v (root-first order).
+    pub fn path_edges(&self, graph: &StorageGraph, v: VertexId) -> Vec<EdgeId> {
+        let mut rev = Vec::new();
+        let mut cur = v;
+        while let Some(e) = self.parent_edge[cur] {
+            rev.push(e);
+            cur = graph.edge(e).from;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Total storage cost Cs(P) = Σ storage cost of chosen edges.
+    pub fn storage_cost(&self, graph: &StorageGraph) -> f64 {
+        graph
+            .matrix_vertices()
+            .filter_map(|v| self.parent_edge[v])
+            .map(|e| graph.edge(e).storage_cost)
+            .sum()
+    }
+
+    /// Recreation cost of a single matrix: Σ recreation cost along its path.
+    pub fn matrix_recreation_cost(&self, graph: &StorageGraph, v: VertexId) -> f64 {
+        self.path_edges(graph, v)
+            .iter()
+            .map(|&e| graph.edge(e).recreation_cost)
+            .sum()
+    }
+
+    /// Recreation cost of a snapshot group under a retrieval scheme.
+    pub fn snapshot_recreation_cost(
+        &self,
+        graph: &StorageGraph,
+        members: &[VertexId],
+        scheme: RetrievalScheme,
+    ) -> f64 {
+        match scheme {
+            RetrievalScheme::Independent => members
+                .iter()
+                .map(|&v| self.matrix_recreation_cost(graph, v))
+                .sum(),
+            RetrievalScheme::Parallel => members
+                .iter()
+                .map(|&v| self.matrix_recreation_cost(graph, v))
+                .fold(0.0, f64::max),
+            RetrievalScheme::Reusable => {
+                // Within a tree, the minimal subtree connecting ν₀ and the
+                // members is exactly the union of their root paths.
+                let union: BTreeSet<EdgeId> = members
+                    .iter()
+                    .flat_map(|&v| self.path_edges(graph, v))
+                    .collect();
+                union.iter().map(|&e| graph.edge(e).recreation_cost).sum()
+            }
+        }
+    }
+
+    /// Recreation costs of all registered snapshots.
+    pub fn all_snapshot_costs(&self, graph: &StorageGraph, scheme: RetrievalScheme) -> Vec<f64> {
+        graph
+            .snapshots
+            .iter()
+            .map(|s| self.snapshot_recreation_cost(graph, &s.members, scheme))
+            .collect()
+    }
+
+    /// Indices of snapshots whose budget is violated.
+    pub fn violated_snapshots(&self, graph: &StorageGraph, scheme: RetrievalScheme) -> Vec<usize> {
+        graph
+            .snapshots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                self.snapshot_recreation_cost(graph, &s.members, scheme) > s.budget + 1e-9
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether all group budgets hold.
+    pub fn satisfies_budgets(&self, graph: &StorageGraph, scheme: RetrievalScheme) -> bool {
+        self.violated_snapshots(graph, scheme).is_empty()
+    }
+}
+
+/// Plan structure errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    WrongSize,
+    NullHasParent,
+    Unassigned(VertexId),
+    EdgeMismatch(VertexId),
+    Cycle(VertexId),
+    /// No feasible plan (graph lacks edges to span all vertices).
+    Infeasible,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WrongSize => write!(f, "plan size does not match graph"),
+            Self::NullHasParent => write!(f, "ν0 must not have a parent"),
+            Self::Unassigned(v) => write!(f, "vertex {v} has no storage option"),
+            Self::EdgeMismatch(v) => write!(f, "parent edge of {v} targets another vertex"),
+            Self::Cycle(v) => write!(f, "cycle through vertex {v}"),
+            Self::Infeasible => write!(f, "graph admits no spanning plan"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::fig5_example;
+
+    /// Reconstruct Fig 5(b): the MST-like optimal plan without constraints.
+    fn fig5b_plan(graph: &StorageGraph, m: &[VertexId]) -> StoragePlan {
+        let mut plan = StoragePlan::empty(graph);
+        let find = |from: VertexId, to: VertexId| -> EdgeId {
+            graph
+                .edges()
+                .iter()
+                .find(|e| e.from == from && e.to == to)
+                .map(|e| e.id)
+                .expect("edge exists")
+        };
+        plan.set_parent(m[0], find(NULL_VERTEX, m[0])); // ν0→m1 (2,1)
+        plan.set_parent(m[1], find(NULL_VERTEX, m[1])); // ν0→m2 (8,2)
+        plan.set_parent(m[2], find(m[0], m[2])); // m1→m3 (1,0.5)
+        plan.set_parent(m[3], find(m[2], m[3])); // m3→m4 (4,1)
+        plan.set_parent(m[4], find(m[3], m[4])); // m4→m5 (4,1)
+        plan.validate(graph).unwrap();
+        plan
+    }
+
+    #[test]
+    fn fig5b_costs_match_paper() {
+        let (g, m) = fig5_example();
+        let plan = fig5b_plan(&g, &m);
+        // Paper: Cs = 19, Cr_independent(s1) = 3, Cr_independent(s2) = 7.5.
+        assert_eq!(plan.storage_cost(&g), 19.0);
+        let s1 = plan.snapshot_recreation_cost(&g, &g.snapshots[0].members, RetrievalScheme::Independent);
+        let s2 = plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Independent);
+        assert_eq!(s1, 3.0);
+        assert_eq!(s2, 7.5);
+        assert!(plan.satisfies_budgets(&g, RetrievalScheme::Independent));
+    }
+
+    #[test]
+    fn fig5c_constrained_plan() {
+        // Analogue of the paper's Fig 5(c): under θ1 = 3, θ2 = 6 the
+        // optimal plan materializes m5 and keeps the cheap delta chain for
+        // m3/m4: Cs = 23, Cr(s1) = 3, Cr(s2) = 6.
+        let (mut g, m) = fig5_example();
+        g.snapshots[0].budget = 3.0;
+        g.snapshots[1].budget = 6.0;
+        let find = |g: &StorageGraph, from: VertexId, to: VertexId| -> EdgeId {
+            g.edges()
+                .iter()
+                .find(|e| e.from == from && e.to == to)
+                .map(|e| e.id)
+                .unwrap()
+        };
+        let mut plan = StoragePlan::empty(&g);
+        plan.set_parent(m[0], find(&g, NULL_VERTEX, m[0]));
+        plan.set_parent(m[1], find(&g, NULL_VERTEX, m[1]));
+        plan.set_parent(m[2], find(&g, m[0], m[2])); // m1→m3 (1,0.5)
+        plan.set_parent(m[3], find(&g, m[2], m[3])); // m3→m4 (4,1)
+        plan.set_parent(m[4], find(&g, NULL_VERTEX, m[4])); // materialize m5 (8,2)
+        plan.validate(&g).unwrap();
+        assert_eq!(plan.storage_cost(&g), 23.0);
+        let s2 = plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Independent);
+        assert_eq!(s2, 6.0);
+        assert!(plan.satisfies_budgets(&g, RetrievalScheme::Independent));
+    }
+
+    #[test]
+    fn parallel_and_reusable_schemes() {
+        let (g, m) = fig5_example();
+        let plan = fig5b_plan(&g, &m);
+        // Parallel s2: path costs are m3 = 1.5, m4 = 2.5, m5 = 3.5 → 3.5.
+        let p = plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Parallel);
+        assert_eq!(p, 3.5);
+        // Reusable s2: union edges {ν0→m1, m1→m3, m3→m4, m4→m5}
+        // = 1 + 0.5 + 1 + 1 = 3.5.
+        let r = plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Reusable);
+        assert_eq!(r, 3.5);
+    }
+
+    #[test]
+    fn validation_catches_cycles_and_gaps() {
+        let (g, m) = fig5_example();
+        let mut plan = StoragePlan::empty(&g);
+        assert_eq!(plan.validate(&g), Err(PlanError::Unassigned(m[0])));
+        // Build a cycle m3 -> m4 -> m3.
+        let e34 = g
+            .edges()
+            .iter()
+            .find(|e| e.from == m[2] && e.to == m[3])
+            .unwrap()
+            .id;
+        let e43 = g
+            .edges()
+            .iter()
+            .find(|e| e.from == m[3] && e.to == m[2])
+            .unwrap()
+            .id;
+        plan.set_parent(m[3], e34);
+        plan.set_parent(m[2], e43);
+        for v in [m[0], m[1], m[4]] {
+            let e = g
+                .edges()
+                .iter()
+                .find(|e| e.to == v)
+                .unwrap()
+                .id;
+            plan.set_parent(v, e);
+        }
+        assert!(matches!(plan.validate(&g), Err(PlanError::Cycle(_))));
+    }
+
+    #[test]
+    fn violated_snapshots_reported() {
+        let (mut g, m) = fig5_example();
+        g.snapshots[1].budget = 5.0;
+        let plan = fig5b_plan(&g, &m);
+        assert_eq!(plan.violated_snapshots(&g, RetrievalScheme::Independent), vec![1]);
+        assert!(plan
+            .violated_snapshots(&g, RetrievalScheme::Parallel)
+            .is_empty());
+    }
+
+    #[test]
+    fn subtree_and_children() {
+        let (g, m) = fig5_example();
+        let plan = fig5b_plan(&g, &m);
+        let sub = plan.subtree(&g, m[0]);
+        assert!(sub.contains(&m[0]) && sub.contains(&m[2]) && sub.contains(&m[3]));
+        assert!(!sub.contains(&m[1]));
+        assert_eq!(plan.children(&g, m[2]), vec![m[3]]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Progressive query (inference) evaluation — §IV-D.
+//!
+//! `dlv eval` against an archived model first fetches only the high-order
+//! byte plane of every weight matrix on the model's recreation chains,
+//! evaluates the network with interval arithmetic, and checks the
+//! error-determinism condition (Lemma 4). Only if the prediction is not
+//! determined does it fetch the next plane, and so on — full precision is
+//! the last resort, so most queries never touch the low-order bytes.
+
+use crate::graph::VertexId;
+use crate::segstore::SegmentStore;
+use crate::PasError;
+use mh_dnn::{determined_top_k, interval_forward, IntervalWeights, Network};
+use mh_tensor::Tensor3;
+use std::collections::BTreeMap;
+
+/// Binds an archived snapshot to a network: layer name -> vertex holding
+/// that layer's weights.
+#[derive(Debug, Clone)]
+pub struct ModelBinding {
+    pub net: Network,
+    pub layer_vertex: BTreeMap<String, VertexId>,
+}
+
+impl ModelBinding {
+    pub fn new(net: Network, layer_vertex: BTreeMap<String, VertexId>) -> Self {
+        Self { net, layer_vertex }
+    }
+}
+
+/// Outcome of one progressive evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressiveResult {
+    /// The determined top-k indices (best first).
+    pub prediction: Vec<usize>,
+    /// Byte planes that had to be fetched (1 = high byte only .. 4 = full).
+    pub planes_used: usize,
+    /// Compressed bytes actually read, summed over the chains.
+    pub bytes_read: u64,
+    /// Compressed bytes a full-precision read would have cost.
+    pub full_bytes: u64,
+}
+
+impl ProgressiveResult {
+    /// Fraction of the full-precision footprint that was read.
+    pub fn read_fraction(&self) -> f64 {
+        if self.full_bytes == 0 {
+            1.0
+        } else {
+            self.bytes_read as f64 / self.full_bytes as f64
+        }
+    }
+}
+
+/// Progressive evaluator over a segment store.
+#[derive(Debug)]
+pub struct ProgressiveEvaluator<'a> {
+    store: &'a SegmentStore,
+    binding: &'a ModelBinding,
+}
+
+impl<'a> ProgressiveEvaluator<'a> {
+    pub fn new(store: &'a SegmentStore, binding: &'a ModelBinding) -> Self {
+        Self { store, binding }
+    }
+
+    /// Interval weights from the first `k` planes of every bound layer.
+    fn interval_weights(&self, k: usize) -> Result<IntervalWeights, PasError> {
+        let mut iw = IntervalWeights::default();
+        for (layer, &v) in &self.binding.layer_vertex {
+            let (lo, hi) = self.store.recreate_bounds(v, k)?;
+            iw.insert(layer, lo, hi);
+        }
+        Ok(iw)
+    }
+
+    fn chain_bytes(&self, k: usize) -> u64 {
+        self.binding
+            .layer_vertex
+            .values()
+            .map(|&v| self.store.prefix_bytes(v, k))
+            .sum()
+    }
+
+    /// Evaluate one input progressively, guaranteeing the returned top-k
+    /// prediction equals the full-precision result.
+    pub fn eval(&self, input: &Tensor3, top_k: usize) -> Result<ProgressiveResult, PasError> {
+        let full_bytes = self.chain_bytes(4);
+        for k in 1..=4usize {
+            let iw = self.interval_weights(k)?;
+            let out = interval_forward(&self.binding.net, &iw, input)
+                .map_err(|e| PasError::Eval(e.to_string()))?;
+            if let Some(pred) = determined_top_k(&out, top_k) {
+                return Ok(ProgressiveResult {
+                    prediction: pred,
+                    planes_used: k,
+                    bytes_read: self.chain_bytes(k),
+                    full_bytes,
+                });
+            }
+        }
+        // Full precision: bounds are exact, so only exact logit ties can
+        // remain; break them by argmax order.
+        let iw = self.interval_weights(4)?;
+        let out = interval_forward(&self.binding.net, &iw, input)
+            .map_err(|e| PasError::Eval(e.to_string()))?;
+        let mut idx: Vec<usize> = (0..out.lo.len()).collect();
+        idx.sort_by(|&a, &b| out.lo.as_slice()[b].total_cmp(&out.lo.as_slice()[a]));
+        idx.truncate(top_k);
+        Ok(ProgressiveResult {
+            prediction: idx,
+            planes_used: 4,
+            bytes_read: full_bytes,
+            full_bytes,
+        })
+    }
+
+    /// Evaluate a labelled set, reporting per-plane usage histogram and the
+    /// top-1 accuracy (identical to full precision by construction).
+    pub fn eval_batch(
+        &self,
+        data: &[(Tensor3, usize)],
+        top_k: usize,
+    ) -> Result<BatchStats, PasError> {
+        let mut stats = BatchStats::default();
+        for (x, label) in data {
+            let r = self.eval(x, top_k)?;
+            stats.planes_histogram[r.planes_used - 1] += 1;
+            stats.total_bytes_read += r.bytes_read;
+            stats.total_full_bytes += r.full_bytes;
+            if r.prediction.contains(label) {
+                stats.correct += 1;
+            }
+            stats.total += 1;
+        }
+        Ok(stats)
+    }
+}
+
+/// Aggregate progressive-evaluation statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// How many queries stopped after 1, 2, 3, 4 planes.
+    pub planes_histogram: [usize; 4],
+    pub total_bytes_read: u64,
+    pub total_full_bytes: u64,
+    pub correct: usize,
+    pub total: usize,
+}
+
+impl BatchStats {
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    pub fn read_fraction(&self) -> f64 {
+        if self.total_full_bytes == 0 {
+            1.0
+        } else {
+            self.total_bytes_read as f64 / self.total_full_bytes as f64
+        }
+    }
+
+    /// Fraction of queries that needed more than `k` planes.
+    pub fn fraction_beyond(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.planes_histogram[k..].iter().sum::<usize>() as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CostModel, GraphBuilder};
+    use crate::solver;
+    use mh_compress::Level;
+    use mh_delta::DeltaOp;
+    use mh_dnn::{forward, synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mh-prog-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn trained_setup(tag: &str) -> (SegmentStore, ModelBinding, Vec<(Tensor3, usize)>, mh_dnn::Weights, PathBuf) {
+        let net = zoo::lenet_s(3);
+        let data = synth_dataset(&SynthConfig {
+            num_classes: 3,
+            train_per_class: 10,
+            test_per_class: 4,
+            noise: 0.05,
+            seed: 5,
+            ..Default::default()
+        });
+        let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+        let init = Weights::init(&net, 2).unwrap();
+        let result = trainer.train(&net, init, &data, 25).unwrap();
+
+        let mut b = GraphBuilder::new(CostModel::default());
+        let lv = b.add_snapshot("m", 0, &result.weights);
+        let (g, mats) = b.finish();
+        let plan = solver::mst(&g).unwrap();
+        let dir = temp_dir(tag);
+        let store =
+            SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let binding = ModelBinding::new(net, lv);
+        (store, binding, data.test, result.weights, dir)
+    }
+
+    #[test]
+    fn progressive_matches_full_precision() {
+        let (store, binding, test, weights, dir) = trained_setup("match");
+        let ev = ProgressiveEvaluator::new(&store, &binding);
+        for (x, _) in test.iter().take(6) {
+            let r = ev.eval(x, 1).unwrap();
+            let exact = forward(&binding.net, &weights, x).unwrap().argmax();
+            assert_eq!(r.prediction[0], exact, "progressive must equal exact");
+            assert!(r.bytes_read <= r.full_bytes);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn most_queries_avoid_low_planes() {
+        let (store, binding, test, _, dir) = trained_setup("hist");
+        let ev = ProgressiveEvaluator::new(&store, &binding);
+        let stats = ev.eval_batch(&test, 1).unwrap();
+        assert_eq!(stats.total, test.len());
+        // The design premise (Fig 6d): the overwhelming majority of queries
+        // are determined from 1-2 high-order planes.
+        assert!(
+            stats.fraction_beyond(2) < 0.5,
+            "too many full-precision reads: {:?}",
+            stats.planes_histogram
+        );
+        assert!(stats.read_fraction() < 1.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn top5_determination() {
+        let (store, binding, test, weights, dir) = trained_setup("top5");
+        let ev = ProgressiveEvaluator::new(&store, &binding);
+        let (x, _) = &test[0];
+        let r = ev.eval(x, 3).unwrap();
+        assert_eq!(r.prediction.len(), 3);
+        // All classes, so top-3 of 3 = every class; must agree with exact
+        // ranking's first element.
+        let exact = forward(&binding.net, &weights, x).unwrap().argmax();
+        assert_eq!(r.prediction[0], exact);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

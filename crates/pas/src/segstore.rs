@@ -1,0 +1,847 @@
+//! The on-disk segment store: physical storage for a chosen plan.
+//!
+//! Every plan edge becomes one *object*: the target matrix (materialized)
+//! or the delta against its parent, stored as four separately-compressed
+//! byte planes (plane 0 = most significant byte of each 32-bit word). This
+//! is the paper's segmented design: high-order planes compress well and can
+//! be fetched alone; low-order planes can live on slower storage and are
+//! only read when a query needs full precision.
+//!
+//! Partial-precision retrieval composes along the delta chain:
+//! * XOR deltas compose bytewise, so a k-plane prefix is exact in its top
+//!   k bytes.
+//! * SUB (wrapping-add) deltas admit carries from the unknown low bytes;
+//!   [`SegmentStore::recreate_bounds`] widens the interval by one carry
+//!   unit per chain object, keeping the bounds sound.
+
+use crate::graph::{StorageGraph, VertexId, NULL_VERTEX};
+use crate::plan::StoragePlan;
+use crate::PasError;
+use mh_compress::Level;
+use mh_delta::{Delta, DeltaOp};
+use mh_tensor::Matrix;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// How an object is encoded on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ObjectKind {
+    Materialized,
+    DeltaSub,
+    DeltaXor,
+}
+
+/// Manifest entry for one stored object.
+#[derive(Debug, Clone)]
+struct ObjectMeta {
+    vertex: VertexId,
+    label: String,
+    kind: ObjectKind,
+    /// Parent vertex (NULL_VERTEX for materialized objects).
+    parent: VertexId,
+    rows: usize,
+    cols: usize,
+    /// Compressed size of each plane file.
+    plane_sizes: [u64; 4],
+}
+
+/// The store: a directory of per-object plane files plus a manifest.
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: PathBuf,
+    objects: BTreeMap<VertexId, ObjectMeta>,
+}
+
+fn plane_path(dir: &Path, v: VertexId, plane: usize) -> PathBuf {
+    dir.join(format!("obj{v:06}_p{plane}.mhz"))
+}
+
+/// The 32-bit words (big-endian semantics) of a matrix's bit patterns.
+fn matrix_words(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+fn words_to_planes(words: &[u32]) -> [Vec<u8>; 4] {
+    let mut planes: [Vec<u8>; 4] = std::array::from_fn(|_| Vec::with_capacity(words.len()));
+    for &w in words {
+        let b = w.to_be_bytes();
+        for (p, plane) in planes.iter_mut().enumerate() {
+            plane.push(b[p]);
+        }
+    }
+    planes
+}
+
+impl SegmentStore {
+    /// Materialize a plan: encode every chosen edge and write it under
+    /// `dir`. `matrices` maps every matrix vertex to its full-precision
+    /// content.
+    pub fn create(
+        dir: &Path,
+        graph: &StorageGraph,
+        plan: &StoragePlan,
+        matrices: &BTreeMap<VertexId, Matrix>,
+        op: DeltaOp,
+        level: Level,
+    ) -> Result<Self, PasError> {
+        plan.validate(graph).map_err(PasError::Plan)?;
+        std::fs::create_dir_all(dir).map_err(PasError::Io)?;
+        let mut objects = BTreeMap::new();
+        for v in graph.matrix_vertices() {
+            let m = matrices
+                .get(&v)
+                .ok_or_else(|| PasError::MissingMatrix(graph.label(v).to_string()))?;
+            let parent = plan.parent(graph, v).expect("validated plan");
+            let (kind, words) = if parent == NULL_VERTEX {
+                (ObjectKind::Materialized, matrix_words(m))
+            } else {
+                let base = matrices
+                    .get(&parent)
+                    .ok_or_else(|| PasError::MissingMatrix(graph.label(parent).to_string()))?;
+                let delta = Delta::compute(base, m, op);
+                let kind = match op {
+                    DeltaOp::Sub => ObjectKind::DeltaSub,
+                    DeltaOp::Xor => ObjectKind::DeltaXor,
+                };
+                let bytes = delta.word_bytes();
+                let words = bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+                    .collect();
+                (kind, words)
+            };
+            let planes = words_to_planes(&words);
+            let mut plane_sizes = [0u64; 4];
+            for (p, plane) in planes.iter().enumerate() {
+                let packed = mh_compress::compress(plane, level);
+                plane_sizes[p] = packed.len() as u64;
+                std::fs::write(plane_path(dir, v, p), packed).map_err(PasError::Io)?;
+            }
+            objects.insert(
+                v,
+                ObjectMeta {
+                    vertex: v,
+                    label: graph.label(v).to_string(),
+                    kind,
+                    parent,
+                    rows: m.rows(),
+                    cols: m.cols(),
+                    plane_sizes,
+                },
+            );
+        }
+        let store = Self { dir: dir.to_path_buf(), objects };
+        store.write_manifest()?;
+        Ok(store)
+    }
+
+    fn manifest_path(dir: &Path) -> PathBuf {
+        dir.join("manifest.mhp")
+    }
+
+    fn write_manifest(&self) -> Result<(), PasError> {
+        let mut out = String::new();
+        out.push_str("MHPAS1\n");
+        for o in self.objects.values() {
+            let kind = match o.kind {
+                ObjectKind::Materialized => "mat",
+                ObjectKind::DeltaSub => "sub",
+                ObjectKind::DeltaXor => "xor",
+            };
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                o.vertex,
+                kind,
+                o.parent,
+                o.rows,
+                o.cols,
+                o.plane_sizes[0],
+                o.plane_sizes[1],
+                o.plane_sizes[2],
+                o.plane_sizes[3],
+                o.label.replace(['\t', '\n'], "_"),
+            ));
+        }
+        std::fs::write(Self::manifest_path(&self.dir), out).map_err(PasError::Io)
+    }
+
+    /// Open an existing store.
+    pub fn open(dir: &Path) -> Result<Self, PasError> {
+        let text =
+            std::fs::read_to_string(Self::manifest_path(dir)).map_err(PasError::Io)?;
+        let mut lines = text.lines();
+        if lines.next() != Some("MHPAS1") {
+            return Err(PasError::Corrupt("bad manifest header"));
+        }
+        let mut objects = BTreeMap::new();
+        for line in lines {
+            let f: Vec<&str> = line.split('\t').collect();
+            if f.len() != 10 {
+                return Err(PasError::Corrupt("bad manifest row"));
+            }
+            let parse = |s: &str| -> Result<u64, PasError> {
+                s.parse().map_err(|_| PasError::Corrupt("bad manifest number"))
+            };
+            let vertex = parse(f[0])? as VertexId;
+            let kind = match f[1] {
+                "mat" => ObjectKind::Materialized,
+                "sub" => ObjectKind::DeltaSub,
+                "xor" => ObjectKind::DeltaXor,
+                _ => return Err(PasError::Corrupt("bad object kind")),
+            };
+            objects.insert(
+                vertex,
+                ObjectMeta {
+                    vertex,
+                    kind,
+                    parent: parse(f[2])? as VertexId,
+                    rows: parse(f[3])? as usize,
+                    cols: parse(f[4])? as usize,
+                    plane_sizes: [parse(f[5])?, parse(f[6])?, parse(f[7])?, parse(f[8])?],
+                    label: f[9].to_string(),
+                },
+            );
+        }
+        Ok(Self { dir: dir.to_path_buf(), objects })
+    }
+
+    /// Total compressed bytes on disk (all planes).
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.objects
+            .values()
+            .map(|o| o.plane_sizes.iter().sum::<u64>())
+            .sum()
+    }
+
+    /// Compressed bytes needed to fetch the first `k` planes of everything
+    /// on `v`'s recreation path.
+    pub fn prefix_bytes(&self, v: VertexId, k: usize) -> u64 {
+        self.path(v)
+            .iter()
+            .map(|o| o.plane_sizes[..k].iter().sum::<u64>())
+            .sum()
+    }
+
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.objects.keys().copied()
+    }
+
+    pub fn label(&self, v: VertexId) -> Option<&str> {
+        self.objects.get(&v).map(|o| o.label.as_str())
+    }
+
+    /// Objects on the recreation path of `v`, root-first.
+    fn path(&self, v: VertexId) -> Vec<&ObjectMeta> {
+        let mut rev = Vec::new();
+        let mut cur = v;
+        while cur != NULL_VERTEX {
+            let o = &self.objects[&cur];
+            rev.push(o);
+            cur = o.parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Read and decompress the first `k` planes of one object, returning
+    /// its words with the low bytes zeroed.
+    fn load_words(&self, o: &ObjectMeta, k: usize) -> Result<Vec<u32>, PasError> {
+        let n = o.rows * o.cols;
+        let mut words = vec![0u32; n];
+        for p in 0..k {
+            let packed =
+                std::fs::read(plane_path(&self.dir, o.vertex, p)).map_err(PasError::Io)?;
+            let plane = mh_compress::decompress(&packed).map_err(PasError::Compress)?;
+            if plane.len() != n {
+                return Err(PasError::Corrupt("plane length mismatch"));
+            }
+            let shift = 8 * (3 - p) as u32;
+            for (w, &b) in words.iter_mut().zip(&plane) {
+                *w |= u32::from(b) << shift;
+            }
+        }
+        Ok(words)
+    }
+
+    /// Recreate the full-precision matrix at `v` by walking its chain.
+    pub fn recreate(&self, v: VertexId) -> Result<Matrix, PasError> {
+        let path = self.path(v);
+        let mut acc: Vec<u32> = Vec::new();
+        let mut shape = (0usize, 0usize);
+        for (i, o) in path.iter().enumerate() {
+            let words = self.load_words(o, 4)?;
+            match (i, o.kind) {
+                (0, ObjectKind::Materialized) => {
+                    acc = words;
+                    shape = (o.rows, o.cols);
+                }
+                (0, _) => return Err(PasError::Corrupt("chain does not start materialized")),
+                (_, ObjectKind::DeltaSub) => {
+                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| {
+                        b.wrapping_add(d)
+                    });
+                    shape = (o.rows, o.cols);
+                }
+                (_, ObjectKind::DeltaXor) => {
+                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| b ^ d);
+                    shape = (o.rows, o.cols);
+                }
+                (_, ObjectKind::Materialized) => {
+                    return Err(PasError::Corrupt("materialized object mid-chain"))
+                }
+            }
+        }
+        let last = path.last().ok_or(PasError::Corrupt("empty chain"))?;
+        words_to_matrix(&acc, last.rows, last.cols)
+    }
+
+    /// Recreate every member of a snapshot group, sequentially
+    /// ("independent" scheme).
+    pub fn recreate_group(&self, members: &[VertexId]) -> Result<Vec<Matrix>, PasError> {
+        members.iter().map(|&v| self.recreate(v)).collect()
+    }
+
+    /// Recreate every member concurrently using scoped threads (the
+    /// "parallel" retrieval scheme of Table V).
+    pub fn recreate_group_parallel(&self, members: &[VertexId]) -> Result<Vec<Matrix>, PasError> {
+        let mut out: Vec<Option<Result<Matrix, PasError>>> =
+            (0..members.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for &v in members {
+                handles.push(s.spawn(move |_| self.recreate(v)));
+            }
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("recreation thread panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+
+    /// Approximate weight histogram from only the first `k` byte planes —
+    /// the paper's observation that plots and visualizations "can often be
+    /// executed without retrieving the lower-order bytes". Each value is
+    /// binned by its interval midpoint; `range` defaults to the observed
+    /// bounds.
+    pub fn weight_histogram(
+        &self,
+        v: VertexId,
+        k: usize,
+        bins: usize,
+        range: Option<(f32, f32)>,
+    ) -> Result<Histogram, PasError> {
+        assert!(bins > 0);
+        let (lo, hi) = self.recreate_bounds(v, k)?;
+        let mids: Vec<f32> = lo
+            .as_slice()
+            .iter()
+            .zip(hi.as_slice())
+            .map(|(l, h)| (l + h) * 0.5)
+            .collect();
+        let (min, max) = match range {
+            Some(r) => r,
+            None => {
+                let min = mids.iter().copied().fold(f32::INFINITY, f32::min);
+                let max = mids.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                if min < max {
+                    (min, max)
+                } else {
+                    (min - 0.5, min + 0.5)
+                }
+            }
+        };
+        let width = (max - min) / bins as f32;
+        let mut counts = vec![0u64; bins];
+        for &m in &mids {
+            let idx = if width > 0.0 {
+                (((m - min) / width) as usize).min(bins - 1)
+            } else {
+                0
+            };
+            counts[idx] += 1;
+        }
+        Ok(Histogram { min, max, counts, planes_used: k })
+    }
+
+    /// Recreate a group under the *reusable* scheme (Table III, ψr):
+    /// intermediate chain states are computed once and shared across
+    /// members whose recreation paths overlap, at the price of holding
+    /// them in memory simultaneously.
+    pub fn recreate_group_reusable(
+        &self,
+        members: &[VertexId],
+    ) -> Result<Vec<Matrix>, PasError> {
+        let mut cache: BTreeMap<VertexId, (Vec<u32>, (usize, usize))> = BTreeMap::new();
+        let mut out = Vec::with_capacity(members.len());
+        for &m in members {
+            let path = self.path(m);
+            // Deepest already-computed vertex on this path.
+            let start = path
+                .iter()
+                .rposition(|o| cache.contains_key(&o.vertex))
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            let (mut acc, mut shape) = if start == 0 {
+                (Vec::new(), (0usize, 0usize))
+            } else {
+                cache[&path[start - 1].vertex].clone()
+            };
+            for (i, o) in path.iter().enumerate().skip(start) {
+                let words = self.load_words(o, 4)?;
+                match (i, o.kind) {
+                    (0, ObjectKind::Materialized) => {
+                        acc = words;
+                        shape = (o.rows, o.cols);
+                    }
+                    (0, _) => {
+                        return Err(PasError::Corrupt("chain does not start materialized"))
+                    }
+                    (_, ObjectKind::DeltaSub) => {
+                        acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| {
+                            b.wrapping_add(d)
+                        });
+                        shape = (o.rows, o.cols);
+                    }
+                    (_, ObjectKind::DeltaXor) => {
+                        acc =
+                            apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| b ^ d);
+                        shape = (o.rows, o.cols);
+                    }
+                    (_, ObjectKind::Materialized) => {
+                        return Err(PasError::Corrupt("materialized object mid-chain"))
+                    }
+                }
+                cache.insert(o.vertex, (acc.clone(), shape));
+            }
+            out.push(words_to_matrix(&acc, shape.0, shape.1)?);
+        }
+        Ok(out)
+    }
+
+    /// Sound elementwise bounds on the matrix at `v` using only the first
+    /// `k` byte planes of every object on its chain.
+    pub fn recreate_bounds(&self, v: VertexId, k: usize) -> Result<(Matrix, Matrix), PasError> {
+        assert!((1..=4).contains(&k));
+        if k == 4 {
+            let m = self.recreate(v)?;
+            return Ok((m.clone(), m));
+        }
+        let path = self.path(v);
+        let mut acc: Vec<u32> = Vec::new();
+        let mut shape = (0usize, 0usize);
+        // Number of objects whose unknown low bytes feed additive carries.
+        let mut additive_terms = 0u32;
+        let mut chain_has_sub = false;
+        for (i, o) in path.iter().enumerate() {
+            let words = self.load_words(o, k)?;
+            match (i, o.kind) {
+                (0, ObjectKind::Materialized) => {
+                    acc = words;
+                    shape = (o.rows, o.cols);
+                    additive_terms = 1;
+                }
+                (0, _) => return Err(PasError::Corrupt("chain does not start materialized")),
+                (_, ObjectKind::DeltaSub) => {
+                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| {
+                        b.wrapping_add(d)
+                    });
+                    shape = (o.rows, o.cols);
+                    additive_terms += 1;
+                    chain_has_sub = true;
+                }
+                (_, ObjectKind::DeltaXor) => {
+                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| b ^ d);
+                    shape = (o.rows, o.cols);
+                    // XOR preserves the known top bytes exactly; the low
+                    // bytes stay unknown but do not spill carries upward.
+                }
+                (_, ObjectKind::Materialized) => {
+                    return Err(PasError::Corrupt("materialized object mid-chain"))
+                }
+            }
+        }
+        let last = path.last().ok_or(PasError::Corrupt("empty chain"))?;
+        let mask: u32 = (1u32 << (8 * (4 - k))) - 1;
+        // Total additive slack: each additive term's low bytes lie in
+        // [0, mask]. XOR-only chains still have the (single) unknown low
+        // part of the final value.
+        let slack: u64 = if chain_has_sub {
+            u64::from(mask) * u64::from(additive_terms)
+        } else {
+            u64::from(mask)
+        };
+        let n = last.rows * last.cols;
+        let mut lo = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        for &p in &acc {
+            let base = u64::from(p & !mask);
+            let top = (base + slack).min(u64::from(u32::MAX));
+            let f0 = f32::from_bits(base as u32);
+            let f1 = f32::from_bits(top as u32);
+            if !f0.is_finite() || !f1.is_finite() {
+                // NaN/Inf pattern territory (never reached by real weights):
+                // the widest sound interval.
+                lo.push(-f32::MAX);
+                hi.push(f32::MAX);
+            } else if (base as u32) & 0x8000_0000 != 0 && (top as u32) & 0x8000_0000 != 0 {
+                // Same negative sign: larger pattern = more negative.
+                lo.push(f1);
+                hi.push(f0);
+            } else if (base as u32) & 0x8000_0000 == 0 && (top as u32) & 0x8000_0000 == 0 {
+                lo.push(f0);
+                hi.push(f1);
+            } else {
+                // Pattern range crosses the sign boundary: fall back to the
+                // widest sound interval for these magnitudes.
+                let m = f0.abs().max(f1.abs());
+                lo.push(-m);
+                hi.push(m);
+            }
+        }
+        Ok((
+            Matrix::from_vec(last.rows, last.cols, lo),
+            Matrix::from_vec(last.rows, last.cols, hi),
+        ))
+    }
+}
+
+/// An approximate weight histogram computed from high-order byte planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub min: f32,
+    pub max: f32,
+    pub counts: Vec<u64>,
+    pub planes_used: usize,
+}
+
+impl Histogram {
+    /// Total variation distance to another histogram over the same bins
+    /// (0 = identical distributions, 1 = disjoint).
+    pub fn distance(&self, other: &Histogram) -> f64 {
+        assert_eq!(self.counts.len(), other.counts.len());
+        let (na, nb) = (
+            self.counts.iter().sum::<u64>().max(1) as f64,
+            other.counts.iter().sum::<u64>().max(1) as f64,
+        );
+        0.5 * self
+            .counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| (a as f64 / na - b as f64 / nb).abs())
+            .sum::<f64>()
+    }
+
+    /// Render an ASCII bar chart (for the dlv CLI).
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        let bin_w = (self.max - self.min) / self.counts.len() as f32;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = self.min + i as f32 * bin_w;
+            let bar = "#".repeat((c as usize * width / max as usize).max(usize::from(c > 0)));
+            out.push_str(&format!("{lo:>10.4} | {bar} {c}
+"));
+        }
+        out
+    }
+}
+
+/// Apply a delta positionally, matching `mh_delta`'s shape semantics: the
+/// base is virtually zero-extended or cropped to the target's (row, col)
+/// grid, never reflowed.
+fn apply_positional(
+    base: &[u32],
+    base_shape: (usize, usize),
+    delta: &[u32],
+    target_shape: (usize, usize),
+    op: impl Fn(u32, u32) -> u32,
+) -> Vec<u32> {
+    let (br, bc) = base_shape;
+    let (tr, tc) = target_shape;
+    let mut out = Vec::with_capacity(tr * tc);
+    for r in 0..tr {
+        for c in 0..tc {
+            let b = if r < br && c < bc { base[r * bc + c] } else { 0 };
+            out.push(op(b, delta[r * tc + c]));
+        }
+    }
+    out
+}
+
+fn words_to_matrix(words: &[u32], rows: usize, cols: usize) -> Result<Matrix, PasError> {
+    if words.len() != rows * cols {
+        return Err(PasError::Corrupt("word count mismatch"));
+    }
+    Ok(Matrix::from_vec(
+        rows,
+        cols,
+        words.iter().map(|&w| f32::from_bits(w)).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::solver;
+    use mh_delta::bit_equal;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "mh-pas-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Three close-by matrices chained by deltas plus one independent one.
+    fn setup(op: DeltaOp, tag: &str) -> (StorageGraph, StoragePlan, BTreeMap<VertexId, Matrix>, PathBuf) {
+        let mut g = StorageGraph::new();
+        let m0 = Matrix::from_fn(8, 9, |r, c| ((r * 9 + c) as f32 * 0.17).sin() * 0.4);
+        let m1 = m0.map(|x| x + 3e-4);
+        let m2 = m1.map(|x| x * 1.001 - 1e-4);
+        let other = Matrix::from_fn(5, 4, |r, c| (r as f32 - c as f32) * 0.21);
+        let v0 = g.add_vertex("v0/conv1");
+        let v1 = g.add_vertex("v1/conv1");
+        let v2 = g.add_vertex("v2/conv1");
+        let v3 = g.add_vertex("other/fc");
+        for v in [v0, v1, v2, v3] {
+            g.add_edge(NULL_VERTEX, v, EdgeKind::Materialize, 100.0, 10.0);
+        }
+        g.add_delta_pair(v0, v1, 10.0, 2.0);
+        g.add_delta_pair(v1, v2, 10.0, 2.0);
+        g.add_snapshot("s0", vec![v0, v3], f64::INFINITY);
+        g.add_snapshot("s2", vec![v2], f64::INFINITY);
+        let plan = solver::mst(&g).unwrap();
+        let mats: BTreeMap<VertexId, Matrix> =
+            [(v0, m0), (v1, m1), (v2, m2), (v3, other)].into_iter().collect();
+        let dir = temp_dir(tag);
+        let _ = op;
+        (g, plan, mats, dir)
+    }
+
+    #[test]
+    fn full_recreation_is_exact_for_both_ops() {
+        for (op, tag) in [(DeltaOp::Sub, "sub"), (DeltaOp::Xor, "xor")] {
+            let (g, plan, mats, dir) = setup(op, tag);
+            let store =
+                SegmentStore::create(&dir, &g, &plan, &mats, op, Level::Fast).unwrap();
+            for (&v, m) in &mats {
+                let back = store.recreate(v).unwrap();
+                assert!(bit_equal(&back, m), "vertex {v} ({op:?})");
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn reopen_from_manifest() {
+        let (g, plan, mats, dir) = setup(DeltaOp::Sub, "reopen");
+        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let disk1 = store.bytes_on_disk();
+        drop(store);
+        let store = SegmentStore::open(&dir).unwrap();
+        assert_eq!(store.bytes_on_disk(), disk1);
+        for (&v, m) in &mats {
+            assert!(bit_equal(&store.recreate(v).unwrap(), m));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_chains_use_less_disk_than_materializing_everything() {
+        let (g, plan, mats, dir) = setup(DeltaOp::Sub, "size");
+        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let chained = store.bytes_on_disk();
+        std::fs::remove_dir_all(&dir).ok();
+
+        // All-materialized plan.
+        let dir2 = temp_dir("size-mat");
+        let mut flat = StoragePlan::empty(&g);
+        for v in g.matrix_vertices() {
+            let e = g
+                .edges()
+                .iter()
+                .find(|e| e.to == v && e.from == NULL_VERTEX)
+                .unwrap()
+                .id;
+            flat.set_parent(v, e);
+        }
+        let store2 = SegmentStore::create(&dir2, &g, &flat, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let materialized = store2.bytes_on_disk();
+        std::fs::remove_dir_all(&dir2).ok();
+        assert!(
+            chained < materialized,
+            "delta chain {chained} should beat materialization {materialized}"
+        );
+    }
+
+    #[test]
+    fn bounds_contain_truth_at_every_prefix() {
+        for (op, tag) in [(DeltaOp::Sub, "bsub"), (DeltaOp::Xor, "bxor")] {
+            let (g, plan, mats, dir) = setup(op, tag);
+            let store = SegmentStore::create(&dir, &g, &plan, &mats, op, Level::Fast).unwrap();
+            for (&v, m) in &mats {
+                for k in 1..=4usize {
+                    let (lo, hi) = store.recreate_bounds(v, k).unwrap();
+                    for i in 0..m.len() {
+                        let (l, h, x) = (lo.as_slice()[i], hi.as_slice()[i], m.as_slice()[i]);
+                        assert!(
+                            l <= x && x <= h,
+                            "{op:?} v{v} k{k} elem {i}: {l} <= {x} <= {h}"
+                        );
+                    }
+                }
+                // Full precision prefix is exact.
+                let (lo, hi) = store.recreate_bounds(v, 4).unwrap();
+                assert!(bit_equal(&lo, m) && bit_equal(&hi, m));
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_with_planes() {
+        let (g, plan, mats, dir) = setup(DeltaOp::Xor, "tighten");
+        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Xor, Level::Fast).unwrap();
+        let v = *mats.keys().next().unwrap();
+        let mut prev = f32::INFINITY;
+        for k in 1..=4usize {
+            let (lo, hi) = store.recreate_bounds(v, k).unwrap();
+            let w = lo
+                .as_slice()
+                .iter()
+                .zip(hi.as_slice())
+                .map(|(l, h)| h - l)
+                .fold(0.0f32, f32::max);
+            assert!(w <= prev + 1e-6, "width at k={k}: {w} vs {prev}");
+            prev = w;
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (g, plan, mats, dir) = setup(DeltaOp::Sub, "par");
+        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let members: Vec<VertexId> = mats.keys().copied().collect();
+        let seq = store.recreate_group(&members).unwrap();
+        let par = store.recreate_group_parallel(&members).unwrap();
+        for (a, b) in seq.iter().zip(&par) {
+            assert!(bit_equal(a, b));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefix_bytes_monotone() {
+        let (g, plan, mats, dir) = setup(DeltaOp::Sub, "prefix");
+        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let v = *mats.keys().last().unwrap();
+        let b1 = store.prefix_bytes(v, 1);
+        let b2 = store.prefix_bytes(v, 2);
+        let b4 = store.prefix_bytes(v, 4);
+        assert!(b1 < b2 && b2 < b4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod reusable_tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use crate::solver;
+    use mh_delta::bit_equal;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mh-pas-reuse-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn reusable_matches_independent_and_shares_prefixes() {
+        // Chain m0 -> m1 -> m2 -> m3: retrieving {m2, m3} reusably must
+        // produce the same matrices as independent retrieval.
+        let mut g = StorageGraph::new();
+        let m0 = Matrix::from_fn(10, 11, |r, c| ((r * 11 + c) as f32 * 0.31).cos() * 0.5);
+        let mats: Vec<Matrix> = (0..4).map(|i| m0.map(|x| x + i as f32 * 1e-4)).collect();
+        let vs: Vec<VertexId> = (0..4).map(|i| g.add_vertex(&format!("m{i}"))).collect();
+        for &v in &vs {
+            g.add_edge(NULL_VERTEX, v, EdgeKind::Materialize, 100.0, 10.0);
+        }
+        for w in vs.windows(2) {
+            g.add_delta_pair(w[0], w[1], 5.0, 1.0);
+        }
+        g.add_snapshot("s", vec![vs[2], vs[3]], f64::INFINITY);
+        let plan = solver::mst(&g).unwrap();
+        let map: BTreeMap<VertexId, Matrix> =
+            vs.iter().copied().zip(mats.iter().cloned()).collect();
+        let dir = temp_dir("basic");
+        let store =
+            SegmentStore::create(&dir, &g, &plan, &map, DeltaOp::Sub, Level::Fast).unwrap();
+        let group = vec![vs[2], vs[3]];
+        let independent = store.recreate_group(&group).unwrap();
+        let reusable = store.recreate_group_reusable(&group).unwrap();
+        for (a, b) in independent.iter().zip(&reusable) {
+            assert!(bit_equal(a, b));
+        }
+        // And arbitrary order / duplicates still work.
+        let rev = store.recreate_group_reusable(&[vs[3], vs[2], vs[3]]).unwrap();
+        assert!(bit_equal(&rev[0], &mats[3]));
+        assert!(bit_equal(&rev[1], &mats[2]));
+        assert!(bit_equal(&rev[2], &mats[3]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+    use crate::builder::{CostModel, GraphBuilder};
+    use crate::solver;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mh-hist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn histogram_from_two_planes_close_to_full_precision() {
+        let net = mh_dnn::zoo::lenet_s(4);
+        let w = mh_dnn::Weights::init(&net, 9).unwrap();
+        let mut b = GraphBuilder::new(CostModel::default());
+        let lv = b.add_snapshot("m", 0, &w);
+        let (g, mats) = b.finish();
+        let plan = solver::mst(&g).unwrap();
+        let dir = temp_dir("close");
+        let store =
+            SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let v = *lv.values().next().unwrap();
+        let range = Some((-0.5f32, 0.5f32));
+        let full = store.weight_histogram(v, 4, 32, range).unwrap();
+        let partial = store.weight_histogram(v, 2, 32, range).unwrap();
+        let coarse = store.weight_histogram(v, 1, 32, range).unwrap();
+        // Two high-order bytes suffice for a visually-identical histogram.
+        assert!(
+            full.distance(&partial) < 0.05,
+            "2-plane histogram far from truth: {}",
+            full.distance(&partial)
+        );
+        // One byte is much rougher (the exponent LSB is unknown, so
+        // midpoints shift by up to 2.5x) yet still bounded away from
+        // disjoint.
+        assert!(full.distance(&coarse) < 0.8, "1-plane distance {}", full.distance(&coarse));
+        assert!(full.distance(&partial) < full.distance(&coarse));
+        // Rendering works and mentions every bin.
+        let text = full.render_ascii(40);
+        assert_eq!(text.lines().count(), 32);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

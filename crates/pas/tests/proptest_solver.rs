@@ -1,0 +1,174 @@
+//! Property tests for the archival solvers on random storage graphs.
+//!
+//! Invariants checked:
+//! * every solver returns a structurally valid spanning plan;
+//! * no plan's storage cost beats the MST's (MST optimality);
+//! * no plan's per-vertex recreation cost beats the SPT's (SPT optimality);
+//! * with budgets set at α ≥ 1 times the SPT group costs, PAS-MT and
+//!   PAS-PT always return feasible plans (the SPT is a feasible witness);
+//! * LAST respects its (1+ε) path guarantee.
+
+use mh_pas::{apply_alpha_budgets, solver, EdgeKind, RetrievalScheme, StorageGraph, NULL_VERTEX};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomGraphSpec {
+    n: usize,
+    // (from, to, storage, recreation) candidate deltas.
+    deltas: Vec<(usize, usize, f64, f64)>,
+    // per-vertex materialize costs.
+    materialize: Vec<(f64, f64)>,
+    // group assignment per vertex (group id).
+    groups: Vec<u8>,
+}
+
+fn arb_graph() -> impl Strategy<Value = RandomGraphSpec> {
+    (2usize..12).prop_flat_map(|n| {
+        let mats = proptest::collection::vec((1.0f64..100.0, 0.5f64..50.0), n);
+        let deltas = proptest::collection::vec(
+            (0..n, 0..n, 0.5f64..60.0, 0.1f64..30.0),
+            0..n * 3,
+        );
+        let groups = proptest::collection::vec(0u8..4, n);
+        (Just(n), deltas, mats, groups).prop_map(|(n, deltas, materialize, groups)| {
+            RandomGraphSpec { n, deltas, materialize, groups }
+        })
+    })
+}
+
+fn build(spec: &RandomGraphSpec) -> StorageGraph {
+    let mut g = StorageGraph::new();
+    let vs: Vec<_> = (0..spec.n).map(|i| g.add_vertex(&format!("m{i}"))).collect();
+    for (v, &(cs, cr)) in vs.iter().zip(&spec.materialize) {
+        g.add_edge(NULL_VERTEX, *v, EdgeKind::Materialize, cs, cr);
+    }
+    for &(a, b, cs, cr) in &spec.deltas {
+        if a != b {
+            g.add_edge(vs[a], vs[b], EdgeKind::Delta, cs, cr);
+        }
+    }
+    // Groups from the assignment vector.
+    for gid in 0..4u8 {
+        let members: Vec<_> = vs
+            .iter()
+            .zip(&spec.groups)
+            .filter(|(_, &g)| g == gid)
+            .map(|(&v, _)| v)
+            .collect();
+        if !members.is_empty() {
+            g.add_snapshot(&format!("g{gid}"), members, f64::INFINITY);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_invariants(spec in arb_graph(), alpha in 1.0f64..4.0) {
+        let mut graph = build(&spec);
+        let scheme = RetrievalScheme::Independent;
+
+        let mst = solver::mst(&graph).expect("complete graph spans");
+        let spt = solver::spt(&graph).expect("complete graph spans");
+        mst.validate(&graph).unwrap();
+        spt.validate(&graph).unwrap();
+
+        // SPT recreation optimality per vertex.
+        for v in graph.matrix_vertices() {
+            prop_assert!(
+                spt.matrix_recreation_cost(&graph, v)
+                    <= mst.matrix_recreation_cost(&graph, v) + 1e-9
+            );
+        }
+
+        apply_alpha_budgets(&mut graph, alpha, scheme).unwrap();
+        let mt = solver::pas_mt(&graph, scheme).expect("solvable");
+        let pt = solver::pas_pt(&graph, scheme).expect("solvable");
+        mt.validate(&graph).unwrap();
+        pt.validate(&graph).unwrap();
+
+        // MST storage optimality.
+        for plan in [&mt, &pt, &spt] {
+            prop_assert!(plan.storage_cost(&graph) >= mst.storage_cost(&graph) - 1e-9);
+        }
+        // Feasibility: the SPT satisfies α ≥ 1 budgets by construction, so
+        // the heuristics must too.
+        prop_assert!(spt.satisfies_budgets(&graph, scheme));
+        prop_assert!(
+            mt.satisfies_budgets(&graph, scheme),
+            "PAS-MT infeasible at alpha={} costs={:?} budgets={:?}",
+            alpha,
+            mt.all_snapshot_costs(&graph, scheme),
+            graph.snapshots.iter().map(|s| s.budget).collect::<Vec<_>>()
+        );
+        prop_assert!(pt.satisfies_budgets(&graph, scheme));
+        // (No claim that MT/PT beat the SPT on storage: the greedy repair
+        // optimizes marginal gain, not the global optimum — `dlv archive`
+        // runs both heuristics and keeps the better plan for this reason.)
+    }
+
+    #[test]
+    fn parallel_scheme_invariants(spec in arb_graph(), alpha in 1.0f64..3.0) {
+        let mut graph = build(&spec);
+        let scheme = RetrievalScheme::Parallel;
+        apply_alpha_budgets(&mut graph, alpha, scheme).unwrap();
+        for plan in [
+            solver::pas_mt(&graph, scheme).expect("solvable"),
+            solver::pas_pt(&graph, scheme).expect("solvable"),
+        ] {
+            plan.validate(&graph).unwrap();
+            prop_assert!(plan.satisfies_budgets(&graph, scheme));
+        }
+    }
+
+    #[test]
+    fn last_respects_path_guarantee(spec in arb_graph(), eps in 0.0f64..2.0) {
+        let graph = build(&spec);
+        let plan = solver::last(&graph, eps).expect("solvable");
+        plan.validate(&graph).unwrap();
+        let spt = solver::spt(&graph).unwrap();
+        for v in graph.matrix_vertices() {
+            let d = spt.matrix_recreation_cost(&graph, v);
+            prop_assert!(
+                plan.matrix_recreation_cost(&graph, v) <= (1.0 + eps) * d + 1e-6,
+                "vertex {} exceeds (1+eps) bound", v
+            );
+        }
+    }
+
+    #[test]
+    fn reusable_cost_never_exceeds_independent(spec in arb_graph()) {
+        let graph = build(&spec);
+        let plan = solver::mst(&graph).unwrap();
+        for s in &graph.snapshots {
+            let ind = plan.snapshot_recreation_cost(&graph, &s.members, RetrievalScheme::Independent);
+            let reuse = plan.snapshot_recreation_cost(&graph, &s.members, RetrievalScheme::Reusable);
+            let par = plan.snapshot_recreation_cost(&graph, &s.members, RetrievalScheme::Parallel);
+            prop_assert!(reuse <= ind + 1e-9, "reusable {} > independent {}", reuse, ind);
+            prop_assert!(par <= ind + 1e-9);
+            prop_assert!(par <= reuse + 1e-9, "parallel {} > reusable {}", par, reuse);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn edmonds_never_worse_than_greedy(spec in arb_graph()) {
+        let graph = build(&spec);
+        let exact = solver::mst(&graph).expect("spans");
+        // The greedy Prim-style variant also spans (materialize edges
+        // exist for every vertex) but may pick a costlier arborescence on
+        // asymmetric graphs.
+        let greedy = solver::greedy_mst(&graph).expect("spans");
+        prop_assert!(
+            exact.storage_cost(&graph) <= greedy.storage_cost(&graph) + 1e-9,
+            "Edmonds {} > greedy {}",
+            exact.storage_cost(&graph),
+            greedy.storage_cost(&graph)
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Binary on-disk codec for the catalog (the offline crate set has no
+//! serde format crate, so the format is hand-rolled: length-prefixed,
+//! tagged values with a magic header and format version).
+
+use crate::value::{ColumnType, Value};
+use crate::StoreError;
+
+pub const MAGIC: [u8; 4] = *b"MHS1";
+
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn write_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    write_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_bytes(out, s.as_bytes());
+}
+
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.pos + n > self.data.len() {
+            return Err(StoreError::Corrupt("unexpected end of catalog file"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn read_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn read_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn read_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn read_bytes(&mut self) -> Result<Vec<u8>, StoreError> {
+        let n = self.read_u64()? as usize;
+        if n > self.remaining() {
+            return Err(StoreError::Corrupt("length prefix exceeds file size"));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub fn read_str(&mut self) -> Result<String, StoreError> {
+        String::from_utf8(self.read_bytes()?)
+            .map_err(|_| StoreError::Corrupt("invalid utf-8 string"))
+    }
+}
+
+pub fn write_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Real(r) => {
+            out.push(2);
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(3);
+            write_str(out, s);
+        }
+        Value::Blob(b) => {
+            out.push(4);
+            write_bytes(out, b);
+        }
+    }
+}
+
+pub fn read_value(r: &mut Reader<'_>) -> Result<Value, StoreError> {
+    match r.read_u8()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Int(i64::from_le_bytes(
+            r.take(8)?.try_into().unwrap(),
+        ))),
+        2 => Ok(Value::Real(f64::from_le_bytes(
+            r.take(8)?.try_into().unwrap(),
+        ))),
+        3 => Ok(Value::Text(r.read_str()?)),
+        4 => Ok(Value::Blob(r.read_bytes()?)),
+        _ => Err(StoreError::Corrupt("unknown value tag")),
+    }
+}
+
+pub fn write_column_type(out: &mut Vec<u8>, t: ColumnType) {
+    out.push(match t {
+        ColumnType::Int => 1,
+        ColumnType::Real => 2,
+        ColumnType::Text => 3,
+        ColumnType::Blob => 4,
+    });
+}
+
+pub fn read_column_type(r: &mut Reader<'_>) -> Result<ColumnType, StoreError> {
+    match r.read_u8()? {
+        1 => Ok(ColumnType::Int),
+        2 => Ok(ColumnType::Real),
+        3 => Ok(ColumnType::Text),
+        4 => Ok(ColumnType::Blob),
+        _ => Err(StoreError::Corrupt("unknown column type tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let values = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Real(3.25),
+            Value::Text("hello world".into()),
+            Value::Blob(vec![1, 2, 3, 0, 255]),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            write_value(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for v in &values {
+            assert_eq!(&read_value(&mut r).unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        let mut buf = Vec::new();
+        write_value(&mut buf, &Value::Text("something".into()));
+        for cut in [0, 1, 5, buf.len() - 1] {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(read_value(&mut r).is_err());
+        }
+    }
+
+    #[test]
+    fn bogus_length_prefix_rejected() {
+        // Tag = Text, length = huge.
+        let mut buf = vec![3u8];
+        write_u64(&mut buf, u64::MAX);
+        let mut r = Reader::new(&buf);
+        assert!(read_value(&mut r).is_err());
+    }
+
+    #[test]
+    fn column_type_roundtrip() {
+        let mut buf = Vec::new();
+        for t in [ColumnType::Int, ColumnType::Real, ColumnType::Text, ColumnType::Blob] {
+            write_column_type(&mut buf, t);
+        }
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_column_type(&mut r).unwrap(), ColumnType::Int);
+        assert_eq!(read_column_type(&mut r).unwrap(), ColumnType::Real);
+        assert_eq!(read_column_type(&mut r).unwrap(), ColumnType::Text);
+        assert_eq!(read_column_type(&mut r).unwrap(), ColumnType::Blob);
+    }
+}

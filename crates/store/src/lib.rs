@@ -1,0 +1,67 @@
+//! # mh-store
+//!
+//! An embedded relational-lite metadata catalog — the ModelHub substitute
+//! for sqlite3. DLV keeps structured lifecycle artifacts here: model
+//! versions, network nodes/edges, lineage, hyperparameters, training
+//! measurements, and file manifests.
+//!
+//! Features: typed columns with NULLability, auto-increment row ids,
+//! predicate scans with SQL-LIKE matching, secondary indexes, and atomic
+//! whole-file persistence in a hand-rolled binary format.
+//!
+//! ```
+//! use mh_store::{Database, Schema, Column, ColumnType, Predicate};
+//! let mut db = Database::new();
+//! db.create_table("models", Schema::new(vec![
+//!     Column::not_null("name", ColumnType::Text),
+//!     Column::new("accuracy", ColumnType::Real),
+//! ])).unwrap();
+//! let t = db.table_mut("models").unwrap();
+//! t.insert(vec!["lenet-v1".into(), 0.98.into()]).unwrap();
+//! let hits = t.select(&Predicate::Like("name".into(), "lenet%".into()));
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod codec;
+pub mod db;
+pub mod table;
+pub mod value;
+
+pub use db::{Catalog, Database};
+pub use table::{Aggregate, Column, Row, RowId, Schema, Table};
+pub use value::{like_match, ColumnType, Predicate, Value};
+
+/// Errors from catalog operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Structural corruption in a persisted catalog.
+    Corrupt(&'static str),
+    /// Row violates the table schema.
+    SchemaViolation(&'static str),
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown column.
+    NoSuchColumn,
+    /// Unknown row id.
+    NoSuchRow(RowId),
+    /// Table already exists.
+    TableExists(String),
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Corrupt(m) => write!(f, "corrupt catalog: {m}"),
+            Self::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            Self::NoSuchTable(t) => write!(f, "no such table '{t}'"),
+            Self::NoSuchColumn => write!(f, "no such column"),
+            Self::NoSuchRow(id) => write!(f, "no such row {id}"),
+            Self::TableExists(t) => write!(f, "table '{t}' already exists"),
+            Self::Io(e) => write!(f, "catalog io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,506 @@
+//! Tables: typed columns, auto-increment row ids, predicate scans, and
+//! optional secondary indexes.
+
+use crate::codec::{self, Reader};
+use crate::value::{ColumnType, Predicate, Value};
+use crate::StoreError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Row identifier (auto-assigned, never reused).
+pub type RowId = u64;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        Self { name: name.to_string(), ty, nullable: true }
+    }
+
+    pub fn not_null(name: &str, ty: ColumnType) -> Self {
+        Self { name: name.to_string(), ty, nullable: false }
+    }
+}
+
+/// Table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self { columns }
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validate a row against the schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), StoreError> {
+        if row.len() != self.columns.len() {
+            return Err(StoreError::SchemaViolation("row arity mismatch"));
+        }
+        for (v, col) in row.iter().zip(&self.columns) {
+            match v.type_of() {
+                None => {
+                    if !col.nullable {
+                        return Err(StoreError::SchemaViolation("NULL in NOT NULL column"));
+                    }
+                }
+                Some(t) if t == col.ty => {}
+                // Int is acceptable in a Real column.
+                Some(ColumnType::Int) if col.ty == ColumnType::Real => {}
+                Some(_) => return Err(StoreError::SchemaViolation("type mismatch")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate functions for [`Table::aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// A row with its id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    pub id: RowId,
+    pub values: Vec<Value>,
+}
+
+/// A table: schema + rows + secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    next_id: RowId,
+    /// Secondary indexes: column index -> value -> row ids.
+    indexes: BTreeMap<usize, BTreeMap<Value, BTreeSet<RowId>>>,
+}
+
+impl Table {
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, rows: BTreeMap::new(), next_id: 1, indexes: BTreeMap::new() }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row, returning its new id.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId, StoreError> {
+        self.schema.check_row(&values)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        for (&col, index) in self.indexes.iter_mut() {
+            index.entry(values[col].clone()).or_default().insert(id);
+        }
+        self.rows.insert(id, values);
+        Ok(id)
+    }
+
+    /// Fetch one row by id.
+    pub fn get(&self, id: RowId) -> Option<Row> {
+        self.rows.get(&id).map(|v| Row { id, values: v.clone() })
+    }
+
+    /// Read a single cell by row id and column name.
+    pub fn cell(&self, id: RowId, column: &str) -> Option<Value> {
+        let col = self.schema.column_index(column)?;
+        self.rows.get(&id).map(|v| v[col].clone())
+    }
+
+    /// Update one column of a row.
+    pub fn update(&mut self, id: RowId, column: &str, value: Value) -> Result<(), StoreError> {
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or(StoreError::NoSuchColumn)?;
+        let row = self.rows.get_mut(&id).ok_or(StoreError::NoSuchRow(id))?;
+        let mut candidate = row.clone();
+        candidate[col] = value.clone();
+        self.schema.check_row(&candidate)?;
+        if let Some(index) = self.indexes.get_mut(&col) {
+            if let Some(set) = index.get_mut(&row[col]) {
+                set.remove(&id);
+                if set.is_empty() {
+                    index.remove(&row[col]);
+                }
+            }
+            index.entry(value.clone()).or_default().insert(id);
+        }
+        row[col] = value;
+        Ok(())
+    }
+
+    /// Delete a row; returns whether it existed.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        if let Some(values) = self.rows.remove(&id) {
+            for (&col, index) in self.indexes.iter_mut() {
+                if let Some(set) = index.get_mut(&values[col]) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        index.remove(&values[col]);
+                    }
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Create a secondary index on a column (backfills existing rows).
+    pub fn create_index(&mut self, column: &str) -> Result<(), StoreError> {
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or(StoreError::NoSuchColumn)?;
+        let mut index: BTreeMap<Value, BTreeSet<RowId>> = BTreeMap::new();
+        for (&id, values) in &self.rows {
+            index.entry(values[col].clone()).or_default().insert(id);
+        }
+        self.indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// All rows matching a predicate. Uses an index for top-level equality
+    /// predicates when available, otherwise scans.
+    pub fn select(&self, pred: &Predicate) -> Vec<Row> {
+        // Index fast path for Eq on an indexed column.
+        if let Predicate::Eq(cname, v) = pred {
+            if let Some(col) = self.schema.column_index(cname) {
+                if let Some(index) = self.indexes.get(&col) {
+                    return index
+                        .get(v)
+                        .map(|ids| {
+                            ids.iter()
+                                .filter_map(|&id| self.get(id))
+                                .collect::<Vec<_>>()
+                        })
+                        .unwrap_or_default();
+                }
+            }
+        }
+        self.rows
+            .iter()
+            .filter(|(_, values)| {
+                let get = |name: &str| -> Option<Value> {
+                    self.schema
+                        .column_index(name)
+                        .map(|i| values[i].clone())
+                };
+                pred.eval(&get)
+            })
+            .map(|(&id, values)| Row { id, values: values.clone() })
+            .collect()
+    }
+
+    /// Iterate all rows.
+    pub fn scan(&self) -> impl Iterator<Item = Row> + '_ {
+        self.rows
+            .iter()
+            .map(|(&id, values)| Row { id, values: values.clone() })
+    }
+
+    /// Matching rows sorted by a column (ascending or descending), with an
+    /// optional limit — the ORDER BY / LIMIT convenience used by `dlv list`
+    /// style queries.
+    pub fn select_ordered(
+        &self,
+        pred: &Predicate,
+        order_by: &str,
+        descending: bool,
+        limit: Option<usize>,
+    ) -> Result<Vec<Row>, StoreError> {
+        let col = self
+            .schema
+            .column_index(order_by)
+            .ok_or(StoreError::NoSuchColumn)?;
+        let mut rows = self.select(pred);
+        rows.sort_by(|a, b| {
+            let ord = a.values[col].cmp(&b.values[col]);
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        if let Some(n) = limit {
+            rows.truncate(n);
+        }
+        Ok(rows)
+    }
+
+    /// Aggregate a numeric column over matching rows. NULLs are skipped
+    /// (SQL semantics); returns None when no non-NULL value matches (except
+    /// Count, which is always defined).
+    pub fn aggregate(
+        &self,
+        pred: &Predicate,
+        column: &str,
+        agg: Aggregate,
+    ) -> Result<Option<f64>, StoreError> {
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or(StoreError::NoSuchColumn)?;
+        let values: Vec<f64> = self
+            .select(pred)
+            .into_iter()
+            .filter_map(|r| r.values[col].as_real())
+            .collect();
+        Ok(match agg {
+            Aggregate::Count => Some(values.len() as f64),
+            Aggregate::Sum => Some(values.iter().sum()),
+            Aggregate::Min => values.iter().copied().reduce(f64::min),
+            Aggregate::Max => values.iter().copied().reduce(f64::max),
+            Aggregate::Avg => {
+                if values.is_empty() {
+                    None
+                } else {
+                    Some(values.iter().sum::<f64>() / values.len() as f64)
+                }
+            }
+        })
+    }
+
+    /// Serialize (schema, rows, index column list).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::write_u32(&mut out, self.schema.columns.len() as u32);
+        for c in &self.schema.columns {
+            codec::write_str(&mut out, &c.name);
+            codec::write_column_type(&mut out, c.ty);
+            out.push(u8::from(c.nullable));
+        }
+        codec::write_u64(&mut out, self.next_id);
+        codec::write_u64(&mut out, self.rows.len() as u64);
+        for (&id, values) in &self.rows {
+            codec::write_u64(&mut out, id);
+            for v in values {
+                codec::write_value(&mut out, v);
+            }
+        }
+        codec::write_u32(&mut out, self.indexes.len() as u32);
+        for &col in self.indexes.keys() {
+            codec::write_u32(&mut out, col as u32);
+        }
+        out
+    }
+
+    pub fn from_reader(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let ncols = r.read_u32()? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let name = r.read_str()?;
+            let ty = codec::read_column_type(r)?;
+            let nullable = r.read_u8()? != 0;
+            columns.push(Column { name, ty, nullable });
+        }
+        let schema = Schema::new(columns);
+        let next_id = r.read_u64()?;
+        let nrows = r.read_u64()? as usize;
+        let mut rows = BTreeMap::new();
+        for _ in 0..nrows {
+            let id = r.read_u64()?;
+            let mut values = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                values.push(codec::read_value(r)?);
+            }
+            rows.insert(id, values);
+        }
+        let mut table = Table { schema, rows, next_id, indexes: BTreeMap::new() };
+        let nindexes = r.read_u32()? as usize;
+        for _ in 0..nindexes {
+            let col = r.read_u32()? as usize;
+            if col >= table.schema.columns.len() {
+                return Err(StoreError::Corrupt("index on unknown column"));
+            }
+            let name = table.schema.columns[col].name.clone();
+            table.create_index(&name)?;
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models_table() -> Table {
+        let schema = Schema::new(vec![
+            Column::not_null("name", ColumnType::Text),
+            Column::new("accuracy", ColumnType::Real),
+            Column::new("params", ColumnType::Int),
+        ]);
+        let mut t = Table::new(schema);
+        t.insert(vec!["alexnet-origin1".into(), 0.57.into(), 61_000_000i64.into()])
+            .unwrap();
+        t.insert(vec!["alexnet-avgv1".into(), 0.55.into(), 61_100_000i64.into()])
+            .unwrap();
+        t.insert(vec!["vgg-16".into(), 0.684.into(), 138_000_000i64.into()])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let t = models_table();
+        assert_eq!(t.len(), 3);
+        let r = t.get(1).unwrap();
+        assert_eq!(r.values[0], Value::Text("alexnet-origin1".into()));
+        assert_eq!(t.cell(3, "accuracy"), Some(Value::Real(0.684)));
+        assert!(t.get(99).is_none());
+    }
+
+    #[test]
+    fn schema_enforced() {
+        let mut t = models_table();
+        assert!(t.insert(vec![Value::Null, 0.1.into(), 5i64.into()]).is_err());
+        assert!(t
+            .insert(vec!["x".into(), "not a number".into(), 5i64.into()])
+            .is_err());
+        assert!(t.insert(vec!["x".into(), 0.5.into()]).is_err());
+        // Int accepted in Real column.
+        assert!(t.insert(vec!["y".into(), Value::Int(1), 5i64.into()]).is_ok());
+    }
+
+    #[test]
+    fn select_with_predicates() {
+        let t = models_table();
+        let alex = t.select(&Predicate::Like("name".into(), "alexnet%".into()));
+        assert_eq!(alex.len(), 2);
+        let good = t.select(&Predicate::Gt("accuracy".into(), Value::Real(0.56)));
+        assert_eq!(good.len(), 2);
+        let both = t.select(
+            &Predicate::Like("name".into(), "alexnet%".into())
+                .and(Predicate::Gt("accuracy".into(), Value::Real(0.56))),
+        );
+        assert_eq!(both.len(), 1);
+        assert_eq!(both[0].values[0], Value::Text("alexnet-origin1".into()));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut t = models_table();
+        t.update(1, "accuracy", Value::Real(0.60)).unwrap();
+        assert_eq!(t.cell(1, "accuracy"), Some(Value::Real(0.60)));
+        assert!(t.update(99, "accuracy", Value::Real(0.1)).is_err());
+        assert!(t.update(1, "nope", Value::Real(0.1)).is_err());
+        assert!(t.delete(2));
+        assert!(!t.delete(2));
+        assert_eq!(t.len(), 2);
+        // Row ids are not reused.
+        let id = t.insert(vec!["new".into(), Value::Null, Value::Null]).unwrap();
+        assert_eq!(id, 4);
+    }
+
+    #[test]
+    fn index_consistency_through_mutations() {
+        let mut t = models_table();
+        t.create_index("name").unwrap();
+        let hit = t.select(&Predicate::Eq("name".into(), "vgg-16".into()));
+        assert_eq!(hit.len(), 1);
+        t.update(3, "name", Value::Text("vgg-19".into())).unwrap();
+        assert!(t.select(&Predicate::Eq("name".into(), "vgg-16".into())).is_empty());
+        assert_eq!(t.select(&Predicate::Eq("name".into(), "vgg-19".into())).len(), 1);
+        t.delete(3);
+        assert!(t.select(&Predicate::Eq("name".into(), "vgg-19".into())).is_empty());
+        // Insert after index creation is indexed too.
+        t.insert(vec!["vgg-19".into(), 0.7.into(), 1i64.into()]).unwrap();
+        assert_eq!(t.select(&Predicate::Eq("name".into(), "vgg-19".into())).len(), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut t = models_table();
+        t.create_index("name").unwrap();
+        let bytes = t.to_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Table::from_reader(&mut r).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.schema(), t.schema());
+        assert_eq!(
+            back.select(&Predicate::Eq("name".into(), "vgg-16".into())).len(),
+            1
+        );
+        // next_id preserved: ids keep advancing, not colliding.
+        let mut back = back;
+        assert_eq!(back.insert(vec!["z".into(), Value::Null, Value::Null]).unwrap(), 4);
+    }
+}
+
+#[cfg(test)]
+mod aggregate_tests {
+    use super::*;
+    use crate::value::{ColumnType, Predicate, Value};
+
+    fn metrics() -> Table {
+        let mut t = Table::new(Schema::new(vec![
+            Column::not_null("iter", ColumnType::Int),
+            Column::new("loss", ColumnType::Real),
+        ]));
+        for (i, l) in [(1i64, 2.0f64), (2, 1.5), (3, 1.0), (4, 0.5)] {
+            t.insert(vec![Value::Int(i), Value::Real(l)]).unwrap();
+        }
+        t.insert(vec![Value::Int(5), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = metrics();
+        let all = Predicate::True;
+        assert_eq!(t.aggregate(&all, "loss", Aggregate::Count).unwrap(), Some(4.0));
+        assert_eq!(t.aggregate(&all, "loss", Aggregate::Sum).unwrap(), Some(5.0));
+        assert_eq!(t.aggregate(&all, "loss", Aggregate::Min).unwrap(), Some(0.5));
+        assert_eq!(t.aggregate(&all, "loss", Aggregate::Max).unwrap(), Some(2.0));
+        assert_eq!(t.aggregate(&all, "loss", Aggregate::Avg).unwrap(), Some(1.25));
+        // Filtered.
+        let late = Predicate::Ge("iter".into(), Value::Int(3));
+        assert_eq!(t.aggregate(&late, "loss", Aggregate::Avg).unwrap(), Some(0.75));
+        // Empty match.
+        let none = Predicate::Gt("iter".into(), Value::Int(99));
+        assert_eq!(t.aggregate(&none, "loss", Aggregate::Avg).unwrap(), None);
+        assert_eq!(t.aggregate(&none, "loss", Aggregate::Count).unwrap(), Some(0.0));
+        assert!(t.aggregate(&all, "nope", Aggregate::Avg).is_err());
+    }
+
+    #[test]
+    fn ordered_select_with_limit() {
+        let t = metrics();
+        let rows = t
+            .select_ordered(&Predicate::True, "loss", false, Some(2))
+            .unwrap();
+        // NULL sorts first ascending.
+        assert!(rows[0].values[1].is_null());
+        assert_eq!(rows[1].values[1], Value::Real(0.5));
+        let rows = t
+            .select_ordered(&Predicate::True, "loss", true, Some(1))
+            .unwrap();
+        assert_eq!(rows[0].values[1], Value::Real(2.0));
+        assert!(t.select_ordered(&Predicate::True, "ghost", false, None).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Oracle-based property test: a random sequence of table operations is
+//! applied both to `mh_store::Table` and to a naive `BTreeMap` model; the
+//! observable state must agree at every step, with and without a secondary
+//! index, and across a serialization roundtrip.
+
+use mh_store::{codec::Reader, Column, ColumnType, Predicate, Schema, Table, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { k: i64, tag: String },
+    UpdateTag { victim: usize, tag: String },
+    Delete { victim: usize },
+    CreateIndex,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<i64>(), "[a-c]{0,3}").prop_map(|(k, tag)| Op::Insert { k, tag }),
+        (any::<usize>(), "[a-c]{0,3}").prop_map(|(victim, tag)| Op::UpdateTag { victim, tag }),
+        any::<usize>().prop_map(|victim| Op::Delete { victim }),
+        Just(Op::CreateIndex),
+    ]
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::not_null("k", ColumnType::Int),
+        Column::not_null("tag", ColumnType::Text),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn table_matches_btreemap_oracle(ops in proptest::collection::vec(arb_op(), 0..64)) {
+        let mut table = Table::new(schema());
+        let mut oracle: BTreeMap<u64, (i64, String)> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { k, tag } => {
+                    let id = table
+                        .insert(vec![Value::Int(k), Value::Text(tag.clone())])
+                        .unwrap();
+                    oracle.insert(id, (k, tag));
+                }
+                Op::UpdateTag { victim, tag } => {
+                    let ids: Vec<u64> = oracle.keys().copied().collect();
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let id = ids[victim % ids.len()];
+                    table.update(id, "tag", Value::Text(tag.clone())).unwrap();
+                    oracle.get_mut(&id).unwrap().1 = tag;
+                }
+                Op::Delete { victim } => {
+                    let ids: Vec<u64> = oracle.keys().copied().collect();
+                    if ids.is_empty() {
+                        prop_assert!(!table.delete(9_999_999));
+                        continue;
+                    }
+                    let id = ids[victim % ids.len()];
+                    prop_assert!(table.delete(id));
+                    oracle.remove(&id);
+                }
+                Op::CreateIndex => {
+                    table.create_index("tag").unwrap();
+                }
+            }
+
+            // Full-state agreement.
+            prop_assert_eq!(table.len(), oracle.len());
+            for (&id, (k, tag)) in &oracle {
+                let row = table.get(id).expect("row exists");
+                prop_assert_eq!(&row.values[0], &Value::Int(*k));
+                prop_assert_eq!(&row.values[1], &Value::Text(tag.clone()));
+            }
+            // Query agreement on an arbitrary tag (exercises the index
+            // fast path when present).
+            let probe = "a".to_string();
+            let expected = oracle.values().filter(|(_, t)| *t == probe).count();
+            let got = table
+                .select(&Predicate::Eq("tag".into(), Value::Text(probe)))
+                .len();
+            prop_assert_eq!(got, expected);
+        }
+
+        // Serialization roundtrip preserves everything.
+        let bytes = table.to_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Table::from_reader(&mut r).unwrap();
+        prop_assert_eq!(back.len(), oracle.len());
+        for (&id, (k, tag)) in &oracle {
+            let row = back.get(id).expect("row survives roundtrip");
+            prop_assert_eq!(&row.values[0], &Value::Int(*k));
+            prop_assert_eq!(&row.values[1], &Value::Text(tag.clone()));
+        }
+    }
+
+    #[test]
+    fn like_match_agrees_with_naive(pattern in "[a-b%_]{0,6}", text in "[a-b]{0,6}") {
+        // Naive O(2^n) reference for LIKE.
+        fn naive(p: &[u8], t: &[u8]) -> bool {
+            match p.first() {
+                None => t.is_empty(),
+                Some(b'%') => (0..=t.len()).any(|k| naive(&p[1..], &t[k..])),
+                Some(b'_') => !t.is_empty() && naive(&p[1..], &t[1..]),
+                Some(&c) => t.first() == Some(&c) && naive(&p[1..], &t[1..]),
+            }
+        }
+        prop_assert_eq!(
+            mh_store::like_match(&pattern, &text),
+            naive(pattern.as_bytes(), text.as_bytes())
+        );
+    }
+}

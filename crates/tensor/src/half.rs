@@ -1,0 +1,177 @@
+//! IEEE-754 half precision (binary16) and bfloat16 conversions.
+//!
+//! Implemented from scratch (no `half` crate): PAS offers both as lossy
+//! float representation schemes — IEEE half per the 2008 proposal the paper
+//! cites, and bfloat16 as the "tensorflow truncated 16 bits" scheme.
+
+/// Convert an `f32` to IEEE binary16 bits, rounding to nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x7f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep a quiet NaN payload bit if any mantissa bit set.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7c00;
+    }
+    if e >= -14 {
+        // Normal range. 10-bit mantissa, round-to-nearest-even on bit 13.
+        let m = mant >> 13;
+        let rest = mant & 0x1fff;
+        let half = 0x1000;
+        let mut h = sign | (((e + 15) as u16) << 10) | m as u16;
+        if rest > half || (rest == half && (m & 1) == 1) {
+            h = h.wrapping_add(1); // may carry into exponent: correct behaviour
+        }
+        return h;
+    }
+    if e >= -24 {
+        // Subnormal half.
+        let shift = (-14 - e) as u32; // 1..=10
+        let m = (mant | 0x80_0000) >> (13 + shift);
+        let rest_bits = 13 + shift;
+        let rest = (mant | 0x80_0000) & ((1 << rest_bits) - 1);
+        let half = 1u32 << (rest_bits - 1);
+        let mut h = sign | m as u16;
+        if rest > half || (rest == half && (m & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return h;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Convert IEEE binary16 bits to `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = u32::from(h & 0x3ff);
+    let bits = match exp {
+        0 => {
+            if mant == 0 {
+                sign
+            } else {
+                // Subnormal: normalize.
+                let mut m = mant;
+                let mut e = -14i32;
+                while m & 0x400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x3ff;
+                sign | (((e + 127) as u32) << 23) | (m << 13)
+            }
+        }
+        0x1f => sign | 0x7f80_0000 | (mant << 13),
+        _ => sign | (((i32::from(exp) - 15 + 127) as u32) << 23) | (mant << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Truncate an `f32` to bfloat16 bits (round-to-nearest-even on bit 16).
+pub fn f32_to_bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return ((bits >> 16) as u16) | 0x0040; // keep NaN quiet
+    }
+    let round_bit = 0x8000u32;
+    let rest = bits & 0xffff;
+    let hi = (bits >> 16) as u16;
+    if rest > round_bit || (rest == round_bit && (hi & 1) == 1) {
+        hi.wrapping_add(1)
+    } else {
+        hi
+    }
+}
+
+/// Expand bfloat16 bits back to `f32`.
+pub fn bf16_bits_to_f32(h: u16) -> f32 {
+    f32::from_bits(u32::from(h) << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_exact_values() {
+        for &(x, bits) in &[
+            (0.0f32, 0x0000u16),
+            (-0.0, 0x8000),
+            (1.0, 0x3c00),
+            (-2.0, 0xc000),
+            (0.5, 0x3800),
+            (65504.0, 0x7bff), // max finite half
+        ] {
+            assert_eq!(f32_to_f16_bits(x), bits, "encoding {x}");
+            assert_eq!(f16_bits_to_f32(bits), x, "decoding {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_to_inf() {
+        assert_eq!(f32_to_f16_bits(1e6), 0x7c00);
+        assert_eq!(f32_to_f16_bits(-1e6), 0xfc00);
+        assert!(f16_bits_to_f32(0x7c00).is_infinite());
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let tiny = 2f32.powi(-24); // smallest positive subnormal half
+        let h = f32_to_f16_bits(tiny);
+        assert_eq!(h, 0x0001);
+        assert_eq!(f16_bits_to_f32(h), tiny);
+        // Below half the smallest subnormal -> zero.
+        assert_eq!(f32_to_f16_bits(2f32.powi(-26)), 0x0000);
+    }
+
+    #[test]
+    fn f16_roundtrip_error_bounded() {
+        // Relative error for normal-range values is at most 2^-11.
+        for i in 0..2000 {
+            let x = (i as f32 - 1000.0) * 0.013 + 0.0007;
+            let y = f16_bits_to_f32(f32_to_f16_bits(x));
+            if x.abs() > 1e-4 {
+                assert!(
+                    ((x - y) / x).abs() <= 2f32.powi(-11) + 1e-7,
+                    "x={x} y={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_all_bit_patterns() {
+        // Every finite half value must survive f16 -> f32 -> f16.
+        for h in 0..=0xffffu16 {
+            let exp = (h >> 10) & 0x1f;
+            if exp == 0x1f {
+                continue; // inf/nan handled separately
+            }
+            let x = f16_bits_to_f32(h);
+            assert_eq!(f32_to_f16_bits(x), h, "pattern {h:#x} (value {x})");
+        }
+    }
+
+    #[test]
+    fn bf16_truncation() {
+        assert_eq!(bf16_bits_to_f32(f32_to_bf16_bits(1.0)), 1.0);
+        assert_eq!(bf16_bits_to_f32(f32_to_bf16_bits(-3.5)), -3.5);
+        let x = 1.2345678f32;
+        let y = bf16_bits_to_f32(f32_to_bf16_bits(x));
+        assert!(((x - y) / x).abs() < 2f32.powi(-8));
+    }
+
+    #[test]
+    fn bf16_nan_stays_nan() {
+        assert!(bf16_bits_to_f32(f32_to_bf16_bits(f32::NAN)).is_nan());
+    }
+}

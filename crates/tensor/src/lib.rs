@@ -1,0 +1,32 @@
+//! # mh-tensor
+//!
+//! Dense float matrices and tensors plus the PAS float representation
+//! toolkit: lossy float schemes (f16 / bf16 / fixed-point / quantization),
+//! normalization, and bytewise segmentation with interval reconstruction
+//! bounds — the storage-side substrate of the ModelHub paper's §IV-B.
+//!
+//! ```
+//! use mh_tensor::{Matrix, SegmentedMatrix};
+//! let m = Matrix::from_fn(4, 4, |r, c| (r as f32 - c as f32) * 0.1);
+//! let seg = SegmentedMatrix::from_matrix(&m);
+//! // Exact from all 4 byte planes:
+//! assert_eq!(seg.to_matrix(), m);
+//! // Intervals from just the high-order byte contain the true values:
+//! let (lo, hi) = seg.bounds(1);
+//! for i in 0..m.len() {
+//!     assert!(lo.as_slice()[i] <= m.as_slice()[i] && m.as_slice()[i] <= hi.as_slice()[i]);
+//! }
+//! ```
+
+pub mod half;
+pub mod matrix;
+pub mod quant;
+pub mod scheme;
+pub mod segment;
+pub mod tensor3;
+
+pub use matrix::Matrix;
+pub use quant::Codebook;
+pub use scheme::{decode, encode, normalization_offset, word_width, EncodedMatrix, Scheme};
+pub use segment::{join_byte_planes, split_byte_planes, SegmentedMatrix, NUM_PLANES};
+pub use tensor3::Tensor3;

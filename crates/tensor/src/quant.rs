@@ -1,0 +1,248 @@
+//! k-bit quantization (k <= 8) with an explicit coding table, as offered by
+//! PAS for snapshots whose weights are primarily reused for fine-tuning.
+//!
+//! Two codebook constructions from the paper: *uniform* (equal-width bins
+//! over the value range) and *random* (codebook sampled from the empirical
+//! distribution).
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A quantization codebook: `codes[i]` is the reconstruction value of code
+/// `i`. Codes are assigned by nearest value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    /// Sorted reconstruction values, at most 256 entries.
+    pub codes: Vec<f32>,
+    /// Bits per stored code.
+    pub bits: u8,
+}
+
+impl Codebook {
+    /// Equal-width bins over `[min, max]`; reconstruction value is the bin
+    /// center.
+    pub fn uniform(m: &Matrix, bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "quantization supports 1..=8 bits");
+        let n = 1usize << bits;
+        let (lo, hi) = (m.min(), m.max());
+        let (lo, hi) = if lo.is_finite() && hi.is_finite() && lo < hi {
+            (lo, hi)
+        } else {
+            // Degenerate (constant or empty) matrix: center a unit-wide
+            // range on the constant so the reconstruction stays close.
+            let v = if lo.is_finite() { lo } else { 0.0 };
+            (v - 0.5, v + 0.5)
+        };
+        let width = (hi - lo) / n as f32;
+        let codes = (0..n).map(|i| lo + (i as f32 + 0.5) * width).collect();
+        Self { codes, bits }
+    }
+
+    /// Codebook sampled from the matrix's own values (deterministic for a
+    /// given seed), then sorted and deduplicated.
+    pub fn random(m: &Matrix, bits: u8, seed: u64) -> Self {
+        assert!((1..=8).contains(&bits), "quantization supports 1..=8 bits");
+        let n = 1usize << bits;
+        let vals = m.as_slice();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut codes: Vec<f32> = if vals.is_empty() {
+            vec![0.0]
+        } else {
+            (0..n).map(|_| vals[rng.gen_range(0..vals.len())]).collect()
+        };
+        codes.sort_by(f32::total_cmp);
+        codes.dedup();
+        Self { codes, bits }
+    }
+
+    /// Nearest code index for a value (binary search over sorted codes).
+    pub fn encode_value(&self, x: f32) -> u8 {
+        let codes = &self.codes;
+        match codes.binary_search_by(|c| c.total_cmp(&x)) {
+            Ok(i) => i as u8,
+            Err(i) => {
+                if i == 0 {
+                    0
+                } else if i >= codes.len() {
+                    (codes.len() - 1) as u8
+                } else {
+                    // Pick the closer neighbour.
+                    if (x - codes[i - 1]).abs() <= (codes[i] - x).abs() {
+                        (i - 1) as u8
+                    } else {
+                        i as u8
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn decode_value(&self, code: u8) -> f32 {
+        self.codes[usize::from(code).min(self.codes.len() - 1)]
+    }
+
+    /// Quantize a whole matrix into bit-packed codes.
+    pub fn encode(&self, m: &Matrix) -> Vec<u8> {
+        pack_bits(m.as_slice().iter().map(|&x| self.encode_value(x)), self.bits, m.len())
+    }
+
+    /// Reconstruct a matrix from bit-packed codes.
+    pub fn decode(&self, rows: usize, cols: usize, packed: &[u8]) -> Matrix {
+        let codes = unpack_bits(packed, self.bits, rows * cols);
+        Matrix::from_vec(rows, cols, codes.into_iter().map(|c| self.decode_value(c)).collect())
+    }
+
+    /// Serialize: `[bits, n_codes(le u16), codes...]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(3 + self.codes.len() * 4);
+        out.push(self.bits);
+        out.extend_from_slice(&(self.codes.len() as u16).to_le_bytes());
+        for &c in &self.codes {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    pub fn from_bytes(data: &[u8]) -> Option<(Self, usize)> {
+        if data.len() < 3 {
+            return None;
+        }
+        let bits = data[0];
+        let n = u16::from_le_bytes([data[1], data[2]]) as usize;
+        let need = 3 + n * 4;
+        if data.len() < need || !(1..=8).contains(&bits) || n == 0 {
+            return None;
+        }
+        let codes = data[3..need]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Some((Self { codes, bits }, need))
+    }
+}
+
+/// Pack `n` k-bit codes LSB-first into bytes.
+pub fn pack_bits(codes: impl Iterator<Item = u8>, bits: u8, n: usize) -> Vec<u8> {
+    let bits = u32::from(bits);
+    let mut out = Vec::with_capacity((n * bits as usize).div_ceil(8));
+    let mut acc = 0u32;
+    let mut nbits = 0u32;
+    for c in codes {
+        acc |= u32::from(c) << nbits;
+        nbits += bits;
+        while nbits >= 8 {
+            out.push((acc & 0xff) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push((acc & 0xff) as u8);
+    }
+    out
+}
+
+/// Unpack `n` k-bit codes from bytes.
+pub fn unpack_bits(data: &[u8], bits: u8, n: usize) -> Vec<u8> {
+    let bits = u32::from(bits);
+    let mask = if bits >= 8 { 0xff } else { (1u32 << bits) - 1 };
+    let mut out = Vec::with_capacity(n);
+    let mut acc = 0u32;
+    let mut nbits = 0u32;
+    let mut pos = 0usize;
+    for _ in 0..n {
+        while nbits < bits && pos < data.len() {
+            acc |= u32::from(data[pos]) << nbits;
+            pos += 1;
+            nbits += 8;
+        }
+        out.push((acc & mask) as u8);
+        acc >>= bits;
+        nbits = nbits.saturating_sub(bits);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_fn(16, 16, |r, c| ((r * 16 + c) as f32 / 128.0 - 1.0) * 0.3)
+    }
+
+    #[test]
+    fn pack_unpack_all_widths() {
+        for bits in 1..=8u8 {
+            let n = 100;
+            let codes: Vec<u8> = (0..n).map(|i| (i % (1 << bits)) as u8).collect();
+            let packed = pack_bits(codes.iter().copied(), bits, n);
+            assert_eq!(unpack_bits(&packed, bits, n), codes);
+            assert_eq!(packed.len(), (n * bits as usize).div_ceil(8));
+        }
+    }
+
+    #[test]
+    fn uniform_quantization_error_bounded() {
+        let m = sample_matrix();
+        for bits in [2u8, 4, 8] {
+            let cb = Codebook::uniform(&m, bits);
+            let packed = cb.encode(&m);
+            let back = cb.decode(m.rows(), m.cols(), &packed);
+            let range = m.max() - m.min();
+            let max_err = range / (1 << bits) as f32; // half-bin width * 2 slack
+            for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+                assert!(
+                    (a - b).abs() <= max_err,
+                    "bits={bits} a={a} b={b} err bound {max_err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_quantization_deterministic_and_lossy_bounded() {
+        let m = sample_matrix();
+        let cb1 = Codebook::random(&m, 4, 42);
+        let cb2 = Codebook::random(&m, 4, 42);
+        assert_eq!(cb1, cb2);
+        let packed = cb1.encode(&m);
+        let back = cb1.decode(m.rows(), m.cols(), &packed);
+        // Every reconstructed value is an actual matrix value.
+        for v in back.as_slice() {
+            assert!(cb1.codes.contains(v));
+        }
+    }
+
+    #[test]
+    fn codebook_serialization_roundtrip() {
+        let m = sample_matrix();
+        let cb = Codebook::uniform(&m, 5);
+        let bytes = cb.to_bytes();
+        let (back, used) = Codebook::from_bytes(&bytes).unwrap();
+        assert_eq!(back, cb);
+        assert_eq!(used, bytes.len());
+        assert!(Codebook::from_bytes(&bytes[..2]).is_none());
+    }
+
+    #[test]
+    fn constant_matrix_quantizes() {
+        let m = Matrix::filled(4, 4, 0.25);
+        let cb = Codebook::uniform(&m, 3);
+        let back = cb.decode(4, 4, &cb.encode(&m));
+        for v in back.as_slice() {
+            assert!((v - 0.25).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn encode_value_picks_nearest() {
+        let cb = Codebook { codes: vec![-1.0, 0.0, 2.0], bits: 2 };
+        assert_eq!(cb.encode_value(-5.0), 0);
+        assert_eq!(cb.encode_value(-0.4), 1);
+        assert_eq!(cb.encode_value(0.9), 1);
+        assert_eq!(cb.encode_value(1.1), 2);
+        assert_eq!(cb.encode_value(100.0), 2);
+    }
+}

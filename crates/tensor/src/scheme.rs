@@ -1,0 +1,385 @@
+//! Float representation schemes (§IV-B "Float Data Type Schemes").
+//!
+//! PAS lets the user trade storage for lossyness per snapshot instead of
+//! deleting snapshots outright. Schemes: IEEE f32 (lossless), IEEE half,
+//! truncated bfloat16, fixed point with a per-matrix scale, and k-bit
+//! quantization (uniform or random codebooks).
+//!
+//! An optional *normalization* preprocessing step (Table IV) adds a
+//! power-of-two offset to every value so signs align and exponents nearly
+//! align, dropping the entropy of high-order bytes.
+
+use crate::half::{bf16_bits_to_f32, f16_bits_to_f32, f32_to_bf16_bits, f32_to_f16_bits};
+use crate::matrix::Matrix;
+use crate::quant::Codebook;
+
+/// A float representation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// IEEE-754 binary32, lossless.
+    F32,
+    /// IEEE-754 binary16 (the "IEEE half-precision proposal").
+    F16,
+    /// Truncated 16-bit ("tensorflow truncated 16 bits").
+    Bf16,
+    /// Fixed point: a global per-matrix scale, `bits`-bit signed mantissas
+    /// (2..=32).
+    Fixed { bits: u8 },
+    /// Uniform quantization with `bits` <= 8 and a stored coding table.
+    QuantUniform { bits: u8 },
+    /// Random (sampled-codebook) quantization with `bits` <= 8.
+    QuantRandom { bits: u8, seed: u64 },
+}
+
+impl Scheme {
+    /// Raw payload bytes per element, before entropy coding (fractional for
+    /// sub-byte quantization).
+    pub fn bytes_per_element(&self) -> f64 {
+        match self {
+            Scheme::F32 => 4.0,
+            Scheme::F16 | Scheme::Bf16 => 2.0,
+            Scheme::Fixed { bits } => f64::from(*bits) / 8.0,
+            Scheme::QuantUniform { bits } | Scheme::QuantRandom { bits, .. } => {
+                f64::from(*bits) / 8.0
+            }
+        }
+    }
+
+    /// Whether decoding recovers the exact input.
+    pub fn is_lossless(&self) -> bool {
+        matches!(self, Scheme::F32)
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::F32 => "float32".into(),
+            Scheme::F16 => "float16".into(),
+            Scheme::Bf16 => "bfloat16".into(),
+            Scheme::Fixed { bits } => format!("fixed{bits}"),
+            Scheme::QuantUniform { bits } => format!("quant-uniform{bits}"),
+            Scheme::QuantRandom { bits, .. } => format!("quant-random{bits}"),
+        }
+    }
+}
+
+/// A matrix encoded under a [`Scheme`], optionally normalized first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedMatrix {
+    pub scheme: Scheme,
+    pub rows: usize,
+    pub cols: usize,
+    /// Power-of-two offset added to every value before encoding (Table IV
+    /// "After Normalization"), or 0.0.
+    pub offset: f32,
+    /// Fixed-point reconstruction scale (value = q * scale), if applicable.
+    pub scale: f32,
+    /// Quantization codebook, if applicable.
+    pub codebook: Option<Codebook>,
+    /// The encoded words / packed codes.
+    pub payload: Vec<u8>,
+}
+
+/// Power-of-two offset that makes every value of `m` strictly positive with
+/// a tight exponent spread.
+pub fn normalization_offset(m: &Matrix) -> f32 {
+    let a = m.max_abs();
+    if a == 0.0 || !a.is_finite() {
+        return 1.0;
+    }
+    // 4 * next_pow2(max_abs): values land in [3/4 C, 5/4 C], so sign bits
+    // and the top exponent bits coincide for the entire matrix.
+    let p = a.log2().ceil() as i32;
+    2f32.powi(p + 2)
+}
+
+/// Encode a matrix under the given scheme.
+pub fn encode(m: &Matrix, scheme: Scheme, normalize: bool) -> EncodedMatrix {
+    let offset = if normalize { normalization_offset(m) } else { 0.0 };
+    let work = if offset != 0.0 { m.map(|x| x + offset) } else { m.clone() };
+    let (payload, scale, codebook) = match scheme {
+        Scheme::F32 => {
+            let mut out = Vec::with_capacity(work.len() * 4);
+            for &x in work.as_slice() {
+                out.extend_from_slice(&x.to_bits().to_be_bytes());
+            }
+            (out, 0.0, None)
+        }
+        Scheme::F16 => {
+            let mut out = Vec::with_capacity(work.len() * 2);
+            for &x in work.as_slice() {
+                out.extend_from_slice(&f32_to_f16_bits(x).to_be_bytes());
+            }
+            (out, 0.0, None)
+        }
+        Scheme::Bf16 => {
+            let mut out = Vec::with_capacity(work.len() * 2);
+            for &x in work.as_slice() {
+                out.extend_from_slice(&f32_to_bf16_bits(x).to_be_bytes());
+            }
+            (out, 0.0, None)
+        }
+        Scheme::Fixed { bits } => {
+            assert!((2..=32).contains(&bits), "fixed point supports 2..=32 bits");
+            let max_q = (1i64 << (bits - 1)) - 1;
+            let a = work.max_abs();
+            let scale = if a == 0.0 { 1.0 } else { a / max_q as f32 };
+            let mut out = Vec::with_capacity(work.len() * 4);
+            // Quantize in f64 and clamp in the integer domain: clamping
+            // against `max_q as f32` is wrong because f32 cannot represent
+            // 2^k - 1 exactly for k > 24 (the rounded-up bound lets the sign
+            // bit flip).
+            let quantize = move |x: f32| -> i64 {
+                let q = (f64::from(x) / f64::from(scale)).round() as i64;
+                q.clamp(-max_q, max_q)
+            };
+            if bits == 32 {
+                for &x in work.as_slice() {
+                    let q = quantize(x) as i32;
+                    out.extend_from_slice(&q.to_be_bytes());
+                }
+            } else {
+                // Pack k-bit two's-complement values LSB-first.
+                let mut acc = 0u64;
+                let mut nbits = 0u32;
+                let mask = (1u64 << bits) - 1;
+                for &x in work.as_slice() {
+                    let q = quantize(x);
+                    acc |= ((q as u64) & mask) << nbits;
+                    nbits += u32::from(bits);
+                    while nbits >= 8 {
+                        out.push((acc & 0xff) as u8);
+                        acc >>= 8;
+                        nbits -= 8;
+                    }
+                }
+                if nbits > 0 {
+                    out.push((acc & 0xff) as u8);
+                }
+            }
+            (out, scale, None)
+        }
+        Scheme::QuantUniform { bits } => {
+            let cb = Codebook::uniform(&work, bits);
+            let payload = cb.encode(&work);
+            (payload, 0.0, Some(cb))
+        }
+        Scheme::QuantRandom { bits, seed } => {
+            let cb = Codebook::random(&work, bits, seed);
+            let payload = cb.encode(&work);
+            (payload, 0.0, Some(cb))
+        }
+    };
+    EncodedMatrix { scheme, rows: m.rows(), cols: m.cols(), offset, scale, codebook, payload }
+}
+
+/// Decode back to a matrix (lossy except for F32).
+pub fn decode(e: &EncodedMatrix) -> Matrix {
+    let n = e.rows * e.cols;
+    let data: Vec<f32> = match e.scheme {
+        Scheme::F32 => e
+            .payload
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_be_bytes(c.try_into().unwrap())))
+            .collect(),
+        Scheme::F16 => e
+            .payload
+            .chunks_exact(2)
+            .map(|c| f16_bits_to_f32(u16::from_be_bytes(c.try_into().unwrap())))
+            .collect(),
+        Scheme::Bf16 => e
+            .payload
+            .chunks_exact(2)
+            .map(|c| bf16_bits_to_f32(u16::from_be_bytes(c.try_into().unwrap())))
+            .collect(),
+        Scheme::Fixed { bits } => {
+            if bits == 32 {
+                e.payload
+                    .chunks_exact(4)
+                    .map(|c| i32::from_be_bytes(c.try_into().unwrap()) as f32 * e.scale)
+                    .collect()
+            } else {
+                let mut out = Vec::with_capacity(n);
+                let mut acc = 0u64;
+                let mut nbits = 0u32;
+                let mut pos = 0usize;
+                let mask = (1u64 << bits) - 1;
+                let sign_bit = 1u64 << (bits - 1);
+                for _ in 0..n {
+                    while nbits < u32::from(bits) && pos < e.payload.len() {
+                        acc |= u64::from(e.payload[pos]) << nbits;
+                        pos += 1;
+                        nbits += 8;
+                    }
+                    let raw = acc & mask;
+                    acc >>= bits;
+                    nbits = nbits.saturating_sub(u32::from(bits));
+                    // Sign-extend.
+                    let q = if raw & sign_bit != 0 {
+                        (raw | !mask) as i64
+                    } else {
+                        raw as i64
+                    };
+                    out.push(q as f32 * e.scale);
+                }
+                out
+            }
+        }
+        Scheme::QuantUniform { .. } | Scheme::QuantRandom { .. } => {
+            let cb = e.codebook.as_ref().expect("quantized matrix carries codebook");
+            return undo_offset(cb.decode(e.rows, e.cols, &e.payload), e.offset);
+        }
+    };
+    undo_offset(Matrix::from_vec(e.rows, e.cols, data), e.offset)
+}
+
+fn undo_offset(m: Matrix, offset: f32) -> Matrix {
+    if offset == 0.0 {
+        m
+    } else {
+        m.map(|x| x - offset)
+    }
+}
+
+/// Payload word width in bytes (for bytewise splitting), or None for packed
+/// sub-byte payloads.
+pub fn word_width(scheme: Scheme) -> Option<usize> {
+    match scheme {
+        Scheme::F32 | Scheme::Fixed { bits: 32 } => Some(4),
+        Scheme::F16 | Scheme::Bf16 | Scheme::Fixed { bits: 16 } => Some(2),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights() -> Matrix {
+        Matrix::from_fn(10, 12, |r, c| {
+            ((r * 12 + c) as f32 * 0.771).sin() * 0.2 - 0.01
+        })
+    }
+
+    #[test]
+    fn f32_is_lossless_roundtrip() {
+        let m = weights();
+        let e = encode(&m, Scheme::F32, false);
+        assert_eq!(decode(&e), m);
+        assert_eq!(e.payload.len(), m.len() * 4);
+    }
+
+    #[test]
+    fn f16_bf16_error_bounds() {
+        let m = weights();
+        for (scheme, rel) in [(Scheme::F16, 2f32.powi(-10)), (Scheme::Bf16, 2f32.powi(-7))] {
+            let back = decode(&encode(&m, scheme, false));
+            for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+                let tol = a.abs() * rel + 1e-6;
+                assert!((a - b).abs() <= tol, "{scheme:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_various_bits() {
+        let m = weights();
+        for bits in [8u8, 12, 16, 24, 32] {
+            let e = encode(&m, Scheme::Fixed { bits }, false);
+            let back = decode(&e);
+            let tol = m.max_abs() / ((1u64 << (bits - 1)) - 1) as f32 + 1e-7;
+            for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+                assert!((a - b).abs() <= tol, "bits={bits}: {a} vs {b} tol {tol}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_payload_size() {
+        let m = weights();
+        let e8 = encode(&m, Scheme::Fixed { bits: 8 }, false);
+        assert_eq!(e8.payload.len(), m.len());
+        let e32 = encode(&m, Scheme::Fixed { bits: 32 }, false);
+        assert_eq!(e32.payload.len(), m.len() * 4);
+    }
+
+    #[test]
+    fn quantization_schemes_roundtrip_with_bounded_error() {
+        let m = weights();
+        let range = m.max() - m.min();
+        for scheme in [
+            Scheme::QuantUniform { bits: 4 },
+            Scheme::QuantUniform { bits: 8 },
+            Scheme::QuantRandom { bits: 8, seed: 7 },
+        ] {
+            let back = decode(&encode(&m, scheme, false));
+            let err = m.mean_abs_diff(&back);
+            assert!(err < range * 0.3, "{scheme:?} err {err} range {range}");
+        }
+    }
+
+    #[test]
+    fn normalization_roundtrips_and_aligns_signs() {
+        let m = weights();
+        let e = encode(&m, Scheme::F32, true);
+        assert!(e.offset > 0.0);
+        // Every stored word has the sign bit clear and shares top exponent
+        // bits (low entropy of plane 0).
+        let mut top_bytes = std::collections::HashSet::new();
+        for w in e.payload.chunks_exact(4) {
+            assert_eq!(w[0] & 0x80, 0, "sign aligned");
+            top_bytes.insert(w[0]);
+        }
+        assert!(top_bytes.len() <= 2, "top byte nearly constant: {top_bytes:?}");
+        // Lossless after un-normalization up to float cancellation.
+        let back = decode(&e);
+        let err = m.mean_abs_diff(&back);
+        assert!(err <= e.offset * 2e-7, "normalization reconstruction error {err}");
+    }
+
+    #[test]
+    fn normalized_fixed_point_decodes_near_original() {
+        let m = weights();
+        let e = encode(&m, Scheme::Fixed { bits: 32 }, true);
+        let back = decode(&e);
+        // Scale grows with the offset, so absolute error grows too; still
+        // tiny for 32-bit mantissas.
+        assert!(m.mean_abs_diff(&back) < 1e-4);
+    }
+
+    #[test]
+    fn word_widths() {
+        assert_eq!(word_width(Scheme::F32), Some(4));
+        assert_eq!(word_width(Scheme::Fixed { bits: 32 }), Some(4));
+        assert_eq!(word_width(Scheme::F16), Some(2));
+        assert_eq!(word_width(Scheme::QuantUniform { bits: 8 }), None);
+    }
+
+    #[test]
+    fn scheme_metadata() {
+        assert!(Scheme::F32.is_lossless());
+        assert!(!Scheme::F16.is_lossless());
+        assert_eq!(Scheme::Fixed { bits: 8 }.bytes_per_element(), 1.0);
+        assert_eq!(Scheme::QuantUniform { bits: 4 }.bytes_per_element(), 0.5);
+        assert_eq!(Scheme::F32.name(), "float32");
+    }
+
+    #[test]
+    fn zero_matrix_all_schemes() {
+        let m = Matrix::zeros(3, 3);
+        for scheme in [
+            Scheme::F32,
+            Scheme::F16,
+            Scheme::Bf16,
+            Scheme::Fixed { bits: 8 },
+            Scheme::QuantUniform { bits: 2 },
+            Scheme::QuantRandom { bits: 2, seed: 1 },
+        ] {
+            let back = decode(&encode(&m, scheme, false));
+            assert_eq!(back.shape(), (3, 3));
+            for v in back.as_slice() {
+                assert!(v.abs() < 1.0, "{scheme:?} zero matrix decoded to {v}");
+            }
+        }
+    }
+}

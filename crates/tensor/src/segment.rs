@@ -1,0 +1,306 @@
+//! Bytewise segmentation of float matrices (§IV-B of the paper).
+//!
+//! A 32-bit float matrix is stored as four byte *planes*: plane 0 holds the
+//! 8 high-order bits of every element (sign + 7 exponent bits), plane 1 the
+//! next byte, and so on. High-order planes have low entropy and compress
+//! well; low-order planes can be offloaded or skipped entirely.
+//!
+//! Given only the first `k` planes, every element is known to lie in a
+//! closed interval — [`SegmentedMatrix::bounds`] computes those intervals,
+//! which drive the progressive (perturbation-aware) query evaluation of
+//! §IV-D.
+
+use crate::matrix::Matrix;
+
+/// Number of byte planes for an f32 matrix.
+pub const NUM_PLANES: usize = 4;
+
+/// A float matrix decomposed into big-endian byte planes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentedMatrix {
+    rows: usize,
+    cols: usize,
+    /// `planes[p][i]` is byte `p` (0 = most significant) of element `i`'s
+    /// IEEE-754 bit pattern.
+    planes: [Vec<u8>; NUM_PLANES],
+}
+
+impl SegmentedMatrix {
+    /// Decompose a matrix into byte planes.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let n = m.len();
+        let mut planes: [Vec<u8>; NUM_PLANES] =
+            std::array::from_fn(|_| Vec::with_capacity(n));
+        for &x in m.as_slice() {
+            let b = x.to_bits().to_be_bytes();
+            for (p, plane) in planes.iter_mut().enumerate() {
+                plane.push(b[p]);
+            }
+        }
+        Self { rows: m.rows(), cols: m.cols(), planes }
+    }
+
+    /// Reassemble from complete planes (plane lengths must agree with the
+    /// shape).
+    pub fn from_planes(rows: usize, cols: usize, planes: [Vec<u8>; NUM_PLANES]) -> Option<Self> {
+        if planes.iter().any(|p| p.len() != rows * cols) {
+            return None;
+        }
+        Some(Self { rows, cols, planes })
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn num_elements(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Access one byte plane (0 = most significant).
+    pub fn plane(&self, p: usize) -> &[u8] {
+        &self.planes[p]
+    }
+
+    /// Take ownership of the planes.
+    pub fn into_planes(self) -> [Vec<u8>; NUM_PLANES] {
+        self.planes
+    }
+
+    /// Exact reconstruction from all four planes.
+    pub fn to_matrix(&self) -> Matrix {
+        let n = self.num_elements();
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            let bits = u32::from_be_bytes([
+                self.planes[0][i],
+                self.planes[1][i],
+                self.planes[2][i],
+                self.planes[3][i],
+            ]);
+            data.push(f32::from_bits(bits));
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Truncated reconstruction using only the first `k` planes (remaining
+    /// bytes read as zero). `k` in 1..=4.
+    pub fn truncated(&self, k: usize) -> Matrix {
+        assert!((1..=NUM_PLANES).contains(&k));
+        let n = self.num_elements();
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut b = [0u8; 4];
+            for (p, byte) in b.iter_mut().enumerate().take(k) {
+                *byte = self.planes[p][i];
+            }
+            data.push(sanitize(f32::from_bits(u32::from_be_bytes(b))));
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Per-element closed intervals `[lo, hi]` implied by knowing only the
+    /// first `k` planes.
+    ///
+    /// IEEE-754 bit patterns are monotonic in value for a fixed sign
+    /// (sign-magnitude ordering), so the interval endpoints are the patterns
+    /// with the unknown low bits all-zero and all-one.
+    pub fn bounds(&self, k: usize) -> (Matrix, Matrix) {
+        assert!((1..=NUM_PLANES).contains(&k));
+        let n = self.num_elements();
+        let unknown_bits = 8 * (NUM_PLANES - k) as u32;
+        let mask: u32 = if unknown_bits == 0 { 0 } else { (1u32 << unknown_bits) - 1 };
+        let mut lo = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut b = [0u8; 4];
+            for (p, byte) in b.iter_mut().enumerate().take(k) {
+                *byte = self.planes[p][i];
+            }
+            let base = u32::from_be_bytes(b);
+            let v0 = sanitize(f32::from_bits(base));
+            let v1 = sanitize(f32::from_bits(base | mask));
+            // Negative sign: larger magnitude pattern is more negative.
+            if base & 0x8000_0000 != 0 {
+                lo.push(v1);
+                hi.push(v0);
+            } else {
+                lo.push(v0);
+                hi.push(v1);
+            }
+        }
+        (
+            Matrix::from_vec(self.rows, self.cols, lo),
+            Matrix::from_vec(self.rows, self.cols, hi),
+        )
+    }
+
+    /// Total bytes across the first `k` planes.
+    pub fn prefix_bytes(&self, k: usize) -> usize {
+        self.num_elements() * k
+    }
+}
+
+/// Split a flat byte buffer of fixed-width words into per-byte planes
+/// (plane 0 = first byte of each word). Works for any word width, so lossy
+/// encodings (16-bit halves, 32-bit fixed point) can also be stored
+/// bytewise — the "bytewise" rows of Table IV.
+pub fn split_byte_planes(words: &[u8], width: usize) -> Vec<Vec<u8>> {
+    assert!(width > 0 && words.len().is_multiple_of(width), "buffer not word-aligned");
+    let n = words.len() / width;
+    let mut planes = vec![Vec::with_capacity(n); width];
+    for w in words.chunks_exact(width) {
+        for (p, &b) in w.iter().enumerate() {
+            planes[p].push(b);
+        }
+    }
+    planes
+}
+
+/// Inverse of [`split_byte_planes`].
+pub fn join_byte_planes(planes: &[Vec<u8>]) -> Option<Vec<u8>> {
+    let width = planes.len();
+    if width == 0 {
+        return Some(Vec::new());
+    }
+    let n = planes[0].len();
+    if planes.iter().any(|p| p.len() != n) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n * width);
+    for i in 0..n {
+        for plane in planes {
+            out.push(plane[i]);
+        }
+    }
+    Some(out)
+}
+
+/// Replace NaN/Inf produced by extreme bit patterns with large finite
+/// values, keeping interval arithmetic well-defined. Learned weights never
+/// live near the f32 range limit, so this only triggers on adversarial
+/// inputs.
+#[inline]
+fn sanitize(x: f32) -> f32 {
+    if x.is_nan() {
+        f32::MAX
+    } else if x.is_infinite() {
+        f32::MAX.copysign(x)
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights() -> Matrix {
+        Matrix::from_fn(8, 9, |r, c| {
+            let i = (r * 9 + c) as f32;
+            (i * 0.013 - 0.45) * if r % 2 == 0 { 1.0 } else { -1.0 }
+        })
+    }
+
+    #[test]
+    fn exact_roundtrip() {
+        let m = weights();
+        let seg = SegmentedMatrix::from_matrix(&m);
+        assert_eq!(seg.to_matrix(), m);
+    }
+
+    #[test]
+    fn plane_lengths() {
+        let m = weights();
+        let seg = SegmentedMatrix::from_matrix(&m);
+        for p in 0..NUM_PLANES {
+            assert_eq!(seg.plane(p).len(), m.len());
+        }
+        assert_eq!(seg.prefix_bytes(2), m.len() * 2);
+    }
+
+    #[test]
+    fn truncation_error_shrinks_with_more_planes() {
+        let m = weights();
+        let seg = SegmentedMatrix::from_matrix(&m);
+        let e1 = m.mean_abs_diff(&seg.truncated(1));
+        let e2 = m.mean_abs_diff(&seg.truncated(2));
+        let e3 = m.mean_abs_diff(&seg.truncated(3));
+        let e4 = m.mean_abs_diff(&seg.truncated(4));
+        assert!(e1 >= e2 && e2 >= e3 && e3 >= e4);
+        assert_eq!(e4, 0.0);
+    }
+
+    #[test]
+    fn bounds_contain_true_values() {
+        let m = weights();
+        let seg = SegmentedMatrix::from_matrix(&m);
+        for k in 1..=4 {
+            let (lo, hi) = seg.bounds(k);
+            for i in 0..m.len() {
+                let (l, h, x) = (lo.as_slice()[i], hi.as_slice()[i], m.as_slice()[i]);
+                assert!(l <= x && x <= h, "k={k} l={l} x={x} h={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_tighten_with_more_planes() {
+        let m = weights();
+        let seg = SegmentedMatrix::from_matrix(&m);
+        let (lo1, hi1) = seg.bounds(1);
+        let (lo3, hi3) = seg.bounds(3);
+        for i in 0..m.len() {
+            let w1 = hi1.as_slice()[i] - lo1.as_slice()[i];
+            let w3 = hi3.as_slice()[i] - lo3.as_slice()[i];
+            assert!(w3 <= w1, "interval must tighten: {w3} vs {w1}");
+        }
+    }
+
+    #[test]
+    fn full_planes_bounds_are_exact() {
+        let m = weights();
+        let seg = SegmentedMatrix::from_matrix(&m);
+        let (lo, hi) = seg.bounds(4);
+        assert_eq!(lo, m);
+        assert_eq!(hi, m);
+    }
+
+    #[test]
+    fn negative_values_bounds_oriented_correctly() {
+        let m = Matrix::from_vec(1, 2, vec![-1.5, 1.5]);
+        let seg = SegmentedMatrix::from_matrix(&m);
+        let (lo, hi) = seg.bounds(1);
+        assert!(lo.get(0, 0) <= -1.5 && hi.get(0, 0) >= -1.5);
+        assert!(lo.get(0, 1) <= 1.5 && hi.get(0, 1) >= 1.5);
+        assert!(lo.get(0, 0) < hi.get(0, 0));
+    }
+
+    #[test]
+    fn from_planes_validates_shape() {
+        let m = weights();
+        let seg = SegmentedMatrix::from_matrix(&m);
+        let planes = seg.clone().into_planes();
+        assert!(SegmentedMatrix::from_planes(8, 9, planes.clone()).is_some());
+        assert!(SegmentedMatrix::from_planes(9, 9, planes).is_none());
+    }
+
+    #[test]
+    fn high_plane_has_lower_entropy_than_low_plane() {
+        // The design premise: plane 0 compresses better than plane 3.
+        let m = Matrix::from_fn(64, 64, |r, c| ((r * 64 + c) as f32).sin() * 0.1);
+        let seg = SegmentedMatrix::from_matrix(&m);
+        let distinct = |bytes: &[u8]| {
+            let mut seen = [false; 256];
+            for &b in bytes {
+                seen[b as usize] = true;
+            }
+            seen.iter().filter(|&&s| s).count()
+        };
+        assert!(distinct(seg.plane(0)) < distinct(seg.plane(3)));
+    }
+}

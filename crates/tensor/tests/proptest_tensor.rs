@@ -1,0 +1,117 @@
+//! Property-based tests on tensor invariants: segmentation bounds always
+//! contain the true value, lossy schemes respect their error envelopes, and
+//! plane splitting is a bijection.
+
+use mh_tensor::{
+    decode, encode, half, join_byte_planes, split_byte_planes, Matrix, Scheme, SegmentedMatrix,
+};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Weight-like magnitudes: the range learned parameters actually occupy.
+    prop_oneof![
+        (-10.0f32..10.0),
+        (-1e-3f32..1e-3),
+        Just(0.0f32),
+        Just(-0.0f32),
+        (-1e4f32..1e4),
+    ]
+}
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(finite_f32(), r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn segmentation_roundtrip_exact(m in small_matrix()) {
+        let seg = SegmentedMatrix::from_matrix(&m);
+        prop_assert_eq!(seg.to_matrix(), m);
+    }
+
+    #[test]
+    fn bounds_always_contain_value(m in small_matrix(), k in 1usize..=4) {
+        let seg = SegmentedMatrix::from_matrix(&m);
+        let (lo, hi) = seg.bounds(k);
+        for i in 0..m.len() {
+            let x = m.as_slice()[i];
+            prop_assert!(lo.as_slice()[i] <= x, "lo {} > x {}", lo.as_slice()[i], x);
+            prop_assert!(hi.as_slice()[i] >= x, "hi {} < x {}", hi.as_slice()[i], x);
+        }
+    }
+
+    #[test]
+    fn truncated_value_within_bounds(m in small_matrix(), k in 1usize..=4) {
+        let seg = SegmentedMatrix::from_matrix(&m);
+        let (lo, hi) = seg.bounds(k);
+        let t = seg.truncated(k);
+        for i in 0..m.len() {
+            prop_assert!(lo.as_slice()[i] <= t.as_slice()[i]);
+            prop_assert!(t.as_slice()[i] <= hi.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_within_half_ulp(x in -60000.0f32..60000.0) {
+        let y = half::f16_bits_to_f32(half::f32_to_f16_bits(x));
+        // Relative error bounded by 2^-11 in the normal range.
+        if x.abs() > 1e-3 {
+            prop_assert!(((x - y) / x).abs() <= 2f32.powi(-11) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn bf16_roundtrip_within_2pow8(x in -1e30f32..1e30) {
+        let y = half::bf16_bits_to_f32(half::f32_to_bf16_bits(x));
+        if x != 0.0 {
+            prop_assert!(((x - y) / x).abs() <= 2f32.powi(-8) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn fixed_point_error_bounded(m in small_matrix(), bits in 4u8..=32) {
+        let e = encode(&m, Scheme::Fixed { bits }, false);
+        let back = decode(&e);
+        // Quantization step plus f32 representation error (the latter
+        // dominates once the step drops below ~2^-23 relative).
+        let tol = (m.max_abs() / ((1u64 << (bits - 1)) - 1) as f32)
+            .max(m.max_abs() * 4.0 * f32::EPSILON);
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!((a - b).abs() <= tol * 1.01 + 1e-9, "{} vs {} (bits {})", a, b, bits);
+        }
+    }
+
+    #[test]
+    fn quant_decode_within_value_range(m in small_matrix(), bits in 1u8..=8) {
+        let e = encode(&m, Scheme::QuantUniform { bits }, false);
+        let back = decode(&e);
+        let (lo, hi) = (m.min(), m.max());
+        let slack = (hi - lo).max(1.0) * 0.51;
+        for v in back.as_slice() {
+            prop_assert!(*v >= lo - slack && *v <= hi + slack);
+        }
+    }
+
+    #[test]
+    fn plane_split_join_identity(words in proptest::collection::vec(any::<u8>(), 0..256), width in 1usize..=4) {
+        let len = words.len() - words.len() % width;
+        let words = &words[..len];
+        let planes = split_byte_planes(words, width);
+        prop_assert_eq!(join_byte_planes(&planes).unwrap(), words.to_vec());
+    }
+
+    #[test]
+    fn normalization_reconstruction_close(m in small_matrix()) {
+        let e = encode(&m, Scheme::F32, true);
+        let back = decode(&e);
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            // Catastrophic cancellation bounded by offset * eps.
+            prop_assert!((a - b).abs() <= e.offset * 1e-6 + 1e-9);
+        }
+    }
+}

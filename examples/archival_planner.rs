@@ -1,0 +1,91 @@
+//! The optimal parameter archival storage problem in isolation: build a
+//! storage graph from an SD-style repository and compare the five solvers
+//! (MST / SPT / LAST / PAS-MT / PAS-PT) across recreation budgets — the
+//! experiment behind Fig. 6(c).
+//!
+//! Run with: `cargo run --release --example archival_planner`
+
+use modelhub::core::{generate_sd, SdConfig};
+use modelhub::dlv::Repository;
+use modelhub::pas::{
+    apply_alpha_budgets, solver, CostModel, GraphBuilder, RetrievalScheme,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join(format!("modelhub-planner-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let repo = Repository::init(&root)?;
+
+    println!("generating SD workload (fine-tuned variants with checkpoints)...");
+    let sd = generate_sd(&repo, &SdConfig { num_versions: 4, snapshots_per_version: 3, ..Default::default() })?;
+    println!("  base {} + {} variants", sd.base, sd.versions.len());
+
+    // Build the matrix storage graph with measured compression costs.
+    let mut builder = GraphBuilder::new(CostModel::default());
+    for summary in repo.list() {
+        let spec = summary.key.to_string();
+        let mut indices = Vec::new();
+        for s in repo.snapshots(&spec)? {
+            let w = repo.get_weights(&spec, Some(s.index))?;
+            builder.add_snapshot(&spec, s.index, &w);
+            indices.push(s.index);
+        }
+        builder.link_version_chain(&spec, &indices);
+    }
+    // Lineage deltas between latest snapshots.
+    let latest: std::collections::BTreeMap<String, usize> = repo
+        .list()
+        .iter()
+        .map(|s| {
+            let spec = s.key.to_string();
+            let max = repo.snapshots(&spec).unwrap().iter().map(|x| x.index).max().unwrap_or(0);
+            (spec, max)
+        })
+        .collect();
+    for (base, derived) in repo.lineage() {
+        if let (Some(&b), Some(&d)) = (latest.get(&base), latest.get(&derived)) {
+            builder.link_snapshots(&base, b, &derived, d);
+        }
+    }
+    let (graph, _matrices) = builder.finish();
+    println!(
+        "storage graph: {} matrices, {} edges, {} co-usage groups",
+        graph.num_vertices() - 1,
+        graph.num_edges(),
+        graph.snapshots.len()
+    );
+
+    let scheme = RetrievalScheme::Independent;
+    let mst = solver::mst(&graph)?;
+    let spt = solver::spt(&graph)?;
+    println!(
+        "\nextremes: MST storage {:.0} (best possible), SPT storage {:.0} (full materialization)",
+        mst.storage_cost(&graph),
+        spt.storage_cost(&graph)
+    );
+
+    println!("\n{:>5} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "alpha", "LAST Cs", "PAS-MT Cs", "PAS-PT Cs", "LAST ok", "MT ok", "PT ok");
+    for alpha in [1.1, 1.3, 1.5, 2.0, 3.0, 5.0] {
+        let mut g = graph.clone();
+        apply_alpha_budgets(&mut g, alpha, scheme)?;
+        let last = solver::last(&g, alpha - 1.0)?;
+        let mt = solver::pas_mt(&g, scheme)?;
+        let pt = solver::pas_pt(&g, scheme)?;
+        println!(
+            "{:>5.1} {:>12.0} {:>12.0} {:>12.0} {:>8} {:>8} {:>8}",
+            alpha,
+            last.storage_cost(&g),
+            mt.storage_cost(&g),
+            pt.storage_cost(&g),
+            last.satisfies_budgets(&g, scheme),
+            mt.satisfies_budgets(&g, scheme),
+            pt.satisfies_budgets(&g, scheme),
+        );
+    }
+    println!("\n(PAS-MT/PT exploit the budgets to stay near the MST; LAST, blind to");
+    println!(" group constraints, needs loose budgets before it leaves the SPT.)");
+
+    std::fs::remove_dir_all(&root).ok();
+    Ok(())
+}

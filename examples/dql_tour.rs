@@ -1,0 +1,85 @@
+//! A tour of DQL: the four query archetypes from the paper (Queries 1-4),
+//! executed against a freshly-built repository.
+//!
+//! Run with: `cargo run --release --example dql_tour`
+
+use modelhub::dlv::CommitRequest;
+use modelhub::dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
+use modelhub::dql::QueryResult;
+use modelhub::ModelHub;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join(format!("modelhub-dql-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut hub = ModelHub::init(&root)?;
+    let data = synth_dataset(&SynthConfig { num_classes: 3, seed: 3, ..Default::default() });
+
+    // Populate: two alexnet-family models and a lenet.
+    let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+    for (name, family) in [("alexnet-origin", 1usize), ("alexnet-avgv1", 1), ("lenet-v1", 0)] {
+        let net = if family == 0 { zoo::lenet_s(3) } else { zoo::alexnet_s(3) };
+        let r = trainer.train(&net, Weights::init(&net, 9)?, &data, 6)?;
+        let mut req = CommitRequest::new(name, net);
+        req.snapshots = vec![(6, r.weights)];
+        req.accuracy = Some(r.final_accuracy);
+        hub.repo().commit(&req)?;
+    }
+    hub.register_dataset("synth", data);
+
+    // Query 1: select by metadata + structure.
+    println!("-- Query 1: select models whose relu feeds a max pool --");
+    let q1 = r#"select m1 where m1.name like "alexnet%" and m1["relu?"].next has POOL("MAX")"#;
+    if let QueryResult::Versions(v) = hub.query(q1)? {
+        for s in &v {
+            println!("   {} ({})", s.key, s.architecture);
+        }
+    }
+
+    // Query 2: slice a reusable feature extractor.
+    println!("-- Query 2: slice conv1..fc7 out of the alexnets --");
+    let q2 = r#"slice m2 from m1 where m1.name like "alexnet%"
+                mutate m2.input = m1["conv1"] and m2.output = m1["fc7"]"#;
+    if let QueryResult::Derived(d) = hub.query(q2)? {
+        for dm in &d {
+            println!(
+                "   {} -> {} layers, {} params carried over",
+                dm.source,
+                dm.network.num_nodes(),
+                dm.init.as_ref().map(|w| w.param_count()).unwrap_or(0)
+            );
+        }
+    }
+
+    // Query 3: construct variants by inserting layers.
+    println!("-- Query 3: append a tanh after every conv (captured index) --");
+    let q3 = r#"construct m2 from m1 where m1.name like "alexnet-avgv1%"
+                mutate m1["conv(*)"].insert = TANH("tanh$1")"#;
+    if let QueryResult::Derived(d) = hub.query(q3)? {
+        for dm in &d {
+            println!("   derived: {}", dm.derivation);
+        }
+    }
+
+    // Query 4: enumerate (architecture x hyperparameter) combos, keep top.
+    println!("-- Query 4: evaluate with a base_lr grid, keep the best 2 --");
+    let q4 = r#"evaluate m from "alexnet-origin%"
+                vary config.base_lr in [0.1, 0.01, 0.001]
+                keep top(2, m["loss"], 5)"#;
+    if let QueryResult::Evaluated(rows) = hub.query(q4)? {
+        for r in &rows {
+            println!(
+                "   {} [{}] loss={:.3} acc={:.1}% kept={} committed={:?}",
+                r.source,
+                r.config,
+                r.loss,
+                r.accuracy * 100.0,
+                r.kept,
+                r.committed.as_ref().map(|k| k.to_string())
+            );
+        }
+    }
+    println!("-- repository now holds {} versions --", hub.repo().list().len());
+
+    std::fs::remove_dir_all(&root).ok();
+    Ok(())
+}

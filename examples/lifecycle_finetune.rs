@@ -1,0 +1,97 @@
+//! The full DNN modeling lifecycle (§I, Fig. 1): train a base model,
+//! fine-tune variants for a new task, compare them with `dlv diff`,
+//! archive everything into PAS under a recreation budget, and answer a
+//! progressive inference query that never touches low-order bytes.
+//!
+//! Run with: `cargo run --release --example lifecycle_finetune`
+
+use modelhub::dlv::{diff, ArchiveConfig, CommitRequest};
+use modelhub::dnn::{
+    fine_tune_setup, synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights,
+};
+use modelhub::ModelHub;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join(format!("modelhub-lifecycle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let hub = ModelHub::init(&root)?;
+
+    // Base task: 5-way classification.
+    let base_net = zoo::alexnet_s(5);
+    let base_data = synth_dataset(&SynthConfig { num_classes: 5, seed: 7, ..Default::default() });
+    let trainer = Trainer {
+        hp: Hyperparams { base_lr: 0.05, ..Default::default() },
+        snapshot_every: 8,
+    };
+    let base_result = trainer.train(&base_net, Weights::init(&base_net, 1)?, &base_data, 24)?;
+    let mut req = CommitRequest::new("alexnet-base", base_net.clone());
+    req.snapshots = base_result.snapshots.clone();
+    req.log = base_result.log.clone();
+    req.accuracy = Some(base_result.final_accuracy);
+    req.comment = "base model on 5-way task".into();
+    let base_key = hub.repo().commit(&req)?;
+    println!("base: {base_key} acc {:.1}%", base_result.final_accuracy * 100.0);
+
+    // Fine-tune for a 3-way task with two hyperparameter alternations.
+    let ft_data = synth_dataset(&SynthConfig { num_classes: 3, seed: 8, ..Default::default() });
+    for (tag, lr, freeze) in [("a", 0.05f32, false), ("b", 0.01, true)] {
+        let (ft_net, ft_init) = fine_tune_setup(&base_net, &base_result.weights, 3, 50)?;
+        let mut hp = Hyperparams { base_lr: lr, ..Default::default() };
+        if freeze {
+            hp.layer_lr.insert("conv1".into(), 0.0);
+        }
+        let t = Trainer { hp: hp.clone(), snapshot_every: 8 };
+        let r = t.train(&ft_net, ft_init, &ft_data, 24)?;
+        let mut req = CommitRequest::new(&format!("alexnet-ft-{tag}"), ft_net);
+        req.snapshots = r.snapshots.clone();
+        req.log = r.log.clone();
+        req.accuracy = Some(r.final_accuracy);
+        req.parent = Some(base_key.to_string());
+        req.hyperparams.insert("base_lr".into(), lr.to_string());
+        req.hyperparams
+            .insert("freeze_conv1".into(), freeze.to_string());
+        req.comment = format!("fine-tuned variant {tag}");
+        let key = hub.repo().commit(&req)?;
+        println!("fine-tuned: {key} acc {:.1}%", r.final_accuracy * 100.0);
+    }
+
+    // dlv list + lineage.
+    println!("\nrepository contents:");
+    for v in hub.repo().list() {
+        println!("  {}  [{} snapshots]  {}", v.key, v.num_snapshots, v.comment);
+    }
+    println!("lineage: {:?}", hub.repo().lineage());
+
+    // dlv diff between the two fine-tuned variants.
+    let report = diff(hub.repo(), "alexnet-ft-a", "alexnet-ft-b")?;
+    println!("\n{}", report.render());
+
+    // dlv archive: all snapshots into PAS with a 2x recreation budget.
+    let archive = hub.archive(&ArchiveConfig { alpha: 2.0, ..Default::default() })?;
+    println!(
+        "archived {} matrices over {} snapshots into {:?}: {} bytes on disk (budgets satisfied: {})",
+        archive.num_matrices,
+        archive.num_snapshots,
+        archive.store,
+        archive.bytes_on_disk,
+        archive.satisfied
+    );
+
+    // Progressive inference against the archived base model.
+    let mut planes_histogram = [0usize; 4];
+    let mut bytes_frac = 0.0;
+    let n = base_data.test.len().min(20);
+    for (x, _) in base_data.test.iter().take(n) {
+        let r = hub.progressive_eval("alexnet-base", x, 1)?;
+        planes_histogram[r.planes_used - 1] += 1;
+        bytes_frac += r.read_fraction() / n as f64;
+    }
+    println!(
+        "\nprogressive eval over {n} queries: plane histogram {planes_histogram:?}, \
+         avg bytes read {:.0}% of full precision",
+        bytes_frac * 100.0
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Progressive query evaluation in isolation (§IV-D): archive a trained
+//! model, then watch individual inference queries resolve from high-order
+//! byte planes, escalating precision only when the interval bounds leave
+//! the prediction undetermined.
+//!
+//! Run with: `cargo run --release --example progressive_inference`
+
+use modelhub::compress::Level;
+use modelhub::delta::DeltaOp;
+use modelhub::dnn::{
+    forward, synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights,
+};
+use modelhub::pas::{
+    solver, CostModel, GraphBuilder, ModelBinding, ProgressiveEvaluator, SegmentStore,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train a model until its logit margins are healthy.
+    let net = zoo::lenet_s(4);
+    let data = synth_dataset(&SynthConfig { num_classes: 4, seed: 19, ..Default::default() });
+    let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+    let result = trainer.train(&net, Weights::init(&net, 3)?, &data, 60)?;
+    println!(
+        "trained lenet_s: accuracy {:.1}%, {} parameters",
+        result.final_accuracy * 100.0,
+        result.weights.param_count()
+    );
+
+    // Archive its weights as byte planes.
+    let mut builder = GraphBuilder::new(CostModel::default());
+    let binding_map = builder.add_snapshot("m", 0, &result.weights);
+    let (graph, matrices) = builder.finish();
+    let plan = solver::mst(&graph)?;
+    let dir = std::env::temp_dir().join(format!("modelhub-prog-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SegmentStore::create(&dir, &graph, &plan, &matrices, DeltaOp::Sub, Level::Default)?;
+    println!(
+        "archived into {} bytes of compressed byte planes",
+        store.bytes_on_disk()
+    );
+
+    // Run progressive queries, narrating precision escalation.
+    let binding = ModelBinding::new(net.clone(), binding_map);
+    let ev = ProgressiveEvaluator::new(&store, &binding);
+    let mut histogram = [0usize; 4];
+    for (i, (x, label)) in data.test.iter().enumerate().take(12) {
+        let r = ev.eval(x, 1)?;
+        let exact = forward(&net, &result.weights, x)?.argmax();
+        assert_eq!(r.prediction[0], exact, "progressive result must equal exact");
+        histogram[r.planes_used - 1] += 1;
+        println!(
+            "query {i:>2}: truth={label} predicted={} determined after {} byte plane(s), \
+             read {:>5.1}% of the compressed footprint",
+            r.prediction[0],
+            r.planes_used,
+            r.read_fraction() * 100.0
+        );
+    }
+    println!("\nplanes needed histogram (1..4): {histogram:?}");
+
+    // Bonus: a weight histogram from 2 planes vs full precision.
+    let v = *binding.layer_vertex.values().next().unwrap();
+    let approx = store.weight_histogram(v, 2, 16, Some((-0.6, 0.6)))?;
+    let exacth = store.weight_histogram(v, 4, 16, Some((-0.6, 0.6)))?;
+    println!(
+        "\nweight histogram from 2 high-order planes (total-variation distance \
+         to full precision: {:.4}):",
+        exacth.distance(&approx)
+    );
+    print!("{}", approx.render_ascii(40));
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: train a small CNN, commit it to a ModelHub repository, and
+//! inspect the recorded lifecycle artifacts.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use modelhub::dlv::CommitRequest;
+use modelhub::dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
+use modelhub::ModelHub;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join(format!("modelhub-quickstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let hub = ModelHub::init(&root)?;
+    println!("initialized repository at {}", root.display());
+
+    // 1. Pick a reference architecture from the zoo and some data.
+    let net = zoo::lenet_s(10);
+    println!(
+        "model: {} ({} parameters)",
+        net.architecture_string(),
+        net.param_count()?
+    );
+    let data = synth_dataset(&SynthConfig::default());
+
+    // 2. Train with checkpointing — the modeling loop of Fig. 1.
+    let trainer = Trainer {
+        hp: Hyperparams { base_lr: 0.08, ..Default::default() },
+        snapshot_every: 10,
+    };
+    let init = Weights::init(&net, 42)?;
+    let result = trainer.train(&net, init, &data, 40)?;
+    println!(
+        "trained 40 iterations, final test accuracy {:.1}%",
+        result.final_accuracy * 100.0
+    );
+
+    // 3. Commit: network + snapshots + logs + config files, in one version.
+    let mut req = CommitRequest::new("lenet-quickstart", net);
+    req.snapshots = result.snapshots.clone();
+    req.log = result.log.clone();
+    req.accuracy = Some(result.final_accuracy);
+    req.hyperparams.insert("base_lr".into(), "0.08".into());
+    req.files.push(("solver.cfg".into(), b"base_lr: 0.08\nmax_iter: 40\n".to_vec()));
+    req.comment = "first quickstart model".into();
+    let key = hub.repo().commit(&req)?;
+    println!("committed as {key}");
+
+    // 4. Explore: dlv list / desc.
+    for v in hub.repo().list() {
+        println!(
+            "dlv list: {}  snaps={}  acc={:.3}  arch={}",
+            v.key,
+            v.num_snapshots,
+            v.accuracy.unwrap_or(f64::NAN),
+            v.architecture
+        );
+    }
+    let desc = hub.repo().desc("lenet-quickstart")?;
+    println!(
+        "dlv desc: {} layers, loss {:.3} -> {:.3}",
+        desc.layers.len(),
+        desc.loss_curve.first().map(|(_, l)| *l).unwrap_or(0.0),
+        desc.loss_curve.last().map(|(_, l)| *l).unwrap_or(0.0),
+    );
+
+    // 5. dlv eval against fresh data.
+    let acc = hub.repo().eval("lenet-quickstart", &data.test)?;
+    println!("dlv eval: accuracy {:.1}%", acc * 100.0);
+
+    std::fs::remove_dir_all(&root).ok();
+    Ok(())
+}

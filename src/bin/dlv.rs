@@ -1,0 +1,315 @@
+//! `dlv` — the ModelHub command-line tool (Table II of the paper).
+//!
+//! ```text
+//! dlv init <dir>
+//! dlv demo <dir>                      # populate with a trained demo model
+//! dlv list <dir>
+//! dlv desc <dir> <model[:id]> [--html <file>]
+//! dlv diff <dir> <left> <right>
+//! dlv eval <dir> <model[:id]> [--classes N] [--seed S]
+//! dlv copy <dir> <src> <new-name>
+//! dlv archive <dir> [--alpha A] [--scheme independent|parallel]
+//! dlv query <dir> "<DQL>" [--dataset classes=N,seed=S]
+//! dlv publish <dir> <hub-dir> <name>
+//! dlv search <hub-dir> <pattern>
+//! dlv pull <hub-dir> <name> <dest-dir>
+//! ```
+//!
+//! The `demo` and `--dataset` conveniences stand in for the external
+//! training systems (caffe etc.) the paper wraps: they generate synthetic
+//! data and train locally so every command is exercisable end to end.
+
+use modelhub::dlv::{diff, ArchiveConfig, CommitRequest, Hub, Repository};
+use modelhub::dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
+use modelhub::dql::{Executor, QueryResult};
+use modelhub::pas::RetrievalScheme;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dlv <init|demo|list|desc|weights|diff|eval|copy|archive|query|publish|search|pull> ..."
+    );
+    eprintln!("       (see `dlv help` or the module docs for argument details)");
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_dataset_spec(spec: Option<String>) -> SynthConfig {
+    let mut cfg = SynthConfig::default();
+    if let Some(s) = spec {
+        for part in s.split(',') {
+            if let Some((k, v)) = part.split_once('=') {
+                match k {
+                    "classes" => cfg.num_classes = v.parse().unwrap_or(cfg.num_classes),
+                    "seed" => cfg.seed = v.parse().unwrap_or(cfg.seed),
+                    "noise" => cfg.noise = v.parse().unwrap_or(cfg.noise),
+                    _ => {}
+                }
+            }
+        }
+    }
+    cfg
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return Ok(usage());
+    };
+    let path = |i: usize| -> Option<PathBuf> { args.get(i).map(PathBuf::from) };
+
+    match cmd {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "init" => {
+            let dir = path(1).ok_or("init needs a directory")?;
+            Repository::init(&dir)?;
+            println!("initialized empty dlv repository in {}", dir.display());
+            Ok(ExitCode::SUCCESS)
+        }
+        "demo" => {
+            let dir = path(1).ok_or("demo needs a directory")?;
+            let repo = if dir.join("catalog.mhs").exists() {
+                Repository::open(&dir)?
+            } else {
+                Repository::init(&dir)?
+            };
+            let cfg = parse_dataset_spec(flag_value(&args, "--dataset"));
+            let data = synth_dataset(&cfg);
+            let net = zoo::lenet_s(cfg.num_classes);
+            let trainer = Trainer {
+                hp: Hyperparams { base_lr: 0.08, ..Default::default() },
+                snapshot_every: 10,
+            };
+            let r = trainer.train(&net, Weights::init(&net, cfg.seed)?, &data, 30)?;
+            let mut req = CommitRequest::new("demo-lenet", net);
+            req.snapshots = r.snapshots.clone();
+            req.log = r.log.clone();
+            req.accuracy = Some(r.final_accuracy);
+            req.comment = "dlv demo model".into();
+            let key = repo.commit(&req)?;
+            println!("trained and committed {key} (accuracy {:.1}%)", r.final_accuracy * 100.0);
+            Ok(ExitCode::SUCCESS)
+        }
+        "list" => {
+            let dir = path(1).ok_or("list needs a repository")?;
+            let repo = Repository::open(&dir)?;
+            println!(
+                "{:<24} {:>6} {:>9} {:>9}  comment",
+                "version", "snaps", "params", "accuracy"
+            );
+            for v in repo.list() {
+                println!(
+                    "{:<24} {:>6} {:>9} {:>9}  {}{}",
+                    v.key.to_string(),
+                    v.num_snapshots,
+                    v.param_count,
+                    v.accuracy.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
+                    v.comment,
+                    if v.archived { " [archived]" } else { "" }
+                );
+            }
+            for (base, derived) in repo.lineage() {
+                println!("lineage: {base} -> {derived}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "desc" => {
+            let dir = path(1).ok_or("desc needs a repository")?;
+            let spec = args.get(2).ok_or("desc needs a model spec")?;
+            let repo = Repository::open(&dir)?;
+            let d = repo.desc(spec)?;
+            if let Some(html_path) = flag_value(&args, "--html") {
+                std::fs::write(&html_path, d.render_html())?;
+                println!("wrote {html_path}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            println!("model {}", d.summary.key);
+            println!("  architecture: {}", d.summary.architecture);
+            println!("  parameters:   {}", d.summary.param_count);
+            println!("  accuracy:     {:?}", d.summary.accuracy);
+            println!("  layers:");
+            for (name, def) in &d.layers {
+                println!("    {name:<16} {def}");
+            }
+            println!("  hyperparameters: {:?}", d.hyperparams);
+            println!("  snapshots:");
+            for s in &d.snapshots {
+                println!("    s{} @iter {} [{}]", s.index, s.iteration, s.location);
+            }
+            if !d.loss_curve.is_empty() {
+                let first = d.loss_curve.first().unwrap();
+                let last = d.loss_curve.last().unwrap();
+                println!(
+                    "  loss: {:.4} (iter {}) -> {:.4} (iter {})",
+                    first.1, first.0, last.1, last.0
+                );
+            }
+            for (p, hash, bytes) in &d.files {
+                println!("  file {p} ({bytes} bytes, sha256 {})", &hash[..12]);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "weights" => {
+            // Approximate weight histogram of an archived model from its
+            // high-order byte planes only (no low-order reads).
+            let dir = path(1).ok_or("weights needs a repository")?;
+            let spec = args.get(2).ok_or("weights needs a model spec")?;
+            let layer = args.get(3).ok_or("weights needs a layer name")?;
+            let planes: usize = flag_value(&args, "--planes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2);
+            let repo = Repository::open(&dir)?;
+            let (store_dir, mapping) = repo.pas_binding(spec, None)?;
+            let store = modelhub::pas::SegmentStore::open(&store_dir)?;
+            let v = *mapping
+                .get(layer.as_str())
+                .ok_or("layer not found in archived snapshot")?;
+            let hist = store.weight_histogram(v, planes, 24, None)?;
+            println!(
+                "weights of {spec}/{layer} from {planes} high-order byte plane(s):"
+            );
+            print!("{}", hist.render_ascii(48));
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let dir = path(1).ok_or("diff needs a repository")?;
+            let (l, r) = (
+                args.get(2).ok_or("diff needs two model specs")?,
+                args.get(3).ok_or("diff needs two model specs")?,
+            );
+            let repo = Repository::open(&dir)?;
+            print!("{}", diff(&repo, l, r)?.render());
+            Ok(ExitCode::SUCCESS)
+        }
+        "eval" => {
+            let dir = path(1).ok_or("eval needs a repository")?;
+            let spec = args.get(2).ok_or("eval needs a model spec")?;
+            let repo = Repository::open(&dir)?;
+            let cfg = parse_dataset_spec(flag_value(&args, "--dataset"));
+            let data = synth_dataset(&cfg);
+            let acc = repo.eval(spec, &data.test)?;
+            println!("accuracy of {spec} on synthetic test set: {:.2}%", acc * 100.0);
+            Ok(ExitCode::SUCCESS)
+        }
+        "copy" => {
+            let dir = path(1).ok_or("copy needs a repository")?;
+            let (src, new) = (
+                args.get(2).ok_or("copy needs <src> <new-name>")?,
+                args.get(3).ok_or("copy needs <src> <new-name>")?,
+            );
+            let repo = Repository::open(&dir)?;
+            let key = repo.copy(src, new, "dlv copy")?;
+            println!("scaffolded {key} from {src}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "archive" => {
+            let dir = path(1).ok_or("archive needs a repository")?;
+            let repo = Repository::open(&dir)?;
+            let alpha: f64 = flag_value(&args, "--alpha")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2.0);
+            let scheme = match flag_value(&args, "--scheme").as_deref() {
+                Some("parallel") => RetrievalScheme::Parallel,
+                _ => RetrievalScheme::Independent,
+            };
+            let checkpoint_scheme = match flag_value(&args, "--checkpoint-scheme").as_deref() {
+                Some("fixed8") => Some(modelhub::tensor::Scheme::Fixed { bits: 8 }),
+                Some("fixed16") => Some(modelhub::tensor::Scheme::Fixed { bits: 16 }),
+                Some("f16") => Some(modelhub::tensor::Scheme::F16),
+                Some("quant8") => Some(modelhub::tensor::Scheme::QuantUniform { bits: 8 }),
+                _ => None,
+            };
+            let report = repo.archive(&ArchiveConfig {
+                alpha,
+                scheme,
+                checkpoint_scheme,
+                ..Default::default()
+            })?;
+            println!(
+                "archived {} matrices / {} snapshots into {:?}: {} bytes (budgets satisfied: {})",
+                report.num_matrices,
+                report.num_snapshots,
+                report.store,
+                report.bytes_on_disk,
+                report.satisfied
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "query" => {
+            let dir = path(1).ok_or("query needs a repository")?;
+            let q = args.get(2).ok_or("query needs a DQL string")?;
+            let repo = Repository::open(&dir)?;
+            let mut exec = Executor::new(&repo);
+            let cfg = parse_dataset_spec(flag_value(&args, "--dataset"));
+            exec.register_dataset("default", synth_dataset(&cfg));
+            match exec.run(q)? {
+                QueryResult::Versions(v) => {
+                    for s in v {
+                        println!("{}  {}  acc={:?}", s.key, s.architecture, s.accuracy);
+                    }
+                }
+                QueryResult::Derived(d) => {
+                    for m in d {
+                        println!("derived from {}: {} ({} nodes)", m.source, m.derivation, m.network.num_nodes());
+                    }
+                }
+                QueryResult::Evaluated(rows) => {
+                    for r in rows {
+                        println!(
+                            "{} [{}] loss={:.4} acc={:.3} kept={} committed={:?}",
+                            r.source,
+                            r.config,
+                            r.loss,
+                            r.accuracy,
+                            r.kept,
+                            r.committed.map(|k| k.to_string())
+                        );
+                    }
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "publish" => {
+            let dir = path(1).ok_or("publish needs <repo> <hub> <name>")?;
+            let hub_dir = path(2).ok_or("publish needs <repo> <hub> <name>")?;
+            let name = args.get(3).ok_or("publish needs <repo> <hub> <name>")?;
+            let repo = Repository::open(&dir)?;
+            Hub::open(&hub_dir)?.publish(&repo, name)?;
+            println!("published {} as {name}", dir.display());
+            Ok(ExitCode::SUCCESS)
+        }
+        "search" => {
+            let hub_dir = path(1).ok_or("search needs <hub> <pattern>")?;
+            let pattern = args.get(2).ok_or("search needs <hub> <pattern>")?;
+            for hit in Hub::open(&hub_dir)?.search(pattern)? {
+                println!("{}/{}  {}  {}", hit.repo, hit.version, hit.architecture, hit.comment);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "pull" => {
+            let hub_dir = path(1).ok_or("pull needs <hub> <name> <dest>")?;
+            let name = args.get(2).ok_or("pull needs <hub> <name> <dest>")?;
+            let dest = path(3).ok_or("pull needs <hub> <name> <dest>")?;
+            Hub::open(&hub_dir)?.pull(name, &dest)?;
+            println!("pulled {name} into {}", dest.display());
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("dlv: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

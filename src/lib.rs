@@ -1,0 +1,24 @@
+//! # modelhub
+//!
+//! Umbrella crate for the ModelHub reproduction ("Towards Unified Data and
+//! Lifecycle Management for Deep Learning", ICDE 2017). Re-exports every
+//! subsystem so examples and integration tests can use one dependency.
+//!
+//! - [`dlv`] — the model versioning system (repositories, snapshots, lineage)
+//! - [`dql`] — the SQL-inspired model exploration/enumeration language
+//! - [`pas`] — the parameter archival store (segmentation, deltas, plans,
+//!   progressive evaluation)
+//! - [`dnn`] — the deep-network substrate (layers, training, interval eval)
+//! - [`tensor`], [`delta`], [`compress`], [`store`] — supporting substrates
+
+pub use mh_compress as compress;
+pub use mh_delta as delta;
+pub use mh_dlv as dlv;
+pub use mh_dnn as dnn;
+pub use mh_dql as dql;
+pub use mh_pas as pas;
+pub use mh_store as store;
+pub use mh_tensor as tensor;
+pub use modelhub_core as core;
+
+pub use modelhub_core::ModelHub;

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: the whole pipeline from training through
+//! versioning, DQL, archival and progressive retrieval.
+
+use modelhub::dlv::{ArchiveConfig, CommitRequest};
+use modelhub::dnn::{forward, synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
+use modelhub::dql::QueryResult;
+use modelhub::ModelHub;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mh-int-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn data() -> modelhub::dnn::Dataset {
+    synth_dataset(&SynthConfig {
+        num_classes: 3,
+        train_per_class: 8,
+        test_per_class: 4,
+        noise: 0.05,
+        seed: 33,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn full_pipeline_train_version_archive_progressive() {
+    let root = temp_dir("pipeline");
+    let hub = ModelHub::init(&root).unwrap();
+    let net = zoo::lenet_s(3);
+    let d = data();
+    let trainer = Trainer {
+        hp: Hyperparams { base_lr: 0.08, ..Default::default() },
+        snapshot_every: 5,
+    };
+    let r = trainer.train(&net, Weights::init(&net, 3).unwrap(), &d, 15).unwrap();
+    let mut req = CommitRequest::new("m", net.clone());
+    req.snapshots = r.snapshots.clone();
+    req.accuracy = Some(r.final_accuracy);
+    hub.repo().commit(&req).unwrap();
+
+    // Archive and verify every snapshot recreates bit-exactly.
+    let report = hub.archive(&ArchiveConfig::default()).unwrap();
+    assert!(report.satisfied);
+    for (i, (_, w)) in r.snapshots.iter().enumerate() {
+        assert_eq!(&hub.repo().get_weights("m", Some(i)).unwrap(), w);
+    }
+
+    // Progressive eval agrees with exact forward on every test point and
+    // reads no more than the full footprint.
+    for (x, _) in d.test.iter().take(8) {
+        let p = hub.progressive_eval("m", x, 1).unwrap();
+        let exact = forward(&net, &r.weights, x).unwrap().argmax();
+        assert_eq!(p.prediction[0], exact);
+        assert!(p.bytes_read <= p.full_bytes);
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn dql_drives_the_lifecycle_end_to_end() {
+    let root = temp_dir("dql-lifecycle");
+    let mut hub = ModelHub::init(&root).unwrap();
+    let d = data();
+    let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+    let net = zoo::lenet_s(3);
+    let r = trainer.train(&net, Weights::init(&net, 5).unwrap(), &d, 6).unwrap();
+    let mut req = CommitRequest::new("seed-model", net);
+    req.snapshots = vec![(6, r.weights)];
+    req.accuracy = Some(r.final_accuracy);
+    hub.repo().commit(&req).unwrap();
+    hub.register_dataset("d", d);
+
+    // Enumerate variants via construct + evaluate; the winner is committed.
+    let result = hub
+        .query(
+            r#"evaluate m from (construct m2 from m1 where m1.name like "seed%"
+                                mutate m1["pool2"].insert = TANH("extra"))
+               vary config.base_lr in [0.1, 0.01]
+               keep top(1, m["loss"], 4)"#,
+        )
+        .unwrap();
+    let QueryResult::Evaluated(rows) = result else { panic!() };
+    assert_eq!(rows.len(), 2);
+    let kept = rows.iter().find(|r| r.kept).unwrap();
+    let committed = kept.committed.as_ref().unwrap();
+
+    // The committed variant is a first-class version: desc, eval, lineage.
+    let desc = hub.repo().desc(&committed.to_string()).unwrap();
+    assert!(desc.layers.iter().any(|(n, _)| n == "extra"));
+    assert!(hub
+        .repo()
+        .lineage()
+        .iter()
+        .any(|(base, derived)| base == "seed-model:1" && derived == &committed.to_string()));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn sd_workload_generates_connected_lineage() {
+    let root = temp_dir("sd");
+    let repo = modelhub::dlv::Repository::init(&root).unwrap();
+    let sd = modelhub::core::generate_sd(
+        &repo,
+        &modelhub::core::SdConfig { num_versions: 3, snapshots_per_version: 2, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(sd.versions.len(), 3);
+    assert_eq!(repo.list().len(), 4);
+    let lineage = repo.lineage();
+    assert_eq!(lineage.len(), 3);
+    assert!(lineage.iter().all(|(base, _)| base == &sd.base.to_string()));
+    // Every version has the requested snapshot count.
+    for v in &sd.versions {
+        assert_eq!(repo.snapshots(&v.to_string()).unwrap().len(), 2);
+    }
+    // Fine-tuned weights share feature-layer shapes with the base.
+    let base_w = repo.get_weights(&sd.base.to_string(), None).unwrap();
+    let ft_w = repo.get_weights(&sd.versions[0].to_string(), None).unwrap();
+    assert_eq!(
+        base_w.get("conv1").map(|m| m.shape()),
+        ft_w.get("conv1").map(|m| m.shape())
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn share_then_continue_working_on_the_clone() {
+    let base = temp_dir("share");
+    let hub_dir = base.join("hub");
+    let a = ModelHub::init(&base.join("a")).unwrap();
+    let d = data();
+    let net = zoo::lenet_s(3);
+    let trainer = Trainer::new(Hyperparams::default());
+    let r = trainer.train(&net, Weights::init(&net, 6).unwrap(), &d, 5).unwrap();
+    let mut req = CommitRequest::new("shared", net);
+    req.snapshots = vec![(5, r.weights)];
+    a.repo().commit(&req).unwrap();
+    a.publish(&hub_dir, "team/shared").unwrap();
+
+    let b = ModelHub::pull(&hub_dir, "team/shared", &base.join("b")).unwrap();
+    // Clone can archive independently of the original.
+    let report = b.archive(&ArchiveConfig::default()).unwrap();
+    assert!(report.satisfied);
+    assert!(b.repo().list()[0].archived);
+    assert!(!a.repo().list()[0].archived, "original untouched");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn float_schemes_compose_with_compression() {
+    // Cross-crate invariant: for trained weights, every lossy scheme's
+    // payload compresses at least as well as raw f32, and bytewise
+    // segmentation improves compression of the f32 payload.
+    use modelhub::compress::{compressed_len, Level};
+    use modelhub::tensor::{encode, split_byte_planes, Scheme};
+
+    let net = zoo::lenet_s(4);
+    let d = synth_dataset(&SynthConfig { num_classes: 4, seed: 9, ..Default::default() });
+    let trainer = Trainer::new(Hyperparams::default());
+    let r = trainer
+        .train(&net, Weights::init(&net, 8).unwrap(), &d, 10)
+        .unwrap();
+    let m = r.weights.get("ip1").unwrap();
+
+    let f32_enc = encode(m, Scheme::F32, false);
+    let whole = compressed_len(&f32_enc.payload, Level::Default);
+    let planes: usize = split_byte_planes(&f32_enc.payload, 4)
+        .iter()
+        .map(|p| compressed_len(p, Level::Default))
+        .sum();
+    assert!(
+        planes < whole,
+        "bytewise segmentation should compress better: {planes} vs {whole}"
+    );
+
+    for scheme in [Scheme::F16, Scheme::Fixed { bits: 8 }, Scheme::QuantUniform { bits: 8 }] {
+        let enc = encode(m, scheme, false);
+        let c = compressed_len(&enc.payload, Level::Default);
+        assert!(c < whole, "{scheme:?} should beat raw f32: {c} vs {whole}");
+    }
+}
