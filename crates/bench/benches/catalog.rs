@@ -1,6 +1,7 @@
 //! Metadata catalog benchmarks: inserts, indexed and unindexed selects,
 //! and persistence roundtrips.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use criterion::{criterion_group, criterion_main, Criterion};
 use mh_store::{Column, ColumnType, Database, Predicate, Schema, Value};
 

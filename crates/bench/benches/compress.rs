@@ -2,6 +2,7 @@
 //! stores — high-order byte planes (low entropy) and low-order planes
 //! (near-random) of trained weight matrices.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mh_compress::{compress, decompress, Level};
 use mh_dnn::{zoo, Weights};

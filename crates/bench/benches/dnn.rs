@@ -1,6 +1,7 @@
 //! DNN substrate benchmarks: exact forward, interval forward (the
 //! progressive-query inner loop), and one SGD step.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mh_dnn::backward::backward;
 use mh_dnn::{forward, interval_forward, zoo, IntervalWeights, Weights};
@@ -15,7 +16,12 @@ fn bench_dnn(c: &mut Criterion) {
         ("vgg_s", zoo::vgg_s(10)),
     ] {
         let w = Weights::init(&net, 1).unwrap();
-        let x = Tensor3::from_vec(1, 16, 16, (0..256).map(|i| (i as f32 * 0.1).sin()).collect());
+        let x = Tensor3::from_vec(
+            1,
+            16,
+            16,
+            (0..256).map(|i| (i as f32 * 0.1).sin()).collect(),
+        );
         g.bench_with_input(BenchmarkId::new("forward", name), &net, |b, net| {
             b.iter(|| forward(net, &w, &x).unwrap())
         });
@@ -24,9 +30,11 @@ fn bench_dnn(c: &mut Criterion) {
             let (lo, hi) = SegmentedMatrix::from_matrix(m).bounds(2);
             iw.insert(lname, lo, hi);
         }
-        g.bench_with_input(BenchmarkId::new("interval-forward-2B", name), &net, |b, net| {
-            b.iter(|| interval_forward(net, &iw, &x).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("interval-forward-2B", name),
+            &net,
+            |b, net| b.iter(|| interval_forward(net, &iw, &x).unwrap()),
+        );
         g.bench_with_input(BenchmarkId::new("backward", name), &net, |b, net| {
             b.iter(|| backward(net, &w, &x, 3).unwrap())
         });

@@ -1,6 +1,7 @@
 //! DQL benchmarks: parsing and select-query execution over a populated
 //! repository.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use criterion::{criterion_group, criterion_main, Criterion};
 use mh_dlv::{CommitRequest, Repository};
 use mh_dnn::{zoo, Weights};

@@ -1,6 +1,7 @@
 //! Segment store benchmarks: plan materialization and full / partial /
 //! parallel snapshot retrieval.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use criterion::{criterion_group, criterion_main, Criterion};
 use mh_compress::Level;
 use mh_delta::DeltaOp;
@@ -8,7 +9,12 @@ use mh_dnn::{zoo, Weights};
 use mh_pas::{solver, CostModel, GraphBuilder, SegmentStore, VertexId};
 use std::path::PathBuf;
 
-fn setup() -> (mh_pas::StorageGraph, mh_pas::StoragePlan, std::collections::BTreeMap<VertexId, mh_tensor::Matrix>, Vec<Vec<VertexId>>) {
+fn setup() -> (
+    mh_pas::StorageGraph,
+    mh_pas::StoragePlan,
+    std::collections::BTreeMap<VertexId, mh_tensor::Matrix>,
+    Vec<Vec<VertexId>>,
+) {
     let net = zoo::alexnet_s(6);
     let base = Weights::init(&net, 3).unwrap();
     let mut builder = GraphBuilder::new(CostModel::default());

@@ -2,6 +2,7 @@
 //! scaling axis of §V): random version chains with materialize and delta
 //! options, growing vertex counts.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mh_pas::{apply_alpha_budgets, solver, EdgeKind, RetrievalScheme, StorageGraph, NULL_VERTEX};
 use rand::rngs::StdRng;

@@ -44,7 +44,15 @@ fn main() -> std::io::Result<()> {
 
     if what == "all" {
         for name in [
-            "table1", "fig6a", "fig6b", "table4", "fig6c", "table5", "fig6d", "rd", "ablations",
+            "table1",
+            "fig6a",
+            "fig6b",
+            "table4",
+            "fig6c",
+            "table5",
+            "fig6d",
+            "rd",
+            "ablations",
         ] {
             run_one(name)?;
         }

@@ -69,7 +69,10 @@ fn delta_direction(t: &mut Table, iters: usize) {
             "delta-direction".into(),
             op.name().into(),
             format!("forward={fwd}"),
-            format!("backward={bwd} ({:+.1}%)", 100.0 * (bwd as f64 / fwd as f64 - 1.0)),
+            format!(
+                "backward={bwd} ({:+.1}%)",
+                100.0 * (bwd as f64 / fwd as f64 - 1.0)
+            ),
         ]);
     }
 }
@@ -82,7 +85,11 @@ fn compressor_levels(t: &mut Table, iters: usize) {
     for (_, m) in w.layers() {
         plane0.extend_from_slice(mh_tensor::SegmentedMatrix::from_matrix(m).plane(0));
     }
-    for (name, level) in [("fast", Level::Fast), ("default", Level::Default), ("best", Level::Best)] {
+    for (name, level) in [
+        ("fast", Level::Fast),
+        ("default", Level::Default),
+        ("best", Level::Best),
+    ] {
         let start = Instant::now();
         let packed = mh_compress::compress(&plane0, level);
         let ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -104,21 +111,28 @@ fn lossy_checkpoints(t: &mut Table, iters: usize) {
         ("fixed8", Some(Scheme::Fixed { bits: 8 })),
         ("quant-uniform8", Some(Scheme::QuantUniform { bits: 8 })),
     ] {
-        let dir = std::env::temp_dir().join(format!(
-            "mh-abl-lossy-{name}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("mh-abl-lossy-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let repo = Repository::init(&dir).expect("init");
         let mut req = CommitRequest::new("m", m.network.clone());
         req.snapshots = m.result.snapshots.clone();
         repo.commit(&req).expect("commit");
         let report = repo
-            .archive(&ArchiveConfig { checkpoint_scheme: scheme, ..Default::default() })
+            .archive(&ArchiveConfig {
+                checkpoint_scheme: scheme,
+                ..Default::default()
+            })
             .expect("archive");
         // Latest snapshot always survives exactly.
         let latest = repo.get_weights("m", None).expect("latest");
-        assert_eq!(&latest, &m.result.snapshots.last().unwrap().1);
+        assert_eq!(
+            &latest,
+            &m.result
+                .snapshots
+                .last()
+                .expect("training produced snapshots")
+                .1
+        );
         t.row(vec![
             "lossy-checkpoints".into(),
             name.into(),

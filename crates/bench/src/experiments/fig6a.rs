@@ -43,14 +43,18 @@ pub fn run(iters: usize) -> std::io::Result<()> {
     let models = three_models(6, iters);
     let mut t = Table::new(
         "Fig 6(a) — compression ratio vs accuracy drop per float scheme",
-        &["Scheme", "Compression ratio", "Accuracy drop (pp)", "Lossless"],
+        &[
+            "Scheme",
+            "Compression ratio",
+            "Accuracy drop (pp)",
+            "Lossless",
+        ],
     );
     for scheme in schemes() {
         let mut total_ratio = 0.0f64;
         let mut total_drop = 0.0f64;
         for m in &models {
-            let full_acc = accuracy(&m.network, &m.result.weights, &m.data.test)
-                .expect("eval");
+            let full_acc = accuracy(&m.network, &m.result.weights, &m.data.test).expect("eval");
             let mut orig = 0usize;
             let mut packed = 0usize;
             let mut lossy: Weights = Weights::new();

@@ -49,7 +49,13 @@ pub fn run(iters: usize) -> std::io::Result<()> {
     ];
     let mut t = Table::new(
         "Fig 6(b) — storage as % of uncompressed, per delta scheme (lossless f32)",
-        &["Scenario", "Materialize %", "Delta-SUB %", "Delta-XOR %", "Winner"],
+        &[
+            "Scenario",
+            "Materialize %",
+            "Delta-SUB %",
+            "Delta-XOR %",
+            "Winner",
+        ],
     );
     for (name, (base, target)) in scenarios {
         let (orig, mat) = materialize_bytes(&target);

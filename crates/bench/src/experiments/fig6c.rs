@@ -46,7 +46,7 @@ pub fn build_sd_graph(versions: usize, snapshots: usize) -> StorageGraph {
             let spec = s.key.to_string();
             let max = repo
                 .snapshots(&spec)
-                .unwrap()
+                .expect("listed version resolves")
                 .iter()
                 .map(|x| x.index)
                 .max()

@@ -4,9 +4,7 @@
 //! synthetic models" claim).
 
 use crate::report::{results_dir, Table};
-use mh_pas::{
-    apply_alpha_budgets, solver, EdgeKind, RetrievalScheme, StorageGraph, NULL_VERTEX,
-};
+use mh_pas::{apply_alpha_budgets, solver, EdgeKind, RetrievalScheme, StorageGraph, NULL_VERTEX};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -44,7 +42,7 @@ pub fn rd_graph(
             prev = Some(members);
         }
         if v == 0 {
-            latest_of_first = prev.unwrap();
+            latest_of_first = prev.expect("every version has at least one snapshot");
         }
     }
     // Fine-tuning edges: every version's first snapshot deltas against

@@ -36,10 +36,10 @@ fn payloads(w: &Weights, scheme: Scheme, normalize: bool) -> Vec<Vec<u8>> {
 fn word_delta(base: &[u8], target: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(target.len());
     for (i, tc) in target.chunks_exact(4).enumerate() {
-        let t = u32::from_be_bytes(tc.try_into().unwrap());
+        let t = u32::from_be_bytes(tc.try_into().expect("fixed-size chunk"));
         let b = base
             .get(i * 4..i * 4 + 4)
-            .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+            .map(|c| u32::from_be_bytes(c.try_into().expect("fixed-size chunk")))
             .unwrap_or(0);
         out.extend_from_slice(&t.wrapping_sub(b).to_be_bytes());
     }
@@ -50,19 +50,48 @@ pub fn run(iters: usize) -> std::io::Result<()> {
     let (base, target) = finetuned_pair(iters);
     let mut t = Table::new(
         "Table IV — delta performance for lossless & lossy schemes (32 bits), % of uncompressed",
-        &["Representation", "Configuration", "Materialize %", "Delta-SUB %"],
+        &[
+            "Representation",
+            "Configuration",
+            "Materialize %",
+            "Delta-SUB %",
+        ],
     );
 
     let orig: usize = target.layers().map(|(_, m)| m.len() * 4).sum();
     let configs: Vec<(&str, &str, Scheme, bool, bool)> = vec![
         ("Float", "Lossless", Scheme::F32, false, false),
         ("Float", "Lossless, bytewise", Scheme::F32, false, true),
-        ("Float", "Fix point", Scheme::Fixed { bits: 32 }, false, false),
-        ("Float", "Fix point, bytewise", Scheme::Fixed { bits: 32 }, false, true),
+        (
+            "Float",
+            "Fix point",
+            Scheme::Fixed { bits: 32 },
+            false,
+            false,
+        ),
+        (
+            "Float",
+            "Fix point, bytewise",
+            Scheme::Fixed { bits: 32 },
+            false,
+            true,
+        ),
         ("Normalized", "Lossless", Scheme::F32, true, false),
         ("Normalized", "Lossless, bytewise", Scheme::F32, true, true),
-        ("Normalized", "Fix point", Scheme::Fixed { bits: 32 }, true, false),
-        ("Normalized", "Fix point, bytewise", Scheme::Fixed { bits: 32 }, true, true),
+        (
+            "Normalized",
+            "Fix point",
+            Scheme::Fixed { bits: 32 },
+            true,
+            false,
+        ),
+        (
+            "Normalized",
+            "Fix point, bytewise",
+            Scheme::Fixed { bits: 32 },
+            true,
+            true,
+        ),
     ];
     for (rep, cfg, scheme, normalize, bytewise) in configs {
         let base_payloads = payloads(&base, scheme, normalize);

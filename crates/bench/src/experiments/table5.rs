@@ -37,16 +37,15 @@ fn build(snapshots: usize, iters_each: usize) -> Setup {
         .map(|i| builder.snapshot_members("chain", i).expect("group"))
         .collect();
     let (graph, matrices) = builder.finish();
-    Setup { graph, matrices, groups }
+    Setup {
+        graph,
+        matrices,
+        groups,
+    }
 }
 
 /// Wall-clock of recreating every group, averaged per snapshot, in ms.
-fn measure(
-    store: &SegmentStore,
-    groups: &[Vec<VertexId>],
-    planes: usize,
-    parallel: bool,
-) -> f64 {
+fn measure(store: &SegmentStore, groups: &[Vec<VertexId>], planes: usize, parallel: bool) -> f64 {
     let reps = 3;
     let start = Instant::now();
     for _ in 0..reps {
@@ -101,13 +100,21 @@ pub fn run(snapshots: usize, iters_each: usize) -> std::io::Result<()> {
 
     let mut t = Table::new(
         "Table V — snapshot recreation performance (ms/snapshot) and disk",
-        &["Storage plan", "Query", "Independent ms", "Parallel ms", "Disk bytes"],
+        &[
+            "Storage plan",
+            "Query",
+            "Independent ms",
+            "Parallel ms",
+            "Disk bytes",
+        ],
     );
     for (name, plan) in plans {
         let dir = std::env::temp_dir().join(format!(
             "mh-table5-{}-{}",
             std::process::id(),
-            name.chars().filter(char::is_ascii_alphanumeric).collect::<String>()
+            name.chars()
+                .filter(char::is_ascii_alphanumeric)
+                .collect::<String>()
         ));
         let _ = std::fs::remove_dir_all(&dir);
         let store = SegmentStore::create(
@@ -128,7 +135,11 @@ pub fn run(snapshots: usize, iters_each: usize) -> std::io::Result<()> {
                 query.to_string(),
                 format!("{seq:.2}"),
                 format!("{par:.2}"),
-                if query == "Full" { disk.to_string() } else { String::new() },
+                if query == "Full" {
+                    disk.to_string()
+                } else {
+                    String::new()
+                },
             ]);
         }
         // The reusable scheme (Table III ψr): shared chain prefixes are

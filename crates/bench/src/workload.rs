@@ -3,8 +3,8 @@
 //! seed.
 
 use mh_dnn::{
-    fine_tune_setup, synth_dataset, zoo, Dataset, Hyperparams, Network, SynthConfig,
-    TrainResult, Trainer, Weights,
+    fine_tune_setup, synth_dataset, zoo, Dataset, Hyperparams, Network, SynthConfig, TrainResult,
+    Trainer, Weights,
 };
 
 /// A trained model with its data.
@@ -35,23 +35,52 @@ fn train(
     snapshot_every: usize,
 ) -> TrainedModel {
     let trainer = Trainer {
-        hp: Hyperparams { base_lr: 0.06, ..Default::default() },
+        hp: Hyperparams {
+            base_lr: 0.06,
+            ..Default::default()
+        },
         snapshot_every,
     };
     let init = Weights::init(&network, seed).expect("valid zoo network");
     let result = trainer
         .train(&network, init, &data, iters)
         .expect("training succeeds");
-    TrainedModel { name, network, result, data }
+    TrainedModel {
+        name,
+        network,
+        result,
+        data,
+    }
 }
 
 /// The three "real-world" models of §V-A, scaled: LeNet-, AlexNet- and
 /// VGG-style networks trained on synthetic vision data.
 pub fn three_models(classes: usize, iters: usize) -> Vec<TrainedModel> {
     vec![
-        train("lenet", zoo::lenet_s(classes), dataset(classes, 101), 11, iters, 0),
-        train("alexnet", zoo::alexnet_s(classes), dataset(classes, 102), 12, iters, 0),
-        train("vgg", zoo::vgg_s(classes), dataset(classes, 103), 13, iters, 0),
+        train(
+            "lenet",
+            zoo::lenet_s(classes),
+            dataset(classes, 101),
+            11,
+            iters,
+            0,
+        ),
+        train(
+            "alexnet",
+            zoo::alexnet_s(classes),
+            dataset(classes, 102),
+            12,
+            iters,
+            0,
+        ),
+        train(
+            "vgg",
+            zoo::vgg_s(classes),
+            dataset(classes, 103),
+            13,
+            iters,
+            0,
+        ),
     ]
 }
 
@@ -69,7 +98,10 @@ pub fn finetuned_pair(iters: usize) -> (Weights, Weights) {
     let base = train("base", zoo::lenet_s(5), dataset(5, 301), 31, iters, 0);
     let (ft_net, ft_init) =
         fine_tune_setup(&base.network, &base.result.weights, 4, 77).expect("fine-tune");
-    let trainer = Trainer::new(Hyperparams { base_lr: 0.01, ..Default::default() });
+    let trainer = Trainer::new(Hyperparams {
+        base_lr: 0.01,
+        ..Default::default()
+    });
     let ft = trainer
         .train(&ft_net, ft_init, &dataset(4, 302), iters / 2)
         .expect("fine-tune training");
@@ -92,10 +124,20 @@ pub fn finetuned_pair(iters: usize) -> (Weights, Weights) {
 
 /// Fig 6(b) scenario: adjacent checkpoints of a single training run.
 pub fn snapshot_pair(iters: usize) -> (Weights, Weights) {
-    let m = train("snaps", zoo::lenet_s(5), dataset(5, 401), 41, iters, iters / 2);
+    let m = train(
+        "snaps",
+        zoo::lenet_s(5),
+        dataset(5, 401),
+        41,
+        iters,
+        iters / 2,
+    );
     let snaps = &m.result.snapshots;
     assert!(snaps.len() >= 2);
-    (snaps[snaps.len() - 2].1.clone(), snaps[snaps.len() - 1].1.clone())
+    (
+        snaps[snaps.len() - 2].1.clone(),
+        snaps[snaps.len() - 1].1.clone(),
+    )
 }
 
 /// One trained model with a checkpoint chain (for archival experiments).

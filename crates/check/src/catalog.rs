@@ -1,0 +1,381 @@
+//! Layer 1: catalog integrity — referential checks across the `mh-store`
+//! tables and lineage-DAG verification.
+
+use crate::{
+    FsckReport, C_BAD_EDGE_ENDPOINT, C_BAD_LAYER_DEF, C_BAD_SNAPSHOT_LOCATION, C_DANGLING_LINEAGE,
+    C_DANGLING_VERSION_REF, C_DUPLICATE_VERSION, C_LINEAGE_CYCLE, C_MISSING_TABLE,
+};
+use mh_store::{Database, RowId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tables every repository must have (`pas_budget` is optional: it was
+/// added later and is created lazily on archive).
+const REQUIRED_TABLES: &[&str] = &[
+    "model_version",
+    "node",
+    "edge",
+    "parent",
+    "hyper",
+    "metric",
+    "file",
+    "snapshot",
+    "pas_vertex",
+];
+
+/// One `model_version` row.
+#[derive(Debug, Clone)]
+pub struct VersionRow {
+    pub row_id: RowId,
+    pub name: String,
+    pub vid: i64,
+}
+
+impl VersionRow {
+    /// The display key used by lineage edges and PAS snapshot names.
+    pub fn display_key(&self) -> String {
+        format!("{}:{}", self.name, self.vid)
+    }
+}
+
+/// An in-memory copy of everything `fsck` needs from the catalog, read in
+/// one transaction so all layers see a consistent state.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogSnapshot {
+    pub missing_tables: Vec<String>,
+    pub versions: Vec<VersionRow>,
+    /// (row id, mv, node_id, layer name, encoded def).
+    pub nodes: Vec<(RowId, i64, i64, String, String)>,
+    /// (row id, mv, from_id, to_id).
+    pub edges: Vec<(RowId, i64, i64, i64)>,
+    /// (row id, base key, derived key).
+    pub parents: Vec<(RowId, String, String)>,
+    /// (row id, mv) for hyper/metric rows (only the reference matters).
+    pub hyper_refs: Vec<(RowId, &'static str, i64)>,
+    /// (row id, mv, path, sha256, bytes).
+    pub files: Vec<(RowId, i64, String, String, i64)>,
+    /// (row id, mv, snap_idx, location).
+    pub snapshots: Vec<(RowId, i64, i64, String)>,
+    /// (row id, mv, snap_idx, layer, store, vertex).
+    pub pas_vertices: Vec<(RowId, i64, i64, String, String, i64)>,
+    /// (row id, store, snapshot, scheme, budget, cost); `None` when the
+    /// `pas_budget` table does not exist.
+    pub budgets: Option<Vec<BudgetRow>>,
+}
+
+/// One `pas_budget` row: (row id, store, snapshot, scheme, budget, cost).
+pub type BudgetRow = (RowId, String, String, String, f64, f64);
+
+impl CatalogSnapshot {
+    /// Read every table. Missing tables are recorded, not fatal.
+    pub fn collect(db: &Database) -> Self {
+        let mut snap = Self::default();
+        let names: BTreeSet<String> = db.table_names().into_iter().collect();
+        for t in REQUIRED_TABLES {
+            if !names.contains(*t) {
+                snap.missing_tables.push((*t).to_string());
+            }
+        }
+        let int = |r: &mh_store::Row, i: usize| r.values.get(i).and_then(|v| v.as_int());
+        let text = |r: &mh_store::Row, i: usize| {
+            r.values
+                .get(i)
+                .and_then(|v| v.as_text())
+                .unwrap_or("")
+                .to_string()
+        };
+        if let Ok(t) = db.table("model_version") {
+            for r in t.scan() {
+                snap.versions.push(VersionRow {
+                    row_id: r.id,
+                    name: text(&r, 0),
+                    vid: int(&r, 1).unwrap_or(-1),
+                });
+            }
+        }
+        if let Ok(t) = db.table("node") {
+            for r in t.scan() {
+                snap.nodes.push((
+                    r.id,
+                    int(&r, 0).unwrap_or(-1),
+                    int(&r, 1).unwrap_or(-1),
+                    text(&r, 2),
+                    text(&r, 3),
+                ));
+            }
+        }
+        if let Ok(t) = db.table("edge") {
+            for r in t.scan() {
+                snap.edges.push((
+                    r.id,
+                    int(&r, 0).unwrap_or(-1),
+                    int(&r, 1).unwrap_or(-1),
+                    int(&r, 2).unwrap_or(-1),
+                ));
+            }
+        }
+        if let Ok(t) = db.table("parent") {
+            for r in t.scan() {
+                snap.parents.push((r.id, text(&r, 0), text(&r, 1)));
+            }
+        }
+        for name in ["hyper", "metric"] {
+            if let Ok(t) = db.table(name) {
+                let tag = if name == "hyper" { "hyper" } else { "metric" };
+                for r in t.scan() {
+                    snap.hyper_refs.push((r.id, tag, int(&r, 0).unwrap_or(-1)));
+                }
+            }
+        }
+        if let Ok(t) = db.table("file") {
+            for r in t.scan() {
+                snap.files.push((
+                    r.id,
+                    int(&r, 0).unwrap_or(-1),
+                    text(&r, 1),
+                    text(&r, 2),
+                    int(&r, 3).unwrap_or(-1),
+                ));
+            }
+        }
+        if let Ok(t) = db.table("snapshot") {
+            for r in t.scan() {
+                snap.snapshots.push((
+                    r.id,
+                    int(&r, 0).unwrap_or(-1),
+                    int(&r, 1).unwrap_or(-1),
+                    text(&r, 3),
+                ));
+            }
+        }
+        if let Ok(t) = db.table("pas_vertex") {
+            for r in t.scan() {
+                snap.pas_vertices.push((
+                    r.id,
+                    int(&r, 0).unwrap_or(-1),
+                    int(&r, 1).unwrap_or(-1),
+                    text(&r, 2),
+                    text(&r, 3),
+                    int(&r, 4).unwrap_or(-1),
+                ));
+            }
+        }
+        if let Ok(t) = db.table("pas_budget") {
+            let mut rows = Vec::new();
+            for r in t.scan() {
+                rows.push((
+                    r.id,
+                    text(&r, 0),
+                    text(&r, 1),
+                    text(&r, 2),
+                    r.values
+                        .get(3)
+                        .and_then(|v| v.as_real())
+                        .unwrap_or(f64::NAN),
+                    r.values
+                        .get(4)
+                        .and_then(|v| v.as_real())
+                        .unwrap_or(f64::NAN),
+                ));
+            }
+            snap.budgets = Some(rows);
+        }
+        snap
+    }
+
+    /// Set of valid model-version row ids.
+    pub fn version_ids(&self) -> BTreeSet<i64> {
+        self.versions.iter().map(|v| v.row_id as i64).collect()
+    }
+
+    /// Display key (`name:id`) of the version with catalog row id `mv`.
+    pub fn display_key(&self, mv: i64) -> Option<String> {
+        self.versions
+            .iter()
+            .find(|v| v.row_id as i64 == mv)
+            .map(VersionRow::display_key)
+    }
+}
+
+/// Run the catalog-layer checks.
+pub fn check(snap: &CatalogSnapshot, report: &mut FsckReport) {
+    report.versions_checked = snap.versions.len();
+    for t in &snap.missing_tables {
+        report.error(
+            C_MISSING_TABLE,
+            "catalog.mhs",
+            format!("required table '{t}' is missing"),
+        );
+    }
+
+    // Duplicate (name, vid) keys.
+    let mut seen: BTreeMap<(String, i64), RowId> = BTreeMap::new();
+    for v in &snap.versions {
+        if let Some(first) = seen.insert((v.name.clone(), v.vid), v.row_id) {
+            report.error(
+                C_DUPLICATE_VERSION,
+                format!("catalog.mhs:model_version#{}", v.row_id),
+                format!(
+                    "duplicate version key {} (also row #{first})",
+                    v.display_key()
+                ),
+            );
+        }
+    }
+
+    // Dangling version references from every child table.
+    let ids = snap.version_ids();
+    let dangle = |table: &str, row: RowId, mv: i64, report: &mut FsckReport| {
+        if !ids.contains(&mv) {
+            report.error(
+                C_DANGLING_VERSION_REF,
+                format!("catalog.mhs:{table}#{row}"),
+                format!("references model version {mv}, which does not exist"),
+            );
+            return true;
+        }
+        false
+    };
+    for (row, mv, node_id, lname, def) in &snap.nodes {
+        dangle("node", *row, *mv, report);
+        if mh_dlv::layercodec::decode_layer(def).is_none() {
+            report.error(
+                C_BAD_LAYER_DEF,
+                format!("catalog.mhs:node#{row}"),
+                format!("layer '{lname}' (node {node_id}) has undecodable definition '{def}'"),
+            );
+        }
+    }
+    for (row, mv, _, _) in &snap.edges {
+        dangle("edge", *row, *mv, report);
+    }
+    for (row, table, mv) in &snap.hyper_refs {
+        dangle(table, *row, *mv, report);
+    }
+    for (row, mv, ..) in &snap.files {
+        dangle("file", *row, *mv, report);
+    }
+    for (row, mv, _, loc) in &snap.snapshots {
+        dangle("snapshot", *row, *mv, report);
+        if !loc.starts_with("staged:") && !loc.starts_with("pas:") {
+            report.error(
+                C_BAD_SNAPSHOT_LOCATION,
+                format!("catalog.mhs:snapshot#{row}"),
+                format!("location '{loc}' is neither 'staged:' nor 'pas:'"),
+            );
+        }
+    }
+    for (row, mv, ..) in &snap.pas_vertices {
+        dangle("pas_vertex", *row, *mv, report);
+    }
+
+    // Network edges must connect existing nodes of the same version.
+    let mut nodes_of: BTreeMap<i64, BTreeSet<i64>> = BTreeMap::new();
+    for (_, mv, node_id, ..) in &snap.nodes {
+        nodes_of.entry(*mv).or_default().insert(*node_id);
+    }
+    for (row, mv, from, to) in &snap.edges {
+        let known = nodes_of.get(mv);
+        for (end, id) in [("from", from), ("to", to)] {
+            if !known.is_some_and(|s| s.contains(id)) {
+                report.error(
+                    C_BAD_EDGE_ENDPOINT,
+                    format!("catalog.mhs:edge#{row}"),
+                    format!("{end}-endpoint node {id} has no node row for version {mv}"),
+                );
+            }
+        }
+    }
+
+    // Lineage: endpoints must exist; the derivation graph must be acyclic.
+    let keys: BTreeSet<String> = snap.versions.iter().map(VersionRow::display_key).collect();
+    let mut children: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (row, base, derived) in &snap.parents {
+        for (role, key) in [("base", base), ("derived", derived)] {
+            if !keys.contains(key) {
+                report.error(
+                    C_DANGLING_LINEAGE,
+                    format!("catalog.mhs:parent#{row}"),
+                    format!("{role} version '{key}' does not exist"),
+                );
+            }
+        }
+        children
+            .entry(base.as_str())
+            .or_default()
+            .push(derived.as_str());
+    }
+    for cycle in find_cycles(&children) {
+        report.error(
+            C_LINEAGE_CYCLE,
+            "catalog.mhs:parent",
+            format!("lineage cycle through '{cycle}'"),
+        );
+    }
+}
+
+/// Vertices on some cycle of the lineage graph (three-colour DFS; each
+/// cycle is reported once via its entry vertex).
+fn find_cycles(children: &BTreeMap<&str, Vec<&str>>) -> Vec<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: BTreeMap<&str, Colour> = BTreeMap::new();
+    let mut cycles = Vec::new();
+    // Iterative DFS: (vertex, next-child index).
+    for &start in children.keys() {
+        if *colour.get(start).unwrap_or(&Colour::White) != Colour::White {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        colour.insert(start, Colour::Grey);
+        while let Some((v, i)) = stack.pop() {
+            let kids = children.get(v).map(Vec::as_slice).unwrap_or(&[]);
+            if i < kids.len() {
+                stack.push((v, i + 1));
+                let child = kids[i];
+                match colour.get(child).copied().unwrap_or(Colour::White) {
+                    Colour::White => {
+                        colour.insert(child, Colour::Grey);
+                        stack.push((child, 0));
+                    }
+                    Colour::Grey => cycles.push(child.to_string()),
+                    Colour::Black => {}
+                }
+            } else {
+                colour.insert(v, Colour::Black);
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_detection() {
+        let mut g: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        g.insert("a", vec!["b"]);
+        g.insert("b", vec!["c"]);
+        g.insert("c", vec!["a"]);
+        assert_eq!(find_cycles(&g).len(), 1);
+
+        let mut dag: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        dag.insert("a", vec!["b", "c"]);
+        dag.insert("b", vec!["c"]);
+        assert!(find_cycles(&dag).is_empty());
+    }
+
+    #[test]
+    fn diamond_is_not_a_cycle() {
+        let mut g: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        g.insert("a", vec!["b", "c"]);
+        g.insert("b", vec!["d"]);
+        g.insert("c", vec!["d"]);
+        assert!(find_cycles(&g).is_empty());
+    }
+}

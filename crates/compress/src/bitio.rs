@@ -22,7 +22,11 @@ impl BitWriter {
 
     /// Create with a capacity hint for the underlying byte buffer.
     pub fn with_capacity(bytes: usize) -> Self {
-        Self { buf: Vec::with_capacity(bytes), acc: 0, nbits: 0 }
+        Self {
+            buf: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Write the low `n` bits of `value` (n <= 57 so the accumulator never
@@ -30,7 +34,10 @@ impl BitWriter {
     #[inline]
     pub fn write_bits(&mut self, value: u64, n: u32) {
         debug_assert!(n <= 57, "write_bits supports at most 57 bits per call");
-        debug_assert!(n == 64 || value < (1u64 << n), "value does not fit in n bits");
+        debug_assert!(
+            n == 64 || value < (1u64 << n),
+            "value does not fit in n bits"
+        );
         self.acc |= value << self.nbits;
         self.nbits += n;
         while self.nbits >= 8 {
@@ -66,7 +73,12 @@ pub struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, acc: 0, nbits: 0 }
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     #[inline]

@@ -66,7 +66,10 @@ fn code_lengths(freqs: &[u64], max_bits: u32) -> Vec<u8> {
             for (a, b) in items.iter_mut().zip(&pair[1].items) {
                 *a += b;
             }
-            paired.push(Pkg { weight: pair[0].weight + pair[1].weight, items });
+            paired.push(Pkg {
+                weight: pair[0].weight + pair[1].weight,
+                items,
+            });
         }
         let mut merged: Vec<Pkg> = Vec::with_capacity(singletons.len() + paired.len());
         let (mut i, mut j) = (0, 0);
@@ -164,7 +167,10 @@ impl Encoder {
             }
             codes[sym] = rev as u16;
         }
-        Ok(Self { codes, lengths: lengths.to_vec() })
+        Ok(Self {
+            codes,
+            lengths: lengths.to_vec(),
+        })
     }
 
     #[inline]

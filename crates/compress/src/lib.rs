@@ -48,7 +48,10 @@ impl std::fmt::Display for CompressError {
             Self::BadMagic => write!(f, "not an MHZ container"),
             Self::UnknownMethod(m) => write!(f, "unknown compression method {m}"),
             Self::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#x}, got {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#x}, got {actual:#x}"
+                )
             }
         }
     }
@@ -112,7 +115,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
     if pos + 4 > data.len() {
         return Err(CompressError::UnexpectedEof);
     }
-    let expected = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+    let expected = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("fixed-size chunk"));
     pos += 4;
     let payload = &data[pos..];
     let out = match method {
@@ -176,7 +179,12 @@ mod tests {
             })
             .collect();
         let c = compress(&data, Level::Default);
-        assert!(c.len() <= data.len() + 16, "expansion bounded: {} vs {}", c.len(), data.len());
+        assert!(
+            c.len() <= data.len() + 16,
+            "expansion bounded: {} vs {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -217,6 +225,9 @@ mod tests {
         let data: Vec<u8> = (0..20_000u32).map(|i| ((i / 64) % 17) as u8).collect();
         let fast = compress(&data, Level::Fast).len();
         let best = compress(&data, Level::Best).len();
-        assert!(best <= fast + 64, "best ({best}) should not lose to fast ({fast})");
+        assert!(
+            best <= fast + 64,
+            "best ({best}) should not lose to fast ({fast})"
+        );
     }
 }

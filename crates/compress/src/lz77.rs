@@ -19,7 +19,10 @@ const HASH_SIZE: usize = 1 << HASH_BITS;
 pub enum Token {
     Literal(u8),
     /// A back-reference: copy `len` bytes starting `dist` bytes back.
-    Match { len: u16, dist: u16 },
+    Match {
+        len: u16,
+        dist: u16,
+    },
 }
 
 /// Effort knobs derived from the compression level.
@@ -35,21 +38,32 @@ pub struct MatcherConfig {
 
 impl MatcherConfig {
     pub fn fast() -> Self {
-        Self { max_chain: 8, good_enough: 32, lazy: false }
+        Self {
+            max_chain: 8,
+            good_enough: 32,
+            lazy: false,
+        }
     }
     pub fn default_level() -> Self {
-        Self { max_chain: 64, good_enough: 128, lazy: true }
+        Self {
+            max_chain: 64,
+            good_enough: 128,
+            lazy: true,
+        }
     }
     pub fn best() -> Self {
-        Self { max_chain: 1024, good_enough: MAX_MATCH, lazy: true }
+        Self {
+            max_chain: 1024,
+            good_enough: MAX_MATCH,
+            lazy: true,
+        }
     }
 }
 
 #[inline]
 fn hash3(data: &[u8], pos: usize) -> usize {
-    let v = u32::from(data[pos])
-        | (u32::from(data[pos + 1]) << 8)
-        | (u32::from(data[pos + 2]) << 16);
+    let v =
+        u32::from(data[pos]) | (u32::from(data[pos + 1]) << 8) | (u32::from(data[pos + 2]) << 16);
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
 }
 
@@ -60,8 +74,8 @@ fn match_len(data: &[u8], a: usize, b: usize) -> usize {
     let mut l = 0;
     // Compare 8 bytes at a time.
     while l + 8 <= max {
-        let x = u64::from_le_bytes(data[a + l..a + l + 8].try_into().unwrap());
-        let y = u64::from_le_bytes(data[b + l..b + l + 8].try_into().unwrap());
+        let x = u64::from_le_bytes(data[a + l..a + l + 8].try_into().expect("fixed-size chunk"));
+        let y = u64::from_le_bytes(data[b + l..b + l + 8].try_into().expect("fixed-size chunk"));
         let xor = x ^ y;
         if xor != 0 {
             return l + (xor.trailing_zeros() / 8) as usize;
@@ -84,7 +98,12 @@ struct Matcher<'a> {
 
 impl<'a> Matcher<'a> {
     fn new(data: &'a [u8], cfg: MatcherConfig) -> Self {
-        Self { data, head: vec![-1; HASH_SIZE], prev: vec![-1; data.len()], cfg }
+        Self {
+            data,
+            head: vec![-1; HASH_SIZE],
+            prev: vec![-1; data.len()],
+            cfg,
+        }
     }
 
     /// Insert position `pos` into the hash chains (requires pos+2 < len).
@@ -163,7 +182,10 @@ pub fn tokenize(data: &[u8], cfg: MatcherConfig) -> Vec<Token> {
                         }
                     }
                 }
-                out.push(Token::Match { len: len as u16, dist: dist as u16 });
+                out.push(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
                 // Positions inside the match still feed the dictionary.
                 let end = (pos + len).min(data.len());
                 for p in insert_from..end {
@@ -208,7 +230,11 @@ mod tests {
 
     #[test]
     fn empty_and_tiny() {
-        for cfg in [MatcherConfig::fast(), MatcherConfig::default_level(), MatcherConfig::best()] {
+        for cfg in [
+            MatcherConfig::fast(),
+            MatcherConfig::default_level(),
+            MatcherConfig::best(),
+        ] {
             roundtrip(b"", cfg);
             roundtrip(b"a", cfg);
             roundtrip(b"ab", cfg);
@@ -228,7 +254,11 @@ mod tests {
     fn overlapping_match_run() {
         let data = vec![7u8; 1000];
         let toks = tokenize(&data, MatcherConfig::best());
-        assert!(toks.len() < 30, "run of equal bytes should compress to few tokens, got {}", toks.len());
+        assert!(
+            toks.len() < 30,
+            "run of equal bytes should compress to few tokens, got {}",
+            toks.len()
+        );
         assert_eq!(detokenize(&toks, data.len()), data);
     }
 
@@ -243,7 +273,11 @@ mod tests {
                 (x & 0xff) as u8
             })
             .collect();
-        for cfg in [MatcherConfig::fast(), MatcherConfig::default_level(), MatcherConfig::best()] {
+        for cfg in [
+            MatcherConfig::fast(),
+            MatcherConfig::default_level(),
+            MatcherConfig::best(),
+        ] {
             roundtrip(&data, cfg);
         }
     }

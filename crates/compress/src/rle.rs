@@ -101,7 +101,11 @@ mod tests {
     fn long_runs_compress() {
         let data = vec![0u8; 100_000];
         let enc = encode(&data);
-        assert!(enc.len() < 2000, "all-zero input should shrink massively: {}", enc.len());
+        assert!(
+            enc.len() < 2000,
+            "all-zero input should shrink massively: {}",
+            enc.len()
+        );
         assert_eq!(decode(&enc, data.len()).unwrap(), data);
     }
 

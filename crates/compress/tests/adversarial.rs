@@ -19,7 +19,10 @@ fn container(method: u8, orig_len: u64, checksum: u32, payload: &[u8]) -> Vec<u8
 #[test]
 fn unknown_method_byte() {
     let c = container(9, 0, 0, &[]);
-    assert!(matches!(decompress(&c), Err(CompressError::UnknownMethod(9))));
+    assert!(matches!(
+        decompress(&c),
+        Err(CompressError::UnknownMethod(9))
+    ));
 }
 
 #[test]

@@ -140,6 +140,10 @@ impl ModelHub {
         let repo = Hub::open(hub_root)
             .and_then(|h| h.pull(name, dest))
             .map_err(CoreError::Dlv)?;
-        Ok(Self { repo, datasets: BTreeMap::new(), configs: BTreeMap::new() })
+        Ok(Self {
+            repo,
+            datasets: BTreeMap::new(),
+            configs: BTreeMap::new(),
+        })
     }
 }

@@ -7,11 +7,11 @@
 //! a chain of checkpoint snapshots. RD variants scale SD along delta
 //! closeness, group size and version count.
 
+use crate::CoreError;
 use mh_dlv::{CommitRequest, Repository, VersionKey};
 use mh_dnn::{
     fine_tune_setup, synth_dataset, zoo, Dataset, Hyperparams, SynthConfig, Trainer, Weights,
 };
-use crate::CoreError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -87,7 +87,10 @@ pub fn generate_sd(repo: &Repository, cfg: &SdConfig) -> Result<SdRepo, CoreErro
     // Train the base model (the "trained VGG" being fine-tuned).
     let base_net = family_net(cfg.family, cfg.base_classes);
     let trainer = Trainer {
-        hp: Hyperparams { base_lr: 0.08, ..Default::default() },
+        hp: Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        },
         snapshot_every: cfg.iters_per_snapshot,
     };
     let init = Weights::init(&base_net, cfg.seed).map_err(CoreError::Network)?;
@@ -118,7 +121,7 @@ pub fn generate_sd(repo: &Repository, cfg: &SdConfig) -> Result<SdRepo, CoreErro
         )
         .map_err(CoreError::Network)?;
         let mut hp = Hyperparams {
-            base_lr: *[0.05f32, 0.02, 0.01].get(v % 3).unwrap(),
+            base_lr: [0.05f32, 0.02, 0.01][v % 3],
             momentum: if v % 2 == 0 { 0.9 } else { 0.8 },
             ..Default::default()
         };
@@ -126,7 +129,10 @@ pub fn generate_sd(repo: &Repository, cfg: &SdConfig) -> Result<SdRepo, CoreErro
             // Freeze the first conv layer (classic fine-tuning practice).
             hp.layer_lr.insert("conv1".into(), 0.0);
         }
-        let trainer = Trainer { hp: hp.clone(), snapshot_every: cfg.iters_per_snapshot };
+        let trainer = Trainer {
+            hp: hp.clone(),
+            snapshot_every: cfg.iters_per_snapshot,
+        };
         let r = trainer
             .train(&ft_net, ft_init, &ft_data, iters)
             .map_err(CoreError::Network)?;
@@ -136,10 +142,16 @@ pub fn generate_sd(repo: &Repository, cfg: &SdConfig) -> Result<SdRepo, CoreErro
         req.log = r.log.clone();
         req.accuracy = Some(r.final_accuracy);
         req.parent = Some(base_key.to_string());
-        req.hyperparams.insert("base_lr".into(), hp.base_lr.to_string());
-        req.hyperparams.insert("momentum".into(), hp.momentum.to_string());
+        req.hyperparams
+            .insert("base_lr".into(), hp.base_lr.to_string());
+        req.hyperparams
+            .insert("momentum".into(), hp.momentum.to_string());
         req.comment = format!("SD fine-tuned variant {v}");
         versions.push(repo.commit(&req).map_err(CoreError::Dlv)?);
     }
-    Ok(SdRepo { base: base_key, versions, dataset: ft_data })
+    Ok(SdRepo {
+        base: base_key,
+        versions,
+        dataset: ft_data,
+    })
 }

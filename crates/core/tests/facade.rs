@@ -2,6 +2,7 @@
 //! statistical properties (adjacent snapshots close, retrained models far
 //! — the premise the archival experiments rest on).
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use mh_dlv::CommitRequest;
 use mh_dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
 use mh_dql::QueryResult;
@@ -29,7 +30,10 @@ fn facade_init_open_query_archive() {
             seed: 2,
             ..Default::default()
         });
-        let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+        let trainer = Trainer::new(Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        });
         let r = trainer
             .train(&net, Weights::init(&net, 1).unwrap(), &data, 10)
             .unwrap();
@@ -38,7 +42,13 @@ fn facade_init_open_query_archive() {
         req.accuracy = Some(r.final_accuracy);
         hub.repo().commit(&req).unwrap();
         hub.register_dataset("d", data.clone());
-        hub.register_config("myconf", Hyperparams { base_lr: 0.02, ..Default::default() });
+        hub.register_config(
+            "myconf",
+            Hyperparams {
+                base_lr: 0.02,
+                ..Default::default()
+            },
+        );
 
         // DQL through the facade with the registered config.
         let out = hub
@@ -47,7 +57,9 @@ fn facade_init_open_query_archive() {
                    keep top(1, m["loss"], 3)"#,
             )
             .unwrap();
-        let QueryResult::Evaluated(rows) = out else { panic!() };
+        let QueryResult::Evaluated(rows) = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 1);
         assert!(rows[0].kept);
 
@@ -74,7 +86,11 @@ fn sd_statistics_match_the_papers_premise() {
     let repo = mh_dlv::Repository::init(&dir).unwrap();
     let sd = generate_sd(
         &repo,
-        &SdConfig { num_versions: 2, snapshots_per_version: 3, ..Default::default() },
+        &SdConfig {
+            num_versions: 2,
+            snapshots_per_version: 3,
+            ..Default::default()
+        },
     )
     .unwrap();
 

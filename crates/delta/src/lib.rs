@@ -73,7 +73,12 @@ impl Delta {
                 });
             }
         }
-        Self { op, rows, cols, words }
+        Self {
+            op,
+            rows,
+            cols,
+            words,
+        }
     }
 
     /// Recreate the target from the base this delta was computed against.
@@ -126,17 +131,22 @@ impl Delta {
             2 => DeltaOp::Xor,
             _ => return None,
         };
-        let rows = u32::from_le_bytes(data[1..5].try_into().unwrap()) as usize;
-        let cols = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
+        let rows = u32::from_le_bytes(data[1..5].try_into().expect("fixed-size chunk")) as usize;
+        let cols = u32::from_le_bytes(data[5..9].try_into().expect("fixed-size chunk")) as usize;
         let body = &data[9..];
         if body.len() != rows.checked_mul(cols)?.checked_mul(4)? {
             return None;
         }
         let words = body
             .chunks_exact(4)
-            .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+            .map(|c| u32::from_be_bytes(c.try_into().expect("fixed-size chunk")))
             .collect();
-        Some(Self { op, rows, cols, words })
+        Some(Self {
+            op,
+            rows,
+            cols,
+            words,
+        })
     }
 
     /// The raw word bytes (no header), big-endian (so byte-plane splitting

@@ -75,9 +75,7 @@ pub fn diff(repo: &Repository, left: &str, right: &str) -> Result<DiffReport, Dl
     for (n, d) in &lmap {
         match rmap.get(n) {
             None => only_left.push(((*n).clone(), (*d).clone())),
-            Some(rd) if rd != d => {
-                changed.push(((*n).clone(), (*d).clone(), (*rd).clone()))
-            }
+            Some(rd) if rd != d => changed.push(((*n).clone(), (*d).clone(), (*rd).clone())),
             _ => {}
         }
     }
@@ -87,11 +85,7 @@ pub fn diff(repo: &Repository, left: &str, right: &str) -> Result<DiffReport, Dl
         }
     }
 
-    let keys: BTreeSet<&String> = dl
-        .hyperparams
-        .keys()
-        .chain(dr.hyperparams.keys())
-        .collect();
+    let keys: BTreeSet<&String> = dl.hyperparams.keys().chain(dr.hyperparams.keys()).collect();
     let mut hyper_diff = Vec::new();
     for k in keys {
         let lv = dl.hyperparams.get(k).cloned().unwrap_or_default();

@@ -42,7 +42,9 @@ impl Hub {
     /// Open (or create) a hub at `root`.
     pub fn open(root: &Path) -> Result<Self, DlvError> {
         std::fs::create_dir_all(root).map_err(DlvError::Io)?;
-        Ok(Self { root: root.to_path_buf() })
+        Ok(Self {
+            root: root.to_path_buf(),
+        })
     }
 
     /// `dlv publish`: push a repository under a public name (replacing any

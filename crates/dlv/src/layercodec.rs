@@ -7,10 +7,19 @@ use mh_dnn::{Activation, LayerKind, PoolKind};
 /// Serialize a layer kind to a compact `TYPE k=v ...` string.
 pub fn encode_layer(kind: &LayerKind) -> String {
     match kind {
-        LayerKind::Input { channels, height, width } => {
+        LayerKind::Input {
+            channels,
+            height,
+            width,
+        } => {
             format!("INPUT c={channels} h={height} w={width}")
         }
-        LayerKind::Conv { out_channels, kernel, stride, pad } => {
+        LayerKind::Conv {
+            out_channels,
+            kernel,
+            stride,
+            pad,
+        } => {
             format!("CONV out={out_channels} k={kernel} s={stride} p={pad}")
         }
         LayerKind::Pool { kind, size, stride } => {
@@ -27,7 +36,12 @@ pub fn encode_layer(kind: &LayerKind) -> String {
         LayerKind::Flatten => "FLATTEN".to_string(),
         LayerKind::Softmax => "SOFTMAX".to_string(),
         LayerKind::Dropout { rate } => format!("DROPOUT rate={rate}"),
-        LayerKind::Lrn { size, alpha, beta, k } => {
+        LayerKind::Lrn {
+            size,
+            alpha,
+            beta,
+            k,
+        } => {
             format!("NORM size={size} alpha={alpha} beta={beta} k={k}")
         }
     }
@@ -64,13 +78,17 @@ pub fn decode_layer(s: &str) -> Option<LayerKind> {
             size: get_usize("size")?,
             stride: get_usize("s")?,
         },
-        "FULL" => LayerKind::Full { out: get_usize("out")? },
+        "FULL" => LayerKind::Full {
+            out: get_usize("out")?,
+        },
         "RELU" => LayerKind::Act(Activation::ReLU),
         "SIGMOID" => LayerKind::Act(Activation::Sigmoid),
         "TANH" => LayerKind::Act(Activation::Tanh),
         "FLATTEN" => LayerKind::Flatten,
         "SOFTMAX" => LayerKind::Softmax,
-        "DROPOUT" => LayerKind::Dropout { rate: attrs.get("rate")?.parse().ok()? },
+        "DROPOUT" => LayerKind::Dropout {
+            rate: attrs.get("rate")?.parse().ok()?,
+        },
         "NORM" => LayerKind::Lrn {
             size: get_usize("size")?,
             alpha: attrs.get("alpha")?.parse().ok()?,
@@ -88,10 +106,27 @@ mod tests {
     #[test]
     fn roundtrip_all_kinds() {
         let kinds = vec![
-            LayerKind::Input { channels: 3, height: 224, width: 224 },
-            LayerKind::Conv { out_channels: 64, kernel: 3, stride: 1, pad: 1 },
-            LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 },
-            LayerKind::Pool { kind: PoolKind::Avg, size: 3, stride: 1 },
+            LayerKind::Input {
+                channels: 3,
+                height: 224,
+                width: 224,
+            },
+            LayerKind::Conv {
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                size: 2,
+                stride: 2,
+            },
+            LayerKind::Pool {
+                kind: PoolKind::Avg,
+                size: 3,
+                stride: 1,
+            },
             LayerKind::Full { out: 4096 },
             LayerKind::Act(Activation::ReLU),
             LayerKind::Act(Activation::Sigmoid),
@@ -99,7 +134,12 @@ mod tests {
             LayerKind::Flatten,
             LayerKind::Softmax,
             LayerKind::Dropout { rate: 0.5 },
-            LayerKind::Lrn { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 },
+            LayerKind::Lrn {
+                size: 5,
+                alpha: 1e-4,
+                beta: 0.75,
+                k: 2.0,
+            },
         ];
         for k in kinds {
             let s = encode_layer(&k);

@@ -42,8 +42,8 @@ pub mod wfile;
 pub use diff::{diff, DiffReport};
 pub use hub::{Hub, SearchHit};
 pub use repo::{
-    ArchiveConfig, ArchiveId, ArchiveReport, CommitRequest, Repository, SnapshotInfo,
-    VersionDesc, VersionKey, VersionSummary,
+    ArchiveConfig, ArchiveId, ArchiveReport, CommitRequest, Repository, SnapshotInfo, VersionDesc,
+    VersionKey, VersionSummary,
 };
 
 /// Errors from DLV operations.
@@ -86,8 +86,12 @@ impl std::fmt::Display for DlvError {
             Self::NotARepository(p) => write!(f, "not a dlv repository: {p}"),
             Self::EmptyCommit => write!(f, "commit needs at least one snapshot"),
             Self::NothingToArchive => write!(f, "no staged snapshots to archive"),
-            Self::Archived(v) => write!(f, "'{v}' is archived; archived versions cannot be deleted"),
-            Self::HasDescendants(v) => write!(f, "'{v}' has lineage descendants; delete them first"),
+            Self::Archived(v) => {
+                write!(f, "'{v}' is archived; archived versions cannot be deleted")
+            }
+            Self::HasDescendants(v) => {
+                write!(f, "'{v}' has lineage descendants; delete them first")
+            }
         }
     }
 }

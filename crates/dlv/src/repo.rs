@@ -13,9 +13,7 @@ use crate::{hash, DlvError};
 use mh_compress::Level;
 use mh_delta::DeltaOp;
 use mh_dnn::{accuracy, LogEntry, Network, Weights};
-use mh_pas::{
-    apply_alpha_budgets, solver, CostModel, GraphBuilder, RetrievalScheme, SegmentStore,
-};
+use mh_pas::{apply_alpha_budgets, solver, CostModel, GraphBuilder, RetrievalScheme, SegmentStore};
 use mh_store::{Catalog, Column, ColumnType, Predicate, Row, Schema, Value};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -117,13 +115,19 @@ impl VersionDesc {
         };
         let mut h = String::new();
         h.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
-        h.push_str(&format!("<title>dlv desc {}</title>", esc(&self.summary.key.to_string())));
+        h.push_str(&format!(
+            "<title>dlv desc {}</title>",
+            esc(&self.summary.key.to_string())
+        ));
         h.push_str(
             "<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}\
              td,th{border:1px solid #ccc;padding:4px 8px;text-align:left}\
              h2{margin-top:1.2em}</style></head><body>",
         );
-        h.push_str(&format!("<h1>Model {}</h1>", esc(&self.summary.key.to_string())));
+        h.push_str(&format!(
+            "<h1>Model {}</h1>",
+            esc(&self.summary.key.to_string())
+        ));
         h.push_str(&format!(
             "<p><b>architecture</b> {} &middot; <b>parameters</b> {} &middot; \
              <b>accuracy</b> {}</p>",
@@ -136,7 +140,11 @@ impl VersionDesc {
         ));
         h.push_str("<h2>Layers</h2><table><tr><th>name</th><th>definition</th></tr>");
         for (name, def) in &self.layers {
-            h.push_str(&format!("<tr><td>{}</td><td>{}</td></tr>", esc(name), esc(def)));
+            h.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td></tr>",
+                esc(name),
+                esc(def)
+            ));
         }
         h.push_str("</table><h2>Hyperparameters</h2><table>");
         for (k, v) in &self.hyperparams {
@@ -154,8 +162,16 @@ impl VersionDesc {
         h.push_str("</table>");
         if !self.loss_curve.is_empty() {
             // Inline SVG sparkline of the loss curve.
-            let max = self.loss_curve.iter().map(|(_, l)| *l).fold(f64::MIN, f64::max);
-            let min = self.loss_curve.iter().map(|(_, l)| *l).fold(f64::MAX, f64::min);
+            let max = self
+                .loss_curve
+                .iter()
+                .map(|(_, l)| *l)
+                .fold(f64::MIN, f64::max);
+            let min = self
+                .loss_curve
+                .iter()
+                .map(|(_, l)| *l)
+                .fold(f64::MAX, f64::min);
             let (w, ht) = (400.0, 80.0);
             let n = self.loss_curve.len().max(2) as f64;
             let pts: Vec<String> = self
@@ -164,7 +180,11 @@ impl VersionDesc {
                 .enumerate()
                 .map(|(i, (_, l))| {
                     let x = i as f64 / (n - 1.0) * w;
-                    let y = if max > min { ht - (l - min) / (max - min) * ht } else { ht / 2.0 };
+                    let y = if max > min {
+                        ht - (l - min) / (max - min) * ht
+                    } else {
+                        ht / 2.0
+                    };
                     format!("{x:.1},{y:.1}")
                 })
                 .collect();
@@ -237,6 +257,23 @@ impl Default for ArchiveConfig {
 pub struct Repository {
     root: PathBuf,
     catalog: Catalog,
+}
+
+/// Per-snapshot archival budgets (declared θ and achieved recreation cost),
+/// persisted so `fsck` can re-verify them long after the storage graph that
+/// produced the plan is gone. Split out so `archive` can create the table
+/// lazily in repositories that predate it.
+fn create_pas_budget_table(db: &mut mh_store::Database) -> Result<(), mh_store::StoreError> {
+    db.create_table(
+        "pas_budget",
+        Schema::new(vec![
+            Column::not_null("store", ColumnType::Text),
+            Column::not_null("snapshot", ColumnType::Text),
+            Column::not_null("scheme", ColumnType::Text),
+            Column::not_null("budget", ColumnType::Real),
+            Column::not_null("cost", ColumnType::Real),
+        ]),
+    )
 }
 
 fn now_epoch() -> i64 {
@@ -346,10 +383,14 @@ impl Repository {
                     ]),
                 )?;
                 db.table_mut("pas_vertex")?.create_index("mv")?;
+                create_pas_budget_table(db)?;
                 Ok(())
             })
             .map_err(DlvError::Store)?;
-        Ok(Self { root: root.to_path_buf(), catalog })
+        Ok(Self {
+            root: root.to_path_buf(),
+            catalog,
+        })
     }
 
     /// Open an existing repository.
@@ -358,7 +399,10 @@ impl Repository {
             return Err(DlvError::NotARepository(root.display().to_string()));
         }
         let catalog = Catalog::open(&root.join("catalog.mhs")).map_err(DlvError::Store)?;
-        Ok(Self { root: root.to_path_buf(), catalog })
+        Ok(Self {
+            root: root.to_path_buf(),
+            catalog,
+        })
     }
 
     pub fn root(&self) -> &Path {
@@ -411,7 +455,10 @@ impl Repository {
                 .unwrap_or(0)
         });
         let vid = existing + 1;
-        let key = VersionKey { name: req.name.clone(), id: vid };
+        let key = VersionKey {
+            name: req.name.clone(),
+            id: vid,
+        };
 
         // Stage weight blobs outside the catalog transaction.
         let mut snapshot_rows = Vec::new();
@@ -447,7 +494,8 @@ impl Repository {
                     Value::Int(now_epoch()),
                     Value::Text(arch.clone()),
                     Value::Int(params),
-                    acc.map(|a| Value::Real(f64::from(a))).unwrap_or(Value::Null),
+                    acc.map(|a| Value::Real(f64::from(a)))
+                        .unwrap_or(Value::Null),
                     Value::Text(comment.clone()),
                 ])?;
                 for node in network.nodes() {
@@ -722,12 +770,12 @@ impl Repository {
             let store = SegmentStore::open(&self.root.join("pas").join(store_name))
                 .map_err(DlvError::Pas)?;
             let rows = self.catalog.read(|db| {
-                db.table("pas_vertex")
-                    .expect("schema")
-                    .select(
-                        &Predicate::Eq("mv".into(), Value::Int(mv))
-                            .and(Predicate::Eq("snap_idx".into(), Value::Int(info.index as i64))),
-                    )
+                db.table("pas_vertex").expect("schema").select(
+                    &Predicate::Eq("mv".into(), Value::Int(mv)).and(Predicate::Eq(
+                        "snap_idx".into(),
+                        Value::Int(info.index as i64),
+                    )),
+                )
             });
             let mut w = Weights::new();
             for r in rows {
@@ -768,12 +816,12 @@ impl Repository {
             return Err(DlvError::Corrupt("snapshot is not archived"));
         };
         let rows = self.catalog.read(|db| {
-            db.table("pas_vertex")
-                .expect("schema")
-                .select(
-                    &Predicate::Eq("mv".into(), Value::Int(mv))
-                        .and(Predicate::Eq("snap_idx".into(), Value::Int(info.index as i64))),
-                )
+            db.table("pas_vertex").expect("schema").select(
+                &Predicate::Eq("mv".into(), Value::Int(mv)).and(Predicate::Eq(
+                    "snap_idx".into(),
+                    Value::Int(info.index as i64),
+                )),
+            )
         });
         let mapping: BTreeMap<String, mh_pas::VertexId> = rows
             .into_iter()
@@ -791,11 +839,7 @@ impl Repository {
     }
 
     /// `dlv eval`: run the test phase of a version over labelled data.
-    pub fn eval(
-        &self,
-        spec: &str,
-        data: &[(mh_tensor::Tensor3, usize)],
-    ) -> Result<f32, DlvError> {
+    pub fn eval(&self, spec: &str, data: &[(mh_tensor::Tensor3, usize)]) -> Result<f32, DlvError> {
         let net = self.get_network(spec)?;
         let w = self.get_weights(spec, None)?;
         accuracy(&net, &w, data).map_err(DlvError::Network)
@@ -847,10 +891,7 @@ impl Repository {
                 Ok(snaps) => {
                     for s in snaps {
                         if let Err(e) = self.get_weights(&spec, Some(s.index)) {
-                            problems.push(format!(
-                                "{spec}: snapshot {} unreadable ({e})",
-                                s.index
-                            ));
+                            problems.push(format!("{spec}: snapshot {} unreadable ({e})", s.index));
                         }
                     }
                 }
@@ -867,9 +908,7 @@ impl Repository {
                                 problems.push(format!("{spec}: file '{path}' size mismatch"));
                             }
                         }
-                        Err(_) => {
-                            problems.push(format!("{spec}: file object '{path}' missing"))
-                        }
+                        Err(_) => problems.push(format!("{spec}: file object '{path}' missing")),
                     }
                 }
             }
@@ -959,7 +998,10 @@ impl Repository {
                         w = w
                             .layers()
                             .map(|(n, m)| {
-                                (n.clone(), mh_tensor::decode(&mh_tensor::encode(m, scheme, false)))
+                                (
+                                    n.clone(),
+                                    mh_tensor::decode(&mh_tensor::encode(m, scheme, false)),
+                                )
                             })
                             .collect();
                     }
@@ -1013,8 +1055,15 @@ impl Repository {
         // Create the physical store.
         let store_name = format!("store{:04}", self.next_store_index()?);
         let store_dir = self.root.join("pas").join(&store_name);
-        let store = SegmentStore::create(&store_dir, &graph, &plan, &matrices, cfg.delta_op, cfg.level)
-            .map_err(DlvError::Pas)?;
+        let store = SegmentStore::create(
+            &store_dir,
+            &graph,
+            &plan,
+            &matrices,
+            cfg.delta_op,
+            cfg.level,
+        )
+        .map_err(DlvError::Pas)?;
 
         // Flip snapshot locations and record vertex assignments; delete the
         // staged blobs afterwards.
@@ -1028,8 +1077,38 @@ impl Repository {
         }
         let store_name2 = store_name.clone();
         let assignments2 = assignments.clone();
+        // Persist the declared θ budgets and achieved recreation costs so
+        // static verification (`modelhub fsck`) can re-check them later.
+        let scheme_name = match cfg.scheme {
+            RetrievalScheme::Independent => "independent",
+            RetrievalScheme::Parallel => "parallel",
+            RetrievalScheme::Reusable => "reusable",
+        };
+        let budget_rows: Vec<(String, f64, f64)> = graph
+            .snapshots
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    s.budget,
+                    plan.snapshot_recreation_cost(&graph, &s.members, cfg.scheme),
+                )
+            })
+            .collect();
         self.catalog
             .write(move |db| {
+                if !db.table_names().iter().any(|t| t == "pas_budget") {
+                    create_pas_budget_table(db)?;
+                }
+                for (snapshot, budget, cost) in &budget_rows {
+                    db.table_mut("pas_budget")?.insert(vec![
+                        Value::Text(store_name2.clone()),
+                        Value::Text(snapshot.clone()),
+                        Value::Text(scheme_name.to_string()),
+                        Value::Real(*budget),
+                        Value::Real(*cost),
+                    ])?;
+                }
                 for (mv, sidx, lv) in &assignments2 {
                     for (layer, vertex) in lv {
                         db.table_mut("pas_vertex")?.insert(vec![
@@ -1045,9 +1124,7 @@ impl Repository {
                 let rows: Vec<(mh_store::RowId, i64, i64)> = db
                     .table("snapshot")?
                     .scan()
-                    .filter_map(|r| {
-                        Some((r.id, r.values[0].as_int()?, r.values[1].as_int()?))
-                    })
+                    .filter_map(|r| Some((r.id, r.values[0].as_int()?, r.values[1].as_int()?)))
                     .collect();
                 for (rid, mv, sidx) in rows {
                     if staged_files.iter().any(|(m, s, _)| *m == mv && *s == sidx) {
@@ -1108,10 +1185,7 @@ impl Repository {
             return Err(DlvError::Archived(key.to_string()));
         }
         let key_str = key.to_string();
-        let has_children = self
-            .lineage()
-            .iter()
-            .any(|(base, _)| base == &key_str);
+        let has_children = self.lineage().iter().any(|(base, _)| base == &key_str);
         if has_children {
             return Err(DlvError::HasDescendants(key_str));
         }
@@ -1123,7 +1197,15 @@ impl Repository {
         }
         self.catalog
             .write(move |db| {
-                for table in ["node", "edge", "hyper", "metric", "file", "snapshot", "pas_vertex"] {
+                for table in [
+                    "node",
+                    "edge",
+                    "hyper",
+                    "metric",
+                    "file",
+                    "snapshot",
+                    "pas_vertex",
+                ] {
                     let ids: Vec<mh_store::RowId> = db
                         .table(table)?
                         .select(&Predicate::Eq("mv".into(), Value::Int(mv)))
@@ -1138,7 +1220,10 @@ impl Repository {
                 // Lineage rows where this version is the derived side.
                 let ids: Vec<mh_store::RowId> = db
                     .table("parent")?
-                    .select(&Predicate::Eq("derived".into(), Value::Text(key_str.clone())))
+                    .select(&Predicate::Eq(
+                        "derived".into(),
+                        Value::Text(key_str.clone()),
+                    ))
                     .into_iter()
                     .map(|r| r.id)
                     .collect();
@@ -1177,6 +1262,12 @@ pub struct ArchiveReport {
 
 fn sanitize_name(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }

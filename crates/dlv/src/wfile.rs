@@ -41,15 +41,20 @@ pub fn weights_from_bytes(data: &[u8]) -> Result<Weights, DlvError> {
         *pos += n;
         Ok(s)
     };
-    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let count =
+        u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("fixed-size chunk")) as usize;
     let mut w = Weights::new();
     for _ in 0..count {
-        let nlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let nlen =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("fixed-size chunk")) as usize;
         let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
             .map_err(|_| corrupt("bad layer name"))?;
-        let rows = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-        let cols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-        let plen = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let rows =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("fixed-size chunk")) as usize;
+        let cols =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("fixed-size chunk")) as usize;
+        let plen =
+            u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("fixed-size chunk")) as usize;
         let packed = take(&mut pos, plen)?;
         let raw = mh_compress::decompress(packed).map_err(DlvError::Compress)?;
         let m = Matrix::from_le_bytes(rows, cols, &raw)

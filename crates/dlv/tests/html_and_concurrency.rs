@@ -1,5 +1,6 @@
 //! Tests for the HTML front end and concurrent catalog access.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use mh_dlv::{CommitRequest, Repository};
 use mh_dnn::{zoo, Weights};
 use std::path::PathBuf;
@@ -18,10 +19,21 @@ fn quick_commit(repo: &Repository, name: &str) {
     req.snapshots = vec![(0, Weights::init(&req.network, 7).unwrap())];
     req.hyperparams.insert("base_lr".into(), "0.05".into());
     req.log = vec![
-        mh_dnn::LogEntry { iteration: 1, loss: 2.0, accuracy: None, lr: 0.05 },
-        mh_dnn::LogEntry { iteration: 2, loss: 1.5, accuracy: Some(0.4), lr: 0.05 },
+        mh_dnn::LogEntry {
+            iteration: 1,
+            loss: 2.0,
+            accuracy: None,
+            lr: 0.05,
+        },
+        mh_dnn::LogEntry {
+            iteration: 2,
+            loss: 1.5,
+            accuracy: Some(0.4),
+            lr: 0.05,
+        },
     ];
-    req.files.push(("notes <&> weird.txt".into(), b"hello".to_vec()));
+    req.files
+        .push(("notes <&> weird.txt".into(), b"hello".to_vec()));
     repo.commit(&req).unwrap();
 }
 

@@ -1,10 +1,9 @@
 //! End-to-end DLV lifecycle tests: init → commit (with training artifacts)
 //! → list/desc/diff/eval → archive → retrieve from PAS → publish/pull.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use mh_dlv::{diff, ArchiveConfig, CommitRequest, Hub, Repository, VersionKey};
-use mh_dnn::{
-    fine_tune_setup, synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights,
-};
+use mh_dnn::{fine_tune_setup, synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
 use std::path::PathBuf;
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -31,7 +30,10 @@ fn trained_commit(name: &str, seed: u64, iters: usize) -> (CommitRequest, f32) {
     let net = zoo::lenet_s(3);
     let data = small_data();
     let trainer = Trainer {
-        hp: Hyperparams { base_lr: 0.08, ..Default::default() },
+        hp: Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        },
         snapshot_every: iters / 3,
     };
     let init = Weights::init(&net, seed).unwrap();
@@ -46,10 +48,8 @@ fn trained_commit(name: &str, seed: u64, iters: usize) -> (CommitRequest, f32) {
     req.accuracy = Some(result.final_accuracy);
     req.hyperparams.insert("base_lr".into(), "0.08".into());
     req.hyperparams.insert("momentum".into(), "0.9".into());
-    req.files.push((
-        "train.cfg".into(),
-        b"base_lr=0.08\nmomentum=0.9\n".to_vec(),
-    ));
+    req.files
+        .push(("train.cfg".into(), b"base_lr=0.08\nmomentum=0.9\n".to_vec()));
     req.comment = format!("trained {name} for {iters} iters");
     (req, result.final_accuracy)
 }
@@ -109,7 +109,10 @@ fn network_and_weights_roundtrip() {
 
     let net = repo.get_network("m").unwrap();
     assert_eq!(net.num_nodes(), req.network.num_nodes());
-    assert_eq!(net.param_count().unwrap(), req.network.param_count().unwrap());
+    assert_eq!(
+        net.param_count().unwrap(),
+        req.network.param_count().unwrap()
+    );
 
     let latest = repo.get_weights("m", None).unwrap();
     assert_eq!(&latest, &req.snapshots.last().unwrap().1);
@@ -217,7 +220,12 @@ fn archive_exploits_deltas_across_checkpoints() {
     let repo = Repository::init(&dir).unwrap();
     let (req, _) = trained_commit("m", 7, 9);
     repo.commit(&req).unwrap();
-    let report = repo.archive(&ArchiveConfig { alpha: 100.0, ..Default::default() }).unwrap();
+    let report = repo
+        .archive(&ArchiveConfig {
+            alpha: 100.0,
+            ..Default::default()
+        })
+        .unwrap();
 
     // Compare against the naive footprint: every snapshot stored
     // independently (compressed planes of each matrix).
@@ -278,7 +286,10 @@ fn commit_validation() {
     let net = zoo::lenet_s(3);
     // No snapshots.
     let req = CommitRequest::new("m", net.clone());
-    assert!(matches!(repo.commit(&req), Err(mh_dlv::DlvError::EmptyCommit)));
+    assert!(matches!(
+        repo.commit(&req),
+        Err(mh_dlv::DlvError::EmptyCommit)
+    ));
     // Wrong-shape weights.
     let mut req = CommitRequest::new("m", net);
     let other = zoo::alexnet_s(3);
@@ -373,11 +384,15 @@ fn compare_versions_on_dataset() {
     repo.commit(&req_a).unwrap();
     repo.commit(&req_b).unwrap();
     let data = small_data();
-    let cmp = repo.compare("well-trained", "barely-trained", &data.test).unwrap();
+    let cmp = repo
+        .compare("well-trained", "barely-trained", &data.test)
+        .unwrap();
     assert_eq!(cmp.total, data.test.len());
     assert!(cmp.accuracy_a >= cmp.accuracy_b);
     // Self-comparison is exact agreement.
-    let self_cmp = repo.compare("well-trained", "well-trained", &data.test).unwrap();
+    let self_cmp = repo
+        .compare("well-trained", "well-trained", &data.test)
+        .unwrap();
     assert_eq!(self_cmp.agreement, 1.0);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -393,7 +408,10 @@ fn warm_start_resumes_from_checkpoint() {
     let net = repo.get_network("m").unwrap();
     let warm = repo.get_weights("m", Some(1)).unwrap();
     let data = small_data();
-    let trainer = Trainer::new(Hyperparams { base_lr: 0.05, ..Default::default() });
+    let trainer = Trainer::new(Hyperparams {
+        base_lr: 0.05,
+        ..Default::default()
+    });
     let resumed = trainer.train(&net, warm.clone(), &data, 5).unwrap();
     // Resumed run starts from the checkpoint (first-iteration loss well
     // below a cold start's) and can be committed as a new version.
@@ -424,23 +442,39 @@ fn fsck_detects_injected_damage() {
     assert!(repo.metrics("ghost", "loss").is_err());
 
     // Damage 1: corrupt a staged blob.
-    let blob = std::fs::read_dir(dir.join("weights")).unwrap().next().unwrap().unwrap().path();
+    let blob = std::fs::read_dir(dir.join("weights"))
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
     let orig = std::fs::read(&blob).unwrap();
     let mut bad = orig.clone();
     let n = bad.len() - 5;
     bad[n] ^= 0x80;
     std::fs::write(&blob, &bad).unwrap();
     let problems = repo.fsck();
-    assert!(problems.iter().any(|p| p.contains("unreadable")), "{problems:?}");
+    assert!(
+        problems.iter().any(|p| p.contains("unreadable")),
+        "{problems:?}"
+    );
     std::fs::write(&blob, &orig).unwrap();
     assert!(repo.fsck().is_empty());
 
     // Damage 2: delete a content-addressed file object.
-    let obj = std::fs::read_dir(dir.join("objects")).unwrap().next().unwrap().unwrap().path();
+    let obj = std::fs::read_dir(dir.join("objects"))
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
     let saved = std::fs::read(&obj).unwrap();
     std::fs::remove_file(&obj).unwrap();
     let problems = repo.fsck();
-    assert!(problems.iter().any(|p| p.contains("missing")), "{problems:?}");
+    assert!(
+        problems.iter().any(|p| p.contains("missing")),
+        "{problems:?}"
+    );
     std::fs::write(&obj, &saved).unwrap();
 
     // Archived repositories fsck clean too (recreation exercised).

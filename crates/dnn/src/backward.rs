@@ -82,7 +82,9 @@ pub fn backward_from_trace(
     let last = *order.last().ok_or(NetworkError::BadInput)?;
     let last_node = net.node(last)?;
     if !matches!(last_node.kind, LayerKind::Softmax) {
-        return Err(NetworkError::ShapeMismatch { node: last_node.name.clone() });
+        return Err(NetworkError::ShapeMismatch {
+            node: last_node.name.clone(),
+        });
     }
 
     let probs = &trace.activations[&last];
@@ -104,13 +106,18 @@ pub fn backward_from_trace(
         } else {
             let prev = net.prev(id);
             if prev.len() != 1 {
-                return Err(NetworkError::NotAChain { node: net.node(id)?.name.clone() });
+                return Err(NetworkError::NotAChain {
+                    node: net.node(id)?.name.clone(),
+                });
             }
             Ok(trace.activations[&prev[0]].clone())
         }
     };
 
-    let mut grads = Gradients { mats: BTreeMap::new(), loss };
+    let mut grads = Gradients {
+        mats: BTreeMap::new(),
+        loss,
+    };
     // Skip the softmax node itself: `grad` is already dL/d(its input).
     for &id in order.iter().rev().skip(1) {
         let node = net.node(id)?;
@@ -118,9 +125,9 @@ pub fn backward_from_trace(
         grad = match &node.kind {
             LayerKind::Input { .. } => break,
             LayerKind::Full { out } => {
-                let w = weights
-                    .get(&node.name)
-                    .ok_or(NetworkError::ShapeMismatch { node: node.name.clone() })?;
+                let w = weights.get(&node.name).ok_or(NetworkError::ShapeMismatch {
+                    node: node.name.clone(),
+                })?;
                 let n_in = x.len();
                 let mut dw = Matrix::zeros(*out, n_in + 1);
                 let mut dx = Tensor3::zeros(x.shape().0, x.shape().1, x.shape().2);
@@ -142,10 +149,15 @@ pub fn backward_from_trace(
                 grads.mats.insert(node.name.clone(), dw);
                 dx
             }
-            LayerKind::Conv { out_channels, kernel, stride, pad } => {
-                let w = weights
-                    .get(&node.name)
-                    .ok_or(NetworkError::ShapeMismatch { node: node.name.clone() })?;
+            LayerKind::Conv {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+            } => {
+                let w = weights.get(&node.name).ok_or(NetworkError::ShapeMismatch {
+                    node: node.name.clone(),
+                })?;
                 let (in_c, _, _) = x.shape();
                 let (oc, oh, ow) = grad.shape();
                 debug_assert_eq!(oc, *out_channels);
@@ -181,12 +193,7 @@ pub fn backward_from_trace(
                                         let xv = x.get(ic, yy as usize, xx as usize);
                                         dw.set(o, widx, dw.get(o, widx) + g * xv);
                                         let cur = dx.get(ic, yy as usize, xx as usize);
-                                        dx.set(
-                                            ic,
-                                            yy as usize,
-                                            xx as usize,
-                                            cur + g * wrow[widx],
-                                        );
+                                        dx.set(ic, yy as usize, xx as usize, cur + g * wrow[widx]);
                                     }
                                 }
                             }
@@ -214,11 +221,7 @@ pub fn backward_from_trace(
                                     let (mut by, mut bx) = (0, 0);
                                     for ky in 0..*size {
                                         for kx in 0..*size {
-                                            let v = x.get(
-                                                ch,
-                                                oy * stride + ky,
-                                                ox * stride + kx,
-                                            );
+                                            let v = x.get(ch, oy * stride + ky, ox * stride + kx);
                                             if v > best {
                                                 best = v;
                                                 by = oy * stride + ky;
@@ -232,8 +235,7 @@ pub fn backward_from_trace(
                                     let share = g / (*size * *size) as f32;
                                     for ky in 0..*size {
                                         for kx in 0..*size {
-                                            let (yy, xx) =
-                                                (oy * stride + ky, ox * stride + kx);
+                                            let (yy, xx) = (oy * stride + ky, ox * stride + kx);
                                             dx.set(ch, yy, xx, dx.get(ch, yy, xx) + share);
                                         }
                                     }
@@ -252,10 +254,18 @@ pub fn backward_from_trace(
                 // Reshape to the input's shape (identical sizes).
                 Tensor3::from_vec(x.shape().0, x.shape().1, x.shape().2, dx.into_vec())
             }
-            LayerKind::Flatten | LayerKind::Dropout { .. } => {
-                Tensor3::from_vec(x.shape().0, x.shape().1, x.shape().2, grad.as_slice().to_vec())
-            }
-            LayerKind::Lrn { size, alpha, beta, k } => {
+            LayerKind::Flatten | LayerKind::Dropout { .. } => Tensor3::from_vec(
+                x.shape().0,
+                x.shape().1,
+                x.shape().2,
+                grad.as_slice().to_vec(),
+            ),
+            LayerKind::Lrn {
+                size,
+                alpha,
+                beta,
+                k,
+            } => {
                 // y_i = x_i · b_i^{-β} with b_i = k + (α/n)·Σ_{j∈W(i)} x_j².
                 // dx_m = g_m·b_m^{-β} − (2αβ/n)·x_m·Σ_{i: m∈W(i)} g_i·x_i·b_i^{-β-1}.
                 let (c, h, w) = x.shape();
@@ -282,9 +292,8 @@ pub fn backward_from_trace(
                             let xm = x.get(m, yy, xx);
                             let mut cross = 0.0f32;
                             for i in lo..hi {
-                                cross += grad.get(i, yy, xx)
-                                    * x.get(i, yy, xx)
-                                    * b[i].powf(-beta - 1.0);
+                                cross +=
+                                    grad.get(i, yy, xx) * x.get(i, yy, xx) * b[i].powf(-beta - 1.0);
                             }
                             acc -= 2.0 * scale * *beta * xm * cross;
                             dx.set(m, yy, xx, acc);
@@ -309,11 +318,35 @@ mod tests {
 
     fn lenet_micro() -> (Network, Weights) {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 6, width: 6 }).unwrap();
-        n.append("conv1", LayerKind::Conv { out_channels: 2, kernel: 3, stride: 1, pad: 0 })
-            .unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 6,
+                width: 6,
+            },
+        )
+        .unwrap();
+        n.append(
+            "conv1",
+            LayerKind::Conv {
+                out_channels: 2,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+            },
+        )
+        .unwrap();
         n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
-        n.append("pool1", LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 }).unwrap();
+        n.append(
+            "pool1",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                size: 2,
+                stride: 2,
+            },
+        )
+        .unwrap();
         n.append("fc1", LayerKind::Full { out: 3 }).unwrap();
         n.append("prob", LayerKind::Softmax).unwrap();
         let w = Weights::init(&n, 99).unwrap();
@@ -356,12 +389,7 @@ mod tests {
             let g = &grads.mats[layer];
             // Spot-check a grid of entries including the bias column.
             let (rows, cols) = g.shape();
-            for &(r, c) in &[
-                (0, 0),
-                (0, cols - 1),
-                (rows - 1, cols / 2),
-                (rows / 2, 1),
-            ] {
+            for &(r, c) in &[(0, 0), (0, cols - 1), (rows - 1, cols / 2), (rows / 2, 1)] {
                 let num = numeric_grad(&net, &weights, &input, label, layer, r, c);
                 let ana = g.get(r, c);
                 assert!(
@@ -378,7 +406,9 @@ mod tests {
         let input = Tensor3::filled(1, 6, 6, 0.5);
         let label = 2usize;
         let before = cross_entropy(&forward(&net, &weights, &input).unwrap(), label);
-        for _ in 0..10 {
+        // Enough steps to overfit a single point from any reasonable init;
+        // 10 was borderline and depended on the exact initialization draw.
+        for _ in 0..50 {
             let grads = backward(&net, &weights, &input, label).unwrap();
             for (name, g) in &grads.mats {
                 let m = weights.get_mut(name).unwrap();
@@ -389,14 +419,33 @@ mod tests {
         }
         let after = cross_entropy(&forward(&net, &weights, &input).unwrap(), label);
         assert!(after < before, "loss must drop: {before} -> {after}");
-        assert!(after < 0.1, "overfitting one point should reach near-zero loss: {after}");
+        assert!(
+            after < 0.1,
+            "overfitting one point should reach near-zero loss: {after}"
+        );
     }
 
     #[test]
     fn avg_pool_gradient_flows() {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 4, width: 4 }).unwrap();
-        n.append("pool", LayerKind::Pool { kind: PoolKind::Avg, size: 2, stride: 2 }).unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 4,
+                width: 4,
+            },
+        )
+        .unwrap();
+        n.append(
+            "pool",
+            LayerKind::Pool {
+                kind: PoolKind::Avg,
+                size: 2,
+                stride: 2,
+            },
+        )
+        .unwrap();
         n.append("fc", LayerKind::Full { out: 2 }).unwrap();
         n.append("prob", LayerKind::Softmax).unwrap();
         let w = Weights::init(&n, 5).unwrap();
@@ -409,7 +458,15 @@ mod tests {
     #[test]
     fn training_head_must_be_softmax() {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 2, width: 2 }).unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 2,
+                width: 2,
+            },
+        )
+        .unwrap();
         n.append("fc", LayerKind::Full { out: 2 }).unwrap();
         let w = Weights::init(&n, 5).unwrap();
         let x = Tensor3::filled(1, 2, 2, 1.0);
@@ -446,11 +503,36 @@ mod lrn_tests {
 
     fn lrn_net() -> (Network, Weights) {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 6, width: 6 }).unwrap();
-        n.append("conv1", LayerKind::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 0 })
-            .unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 6,
+                width: 6,
+            },
+        )
+        .unwrap();
+        n.append(
+            "conv1",
+            LayerKind::Conv {
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+            },
+        )
+        .unwrap();
         n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
-        n.append("norm1", LayerKind::Lrn { size: 3, alpha: 0.5, beta: 0.75, k: 2.0 }).unwrap();
+        n.append(
+            "norm1",
+            LayerKind::Lrn {
+                size: 3,
+                alpha: 0.5,
+                beta: 0.75,
+                k: 2.0,
+            },
+        )
+        .unwrap();
         n.append("fc1", LayerKind::Full { out: 3 }).unwrap();
         n.append("prob", LayerKind::Softmax).unwrap();
         let w = Weights::init(&n, 31).unwrap();
@@ -507,7 +589,12 @@ mod lrn_tests {
         use crate::interval::{interval_forward, IntervalWeights};
         use mh_tensor::SegmentedMatrix;
         let (net, weights) = lrn_net();
-        let input = Tensor3::from_vec(1, 6, 6, (0..36).map(|i| ((i as f32) * 0.21).cos()).collect());
+        let input = Tensor3::from_vec(
+            1,
+            6,
+            6,
+            (0..36).map(|i| ((i as f32) * 0.21).cos()).collect(),
+        );
         let exact = forward(&net, &weights, &input).unwrap();
         for k in 1..=4usize {
             let mut iw = IntervalWeights::default();
@@ -526,11 +613,36 @@ mod lrn_tests {
         use crate::data::{synth_dataset, SynthConfig};
         use crate::train::{Hyperparams, Trainer};
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 8, width: 8 }).unwrap();
-        n.append("conv1", LayerKind::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 0 })
-            .unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 8,
+                width: 8,
+            },
+        )
+        .unwrap();
+        n.append(
+            "conv1",
+            LayerKind::Conv {
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+            },
+        )
+        .unwrap();
         n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
-        n.append("norm1", LayerKind::Lrn { size: 3, alpha: 1e-2, beta: 0.75, k: 1.0 }).unwrap();
+        n.append(
+            "norm1",
+            LayerKind::Lrn {
+                size: 3,
+                alpha: 1e-2,
+                beta: 0.75,
+                k: 1.0,
+            },
+        )
+        .unwrap();
         n.append("fc1", LayerKind::Full { out: 2 }).unwrap();
         n.append("prob", LayerKind::Softmax).unwrap();
         let data = synth_dataset(&SynthConfig {
@@ -542,11 +654,17 @@ mod lrn_tests {
             noise: 0.05,
             seed: 6,
         });
-        let trainer = Trainer::new(Hyperparams { base_lr: 0.1, ..Default::default() });
+        let trainer = Trainer::new(Hyperparams {
+            base_lr: 0.1,
+            ..Default::default()
+        });
         let init = Weights::init(&n, 5).unwrap();
         let r = trainer.train(&n, init, &data, 40).unwrap();
         let first: f32 = r.log[..5].iter().map(|e| e.loss).sum::<f32>() / 5.0;
         let last: f32 = r.log[35..].iter().map(|e| e.loss).sum::<f32>() / 5.0;
-        assert!(last < first, "loss should fall through LRN: {first} -> {last}");
+        assert!(
+            last < first,
+            "loss should fall through LRN: {first} -> {last}"
+        );
     }
 }

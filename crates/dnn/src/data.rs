@@ -112,7 +112,12 @@ mod tests {
 
     #[test]
     fn dataset_sizes_and_labels() {
-        let cfg = SynthConfig { num_classes: 4, train_per_class: 5, test_per_class: 3, ..Default::default() };
+        let cfg = SynthConfig {
+            num_classes: 4,
+            train_per_class: 5,
+            test_per_class: 3,
+            ..Default::default()
+        };
         let d = synth_dataset(&cfg);
         assert_eq!(d.train.len(), 20);
         assert_eq!(d.test.len(), 12);
@@ -124,7 +129,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = SynthConfig { seed: 9, ..Default::default() };
+        let cfg = SynthConfig {
+            seed: 9,
+            ..Default::default()
+        };
         let a = synth_dataset(&cfg);
         let b = synth_dataset(&cfg);
         assert_eq!(a.train[0].0, b.train[0].0);
@@ -136,11 +144,20 @@ mod tests {
     fn classes_are_distinguishable() {
         // Mean images of different classes should differ much more than two
         // samples of the same class differ from their mean.
-        let cfg = SynthConfig { num_classes: 2, noise: 0.05, train_per_class: 20, ..Default::default() };
+        let cfg = SynthConfig {
+            num_classes: 2,
+            noise: 0.05,
+            train_per_class: 20,
+            ..Default::default()
+        };
         let d = synth_dataset(&cfg);
         let mean = |label: usize| -> Vec<f32> {
-            let imgs: Vec<&Tensor3> =
-                d.train.iter().filter(|(_, l)| *l == label).map(|(x, _)| x).collect();
+            let imgs: Vec<&Tensor3> = d
+                .train
+                .iter()
+                .filter(|(_, l)| *l == label)
+                .map(|(x, _)| x)
+                .collect();
             let n = imgs.len() as f32;
             let mut acc = vec![0.0f32; imgs[0].len()];
             for img in imgs {

@@ -34,7 +34,9 @@ pub fn forward_trace(
         } else {
             let prev = net.prev(id);
             if prev.len() != 1 {
-                return Err(NetworkError::NotAChain { node: node.name.clone() });
+                return Err(NetworkError::NotAChain {
+                    node: node.name.clone(),
+                });
             }
             acts[&prev[0]].clone()
         };
@@ -43,24 +45,19 @@ pub fn forward_trace(
         last = id;
     }
     let output = acts[&last].clone();
-    Ok(Trace { activations: acts, output })
+    Ok(Trace {
+        activations: acts,
+        output,
+    })
 }
 
 /// Run the network forward, returning only the output activation.
-pub fn forward(
-    net: &Network,
-    weights: &Weights,
-    input: &Tensor3,
-) -> Result<Tensor3, NetworkError> {
+pub fn forward(net: &Network, weights: &Weights, input: &Tensor3) -> Result<Tensor3, NetworkError> {
     Ok(forward_trace(net, weights, input)?.output)
 }
 
 /// Predict the class label (argmax of the final activation).
-pub fn predict(
-    net: &Network,
-    weights: &Weights,
-    input: &Tensor3,
-) -> Result<usize, NetworkError> {
+pub fn predict(net: &Network, weights: &Weights, input: &Tensor3) -> Result<usize, NetworkError> {
     Ok(forward(net, weights, input)?.argmax())
 }
 
@@ -89,15 +86,26 @@ pub fn apply_layer(
     weights: &Weights,
     x: &Tensor3,
 ) -> Result<Tensor3, NetworkError> {
-    let missing = || NetworkError::ShapeMismatch { node: name.to_string() };
+    let missing = || NetworkError::ShapeMismatch {
+        node: name.to_string(),
+    };
     match *kind {
-        LayerKind::Input { channels, height, width } => {
+        LayerKind::Input {
+            channels,
+            height,
+            width,
+        } => {
             if x.shape() != (channels, height, width) {
                 return Err(missing());
             }
             Ok(x.clone())
         }
-        LayerKind::Conv { out_channels, kernel, stride, pad } => {
+        LayerKind::Conv {
+            out_channels,
+            kernel,
+            stride,
+            pad,
+        } => {
             let w = weights.get(name).ok_or_else(missing)?;
             conv_forward(x, w, out_channels, kernel, stride, pad, name)
         }
@@ -120,12 +128,15 @@ pub fn apply_layer(
             Ok(y)
         }
         LayerKind::Act(a) => Ok(x.map(|v| activate(a, v))),
-        LayerKind::Flatten => {
-            Ok(Tensor3::from_vec(x.len(), 1, 1, x.as_slice().to_vec()))
-        }
+        LayerKind::Flatten => Ok(Tensor3::from_vec(x.len(), 1, 1, x.as_slice().to_vec())),
         LayerKind::Softmax => Ok(softmax(x)),
         LayerKind::Dropout { .. } => Ok(x.clone()), // identity at inference
-        LayerKind::Lrn { size, alpha, beta, k } => Ok(lrn_forward(x, size, alpha, beta, k)),
+        LayerKind::Lrn {
+            size,
+            alpha,
+            beta,
+            k,
+        } => Ok(lrn_forward(x, size, alpha, beta, k)),
     }
 }
 
@@ -195,12 +206,21 @@ fn conv_forward(
     name: &str,
 ) -> Result<Tensor3, NetworkError> {
     let (in_c, h, win) = x.shape();
-    let kind = LayerKind::Conv { out_channels, kernel, stride, pad };
+    let kind = LayerKind::Conv {
+        out_channels,
+        kernel,
+        stride,
+        pad,
+    };
     let (oc, oh, ow) = kind
         .output_shape((in_c, h, win))
-        .ok_or(NetworkError::ShapeMismatch { node: name.to_string() })?;
+        .ok_or(NetworkError::ShapeMismatch {
+            node: name.to_string(),
+        })?;
     if w.shape() != (out_channels, in_c * kernel * kernel + 1) {
-        return Err(NetworkError::ShapeMismatch { node: name.to_string() });
+        return Err(NetworkError::ShapeMismatch {
+            node: name.to_string(),
+        });
     }
     let mut y = Tensor3::zeros(oc, oh, ow);
     let bias_col = in_c * kernel * kernel;
@@ -276,15 +296,42 @@ mod tests {
 
     fn chain() -> (Network, Weights) {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 4, width: 4 }).unwrap();
-        n.append("conv1", LayerKind::Conv { out_channels: 1, kernel: 2, stride: 1, pad: 0 })
-            .unwrap();
-        n.append("pool1", LayerKind::Pool { kind: PoolKind::Max, size: 3, stride: 1 }).unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 4,
+                width: 4,
+            },
+        )
+        .unwrap();
+        n.append(
+            "conv1",
+            LayerKind::Conv {
+                out_channels: 1,
+                kernel: 2,
+                stride: 1,
+                pad: 0,
+            },
+        )
+        .unwrap();
+        n.append(
+            "pool1",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                size: 3,
+                stride: 1,
+            },
+        )
+        .unwrap();
         n.append("fc1", LayerKind::Full { out: 2 }).unwrap();
         n.append("prob", LayerKind::Softmax).unwrap();
         let mut w = Weights::new();
         // conv kernel = all ones, bias 1.
-        w.insert("conv1", Matrix::from_vec(1, 5, vec![1.0, 1.0, 1.0, 1.0, 1.0]));
+        w.insert(
+            "conv1",
+            Matrix::from_vec(1, 5, vec![1.0, 1.0, 1.0, 1.0, 1.0]),
+        );
         w.insert("fc1", Matrix::from_vec(2, 2, vec![1.0, 0.0, -1.0, 0.0]));
         (n, w)
     }

@@ -25,7 +25,10 @@ pub struct IntervalTensor {
 impl IntervalTensor {
     /// Exact (zero-width) interval around a tensor.
     pub fn exact(t: &Tensor3) -> Self {
-        Self { lo: t.clone(), hi: t.clone() }
+        Self {
+            lo: t.clone(),
+            hi: t.clone(),
+        }
     }
 
     pub fn shape(&self) -> (usize, usize, usize) {
@@ -119,7 +122,9 @@ pub fn interval_forward(
         } else {
             let prev = net.prev(id);
             if prev.len() != 1 {
-                return Err(NetworkError::NotAChain { node: node.name.clone() });
+                return Err(NetworkError::NotAChain {
+                    node: node.name.clone(),
+                });
             }
             acts[&prev[0]].clone()
         };
@@ -136,7 +141,9 @@ fn apply_interval_layer(
     iw: &IntervalWeights,
     x: &IntervalTensor,
 ) -> Result<IntervalTensor, NetworkError> {
-    let missing = || NetworkError::ShapeMismatch { node: name.to_string() };
+    let missing = || NetworkError::ShapeMismatch {
+        node: name.to_string(),
+    };
     match *kind {
         LayerKind::Input { .. } => Ok(x.clone()),
         LayerKind::Full { out } => {
@@ -153,8 +160,7 @@ fn apply_interval_layer(
                 let mut acc_l = rl[n_in];
                 let mut acc_h = rh[n_in];
                 for i in 0..n_in {
-                    let (pl, ph) =
-                        imul(rl[i], rh[i], x.lo.as_slice()[i], x.hi.as_slice()[i]);
+                    let (pl, ph) = imul(rl[i], rh[i], x.lo.as_slice()[i], x.hi.as_slice()[i]);
                     acc_l += pl;
                     acc_h += ph;
                 }
@@ -163,7 +169,12 @@ fn apply_interval_layer(
             }
             Ok(IntervalTensor { lo, hi })
         }
-        LayerKind::Conv { out_channels, kernel, stride, pad } => {
+        LayerKind::Conv {
+            out_channels,
+            kernel,
+            stride,
+            pad,
+        } => {
             let (wl, wh) = iw.get(name).ok_or_else(missing)?;
             let in_shape = x.lo.shape();
             let (oc, oh, ow) = kind.output_shape(in_shape).ok_or_else(missing)?;
@@ -188,10 +199,8 @@ fn apply_interval_layer(
                                 for kx in 0..kernel {
                                     let yy = y0 + ky as isize;
                                     let xx = x0 + kx as isize;
-                                    let (xl, xh) = (
-                                        x.lo.get_padded(ic, yy, xx),
-                                        x.hi.get_padded(ic, yy, xx),
-                                    );
+                                    let (xl, xh) =
+                                        (x.lo.get_padded(ic, yy, xx), x.hi.get_padded(ic, yy, xx));
                                     if xl == 0.0 && xh == 0.0 {
                                         continue;
                                     }
@@ -209,7 +218,11 @@ fn apply_interval_layer(
             }
             Ok(IntervalTensor { lo, hi })
         }
-        LayerKind::Pool { kind: pk, size, stride } => {
+        LayerKind::Pool {
+            kind: pk,
+            size,
+            stride,
+        } => {
             let (c, _, _) = x.lo.shape();
             let (_, oh, ow) = kind.output_shape(x.lo.shape()).ok_or_else(missing)?;
             let mut lo = Tensor3::zeros(c, oh, ow);
@@ -258,7 +271,12 @@ fn apply_interval_layer(
                 hi: Tensor3::from_vec(n, 1, 1, x.hi.as_slice().to_vec()),
             })
         }
-        LayerKind::Lrn { size, alpha, beta, k } => {
+        LayerKind::Lrn {
+            size,
+            alpha,
+            beta,
+            k,
+        } => {
             // y = x · b^{-β} with b ≥ k > 0. Bound b from the squared
             // interval extremes, then take the four-corner extremes of the
             // quotient (x may straddle zero, so all corners matter).
@@ -287,8 +305,18 @@ fn apply_interval_layer(
                         let (f_lo, f_hi) = (b_hi.powf(-beta), b_lo.powf(-beta)); // decreasing
                         let (xl, xh) = (x.lo.get(i, yy, xx), x.hi.get(i, yy, xx));
                         let corners = [xl * f_lo, xl * f_hi, xh * f_lo, xh * f_hi];
-                        lo.set(i, yy, xx, corners.iter().copied().fold(f32::INFINITY, f32::min));
-                        hi.set(i, yy, xx, corners.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+                        lo.set(
+                            i,
+                            yy,
+                            xx,
+                            corners.iter().copied().fold(f32::INFINITY, f32::min),
+                        );
+                        hi.set(
+                            i,
+                            yy,
+                            xx,
+                            corners.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+                        );
                     }
                 }
             }
@@ -315,9 +343,17 @@ fn apply_interval_layer(
                 let dl = exp_lo[i] + (sum_hi - exp_hi[i]);
                 let l = if dl > 0.0 { exp_lo[i] / dl } else { 0.0 };
                 let dh = exp_hi[i] + (sum_lo - exp_lo[i]);
-                let h = if dh > 0.0 { (exp_hi[i] / dh).min(1.0) } else { 1.0 };
-                lo.push(l.min(h));
-                hi.push(h);
+                let h = if dh > 0.0 {
+                    (exp_hi[i] / dh).min(1.0)
+                } else {
+                    1.0
+                };
+                // The denominators above re-associate the exp sum, so the
+                // ratios can land a few ulps on the wrong side of the true
+                // worst case; widen outward to keep the bounds sound.
+                let slack = 4.0 * f32::EPSILON;
+                lo.push((l.min(h) * (1.0 - slack)).max(0.0));
+                hi.push((h * (1.0 + slack)).min(1.0));
             }
             Ok(IntervalTensor {
                 lo: Tensor3::from_vec(n, 1, 1, lo),
@@ -369,11 +405,35 @@ mod tests {
 
     fn tiny() -> (Network, Weights) {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 6, width: 6 }).unwrap();
-        n.append("conv1", LayerKind::Conv { out_channels: 3, kernel: 3, stride: 1, pad: 1 })
-            .unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 6,
+                width: 6,
+            },
+        )
+        .unwrap();
+        n.append(
+            "conv1",
+            LayerKind::Conv {
+                out_channels: 3,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+        )
+        .unwrap();
         n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
-        n.append("pool1", LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 }).unwrap();
+        n.append(
+            "pool1",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                size: 2,
+                stride: 2,
+            },
+        )
+        .unwrap();
         n.append("fc1", LayerKind::Full { out: 4 }).unwrap();
         n.append("prob", LayerKind::Softmax).unwrap();
         let w = Weights::init(&n, 11).unwrap();
@@ -381,7 +441,12 @@ mod tests {
     }
 
     fn sample_input() -> Tensor3 {
-        Tensor3::from_vec(1, 6, 6, (0..36).map(|i| ((i as f32) * 0.41).cos()).collect())
+        Tensor3::from_vec(
+            1,
+            6,
+            6,
+            (0..36).map(|i| ((i as f32) * 0.41).cos()).collect(),
+        )
     }
 
     #[test]
@@ -432,7 +497,11 @@ mod tests {
             widths.push(iv.max_width());
         }
         assert!(widths[0] >= widths[1] && widths[1] >= widths[2] && widths[2] >= widths[3]);
-        assert!(widths[3] < 1e-5, "full precision width ~0, got {}", widths[3]);
+        assert!(
+            widths[3] < 1e-5,
+            "full precision width ~0, got {}",
+            widths[3]
+        );
     }
 
     #[test]
@@ -470,8 +539,13 @@ mod tests {
             lo: Tensor3::from_vec(3, 1, 1, vec![1.0, -1.0, 0.0]),
             hi: Tensor3::from_vec(3, 1, 1, vec![1.5, -0.5, 0.5]),
         };
-        let out = apply_interval_layer(&LayerKind::Softmax, "p", &IntervalWeights::default(), &iv_in)
-            .unwrap();
+        let out = apply_interval_layer(
+            &LayerKind::Softmax,
+            "p",
+            &IntervalWeights::default(),
+            &iv_in,
+        )
+        .unwrap();
         assert!(out.is_valid());
         for (l, h) in out.lo.as_slice().iter().zip(out.hi.as_slice()) {
             assert!(*l >= 0.0 && *h <= 1.0 && l <= h);

@@ -21,11 +21,24 @@ pub enum Activation {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LayerKind {
     /// Data entry point with a fixed shape (channels, height, width).
-    Input { channels: usize, height: usize, width: usize },
+    Input {
+        channels: usize,
+        height: usize,
+        width: usize,
+    },
     /// 2-D convolution with zero padding. Parametric.
-    Conv { out_channels: usize, kernel: usize, stride: usize, pad: usize },
+    Conv {
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    },
     /// Spatial pooling. Non-parametric.
-    Pool { kind: PoolKind, size: usize, stride: usize },
+    Pool {
+        kind: PoolKind,
+        size: usize,
+        stride: usize,
+    },
     /// Fully-connected ("ip"/"full") layer. Parametric.
     Full { out: usize },
     /// Elementwise activation. Non-parametric.
@@ -39,7 +52,12 @@ pub enum LayerKind {
     /// Local response normalization across channels (AlexNet's "norm"
     /// layer): `y_i = x_i / (k + (alpha/size)·Σ_{j∈window(i)} x_j²)^beta`.
     /// Non-parametric.
-    Lrn { size: usize, alpha: f32, beta: f32, k: f32 },
+    Lrn {
+        size: usize,
+        alpha: f32,
+        beta: f32,
+        k: f32,
+    },
 }
 
 impl LayerKind {
@@ -67,14 +85,20 @@ impl LayerKind {
     }
 
     /// Output shape for a given input shape, or None if incompatible.
-    pub fn output_shape(
-        &self,
-        input: (usize, usize, usize),
-    ) -> Option<(usize, usize, usize)> {
+    pub fn output_shape(&self, input: (usize, usize, usize)) -> Option<(usize, usize, usize)> {
         let (c, h, w) = input;
         match *self {
-            LayerKind::Input { channels, height, width } => Some((channels, height, width)),
-            LayerKind::Conv { out_channels, kernel, stride, pad } => {
+            LayerKind::Input {
+                channels,
+                height,
+                width,
+            } => Some((channels, height, width)),
+            LayerKind::Conv {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+            } => {
                 if stride == 0 || kernel == 0 {
                     return None;
                 }
@@ -83,7 +107,11 @@ impl LayerKind {
                 if he < kernel || we < kernel {
                     return None;
                 }
-                Some((out_channels, (he - kernel) / stride + 1, (we - kernel) / stride + 1))
+                Some((
+                    out_channels,
+                    (he - kernel) / stride + 1,
+                    (we - kernel) / stride + 1,
+                ))
             }
             LayerKind::Pool { size, stride, .. } => {
                 if stride == 0 || size == 0 || h < size || w < size {
@@ -106,9 +134,11 @@ impl LayerKind {
     pub fn param_shape(&self, input: (usize, usize, usize)) -> Option<(usize, usize)> {
         let (c, _, _) = input;
         match *self {
-            LayerKind::Conv { out_channels, kernel, .. } => {
-                Some((out_channels, c * kernel * kernel + 1))
-            }
+            LayerKind::Conv {
+                out_channels,
+                kernel,
+                ..
+            } => Some((out_channels, c * kernel * kernel + 1)),
             LayerKind::Full { out } => {
                 let (ci, hi, wi) = input;
                 Some((out, ci * hi * wi + 1))
@@ -129,16 +159,30 @@ mod tests {
 
     #[test]
     fn conv_shapes() {
-        let conv = LayerKind::Conv { out_channels: 20, kernel: 5, stride: 1, pad: 0 };
+        let conv = LayerKind::Conv {
+            out_channels: 20,
+            kernel: 5,
+            stride: 1,
+            pad: 0,
+        };
         assert_eq!(conv.output_shape((1, 28, 28)), Some((20, 24, 24)));
         assert_eq!(conv.param_shape((1, 28, 28)), Some((20, 26)));
-        let conv_s2 = LayerKind::Conv { out_channels: 8, kernel: 3, stride: 2, pad: 1 };
+        let conv_s2 = LayerKind::Conv {
+            out_channels: 8,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
         assert_eq!(conv_s2.output_shape((3, 12, 12)), Some((8, 6, 6)));
     }
 
     #[test]
     fn pool_shapes() {
-        let pool = LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 };
+        let pool = LayerKind::Pool {
+            kind: PoolKind::Max,
+            size: 2,
+            stride: 2,
+        };
         assert_eq!(pool.output_shape((20, 24, 24)), Some((20, 12, 12)));
         assert_eq!(pool.param_count((20, 24, 24)), 0);
         assert!(!pool.is_parametric());
@@ -156,8 +200,18 @@ mod tests {
         // LeNet in Fig. 2: conv1(20@5x5 on 1ch), conv2(50@5x5 on 20ch),
         // ip1(500 on 50*4*4), ip2(10 on 500). Paper: |W| = 4.31e5 (431,080
         // including biases).
-        let conv1 = LayerKind::Conv { out_channels: 20, kernel: 5, stride: 1, pad: 0 };
-        let conv2 = LayerKind::Conv { out_channels: 50, kernel: 5, stride: 1, pad: 0 };
+        let conv1 = LayerKind::Conv {
+            out_channels: 20,
+            kernel: 5,
+            stride: 1,
+            pad: 0,
+        };
+        let conv2 = LayerKind::Conv {
+            out_channels: 50,
+            kernel: 5,
+            stride: 1,
+            pad: 0,
+        };
         let ip1 = LayerKind::Full { out: 500 };
         let ip2 = LayerKind::Full { out: 10 };
         let total = conv1.param_count((1, 28, 28))
@@ -169,9 +223,18 @@ mod tests {
 
     #[test]
     fn invalid_shapes_rejected() {
-        let conv = LayerKind::Conv { out_channels: 4, kernel: 7, stride: 1, pad: 0 };
+        let conv = LayerKind::Conv {
+            out_channels: 4,
+            kernel: 7,
+            stride: 1,
+            pad: 0,
+        };
         assert_eq!(conv.output_shape((1, 5, 5)), None);
-        let pool = LayerKind::Pool { kind: PoolKind::Avg, size: 3, stride: 0 };
+        let pool = LayerKind::Pool {
+            kind: PoolKind::Avg,
+            size: 3,
+            stride: 0,
+        };
         assert_eq!(pool.output_shape((1, 5, 5)), None);
     }
 
@@ -180,7 +243,12 @@ mod tests {
         assert_eq!(LayerKind::Softmax.type_name(), "SOFTMAX");
         assert_eq!(LayerKind::Act(Activation::ReLU).type_name(), "RELU");
         assert_eq!(
-            LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 }.type_name(),
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                size: 2,
+                stride: 2
+            }
+            .type_name(),
             "POOL"
         );
     }

@@ -30,7 +30,9 @@ pub use data::{synth_dataset, Dataset, SynthConfig};
 pub use forward::{accuracy, forward, forward_trace, predict};
 pub use interval::{determined_top_k, interval_forward, IntervalTensor, IntervalWeights};
 pub use layer::{Activation, LayerKind, PoolKind};
-pub use metrics::{compare_models, confusion_matrix, top_k_accuracy, ConfusionMatrix, ModelComparison};
+pub use metrics::{
+    compare_models, confusion_matrix, top_k_accuracy, ConfusionMatrix, ModelComparison,
+};
 pub use network::{Network, NetworkError, Node, NodeId};
 pub use train::{fine_tune_setup, Hyperparams, LogEntry, TrainResult, Trainer};
 pub use weights::Weights;

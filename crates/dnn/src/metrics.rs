@@ -173,7 +173,10 @@ mod tests {
             seed: 4,
             ..Default::default()
         });
-        let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+        let trainer = Trainer::new(Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        });
         let init = Weights::init(&net, seed).unwrap();
         let r = trainer.train(&net, init, &data, iters).unwrap();
         (net, r.weights, data)
@@ -198,7 +201,10 @@ mod tests {
         let t2 = top_k_accuracy(&net, &w, &data.test, 2).unwrap();
         let t3 = top_k_accuracy(&net, &w, &data.test, 3).unwrap();
         assert!(t1 <= t2 && t2 <= t3);
-        assert!((t3 - 1.0).abs() < 1e-9, "top-3 of 3 classes is always a hit");
+        assert!(
+            (t3 - 1.0).abs() < 1e-9,
+            "top-3 of 3 classes is always a hit"
+        );
     }
 
     #[test]

@@ -81,7 +81,14 @@ impl Network {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.nodes.insert(id, Node { id, name: name.to_string(), kind });
+        self.nodes.insert(
+            id,
+            Node {
+                id,
+                name: name.to_string(),
+                kind,
+            },
+        );
         Ok(id)
     }
 
@@ -179,10 +186,11 @@ impl Network {
 
     /// Topological order, or `Cyclic` if none exists.
     pub fn topo_order(&self) -> Result<Vec<NodeId>, NetworkError> {
-        let mut indeg: BTreeMap<NodeId, usize> =
-            self.nodes.keys().map(|&id| (id, 0)).collect();
+        let mut indeg: BTreeMap<NodeId, usize> = self.nodes.keys().map(|&id| (id, 0)).collect();
         for &(_, t) in &self.edges {
-            *indeg.get_mut(&t).expect("edge endpoints validated on insert") += 1;
+            *indeg
+                .get_mut(&t)
+                .expect("edge endpoints validated on insert") += 1;
         }
         let mut q: VecDeque<NodeId> = indeg
             .iter()
@@ -193,7 +201,9 @@ impl Network {
         while let Some(id) = q.pop_front() {
             order.push(id);
             for t in self.next(id) {
-                let d = indeg.get_mut(&t).unwrap();
+                let d = indeg
+                    .get_mut(&t)
+                    .expect("edge target has an indegree entry");
                 *d -= 1;
                 if *d == 0 {
                     q.push_back(t);
@@ -236,17 +246,21 @@ impl Network {
             } else {
                 let prev = self.prev(id);
                 if prev.len() != 1 {
-                    return Err(NetworkError::NotAChain { node: node.name.clone() });
+                    return Err(NetworkError::NotAChain {
+                        node: node.name.clone(),
+                    });
                 }
                 let (_, out) = *shapes
                     .get(&prev[0])
                     .ok_or(NetworkError::NoSuchNode(prev[0]))?;
                 out
             };
-            let out_shape = node
-                .kind
-                .output_shape(in_shape)
-                .ok_or(NetworkError::ShapeMismatch { node: node.name.clone() })?;
+            let out_shape =
+                node.kind
+                    .output_shape(in_shape)
+                    .ok_or(NetworkError::ShapeMismatch {
+                        node: node.name.clone(),
+                    })?;
             shapes.insert(id, (in_shape, out_shape));
         }
         Ok(shapes)
@@ -363,7 +377,11 @@ impl Network {
             if !seen.insert(id) {
                 continue;
             }
-            let nbrs = if forward { self.next(id) } else { self.prev(id) };
+            let nbrs = if forward {
+                self.next(id)
+            } else {
+                self.prev(id)
+            };
             q.extend(nbrs);
         }
         seen
@@ -413,11 +431,35 @@ mod tests {
 
     fn tiny_chain() -> Network {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 8, width: 8 }).unwrap();
-        n.append("conv1", LayerKind::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 0 })
-            .unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 8,
+                width: 8,
+            },
+        )
+        .unwrap();
+        n.append(
+            "conv1",
+            LayerKind::Conv {
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+            },
+        )
+        .unwrap();
         n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
-        n.append("pool1", LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 }).unwrap();
+        n.append(
+            "pool1",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                size: 2,
+                stride: 2,
+            },
+        )
+        .unwrap();
         n.append("fc1", LayerKind::Full { out: 10 }).unwrap();
         n.append("prob", LayerKind::Softmax).unwrap();
         n
@@ -464,7 +506,9 @@ mod tests {
     fn insert_after_rewires() {
         let mut n = tiny_chain();
         let conv = n.node_by_name("conv1").unwrap().id;
-        let id = n.insert_after(conv, "bnorm", LayerKind::Act(Activation::Tanh)).unwrap();
+        let id = n
+            .insert_after(conv, "bnorm", LayerKind::Act(Activation::Tanh))
+            .unwrap();
         assert_eq!(n.next(conv), vec![id]);
         let relu = n.node_by_name("relu1").unwrap().id;
         assert_eq!(n.next(id), vec![relu]);
@@ -497,16 +541,33 @@ mod tests {
     #[test]
     fn architecture_string_collapses_repeats() {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 28, width: 28 }).unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 28,
+                width: 28,
+            },
+        )
+        .unwrap();
         for i in 0..2 {
             n.append(
                 &format!("conv{i}"),
-                LayerKind::Conv { out_channels: 8, kernel: 5, stride: 1, pad: 0 },
+                LayerKind::Conv {
+                    out_channels: 8,
+                    kernel: 5,
+                    stride: 1,
+                    pad: 0,
+                },
             )
             .unwrap();
             n.append(
                 &format!("pool{i}"),
-                LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 },
+                LayerKind::Pool {
+                    kind: PoolKind::Max,
+                    size: 2,
+                    stride: 2,
+                },
             )
             .unwrap();
         }

@@ -65,18 +65,19 @@ pub struct TrainResult {
 }
 
 /// SGD trainer with momentum, weight decay and snapshotting.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Trainer {
     pub hp: Hyperparams,
     /// Checkpoint every N iterations (0 = only the final snapshot).
     pub snapshot_every: usize,
 }
 
-
 impl Trainer {
     pub fn new(hp: Hyperparams) -> Self {
-        Self { hp, snapshot_every: 0 }
+        Self {
+            hp,
+            snapshot_every: 0,
+        }
     }
 
     /// Train for `iterations` minibatch steps starting from `init`.
@@ -129,8 +130,7 @@ impl Trainer {
                 let vs = v.as_mut_slice();
                 let ws = w.as_mut_slice();
                 for ((vi, wi), gi) in vs.iter_mut().zip(ws.iter_mut()).zip(g.as_slice()) {
-                    *vi = self.hp.momentum * *vi
-                        - eff_lr * (gi + self.hp.weight_decay * *wi);
+                    *vi = self.hp.momentum * *vi - eff_lr * (gi + self.hp.weight_decay * *wi);
                     *wi += *vi;
                 }
             }
@@ -141,7 +141,12 @@ impl Trainer {
             } else {
                 None
             };
-            log.push(LogEntry { iteration: iter + 1, loss: acc.loss, accuracy: acc_now, lr });
+            log.push(LogEntry {
+                iteration: iter + 1,
+                loss: acc.loss,
+                accuracy: acc_now,
+                lr,
+            });
             if snap_due {
                 snapshots.push((iter + 1, weights.clone()));
             }
@@ -150,7 +155,12 @@ impl Trainer {
         if snapshots.last().map(|(i, _)| *i) != Some(iterations) {
             snapshots.push((iterations, weights.clone()));
         }
-        Ok(TrainResult { weights, snapshots, log, final_accuracy })
+        Ok(TrainResult {
+            weights,
+            snapshots,
+            log,
+            final_accuracy,
+        })
     }
 
     /// Evaluate mean loss over a labelled set without updating weights.
@@ -188,7 +198,12 @@ pub fn fine_tune_setup(
     let last_full = order
         .iter()
         .rev()
-        .find(|id| matches!(new_net.node(**id).map(|n| &n.kind), Ok(LayerKind::Full { .. })))
+        .find(|id| {
+            matches!(
+                new_net.node(**id).map(|n| &n.kind),
+                Ok(LayerKind::Full { .. })
+            )
+        })
         .copied()
         .ok_or(NetworkError::BadInput)?;
     let old_name = new_net.node(last_full)?.name.clone();
@@ -239,11 +254,35 @@ mod tests {
 
     fn tiny_net(classes: usize) -> Network {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 8, width: 8 }).unwrap();
-        n.append("conv1", LayerKind::Conv { out_channels: 4, kernel: 3, stride: 1, pad: 0 })
-            .unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 8,
+                width: 8,
+            },
+        )
+        .unwrap();
+        n.append(
+            "conv1",
+            LayerKind::Conv {
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+            },
+        )
+        .unwrap();
         n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
-        n.append("pool1", LayerKind::Pool { kind: PoolKind::Max, size: 2, stride: 2 }).unwrap();
+        n.append(
+            "pool1",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                size: 2,
+                stride: 2,
+            },
+        )
+        .unwrap();
         n.append("fc1", LayerKind::Full { out: classes }).unwrap();
         n.append("prob", LayerKind::Softmax).unwrap();
         n
@@ -267,7 +306,10 @@ mod tests {
         let data = tiny_data(3);
         let init = Weights::init(&net, 1).unwrap();
         let before = accuracy(&net, &init, &data.test).unwrap();
-        let trainer = Trainer::new(Hyperparams { base_lr: 0.1, ..Default::default() });
+        let trainer = Trainer::new(Hyperparams {
+            base_lr: 0.1,
+            ..Default::default()
+        });
         let result = trainer.train(&net, init, &data, 60).unwrap();
         assert!(
             result.final_accuracy > before.max(0.5),
@@ -287,7 +329,10 @@ mod tests {
         let net = tiny_net(2);
         let data = tiny_data(2);
         let init = Weights::init(&net, 1).unwrap();
-        let trainer = Trainer { snapshot_every: 5, ..Default::default() };
+        let trainer = Trainer {
+            snapshot_every: 5,
+            ..Default::default()
+        };
         let result = trainer.train(&net, init, &data, 20).unwrap();
         let iters: Vec<usize> = result.snapshots.iter().map(|(i, _)| *i).collect();
         assert_eq!(iters, vec![5, 10, 15, 20]);
@@ -307,7 +352,10 @@ mod tests {
         let trainer = Trainer::new(hp);
         let result = trainer.train(&net, init, &data, 10).unwrap();
         assert_eq!(result.weights.get("conv1").unwrap(), &conv_before);
-        assert_ne!(result.weights.get("fc1").unwrap(), Weights::init(&net, 1).unwrap().get("fc1").unwrap());
+        assert_ne!(
+            result.weights.get("fc1").unwrap(),
+            Weights::init(&net, 1).unwrap().get("fc1").unwrap()
+        );
     }
 
     #[test]
@@ -315,7 +363,12 @@ mod tests {
         let net = tiny_net(2);
         let data = tiny_data(2);
         let init = Weights::init(&net, 1).unwrap();
-        let hp = Hyperparams { base_lr: 0.1, lr_gamma: 0.5, lr_step: 5, ..Default::default() };
+        let hp = Hyperparams {
+            base_lr: 0.1,
+            lr_gamma: 0.5,
+            lr_step: 5,
+            ..Default::default()
+        };
         let trainer = Trainer::new(hp);
         let result = trainer.train(&net, init, &data, 12).unwrap();
         assert!((result.log[0].lr - 0.1).abs() < 1e-6);

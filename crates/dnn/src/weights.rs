@@ -92,7 +92,11 @@ impl Weights {
             if let Some(shape) = node.kind.param_shape(shapes[&node.id].0) {
                 match self.mats.get(&node.name) {
                     Some(m) if m.shape() == shape => {}
-                    _ => return Err(NetworkError::ShapeMismatch { node: node.name.clone() }),
+                    _ => {
+                        return Err(NetworkError::ShapeMismatch {
+                            node: node.name.clone(),
+                        })
+                    }
                 }
             }
         }
@@ -121,7 +125,9 @@ impl Weights {
 
 impl FromIterator<(String, Matrix)> for Weights {
     fn from_iter<T: IntoIterator<Item = (String, Matrix)>>(iter: T) -> Self {
-        Self { mats: iter.into_iter().collect() }
+        Self {
+            mats: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -132,9 +138,25 @@ mod tests {
 
     fn net() -> Network {
         let mut n = Network::new();
-        n.append("data", LayerKind::Input { channels: 1, height: 6, width: 6 }).unwrap();
-        n.append("conv1", LayerKind::Conv { out_channels: 2, kernel: 3, stride: 1, pad: 0 })
-            .unwrap();
+        n.append(
+            "data",
+            LayerKind::Input {
+                channels: 1,
+                height: 6,
+                width: 6,
+            },
+        )
+        .unwrap();
+        n.append(
+            "conv1",
+            LayerKind::Conv {
+                out_channels: 2,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+            },
+        )
+        .unwrap();
         n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
         n.append("fc1", LayerKind::Full { out: 3 }).unwrap();
         n

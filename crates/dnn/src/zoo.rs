@@ -10,21 +10,42 @@
 //!   for CPU training on synthetic data, preserving the architectural
 //!   shape (conv/pool stacking depth, fc head) of their namesakes.
 
+// Every constructor appends to a fresh linear network with fixed, hand-
+// checked shapes; `append` cannot fail there, so unwraps are structural.
+#![allow(clippy::unwrap_used)]
+
 use crate::layer::{Activation, LayerKind, PoolKind};
 use crate::network::Network;
 
 fn conv(out_channels: usize, kernel: usize, stride: usize, pad: usize) -> LayerKind {
-    LayerKind::Conv { out_channels, kernel, stride, pad }
+    LayerKind::Conv {
+        out_channels,
+        kernel,
+        stride,
+        pad,
+    }
 }
 
 fn maxpool(size: usize, stride: usize) -> LayerKind {
-    LayerKind::Pool { kind: PoolKind::Max, size, stride }
+    LayerKind::Pool {
+        kind: PoolKind::Max,
+        size,
+        stride,
+    }
 }
 
 /// The classic LeNet of Fig. 2 (28×28 input, 431,080 parameters).
 pub fn lenet() -> Network {
     let mut n = Network::new();
-    n.append("data", LayerKind::Input { channels: 1, height: 28, width: 28 }).unwrap();
+    n.append(
+        "data",
+        LayerKind::Input {
+            channels: 1,
+            height: 28,
+            width: 28,
+        },
+    )
+    .unwrap();
     n.append("conv1", conv(20, 5, 1, 0)).unwrap();
     n.append("pool1", maxpool(2, 2)).unwrap();
     n.append("conv2", conv(50, 5, 1, 0)).unwrap();
@@ -39,7 +60,15 @@ pub fn lenet() -> Network {
 /// Full-scale AlexNet layer shapes (227×227×3 input), for Table I counting.
 pub fn alexnet() -> Network {
     let mut n = Network::new();
-    n.append("data", LayerKind::Input { channels: 3, height: 227, width: 227 }).unwrap();
+    n.append(
+        "data",
+        LayerKind::Input {
+            channels: 3,
+            height: 227,
+            width: 227,
+        },
+    )
+    .unwrap();
     n.append("conv1", conv(96, 11, 4, 0)).unwrap();
     n.append("pool1", maxpool(3, 2)).unwrap();
     n.append("conv2", conv(256, 5, 1, 2)).unwrap();
@@ -58,11 +87,20 @@ pub fn alexnet() -> Network {
 /// Full-scale VGG-16 layer shapes (224×224×3 input), for Table I counting.
 pub fn vgg16() -> Network {
     let mut n = Network::new();
-    n.append("data", LayerKind::Input { channels: 3, height: 224, width: 224 }).unwrap();
+    n.append(
+        "data",
+        LayerKind::Input {
+            channels: 3,
+            height: 224,
+            width: 224,
+        },
+    )
+    .unwrap();
     let blocks: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
     for (b, &(ch, reps)) in blocks.iter().enumerate() {
         for r in 0..reps {
-            n.append(&format!("conv{}_{}", b + 1, r + 1), conv(ch, 3, 1, 1)).unwrap();
+            n.append(&format!("conv{}_{}", b + 1, r + 1), conv(ch, 3, 1, 1))
+                .unwrap();
         }
         n.append(&format!("pool{}", b + 1), maxpool(2, 2)).unwrap();
     }
@@ -76,7 +114,15 @@ pub fn vgg16() -> Network {
 /// Scaled LeNet for CPU training: 16×16 input, two conv/pool stages.
 pub fn lenet_s(num_classes: usize) -> Network {
     let mut n = Network::new();
-    n.append("data", LayerKind::Input { channels: 1, height: 16, width: 16 }).unwrap();
+    n.append(
+        "data",
+        LayerKind::Input {
+            channels: 1,
+            height: 16,
+            width: 16,
+        },
+    )
+    .unwrap();
     n.append("conv1", conv(8, 3, 1, 0)).unwrap();
     n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
     n.append("pool1", maxpool(2, 2)).unwrap();
@@ -85,7 +131,8 @@ pub fn lenet_s(num_classes: usize) -> Network {
     n.append("pool2", maxpool(2, 2)).unwrap();
     n.append("ip1", LayerKind::Full { out: 64 }).unwrap();
     n.append("relu3", LayerKind::Act(Activation::ReLU)).unwrap();
-    n.append("ip2", LayerKind::Full { out: num_classes }).unwrap();
+    n.append("ip2", LayerKind::Full { out: num_classes })
+        .unwrap();
     n.append("prob", LayerKind::Softmax).unwrap();
     n
 }
@@ -93,12 +140,28 @@ pub fn lenet_s(num_classes: usize) -> Network {
 /// Scaled AlexNet-like model (deeper conv stack, two fc layers).
 pub fn alexnet_s(num_classes: usize) -> Network {
     let mut n = Network::new();
-    n.append("data", LayerKind::Input { channels: 1, height: 16, width: 16 }).unwrap();
+    n.append(
+        "data",
+        LayerKind::Input {
+            channels: 1,
+            height: 16,
+            width: 16,
+        },
+    )
+    .unwrap();
     n.append("conv1", conv(12, 3, 1, 1)).unwrap();
     n.append("relu1", LayerKind::Act(Activation::ReLU)).unwrap();
     n.append("pool1", maxpool(2, 2)).unwrap();
-    n.append("norm1", LayerKind::Lrn { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 })
-        .unwrap();
+    n.append(
+        "norm1",
+        LayerKind::Lrn {
+            size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 2.0,
+        },
+    )
+    .unwrap();
     n.append("conv2", conv(24, 3, 1, 1)).unwrap();
     n.append("relu2", LayerKind::Act(Activation::ReLU)).unwrap();
     n.append("conv3", conv(24, 3, 1, 1)).unwrap();
@@ -108,7 +171,8 @@ pub fn alexnet_s(num_classes: usize) -> Network {
     n.append("relu6", LayerKind::Act(Activation::ReLU)).unwrap();
     n.append("fc7", LayerKind::Full { out: 64 }).unwrap();
     n.append("relu7", LayerKind::Act(Activation::ReLU)).unwrap();
-    n.append("fc8", LayerKind::Full { out: num_classes }).unwrap();
+    n.append("fc8", LayerKind::Full { out: num_classes })
+        .unwrap();
     n.append("prob", LayerKind::Softmax).unwrap();
     n
 }
@@ -116,13 +180,25 @@ pub fn alexnet_s(num_classes: usize) -> Network {
 /// Scaled VGG-like model (stacked 3×3 conv blocks, three fc layers).
 pub fn vgg_s(num_classes: usize) -> Network {
     let mut n = Network::new();
-    n.append("data", LayerKind::Input { channels: 1, height: 16, width: 16 }).unwrap();
+    n.append(
+        "data",
+        LayerKind::Input {
+            channels: 1,
+            height: 16,
+            width: 16,
+        },
+    )
+    .unwrap();
     let blocks: &[(usize, usize)] = &[(16, 2), (32, 2)];
     for (b, &(ch, reps)) in blocks.iter().enumerate() {
         for r in 0..reps {
-            n.append(&format!("conv{}_{}", b + 1, r + 1), conv(ch, 3, 1, 1)).unwrap();
-            n.append(&format!("relu{}_{}", b + 1, r + 1), LayerKind::Act(Activation::ReLU))
+            n.append(&format!("conv{}_{}", b + 1, r + 1), conv(ch, 3, 1, 1))
                 .unwrap();
+            n.append(
+                &format!("relu{}_{}", b + 1, r + 1),
+                LayerKind::Act(Activation::ReLU),
+            )
+            .unwrap();
         }
         n.append(&format!("pool{}", b + 1), maxpool(2, 2)).unwrap();
     }
@@ -130,7 +206,8 @@ pub fn vgg_s(num_classes: usize) -> Network {
     n.append("relu6", LayerKind::Act(Activation::ReLU)).unwrap();
     n.append("fc7", LayerKind::Full { out: 96 }).unwrap();
     n.append("relu7", LayerKind::Act(Activation::ReLU)).unwrap();
-    n.append("fc8", LayerKind::Full { out: num_classes }).unwrap();
+    n.append("fc8", LayerKind::Full { out: num_classes })
+        .unwrap();
     n.append("prob", LayerKind::Softmax).unwrap();
     n
 }

@@ -1,0 +1,881 @@
+//! Static semantic analysis for DQL — `dql check`.
+//!
+//! Type-checks a parsed query against the catalog schema (known version
+//! attributes, config keys, metrics, node templates) and, when available,
+//! the repository's network DAGs (layer names), WITHOUT executing anything:
+//! no model is loaded, trained, or mutated. Every problem is reported as a
+//! [`Diagnostic`] carrying a source [`Span`] resolved from the token
+//! stream, so callers can render caret diagnostics.
+
+use crate::ast::*;
+use crate::parser::{parse, ParseError};
+use crate::selector::Selector;
+use crate::token::{lex_spanned, Span, Token};
+use std::collections::BTreeSet;
+
+/// Version attributes with text values (mirrors `exec::text_attr`).
+pub const TEXT_ATTRS: &[&str] = &["name", "arch", "architecture", "comment"];
+
+/// Version attributes with numeric values (mirrors `exec::num_attr`).
+pub const NUM_ATTRS: &[&str] = &[
+    "creation_time",
+    "created",
+    "accuracy",
+    "params",
+    "param_count",
+    "id",
+    "num_snapshots",
+];
+
+/// DAG traversal attributes usable after a node selector.
+pub const TRAVERSAL_ATTRS: &[&str] = &["next", "prev"];
+
+/// Hyperparameter keys accepted by `vary config.<key> in [...]`.
+pub const CONFIG_KEYS: &[&str] = &[
+    "base_lr",
+    "momentum",
+    "weight_decay",
+    "batch_size",
+    "lr_gamma",
+];
+
+/// Node template names accepted by `has` and `insert`.
+pub const TEMPLATES: &[&str] = &[
+    "RELU", "SIGMOID", "TANH", "DROPOUT", "FLATTEN", "POOL", "FULL", "CONV", "NORM", "LRN",
+];
+
+/// Metrics accepted by `keep`.
+pub const METRICS: &[&str] = &["loss", "accuracy"];
+
+/// How bad a diagnostic is. `Error` means the query is rejected: executing
+/// it would fail or provably produce nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Warning => write!(f, "warning"),
+            Self::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analysis finding, anchored to a source range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable machine-readable code (`Q0xx`).
+    pub code: &'static str,
+    pub span: Span,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] at {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+/// Unknown attribute in a predicate path.
+pub const Q_UNKNOWN_ATTR: &str = "Q001";
+/// Path root does not name a declared alias.
+pub const Q_UNKNOWN_ALIAS: &str = "Q002";
+/// Operand type mismatch (text attribute compared numerically, ...).
+pub const Q_TYPE_MISMATCH: &str = "Q003";
+/// Node selector fails to compile.
+pub const Q_BAD_SELECTOR: &str = "Q004";
+/// Invalid structural path (unknown traversal, selector not first).
+pub const Q_BAD_PATH: &str = "Q005";
+/// Unknown node template name.
+pub const Q_UNKNOWN_TEMPLATE: &str = "Q006";
+/// Template argument outside its domain.
+pub const Q_TEMPLATE_ARG: &str = "Q007";
+/// Unknown `vary config.<key>`.
+pub const Q_UNKNOWN_CONFIG_KEY: &str = "Q008";
+/// Non-numeric grid values.
+pub const Q_BAD_GRID_VALUE: &str = "Q009";
+/// Unknown `keep` metric.
+pub const Q_UNKNOWN_METRIC: &str = "Q010";
+/// Empty or degenerate domain (empty vary list, `top(0, ...)`).
+pub const Q_EMPTY_DOMAIN: &str = "Q011";
+/// `evaluate` nested inside `evaluate`.
+pub const Q_NESTED_EVALUATE: &str = "Q012";
+/// Selector names a layer that exists in no model version.
+pub const Q_UNKNOWN_LAYER: &str = "Q013";
+/// Unregistered base config.
+pub const Q_UNKNOWN_CONFIG: &str = "Q014";
+/// Unregistered dataset.
+pub const Q_UNKNOWN_DATASET: &str = "Q015";
+
+/// What the analyzer may check against. `None` fields disable the
+/// corresponding checks (the information is unavailable, e.g. when
+/// checking a query with no repository at hand).
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeContext {
+    /// Union of layer names across all model versions.
+    pub layer_names: Option<BTreeSet<String>>,
+    /// Registered base-config names (`with config = "..."`).
+    pub configs: Option<BTreeSet<String>>,
+    /// Registered dataset names (`vary config.input_data in [...]`).
+    pub datasets: Option<BTreeSet<String>>,
+}
+
+impl AnalyzeContext {
+    /// Gather layer names from every version in a repository. Versions
+    /// whose network fails to load are skipped (that is `fsck`'s job).
+    pub fn from_repository(repo: &mh_dlv::Repository) -> Self {
+        let mut layers = BTreeSet::new();
+        for summary in repo.list() {
+            if let Ok(net) = repo.get_network(&summary.key.to_string()) {
+                for node in net.nodes() {
+                    layers.insert(node.name.clone());
+                }
+            }
+        }
+        Self {
+            layer_names: Some(layers),
+            configs: None,
+            datasets: None,
+        }
+    }
+}
+
+/// Parse and analyze a query without executing it.
+pub fn check(src: &str, ctx: &AnalyzeContext) -> Result<Vec<Diagnostic>, ParseError> {
+    let query = parse(src)?;
+    Ok(analyze(&query, src, ctx))
+}
+
+/// Analyze an already-parsed query. `src` must be the text it was parsed
+/// from (used to resolve diagnostic spans).
+pub fn analyze(query: &Query, src: &str, ctx: &AnalyzeContext) -> Vec<Diagnostic> {
+    let mut a = Analyzer {
+        finder: SpanFinder::new(src),
+        ctx,
+        diags: Vec::new(),
+    };
+    a.query(query);
+    a.diags
+}
+
+// ---- span resolution --------------------------------------------------
+
+/// Locates AST fragments in the token stream. The analyzer visits the AST
+/// in source order, so a forward-scanning cursor with occurrence matching
+/// recovers the span of each identifier / string / number as it is
+/// visited; duplicated names resolve to successive occurrences.
+struct SpanFinder {
+    tokens: Vec<(Token, Span)>,
+    cursor: usize,
+    whole: Span,
+}
+
+impl SpanFinder {
+    fn new(src: &str) -> Self {
+        let tokens = lex_spanned(src).unwrap_or_default();
+        let whole = Span::new(0, src.chars().count());
+        Self {
+            tokens,
+            cursor: 0,
+            whole,
+        }
+    }
+
+    fn locate(&mut self, pred: impl Fn(&Token) -> bool) -> Span {
+        // Forward from the cursor first; wrap to the start on a miss so an
+        // out-of-order visit still finds something sensible.
+        for (i, (t, sp)) in self.tokens.iter().enumerate().skip(self.cursor) {
+            if pred(t) {
+                self.cursor = i + 1;
+                return *sp;
+            }
+        }
+        for (i, (t, sp)) in self.tokens.iter().enumerate().take(self.cursor) {
+            if pred(t) {
+                self.cursor = i + 1;
+                return *sp;
+            }
+        }
+        self.whole
+    }
+
+    fn ident(&mut self, name: &str) -> Span {
+        self.locate(|t| matches!(t, Token::Ident(s) if s == name))
+    }
+
+    fn string(&mut self, value: &str) -> Span {
+        self.locate(|t| matches!(t, Token::Str(s) if s == value))
+    }
+
+    fn number(&mut self, value: f64) -> Span {
+        self.locate(|t| matches!(t, Token::Number(n) if *n == value))
+    }
+}
+
+// ---- the analyzer -----------------------------------------------------
+
+struct Analyzer<'a> {
+    finder: SpanFinder,
+    ctx: &'a AnalyzeContext,
+    diags: Vec<Diagnostic>,
+}
+
+impl Analyzer<'_> {
+    fn emit(&mut self, severity: Severity, code: &'static str, span: Span, message: String) {
+        self.diags.push(Diagnostic {
+            severity,
+            code,
+            span,
+            message,
+        });
+    }
+
+    fn query(&mut self, q: &Query) {
+        match q {
+            Query::Select(s) => self.select(s),
+            Query::Slice(s) => self.slice(s),
+            Query::Construct(c) => self.construct(c),
+            Query::Evaluate(e) => self.evaluate(e),
+        }
+    }
+
+    fn select(&mut self, q: &SelectQuery) {
+        self.finder.ident(&q.alias);
+        self.pred(&q.pred, &q.alias);
+    }
+
+    fn slice(&mut self, q: &SliceQuery) {
+        self.finder.ident(&q.out_alias);
+        self.finder.ident(&q.in_alias);
+        self.pred(&q.pred, &q.in_alias);
+        // `mutate out.input = in["sel"] and out.output = in["sel"]` — the
+        // parser does not preserve clause order, so resolve both spans in
+        // textual order via whichever string comes first.
+        for sel in [&q.input_selector, &q.output_selector] {
+            let span = self.finder.string(sel);
+            self.selector(sel, span, Severity::Error);
+        }
+    }
+
+    fn construct(&mut self, q: &ConstructQuery) {
+        self.finder.ident(&q.out_alias);
+        self.finder.ident(&q.in_alias);
+        self.pred(&q.pred, &q.in_alias);
+        for action in &q.actions {
+            match action {
+                MutationAction::Insert { selector, template } => {
+                    let span = self.finder.string(selector);
+                    self.selector(selector, span, Severity::Error);
+                    self.template(template);
+                }
+                MutationAction::Delete { selector } => {
+                    let span = self.finder.string(selector);
+                    self.selector(selector, span, Severity::Error);
+                }
+            }
+        }
+    }
+
+    fn evaluate(&mut self, q: &EvaluateQuery) {
+        self.finder.ident(&q.alias);
+        match &q.source {
+            EvalSource::Named(_) => {}
+            EvalSource::Nested(inner) => {
+                if matches!(**inner, Query::Evaluate(_)) {
+                    let span = self.finder.whole;
+                    self.emit(
+                        Severity::Error,
+                        Q_NESTED_EVALUATE,
+                        span,
+                        "evaluate cannot nest another evaluate".into(),
+                    );
+                }
+                self.query(inner);
+            }
+        }
+        if let Some(name) = &q.config {
+            let span = self.finder.string(name);
+            if let Some(known) = &self.ctx.configs {
+                if !known.contains(name) {
+                    self.emit(
+                        Severity::Warning,
+                        Q_UNKNOWN_CONFIG,
+                        span,
+                        format!("config '{name}' is not registered; defaults would be used"),
+                    );
+                }
+            }
+        }
+        for clause in &q.vary {
+            self.vary(clause);
+        }
+        if let Some(rule) = &q.keep {
+            self.keep(rule);
+        }
+    }
+
+    fn vary(&mut self, clause: &VaryClause) {
+        match clause {
+            VaryClause::Grid { key, values } => {
+                let span = self.finder.ident(key);
+                if !CONFIG_KEYS.contains(&key.as_str()) {
+                    self.emit(
+                        Severity::Error,
+                        Q_UNKNOWN_CONFIG_KEY,
+                        span,
+                        format!(
+                            "unknown config key '{key}' (expected one of {})",
+                            CONFIG_KEYS.join(", ")
+                        ),
+                    );
+                }
+                if values.is_empty() {
+                    self.emit(
+                        Severity::Error,
+                        Q_EMPTY_DOMAIN,
+                        span,
+                        format!("vary list for '{key}' is empty; no configuration is generated"),
+                    );
+                }
+                for v in values {
+                    match v {
+                        Literal::Num(n) => {
+                            self.finder.number(*n);
+                        }
+                        Literal::Str(s) => {
+                            let vspan = self.finder.string(s);
+                            self.emit(
+                                Severity::Error,
+                                Q_BAD_GRID_VALUE,
+                                vspan,
+                                format!("grid value for '{key}' must be numeric, got \"{s}\""),
+                            );
+                        }
+                        Literal::List(_) => {
+                            self.emit(
+                                Severity::Error,
+                                Q_BAD_GRID_VALUE,
+                                span,
+                                format!("grid value for '{key}' must be numeric, got a list"),
+                            );
+                        }
+                    }
+                }
+            }
+            VaryClause::LayerLrAuto { selector } => {
+                let span = self.finder.string(selector);
+                self.selector(selector, span, Severity::Warning);
+            }
+            VaryClause::InputData { names } => {
+                if names.is_empty() {
+                    let span = self.finder.ident("input_data");
+                    self.emit(
+                        Severity::Error,
+                        Q_EMPTY_DOMAIN,
+                        span,
+                        "input_data list is empty; no configuration is generated".into(),
+                    );
+                }
+                for name in names {
+                    let span = self.finder.string(name);
+                    if let Some(known) = &self.ctx.datasets {
+                        if !known.contains(name) {
+                            self.emit(
+                                Severity::Error,
+                                Q_UNKNOWN_DATASET,
+                                span,
+                                format!("dataset '{name}' is not registered"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn keep(&mut self, rule: &KeepRule) {
+        let (metric, iterations) = match rule {
+            KeepRule::Top {
+                k,
+                metric,
+                iterations,
+            } => {
+                if *k == 0 {
+                    let span = self.finder.number(0.0);
+                    self.emit(
+                        Severity::Error,
+                        Q_EMPTY_DOMAIN,
+                        span,
+                        "top(0, ...) keeps nothing".into(),
+                    );
+                }
+                (metric, *iterations)
+            }
+            KeepRule::Threshold {
+                metric, iterations, ..
+            } => (metric, *iterations),
+        };
+        let span = self.finder.string(metric);
+        if !METRICS.contains(&metric.as_str()) {
+            self.emit(
+                Severity::Error,
+                Q_UNKNOWN_METRIC,
+                span,
+                format!(
+                    "unknown metric '{metric}' (expected one of {})",
+                    METRICS.join(", ")
+                ),
+            );
+        }
+        if iterations == 0 {
+            self.emit(
+                Severity::Warning,
+                Q_EMPTY_DOMAIN,
+                span,
+                "keep rule trains for 0 iterations".into(),
+            );
+        }
+    }
+
+    // ---- predicates ---------------------------------------------------
+
+    fn pred(&mut self, p: &Pred, alias: &str) {
+        match p {
+            Pred::True => {}
+            // Children are visited left-to-right, which matches source
+            // order for the parser's left-nested trees.
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                self.pred(a, alias);
+                self.pred(b, alias);
+            }
+            Pred::Not(a) => self.pred(a, alias),
+            Pred::Like(path, _) => {
+                let spans = self.path_spans(path);
+                if !self.check_root(path, alias, spans.root) {
+                    return;
+                }
+                match path.attr_only() {
+                    Some(attr) if TEXT_ATTRS.contains(&attr) => {}
+                    Some(attr) if NUM_ATTRS.contains(&attr) => {
+                        self.emit(
+                            Severity::Error,
+                            Q_TYPE_MISMATCH,
+                            spans.step(0),
+                            format!("'like' needs a text attribute, but '{attr}' is numeric"),
+                        );
+                    }
+                    Some(attr) => self.unknown_attr(attr, spans.step(0)),
+                    None => {
+                        self.emit(
+                            Severity::Error,
+                            Q_BAD_PATH,
+                            spans.root,
+                            "'like' needs a single text attribute (e.g. m.name)".into(),
+                        );
+                    }
+                }
+            }
+            Pred::Cmp(path, _, lit) => {
+                let spans = self.path_spans(path);
+                if !self.check_root(path, alias, spans.root) {
+                    return;
+                }
+                match path.attr_only() {
+                    Some(attr) if NUM_ATTRS.contains(&attr) => {}
+                    Some(attr) if TEXT_ATTRS.contains(&attr) => {
+                        self.emit(
+                            Severity::Error,
+                            Q_TYPE_MISMATCH,
+                            spans.step(0),
+                            format!(
+                                "text attribute '{attr}' cannot be compared numerically; use 'like'"
+                            ),
+                        );
+                    }
+                    Some(attr) => self.unknown_attr(attr, spans.step(0)),
+                    None => {
+                        self.emit(
+                            Severity::Error,
+                            Q_BAD_PATH,
+                            spans.root,
+                            "comparison needs a single numeric attribute (e.g. m.accuracy)".into(),
+                        );
+                    }
+                }
+                match lit {
+                    Literal::Num(_) => {}
+                    Literal::Str(s) => {
+                        let lspan = self.finder.string(s);
+                        self.emit(
+                            Severity::Error,
+                            Q_TYPE_MISMATCH,
+                            lspan,
+                            "comparison needs a numeric literal".into(),
+                        );
+                    }
+                    Literal::List(_) => {
+                        self.emit(
+                            Severity::Error,
+                            Q_TYPE_MISMATCH,
+                            spans.root,
+                            "comparison needs a numeric literal, got a list".into(),
+                        );
+                    }
+                }
+            }
+            Pred::Has(path, tpl) => {
+                let spans = self.path_spans(path);
+                if !self.check_root(path, alias, spans.root) {
+                    return;
+                }
+                let mut saw_selector = false;
+                for (i, step) in path.steps.iter().enumerate() {
+                    match step {
+                        PathStep::Selector(sel) => {
+                            if i != 0 {
+                                self.emit(
+                                    Severity::Error,
+                                    Q_BAD_PATH,
+                                    spans.step(i),
+                                    "node selector must come first in a structural path".into(),
+                                );
+                            }
+                            saw_selector = true;
+                            self.selector(sel, spans.step(i), Severity::Warning);
+                        }
+                        PathStep::Attr(a) => {
+                            if !TRAVERSAL_ATTRS.contains(&a.as_str()) {
+                                self.emit(
+                                    Severity::Error,
+                                    Q_BAD_PATH,
+                                    spans.step(i),
+                                    format!(
+                                        "unknown traversal '{a}' (expected {})",
+                                        TRAVERSAL_ATTRS.join(" or ")
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                if !saw_selector {
+                    self.emit(
+                        Severity::Warning,
+                        Q_BAD_PATH,
+                        spans.root,
+                        "'has' path selects no nodes (no [\"selector\"] step); it never matches"
+                            .into(),
+                    );
+                }
+                self.template(tpl);
+            }
+        }
+    }
+
+    fn check_root(&mut self, path: &Path, alias: &str, span: Span) -> bool {
+        if path.root != alias {
+            self.emit(
+                Severity::Error,
+                Q_UNKNOWN_ALIAS,
+                span,
+                format!(
+                    "unknown alias '{}' (the query declares '{alias}')",
+                    path.root
+                ),
+            );
+            return false;
+        }
+        true
+    }
+
+    fn unknown_attr(&mut self, attr: &str, span: Span) {
+        let known: Vec<&str> = TEXT_ATTRS.iter().chain(NUM_ATTRS).copied().collect();
+        self.emit(
+            Severity::Error,
+            Q_UNKNOWN_ATTR,
+            span,
+            format!(
+                "unknown attribute '{attr}' (expected one of {})",
+                known.join(", ")
+            ),
+        );
+    }
+
+    /// Compile-check a node selector and (when layer names are known) warn
+    /// or error if it cannot match any layer of any version.
+    fn selector(&mut self, sel: &str, span: Span, missing_severity: Severity) {
+        let compiled = match Selector::compile(sel) {
+            Ok(c) => c,
+            Err(e) => {
+                self.emit(
+                    Severity::Error,
+                    Q_BAD_SELECTOR,
+                    span,
+                    format!("bad selector: {e}"),
+                );
+                return;
+            }
+        };
+        if let Some(layers) = &self.ctx.layer_names {
+            if !layers.iter().any(|l| compiled.is_match(l)) {
+                self.emit(
+                    missing_severity,
+                    Q_UNKNOWN_LAYER,
+                    span,
+                    format!("selector \"{sel}\" matches no layer in any model version"),
+                );
+            }
+        }
+    }
+
+    fn template(&mut self, tpl: &NodeTemplate) {
+        let span = self.finder.ident(&tpl.ty);
+        if !TEMPLATES.contains(&tpl.ty.as_str()) {
+            self.emit(
+                Severity::Error,
+                Q_UNKNOWN_TEMPLATE,
+                span,
+                format!(
+                    "unknown node template '{}' (expected one of {})",
+                    tpl.ty,
+                    TEMPLATES.join(", ")
+                ),
+            );
+            return;
+        }
+        if tpl.ty == "POOL" {
+            if let Some(Literal::Str(kind)) = tpl.args.first() {
+                if !kind.eq_ignore_ascii_case("max") && !kind.eq_ignore_ascii_case("avg") {
+                    let aspan = self.finder.string(kind);
+                    self.emit(
+                        Severity::Error,
+                        Q_TEMPLATE_ARG,
+                        aspan,
+                        format!("POOL kind must be \"MAX\" or \"AVG\", got \"{kind}\""),
+                    );
+                }
+            }
+        }
+        if matches!(tpl.ty.as_str(), "FULL" | "CONV") {
+            if let Some(Literal::Str(s)) = tpl.args.first() {
+                let aspan = self.finder.string(s);
+                self.emit(
+                    Severity::Warning,
+                    Q_TEMPLATE_ARG,
+                    aspan,
+                    format!("{} expects a numeric size as its first argument", tpl.ty),
+                );
+            }
+        }
+        if let Some(Literal::Num(rate)) = tpl.args.first() {
+            if tpl.ty == "DROPOUT" && !(0.0..1.0).contains(rate) {
+                let aspan = self.finder.number(*rate);
+                self.emit(
+                    Severity::Error,
+                    Q_TEMPLATE_ARG,
+                    aspan,
+                    format!("DROPOUT rate must be in [0, 1), got {rate}"),
+                );
+            }
+        }
+    }
+
+    // ---- path span helper ---------------------------------------------
+
+    fn path_spans(&mut self, path: &Path) -> PathSpans {
+        let root = self.finder.ident(&path.root);
+        let steps = path
+            .steps
+            .iter()
+            .map(|s| match s {
+                PathStep::Attr(a) => self.finder.ident(a),
+                PathStep::Selector(sel) => self.finder.string(sel),
+            })
+            .collect();
+        PathSpans { root, steps }
+    }
+}
+
+struct PathSpans {
+    root: Span,
+    steps: Vec<Span>,
+}
+
+impl PathSpans {
+    /// Span of step `i`, falling back to the root span.
+    fn step(&self, i: usize) -> Span {
+        self.steps.get(i).copied().unwrap_or(self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn errs(src: &str) -> Vec<Diagnostic> {
+        check(src, &AnalyzeContext::default()).unwrap()
+    }
+
+    fn with_layers(src: &str, layers: &[&str]) -> Vec<Diagnostic> {
+        let ctx = AnalyzeContext {
+            layer_names: Some(layers.iter().map(|s| s.to_string()).collect()),
+            ..Default::default()
+        };
+        check(src, &ctx).unwrap()
+    }
+
+    #[test]
+    fn clean_queries_produce_no_diagnostics() {
+        for q in [
+            r#"select m1 where m1.name like "alexnet%" and m1.accuracy >= 0.5"#,
+            r#"select m1 where m1["conv*"].next has POOL("MAX")"#,
+            r#"construct m2 from m1 mutate m1["conv1"].insert = RELU("r$1")"#,
+            r#"evaluate m from "x%" vary config.base_lr in [0.1, 0.01] keep top(5, m["loss"], 100)"#,
+        ] {
+            assert_eq!(errs(q), vec![], "query: {q}");
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected_with_span() {
+        let src = r#"select m1 where m1.flavor > 3"#;
+        let d = errs(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Q_UNKNOWN_ATTR);
+        assert_eq!(d[0].severity, Severity::Error);
+        // The span covers exactly the attribute name.
+        assert_eq!(&src[d[0].span.start..d[0].span.end], "flavor");
+    }
+
+    #[test]
+    fn unknown_alias_is_rejected() {
+        let d = errs(r#"select m1 where m2.accuracy > 0.5"#);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Q_UNKNOWN_ALIAS);
+    }
+
+    #[test]
+    fn type_mismatches_are_rejected() {
+        // like on a numeric attribute.
+        let d = errs(r#"select m1 where m1.accuracy like "0.9%""#);
+        assert!(d.iter().any(|d| d.code == Q_TYPE_MISMATCH), "{d:?}");
+        // numeric comparison on a text attribute.
+        let src = r#"select m1 where m1.name > 3"#;
+        let d = errs(src);
+        assert!(d.iter().any(|d| d.code == Q_TYPE_MISMATCH));
+        // string literal in a numeric comparison.
+        let d = errs(r#"select m1 where m1.accuracy > "high""#);
+        assert!(d.iter().any(|d| d.code == Q_TYPE_MISMATCH));
+    }
+
+    #[test]
+    fn bad_traversal_and_selector_order() {
+        let d = errs(r#"select m1 where m1["conv*"].sideways has RELU"#);
+        assert!(d.iter().any(|d| d.code == Q_BAD_PATH), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_template_and_bad_args() {
+        let d = errs(r#"select m1 where m1["conv*"] has WIBBLE"#);
+        assert!(d.iter().any(|d| d.code == Q_UNKNOWN_TEMPLATE));
+        let src = r#"select m1 where m1["conv*"] has POOL("MEDIAN")"#;
+        let d = errs(src);
+        assert!(d.iter().any(|d| d.code == Q_TEMPLATE_ARG), "{d:?}");
+        let span = d.iter().find(|d| d.code == Q_TEMPLATE_ARG).unwrap().span;
+        assert_eq!(&src[span.start..span.end], "\"MEDIAN\"");
+        let d = errs(r#"construct m2 from m1 mutate m1["fc*"].insert = DROPOUT(1.5)"#);
+        assert!(d.iter().any(|d| d.code == Q_TEMPLATE_ARG));
+    }
+
+    #[test]
+    fn vary_domain_errors() {
+        let d = errs(r#"evaluate m from "x%" vary config.learning_speed in [0.1]"#);
+        assert!(d.iter().any(|d| d.code == Q_UNKNOWN_CONFIG_KEY));
+        let d = errs(r#"evaluate m from "x%" vary config.base_lr in []"#);
+        assert!(d.iter().any(|d| d.code == Q_EMPTY_DOMAIN));
+        let d = errs(r#"evaluate m from "x%" vary config.base_lr in ["fast"]"#);
+        assert!(d.iter().any(|d| d.code == Q_BAD_GRID_VALUE));
+    }
+
+    #[test]
+    fn keep_domain_errors() {
+        let d = errs(r#"evaluate m from "x%" keep top(5, m["f1"], 100)"#);
+        assert!(d.iter().any(|d| d.code == Q_UNKNOWN_METRIC));
+        let d = errs(r#"evaluate m from "x%" keep top(0, m["loss"], 100)"#);
+        assert!(d.iter().any(|d| d.code == Q_EMPTY_DOMAIN));
+    }
+
+    #[test]
+    fn nested_evaluate_is_rejected() {
+        let d = errs(r#"evaluate m from (evaluate n from "x%") keep top(1, m["loss"], 10)"#);
+        assert!(d.iter().any(|d| d.code == Q_NESTED_EVALUATE));
+    }
+
+    #[test]
+    fn unknown_layers_flagged_when_networks_known() {
+        let layers = ["conv1", "relu1", "fc2"];
+        // Slice endpoints that exist nowhere: error.
+        let d = with_layers(
+            r#"slice m2 from m1 mutate m2.input = m1["conv9"] and m2.output = m1["fc2"]"#,
+            &layers,
+        );
+        assert_eq!(d.iter().filter(|d| d.code == Q_UNKNOWN_LAYER).count(), 1);
+        assert_eq!(d[0].severity, Severity::Error);
+        // Wildcards that do match: clean.
+        let d = with_layers(
+            r#"slice m2 from m1 mutate m2.input = m1["conv*"] and m2.output = m1["fc*"]"#,
+            &layers,
+        );
+        assert_eq!(d, vec![]);
+        // `has` with a missing layer only warns (a future model may match).
+        let d = with_layers(r#"select m1 where m1["pool9"] has RELU"#, &layers);
+        assert!(d
+            .iter()
+            .any(|d| d.code == Q_UNKNOWN_LAYER && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn dataset_and_config_registration_checks() {
+        let ctx = AnalyzeContext {
+            layer_names: None,
+            configs: Some(["base".to_string()].into()),
+            datasets: Some(["train-a".to_string()].into()),
+        };
+        let d = check(
+            r#"evaluate m from "x%" with config = "missing" vary config.input_data in ["train-b"]"#,
+            &ctx,
+        )
+        .unwrap();
+        assert!(d
+            .iter()
+            .any(|d| d.code == Q_UNKNOWN_CONFIG && d.severity == Severity::Warning));
+        assert!(d
+            .iter()
+            .any(|d| d.code == Q_UNKNOWN_DATASET && d.severity == Severity::Error));
+        let d = check(
+            r#"evaluate m from "x%" with config = "base" vary config.input_data in ["train-a"]"#,
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(d, vec![]);
+    }
+
+    #[test]
+    fn bad_selector_syntax_is_rejected() {
+        // An unclosed capture group fails selector compilation.
+        let d = errs(r#"select m1 where m1["conv*($1"] has RELU"#);
+        assert!(
+            d.iter()
+                .any(|d| d.code == Q_BAD_SELECTOR || d.code == Q_BAD_PATH),
+            "{d:?}"
+        );
+    }
+}

@@ -90,7 +90,10 @@ pub struct SliceQuery {
 pub enum MutationAction {
     /// `m["sel"].insert = TEMPLATE("name$1")`: insert the templated node
     /// after every node matched by the selector.
-    Insert { selector: String, template: NodeTemplate },
+    Insert {
+        selector: String,
+        template: NodeTemplate,
+    },
     /// `m["sel"].delete`: remove every matched node, reconnecting around it.
     Delete { selector: String },
 }
@@ -129,9 +132,18 @@ pub enum VaryClause {
 #[derive(Debug, Clone, PartialEq)]
 pub enum KeepRule {
     /// `top(k, m["metric"], iters)`.
-    Top { k: usize, metric: String, iterations: usize },
+    Top {
+        k: usize,
+        metric: String,
+        iterations: usize,
+    },
     /// `m["metric"] <op> threshold` after `iterations`.
-    Threshold { metric: String, op: CmpOp, value: f64, iterations: usize },
+    Threshold {
+        metric: String,
+        op: CmpOp,
+        value: f64,
+        iterations: usize,
+    },
 }
 
 /// `evaluate <alias> from <source> with config = "..." vary ... keep ...`

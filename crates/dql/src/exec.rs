@@ -96,6 +96,17 @@ impl<'a> Executor<'a> {
         self.execute(&q)
     }
 
+    /// Check-only mode: parse and semantically analyze a query against this
+    /// executor's repository, registered configs, and datasets — without
+    /// executing it. Returns the diagnostics (empty = clean).
+    pub fn check(&self, query: &str) -> Result<Vec<crate::analyze::Diagnostic>, DqlError> {
+        let q = crate::parser::parse(query).map_err(DqlError::Parse)?;
+        let mut ctx = crate::analyze::AnalyzeContext::from_repository(self.repo);
+        ctx.configs = Some(self.configs.keys().cloned().collect());
+        ctx.datasets = Some(self.datasets.keys().cloned().collect());
+        Ok(crate::analyze::analyze(&q, query, &ctx))
+    }
+
     /// Run a parsed query.
     pub fn execute(&self, q: &Query) -> Result<QueryResult, DqlError> {
         match q {
@@ -232,9 +243,7 @@ impl<'a> Executor<'a> {
                 PathStep::Attr(a) if a == "prev" => {
                     nodes = nodes.iter().flat_map(|&id| net.prev(id)).collect();
                 }
-                PathStep::Attr(_) => {
-                    return Err(DqlError::BadQuery("unknown traversal attribute"))
-                }
+                PathStep::Attr(_) => return Err(DqlError::BadQuery("unknown traversal attribute")),
             }
             first = false;
         }
@@ -247,17 +256,17 @@ impl<'a> Executor<'a> {
     // ---- slice --------------------------------------------------------
 
     fn slice(&self, q: &SliceQuery) -> Result<Vec<DerivedModel>, DqlError> {
-        let matches = self.select(&SelectQuery { alias: q.in_alias.clone(), pred: q.pred.clone() })?;
+        let matches = self.select(&SelectQuery {
+            alias: q.in_alias.clone(),
+            pred: q.pred.clone(),
+        })?;
         let in_sel = Selector::compile(&q.input_selector).map_err(DqlError::Selector)?;
         let out_sel = Selector::compile(&q.output_selector).map_err(DqlError::Selector)?;
         let mut out = Vec::new();
         for summary in matches {
             let spec = summary.key.to_string();
             let net = self.repo.get_network(&spec).map_err(DqlError::Dlv)?;
-            let start = net
-                .nodes()
-                .find(|n| in_sel.is_match(&n.name))
-                .map(|n| n.id);
+            let start = net.nodes().find(|n| in_sel.is_match(&n.name)).map(|n| n.id);
             let end = net
                 .nodes()
                 .find(|n| out_sel.is_match(&n.name))
@@ -303,7 +312,10 @@ impl<'a> Executor<'a> {
     // ---- construct ----------------------------------------------------
 
     fn construct(&self, q: &ConstructQuery) -> Result<Vec<DerivedModel>, DqlError> {
-        let matches = self.select(&SelectQuery { alias: q.in_alias.clone(), pred: q.pred.clone() })?;
+        let matches = self.select(&SelectQuery {
+            alias: q.in_alias.clone(),
+            pred: q.pred.clone(),
+        })?;
         let mut out = Vec::new();
         for summary in matches {
             let spec = summary.key.to_string();
@@ -368,21 +380,27 @@ impl<'a> Executor<'a> {
         let candidates: Vec<DerivedModel> = match &q.source {
             EvalSource::Named(pattern) => {
                 let pred = Pred::Like(
-                    Path { root: "m".into(), steps: vec![PathStep::Attr("name".into())] },
+                    Path {
+                        root: "m".into(),
+                        steps: vec![PathStep::Attr("name".into())],
+                    },
                     pattern.clone(),
                 );
-                self.select(&SelectQuery { alias: "m".into(), pred })?
-                    .into_iter()
-                    .map(|s| -> Result<DerivedModel, DqlError> {
-                        let spec = s.key.to_string();
-                        Ok(DerivedModel {
-                            network: self.repo.get_network(&spec).map_err(DqlError::Dlv)?,
-                            init: self.repo.get_weights(&spec, None).ok(),
-                            source: s.key,
-                            derivation: spec,
-                        })
+                self.select(&SelectQuery {
+                    alias: "m".into(),
+                    pred,
+                })?
+                .into_iter()
+                .map(|s| -> Result<DerivedModel, DqlError> {
+                    let spec = s.key.to_string();
+                    Ok(DerivedModel {
+                        network: self.repo.get_network(&spec).map_err(DqlError::Dlv)?,
+                        init: self.repo.get_weights(&spec, None).ok(),
+                        source: s.key,
+                        derivation: spec,
                     })
-                    .collect::<Result<_, _>>()?
+                })
+                .collect::<Result<_, _>>()?
             }
             EvalSource::Nested(inner) => match self.execute(inner)? {
                 QueryResult::Derived(d) => d,
@@ -409,11 +427,7 @@ impl<'a> Executor<'a> {
 
         // Base configuration.
         let mut base = match &q.config {
-            Some(name) => self
-                .configs
-                .get(name)
-                .cloned()
-                .unwrap_or_default(),
+            Some(name) => self.configs.get(name).cloned().unwrap_or_default(),
             None => Hyperparams::default(),
         };
         base.layer_lr.clear();
@@ -516,8 +530,15 @@ impl<'a> Executor<'a> {
                 let mut idx: Vec<usize> = (0..outcomes.len()).collect();
                 let ascending = metric == "loss";
                 idx.sort_by(|&a, &b| {
-                    let (x, y) = (metric_of(&outcomes[a].2, metric), metric_of(&outcomes[b].2, metric));
-                    if ascending { x.total_cmp(&y) } else { y.total_cmp(&x) }
+                    let (x, y) = (
+                        metric_of(&outcomes[a].2, metric),
+                        metric_of(&outcomes[b].2, metric),
+                    );
+                    if ascending {
+                        x.total_cmp(&y)
+                    } else {
+                        y.total_cmp(&x)
+                    }
                 });
                 let mut flags = vec![false; outcomes.len()];
                 for &i in idx.iter().take(*k) {
@@ -525,7 +546,9 @@ impl<'a> Executor<'a> {
                 }
                 flags
             }
-            Some(KeepRule::Threshold { metric, op, value, .. }) => outcomes
+            Some(KeepRule::Threshold {
+                metric, op, value, ..
+            }) => outcomes
                 .iter()
                 .map(|(_, _, o)| {
                     let x = metric_of(o, metric);
@@ -561,11 +584,7 @@ impl<'a> Executor<'a> {
             final_rows.push(outcome);
         }
         // Kept rows first, then by loss.
-        final_rows.sort_by(|a, b| {
-            b.kept
-                .cmp(&a.kept)
-                .then(a.loss.total_cmp(&b.loss))
-        });
+        final_rows.sort_by(|a, b| b.kept.cmp(&a.kept).then(a.loss.total_cmp(&b.loss)));
         Ok(final_rows)
     }
 
@@ -591,7 +610,11 @@ impl<'a> Executor<'a> {
                             "lr_gamma" => hp.lr_gamma = *n as f32,
                             _ => return Err(DqlError::BadQuery("unknown config key")),
                         }
-                        out.push((hp, format!("{desc} {key}={n}").trim().to_string(), data.clone()));
+                        out.push((
+                            hp,
+                            format!("{desc} {key}={n}").trim().to_string(),
+                            data.clone(),
+                        ));
                     }
                 }
             }
@@ -680,7 +703,9 @@ fn instantiate_template(
         ),
         "DROPOUT" => (
             str_arg(1).unwrap_or_else(|| auto_name("drop")),
-            LayerKind::Dropout { rate: num_arg(0).unwrap_or(0.5) as f32 },
+            LayerKind::Dropout {
+                rate: num_arg(0).unwrap_or(0.5) as f32,
+            },
         ),
         "FLATTEN" => (
             str_arg(0).unwrap_or_else(|| auto_name("flatten")),
@@ -702,7 +727,9 @@ fn instantiate_template(
         }
         "FULL" => (
             str_arg(1).unwrap_or_else(|| auto_name("fc")),
-            LayerKind::Full { out: num_arg(0).unwrap_or(10.0) as usize },
+            LayerKind::Full {
+                out: num_arg(0).unwrap_or(10.0) as usize,
+            },
         ),
         "CONV" => (
             str_arg(4).unwrap_or_else(|| auto_name("conv")),

@@ -21,6 +21,7 @@
 //! # }
 //! ```
 
+pub mod analyze;
 pub mod ast;
 pub mod exec;
 pub mod optimizer;
@@ -28,6 +29,7 @@ pub mod parser;
 pub mod selector;
 pub mod token;
 
+pub use analyze::{AnalyzeContext, Diagnostic, Severity};
 pub use ast::{Query, SelectQuery};
 pub use exec::{DerivedModel, EvalOutcome, Executor, QueryResult};
 pub use optimizer::optimize;

@@ -93,7 +93,10 @@ mod tests {
 
     fn cmp(attr: &str, v: f64) -> Pred {
         Pred::Cmp(
-            Path { root: "m".into(), steps: vec![PathStep::Attr(attr.into())] },
+            Path {
+                root: "m".into(),
+                steps: vec![PathStep::Attr(attr.into())],
+            },
             CmpOp::Gt,
             Literal::Num(v),
         )
@@ -101,8 +104,14 @@ mod tests {
 
     fn has(sel: &str) -> Pred {
         Pred::Has(
-            Path { root: "m".into(), steps: vec![PathStep::Selector(sel.into())] },
-            NodeTemplate { ty: "POOL".into(), args: vec![] },
+            Path {
+                root: "m".into(),
+                steps: vec![PathStep::Selector(sel.into())],
+            },
+            NodeTemplate {
+                ty: "POOL".into(),
+                args: vec![],
+            },
         )
     }
 
@@ -110,7 +119,10 @@ mod tests {
     fn structural_predicates_sink_to_the_right() {
         let p = Pred::And(
             Box::new(has("conv*")),
-            Box::new(Pred::And(Box::new(cmp("accuracy", 0.5)), Box::new(has("relu*")))),
+            Box::new(Pred::And(
+                Box::new(cmp("accuracy", 0.5)),
+                Box::new(has("relu*")),
+            )),
         );
         let o = optimize(&p);
         // Flattened order: Cmp first, Has atoms after.

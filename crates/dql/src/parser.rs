@@ -122,7 +122,11 @@ impl Parser {
         let out_alias = self.expect_ident("output alias")?;
         self.expect_kw(Kw::From, "from")?;
         let in_alias = self.expect_ident("input alias")?;
-        let pred = if self.eat_kw(Kw::Where) { self.pred()? } else { Pred::True };
+        let pred = if self.eat_kw(Kw::Where) {
+            self.pred()?
+        } else {
+            Pred::True
+        };
         self.expect_kw(Kw::Mutate, "mutate")?;
         // out.input = in["sel"] and out.output = in["sel"]
         let mut input_selector = None;
@@ -164,7 +168,11 @@ impl Parser {
         let out_alias = self.expect_ident("output alias")?;
         self.expect_kw(Kw::From, "from")?;
         let in_alias = self.expect_ident("input alias")?;
-        let pred = if self.eat_kw(Kw::Where) { self.pred()? } else { Pred::True };
+        let pred = if self.eat_kw(Kw::Where) {
+            self.pred()?
+        } else {
+            Pred::True
+        };
         self.expect_kw(Kw::Mutate, "mutate")?;
         let mut actions = Vec::new();
         loop {
@@ -189,7 +197,12 @@ impl Parser {
                 break;
             }
         }
-        Ok(ConstructQuery { out_alias, in_alias, pred, actions })
+        Ok(ConstructQuery {
+            out_alias,
+            in_alias,
+            pred,
+            actions,
+        })
     }
 
     fn evaluate(&mut self) -> Result<EvaluateQuery, ParseError> {
@@ -236,7 +249,13 @@ impl Parser {
         if self.eat_kw(Kw::Keep) {
             keep = Some(self.keep_rule(&alias)?);
         }
-        Ok(EvaluateQuery { alias, source, config, vary, keep })
+        Ok(EvaluateQuery {
+            alias,
+            source,
+            config,
+            vary,
+            keep,
+        })
     }
 
     /// `config.base_lr in [...]` | `config.net["sel"].lr auto` |
@@ -285,14 +304,23 @@ impl Parser {
             self.expect(Token::Comma, ",")?;
             let iterations = self.number()? as usize;
             self.expect(Token::RParen, ")")?;
-            return Ok(KeepRule::Top { k, metric, iterations });
+            return Ok(KeepRule::Top {
+                k,
+                metric,
+                iterations,
+            });
         }
         let metric = self.metric_ref(alias)?;
         let op = self.cmp_op()?;
         let value = self.number()?;
         self.expect(Token::Comma, ",")?;
         let iterations = self.number()? as usize;
-        Ok(KeepRule::Threshold { metric, op, value, iterations })
+        Ok(KeepRule::Threshold {
+            metric,
+            op,
+            value,
+            iterations,
+        })
     }
 
     /// `m["loss"]` or `m.loss`.
@@ -327,7 +355,10 @@ impl Parser {
             Some(Token::Le) => Ok(CmpOp::Le),
             Some(Token::Gt) => Ok(CmpOp::Gt),
             Some(Token::Ge) => Ok(CmpOp::Ge),
-            _ => Err(ParseError::Expected("comparison operator", self.pos.saturating_sub(1))),
+            _ => Err(ParseError::Expected(
+                "comparison operator",
+                self.pos.saturating_sub(1),
+            )),
         }
     }
 
@@ -445,7 +476,10 @@ impl Parser {
             }
             self.expect(Token::RParen, ")")?;
         }
-        Ok(NodeTemplate { ty: ty.to_ascii_uppercase(), args })
+        Ok(NodeTemplate {
+            ty: ty.to_ascii_uppercase(),
+            args,
+        })
     }
 }
 
@@ -462,10 +496,14 @@ mod tests {
                      m1["conv[1,3,5]"].next has POOL("MAX")"#,
         )
         .unwrap();
-        let Query::Select(s) = q else { panic!("expected select") };
+        let Query::Select(s) = q else {
+            panic!("expected select")
+        };
         assert_eq!(s.alias, "m1");
         // Predicate is a left-nested And of three atoms.
-        let Pred::And(lhs, rhs) = &s.pred else { panic!() };
+        let Pred::And(lhs, rhs) = &s.pred else {
+            panic!()
+        };
         assert!(matches!(**rhs, Pred::Has(_, _)));
         let Pred::And(a, b) = &**lhs else { panic!() };
         assert!(matches!(**a, Pred::Like(_, _)));
@@ -481,7 +519,9 @@ mod tests {
                       m2.output = m1["fc7"]"#,
         )
         .unwrap();
-        let Query::Slice(s) = q else { panic!("expected slice") };
+        let Query::Slice(s) = q else {
+            panic!("expected slice")
+        };
         assert_eq!(s.input_selector, "conv1");
         assert_eq!(s.output_selector, "fc7");
     }
@@ -495,7 +535,9 @@ mod tests {
                mutate m1["conv*($1)"].insert = RELU("relu$1")"#,
         )
         .unwrap();
-        let Query::Construct(c) = q else { panic!("expected construct") };
+        let Query::Construct(c) = q else {
+            panic!("expected construct")
+        };
         assert_eq!(c.actions.len(), 1);
         let MutationAction::Insert { selector, template } = &c.actions[0] else {
             panic!()
@@ -517,16 +559,24 @@ mod tests {
                keep top(5, m["loss"], 100)"#,
         )
         .unwrap();
-        let Query::Evaluate(e) = q else { panic!("expected evaluate") };
+        let Query::Evaluate(e) = q else {
+            panic!("expected evaluate")
+        };
         assert_eq!(e.source, EvalSource::Named("query3".into()));
         assert_eq!(e.config.as_deref(), Some("path to config"));
         assert_eq!(e.vary.len(), 3);
-        assert!(matches!(&e.vary[0], VaryClause::Grid { key, values } if key == "base_lr" && values.len() == 3));
+        assert!(
+            matches!(&e.vary[0], VaryClause::Grid { key, values } if key == "base_lr" && values.len() == 3)
+        );
         assert!(matches!(&e.vary[1], VaryClause::LayerLrAuto { selector } if selector == "conv*"));
         assert!(matches!(&e.vary[2], VaryClause::InputData { names } if names.len() == 2));
         assert_eq!(
             e.keep,
-            Some(KeepRule::Top { k: 5, metric: "loss".into(), iterations: 100 })
+            Some(KeepRule::Top {
+                k: 5,
+                metric: "loss".into(),
+                iterations: 100
+            })
         );
     }
 
@@ -554,7 +604,12 @@ mod tests {
     fn parse_delete_action() {
         let q = parse(r#"construct m2 from m1 mutate m1["drop*"].delete"#).unwrap();
         let Query::Construct(c) = q else { panic!() };
-        assert_eq!(c.actions, vec![MutationAction::Delete { selector: "drop*".into() }]);
+        assert_eq!(
+            c.actions,
+            vec![MutationAction::Delete {
+                selector: "drop*".into()
+            }]
+        );
     }
 
     #[test]
@@ -562,7 +617,9 @@ mod tests {
         let q = parse(r#"select m where m.a > 1 or m.b > 2 and m.c > 3"#).unwrap();
         let Query::Select(s) = q else { panic!() };
         // Parses as a OR (b AND c).
-        let Pred::Or(_, rhs) = &s.pred else { panic!("or at top") };
+        let Pred::Or(_, rhs) = &s.pred else {
+            panic!("or at top")
+        };
         assert!(matches!(**rhs, Pred::And(_, _)));
         let q2 = parse(r#"select m where (m.a > 1 or m.b > 2) and m.c > 3"#).unwrap();
         let Query::Select(s2) = q2 else { panic!() };

@@ -75,8 +75,7 @@ impl Selector {
                         .position(|&c| c == ']')
                         .ok_or(SelectorError::UnclosedBracket)?;
                     let body: String = chars[i + 1..i + 1 + close].iter().collect();
-                    let alts: Vec<String> =
-                        body.split(',').map(|s| s.trim().to_string()).collect();
+                    let alts: Vec<String> = body.split(',').map(|s| s.trim().to_string()).collect();
                     if alts.iter().any(String::is_empty) {
                         return Err(SelectorError::EmptyAlternative);
                     }
@@ -90,7 +89,10 @@ impl Selector {
         if depth != 0 {
             return Err(SelectorError::UnbalancedParen);
         }
-        Ok(Self { items, source: pattern.to_string() })
+        Ok(Self {
+            items,
+            source: pattern.to_string(),
+        })
     }
 
     pub fn source(&self) -> &str {
@@ -181,7 +183,11 @@ pub fn substitute(template: &str, caps: &[String]) -> String {
             while j < chars.len() && chars[j].is_ascii_digit() {
                 j += 1;
             }
-            let n: usize = chars[i + 1..j].iter().collect::<String>().parse().unwrap_or(0);
+            let n: usize = chars[i + 1..j]
+                .iter()
+                .collect::<String>()
+                .parse()
+                .unwrap_or(0);
             if n >= 1 && n <= caps.len() {
                 out.push_str(&caps[n - 1]);
             }
@@ -246,10 +252,22 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert_eq!(Selector::compile("a[b"), Err(SelectorError::UnclosedBracket));
-        assert_eq!(Selector::compile("a(b"), Err(SelectorError::UnbalancedParen));
-        assert_eq!(Selector::compile("a)b"), Err(SelectorError::UnbalancedParen));
-        assert_eq!(Selector::compile("x[,y]"), Err(SelectorError::EmptyAlternative));
+        assert_eq!(
+            Selector::compile("a[b"),
+            Err(SelectorError::UnclosedBracket)
+        );
+        assert_eq!(
+            Selector::compile("a(b"),
+            Err(SelectorError::UnbalancedParen)
+        );
+        assert_eq!(
+            Selector::compile("a)b"),
+            Err(SelectorError::UnbalancedParen)
+        );
+        assert_eq!(
+            Selector::compile("x[,y]"),
+            Err(SelectorError::EmptyAlternative)
+        );
     }
 
     #[test]

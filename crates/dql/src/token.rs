@@ -76,6 +76,32 @@ fn keyword(s: &str) -> Option<Kw> {
     })
 }
 
+/// A half-open source range `[start, end)` in *character* offsets into the
+/// query string (the lexer operates on `char`s, so multi-byte characters
+/// count as one position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 /// Lexing errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LexError {
@@ -98,72 +124,80 @@ impl std::error::Error for LexError {}
 
 /// Tokenize a DQL query string.
 pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    Ok(lex_spanned(input)?.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Tokenize, keeping the source span of every token (for diagnostics).
+pub fn lex_spanned(input: &str) -> Result<Vec<(Token, Span)>, LexError> {
     let chars: Vec<char> = input.chars().collect();
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < chars.len() {
         let c = chars[i];
+        let start = i;
         match c {
-            ' ' | '\t' | '\n' | '\r' => i += 1,
-            '.' => {
-                out.push(Token::Dot);
+            ' ' | '\t' | '\n' | '\r' => {
                 i += 1;
+                continue;
+            }
+            '.' => {
+                i += 1;
+                out.push((Token::Dot, Span::new(start, i)));
             }
             ',' => {
-                out.push(Token::Comma);
                 i += 1;
+                out.push((Token::Comma, Span::new(start, i)));
             }
             '(' => {
-                out.push(Token::LParen);
                 i += 1;
+                out.push((Token::LParen, Span::new(start, i)));
             }
             ')' => {
-                out.push(Token::RParen);
                 i += 1;
+                out.push((Token::RParen, Span::new(start, i)));
             }
             '[' => {
-                out.push(Token::LBracket);
                 i += 1;
+                out.push((Token::LBracket, Span::new(start, i)));
             }
             ']' => {
-                out.push(Token::RBracket);
                 i += 1;
+                out.push((Token::RBracket, Span::new(start, i)));
             }
             '=' => {
-                out.push(Token::Eq);
                 i += 1;
                 if chars.get(i) == Some(&'=') {
                     i += 1; // accept '==' as '='
                 }
+                out.push((Token::Eq, Span::new(start, i)));
             }
             '!' if chars.get(i + 1) == Some(&'=') => {
-                out.push(Token::Ne);
                 i += 2;
+                out.push((Token::Ne, Span::new(start, i)));
             }
             '<' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    out.push(Token::Le);
                     i += 2;
+                    out.push((Token::Le, Span::new(start, i)));
                 } else if chars.get(i + 1) == Some(&'>') {
-                    out.push(Token::Ne);
                     i += 2;
+                    out.push((Token::Ne, Span::new(start, i)));
                 } else {
-                    out.push(Token::Lt);
                     i += 1;
+                    out.push((Token::Lt, Span::new(start, i)));
                 }
             }
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    out.push(Token::Ge);
                     i += 2;
+                    out.push((Token::Ge, Span::new(start, i)));
                 } else {
-                    out.push(Token::Gt);
                     i += 1;
+                    out.push((Token::Gt, Span::new(start, i)));
                 }
             }
             '"' | '\'' => {
                 let quote = c;
-                let start = i;
                 i += 1;
                 let mut s = String::new();
                 loop {
@@ -183,10 +217,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token::Str(s));
+                out.push((Token::Str(s), Span::new(start, i)));
             }
             '0'..='9' => {
-                let start = i;
                 while i < chars.len()
                     && (chars[i].is_ascii_digit()
                         || chars[i] == '.'
@@ -206,20 +239,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let text: String = chars[start..end].iter().collect();
                 let n: f64 = text.parse().map_err(|_| LexError::BadNumber(start))?;
-                out.push(Token::Number(n));
+                out.push((Token::Number(n), Span::new(start, end)));
             }
             c if c.is_alphabetic() || c == '_' => {
-                let start = i;
                 while i < chars.len()
                     && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
                 {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                match keyword(&text) {
-                    Some(kw) => out.push(Token::Keyword(kw)),
-                    None => out.push(Token::Ident(text)),
-                }
+                let tok = match keyword(&text) {
+                    Some(kw) => Token::Keyword(kw),
+                    None => Token::Ident(text),
+                };
+                out.push((tok, Span::new(start, i)));
             }
             other => return Err(LexError::UnexpectedChar(other, i)),
         }
@@ -273,8 +306,14 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert!(matches!(lex("\"oops"), Err(LexError::UnterminatedString(_))));
-        assert!(matches!(lex("a # b"), Err(LexError::UnexpectedChar('#', _))));
+        assert!(matches!(
+            lex("\"oops"),
+            Err(LexError::UnterminatedString(_))
+        ));
+        assert!(matches!(
+            lex("a # b"),
+            Err(LexError::UnexpectedChar('#', _))
+        ));
     }
 
     #[test]
@@ -288,5 +327,36 @@ mod tests {
     fn escaped_quotes() {
         let toks = lex(r#""a\"b""#).unwrap();
         assert_eq!(toks, vec![Token::Str("a\"b".into())]);
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = r#"select m1 where m1.accuracy >= 0.5 and m1.name like "x%""#;
+        let spanned = lex_spanned(src).unwrap();
+        let chars: Vec<char> = src.chars().collect();
+        for (tok, sp) in &spanned {
+            assert!(sp.start < sp.end && sp.end <= chars.len(), "{tok:?} {sp}");
+            let slice: String = chars[sp.start..sp.end].iter().collect();
+            match tok {
+                Token::Ident(s) => assert_eq!(&slice, s),
+                Token::Str(_) => assert!(slice.starts_with('"') || slice.starts_with('\'')),
+                Token::Ge => assert_eq!(slice, ">="),
+                _ => assert!(!slice.trim().is_empty()),
+            }
+        }
+        // The plain lexer sees the identical token stream.
+        let plain = lex(src).unwrap();
+        assert_eq!(
+            plain,
+            spanned.into_iter().map(|(t, _)| t).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn span_join() {
+        let a = Span::new(3, 5);
+        let b = Span::new(9, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
     }
 }

@@ -84,22 +84,26 @@ fn arb_pred() -> impl Strategy<Value = Pred> {
         (0u8..3, -2.0f64..2.0).prop_map(|(attr, v)| {
             let name = ["accuracy", "params", "id"][attr as usize];
             Pred::Cmp(
-                Path { root: "m".into(), steps: vec![PathStep::Attr(name.into())] },
+                Path {
+                    root: "m".into(),
+                    steps: vec![PathStep::Attr(name.into())],
+                },
                 CmpOp::Gt,
                 Literal::Num(v),
             )
         }),
         "[a-c%]{0,4}".prop_map(|pat| Pred::Like(
-            Path { root: "m".into(), steps: vec![PathStep::Attr("name".into())] },
+            Path {
+                root: "m".into(),
+                steps: vec![PathStep::Attr("name".into())]
+            },
             pat,
         )),
     ];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Pred::Not(Box::new(a))),
         ]
     })

@@ -1,6 +1,7 @@
 //! End-to-end DQL tests: build a small repository of trained models, then
 //! run the paper's four query archetypes against it.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use mh_dlv::{CommitRequest, Repository};
 use mh_dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
 use mh_dql::{Executor, QueryResult};
@@ -29,7 +30,10 @@ fn fixture(tag: &str) -> (Repository, PathBuf) {
     let dir = temp_dir(tag);
     let repo = Repository::init(&dir).unwrap();
     let data = dataset();
-    let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+    let trainer = Trainer::new(Hyperparams {
+        base_lr: 0.08,
+        ..Default::default()
+    });
 
     for (name, seed) in [("lenet-origin", 1u64), ("lenet-avgv1", 2)] {
         let net = zoo::lenet_s(3);
@@ -279,7 +283,10 @@ fn evaluate_threshold_keep_and_input_data() {
     assert_eq!(rows.len(), 2);
     assert!(rows.iter().any(|r| r.config.contains("data=easy")));
     assert!(rows.iter().any(|r| r.config.contains("data=noisy")));
-    assert!(rows.iter().all(|r| r.kept), "threshold 100 keeps everything");
+    assert!(
+        rows.iter().all(|r| r.kept),
+        "threshold 100 keeps everything"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -38,12 +38,20 @@ pub struct StorageTier {
 impl StorageTier {
     /// The default local tier (measured costs as-is).
     pub fn local() -> Self {
-        Self { name: "local", storage_mult: 1.0, recreation_mult: 1.0 }
+        Self {
+            name: "local",
+            storage_mult: 1.0,
+            recreation_mult: 1.0,
+        }
     }
 
     /// A remote/cold tier: cheaper capacity, slower reads.
     pub fn remote() -> Self {
-        Self { name: "remote", storage_mult: 0.4, recreation_mult: 5.0 }
+        Self {
+            name: "remote",
+            storage_mult: 0.4,
+            recreation_mult: 5.0,
+        }
     }
 }
 
@@ -79,7 +87,10 @@ impl Default for CostModel {
 impl CostModel {
     /// A local + remote two-tier configuration.
     pub fn with_remote_tier() -> Self {
-        Self { tiers: vec![StorageTier::local(), StorageTier::remote()], ..Self::default() }
+        Self {
+            tiers: vec![StorageTier::local(), StorageTier::remote()],
+            ..Self::default()
+        }
     }
 }
 
@@ -225,10 +236,18 @@ impl GraphBuilder {
         version_b: &str,
         snap_b: usize,
     ) {
-        let Some(a) = self.snapshots.get(&(version_a.to_string(), snap_a)).cloned() else {
+        let Some(a) = self
+            .snapshots
+            .get(&(version_a.to_string(), snap_a))
+            .cloned()
+        else {
             return;
         };
-        let Some(b) = self.snapshots.get(&(version_b.to_string(), snap_b)).cloned() else {
+        let Some(b) = self
+            .snapshots
+            .get(&(version_b.to_string(), snap_b))
+            .cloned()
+        else {
             return;
         };
         for (layer, &va) in &a {
@@ -425,7 +444,8 @@ mod tests {
         let (mut g, _) = b.finish();
         apply_alpha_budgets(&mut g, 1.5, RetrievalScheme::Independent).unwrap();
         let spt = solver::spt(&g).unwrap();
-        let base = spt.snapshot_recreation_cost(&g, &g.snapshots[0].members, RetrievalScheme::Independent);
+        let base =
+            spt.snapshot_recreation_cost(&g, &g.snapshots[0].members, RetrievalScheme::Independent);
         assert!((g.snapshots[0].budget - 1.5 * base).abs() < 1e-6);
     }
 }
@@ -454,7 +474,11 @@ mod tier_tests {
             assert_eq!(mats.len(), 2);
             // Remote = cheaper storage, costlier recreation.
             let (a, b) = (mats[0], mats[1]);
-            let (local, remote) = if a.storage_cost < b.storage_cost { (b, a) } else { (a, b) };
+            let (local, remote) = if a.storage_cost < b.storage_cost {
+                (b, a)
+            } else {
+                (a, b)
+            };
             assert!(remote.storage_cost < local.storage_cost);
             assert!(remote.recreation_cost > local.recreation_cost);
         }

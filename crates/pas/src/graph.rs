@@ -7,7 +7,6 @@
 //! recreation cost; parallel edges between the same pair model alternative
 //! storage tiers or encodings.
 
-
 /// Index of a vertex in the storage graph. `NULL_VERTEX` (0) is ν₀.
 pub type VertexId = usize;
 
@@ -93,14 +92,24 @@ impl StorageGraph {
         storage_cost: f64,
         recreation_cost: f64,
     ) -> EdgeId {
-        assert!(from < self.labels.len() && to < self.labels.len(), "edge endpoints exist");
+        assert!(
+            from < self.labels.len() && to < self.labels.len(),
+            "edge endpoints exist"
+        );
         assert!(to != NULL_VERTEX, "ν0 is never a target");
         assert!(
             kind != EdgeKind::Materialize || from == NULL_VERTEX,
             "materialize edges start at ν0"
         );
         let id = self.edges.len();
-        self.edges.push(Edge { id, from, to, kind, storage_cost, recreation_cost });
+        self.edges.push(Edge {
+            id,
+            from,
+            to,
+            kind,
+            storage_cost,
+            recreation_cost,
+        });
         self.out[from].push(id);
         self.incoming[to].push(id);
         id
@@ -122,7 +131,11 @@ impl StorageGraph {
 
     /// Register a co-usage group.
     pub fn add_snapshot(&mut self, name: &str, members: Vec<VertexId>, budget: f64) {
-        self.snapshots.push(SnapshotGroup { name: name.to_string(), members, budget });
+        self.snapshots.push(SnapshotGroup {
+            name: name.to_string(),
+            members,
+            budget,
+        });
     }
 
     pub fn num_vertices(&self) -> usize {
@@ -205,7 +218,7 @@ pub fn fig5_example() -> (StorageGraph, Vec<VertexId>) {
     g.add_edge(NULL_VERTEX, m[2], EdgeKind::Materialize, 8.0, 2.0); // m3 (8,2)
     g.add_edge(NULL_VERTEX, m[3], EdgeKind::Materialize, 9.0, 2.0); // m4 (9,2)
     g.add_edge(NULL_VERTEX, m[4], EdgeKind::Materialize, 8.0, 2.0); // m5 (8,2)
-    // Delta edges.
+                                                                    // Delta edges.
     g.add_delta_pair(m[0], m[2], 1.0, 0.5); // m1-m3 (1,0.5)
     g.add_delta_pair(m[2], m[3], 4.0, 1.0); // m3-m4 (4,1)
     g.add_delta_pair(m[3], m[4], 4.0, 1.0); // m4-m5 (4,1)
@@ -223,7 +236,10 @@ mod tests {
         let (g, m) = fig5_example();
         assert_eq!(g.num_vertices(), 6);
         assert_eq!(g.num_edges(), 5 + 3 * 2);
-        assert!(g.is_complete(), "every matrix has a direct materialize option");
+        assert!(
+            g.is_complete(),
+            "every matrix has a direct materialize option"
+        );
         assert_eq!(g.groups_of(m[0]), vec![0]);
         assert_eq!(g.groups_of(m[3]), vec![1]);
         assert_eq!(g.label(NULL_VERTEX), "ν0");

@@ -28,7 +28,10 @@ pub struct StoragePlan {
 
 impl StoragePlan {
     /// Build from an explicit parent-edge assignment.
-    pub fn from_parents(graph: &StorageGraph, parent_edge: Vec<Option<EdgeId>>) -> Result<Self, PlanError> {
+    pub fn from_parents(
+        graph: &StorageGraph,
+        parent_edge: Vec<Option<EdgeId>>,
+    ) -> Result<Self, PlanError> {
         let plan = Self { parent_edge };
         plan.validate(graph)?;
         Ok(plan)
@@ -36,7 +39,9 @@ impl StoragePlan {
 
     /// An unvalidated plan under construction (all vertices unassigned).
     pub fn empty(graph: &StorageGraph) -> Self {
-        Self { parent_edge: vec![None; graph.num_vertices()] }
+        Self {
+            parent_edge: vec![None; graph.num_vertices()],
+        }
     }
 
     pub fn set_parent(&mut self, v: VertexId, e: EdgeId) {
@@ -82,7 +87,8 @@ impl StoragePlan {
         }
         for v in graph.matrix_vertices() {
             let e = self.parent_edge[v].ok_or(PlanError::Unassigned(v))?;
-            if graph.edge(e).to != v {
+            // An out-of-range edge id is as mismatched as a wrong target.
+            if e >= graph.num_edges() || graph.edge(e).to != v {
                 return Err(PlanError::EdgeMismatch(v));
             }
         }
@@ -243,8 +249,16 @@ mod tests {
         let plan = fig5b_plan(&g, &m);
         // Paper: Cs = 19, Cr_independent(s1) = 3, Cr_independent(s2) = 7.5.
         assert_eq!(plan.storage_cost(&g), 19.0);
-        let s1 = plan.snapshot_recreation_cost(&g, &g.snapshots[0].members, RetrievalScheme::Independent);
-        let s2 = plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Independent);
+        let s1 = plan.snapshot_recreation_cost(
+            &g,
+            &g.snapshots[0].members,
+            RetrievalScheme::Independent,
+        );
+        let s2 = plan.snapshot_recreation_cost(
+            &g,
+            &g.snapshots[1].members,
+            RetrievalScheme::Independent,
+        );
         assert_eq!(s1, 3.0);
         assert_eq!(s2, 7.5);
         assert!(plan.satisfies_budgets(&g, RetrievalScheme::Independent));
@@ -273,7 +287,11 @@ mod tests {
         plan.set_parent(m[4], find(&g, NULL_VERTEX, m[4])); // materialize m5 (8,2)
         plan.validate(&g).unwrap();
         assert_eq!(plan.storage_cost(&g), 23.0);
-        let s2 = plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Independent);
+        let s2 = plan.snapshot_recreation_cost(
+            &g,
+            &g.snapshots[1].members,
+            RetrievalScheme::Independent,
+        );
         assert_eq!(s2, 6.0);
         assert!(plan.satisfies_budgets(&g, RetrievalScheme::Independent));
     }
@@ -283,11 +301,13 @@ mod tests {
         let (g, m) = fig5_example();
         let plan = fig5b_plan(&g, &m);
         // Parallel s2: path costs are m3 = 1.5, m4 = 2.5, m5 = 3.5 → 3.5.
-        let p = plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Parallel);
+        let p =
+            plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Parallel);
         assert_eq!(p, 3.5);
         // Reusable s2: union edges {ν0→m1, m1→m3, m3→m4, m4→m5}
         // = 1 + 0.5 + 1 + 1 = 3.5.
-        let r = plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Reusable);
+        let r =
+            plan.snapshot_recreation_cost(&g, &g.snapshots[1].members, RetrievalScheme::Reusable);
         assert_eq!(r, 3.5);
     }
 
@@ -312,12 +332,7 @@ mod tests {
         plan.set_parent(m[3], e34);
         plan.set_parent(m[2], e43);
         for v in [m[0], m[1], m[4]] {
-            let e = g
-                .edges()
-                .iter()
-                .find(|e| e.to == v)
-                .unwrap()
-                .id;
+            let e = g.edges().iter().find(|e| e.to == v).unwrap().id;
             plan.set_parent(v, e);
         }
         assert!(matches!(plan.validate(&g), Err(PlanError::Cycle(_))));
@@ -328,7 +343,10 @@ mod tests {
         let (mut g, m) = fig5_example();
         g.snapshots[1].budget = 5.0;
         let plan = fig5b_plan(&g, &m);
-        assert_eq!(plan.violated_snapshots(&g, RetrievalScheme::Independent), vec![1]);
+        assert_eq!(
+            plan.violated_snapshots(&g, RetrievalScheme::Independent),
+            vec![1]
+        );
         assert!(plan
             .violated_snapshots(&g, RetrievalScheme::Parallel)
             .is_empty());

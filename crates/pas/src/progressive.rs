@@ -190,7 +190,15 @@ mod tests {
         d
     }
 
-    fn trained_setup(tag: &str) -> (SegmentStore, ModelBinding, Vec<(Tensor3, usize)>, mh_dnn::Weights, PathBuf) {
+    fn trained_setup(
+        tag: &str,
+    ) -> (
+        SegmentStore,
+        ModelBinding,
+        Vec<(Tensor3, usize)>,
+        mh_dnn::Weights,
+        PathBuf,
+    ) {
         let net = zoo::lenet_s(3);
         let data = synth_dataset(&SynthConfig {
             num_classes: 3,
@@ -200,7 +208,10 @@ mod tests {
             seed: 5,
             ..Default::default()
         });
-        let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+        let trainer = Trainer::new(Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        });
         let init = Weights::init(&net, 2).unwrap();
         let result = trainer.train(&net, init, &data, 25).unwrap();
 

@@ -106,7 +106,7 @@ impl SegmentStore {
                 let bytes = delta.word_bytes();
                 let words = bytes
                     .chunks_exact(4)
-                    .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+                    .map(|c| u32::from_be_bytes(c.try_into().expect("fixed-size chunk")))
                     .collect();
                 (kind, words)
             };
@@ -130,7 +130,10 @@ impl SegmentStore {
                 },
             );
         }
-        let store = Self { dir: dir.to_path_buf(), objects };
+        let store = Self {
+            dir: dir.to_path_buf(),
+            objects,
+        };
         store.write_manifest()?;
         Ok(store)
     }
@@ -167,8 +170,7 @@ impl SegmentStore {
 
     /// Open an existing store.
     pub fn open(dir: &Path) -> Result<Self, PasError> {
-        let text =
-            std::fs::read_to_string(Self::manifest_path(dir)).map_err(PasError::Io)?;
+        let text = std::fs::read_to_string(Self::manifest_path(dir)).map_err(PasError::Io)?;
         let mut lines = text.lines();
         if lines.next() != Some("MHPAS1") {
             return Err(PasError::Corrupt("bad manifest header"));
@@ -180,7 +182,8 @@ impl SegmentStore {
                 return Err(PasError::Corrupt("bad manifest row"));
             }
             let parse = |s: &str| -> Result<u64, PasError> {
-                s.parse().map_err(|_| PasError::Corrupt("bad manifest number"))
+                s.parse()
+                    .map_err(|_| PasError::Corrupt("bad manifest number"))
             };
             let vertex = parse(f[0])? as VertexId;
             let kind = match f[1] {
@@ -202,7 +205,10 @@ impl SegmentStore {
                 },
             );
         }
-        Ok(Self { dir: dir.to_path_buf(), objects })
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            objects,
+        })
     }
 
     /// Total compressed bytes on disk (all planes).
@@ -249,8 +255,7 @@ impl SegmentStore {
         let n = o.rows * o.cols;
         let mut words = vec![0u32; n];
         for p in 0..k {
-            let packed =
-                std::fs::read(plane_path(&self.dir, o.vertex, p)).map_err(PasError::Io)?;
+            let packed = std::fs::read(plane_path(&self.dir, o.vertex, p)).map_err(PasError::Io)?;
             let plane = mh_compress::decompress(&packed).map_err(PasError::Compress)?;
             if plane.len() != n {
                 return Err(PasError::Corrupt("plane length mismatch"));
@@ -316,7 +321,9 @@ impl SegmentStore {
             }
         })
         .expect("crossbeam scope");
-        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+        out.into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect()
     }
 
     /// Approximate weight histogram from only the first `k` byte planes —
@@ -361,17 +368,19 @@ impl SegmentStore {
             };
             counts[idx] += 1;
         }
-        Ok(Histogram { min, max, counts, planes_used: k })
+        Ok(Histogram {
+            min,
+            max,
+            counts,
+            planes_used: k,
+        })
     }
 
     /// Recreate a group under the *reusable* scheme (Table III, ψr):
     /// intermediate chain states are computed once and shared across
     /// members whose recreation paths overlap, at the price of holding
     /// them in memory simultaneously.
-    pub fn recreate_group_reusable(
-        &self,
-        members: &[VertexId],
-    ) -> Result<Vec<Matrix>, PasError> {
+    pub fn recreate_group_reusable(&self, members: &[VertexId]) -> Result<Vec<Matrix>, PasError> {
         let mut cache: BTreeMap<VertexId, (Vec<u32>, (usize, usize))> = BTreeMap::new();
         let mut out = Vec::with_capacity(members.len());
         for &m in members {
@@ -394,9 +403,7 @@ impl SegmentStore {
                         acc = words;
                         shape = (o.rows, o.cols);
                     }
-                    (0, _) => {
-                        return Err(PasError::Corrupt("chain does not start materialized"))
-                    }
+                    (0, _) => return Err(PasError::Corrupt("chain does not start materialized")),
                     (_, ObjectKind::DeltaSub) => {
                         acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| {
                             b.wrapping_add(d)
@@ -404,8 +411,7 @@ impl SegmentStore {
                         shape = (o.rows, o.cols);
                     }
                     (_, ObjectKind::DeltaXor) => {
-                        acc =
-                            apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| b ^ d);
+                        acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| b ^ d);
                         shape = (o.rows, o.cols);
                     }
                     (_, ObjectKind::Materialized) => {
@@ -540,8 +546,10 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             let lo = self.min + i as f32 * bin_w;
             let bar = "#".repeat((c as usize * width / max as usize).max(usize::from(c > 0)));
-            out.push_str(&format!("{lo:>10.4} | {bar} {c}
-"));
+            out.push_str(&format!(
+                "{lo:>10.4} | {bar} {c}
+"
+            ));
         }
         out
     }
@@ -562,7 +570,11 @@ fn apply_positional(
     let mut out = Vec::with_capacity(tr * tc);
     for r in 0..tr {
         for c in 0..tc {
-            let b = if r < br && c < bc { base[r * bc + c] } else { 0 };
+            let b = if r < br && c < bc {
+                base[r * bc + c]
+            } else {
+                0
+            };
             out.push(op(b, delta[r * tc + c]));
         }
     }
@@ -598,7 +610,15 @@ mod tests {
     }
 
     /// Three close-by matrices chained by deltas plus one independent one.
-    fn setup(op: DeltaOp, tag: &str) -> (StorageGraph, StoragePlan, BTreeMap<VertexId, Matrix>, PathBuf) {
+    fn setup(
+        op: DeltaOp,
+        tag: &str,
+    ) -> (
+        StorageGraph,
+        StoragePlan,
+        BTreeMap<VertexId, Matrix>,
+        PathBuf,
+    ) {
         let mut g = StorageGraph::new();
         let m0 = Matrix::from_fn(8, 9, |r, c| ((r * 9 + c) as f32 * 0.17).sin() * 0.4);
         let m1 = m0.map(|x| x + 3e-4);
@@ -616,8 +636,9 @@ mod tests {
         g.add_snapshot("s0", vec![v0, v3], f64::INFINITY);
         g.add_snapshot("s2", vec![v2], f64::INFINITY);
         let plan = solver::mst(&g).unwrap();
-        let mats: BTreeMap<VertexId, Matrix> =
-            [(v0, m0), (v1, m1), (v2, m2), (v3, other)].into_iter().collect();
+        let mats: BTreeMap<VertexId, Matrix> = [(v0, m0), (v1, m1), (v2, m2), (v3, other)]
+            .into_iter()
+            .collect();
         let dir = temp_dir(tag);
         let _ = op;
         (g, plan, mats, dir)
@@ -627,8 +648,7 @@ mod tests {
     fn full_recreation_is_exact_for_both_ops() {
         for (op, tag) in [(DeltaOp::Sub, "sub"), (DeltaOp::Xor, "xor")] {
             let (g, plan, mats, dir) = setup(op, tag);
-            let store =
-                SegmentStore::create(&dir, &g, &plan, &mats, op, Level::Fast).unwrap();
+            let store = SegmentStore::create(&dir, &g, &plan, &mats, op, Level::Fast).unwrap();
             for (&v, m) in &mats {
                 let back = store.recreate(v).unwrap();
                 assert!(bit_equal(&back, m), "vertex {v} ({op:?})");
@@ -640,7 +660,8 @@ mod tests {
     #[test]
     fn reopen_from_manifest() {
         let (g, plan, mats, dir) = setup(DeltaOp::Sub, "reopen");
-        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let store =
+            SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
         let disk1 = store.bytes_on_disk();
         drop(store);
         let store = SegmentStore::open(&dir).unwrap();
@@ -654,7 +675,8 @@ mod tests {
     #[test]
     fn delta_chains_use_less_disk_than_materializing_everything() {
         let (g, plan, mats, dir) = setup(DeltaOp::Sub, "size");
-        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let store =
+            SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
         let chained = store.bytes_on_disk();
         std::fs::remove_dir_all(&dir).ok();
 
@@ -670,7 +692,8 @@ mod tests {
                 .id;
             flat.set_parent(v, e);
         }
-        let store2 = SegmentStore::create(&dir2, &g, &flat, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let store2 =
+            SegmentStore::create(&dir2, &g, &flat, &mats, DeltaOp::Sub, Level::Fast).unwrap();
         let materialized = store2.bytes_on_disk();
         std::fs::remove_dir_all(&dir2).ok();
         assert!(
@@ -706,7 +729,8 @@ mod tests {
     #[test]
     fn bounds_tighten_with_planes() {
         let (g, plan, mats, dir) = setup(DeltaOp::Xor, "tighten");
-        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Xor, Level::Fast).unwrap();
+        let store =
+            SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Xor, Level::Fast).unwrap();
         let v = *mats.keys().next().unwrap();
         let mut prev = f32::INFINITY;
         for k in 1..=4usize {
@@ -726,7 +750,8 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let (g, plan, mats, dir) = setup(DeltaOp::Sub, "par");
-        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let store =
+            SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
         let members: Vec<VertexId> = mats.keys().copied().collect();
         let seq = store.recreate_group(&members).unwrap();
         let par = store.recreate_group_parallel(&members).unwrap();
@@ -739,7 +764,8 @@ mod tests {
     #[test]
     fn prefix_bytes_monotone() {
         let (g, plan, mats, dir) = setup(DeltaOp::Sub, "prefix");
-        let store = SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
+        let store =
+            SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
         let v = *mats.keys().last().unwrap();
         let b1 = store.prefix_bytes(v, 1);
         let b2 = store.prefix_bytes(v, 2);
@@ -782,8 +808,7 @@ mod reusable_tests {
         let map: BTreeMap<VertexId, Matrix> =
             vs.iter().copied().zip(mats.iter().cloned()).collect();
         let dir = temp_dir("basic");
-        let store =
-            SegmentStore::create(&dir, &g, &plan, &map, DeltaOp::Sub, Level::Fast).unwrap();
+        let store = SegmentStore::create(&dir, &g, &plan, &map, DeltaOp::Sub, Level::Fast).unwrap();
         let group = vec![vs[2], vs[3]];
         let independent = store.recreate_group(&group).unwrap();
         let reusable = store.recreate_group_reusable(&group).unwrap();
@@ -791,7 +816,9 @@ mod reusable_tests {
             assert!(bit_equal(a, b));
         }
         // And arbitrary order / duplicates still work.
-        let rev = store.recreate_group_reusable(&[vs[3], vs[2], vs[3]]).unwrap();
+        let rev = store
+            .recreate_group_reusable(&[vs[3], vs[2], vs[3]])
+            .unwrap();
         assert!(bit_equal(&rev[0], &mats[3]));
         assert!(bit_equal(&rev[1], &mats[2]));
         assert!(bit_equal(&rev[2], &mats[3]));
@@ -837,7 +864,11 @@ mod histogram_tests {
         // One byte is much rougher (the exponent LSB is unknown, so
         // midpoints shift by up to 2.5x) yet still bounded away from
         // disjoint.
-        assert!(full.distance(&coarse) < 0.8, "1-plane distance {}", full.distance(&coarse));
+        assert!(
+            full.distance(&coarse) < 0.8,
+            "1-plane distance {}",
+            full.distance(&coarse)
+        );
         assert!(full.distance(&partial) < full.distance(&coarse));
         // Rendering works and mentions every bin.
         let text = full.render_ascii(40);

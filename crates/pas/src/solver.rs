@@ -54,10 +54,9 @@ pub fn mst(graph: &StorageGraph) -> Result<StoragePlan, PlanError> {
         // Cheapest incoming edge per non-root vertex.
         let mut inc: Vec<Option<&E>> = vec![None; n];
         for e in edges {
-            if e.v != root && e.u != e.v
-                && inc[e.v].is_none_or(|b| e.w < b.w) {
-                    inc[e.v] = Some(e);
-                }
+            if e.v != root && e.u != e.v && inc[e.v].is_none_or(|b| e.w < b.w) {
+                inc[e.v] = Some(e);
+            }
         }
         for (v, i) in inc.iter().enumerate() {
             if v != root && i.is_none() {
@@ -133,7 +132,12 @@ pub fn mst(graph: &StorageGraph) -> Result<StoragePlan, PlanError> {
             } else {
                 e.w
             };
-            new_edges.push(E { u: u2, v: v2, w, orig: e.orig });
+            new_edges.push(E {
+                u: u2,
+                v: v2,
+                w,
+                orig: e.orig,
+            });
         }
         let new_to_level: Vec<usize> = to_level.iter().map(|&lv| map[lv]).collect();
         let chosen = solve(new_n, new_root, &new_edges, &new_to_level, graph)?;
@@ -157,7 +161,12 @@ pub fn mst(graph: &StorageGraph) -> Result<StoragePlan, PlanError> {
     let edges: Vec<E> = graph
         .edges()
         .iter()
-        .map(|e| E { u: e.from, v: e.to, w: e.storage_cost, orig: e.id })
+        .map(|e| E {
+            u: e.from,
+            v: e.to,
+            w: e.storage_cost,
+            orig: e.id,
+        })
         .collect();
     let identity: Vec<usize> = (0..graph.num_vertices()).collect();
     let chosen = solve(graph.num_vertices(), NULL_VERTEX, &edges, &identity, graph)
@@ -223,11 +232,10 @@ fn grow_tree(
     }
     for _ in 1..n {
         let next = (0..n)
-            .filter(|&v| !in_tree[v] && best[v].is_some())
-            .min_by(|&a, &b| {
-                weight(graph.edge(best[a].unwrap()))
-                    .total_cmp(&weight(graph.edge(best[b].unwrap())))
-            });
+            .filter(|&v| !in_tree[v])
+            .filter_map(|v| best[v].map(|e| (v, e)))
+            .min_by(|&(_, a), &(_, b)| weight(graph.edge(a)).total_cmp(&weight(graph.edge(b))))
+            .map(|(v, _)| v);
         let Some(v) = next else {
             return Err(PlanError::Infeasible);
         };
@@ -235,9 +243,7 @@ fn grow_tree(
         parent[v] = best[v];
         for &eid in graph.outgoing(v) {
             let e = graph.edge(eid);
-            if !in_tree[e.to]
-                && best[e.to].is_none_or(|b| weight(graph.edge(b)) > weight(e))
-            {
+            if !in_tree[e.to] && best[e.to].is_none_or(|b| weight(graph.edge(b)) > weight(e)) {
                 best[e.to] = Some(eid);
             }
         }
@@ -262,10 +268,7 @@ pub fn last(graph: &StorageGraph, epsilon: f64) -> Result<StoragePlan, PlanError
     // DFS from ν₀ over the MST, tracking the current path cost with the
     // relinks applied so far.
     let mut cost = vec![0.0f64; n];
-    let mut stack: Vec<VertexId> = mst_plan
-        .children(graph, NULL_VERTEX)
-        .into_iter()
-        .collect();
+    let mut stack: Vec<VertexId> = mst_plan.children(graph, NULL_VERTEX).into_iter().collect();
     let mut order = Vec::new();
     // Pre-compute DFS order (children lists don't change during the scan —
     // a relink only redirects a vertex's parent pointer upward).
@@ -357,8 +360,7 @@ pub fn repair(
                 }
             }
         }
-        let in_subtree =
-            |root: VertexId, v: VertexId| tin[root] <= tin[v] && tout[v] <= tout[root];
+        let in_subtree = |root: VertexId, v: VertexId| tin[root] <= tin[v] && tout[v] <= tout[root];
 
         // Members of violated groups, for the gain numerator.
         let violated_members: Vec<(usize, &[VertexId])> = violated
@@ -403,7 +405,11 @@ pub fn repair(
                     RetrievalScheme::Parallel => improvement * affected_groups as f64,
                 };
                 let denom = e.storage_cost - graph.edge(cur_edge).storage_cost;
-                let gain = if denom <= 0.0 { f64::INFINITY } else { num / denom };
+                let gain = if denom <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    num / denom
+                };
                 if best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
                     best = Some((gain, v, eid));
                 }
@@ -483,9 +489,7 @@ pub fn pas_pt(graph: &StorageGraph, scheme: RetrievalScheme) -> Result<StoragePl
             RetrievalScheme::Independent | RetrievalScheme::Reusable => {
                 group.members.iter().map(member_cost).sum()
             }
-            RetrievalScheme::Parallel => {
-                group.members.iter().map(member_cost).fold(0.0, f64::max)
-            }
+            RetrievalScheme::Parallel => group.members.iter().map(member_cost).fold(0.0, f64::max),
         }
     };
 
@@ -589,7 +593,10 @@ mod tests {
             // SPT distance is the minimum over any plan; check against MST.
             let d = plan.matrix_recreation_cost(&g, v);
             let mst_plan = mst(&g).unwrap();
-            assert!(d <= mst_plan.matrix_recreation_cost(&g, v) + 1e-9, "vertex {v}");
+            assert!(
+                d <= mst_plan.matrix_recreation_cost(&g, v) + 1e-9,
+                "vertex {v}"
+            );
         }
         // m3's shortest path: ν0→m1→m3 = 1.5 (cheaper than direct 2).
         assert_eq!(plan.matrix_recreation_cost(&g, m[2]), 1.5);

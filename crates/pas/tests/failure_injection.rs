@@ -2,6 +2,7 @@
 //! manifests, and mismatched plane data must surface as errors — never
 //! panics, never silently wrong matrices.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use mh_compress::Level;
 use mh_delta::{bit_equal, DeltaOp};
 use mh_pas::{solver, CostModel, GraphBuilder, PasError, SegmentStore};
@@ -96,7 +97,10 @@ fn missing_chunk_file_is_an_error() {
             Ok(_) => {}
         }
     }
-    assert!(failures >= 1, "a missing chunk must break at least one chain");
+    assert!(
+        failures >= 1,
+        "a missing chunk must break at least one chain"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -108,15 +112,28 @@ fn corrupted_manifest_rejected_on_open() {
 
     // Garbage header.
     std::fs::write(&manifest, "NOT A MANIFEST\n").unwrap();
-    assert!(matches!(SegmentStore::open(&dir), Err(PasError::Corrupt(_))));
+    assert!(matches!(
+        SegmentStore::open(&dir),
+        Err(PasError::Corrupt(_))
+    ));
 
     // Structurally valid header, broken row.
-    std::fs::write(&manifest, "MHPAS1\n1\tmat\tnot-a-number\t2\t2\t1\t1\t1\t1\tx\n").unwrap();
-    assert!(matches!(SegmentStore::open(&dir), Err(PasError::Corrupt(_))));
+    std::fs::write(
+        &manifest,
+        "MHPAS1\n1\tmat\tnot-a-number\t2\t2\t1\t1\t1\t1\tx\n",
+    )
+    .unwrap();
+    assert!(matches!(
+        SegmentStore::open(&dir),
+        Err(PasError::Corrupt(_))
+    ));
 
     // Truncated row arity.
     std::fs::write(&manifest, "MHPAS1\n1\tmat\t0\n").unwrap();
-    assert!(matches!(SegmentStore::open(&dir), Err(PasError::Corrupt(_))));
+    assert!(matches!(
+        SegmentStore::open(&dir),
+        Err(PasError::Corrupt(_))
+    ));
 
     // Missing manifest entirely.
     std::fs::remove_file(&manifest).unwrap();
@@ -143,7 +160,10 @@ fn manifest_pointing_at_wrong_shapes_fails_cleanly() {
     std::fs::write(&manifest, out).unwrap();
     let store = SegmentStore::open(&dir).unwrap();
     for (v, _) in &expected {
-        assert!(store.recreate(*v).is_err(), "shape lie must not produce data");
+        assert!(
+            store.recreate(*v).is_err(),
+            "shape lie must not produce data"
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

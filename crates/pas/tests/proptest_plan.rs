@@ -1,0 +1,132 @@
+//! Property-based tests for `StoragePlan::from_parents` / `validate`:
+//! arbitrary parent-edge assignments never panic, and every accepted plan
+//! is a genuine spanning tree — acyclic with all matrix vertices reachable
+//! from ν₀.
+
+use mh_pas::{EdgeKind, PlanError, StorageGraph, StoragePlan, NULL_VERTEX};
+use proptest::prelude::*;
+
+/// A random storage graph: `n` matrix vertices, every vertex
+/// materializable, plus a random set of delta edges.
+fn graph_with_deltas(n: usize, deltas: &[(usize, usize)]) -> StorageGraph {
+    let mut g = StorageGraph::new();
+    let vs: Vec<_> = (0..n).map(|i| g.add_vertex(&format!("m{i}"))).collect();
+    for &v in &vs {
+        g.add_edge(NULL_VERTEX, v, EdgeKind::Materialize, 8.0, 2.0);
+    }
+    for &(a, b) in deltas {
+        let (a, b) = (vs[a % n], vs[b % n]);
+        if a != b {
+            g.add_delta_pair(a, b, 2.0, 1.0);
+        }
+    }
+    g
+}
+
+fn graph_strategy() -> impl Strategy<Value = StorageGraph> {
+    (
+        1usize..7,
+        proptest::collection::vec((0usize..7, 0usize..7), 0..12),
+    )
+        .prop_map(|(n, deltas)| graph_with_deltas(n, &deltas))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `from_parents` must never panic, whatever the assignment: arbitrary
+    /// lengths, out-of-range edge ids, edges targeting other vertices,
+    /// duplicates, and assignments to ν₀ all come back as structured
+    /// `PlanError`s.
+    #[test]
+    fn from_parents_never_panics(
+        g in graph_strategy(),
+        assignment in proptest::collection::vec(proptest::option::of(0usize..64), 0..10),
+    ) {
+        let _ = StoragePlan::from_parents(&g, assignment);
+    }
+
+    /// Any accepted plan is structurally sound: ν₀ unassigned, every matrix
+    /// vertex's parent edge targets it, and walking parents from any vertex
+    /// reaches ν₀ without revisiting a vertex (acyclicity + reachability).
+    #[test]
+    fn accepted_plans_are_spanning_trees(
+        g in graph_strategy(),
+        raw in proptest::collection::vec(proptest::option::of(0usize..64), 0..10),
+    ) {
+        let mut assignment: Vec<Option<usize>> = raw
+            .iter()
+            .map(|o| o.map(|e| e % g.num_edges().max(1)))
+            .collect();
+        assignment.resize(g.num_vertices(), None);
+        assignment[NULL_VERTEX] = None;
+        let Ok(plan) = StoragePlan::from_parents(&g, assignment) else {
+            return Ok(());
+        };
+        prop_assert!(plan.parent_edge(NULL_VERTEX).is_none());
+        for v in g.matrix_vertices() {
+            let e = plan.parent_edge(v).expect("validated plan assigns every vertex");
+            prop_assert_eq!(g.edge(e).to, v);
+            // Reachability from ν₀ without cycles.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut cur = v;
+            while cur != NULL_VERTEX {
+                prop_assert!(seen.insert(cur), "cycle through {}", cur);
+                cur = plan.parent(&g, cur).expect("path reaches the root");
+            }
+        }
+    }
+
+    /// A known-good assignment (everything materialized) always validates,
+    /// and its costs are finite and non-negative under every scheme.
+    #[test]
+    fn materialize_everything_is_always_feasible(g in graph_strategy()) {
+        let mut plan = StoragePlan::empty(&g);
+        for v in g.matrix_vertices() {
+            let e = g.edges().iter().find(|e| e.from == NULL_VERTEX && e.to == v)
+                .expect("every vertex is materializable").id;
+            plan.set_parent(v, e);
+        }
+        prop_assert!(plan.validate(&g).is_ok());
+        let members: Vec<_> = g.matrix_vertices().collect();
+        for scheme in [
+            mh_pas::RetrievalScheme::Independent,
+            mh_pas::RetrievalScheme::Parallel,
+            mh_pas::RetrievalScheme::Reusable,
+        ] {
+            let c = plan.snapshot_recreation_cost(&g, &members, scheme);
+            prop_assert!(c.is_finite() && c >= 0.0);
+        }
+    }
+
+    /// Wrong-length assignments are rejected with `WrongSize`, never a
+    /// panic.
+    #[test]
+    fn wrong_size_is_structured(g in graph_strategy(), extra in 1usize..4) {
+        let too_long = vec![None; g.num_vertices() + extra];
+        prop_assert_eq!(
+            StoragePlan::from_parents(&g, too_long).unwrap_err(),
+            PlanError::WrongSize
+        );
+        if g.num_vertices() > extra {
+            let too_short = vec![None; g.num_vertices() - extra];
+            prop_assert_eq!(
+                StoragePlan::from_parents(&g, too_short).unwrap_err(),
+                PlanError::WrongSize
+            );
+        }
+    }
+}
+
+#[test]
+fn out_of_range_edge_id_is_a_mismatch_not_a_panic() {
+    let g = graph_with_deltas(2, &[(0, 1)]);
+    let mut assignment = vec![None; g.num_vertices()];
+    for v in g.matrix_vertices() {
+        assignment[v] = Some(usize::MAX);
+    }
+    assert!(matches!(
+        StoragePlan::from_parents(&g, assignment),
+        Err(PlanError::EdgeMismatch(_))
+    ));
+}

@@ -25,20 +25,24 @@ struct RandomGraphSpec {
 fn arb_graph() -> impl Strategy<Value = RandomGraphSpec> {
     (2usize..12).prop_flat_map(|n| {
         let mats = proptest::collection::vec((1.0f64..100.0, 0.5f64..50.0), n);
-        let deltas = proptest::collection::vec(
-            (0..n, 0..n, 0.5f64..60.0, 0.1f64..30.0),
-            0..n * 3,
-        );
+        let deltas = proptest::collection::vec((0..n, 0..n, 0.5f64..60.0, 0.1f64..30.0), 0..n * 3);
         let groups = proptest::collection::vec(0u8..4, n);
         (Just(n), deltas, mats, groups).prop_map(|(n, deltas, materialize, groups)| {
-            RandomGraphSpec { n, deltas, materialize, groups }
+            RandomGraphSpec {
+                n,
+                deltas,
+                materialize,
+                groups,
+            }
         })
     })
 }
 
 fn build(spec: &RandomGraphSpec) -> StorageGraph {
     let mut g = StorageGraph::new();
-    let vs: Vec<_> = (0..spec.n).map(|i| g.add_vertex(&format!("m{i}"))).collect();
+    let vs: Vec<_> = (0..spec.n)
+        .map(|i| g.add_vertex(&format!("m{i}")))
+        .collect();
     for (v, &(cs, cr)) in vs.iter().zip(&spec.materialize) {
         g.add_edge(NULL_VERTEX, *v, EdgeKind::Materialize, cs, cr);
     }

@@ -52,11 +52,15 @@ impl<'a> Reader<'a> {
     }
 
     pub fn read_u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("fixed-size chunk"),
+        ))
     }
 
     pub fn read_u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("fixed-size chunk"),
+        ))
     }
 
     pub fn read_bytes(&mut self) -> Result<Vec<u8>, StoreError> {
@@ -99,10 +103,10 @@ pub fn read_value(r: &mut Reader<'_>) -> Result<Value, StoreError> {
     match r.read_u8()? {
         0 => Ok(Value::Null),
         1 => Ok(Value::Int(i64::from_le_bytes(
-            r.take(8)?.try_into().unwrap(),
+            r.take(8)?.try_into().expect("fixed-size chunk"),
         ))),
         2 => Ok(Value::Real(f64::from_le_bytes(
-            r.take(8)?.try_into().unwrap(),
+            r.take(8)?.try_into().expect("fixed-size chunk"),
         ))),
         3 => Ok(Value::Text(r.read_str()?)),
         4 => Ok(Value::Blob(r.read_bytes()?)),
@@ -175,7 +179,12 @@ mod tests {
     #[test]
     fn column_type_roundtrip() {
         let mut buf = Vec::new();
-        for t in [ColumnType::Int, ColumnType::Real, ColumnType::Text, ColumnType::Blob] {
+        for t in [
+            ColumnType::Int,
+            ColumnType::Real,
+            ColumnType::Text,
+            ColumnType::Blob,
+        ] {
             write_column_type(&mut buf, t);
         }
         let mut r = Reader::new(&buf);

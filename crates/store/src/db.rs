@@ -110,7 +110,10 @@ impl Catalog {
         } else {
             Database::new()
         };
-        Ok(Self { inner: Arc::new(RwLock::new(db)), path: path.to_path_buf() })
+        Ok(Self {
+            inner: Arc::new(RwLock::new(db)),
+            path: path.to_path_buf(),
+        })
     }
 
     /// Run a read-only closure against the database.
@@ -119,7 +122,10 @@ impl Catalog {
     }
 
     /// Run a mutating closure, then persist to disk.
-    pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> Result<R, StoreError>) -> Result<R, StoreError> {
+    pub fn write<R>(
+        &self,
+        f: impl FnOnce(&mut Database) -> Result<R, StoreError>,
+    ) -> Result<R, StoreError> {
         let mut guard = self.inner.write();
         let out = f(&mut guard)?;
         guard.save(&self.path)?;
@@ -149,7 +155,10 @@ mod tests {
         let mut db = Database::new();
         db.create_table("kv", schema()).unwrap();
         assert!(db.create_table("kv", schema()).is_err());
-        db.table_mut("kv").unwrap().insert(vec!["a".into(), 1i64.into()]).unwrap();
+        db.table_mut("kv")
+            .unwrap()
+            .insert(vec!["a".into(), 1i64.into()])
+            .unwrap();
         assert_eq!(db.table("kv").unwrap().len(), 1);
         assert!(db.table("nope").is_err());
         assert!(db.drop_table("kv"));
@@ -161,9 +170,15 @@ mod tests {
         let mut db = Database::new();
         db.create_table("a", schema()).unwrap();
         db.create_table("b", schema()).unwrap();
-        db.table_mut("a").unwrap().insert(vec!["x".into(), 10i64.into()]).unwrap();
+        db.table_mut("a")
+            .unwrap()
+            .insert(vec!["x".into(), 10i64.into()])
+            .unwrap();
         db.table_mut("b").unwrap().create_index("k").unwrap();
-        db.table_mut("b").unwrap().insert(vec!["y".into(), Value::Null]).unwrap();
+        db.table_mut("b")
+            .unwrap()
+            .insert(vec!["y".into(), Value::Null])
+            .unwrap();
         let back = Database::from_bytes(&db.to_bytes()).unwrap();
         assert_eq!(back.table_names(), vec!["a", "b"]);
         assert_eq!(back.table("a").unwrap().len(), 1);
@@ -195,7 +210,8 @@ mod tests {
             let cat = Catalog::open(&path).unwrap();
             cat.write(|db| {
                 db.create_table("t", schema())?;
-                db.table_mut("t")?.insert(vec!["persisted".into(), 5i64.into()])?;
+                db.table_mut("t")?
+                    .insert(vec!["persisted".into(), 5i64.into()])?;
                 Ok(())
             })
             .unwrap();

@@ -19,11 +19,19 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: &str, ty: ColumnType) -> Self {
-        Self { name: name.to_string(), ty, nullable: true }
+        Self {
+            name: name.to_string(),
+            ty,
+            nullable: true,
+        }
     }
 
     pub fn not_null(name: &str, ty: ColumnType) -> Self {
-        Self { name: name.to_string(), ty, nullable: false }
+        Self {
+            name: name.to_string(),
+            ty,
+            nullable: false,
+        }
     }
 }
 
@@ -93,7 +101,12 @@ pub struct Table {
 
 impl Table {
     pub fn new(schema: Schema) -> Self {
-        Self { schema, rows: BTreeMap::new(), next_id: 1, indexes: BTreeMap::new() }
+        Self {
+            schema,
+            rows: BTreeMap::new(),
+            next_id: 1,
+            indexes: BTreeMap::new(),
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -122,7 +135,10 @@ impl Table {
 
     /// Fetch one row by id.
     pub fn get(&self, id: RowId) -> Option<Row> {
-        self.rows.get(&id).map(|v| Row { id, values: v.clone() })
+        self.rows.get(&id).map(|v| Row {
+            id,
+            values: v.clone(),
+        })
     }
 
     /// Read a single cell by row id and column name.
@@ -207,21 +223,23 @@ impl Table {
             .iter()
             .filter(|(_, values)| {
                 let get = |name: &str| -> Option<Value> {
-                    self.schema
-                        .column_index(name)
-                        .map(|i| values[i].clone())
+                    self.schema.column_index(name).map(|i| values[i].clone())
                 };
                 pred.eval(&get)
             })
-            .map(|(&id, values)| Row { id, values: values.clone() })
+            .map(|(&id, values)| Row {
+                id,
+                values: values.clone(),
+            })
             .collect()
     }
 
     /// Iterate all rows.
     pub fn scan(&self) -> impl Iterator<Item = Row> + '_ {
-        self.rows
-            .iter()
-            .map(|(&id, values)| Row { id, values: values.clone() })
+        self.rows.iter().map(|(&id, values)| Row {
+            id,
+            values: values.clone(),
+        })
     }
 
     /// Matching rows sorted by a column (ascending or descending), with an
@@ -331,7 +349,12 @@ impl Table {
             }
             rows.insert(id, values);
         }
-        let mut table = Table { schema, rows, next_id, indexes: BTreeMap::new() };
+        let mut table = Table {
+            schema,
+            rows,
+            next_id,
+            indexes: BTreeMap::new(),
+        };
         let nindexes = r.read_u32()? as usize;
         for _ in 0..nindexes {
             let col = r.read_u32()? as usize;
@@ -356,10 +379,18 @@ mod tests {
             Column::new("params", ColumnType::Int),
         ]);
         let mut t = Table::new(schema);
-        t.insert(vec!["alexnet-origin1".into(), 0.57.into(), 61_000_000i64.into()])
-            .unwrap();
-        t.insert(vec!["alexnet-avgv1".into(), 0.55.into(), 61_100_000i64.into()])
-            .unwrap();
+        t.insert(vec![
+            "alexnet-origin1".into(),
+            0.57.into(),
+            61_000_000i64.into(),
+        ])
+        .unwrap();
+        t.insert(vec![
+            "alexnet-avgv1".into(),
+            0.55.into(),
+            61_100_000i64.into(),
+        ])
+        .unwrap();
         t.insert(vec!["vgg-16".into(), 0.684.into(), 138_000_000i64.into()])
             .unwrap();
         t
@@ -378,13 +409,17 @@ mod tests {
     #[test]
     fn schema_enforced() {
         let mut t = models_table();
-        assert!(t.insert(vec![Value::Null, 0.1.into(), 5i64.into()]).is_err());
+        assert!(t
+            .insert(vec![Value::Null, 0.1.into(), 5i64.into()])
+            .is_err());
         assert!(t
             .insert(vec!["x".into(), "not a number".into(), 5i64.into()])
             .is_err());
         assert!(t.insert(vec!["x".into(), 0.5.into()]).is_err());
         // Int accepted in Real column.
-        assert!(t.insert(vec!["y".into(), Value::Int(1), 5i64.into()]).is_ok());
+        assert!(t
+            .insert(vec!["y".into(), Value::Int(1), 5i64.into()])
+            .is_ok());
     }
 
     #[test]
@@ -413,7 +448,9 @@ mod tests {
         assert!(!t.delete(2));
         assert_eq!(t.len(), 2);
         // Row ids are not reused.
-        let id = t.insert(vec!["new".into(), Value::Null, Value::Null]).unwrap();
+        let id = t
+            .insert(vec!["new".into(), Value::Null, Value::Null])
+            .unwrap();
         assert_eq!(id, 4);
     }
 
@@ -424,13 +461,26 @@ mod tests {
         let hit = t.select(&Predicate::Eq("name".into(), "vgg-16".into()));
         assert_eq!(hit.len(), 1);
         t.update(3, "name", Value::Text("vgg-19".into())).unwrap();
-        assert!(t.select(&Predicate::Eq("name".into(), "vgg-16".into())).is_empty());
-        assert_eq!(t.select(&Predicate::Eq("name".into(), "vgg-19".into())).len(), 1);
+        assert!(t
+            .select(&Predicate::Eq("name".into(), "vgg-16".into()))
+            .is_empty());
+        assert_eq!(
+            t.select(&Predicate::Eq("name".into(), "vgg-19".into()))
+                .len(),
+            1
+        );
         t.delete(3);
-        assert!(t.select(&Predicate::Eq("name".into(), "vgg-19".into())).is_empty());
+        assert!(t
+            .select(&Predicate::Eq("name".into(), "vgg-19".into()))
+            .is_empty());
         // Insert after index creation is indexed too.
-        t.insert(vec!["vgg-19".into(), 0.7.into(), 1i64.into()]).unwrap();
-        assert_eq!(t.select(&Predicate::Eq("name".into(), "vgg-19".into())).len(), 1);
+        t.insert(vec!["vgg-19".into(), 0.7.into(), 1i64.into()])
+            .unwrap();
+        assert_eq!(
+            t.select(&Predicate::Eq("name".into(), "vgg-19".into()))
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -443,12 +493,17 @@ mod tests {
         assert_eq!(back.len(), t.len());
         assert_eq!(back.schema(), t.schema());
         assert_eq!(
-            back.select(&Predicate::Eq("name".into(), "vgg-16".into())).len(),
+            back.select(&Predicate::Eq("name".into(), "vgg-16".into()))
+                .len(),
             1
         );
         // next_id preserved: ids keep advancing, not colliding.
         let mut back = back;
-        assert_eq!(back.insert(vec!["z".into(), Value::Null, Value::Null]).unwrap(), 4);
+        assert_eq!(
+            back.insert(vec!["z".into(), Value::Null, Value::Null])
+                .unwrap(),
+            4
+        );
     }
 }
 
@@ -473,18 +528,39 @@ mod aggregate_tests {
     fn aggregates() {
         let t = metrics();
         let all = Predicate::True;
-        assert_eq!(t.aggregate(&all, "loss", Aggregate::Count).unwrap(), Some(4.0));
-        assert_eq!(t.aggregate(&all, "loss", Aggregate::Sum).unwrap(), Some(5.0));
-        assert_eq!(t.aggregate(&all, "loss", Aggregate::Min).unwrap(), Some(0.5));
-        assert_eq!(t.aggregate(&all, "loss", Aggregate::Max).unwrap(), Some(2.0));
-        assert_eq!(t.aggregate(&all, "loss", Aggregate::Avg).unwrap(), Some(1.25));
+        assert_eq!(
+            t.aggregate(&all, "loss", Aggregate::Count).unwrap(),
+            Some(4.0)
+        );
+        assert_eq!(
+            t.aggregate(&all, "loss", Aggregate::Sum).unwrap(),
+            Some(5.0)
+        );
+        assert_eq!(
+            t.aggregate(&all, "loss", Aggregate::Min).unwrap(),
+            Some(0.5)
+        );
+        assert_eq!(
+            t.aggregate(&all, "loss", Aggregate::Max).unwrap(),
+            Some(2.0)
+        );
+        assert_eq!(
+            t.aggregate(&all, "loss", Aggregate::Avg).unwrap(),
+            Some(1.25)
+        );
         // Filtered.
         let late = Predicate::Ge("iter".into(), Value::Int(3));
-        assert_eq!(t.aggregate(&late, "loss", Aggregate::Avg).unwrap(), Some(0.75));
+        assert_eq!(
+            t.aggregate(&late, "loss", Aggregate::Avg).unwrap(),
+            Some(0.75)
+        );
         // Empty match.
         let none = Predicate::Gt("iter".into(), Value::Int(99));
         assert_eq!(t.aggregate(&none, "loss", Aggregate::Avg).unwrap(), None);
-        assert_eq!(t.aggregate(&none, "loss", Aggregate::Count).unwrap(), Some(0.0));
+        assert_eq!(
+            t.aggregate(&none, "loss", Aggregate::Count).unwrap(),
+            Some(0.0)
+        );
         assert!(t.aggregate(&all, "nope", Aggregate::Avg).is_err());
     }
 
@@ -501,6 +577,8 @@ mod aggregate_tests {
             .select_ordered(&Predicate::True, "loss", true, Some(1))
             .unwrap();
         assert_eq!(rows[0].values[1], Value::Real(2.0));
-        assert!(t.select_ordered(&Predicate::True, "ghost", false, None).is_err());
+        assert!(t
+            .select_ordered(&Predicate::True, "ghost", false, None)
+            .is_err());
     }
 }

@@ -140,10 +140,7 @@ mod tests {
             let x = (i as f32 - 1000.0) * 0.013 + 0.0007;
             let y = f16_bits_to_f32(f32_to_f16_bits(x));
             if x.abs() > 1e-4 {
-                assert!(
-                    ((x - y) / x).abs() <= 2f32.powi(-11) + 1e-7,
-                    "x={x} y={y}"
-                );
+                assert!(((x - y) / x).abs() <= 2f32.powi(-11) + 1e-7, "x={x} y={y}");
             }
         }
     }

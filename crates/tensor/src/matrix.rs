@@ -28,12 +28,20 @@ impl Matrix {
 
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with a constant.
     pub fn filled(rows: usize, cols: usize, v: f32) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Build element-by-element from a function of (row, col).
@@ -166,7 +174,11 @@ impl Matrix {
 
     /// Minimum element (0.0 for empty).
     pub fn min(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min).min(f32::INFINITY)
+        self.data
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
+            .min(f32::INFINITY)
     }
 
     /// Maximum element.
@@ -222,7 +234,7 @@ impl Matrix {
         }
         let data = bytes
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f32::from_le_bytes(c.try_into().expect("fixed-size chunk")))
             .collect();
         Some(Self { rows, cols, data })
     }

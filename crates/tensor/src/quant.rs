@@ -84,13 +84,21 @@ impl Codebook {
 
     /// Quantize a whole matrix into bit-packed codes.
     pub fn encode(&self, m: &Matrix) -> Vec<u8> {
-        pack_bits(m.as_slice().iter().map(|&x| self.encode_value(x)), self.bits, m.len())
+        pack_bits(
+            m.as_slice().iter().map(|&x| self.encode_value(x)),
+            self.bits,
+            m.len(),
+        )
     }
 
     /// Reconstruct a matrix from bit-packed codes.
     pub fn decode(&self, rows: usize, cols: usize, packed: &[u8]) -> Matrix {
         let codes = unpack_bits(packed, self.bits, rows * cols);
-        Matrix::from_vec(rows, cols, codes.into_iter().map(|c| self.decode_value(c)).collect())
+        Matrix::from_vec(
+            rows,
+            cols,
+            codes.into_iter().map(|c| self.decode_value(c)).collect(),
+        )
     }
 
     /// Serialize: `[bits, n_codes(le u16), codes...]`.
@@ -116,7 +124,7 @@ impl Codebook {
         }
         let codes = data[3..need]
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f32::from_le_bytes(c.try_into().expect("fixed-size chunk")))
             .collect();
         Some((Self { codes, bits }, need))
     }
@@ -238,7 +246,10 @@ mod tests {
 
     #[test]
     fn encode_value_picks_nearest() {
-        let cb = Codebook { codes: vec![-1.0, 0.0, 2.0], bits: 2 };
+        let cb = Codebook {
+            codes: vec![-1.0, 0.0, 2.0],
+            bits: 2,
+        };
         assert_eq!(cb.encode_value(-5.0), 0);
         assert_eq!(cb.encode_value(-0.4), 1);
         assert_eq!(cb.encode_value(0.9), 1);

@@ -95,8 +95,16 @@ pub fn normalization_offset(m: &Matrix) -> f32 {
 
 /// Encode a matrix under the given scheme.
 pub fn encode(m: &Matrix, scheme: Scheme, normalize: bool) -> EncodedMatrix {
-    let offset = if normalize { normalization_offset(m) } else { 0.0 };
-    let work = if offset != 0.0 { m.map(|x| x + offset) } else { m.clone() };
+    let offset = if normalize {
+        normalization_offset(m)
+    } else {
+        0.0
+    };
+    let work = if offset != 0.0 {
+        m.map(|x| x + offset)
+    } else {
+        m.clone()
+    };
     let (payload, scale, codebook) = match scheme {
         Scheme::F32 => {
             let mut out = Vec::with_capacity(work.len() * 4);
@@ -170,7 +178,15 @@ pub fn encode(m: &Matrix, scheme: Scheme, normalize: bool) -> EncodedMatrix {
             (payload, 0.0, Some(cb))
         }
     };
-    EncodedMatrix { scheme, rows: m.rows(), cols: m.cols(), offset, scale, codebook, payload }
+    EncodedMatrix {
+        scheme,
+        rows: m.rows(),
+        cols: m.cols(),
+        offset,
+        scale,
+        codebook,
+        payload,
+    }
 }
 
 /// Decode back to a matrix (lossy except for F32).
@@ -180,23 +196,25 @@ pub fn decode(e: &EncodedMatrix) -> Matrix {
         Scheme::F32 => e
             .payload
             .chunks_exact(4)
-            .map(|c| f32::from_bits(u32::from_be_bytes(c.try_into().unwrap())))
+            .map(|c| f32::from_bits(u32::from_be_bytes(c.try_into().expect("fixed-size chunk"))))
             .collect(),
         Scheme::F16 => e
             .payload
             .chunks_exact(2)
-            .map(|c| f16_bits_to_f32(u16::from_be_bytes(c.try_into().unwrap())))
+            .map(|c| f16_bits_to_f32(u16::from_be_bytes(c.try_into().expect("fixed-size chunk"))))
             .collect(),
         Scheme::Bf16 => e
             .payload
             .chunks_exact(2)
-            .map(|c| bf16_bits_to_f32(u16::from_be_bytes(c.try_into().unwrap())))
+            .map(|c| bf16_bits_to_f32(u16::from_be_bytes(c.try_into().expect("fixed-size chunk"))))
             .collect(),
         Scheme::Fixed { bits } => {
             if bits == 32 {
                 e.payload
                     .chunks_exact(4)
-                    .map(|c| i32::from_be_bytes(c.try_into().unwrap()) as f32 * e.scale)
+                    .map(|c| {
+                        i32::from_be_bytes(c.try_into().expect("fixed-size chunk")) as f32 * e.scale
+                    })
                     .collect()
             } else {
                 let mut out = Vec::with_capacity(n);
@@ -226,7 +244,10 @@ pub fn decode(e: &EncodedMatrix) -> Matrix {
             }
         }
         Scheme::QuantUniform { .. } | Scheme::QuantRandom { .. } => {
-            let cb = e.codebook.as_ref().expect("quantized matrix carries codebook");
+            let cb = e
+                .codebook
+                .as_ref()
+                .expect("quantized matrix carries codebook");
             return undo_offset(cb.decode(e.rows, e.cols, &e.payload), e.offset);
         }
     };
@@ -330,11 +351,17 @@ mod tests {
             assert_eq!(w[0] & 0x80, 0, "sign aligned");
             top_bytes.insert(w[0]);
         }
-        assert!(top_bytes.len() <= 2, "top byte nearly constant: {top_bytes:?}");
+        assert!(
+            top_bytes.len() <= 2,
+            "top byte nearly constant: {top_bytes:?}"
+        );
         // Lossless after un-normalization up to float cancellation.
         let back = decode(&e);
         let err = m.mean_abs_diff(&back);
-        assert!(err <= e.offset * 2e-7, "normalization reconstruction error {err}");
+        assert!(
+            err <= e.offset * 2e-7,
+            "normalization reconstruction error {err}"
+        );
     }
 
     #[test]

@@ -29,15 +29,18 @@ impl SegmentedMatrix {
     /// Decompose a matrix into byte planes.
     pub fn from_matrix(m: &Matrix) -> Self {
         let n = m.len();
-        let mut planes: [Vec<u8>; NUM_PLANES] =
-            std::array::from_fn(|_| Vec::with_capacity(n));
+        let mut planes: [Vec<u8>; NUM_PLANES] = std::array::from_fn(|_| Vec::with_capacity(n));
         for &x in m.as_slice() {
             let b = x.to_bits().to_be_bytes();
             for (p, plane) in planes.iter_mut().enumerate() {
                 plane.push(b[p]);
             }
         }
-        Self { rows: m.rows(), cols: m.cols(), planes }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            planes,
+        }
     }
 
     /// Reassemble from complete planes (plane lengths must agree with the
@@ -113,7 +116,11 @@ impl SegmentedMatrix {
         assert!((1..=NUM_PLANES).contains(&k));
         let n = self.num_elements();
         let unknown_bits = 8 * (NUM_PLANES - k) as u32;
-        let mask: u32 = if unknown_bits == 0 { 0 } else { (1u32 << unknown_bits) - 1 };
+        let mask: u32 = if unknown_bits == 0 {
+            0
+        } else {
+            (1u32 << unknown_bits) - 1
+        };
         let mut lo = Vec::with_capacity(n);
         let mut hi = Vec::with_capacity(n);
         for i in 0..n {
@@ -150,7 +157,10 @@ impl SegmentedMatrix {
 /// encodings (16-bit halves, 32-bit fixed point) can also be stored
 /// bytewise — the "bytewise" rows of Table IV.
 pub fn split_byte_planes(words: &[u8], width: usize) -> Vec<Vec<u8>> {
-    assert!(width > 0 && words.len().is_multiple_of(width), "buffer not word-aligned");
+    assert!(
+        width > 0 && words.len().is_multiple_of(width),
+        "buffer not word-aligned"
+    );
     let n = words.len() / width;
     let mut planes = vec![Vec::with_capacity(n); width];
     for w in words.chunks_exact(width) {

@@ -13,7 +13,12 @@ pub struct Tensor3 {
 
 impl Tensor3 {
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        Self { c, h, w, data: vec![0.0; c * h * w] }
+        Self {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
     }
 
     pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
@@ -22,7 +27,12 @@ impl Tensor3 {
     }
 
     pub fn filled(c: usize, h: usize, w: usize, v: f32) -> Self {
-        Self { c, h, w, data: vec![v; c * h * w] }
+        Self {
+            c,
+            h,
+            w,
+            data: vec![v; c * h * w],
+        }
     }
 
     pub fn shape(&self) -> (usize, usize, usize) {
@@ -95,7 +105,12 @@ impl Tensor3 {
     }
 
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { c: self.c, h: self.h, w: self.w, data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Index of the maximum element in flattened order (argmax for

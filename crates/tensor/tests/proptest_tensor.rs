@@ -10,11 +10,11 @@ use proptest::prelude::*;
 fn finite_f32() -> impl Strategy<Value = f32> {
     // Weight-like magnitudes: the range learned parameters actually occupy.
     prop_oneof![
-        (-10.0f32..10.0),
-        (-1e-3f32..1e-3),
+        -10.0f32..10.0,
+        -1e-3f32..1e-3,
         Just(0.0f32),
         Just(-0.0f32),
-        (-1e4f32..1e4),
+        -1e4f32..1e4,
     ]
 }
 

@@ -5,11 +5,10 @@
 //!
 //! Run with: `cargo run --release --example archival_planner`
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use modelhub::core::{generate_sd, SdConfig};
 use modelhub::dlv::Repository;
-use modelhub::pas::{
-    apply_alpha_budgets, solver, CostModel, GraphBuilder, RetrievalScheme,
-};
+use modelhub::pas::{apply_alpha_budgets, solver, CostModel, GraphBuilder, RetrievalScheme};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let root = std::env::temp_dir().join(format!("modelhub-planner-{}", std::process::id()));
@@ -17,7 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let repo = Repository::init(&root)?;
 
     println!("generating SD workload (fine-tuned variants with checkpoints)...");
-    let sd = generate_sd(&repo, &SdConfig { num_versions: 4, snapshots_per_version: 3, ..Default::default() })?;
+    let sd = generate_sd(
+        &repo,
+        &SdConfig {
+            num_versions: 4,
+            snapshots_per_version: 3,
+            ..Default::default()
+        },
+    )?;
     println!("  base {} + {} variants", sd.base, sd.versions.len());
 
     // Build the matrix storage graph with measured compression costs.
@@ -38,7 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|s| {
             let spec = s.key.to_string();
-            let max = repo.snapshots(&spec).unwrap().iter().map(|x| x.index).max().unwrap_or(0);
+            let max = repo
+                .snapshots(&spec)
+                .unwrap()
+                .iter()
+                .map(|x| x.index)
+                .max()
+                .unwrap_or(0);
             (spec, max)
         })
         .collect();
@@ -64,8 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spt.storage_cost(&graph)
     );
 
-    println!("\n{:>5} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
-        "alpha", "LAST Cs", "PAS-MT Cs", "PAS-PT Cs", "LAST ok", "MT ok", "PT ok");
+    println!(
+        "\n{:>5} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "alpha", "LAST Cs", "PAS-MT Cs", "PAS-PT Cs", "LAST ok", "MT ok", "PT ok"
+    );
     for alpha in [1.1, 1.3, 1.5, 2.0, 3.0, 5.0] {
         let mut g = graph.clone();
         apply_alpha_budgets(&mut g, alpha, scheme)?;

@@ -12,12 +12,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let root = std::env::temp_dir().join(format!("modelhub-dql-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let mut hub = ModelHub::init(&root)?;
-    let data = synth_dataset(&SynthConfig { num_classes: 3, seed: 3, ..Default::default() });
+    let data = synth_dataset(&SynthConfig {
+        num_classes: 3,
+        seed: 3,
+        ..Default::default()
+    });
 
     // Populate: two alexnet-family models and a lenet.
-    let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
-    for (name, family) in [("alexnet-origin", 1usize), ("alexnet-avgv1", 1), ("lenet-v1", 0)] {
-        let net = if family == 0 { zoo::lenet_s(3) } else { zoo::alexnet_s(3) };
+    let trainer = Trainer::new(Hyperparams {
+        base_lr: 0.08,
+        ..Default::default()
+    });
+    for (name, family) in [
+        ("alexnet-origin", 1usize),
+        ("alexnet-avgv1", 1),
+        ("lenet-v1", 0),
+    ] {
+        let net = if family == 0 {
+            zoo::lenet_s(3)
+        } else {
+            zoo::alexnet_s(3)
+        };
         let r = trainer.train(&net, Weights::init(&net, 9)?, &data, 6)?;
         let mut req = CommitRequest::new(name, net);
         req.snapshots = vec![(6, r.weights)];
@@ -78,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("-- repository now holds {} versions --", hub.repo().list().len());
+    println!(
+        "-- repository now holds {} versions --",
+        hub.repo().list().len()
+    );
 
     std::fs::remove_dir_all(&root).ok();
     Ok(())

@@ -18,9 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Base task: 5-way classification.
     let base_net = zoo::alexnet_s(5);
-    let base_data = synth_dataset(&SynthConfig { num_classes: 5, seed: 7, ..Default::default() });
+    let base_data = synth_dataset(&SynthConfig {
+        num_classes: 5,
+        seed: 7,
+        ..Default::default()
+    });
     let trainer = Trainer {
-        hp: Hyperparams { base_lr: 0.05, ..Default::default() },
+        hp: Hyperparams {
+            base_lr: 0.05,
+            ..Default::default()
+        },
         snapshot_every: 8,
     };
     let base_result = trainer.train(&base_net, Weights::init(&base_net, 1)?, &base_data, 24)?;
@@ -30,17 +37,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     req.accuracy = Some(base_result.final_accuracy);
     req.comment = "base model on 5-way task".into();
     let base_key = hub.repo().commit(&req)?;
-    println!("base: {base_key} acc {:.1}%", base_result.final_accuracy * 100.0);
+    println!(
+        "base: {base_key} acc {:.1}%",
+        base_result.final_accuracy * 100.0
+    );
 
     // Fine-tune for a 3-way task with two hyperparameter alternations.
-    let ft_data = synth_dataset(&SynthConfig { num_classes: 3, seed: 8, ..Default::default() });
+    let ft_data = synth_dataset(&SynthConfig {
+        num_classes: 3,
+        seed: 8,
+        ..Default::default()
+    });
     for (tag, lr, freeze) in [("a", 0.05f32, false), ("b", 0.01, true)] {
         let (ft_net, ft_init) = fine_tune_setup(&base_net, &base_result.weights, 3, 50)?;
-        let mut hp = Hyperparams { base_lr: lr, ..Default::default() };
+        let mut hp = Hyperparams {
+            base_lr: lr,
+            ..Default::default()
+        };
         if freeze {
             hp.layer_lr.insert("conv1".into(), 0.0);
         }
-        let t = Trainer { hp: hp.clone(), snapshot_every: 8 };
+        let t = Trainer {
+            hp: hp.clone(),
+            snapshot_every: 8,
+        };
         let r = t.train(&ft_net, ft_init, &ft_data, 24)?;
         let mut req = CommitRequest::new(&format!("alexnet-ft-{tag}"), ft_net);
         req.snapshots = r.snapshots.clone();
@@ -58,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // dlv list + lineage.
     println!("\nrepository contents:");
     for v in hub.repo().list() {
-        println!("  {}  [{} snapshots]  {}", v.key, v.num_snapshots, v.comment);
+        println!(
+            "  {}  [{} snapshots]  {}",
+            v.key, v.num_snapshots, v.comment
+        );
     }
     println!("lineage: {:?}", hub.repo().lineage());
 
@@ -67,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", report.render());
 
     // dlv archive: all snapshots into PAS with a 2x recreation budget.
-    let archive = hub.archive(&ArchiveConfig { alpha: 2.0, ..Default::default() })?;
+    let archive = hub.archive(&ArchiveConfig {
+        alpha: 2.0,
+        ..Default::default()
+    })?;
     println!(
         "archived {} matrices over {} snapshots into {:?}: {} bytes on disk (budgets satisfied: {})",
         archive.num_matrices,

@@ -18,15 +18,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Alice trains and commits a model.
     let alice = ModelHub::init(&repo_dir)?;
     let net = zoo::lenet_s(4);
-    let data = synth_dataset(&SynthConfig { num_classes: 4, seed: 12, ..Default::default() });
-    let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+    let data = synth_dataset(&SynthConfig {
+        num_classes: 4,
+        seed: 12,
+        ..Default::default()
+    });
+    let trainer = Trainer::new(Hyperparams {
+        base_lr: 0.08,
+        ..Default::default()
+    });
     let r = trainer.train(&net, Weights::init(&net, 4)?, &data, 12)?;
     let mut req = CommitRequest::new("digit-recognizer", net);
     req.snapshots = vec![(12, r.weights)];
     req.accuracy = Some(r.final_accuracy);
     req.comment = "4-way digit recognizer, synthetic gratings".into();
     alice.repo().commit(&req)?;
-    println!("alice committed digit-recognizer (acc {:.1}%)", r.final_accuracy * 100.0);
+    println!(
+        "alice committed digit-recognizer (acc {:.1}%)",
+        r.final_accuracy * 100.0
+    );
 
     // dlv publish.
     alice.publish(&hub_dir, "alice/vision")?;
@@ -34,17 +44,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // dlv search.
     for hit in ModelHub::search(&hub_dir, "%digit%")? {
-        println!("search hit: {}/{} [{}] {}", hit.repo, hit.version, hit.architecture, hit.comment);
+        println!(
+            "search hit: {}/{} [{}] {}",
+            hit.repo, hit.version, hit.architecture, hit.comment
+        );
     }
 
     // dlv pull: Bob clones and keeps working.
     let bob = ModelHub::pull(&hub_dir, "alice/vision", &clone_dir)?;
     let acc = bob.repo().eval("digit-recognizer", &data.test)?;
-    println!("bob pulled the repo and reproduced accuracy {:.1}%", acc * 100.0);
+    println!(
+        "bob pulled the repo and reproduced accuracy {:.1}%",
+        acc * 100.0
+    );
 
     // Bob extends the lineage in his clone.
-    let key = bob.repo().copy("digit-recognizer", "digit-recognizer-bob", "bob's fork")?;
-    println!("bob forked it as {key}; lineage now {:?}", bob.repo().lineage());
+    let key = bob
+        .repo()
+        .copy("digit-recognizer", "digit-recognizer-bob", "bob's fork")?;
+    println!(
+        "bob forked it as {key}; lineage now {:?}",
+        bob.repo().lineage()
+    );
 
     std::fs::remove_dir_all(&base).ok();
     Ok(())

@@ -5,11 +5,10 @@
 //!
 //! Run with: `cargo run --release --example progressive_inference`
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use modelhub::compress::Level;
 use modelhub::delta::DeltaOp;
-use modelhub::dnn::{
-    forward, synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights,
-};
+use modelhub::dnn::{forward, synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
 use modelhub::pas::{
     solver, CostModel, GraphBuilder, ModelBinding, ProgressiveEvaluator, SegmentStore,
 };
@@ -17,8 +16,15 @@ use modelhub::pas::{
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train a model until its logit margins are healthy.
     let net = zoo::lenet_s(4);
-    let data = synth_dataset(&SynthConfig { num_classes: 4, seed: 19, ..Default::default() });
-    let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+    let data = synth_dataset(&SynthConfig {
+        num_classes: 4,
+        seed: 19,
+        ..Default::default()
+    });
+    let trainer = Trainer::new(Hyperparams {
+        base_lr: 0.08,
+        ..Default::default()
+    });
     let result = trainer.train(&net, Weights::init(&net, 3)?, &data, 60)?;
     println!(
         "trained lenet_s: accuracy {:.1}%, {} parameters",
@@ -46,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, (x, label)) in data.test.iter().enumerate().take(12) {
         let r = ev.eval(x, 1)?;
         let exact = forward(&net, &result.weights, x)?.argmax();
-        assert_eq!(r.prediction[0], exact, "progressive result must equal exact");
+        assert_eq!(
+            r.prediction[0], exact,
+            "progressive result must equal exact"
+        );
         histogram[r.planes_used - 1] += 1;
         println!(
             "query {i:>2}: truth={label} predicted={} determined after {} byte plane(s), \

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Train with checkpointing — the modeling loop of Fig. 1.
     let trainer = Trainer {
-        hp: Hyperparams { base_lr: 0.08, ..Default::default() },
+        hp: Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        },
         snapshot_every: 10,
     };
     let init = Weights::init(&net, 42)?;
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     req.log = result.log.clone();
     req.accuracy = Some(result.final_accuracy);
     req.hyperparams.insert("base_lr".into(), "0.08".into());
-    req.files.push(("solver.cfg".into(), b"base_lr: 0.08\nmax_iter: 40\n".to_vec()));
+    req.files.push((
+        "solver.cfg".into(),
+        b"base_lr: 0.08\nmax_iter: 40\n".to_vec(),
+    ));
     req.comment = "first quickstart model".into();
     let key = hub.repo().commit(&req)?;
     println!("committed as {key}");

@@ -83,7 +83,10 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let data = synth_dataset(&cfg);
             let net = zoo::lenet_s(cfg.num_classes);
             let trainer = Trainer {
-                hp: Hyperparams { base_lr: 0.08, ..Default::default() },
+                hp: Hyperparams {
+                    base_lr: 0.08,
+                    ..Default::default()
+                },
                 snapshot_every: 10,
             };
             let r = trainer.train(&net, Weights::init(&net, cfg.seed)?, &data, 30)?;
@@ -93,7 +96,10 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             req.accuracy = Some(r.final_accuracy);
             req.comment = "dlv demo model".into();
             let key = repo.commit(&req)?;
-            println!("trained and committed {key} (accuracy {:.1}%)", r.final_accuracy * 100.0);
+            println!(
+                "trained and committed {key} (accuracy {:.1}%)",
+                r.final_accuracy * 100.0
+            );
             Ok(ExitCode::SUCCESS)
         }
         "list" => {
@@ -109,7 +115,9 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                     v.key.to_string(),
                     v.num_snapshots,
                     v.param_count,
-                    v.accuracy.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
+                    v.accuracy
+                        .map(|a| format!("{a:.3}"))
+                        .unwrap_or_else(|| "-".into()),
                     v.comment,
                     if v.archived { " [archived]" } else { "" }
                 );
@@ -142,9 +150,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             for s in &d.snapshots {
                 println!("    s{} @iter {} [{}]", s.index, s.iteration, s.location);
             }
-            if !d.loss_curve.is_empty() {
-                let first = d.loss_curve.first().unwrap();
-                let last = d.loss_curve.last().unwrap();
+            if let (Some(first), Some(last)) = (d.loss_curve.first(), d.loss_curve.last()) {
                 println!(
                     "  loss: {:.4} (iter {}) -> {:.4} (iter {})",
                     first.1, first.0, last.1, last.0
@@ -171,9 +177,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .get(layer.as_str())
                 .ok_or("layer not found in archived snapshot")?;
             let hist = store.weight_histogram(v, planes, 24, None)?;
-            println!(
-                "weights of {spec}/{layer} from {planes} high-order byte plane(s):"
-            );
+            println!("weights of {spec}/{layer} from {planes} high-order byte plane(s):");
             print!("{}", hist.render_ascii(48));
             Ok(ExitCode::SUCCESS)
         }
@@ -194,7 +198,10 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let cfg = parse_dataset_spec(flag_value(&args, "--dataset"));
             let data = synth_dataset(&cfg);
             let acc = repo.eval(spec, &data.test)?;
-            println!("accuracy of {spec} on synthetic test set: {:.2}%", acc * 100.0);
+            println!(
+                "accuracy of {spec} on synthetic test set: {:.2}%",
+                acc * 100.0
+            );
             Ok(ExitCode::SUCCESS)
         }
         "copy" => {
@@ -256,7 +263,12 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 }
                 QueryResult::Derived(d) => {
                     for m in d {
-                        println!("derived from {}: {} ({} nodes)", m.source, m.derivation, m.network.num_nodes());
+                        println!(
+                            "derived from {}: {} ({} nodes)",
+                            m.source,
+                            m.derivation,
+                            m.network.num_nodes()
+                        );
                     }
                 }
                 QueryResult::Evaluated(rows) => {
@@ -288,7 +300,10 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let hub_dir = path(1).ok_or("search needs <hub> <pattern>")?;
             let pattern = args.get(2).ok_or("search needs <hub> <pattern>")?;
             for hit in Hub::open(&hub_dir)?.search(pattern)? {
-                println!("{}/{}  {}  {}", hit.repo, hit.version, hit.architecture, hit.comment);
+                println!(
+                    "{}/{}  {}  {}",
+                    hit.repo, hit.version, hit.architecture, hit.comment
+                );
             }
             Ok(ExitCode::SUCCESS)
         }

@@ -1,0 +1,123 @@
+//! `modelhub` — repository maintenance commands.
+//!
+//! ```text
+//! modelhub fsck <dir> [--deep]       # static integrity verification
+//! modelhub check <query> [--repo <dir>]   # DQL semantic analysis (no execution)
+//! ```
+//!
+//! `fsck` runs the mh-check layers (catalog referential integrity, blob
+//! hashes, PAS plan invariants, α-budget accounting; `--deep` additionally
+//! derives per-snapshot error bounds from byte-plane prefixes) and exits
+//! nonzero when any Error-severity finding is present.
+//!
+//! `check` type-checks a DQL query against the catalog schema — and, with
+//! `--repo`, against the repository's network layer names — printing
+//! caret-rendered span diagnostics without executing the query.
+
+use modelhub::check::{fsck, FsckConfig};
+use modelhub::dql::analyze::{self, AnalyzeContext};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: modelhub fsck <dir> [--deep]");
+    eprintln!("       modelhub check \"<DQL>\" [--repo <dir>]");
+    ExitCode::from(2)
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fsck") => {
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(PathBuf::from);
+            let dir = dir.ok_or("fsck needs a repository directory")?;
+            let cfg = FsckConfig {
+                deep: args.iter().any(|a| a == "--deep"),
+            };
+            let report = fsck(&dir, &cfg)?;
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if !report.bounds.is_empty() {
+                println!(
+                    "per-snapshot worst-case bounds ({}-plane prefix):",
+                    report.bounds[0].planes
+                );
+                for b in &report.bounds {
+                    println!(
+                        "  {}/{}: {} layers, worst interval width {:.6}",
+                        b.store, b.snapshot, b.layers, b.worst_width
+                    );
+                }
+            }
+            println!(
+                "checked {} versions, {} stores, {} blobs: {} errors, {} warnings",
+                report.versions_checked,
+                report.stores_checked,
+                report.blobs_checked,
+                report.errors(),
+                report.warnings()
+            );
+            Ok(if report.errors() > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        Some("check") => {
+            let query = args.get(1).ok_or("check needs a DQL query string")?;
+            let ctx = match args.iter().position(|a| a == "--repo") {
+                Some(i) => {
+                    let dir = args.get(i + 1).ok_or("--repo needs a directory")?;
+                    let repo = modelhub::dlv::Repository::open(&PathBuf::from(dir))?;
+                    AnalyzeContext::from_repository(&repo)
+                }
+                None => AnalyzeContext::default(),
+            };
+            let diags = match analyze::check(query, &ctx) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            let mut errors = 0usize;
+            for d in &diags {
+                render(query, d);
+                if d.severity == analyze::Severity::Error {
+                    errors += 1;
+                }
+            }
+            if diags.is_empty() {
+                println!("ok: no diagnostics");
+            }
+            Ok(if errors > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        _ => Ok(usage()),
+    }
+}
+
+/// Print a diagnostic with a caret line under its span.
+fn render(src: &str, d: &modelhub::dql::Diagnostic) {
+    println!("{}: [{}] {}", d.severity, d.code, d.message);
+    println!("  | {src}");
+    let width = d.span.end.saturating_sub(d.span.start).max(1);
+    println!("  | {}{}", " ".repeat(d.span.start), "^".repeat(width));
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("modelhub: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

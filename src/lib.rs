@@ -9,8 +9,10 @@
 //! - [`pas`] — the parameter archival store (segmentation, deltas, plans,
 //!   progressive evaluation)
 //! - [`dnn`] — the deep-network substrate (layers, training, interval eval)
+//! - [`check`] — static integrity verification (`modelhub fsck`)
 //! - [`tensor`], [`delta`], [`compress`], [`store`] — supporting substrates
 
+pub use mh_check as check;
 pub use mh_compress as compress;
 pub use mh_delta as delta;
 pub use mh_dlv as dlv;

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the whole pipeline from training through
 //! versioning, DQL, archival and progressive retrieval.
 
+#![allow(clippy::unwrap_used)] // test/bench/demo code: panics are failures
 use modelhub::dlv::{ArchiveConfig, CommitRequest};
 use modelhub::dnn::{forward, synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
 use modelhub::dql::QueryResult;
@@ -32,10 +33,15 @@ fn full_pipeline_train_version_archive_progressive() {
     let net = zoo::lenet_s(3);
     let d = data();
     let trainer = Trainer {
-        hp: Hyperparams { base_lr: 0.08, ..Default::default() },
+        hp: Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        },
         snapshot_every: 5,
     };
-    let r = trainer.train(&net, Weights::init(&net, 3).unwrap(), &d, 15).unwrap();
+    let r = trainer
+        .train(&net, Weights::init(&net, 3).unwrap(), &d, 15)
+        .unwrap();
     let mut req = CommitRequest::new("m", net.clone());
     req.snapshots = r.snapshots.clone();
     req.accuracy = Some(r.final_accuracy);
@@ -64,9 +70,14 @@ fn dql_drives_the_lifecycle_end_to_end() {
     let root = temp_dir("dql-lifecycle");
     let mut hub = ModelHub::init(&root).unwrap();
     let d = data();
-    let trainer = Trainer::new(Hyperparams { base_lr: 0.08, ..Default::default() });
+    let trainer = Trainer::new(Hyperparams {
+        base_lr: 0.08,
+        ..Default::default()
+    });
     let net = zoo::lenet_s(3);
-    let r = trainer.train(&net, Weights::init(&net, 5).unwrap(), &d, 6).unwrap();
+    let r = trainer
+        .train(&net, Weights::init(&net, 5).unwrap(), &d, 6)
+        .unwrap();
     let mut req = CommitRequest::new("seed-model", net);
     req.snapshots = vec![(6, r.weights)];
     req.accuracy = Some(r.final_accuracy);
@@ -82,7 +93,9 @@ fn dql_drives_the_lifecycle_end_to_end() {
                keep top(1, m["loss"], 4)"#,
         )
         .unwrap();
-    let QueryResult::Evaluated(rows) = result else { panic!() };
+    let QueryResult::Evaluated(rows) = result else {
+        panic!()
+    };
     assert_eq!(rows.len(), 2);
     let kept = rows.iter().find(|r| r.kept).unwrap();
     let committed = kept.committed.as_ref().unwrap();
@@ -104,7 +117,11 @@ fn sd_workload_generates_connected_lineage() {
     let repo = modelhub::dlv::Repository::init(&root).unwrap();
     let sd = modelhub::core::generate_sd(
         &repo,
-        &modelhub::core::SdConfig { num_versions: 3, snapshots_per_version: 2, ..Default::default() },
+        &modelhub::core::SdConfig {
+            num_versions: 3,
+            snapshots_per_version: 2,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(sd.versions.len(), 3);
@@ -134,7 +151,9 @@ fn share_then_continue_working_on_the_clone() {
     let d = data();
     let net = zoo::lenet_s(3);
     let trainer = Trainer::new(Hyperparams::default());
-    let r = trainer.train(&net, Weights::init(&net, 6).unwrap(), &d, 5).unwrap();
+    let r = trainer
+        .train(&net, Weights::init(&net, 6).unwrap(), &d, 5)
+        .unwrap();
     let mut req = CommitRequest::new("shared", net);
     req.snapshots = vec![(5, r.weights)];
     a.repo().commit(&req).unwrap();
@@ -158,7 +177,11 @@ fn float_schemes_compose_with_compression() {
     use modelhub::tensor::{encode, split_byte_planes, Scheme};
 
     let net = zoo::lenet_s(4);
-    let d = synth_dataset(&SynthConfig { num_classes: 4, seed: 9, ..Default::default() });
+    let d = synth_dataset(&SynthConfig {
+        num_classes: 4,
+        seed: 9,
+        ..Default::default()
+    });
     let trainer = Trainer::new(Hyperparams::default());
     let r = trainer
         .train(&net, Weights::init(&net, 8).unwrap(), &d, 10)
@@ -176,7 +199,11 @@ fn float_schemes_compose_with_compression() {
         "bytewise segmentation should compress better: {planes} vs {whole}"
     );
 
-    for scheme in [Scheme::F16, Scheme::Fixed { bits: 8 }, Scheme::QuantUniform { bits: 8 }] {
+    for scheme in [
+        Scheme::F16,
+        Scheme::Fixed { bits: 8 },
+        Scheme::QuantUniform { bits: 8 },
+    ] {
         let enc = encode(m, scheme, false);
         let c = compressed_len(&enc.payload, Level::Default);
         assert!(c < whole, "{scheme:?} should beat raw f32: {c} vs {whole}");

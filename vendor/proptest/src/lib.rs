@@ -1,0 +1,142 @@
+//! Offline stand-in for `proptest`, implementing the subset of its API this
+//! workspace's property tests use: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`, tuple and
+//! range strategies, `any::<T>()`, regex-subset string strategies,
+//! [`collection::vec`], `Just`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest: generation is deterministic per test
+//! name (no persisted failure seeds) and failing cases are not shrunk —
+//! the failing input's Debug rendering is reported as-is.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// The `proptest!` macro: expands each `fn name(pat in strategy, ...) {}`
+/// item into a deterministic multi-case test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config = $cfg;
+                let mut __pt_runner =
+                    $crate::test_runner::TestRunner::new(__pt_config, stringify!($name));
+                let __pt_strategy = ( $( $strat, )+ );
+                __pt_runner.run(&__pt_strategy, |__pt_values| {
+                    let ( $( $pat, )+ ) = __pt_values;
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Build a [`strategy::Union`] choosing uniformly among the given
+/// strategies (all must share one `Value` type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the current case with
+/// the formatted message rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __pt_l, __pt_r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), __pt_l, __pt_r),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if *__pt_l == *__pt_r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __pt_l,
+            )));
+        }
+    }};
+}
+
+/// Discard the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

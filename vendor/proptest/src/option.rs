@@ -1,0 +1,28 @@
+//! `proptest::option` subset: the [`of`] combinator, yielding `None`
+//! roughly a quarter of the time and `Some` of the inner strategy
+//! otherwise (real proptest defaults to a 75% `Some` probability too).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<T>` built from a strategy for `T`.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_u64() % 4 == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `Option` of the given strategy, weighted toward `Some`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,194 @@
+//! String strategies from a regex subset, mirroring proptest's use of
+//! `&str` patterns as strategies. Supported syntax: literal characters,
+//! `.` (printable ASCII), character classes `[a-z0-9_%-]` (ranges and
+//! literals, leading/trailing `-` literal), and the quantifiers `{m}`,
+//! `{m,n}`, `{m,}`, `*`, `+`, `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Dot,
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern {pattern:?}"
+                );
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+                Some((lo, "")) => {
+                    let lo: usize = lo.trim().parse().expect("quantifier lower bound");
+                    (lo, lo + 8)
+                }
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+            }
+        } else if i < chars.len() && matches!(chars[i], '*' | '+' | '?') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '*' => (0, 8),
+                '+' => (1, 8),
+                _ => (0, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Dot => (0x20u8 + (rng.next_u64() % 0x5f) as u8) as char,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                .sum();
+            assert!(total > 0, "empty character class");
+            let mut pick = rng.next_u64() % total;
+            for &(lo, hi) in ranges {
+                let span = hi as u64 - lo as u64 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+    }
+}
+
+fn generate_from(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse_pattern(pattern) {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.usize_in(piece.min, piece.max + 1)
+        };
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut rng = TestRng::seeded(9);
+        for _ in 0..200 {
+            let s = "[a-c]{0,3}".generate(&mut rng);
+            assert!(
+                s.len() <= 3 && s.chars().all(|c| ('a'..='c').contains(&c)),
+                "{s:?}"
+            );
+
+            let s = "[a-b%_]{0,6}".generate(&mut rng);
+            assert!(
+                s.chars().all(|c| matches!(c, 'a' | 'b' | '%' | '_')),
+                "{s:?}"
+            );
+
+            let s = "[a-z][a-z0-9-]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_star() {
+        let mut rng = TestRng::seeded(3);
+        assert_eq!("abc".generate(&mut rng), "abc");
+        for _ in 0..50 {
+            let s = "x[0-9]+y?".generate(&mut rng);
+            assert!(s.starts_with('x'), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Deterministic test runner and RNG for the vendored proptest subset.
+
+use crate::strategy::Strategy;
+
+/// Deterministic splitmix64 RNG driving all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics on an empty range.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range in strategy: {lo}..{hi}");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Run configuration. Mirrors `proptest::test_runner::Config` for the
+/// fields this workspace touches.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed or discarded test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "{m}"),
+            Self::Reject(r) => write!(f, "assumption not met: {r}"),
+        }
+    }
+}
+
+/// Drives `config.cases` generated inputs through one test closure,
+/// panicking (like `#[test]` expects) on the first failure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    name: &'static str,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // Stable per-test seed: same inputs every run, different streams
+        // for differently-named tests.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        Self {
+            config,
+            rng: TestRng::seeded(seed),
+            name,
+        }
+    }
+
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut executed = 0u32;
+        let mut discarded = 0u32;
+        while executed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    discarded += 1;
+                    assert!(
+                        discarded < self.config.cases.saturating_mul(16).max(256),
+                        "proptest {}: too many rejected cases",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {}: {}",
+                        self.name, executed, msg
+                    )
+                }
+            }
+        }
+    }
+}
