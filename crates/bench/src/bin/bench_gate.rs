@@ -1,0 +1,71 @@
+//! `bench_gate` — CI perf-regression gate over `BENCH_pas.json`.
+//!
+//! ```text
+//! bench_gate <report.json> [--baseline tools/bench_baseline.json] [--tolerance 0.30]
+//! ```
+//!
+//! Exits 0 when every baseline stage meets its hardware-clamped speedup
+//! expectation and the report's stores were bit-identical; exits 1 with
+//! one line per violation otherwise. See `crates/bench/src/gate.rs` for
+//! the threshold semantics.
+
+use mh_bench::gate;
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("usage: bench_gate <report.json> [--baseline <file>] [--tolerance 0.30]")?;
+    let baseline_path =
+        flag_value(&args, "--baseline").unwrap_or_else(|| "tools/bench_baseline.json".to_string());
+    let tolerance: f64 = match flag_value(&args, "--tolerance") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid --tolerance: {raw}"))?,
+        None => 0.30,
+    };
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
+    }
+
+    let read = |p: &str| -> Result<gate::Json, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        gate::parse(&text).map_err(|e| format!("parsing {p}: {e}"))
+    };
+    let current = read(report_path)?;
+    let baseline = read(&baseline_path)?;
+
+    let outcome = gate::check_report(&current, &baseline, tolerance);
+    if outcome.passed() {
+        println!(
+            "bench_gate: ok — {} stages within {:.0}% of baseline expectations",
+            outcome.stages_checked,
+            tolerance * 100.0
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &outcome.violations {
+            eprintln!("bench_gate: FAIL {v}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro [all|table1|fig6a|fig6b|table4|fig6c|table5|fig6d|ablations] [--quick]`
+//! Usage: `repro [all|table1|fig6a|fig6b|table4|fig6c|table5|fig6d|ablations|pas] [--quick]`
 //!
 //! `--quick` shrinks training lengths and workload sizes so the full suite
 //! finishes in well under a minute; without it the defaults match the
@@ -34,6 +34,7 @@ fn main() -> std::io::Result<()> {
             "table5" => table5::run(t5_snapshots, t5_iters),
             "fig6d" => fig6d::run(4, fig6d_iters),
             "ablations" => ablations::run(train_iters),
+            "pas" => pas::run(quick),
             "rd" => rd::run(),
             other => {
                 eprintln!("unknown experiment '{other}'");
@@ -53,6 +54,7 @@ fn main() -> std::io::Result<()> {
             "fig6d",
             "rd",
             "ablations",
+            "pas",
         ] {
             run_one(name)?;
         }

@@ -1,0 +1,395 @@
+//! PAS archival/retrieval engine benchmark — serial vs parallel.
+//!
+//! Times the four PAS hot paths that run on the `mh-par` worker pool
+//! (archival build, segment retrieval, progressive evaluation, solver
+//! repair) once at 1 thread and once at [`PARALLEL_THREADS`], verifies the
+//! two stores are bit-identical, and emits a machine-readable
+//! `results/BENCH_pas.json` for the CI perf-regression gate
+//! (`bench_gate`). The JSON is deterministic in *shape*: fixed field
+//! order, no timestamps, no host names — only the measured numbers vary
+//! between runs.
+
+use crate::report::{results_dir, Table};
+use mh_compress::Level;
+use mh_delta::DeltaOp;
+use mh_pas::{
+    apply_alpha_budgets, solver, CostModel, GraphBuilder, ModelBinding, ProgressiveEvaluator,
+    RetrievalScheme, SegmentStore,
+};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Thread count for the "parallel" leg. Fixed (not `available_parallelism`)
+/// so the JSON is comparable across machines; the gate scales its speedup
+/// expectations by the *reported* hardware width instead.
+pub const PARALLEL_THREADS: usize = 4;
+
+/// One timed stage of the report.
+#[derive(Debug, Clone)]
+pub struct StageResult {
+    pub name: &'static str,
+    pub bytes: u64,
+    pub serial_ms: f64,
+    pub parallel_ms: f64,
+}
+
+impl StageResult {
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+
+    fn mb_s(&self, ms: f64) -> f64 {
+        if ms > 0.0 {
+            (self.bytes as f64 / (1024.0 * 1024.0)) / (ms / 1000.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full report behind `BENCH_pas.json`.
+#[derive(Debug, Clone)]
+pub struct PasBenchReport {
+    pub mode: &'static str,
+    pub hardware_threads: usize,
+    pub parallel_threads: usize,
+    pub bit_identical: bool,
+    pub stages: Vec<StageResult>,
+}
+
+impl PasBenchReport {
+    /// Deterministic JSON: fixed field order, fixed float precision, no
+    /// timestamps. The gate's parser and the baseline file both assume
+    /// this exact shape (`schema: bench-pas-v1`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"bench-pas-v1\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!(
+            "  \"hardware_threads\": {},\n",
+            self.hardware_threads
+        ));
+        out.push_str(&format!(
+            "  \"parallel_threads\": {},\n",
+            self.parallel_threads
+        ));
+        out.push_str(&format!("  \"bit_identical\": {},\n", self.bit_identical));
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", s.name));
+            out.push_str(&format!("      \"bytes\": {},\n", s.bytes));
+            out.push_str(&format!("      \"serial_ms\": {:.3},\n", s.serial_ms));
+            out.push_str(&format!("      \"parallel_ms\": {:.3},\n", s.parallel_ms));
+            out.push_str(&format!("      \"speedup\": {:.3},\n", s.speedup()));
+            out.push_str(&format!(
+                "      \"serial_mb_s\": {:.3},\n",
+                s.mb_s(s.serial_ms)
+            ));
+            out.push_str(&format!(
+                "      \"parallel_mb_s\": {:.3}\n",
+                s.mb_s(s.parallel_ms)
+            ));
+            out.push_str(if i + 1 == self.stages.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// Byte-compare two store directories (same file set, same contents).
+fn dirs_bit_identical(a: &Path, b: &Path) -> bool {
+    let list = |d: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .map(|it| {
+                it.filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    };
+    let (fa, fb) = (list(a), list(b));
+    if fa != fb {
+        return false;
+    }
+    fa.iter().all(|name| {
+        let ra = std::fs::read(a.join(name)).unwrap_or_default();
+        let rb = std::fs::read(b.join(name)).unwrap_or_default();
+        ra == rb
+    })
+}
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mh-bench-pas-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+pub fn run(quick: bool) -> std::io::Result<()> {
+    let iters = if quick { 6 } else { 24 };
+    let models = crate::workload::three_models(4, iters);
+
+    // One storage graph over every snapshot of every model, version chains
+    // linked, α budgets applied so the repair loop has real work to do.
+    let mut builder = GraphBuilder::new(CostModel::default());
+    let mut binding_lv = None;
+    for m in &models {
+        let mut indices = Vec::new();
+        for (i, w) in &m.result.snapshots {
+            let lv = builder.add_snapshot(m.name, *i, w);
+            if binding_lv.is_none() {
+                binding_lv = Some((m.network.clone(), lv));
+            }
+            indices.push(*i);
+        }
+        builder.link_version_chain(m.name, &indices);
+    }
+    let (mut graph, matrices) = builder.finish();
+    let scheme = RetrievalScheme::Independent;
+    apply_alpha_budgets(&mut graph, 2.0, scheme).expect("alpha budgets");
+    let total_bytes: u64 = matrices
+        .values()
+        .map(|m| (m.rows() * m.cols() * 4) as u64)
+        .sum();
+
+    let serial = || mh_par::set_threads(Some(1));
+    let parallel = || mh_par::set_threads(Some(PARALLEL_THREADS));
+    let mut stages = Vec::new();
+
+    // Stage 1/4 — solver repair (runs first: the plan feeds the store).
+    serial();
+    let (plan_s, mt_serial) = time_ms(|| {
+        let mt = solver::pas_mt(&graph, scheme).expect("pas-mt");
+        let _ = solver::pas_pt(&graph, scheme).expect("pas-pt");
+        mt
+    });
+    parallel();
+    let (plan_p, mt_parallel) = time_ms(|| {
+        let mt = solver::pas_mt(&graph, scheme).expect("pas-mt");
+        let _ = solver::pas_pt(&graph, scheme).expect("pas-pt");
+        mt
+    });
+    assert_eq!(
+        plan_s.storage_cost(&graph),
+        plan_p.storage_cost(&graph),
+        "solver must be thread-count invariant"
+    );
+    stages.push(StageResult {
+        name: "solver_repair",
+        bytes: total_bytes,
+        serial_ms: mt_serial,
+        parallel_ms: mt_parallel,
+    });
+
+    // Stage 2/4 — archival build (delta encode + per-plane compression).
+    let (dir_s, dir_p) = (temp_store_dir("serial"), temp_store_dir("parallel"));
+    serial();
+    let (store_s, build_serial) = time_ms(|| {
+        SegmentStore::create(
+            &dir_s,
+            &graph,
+            &plan_s,
+            &matrices,
+            DeltaOp::Sub,
+            Level::Fast,
+        )
+        .expect("serial store")
+    });
+    parallel();
+    let (store_p, build_parallel) = time_ms(|| {
+        SegmentStore::create(
+            &dir_p,
+            &graph,
+            &plan_s,
+            &matrices,
+            DeltaOp::Sub,
+            Level::Fast,
+        )
+        .expect("parallel store")
+    });
+    let bit_identical = dirs_bit_identical(&dir_s, &dir_p);
+    stages.push(StageResult {
+        name: "archival_build",
+        bytes: total_bytes,
+        serial_ms: build_serial,
+        parallel_ms: build_parallel,
+    });
+
+    // Stage 3/4 — segment retrieval (plane decompression + delta chains).
+    let verts: Vec<_> = store_s.vertices().collect();
+    serial();
+    let (got_s, retr_serial) = time_ms(|| store_s.recreate_group(&verts).expect("serial group"));
+    parallel();
+    let (got_p, retr_parallel) = time_ms(|| {
+        store_p
+            .recreate_group_parallel(&verts)
+            .expect("parallel group")
+    });
+    assert_eq!(got_s, got_p, "retrieval must be thread-count invariant");
+    stages.push(StageResult {
+        name: "segment_retrieval",
+        bytes: total_bytes,
+        serial_ms: retr_serial,
+        parallel_ms: retr_parallel,
+    });
+
+    // Stage 4/4 — progressive query evaluation on byte-plane prefixes.
+    let (net, lv) = binding_lv.expect("at least one snapshot");
+    let binding = ModelBinding::new(net, lv);
+    let queries = &models[0].data.test;
+    serial();
+    let (acc_s, prog_serial) = time_ms(|| {
+        let ev = ProgressiveEvaluator::new(&store_s, &binding);
+        ev.eval_batch(queries, 1).expect("serial batch").accuracy()
+    });
+    parallel();
+    let (acc_p, prog_parallel) = time_ms(|| {
+        let ev = ProgressiveEvaluator::new(&store_p, &binding);
+        ev.eval_batch(queries, 1)
+            .expect("parallel batch")
+            .accuracy()
+    });
+    assert_eq!(
+        acc_s, acc_p,
+        "progressive eval must be thread-count invariant"
+    );
+    stages.push(StageResult {
+        name: "progressive_eval",
+        bytes: total_bytes,
+        serial_ms: prog_serial,
+        parallel_ms: prog_parallel,
+    });
+
+    mh_par::set_threads(None);
+    let _ = std::fs::remove_dir_all(&dir_s);
+    let _ = std::fs::remove_dir_all(&dir_p);
+
+    let report = PasBenchReport {
+        mode: if quick { "quick" } else { "full" },
+        hardware_threads: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        parallel_threads: PARALLEL_THREADS,
+        bit_identical,
+        stages,
+    };
+
+    let mut t = Table::new(
+        &format!(
+            "PAS engine — serial vs {}-thread ({} matrices, {}, bit_identical={})",
+            PARALLEL_THREADS,
+            matrices.len(),
+            crate::report::human_bytes(total_bytes),
+            report.bit_identical,
+        ),
+        &["stage", "serial ms", "parallel ms", "speedup", "MB/s (par)"],
+    );
+    for s in &report.stages {
+        t.row(vec![
+            s.name.to_string(),
+            format!("{:.1}", s.serial_ms),
+            format!("{:.1}", s.parallel_ms),
+            format!("{:.2}x", s.speedup()),
+            format!("{:.1}", s.mb_s(s.parallel_ms)),
+        ]);
+    }
+    t.emit(&results_dir(), "bench_pas")?;
+
+    let json_path = results_dir().join("BENCH_pas.json");
+    std::fs::create_dir_all(results_dir())?;
+    std::fs::write(&json_path, report.render_json())?;
+    println!("machine-readable report: {}", json_path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_report() -> PasBenchReport {
+        PasBenchReport {
+            mode: "quick",
+            hardware_threads: 4,
+            parallel_threads: 4,
+            bit_identical: true,
+            stages: vec![
+                StageResult {
+                    name: "archival_build",
+                    bytes: 1024 * 1024,
+                    serial_ms: 100.0,
+                    parallel_ms: 40.0,
+                },
+                StageResult {
+                    name: "segment_retrieval",
+                    bytes: 1024 * 1024,
+                    serial_ms: 50.0,
+                    parallel_ms: 30.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_timestamp_free() {
+        let r = fixed_report();
+        let a = r.render_json();
+        let b = r.render_json();
+        assert_eq!(a, b, "same report must render byte-identically");
+        // Field order is part of the contract with the gate.
+        let order = [
+            "\"schema\"",
+            "\"mode\"",
+            "\"hardware_threads\"",
+            "\"parallel_threads\"",
+            "\"bit_identical\"",
+            "\"stages\"",
+            "\"name\"",
+            "\"bytes\"",
+            "\"serial_ms\"",
+            "\"parallel_ms\"",
+            "\"speedup\"",
+            "\"serial_mb_s\"",
+            "\"parallel_mb_s\"",
+        ];
+        let mut pos = 0;
+        for key in order {
+            let at = a[pos..].find(key).unwrap_or_else(|| {
+                panic!("field {key} missing or out of order");
+            });
+            pos += at;
+        }
+        for banned in ["time\":", "date", "hostname", "epoch"] {
+            assert!(!a.contains(banned), "gated JSON must not contain {banned}");
+        }
+    }
+
+    #[test]
+    fn speedup_math() {
+        let s = StageResult {
+            name: "x",
+            bytes: 2 * 1024 * 1024,
+            serial_ms: 200.0,
+            parallel_ms: 100.0,
+        };
+        assert!((s.speedup() - 2.0).abs() < 1e-9);
+        assert!((s.mb_s(100.0) - 20.0).abs() < 1e-9);
+    }
+}

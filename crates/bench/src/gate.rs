@@ -1,0 +1,421 @@
+//! CI perf-regression gate for `BENCH_pas.json`.
+//!
+//! Compares a freshly measured report against the checked-in baseline
+//! (`tools/bench_baseline.json`) and fails on regression. The speedup
+//! expectations are hardware-aware: a baseline records the speedup each
+//! stage *should* reach given enough cores (`expected_speedup`), and the
+//! gate clamps that by what the measuring machine can physically deliver —
+//! on a single hardware thread no parallel speedup is possible, so only
+//! the pool-overhead bound is enforced there, while a multi-core CI runner
+//! enforces the real expectation. Concretely, a stage passes when
+//!
+//! ```text
+//! speedup >= (1 - tolerance) * min(expected_speedup, scale(hw))
+//! scale(hw) = 1.0        if hw == 1   (overhead bound only)
+//!           = 0.75 * hw  otherwise    (imperfect scaling allowed)
+//! ```
+//!
+//! The gate also requires `bit_identical: true` — a store that differs by
+//! thread count is a correctness regression no timing can excuse.
+//!
+//! The JSON parser below is deliberately minimal (objects, arrays,
+//! strings, numbers, bools, null — no escapes beyond `\"` and `\\`): the
+//! workspace is offline and the gated documents are machine-written by
+//! [`crate::experiments::pas`].
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a byte offset.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Json::Str),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    skip_ws(b, pos);
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => match b.get(*pos) {
+                Some(b'"') => {
+                    out.push('"');
+                    *pos += 1;
+                }
+                Some(b'\\') => {
+                    out.push('\\');
+                    *pos += 1;
+                }
+                _ => return Err(format!("unsupported escape at byte {pos}")),
+            },
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(&c) = b.get(*pos) {
+        if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+/// What the gate concluded.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Human-readable violations; empty means the gate passes.
+    pub violations: Vec<String>,
+    /// Stages actually compared against the baseline.
+    pub stages_checked: usize,
+}
+
+impl GateOutcome {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The speedup a machine with `hw` hardware threads can be held to.
+fn hardware_scale(hw: f64) -> f64 {
+    if hw <= 1.0 {
+        1.0
+    } else {
+        0.75 * hw
+    }
+}
+
+/// Compare a measured report against the baseline with a relative
+/// `tolerance` (0.30 = 30%). Structural problems (wrong schema, missing
+/// stages) are violations too, so a truncated report cannot pass.
+pub fn check_report(current: &Json, baseline: &Json, tolerance: f64) -> GateOutcome {
+    let mut violations = Vec::new();
+    let mut stages_checked = 0;
+
+    if current.get("schema").and_then(Json::as_str) != Some("bench-pas-v1") {
+        violations.push("report schema is not bench-pas-v1".to_string());
+    }
+    if baseline.get("schema").and_then(Json::as_str) != Some("bench-pas-baseline-v1") {
+        violations.push("baseline schema is not bench-pas-baseline-v1".to_string());
+    }
+    if current.get("bit_identical").and_then(Json::as_bool) != Some(true) {
+        violations
+            .push("bit_identical is not true: parallel store diverged from serial".to_string());
+    }
+    let hw = current
+        .get("hardware_threads")
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0);
+    let par = current
+        .get("parallel_threads")
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0);
+    // Never expect more than the benchmark's own thread count either.
+    let scale = hardware_scale(hw.min(par));
+
+    let stages = current.get("stages").and_then(Json::as_arr).unwrap_or(&[]);
+    for expected in baseline.get("stages").and_then(Json::as_arr).unwrap_or(&[]) {
+        let Some(name) = expected.get("name").and_then(Json::as_str) else {
+            violations.push("baseline stage without a name".to_string());
+            continue;
+        };
+        let Some(stage) = stages
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            violations.push(format!("stage {name} missing from report"));
+            continue;
+        };
+        let expected_speedup = expected
+            .get("expected_speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or(1.0);
+        let speedup = stage.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+        let threshold = (1.0 - tolerance) * expected_speedup.min(scale);
+        stages_checked += 1;
+        if speedup < threshold {
+            violations.push(format!(
+                "stage {name}: speedup {speedup:.3} below threshold {threshold:.3} \
+                 (expected {expected_speedup:.2}, hw scale {scale:.2}, tolerance {tolerance:.0}%)",
+                tolerance = tolerance * 100.0
+            ));
+        }
+    }
+    if stages_checked == 0 {
+        violations.push("baseline defines no stages to check".to_string());
+    }
+    GateOutcome {
+        violations,
+        stages_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = include_str!("../../../tools/bench_baseline.json");
+    const REGRESSED: &str = include_str!("../../../tools/bench_regressed_fixture.json");
+
+    fn good_report(hw: usize) -> String {
+        format!(
+            r#"{{
+  "schema": "bench-pas-v1",
+  "mode": "quick",
+  "hardware_threads": {hw},
+  "parallel_threads": 4,
+  "bit_identical": true,
+  "stages": [
+    {{"name": "solver_repair", "bytes": 1, "serial_ms": 10.0, "parallel_ms": 10.0, "speedup": 1.0, "serial_mb_s": 1.0, "parallel_mb_s": 1.0}},
+    {{"name": "archival_build", "bytes": 1, "serial_ms": 100.0, "parallel_ms": 45.0, "speedup": 2.222, "serial_mb_s": 1.0, "parallel_mb_s": 2.2}},
+    {{"name": "segment_retrieval", "bytes": 1, "serial_ms": 100.0, "parallel_ms": 60.0, "speedup": 1.667, "serial_mb_s": 1.0, "parallel_mb_s": 1.7}},
+    {{"name": "progressive_eval", "bytes": 1, "serial_ms": 10.0, "parallel_ms": 9.5, "speedup": 1.053, "serial_mb_s": 1.0, "parallel_mb_s": 1.1}}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn parser_handles_the_report_shape() {
+        let v = parse(&good_report(4)).expect("parse");
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("bench-pas-v1"));
+        assert_eq!(v.get("bit_identical").and_then(Json::as_bool), Some(true));
+        let stages = v.get("stages").and_then(Json::as_arr).expect("stages");
+        assert_eq!(stages.len(), 4);
+        assert_eq!(stages[1].get("speedup").and_then(Json::as_f64), Some(2.222));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\": 1} x").is_err());
+        assert!(parse("nope").is_err());
+    }
+
+    #[test]
+    fn gate_passes_healthy_multicore_report() {
+        let current = parse(&good_report(4)).expect("report");
+        let baseline = parse(BASELINE).expect("baseline");
+        let outcome = check_report(&current, &baseline, 0.30);
+        assert!(outcome.passed(), "violations: {:?}", outcome.violations);
+        assert_eq!(outcome.stages_checked, 4);
+    }
+
+    #[test]
+    fn gate_on_one_hardware_thread_enforces_only_overhead_bound() {
+        // hw=1: speedup ~1.0 everywhere must pass, heavy slowdown must not.
+        let mut report = good_report(1);
+        report = report
+            .replace("\"speedup\": 2.222", "\"speedup\": 0.95")
+            .replace("\"speedup\": 1.667", "\"speedup\": 0.90");
+        let current = parse(&report).expect("report");
+        let baseline = parse(BASELINE).expect("baseline");
+        assert!(check_report(&current, &baseline, 0.30).passed());
+
+        let regressed = report.replace("\"speedup\": 0.95", "\"speedup\": 0.40");
+        let current = parse(&regressed).expect("report");
+        let outcome = check_report(&current, &baseline, 0.30);
+        assert!(
+            !outcome.passed(),
+            "0.4x on 1 thread is pool overhead gone bad"
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_regressed_fixture() {
+        let current = parse(REGRESSED).expect("fixture");
+        let baseline = parse(BASELINE).expect("baseline");
+        let outcome = check_report(&current, &baseline, 0.30);
+        assert!(
+            !outcome.passed(),
+            "the regressed fixture must fail the gate"
+        );
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.contains("archival_build")),
+            "violations: {:?}",
+            outcome.violations
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_nonidentical_store_and_missing_stage() {
+        let report = good_report(4).replace("\"bit_identical\": true", "\"bit_identical\": false");
+        let current = parse(&report).expect("report");
+        let baseline = parse(BASELINE).expect("baseline");
+        let outcome = check_report(&current, &baseline, 0.30);
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("bit_identical")));
+
+        let truncated = parse(
+            r#"{"schema": "bench-pas-v1", "hardware_threads": 4, "parallel_threads": 4, "bit_identical": true, "stages": []}"#,
+        )
+        .expect("truncated");
+        let outcome = check_report(&truncated, &baseline, 0.30);
+        assert!(
+            outcome.violations.iter().any(|v| v.contains("missing")),
+            "truncated reports must fail structurally"
+        );
+    }
+}

@@ -6,5 +6,6 @@
 //! [`experiments`]; Criterion micro-benches live under `benches/`.
 
 pub mod experiments;
+pub mod gate;
 pub mod report;
 pub mod workload;

@@ -349,35 +349,32 @@ fn deep_check_store(root: &Path, store: &str, snap: &CatalogSnapshot, report: &m
         }
     }
 
-    let mut worst: BTreeMap<String, (usize, f32)> = BTreeMap::new();
-    for v in seg.vertices().collect::<Vec<_>>() {
+    // Value-level checks per vertex are independent (recreate each chain,
+    // compare against its interval bounds), so they fan out to the pool;
+    // findings are applied to the report serially in vertex order, keeping
+    // output deterministic across thread counts. Each worker returns its
+    // findings plus the bound width (None when bounds were unusable).
+    let vertices: Vec<VertexId> = seg.vertices().collect();
+    let checked = mh_par::parallel_map(&vertices, |_, &v| {
+        let loc = format!("pas/{store}:vertex{v}");
+        let mut findings: Vec<(String, String)> = Vec::new();
         let (lo, hi) = match seg.recreate_bounds(v, DEEP_PLANES) {
             Ok(b) => b,
             Err(e) => {
-                report.error(
-                    E_BOUND_VIOLATION,
-                    format!("pas/{store}:vertex{v}"),
-                    format!("interval bounds cannot be derived: {e}"),
-                );
-                continue;
+                findings.push((loc, format!("interval bounds cannot be derived: {e}")));
+                return (findings, None);
             }
         };
         let mut width = 0f32;
-        let mut ok = true;
         for (l, h) in lo.as_slice().iter().zip(hi.as_slice()) {
             if l > h {
-                ok = false;
-                break;
+                findings.push((
+                    loc,
+                    "inverted interval (lo > hi) from byte-plane prefix".to_string(),
+                ));
+                return (findings, None);
             }
             width = width.max(h - l);
-        }
-        if !ok {
-            report.error(
-                E_BOUND_VIOLATION,
-                format!("pas/{store}:vertex{v}"),
-                "inverted interval (lo > hi) from byte-plane prefix",
-            );
-            continue;
         }
         match seg.recreate(v) {
             Ok(full) => {
@@ -387,24 +384,38 @@ fn deep_check_store(root: &Path, store: &str, snap: &CatalogSnapshot, report: &m
                     .zip(lo.as_slice().iter().zip(hi.as_slice()))
                     .all(|(x, (l, h))| l <= x && x <= h);
                 if !inside {
-                    report.error(
-                        E_BOUND_VIOLATION,
-                        format!("pas/{store}:vertex{v}"),
+                    findings.push((
+                        loc,
                         format!(
                             "fully recreated '{}' falls outside its {DEEP_PLANES}-plane bounds",
                             seg.label(v).unwrap_or("?")
                         ),
-                    );
+                    ));
                 }
             }
             Err(e) => {
-                report.error(
-                    E_BOUND_VIOLATION,
-                    format!("pas/{store}:vertex{v}"),
-                    format!("vertex cannot be recreated: {e}"),
-                );
+                findings.push((loc, format!("vertex cannot be recreated: {e}")));
             }
         }
+        (findings, Some(width))
+    });
+    let checked = match checked {
+        Ok(c) => c,
+        Err(e) => {
+            report.error(
+                E_BOUND_VIOLATION,
+                format!("pas/{store}"),
+                format!("deep check workers failed: {e}"),
+            );
+            return;
+        }
+    };
+    let mut worst: BTreeMap<String, (usize, f32)> = BTreeMap::new();
+    for (&v, (findings, width)) in vertices.iter().zip(checked) {
+        for (loc, msg) in findings {
+            report.error(E_BOUND_VIOLATION, loc, msg);
+        }
+        let Some(width) = width else { continue };
         for name in snapshot_of.get(&v).into_iter().flatten() {
             let entry = worst.entry(name.clone()).or_insert((0, 0.0));
             entry.0 += 1;

@@ -82,26 +82,60 @@ impl Level {
     }
 }
 
+/// Reusable compression state: hash-chain tables and token buffer, so hot
+/// loops (per-plane compression during parallel archival) do not pay a
+/// fresh multi-hundred-KiB allocation per call. One `Scratch` per worker
+/// thread; see `mh_par::parallel_map_init`.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    matcher: lz77::MatcherScratch,
+    tokens: Vec<lz77::Token>,
+    /// Container buffer reused by [`compressed_len_with`].
+    buf: Vec<u8>,
+}
+
+impl Scratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compress `data` into an MHZ container.
 pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
-    let lz = format::lz_huff_compress(data, level.matcher());
+    let mut scratch = Scratch::new();
+    let mut out = Vec::new();
+    compress_into(data, level, &mut scratch, &mut out);
+    out
+}
+
+/// [`compress`] writing into a caller-owned output buffer (cleared first)
+/// with reusable matcher state. Produces byte-identical containers to
+/// [`compress`].
+pub fn compress_into(data: &[u8], level: Level, scratch: &mut Scratch, out: &mut Vec<u8>) {
+    lz77::tokenize_into(
+        data,
+        level.matcher(),
+        &mut scratch.matcher,
+        &mut scratch.tokens,
+    );
+    let lz = format::encode_tokens(&scratch.tokens);
     let rle = rle::encode(data);
 
     let (method, payload) = if lz.len() <= rle.len() && lz.len() < data.len() {
-        (METHOD_LZ_HUFF, lz)
+        (METHOD_LZ_HUFF, lz.as_slice())
     } else if rle.len() < data.len() {
-        (METHOD_RLE, rle)
+        (METHOD_RLE, rle.as_slice())
     } else {
-        (METHOD_STORE, data.to_vec())
+        (METHOD_STORE, data)
     };
 
-    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.clear();
+    out.reserve(payload.len() + 16);
     out.extend_from_slice(&MAGIC);
     out.push(method);
-    write_varint(&mut out, data.len() as u64);
+    write_varint(out, data.len() as u64);
     out.extend_from_slice(&adler32(data).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
+    out.extend_from_slice(payload);
 }
 
 /// Decompress an MHZ container produced by [`compress`].
@@ -140,6 +174,17 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
 /// estimation when only the footprint matters).
 pub fn compressed_len(data: &[u8], level: Level) -> usize {
     compress(data, level).len()
+}
+
+/// [`compressed_len`] with reusable scratch state: the allocation-light
+/// variant for tight measurement loops. Delegates to [`compress_into`] so
+/// the reported size can never diverge from the real container.
+pub fn compressed_len_with(data: &[u8], level: Level, scratch: &mut Scratch) -> usize {
+    let mut out = std::mem::take(&mut scratch.buf);
+    compress_into(data, level, scratch, &mut out);
+    let n = out.len();
+    scratch.buf = out;
+    n
 }
 
 /// Compression ratio `original / compressed` (>= 1.0 means it shrank).
@@ -217,6 +262,25 @@ mod tests {
         let c = compress(&data, Level::Default);
         for cut in [5, 8, c.len() / 2, c.len() - 1] {
             assert!(decompress(&c[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical() {
+        let inputs: Vec<Vec<u8>> = vec![
+            b"abcabcabc the quick brown fox".repeat(50),
+            vec![0u8; 1 << 14],
+            (0..5000u32).map(|i| (i % 251) as u8).collect(),
+            Vec::new(),
+        ];
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        for data in &inputs {
+            for level in [Level::Fast, Level::Default, Level::Best] {
+                compress_into(data, level, &mut scratch, &mut out);
+                assert_eq!(out, compress(data, level));
+                assert_eq!(compressed_len_with(data, level, &mut scratch), out.len());
+            }
         }
     }
 

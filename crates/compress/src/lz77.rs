@@ -88,20 +88,42 @@ fn match_len(data: &[u8], a: usize, b: usize) -> usize {
     l
 }
 
-/// Hash-chain match finder over the whole input buffer.
-struct Matcher<'a> {
-    data: &'a [u8],
+/// Reusable hash-chain buffers so repeated tokenizations (e.g. one per
+/// byte plane during archival) do not reallocate the `head`/`prev` tables.
+#[derive(Debug, Default)]
+pub struct MatcherScratch {
     head: Vec<i32>,
     prev: Vec<i32>,
+}
+
+impl MatcherScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, len: usize) {
+        self.head.clear();
+        self.head.resize(HASH_SIZE, -1);
+        self.prev.clear();
+        self.prev.resize(len, -1);
+    }
+}
+
+/// Hash-chain match finder over the whole input buffer.
+struct Matcher<'a, 's> {
+    data: &'a [u8],
+    head: &'s mut Vec<i32>,
+    prev: &'s mut Vec<i32>,
     cfg: MatcherConfig,
 }
 
-impl<'a> Matcher<'a> {
-    fn new(data: &'a [u8], cfg: MatcherConfig) -> Self {
+impl<'a, 's> Matcher<'a, 's> {
+    fn new(data: &'a [u8], cfg: MatcherConfig, scratch: &'s mut MatcherScratch) -> Self {
+        scratch.reset(data.len());
         Self {
             data,
-            head: vec![-1; HASH_SIZE],
-            prev: vec![-1; data.len()],
+            head: &mut scratch.head,
+            prev: &mut scratch.prev,
             cfg,
         }
     }
@@ -152,8 +174,23 @@ impl<'a> Matcher<'a> {
 
 /// Tokenize `data` into an LZ77 token stream.
 pub fn tokenize(data: &[u8], cfg: MatcherConfig) -> Vec<Token> {
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    let mut m = Matcher::new(data, cfg);
+    let mut scratch = MatcherScratch::new();
+    let mut out = Vec::new();
+    tokenize_into(data, cfg, &mut scratch, &mut out);
+    out
+}
+
+/// [`tokenize`] writing into a reusable token buffer with reusable
+/// hash-chain state. `out` is cleared first.
+pub fn tokenize_into(
+    data: &[u8],
+    cfg: MatcherConfig,
+    scratch: &mut MatcherScratch,
+    out: &mut Vec<Token>,
+) {
+    out.clear();
+    out.reserve(data.len() / 2 + 16);
+    let mut m = Matcher::new(data, cfg, scratch);
     let mut pos = 0usize;
     while pos < data.len() {
         let found = m.find(pos);
@@ -195,7 +232,6 @@ pub fn tokenize(data: &[u8], cfg: MatcherConfig) -> Vec<Token> {
             }
         }
     }
-    out
 }
 
 /// Reconstruct the original bytes from a token stream.

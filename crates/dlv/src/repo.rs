@@ -983,29 +983,50 @@ impl Repository {
             delta_op: cfg.delta_op,
             ..CostModel::default()
         });
+        // Preload and decode every staged snapshot's weights on the worker
+        // pool — blob decompression plus the lossy checkpoint round-trip
+        // dominate archival wall-clock — then feed the graph builder
+        // serially in the same order, so the result is independent of the
+        // thread count.
+        let jobs: Vec<(String, usize, bool)> = staged
+            .iter()
+            .flat_map(|(_, key, snaps)| {
+                let vname = key.to_string();
+                let latest_idx = snaps.iter().map(|s| s.index).max().unwrap_or(0);
+                snaps
+                    .iter()
+                    .map(move |info| (vname.clone(), info.index, info.index == latest_idx))
+            })
+            .collect();
+        let loaded = mh_par::parallel_map(&jobs, |_, (vname, index, latest)| {
+            let mut w = self.get_weights(vname, Some(*index))?;
+            // Lossy checkpoint archival: round-trip non-latest snapshots
+            // through the chosen float scheme.
+            if let Some(scheme) = cfg.checkpoint_scheme {
+                if !latest {
+                    w = w
+                        .layers()
+                        .map(|(n, m)| {
+                            (
+                                n.clone(),
+                                mh_tensor::decode(&mh_tensor::encode(m, scheme, false)),
+                            )
+                        })
+                        .collect();
+                }
+            }
+            Ok::<Weights, DlvError>(w)
+        })
+        .map_err(|e| DlvError::Pas(mh_pas::PasError::Parallel(e.to_string())))?;
+
         // Register snapshots and remember vertex assignments.
         let mut assignments: Vec<(i64, usize, BTreeMap<String, mh_pas::VertexId>)> = Vec::new();
+        let mut loaded_iter = loaded.into_iter();
         for (row_id, key, snaps) in &staged {
             let vname = key.to_string();
-            let latest_idx = snaps.iter().map(|s| s.index).max().unwrap_or(0);
             let mut indices = Vec::new();
             for info in snaps {
-                let mut w = self.get_weights(&vname, Some(info.index))?;
-                // Lossy checkpoint archival: round-trip non-latest
-                // snapshots through the chosen float scheme.
-                if let Some(scheme) = cfg.checkpoint_scheme {
-                    if info.index != latest_idx {
-                        w = w
-                            .layers()
-                            .map(|(n, m)| {
-                                (
-                                    n.clone(),
-                                    mh_tensor::decode(&mh_tensor::encode(m, scheme, false)),
-                                )
-                            })
-                            .collect();
-                    }
-                }
+                let w = loaded_iter.next().expect("one preload per snapshot")?;
                 let lv = builder.add_snapshot(&vname, info.index, &w);
                 assignments.push((*row_id as i64, info.index, lv));
                 indices.push(info.index);

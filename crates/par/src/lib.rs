@@ -1,0 +1,459 @@
+//! # mh-par
+//!
+//! The workspace's work-scheduling layer: a scoped worker pool fed from a
+//! bounded work queue, built on the vendored `crossbeam` scoped threads and
+//! `parking_lot` locks. PAS archival, segment retrieval, progressive
+//! evaluation, solver candidate scoring, and `fsck --deep` all fan out
+//! through [`parallel_map`] and friends.
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Determinism.** Results are always assembled in input order, so a
+//!    parallel run is bit-identical to the serial one. With one thread no
+//!    worker is spawned at all — the closure runs inline, making the serial
+//!    path *literally* the sequential code.
+//! 2. **No deadlocks on failure.** A panicking worker poisons the queue:
+//!    pending work is discarded, the producer unblocks, every worker
+//!    drains, and the panic surfaces as [`PoolError::WorkerPanic`] instead
+//!    of hanging the scope.
+//! 3. **Bounded memory.** The queue holds at most a small multiple of the
+//!    thread count, so a fast producer cannot buffer the whole input.
+//!
+//! Thread-count resolution (first match wins): an explicit `*_threads`
+//! argument, the process-wide override set by [`set_threads`] (the CLI
+//! `--jobs` flag), the `MH_THREADS` environment variable, and finally
+//! [`std::thread::available_parallelism`].
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Condvar;
+
+/// Errors surfaced by the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker panicked; the payload's message is preserved. Remaining
+    /// queued work was discarded, all threads joined.
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Process-wide thread-count override (0 = unset). Set by `--jobs`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Install (Some) or clear (None) the process-wide thread override. Takes
+/// precedence over `MH_THREADS`; an explicit per-call thread count still
+/// wins over both.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(
+        n.unwrap_or(0).max(usize::from(n.is_some())),
+        Ordering::SeqCst,
+    );
+}
+
+/// The effective worker count: [`set_threads`] override, then `MH_THREADS`,
+/// then the machine's available parallelism. Always at least 1.
+pub fn current_threads() -> usize {
+    let ov = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if ov > 0 {
+        return ov;
+    }
+    if let Ok(v) = std::env::var("MH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A blocking bounded MPMC queue: `push` blocks while full, `pop` blocks
+/// while empty. Closing wakes everyone; `close_and_discard` additionally
+/// drops pending items so a stalled producer can never deadlock against
+/// dead consumers.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Block until there is room, then enqueue. Returns the item back if
+    /// the queue was closed before it could be accepted.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut guard = self.state.lock();
+        loop {
+            if guard.closed {
+                return Err(item);
+            }
+            if guard.items.len() < self.capacity {
+                guard.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            guard = self.not_full.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until an item is available or the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut guard = self.state.lock();
+        loop {
+            if let Some(item) = guard.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if guard.closed {
+                return None;
+            }
+            guard = self
+                .not_empty
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: no further pushes are accepted; consumers drain
+    /// what remains and then observe `None`.
+    pub fn close(&self) {
+        let mut guard = self.state.lock();
+        guard.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Close AND discard pending items — the failure path: consumers stop
+    /// immediately, a blocked producer wakes and sees the closure.
+    pub fn close_and_discard(&self) {
+        let mut guard = self.state.lock();
+        guard.closed = true;
+        guard.items.clear();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Map `f` over `items` with worker-local state, using the given number of
+/// worker threads, preserving input order in the output.
+///
+/// `init` runs once per worker (and once total on the serial path) to build
+/// reusable scratch state — e.g. compression buffers — so per-item
+/// allocation is amortized away.
+///
+/// With `threads <= 1` (or at most one item) everything runs inline on the
+/// caller's thread in input order: the deterministic serial fallback.
+/// Otherwise `threads` workers pull indices from a bounded queue
+/// (capacity `4 × threads`); a panicking worker discards pending work and
+/// is reported as [`PoolError::WorkerPanic`] after all threads joined.
+pub fn parallel_map_init<T, S, R, FI, F>(
+    threads: usize,
+    items: &[T],
+    init: FI,
+    f: F,
+) -> Result<Vec<R>, PoolError>
+where
+    T: Sync,
+    R: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        let mut scratch = init();
+        return Ok(items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut scratch, i, item))
+            .collect());
+    }
+
+    let queue = BoundedQueue::new(threads * 4);
+    let panic_slot: Mutex<Option<String>> = Mutex::new(None);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+
+    let worker_outputs: Result<Vec<Vec<(usize, R)>>, PoolError> = crossbeam::thread::scope(|s| {
+        let queue = &queue;
+        let panic_slot = &panic_slot;
+        let f = &f;
+        let init = &init;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move |_| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    // `init` may itself panic; treat it like a task panic.
+                    let mut scratch = match catch_unwind(AssertUnwindSafe(init)) {
+                        Ok(sc) => Some(sc),
+                        Err(p) => {
+                            *panic_slot.lock() = Some(panic_message(p));
+                            queue.close_and_discard();
+                            None
+                        }
+                    };
+                    while let Some(i) = queue.pop() {
+                        let Some(scratch) = scratch.as_mut() else {
+                            continue;
+                        };
+                        match catch_unwind(AssertUnwindSafe(|| f(scratch, i, &items[i]))) {
+                            Ok(r) => local.push((i, r)),
+                            Err(p) => {
+                                let mut slot = panic_slot.lock();
+                                if slot.is_none() {
+                                    *slot = Some(panic_message(p));
+                                }
+                                drop(slot);
+                                queue.close_and_discard();
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+
+        // Produce indices; a closed (poisoned) queue stops us early.
+        for i in 0..items.len() {
+            if queue.push(i).is_err() {
+                break;
+            }
+        }
+        queue.close();
+
+        let mut outputs = Vec::with_capacity(threads);
+        for h in handles {
+            match h.join() {
+                Ok(local) => outputs.push(local),
+                // A panic that escaped catch_unwind (e.g. in the local
+                // Vec) still surfaces as an error, never a deadlock.
+                Err(p) => {
+                    let mut slot = panic_slot.lock();
+                    if slot.is_none() {
+                        *slot = Some(panic_message(p));
+                    }
+                }
+            }
+        }
+        if let Some(msg) = panic_slot.lock().take() {
+            return Err(PoolError::WorkerPanic(msg));
+        }
+        Ok(outputs)
+    })
+    .unwrap_or_else(|p| Err(PoolError::WorkerPanic(panic_message(p))));
+
+    for (i, r) in worker_outputs?.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    // Every index was produced and no worker failed, so every slot is full.
+    slots
+        .into_iter()
+        .collect::<Option<Vec<R>>>()
+        .ok_or_else(|| PoolError::WorkerPanic("result slot left unfilled".into()))
+}
+
+/// [`parallel_map_init`] without worker-local state.
+pub fn parallel_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, PoolError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_init(threads, items, || (), |(), i, item| f(i, item))
+}
+
+/// [`parallel_map_threads`] at the ambient thread count
+/// ([`current_threads`]).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, PoolError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_threads(current_threads(), items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[test]
+    fn map_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = parallel_map_threads(threads, &items, |_, &x| x * 3 + 1).unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let got = parallel_map_threads(8, &Vec::<u32>::new(), |_, &x| x).unwrap();
+        assert!(got.is_empty());
+        let got = parallel_map_threads(8, &[41], |_, &x| x + 1).unwrap();
+        assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    fn worker_local_state_is_reused() {
+        // Count inits: must be <= threads, not per-item.
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let got = parallel_map_init(
+            4,
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<u8>::with_capacity(64)
+            },
+            |buf, _, &x| {
+                buf.clear();
+                buf.extend_from_slice(&x.to_le_bytes());
+                buf.len()
+            },
+        )
+        .unwrap();
+        assert!(got.iter().all(|&l| l == 8));
+        assert!(inits.load(Ordering::SeqCst) <= 4);
+    }
+
+    #[test]
+    fn panic_in_worker_surfaces_as_error_not_deadlock() {
+        // More items than queue capacity so the producer would block
+        // forever if the poisoned queue did not discard pending work.
+        let items: Vec<usize> = (0..10_000).collect();
+        let err = parallel_map_threads(2, &items, |_, &x| {
+            if x == 3 {
+                panic!("injected failure at {x}");
+            }
+            x
+        })
+        .unwrap_err();
+        let PoolError::WorkerPanic(msg) = err;
+        assert!(msg.contains("injected failure"), "got: {msg}");
+    }
+
+    #[test]
+    fn panic_in_init_surfaces_as_error() {
+        let items: Vec<usize> = (0..1000).collect();
+        let err = parallel_map_init(
+            3,
+            &items,
+            || -> usize { panic!("init exploded") },
+            |_, _, &x| x,
+        )
+        .unwrap_err();
+        let PoolError::WorkerPanic(msg) = err;
+        assert!(msg.contains("init exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn serial_fallback_runs_inline() {
+        // With one thread the closure must run on the calling thread.
+        let caller = std::thread::current().id();
+        let same = parallel_map_threads(1, &[0u8; 4], |_, _| std::thread::current().id() == caller)
+            .unwrap();
+        assert!(same.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn bounded_queue_blocks_and_drains() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        let full = AtomicBool::new(false);
+        crossbeam::thread::scope(|s| {
+            let q = &q;
+            let full = &full;
+            let h = s.spawn(move |_| {
+                q.push(3).unwrap(); // blocks until a pop
+                full.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(!full.load(Ordering::SeqCst), "push must block while full");
+            assert_eq!(q.pop(), Some(1));
+            h.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert!(q.push(9).is_err(), "closed queue rejects pushes");
+    }
+
+    #[test]
+    fn close_and_discard_unblocks_producer() {
+        let q = BoundedQueue::new(1);
+        q.push(0).unwrap();
+        crossbeam::thread::scope(|s| {
+            let q = &q;
+            let h = s.spawn(move |_| q.push(1)); // blocked: queue full
+            std::thread::sleep(Duration::from_millis(20));
+            q.close_and_discard();
+            assert!(h.join().unwrap().is_err(), "producer must wake with Err");
+        })
+        .unwrap();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn thread_resolution_precedence() {
+        // Explicit argument beats everything (exercised throughout); the
+        // override beats the environment.
+        set_threads(Some(3));
+        assert_eq!(current_threads(), 3);
+        set_threads(None);
+        assert!(current_threads() >= 1);
+    }
+}

@@ -114,13 +114,6 @@ impl GraphBuilder {
         }
     }
 
-    fn compressed_planes_size(&self, bytes: &[u8]) -> f64 {
-        mh_tensor::split_byte_planes(bytes, 4)
-            .iter()
-            .map(|p| mh_compress::compressed_len(p, self.cost.level))
-            .sum::<usize>() as f64
-    }
-
     fn recreation_cost(&self, compressed: f64, uncompressed: f64) -> f64 {
         self.cost.read_weight * compressed + self.cost.apply_weight * uncompressed
     }
@@ -133,15 +126,28 @@ impl GraphBuilder {
         snap_idx: usize,
         weights: &Weights,
     ) -> BTreeMap<String, VertexId> {
+        // Cost measurement actually compresses every byte plane — the
+        // builder's hot loop. Measure all layers on the pool, then mutate
+        // the graph serially in layer order.
+        let layers: Vec<(&String, &Matrix)> = weights.layers().collect();
+        let level = self.cost.level;
+        let measured = mh_par::parallel_map_init(
+            mh_par::current_threads(),
+            &layers,
+            mh_compress::Scratch::new,
+            |scratch, _, (_, m)| {
+                let seg = SegmentedMatrix::from_matrix(m);
+                (0..4)
+                    .map(|p| mh_compress::compressed_len_with(seg.plane(p), level, scratch))
+                    .sum::<usize>() as f64
+            },
+        )
+        .expect("cost measurement workers");
         let mut layer_vertices = BTreeMap::new();
-        for (layer, m) in weights.layers() {
+        for ((layer, m), compressed) in layers.into_iter().zip(measured) {
             let label = format!("{version}/s{snap_idx}/{layer}");
             let v = self.graph.add_vertex(&label);
             // Materialize option: segmented planes, individually compressed.
-            let seg = SegmentedMatrix::from_matrix(m);
-            let compressed: f64 = (0..4)
-                .map(|p| mh_compress::compressed_len(seg.plane(p), self.cost.level))
-                .sum::<usize>() as f64;
             let uncompressed = (m.len() * 4) as f64;
             let rc = self.recreation_cost(compressed, uncompressed);
             for tier in &self.cost.tiers {
@@ -181,18 +187,32 @@ impl GraphBuilder {
         snap_idx: usize,
         weights: &Weights,
     ) -> BTreeMap<String, (VertexId, VertexId)> {
+        // Measure both halves of every layer on the pool (serial fallback
+        // when single-threaded), then register vertices in layer order.
+        let layers: Vec<(&String, &Matrix)> = weights.layers().collect();
+        let level = self.cost.level;
+        let measured = mh_par::parallel_map_init(
+            mh_par::current_threads(),
+            &layers,
+            mh_compress::Scratch::new,
+            |scratch, _, (_, m)| {
+                let seg = SegmentedMatrix::from_matrix(m);
+                [[0usize, 1], [2, 3]].map(|planes| {
+                    planes
+                        .iter()
+                        .map(|&p| mh_compress::compressed_len_with(seg.plane(p), level, scratch))
+                        .sum::<usize>() as f64
+                })
+            },
+        )
+        .expect("cost measurement workers");
         let mut out = BTreeMap::new();
         let mut full_members = Vec::new();
         let mut hi_members = Vec::new();
-        for (layer, m) in weights.layers() {
-            let seg = SegmentedMatrix::from_matrix(m);
+        for ((layer, m), half_sizes) in layers.into_iter().zip(measured) {
             let uncompressed_half = (m.len() * 2) as f64;
             let mut halves = Vec::with_capacity(2);
-            for (suffix, planes) in [("hi", [0usize, 1]), ("lo", [2, 3])] {
-                let cs: f64 = planes
-                    .iter()
-                    .map(|&p| mh_compress::compressed_len(seg.plane(p), self.cost.level))
-                    .sum::<usize>() as f64;
+            for (suffix, cs) in ["hi", "lo"].into_iter().zip(half_sizes) {
                 let rc = self.recreation_cost(cs, uncompressed_half);
                 let v = self
                     .graph
@@ -250,18 +270,41 @@ impl GraphBuilder {
         else {
             return;
         };
-        for (layer, &va) in &a {
-            let Some(&vb) = b.get(layer) else { continue };
-            let ma = self.matrices[&va].clone();
-            let mb = self.matrices[&vb].clone();
-            // Forward delta a -> b.
-            let dab = Delta::compute(&ma, &mb, self.cost.delta_op);
-            let s_ab = self.compressed_planes_size(&dab.word_bytes());
-            let rc_ab = self.recreation_cost(s_ab, (mb.len() * 4) as f64);
-            // Backward delta b -> a.
-            let dba = Delta::compute(&mb, &ma, self.cost.delta_op);
-            let s_ba = self.compressed_planes_size(&dba.word_bytes());
-            let rc_ba = self.recreation_cost(s_ba, (ma.len() * 4) as f64);
+        let jobs: Vec<(VertexId, VertexId)> = a
+            .iter()
+            .filter_map(|(layer, &va)| b.get(layer).map(|&vb| (va, vb)))
+            .collect();
+        // Delta computation + plane compression per shared layer is
+        // independent work: measure on the pool, add edges serially.
+        let level = self.cost.level;
+        let op = self.cost.delta_op;
+        let (rw, aw) = (self.cost.read_weight, self.cost.apply_weight);
+        let matrices = &self.matrices;
+        let measured = mh_par::parallel_map_init(
+            mh_par::current_threads(),
+            &jobs,
+            mh_compress::Scratch::new,
+            |scratch, _, &(va, vb)| {
+                let planes_size = |bytes: &[u8], scratch: &mut mh_compress::Scratch| {
+                    mh_tensor::split_byte_planes(bytes, 4)
+                        .iter()
+                        .map(|p| mh_compress::compressed_len_with(p, level, scratch))
+                        .sum::<usize>() as f64
+                };
+                let (ma, mb) = (&matrices[&va], &matrices[&vb]);
+                // Forward delta a -> b.
+                let dab = Delta::compute(ma, mb, op);
+                let s_ab = planes_size(&dab.word_bytes(), scratch);
+                let rc_ab = rw * s_ab + aw * (mb.len() * 4) as f64;
+                // Backward delta b -> a.
+                let dba = Delta::compute(mb, ma, op);
+                let s_ba = planes_size(&dba.word_bytes(), scratch);
+                let rc_ba = rw * s_ba + aw * (ma.len() * 4) as f64;
+                (s_ab, rc_ab, s_ba, rc_ba)
+            },
+        )
+        .expect("delta measurement workers");
+        for (&(va, vb), (s_ab, rc_ab, s_ba, rc_ba)) in jobs.iter().zip(measured) {
             for tier in &self.cost.tiers {
                 self.graph.add_edge(
                     va,

@@ -65,6 +65,8 @@ pub enum PasError {
     MissingMatrix(String),
     /// Network evaluation failed during a progressive query.
     Eval(String),
+    /// A worker in the parallel archival/retrieval pool failed.
+    Parallel(String),
 }
 
 impl std::fmt::Display for PasError {
@@ -76,11 +78,18 @@ impl std::fmt::Display for PasError {
             Self::Corrupt(m) => write!(f, "corrupt store: {m}"),
             Self::MissingMatrix(l) => write!(f, "missing matrix for vertex '{l}'"),
             Self::Eval(m) => write!(f, "evaluation error: {m}"),
+            Self::Parallel(m) => write!(f, "parallel execution error: {m}"),
         }
     }
 }
 
 impl std::error::Error for PasError {}
+
+impl From<mh_par::PoolError> for PasError {
+    fn from(e: mh_par::PoolError) -> Self {
+        Self::Parallel(e.to_string())
+    }
+}
 
 impl From<PlanError> for PasError {
     fn from(e: PlanError) -> Self {

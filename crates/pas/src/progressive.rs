@@ -65,10 +65,21 @@ impl<'a> ProgressiveEvaluator<'a> {
     }
 
     /// Interval weights from the first `k` planes of every bound layer.
+    /// Each layer's chain reconstruction is independent, so the per-layer
+    /// bounds are computed on the pool and inserted serially in layer
+    /// order (insertion order never depends on thread count).
     fn interval_weights(&self, k: usize) -> Result<IntervalWeights, PasError> {
+        let layers: Vec<(&String, VertexId)> = self
+            .binding
+            .layer_vertex
+            .iter()
+            .map(|(l, &v)| (l, v))
+            .collect();
+        let bounds = mh_par::parallel_map(&layers, |_, &(_, v)| self.store.recreate_bounds(v, k))
+            .map_err(PasError::from)?;
         let mut iw = IntervalWeights::default();
-        for (layer, &v) in &self.binding.layer_vertex {
-            let (lo, hi) = self.store.recreate_bounds(v, k)?;
+        for ((layer, _), b) in layers.iter().zip(bounds) {
+            let (lo, hi) = b?;
             iw.insert(layer, lo, hi);
         }
         Ok(iw)

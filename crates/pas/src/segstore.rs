@@ -52,6 +52,68 @@ pub struct SegmentStore {
     objects: BTreeMap<VertexId, ObjectMeta>,
 }
 
+/// Minimum words per object before plane decompression fans out to the
+/// pool; below this the spawn overhead dominates the decode.
+const PARALLEL_PLANE_WORDS: usize = 16 * 1024;
+
+/// One fully-encoded object, ready to hit disk: the output of the parallel
+/// archival stage, consumed serially (in vertex order) by the writer.
+struct EncodedObject {
+    kind: ObjectKind,
+    parent: VertexId,
+    rows: usize,
+    cols: usize,
+    planes: [Vec<u8>; 4],
+}
+
+/// Delta-encode and compress one matrix vertex. Runs on a pool worker
+/// during [`SegmentStore::create`]; `scratch` amortizes the compressor's
+/// hash-chain tables across the worker's whole share of the input.
+fn encode_object(
+    graph: &StorageGraph,
+    plan: &StoragePlan,
+    matrices: &BTreeMap<VertexId, Matrix>,
+    op: DeltaOp,
+    level: Level,
+    v: VertexId,
+    scratch: &mut mh_compress::Scratch,
+) -> Result<EncodedObject, PasError> {
+    let m = matrices
+        .get(&v)
+        .ok_or_else(|| PasError::MissingMatrix(graph.label(v).to_string()))?;
+    let parent = plan.parent(graph, v).expect("validated plan");
+    let (kind, words) = if parent == NULL_VERTEX {
+        (ObjectKind::Materialized, matrix_words(m))
+    } else {
+        let base = matrices
+            .get(&parent)
+            .ok_or_else(|| PasError::MissingMatrix(graph.label(parent).to_string()))?;
+        let delta = Delta::compute(base, m, op);
+        let kind = match op {
+            DeltaOp::Sub => ObjectKind::DeltaSub,
+            DeltaOp::Xor => ObjectKind::DeltaXor,
+        };
+        let bytes = delta.word_bytes();
+        let words = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes(c.try_into().expect("fixed-size chunk")))
+            .collect();
+        (kind, words)
+    };
+    let raw_planes = words_to_planes(&words);
+    let mut planes: [Vec<u8>; 4] = std::array::from_fn(|_| Vec::new());
+    for (packed, plane) in planes.iter_mut().zip(&raw_planes) {
+        mh_compress::compress_into(plane, level, scratch, packed);
+    }
+    Ok(EncodedObject {
+        kind,
+        parent,
+        rows: m.rows(),
+        cols: m.cols(),
+        planes,
+    })
+}
+
 fn plane_path(dir: &Path, v: VertexId, plane: usize) -> PathBuf {
     dir.join(format!("obj{v:06}_p{plane}.mhz"))
 }
@@ -86,34 +148,23 @@ impl SegmentStore {
     ) -> Result<Self, PasError> {
         plan.validate(graph).map_err(PasError::Plan)?;
         std::fs::create_dir_all(dir).map_err(PasError::Io)?;
+        // Delta encoding + per-plane compression is the archival hot path:
+        // fan out per matrix with worker-local compressor scratch, then
+        // write the results serially in vertex order so the store layout is
+        // bit-identical regardless of thread count.
+        let vertices: Vec<VertexId> = graph.matrix_vertices().collect();
+        let encoded = mh_par::parallel_map_init(
+            mh_par::current_threads(),
+            &vertices,
+            mh_compress::Scratch::new,
+            |scratch, _, &v| encode_object(graph, plan, matrices, op, level, v, scratch),
+        )
+        .map_err(PasError::from)?;
         let mut objects = BTreeMap::new();
-        for v in graph.matrix_vertices() {
-            let m = matrices
-                .get(&v)
-                .ok_or_else(|| PasError::MissingMatrix(graph.label(v).to_string()))?;
-            let parent = plan.parent(graph, v).expect("validated plan");
-            let (kind, words) = if parent == NULL_VERTEX {
-                (ObjectKind::Materialized, matrix_words(m))
-            } else {
-                let base = matrices
-                    .get(&parent)
-                    .ok_or_else(|| PasError::MissingMatrix(graph.label(parent).to_string()))?;
-                let delta = Delta::compute(base, m, op);
-                let kind = match op {
-                    DeltaOp::Sub => ObjectKind::DeltaSub,
-                    DeltaOp::Xor => ObjectKind::DeltaXor,
-                };
-                let bytes = delta.word_bytes();
-                let words = bytes
-                    .chunks_exact(4)
-                    .map(|c| u32::from_be_bytes(c.try_into().expect("fixed-size chunk")))
-                    .collect();
-                (kind, words)
-            };
-            let planes = words_to_planes(&words);
+        for (&v, enc) in vertices.iter().zip(encoded) {
+            let enc = enc?;
             let mut plane_sizes = [0u64; 4];
-            for (p, plane) in planes.iter().enumerate() {
-                let packed = mh_compress::compress(plane, level);
+            for (p, packed) in enc.planes.iter().enumerate() {
                 plane_sizes[p] = packed.len() as u64;
                 std::fs::write(plane_path(dir, v, p), packed).map_err(PasError::Io)?;
             }
@@ -122,10 +173,10 @@ impl SegmentStore {
                 ObjectMeta {
                     vertex: v,
                     label: graph.label(v).to_string(),
-                    kind,
-                    parent,
-                    rows: m.rows(),
-                    cols: m.cols(),
+                    kind: enc.kind,
+                    parent: enc.parent,
+                    rows: enc.rows,
+                    cols: enc.cols,
                     plane_sizes,
                 },
             );
@@ -251,17 +302,34 @@ impl SegmentStore {
 
     /// Read and decompress the first `k` planes of one object, returning
     /// its words with the low bytes zeroed.
+    ///
+    /// Large objects decompress their planes on the pool (each plane is an
+    /// independent MHZ stream); the merge stays serial in plane order, so
+    /// the result is identical either way.
     fn load_words(&self, o: &ObjectMeta, k: usize) -> Result<Vec<u32>, PasError> {
         let n = o.rows * o.cols;
-        let mut words = vec![0u32; n];
-        for p in 0..k {
+        let read_plane = |p: usize| -> Result<Vec<u8>, PasError> {
             let packed = std::fs::read(plane_path(&self.dir, o.vertex, p)).map_err(PasError::Io)?;
             let plane = mh_compress::decompress(&packed).map_err(PasError::Compress)?;
             if plane.len() != n {
                 return Err(PasError::Corrupt("plane length mismatch"));
             }
+            Ok(plane)
+        };
+        let planes: Vec<Vec<u8>> =
+            if k >= 2 && n >= PARALLEL_PLANE_WORDS && mh_par::current_threads() > 1 {
+                let idx: Vec<usize> = (0..k).collect();
+                mh_par::parallel_map(&idx, |_, &p| read_plane(p))
+                    .map_err(PasError::from)?
+                    .into_iter()
+                    .collect::<Result<_, _>>()?
+            } else {
+                (0..k).map(read_plane).collect::<Result<_, _>>()?
+            };
+        let mut words = vec![0u32; n];
+        for (p, plane) in planes.iter().enumerate() {
             let shift = 8 * (3 - p) as u32;
-            for (w, &b) in words.iter_mut().zip(&plane) {
+            for (w, &b) in words.iter_mut().zip(plane) {
                 *w |= u32::from(b) << shift;
             }
         }
@@ -306,23 +374,13 @@ impl SegmentStore {
         members.iter().map(|&v| self.recreate(v)).collect()
     }
 
-    /// Recreate every member concurrently using scoped threads (the
-    /// "parallel" retrieval scheme of Table V).
+    /// Recreate every member concurrently on the worker pool (the
+    /// "parallel" retrieval scheme of Table V). A panicking or failing
+    /// worker surfaces as an error instead of poisoning the whole process.
     pub fn recreate_group_parallel(&self, members: &[VertexId]) -> Result<Vec<Matrix>, PasError> {
-        let mut out: Vec<Option<Result<Matrix, PasError>>> =
-            (0..members.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for &v in members {
-                handles.push(s.spawn(move |_| self.recreate(v)));
-            }
-            for (slot, h) in out.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("recreation thread panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        out.into_iter()
-            .map(|r| r.expect("all slots filled"))
+        mh_par::parallel_map(members, |_, &v| self.recreate(v))
+            .map_err(PasError::from)?
+            .into_iter()
             .collect()
     }
 

@@ -22,6 +22,10 @@ use crate::graph::{EdgeId, StorageGraph, VertexId, NULL_VERTEX};
 use crate::plan::{PlanError, RetrievalScheme, StoragePlan};
 use std::collections::BTreeSet;
 
+/// Minimum matrix-vertex count before `repair`'s candidate scoring fans
+/// out to the pool; small graphs finish faster serially.
+const PARALLEL_SCORING_VERTICES: usize = 64;
+
 /// Minimum-storage spanning arborescence rooted at ν₀ (Chu-Liu/Edmonds).
 ///
 /// The storage graph is directed (deltas may be asymmetric and materialize
@@ -368,8 +372,9 @@ pub fn repair(
             .map(|&gi| (gi, graph.snapshots[gi].members.as_slice()))
             .collect();
 
-        let mut best: Option<(f64, VertexId, EdgeId)> = None;
-        for v in graph.matrix_vertices() {
+        // Best swap for one vertex, scanning its candidate edges in order
+        // with strict `>` (first maximum wins — the serial tie-break).
+        let score_vertex = |v: VertexId| -> Option<(f64, VertexId, EdgeId)> {
             let cur_edge = plan.parent_edge(v).expect("spanning plan");
             // Members of violated groups inside v's subtree (shared across
             // all candidate edges into v).
@@ -381,8 +386,9 @@ pub fn repair(
                 affected_groups += usize::from(c > 0);
             }
             if affected_independent == 0 {
-                continue; // swapping v cannot help any violated group
+                return None; // swapping v cannot help any violated group
             }
+            let mut best: Option<(f64, VertexId, EdgeId)> = None;
             for &eid in graph.incoming(v) {
                 if eid == cur_edge {
                     continue;
@@ -413,6 +419,25 @@ pub fn repair(
                 if best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
                     best = Some((gain, v, eid));
                 }
+            }
+            best
+        };
+        // Scoring is read-only per vertex, so large instances fan out to
+        // the pool; the serial reduce below (vertex order, strict `>`)
+        // reproduces the serial scan's first-maximum choice exactly.
+        let verts: Vec<VertexId> = graph.matrix_vertices().collect();
+        let threads = mh_par::current_threads();
+        let per_vertex: Vec<Option<(f64, VertexId, EdgeId)>> =
+            if threads > 1 && verts.len() >= PARALLEL_SCORING_VERTICES {
+                mh_par::parallel_map_threads(threads, &verts, |_, &v| score_vertex(v))
+                    .expect("scoring workers")
+            } else {
+                verts.iter().map(|&v| score_vertex(v)).collect()
+            };
+        let mut best: Option<(f64, VertexId, EdgeId)> = None;
+        for cand in per_vertex.into_iter().flatten() {
+            if best.as_ref().is_none_or(|(g, _, _)| cand.0 > *g) {
+                best = Some(cand);
             }
         }
         match best {

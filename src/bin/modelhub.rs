@@ -1,8 +1,10 @@
 //! `modelhub` — repository maintenance commands.
 //!
 //! ```text
-//! modelhub fsck <dir> [--deep]       # static integrity verification
-//! modelhub check <query> [--repo <dir>]   # DQL semantic analysis (no execution)
+//! modelhub fsck <dir> [--deep] [--jobs N]  # static integrity verification
+//! modelhub check <query> [--repo <dir>]    # DQL semantic analysis (no execution)
+//! modelhub gen-sample <dir>                # create a small trained sample repo
+//! modelhub archive <dir> [--alpha F] [--jobs N]  # archive staged snapshots into PAS
 //! ```
 //!
 //! `fsck` runs the mh-check layers (catalog referential integrity, blob
@@ -13,16 +15,93 @@
 //! `check` type-checks a DQL query against the catalog schema — and, with
 //! `--repo`, against the repository's network layer names — printing
 //! caret-rendered span diagnostics without executing the query.
+//!
+//! `gen-sample` and `archive` exist for smoke testing and demos: the first
+//! trains two tiny lineage-related models and commits their checkpoints,
+//! the second runs the PAS archival pipeline over everything staged.
+//!
+//! `--jobs N` bounds the worker pool for the invocation (overrides the
+//! `MH_THREADS` environment variable; default: all available cores).
 
 use modelhub::check::{fsck, FsckConfig};
+use modelhub::dlv::{ArchiveConfig, CommitRequest, Repository};
+use modelhub::dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
 use modelhub::dql::analyze::{self, AnalyzeContext};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: modelhub fsck <dir> [--deep]");
+    eprintln!("usage: modelhub fsck <dir> [--deep] [--jobs N]");
     eprintln!("       modelhub check \"<DQL>\" [--repo <dir>]");
+    eprintln!("       modelhub gen-sample <dir>");
+    eprintln!("       modelhub archive <dir> [--alpha F] [--jobs N]");
     ExitCode::from(2)
+}
+
+/// Parse `--flag <value>` anywhere in the argument list.
+fn flag_value<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<T>, Box<dyn std::error::Error>> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))?;
+            raw.parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for {flag}: {raw}").into())
+        }
+    }
+}
+
+/// Apply `--jobs N` to the process-wide worker pool.
+fn apply_jobs(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(n) = flag_value::<usize>(args, "--jobs")? {
+        if n == 0 {
+            return Err("--jobs must be at least 1".into());
+        }
+        modelhub::par::set_threads(Some(n));
+    }
+    Ok(())
+}
+
+/// Train one tiny model and assemble its commit.
+fn trained_commit(name: &str, seed: u64, parent: Option<&str>) -> CommitRequest {
+    let net = zoo::lenet_s(3);
+    let data = synth_dataset(&SynthConfig {
+        num_classes: 3,
+        train_per_class: 8,
+        test_per_class: 4,
+        noise: 0.05,
+        seed: 11,
+        height: 16,
+        width: 16,
+    });
+    let trainer = Trainer {
+        hp: Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        },
+        snapshot_every: 3,
+    };
+    let init = Weights::init(&net, seed).expect("zoo network shapes are valid");
+    let result = trainer
+        .train(&net, init, &data, 9)
+        .expect("training the sample model");
+    let mut req = CommitRequest::new(name, net);
+    req.snapshots = result
+        .snapshots
+        .iter()
+        .map(|(i, w)| (*i, w.clone()))
+        .collect();
+    req.log = result.log.clone();
+    req.accuracy = Some(result.final_accuracy);
+    req.hyperparams.insert("base_lr".into(), "0.08".into());
+    req.parent = parent.map(String::from);
+    req.comment = format!("sample model {name}");
+    req
 }
 
 fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -34,6 +113,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .filter(|a| !a.starts_with("--"))
                 .map(PathBuf::from);
             let dir = dir.ok_or("fsck needs a repository directory")?;
+            apply_jobs(&args)?;
             let cfg = FsckConfig {
                 deep: args.iter().any(|a| a == "--deep"),
             };
@@ -99,6 +179,53 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             } else {
                 ExitCode::SUCCESS
             })
+        }
+        Some("gen-sample") => {
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .ok_or("gen-sample needs a target directory")?;
+            let repo = Repository::init(&dir)?;
+            let base = trained_commit("lenet", 1, None);
+            let base_key = repo.commit(&base)?;
+            let tuned = trained_commit("lenet-tuned", 2, Some(&base_key.to_string()));
+            let tuned_key = repo.commit(&tuned)?;
+            println!(
+                "created sample repository at {} with versions {base_key} and {tuned_key}",
+                dir.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("archive") => {
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .ok_or("archive needs a repository directory")?;
+            apply_jobs(&args)?;
+            let cfg = ArchiveConfig {
+                alpha: flag_value::<f64>(&args, "--alpha")?
+                    .unwrap_or(ArchiveConfig::default().alpha),
+                ..Default::default()
+            };
+            let repo = Repository::open(&dir)?;
+            let report = repo.archive(&cfg)?;
+            println!(
+                "archived {} snapshots ({} matrices) into store {}: {} bytes on disk, \
+                 plan cost {:.1}, budget {}",
+                report.num_snapshots,
+                report.num_matrices,
+                report.store.0,
+                report.bytes_on_disk,
+                report.storage_cost,
+                if report.satisfied {
+                    "satisfied"
+                } else {
+                    "exceeded"
+                }
+            );
+            Ok(ExitCode::SUCCESS)
         }
         _ => Ok(usage()),
     }

@@ -10,6 +10,7 @@
 //!   progressive evaluation)
 //! - [`dnn`] — the deep-network substrate (layers, training, interval eval)
 //! - [`check`] — static integrity verification (`modelhub fsck`)
+//! - [`par`] — the shared worker-pool scheduling layer (`MH_THREADS`, `--jobs`)
 //! - [`tensor`], [`delta`], [`compress`], [`store`] — supporting substrates
 
 pub use mh_check as check;
@@ -18,6 +19,7 @@ pub use mh_delta as delta;
 pub use mh_dlv as dlv;
 pub use mh_dnn as dnn;
 pub use mh_dql as dql;
+pub use mh_par as par;
 pub use mh_pas as pas;
 pub use mh_store as store;
 pub use mh_tensor as tensor;
