@@ -17,30 +17,95 @@ const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
+/// Incremental SHA-256: feed data with [`Sha256::update`], close with
+/// [`Sha256::finalize`]. The hub wire protocol uses this to checksum whole
+/// object transfers without buffering them.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    h: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    pub fn new() -> Self {
+        Self {
+            h: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&mut self.h, &block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                // Everything fit in the (possibly still partial) buffer;
+                // falling through would clobber buf_len with an empty
+                // remainder.
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            compress(&mut self.h, block.try_into().expect("fixed-size chunk"));
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bitlen = self.total.wrapping_mul(8);
+        let mut tail = [0u8; 128];
+        tail[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        tail[self.buf_len] = 0x80;
+        let tail_len = if self.buf_len < 56 { 64 } else { 128 };
+        tail[tail_len - 8..tail_len].copy_from_slice(&bitlen.to_be_bytes());
+        compress(
+            &mut self.h,
+            tail[..64].try_into().expect("fixed-size chunk"),
+        );
+        if tail_len == 128 {
+            compress(
+                &mut self.h,
+                tail[64..128].try_into().expect("fixed-size chunk"),
+            );
+        }
+        let mut out = [0u8; 32];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    pub fn finalize_hex(self) -> String {
+        self.finalize().iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
 /// Compute the SHA-256 digest of `data`.
 pub fn sha256(data: &[u8]) -> [u8; 32] {
-    let mut h = H0;
-    let bitlen = (data.len() as u64).wrapping_mul(8);
-    // Process full blocks, then the padded tail.
-    let mut chunks = data.chunks_exact(64);
-    for block in &mut chunks {
-        compress(&mut h, block.try_into().expect("fixed-size chunk"));
-    }
-    let rem = chunks.remainder();
-    let mut tail = [0u8; 128];
-    tail[..rem.len()].copy_from_slice(rem);
-    tail[rem.len()] = 0x80;
-    let tail_len = if rem.len() < 56 { 64 } else { 128 };
-    tail[tail_len - 8..tail_len].copy_from_slice(&bitlen.to_be_bytes());
-    compress(&mut h, tail[..64].try_into().expect("fixed-size chunk"));
-    if tail_len == 128 {
-        compress(&mut h, tail[64..128].try_into().expect("fixed-size chunk"));
-    }
-    let mut out = [0u8; 32];
-    for (i, word) in h.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-    }
-    out
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
 }
 
 /// Hex string of the digest.
@@ -134,5 +199,19 @@ mod tests {
     #[test]
     fn different_inputs_different_digests() {
         assert_ne!(sha256(b"model-v1"), sha256(b"model-v2"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i * 7 + 3) as u8).collect();
+        // Feed in awkward chunk sizes that straddle block boundaries.
+        for chunk in [1usize, 7, 63, 64, 65, 200] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), sha256(&data), "chunk={chunk}");
+        }
+        assert_eq!(Sha256::new().finalize(), sha256(b""));
     }
 }

@@ -1,13 +1,45 @@
-//! The hosted ModelHub service (§III-C), simulated as a directory-based
-//! registry: `dlv publish`, `dlv search`, `dlv pull`.
+//! The hosted ModelHub service (§III-C): `dlv publish`, `dlv search`,
+//! `dlv pull`.
 //!
-//! A published repository is copied wholesale under the hub root; search
-//! matches over repository names and model-version names/comments.
+//! Two backends implement the [`HubBackend`] trait:
+//!
+//! - [`Hub`] (this module) — a hub rooted at a local directory. A
+//!   published repository is a plain directory holding exactly the
+//!   repository's *committed content* (see [`committed_manifest`]).
+//! - `mh_hub::RemoteHub` — a networked client for the `hubd` server,
+//!   which negotiates content-addressed objects so repeat transfers move
+//!   only what the other side is missing.
+//!
+//! Publication is atomic: content is staged into a hidden sibling
+//! directory under the hub root and renamed into place
+//! ([`replace_published`]), so a crash mid-publish never leaves a
+//! half-copied or missing published repository. Repository names are
+//! validated against path traversal ([`validate_repo_name`]) and every
+//! pulled repository is integrity-checked ([`verify_pulled`]) before the
+//! pull reports success.
 
 use crate::repo::Repository;
-use crate::DlvError;
+use crate::{hash, DlvError};
 use mh_store::like_match;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The operations every hub backend (local directory or remote `hubd`)
+/// provides. `dlv publish/search/pull` program against this trait.
+pub trait HubBackend {
+    /// Push a repository under a public name, replacing any previous
+    /// publication of that name atomically.
+    fn publish(&self, repo: &Repository, name: &str) -> Result<(), DlvError>;
+    /// All published repository names, sorted.
+    fn repositories(&self) -> Result<Vec<String>, DlvError>;
+    /// Match a SQL-LIKE pattern against repository names, model names and
+    /// comments.
+    fn search(&self, pattern: &str) -> Result<Vec<SearchHit>, DlvError>;
+    /// Clone a published repository to a local destination, verifying its
+    /// integrity before returning.
+    fn pull(&self, name: &str, dest: &Path) -> Result<Repository, DlvError>;
+}
 
 /// A hub rooted at a directory.
 #[derive(Debug)]
@@ -24,18 +56,235 @@ pub struct SearchHit {
     pub comment: String,
 }
 
-fn copy_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
-    std::fs::create_dir_all(dst)?;
-    for entry in std::fs::read_dir(src)? {
+/// One file of a repository's committed content: a repo-relative
+/// `/`-separated path, its byte size, and the SHA-256 of its contents.
+/// The manifest is the unit of hub transfer negotiation: hashes are the
+/// "have/want" currency, paths say where objects land on assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    pub path: String,
+    pub size: u64,
+    pub hash: String,
+}
+
+/// Validate a published repository name: `/`-separated segments, each
+/// non-empty, not dot-prefixed (which also rejects `.` and `..`), and
+/// drawn from `[A-Za-z0-9._-]`. Rejects absolute paths (their leading
+/// `/` yields an empty first segment), traversal (`..`), and anything
+/// that could escape the hub root when joined onto it.
+pub fn validate_repo_name(name: &str) -> Result<(), DlvError> {
+    if name.is_empty() || name.len() > 255 || !name.split('/').all(valid_segment) {
+        return Err(DlvError::InvalidName(name.to_string()));
+    }
+    Ok(())
+}
+
+/// Validate a repo-relative manifest path with the same segment rules as
+/// repository names. Applied to every server- or client-supplied path
+/// before it is joined onto a local directory.
+pub fn validate_rel_path(path: &str) -> Result<(), DlvError> {
+    if path.is_empty() || path.len() > 1024 || !path.split('/').all(valid_segment) {
+        return Err(DlvError::InvalidName(path.to_string()));
+    }
+    Ok(())
+}
+
+fn valid_segment(seg: &str) -> bool {
+    !seg.is_empty()
+        && !seg.starts_with('.')
+        && seg
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// Transient working state that must never be published or pulled:
+/// atomic-write temporaries, locks, partial transfers, and hidden
+/// staging/cache directories.
+fn is_transient(name: &str) -> bool {
+    name.starts_with('.')
+        || name.ends_with(".tmp")
+        || name.ends_with(".lock")
+        || name.ends_with(".part")
+}
+
+/// The manifest of a repository's *committed content*: the catalog, every
+/// staged snapshot blob the catalog references, every content-addressed
+/// associated file, and every PAS store holding archived snapshots.
+/// Orphaned blobs, transient files, and symlinks are excluded by
+/// construction — a published repo is exactly its committed content.
+pub fn committed_manifest(repo: &Repository) -> Result<Vec<ManifestEntry>, DlvError> {
+    let root = repo.root();
+    let mut paths: BTreeSet<String> = BTreeSet::new();
+    paths.insert("catalog.mhs".to_string());
+    let mut stores: BTreeSet<String> = BTreeSet::new();
+    for v in repo.list() {
+        let spec = v.key.to_string();
+        for s in repo.snapshots(&spec)? {
+            if let Some(rel) = s.location.strip_prefix("staged:") {
+                paths.insert(rel.to_string());
+            } else if let Some(store) = s.location.strip_prefix("pas:") {
+                stores.insert(store.to_string());
+            }
+        }
+        for (_, digest, _) in repo.desc(&spec)?.files {
+            paths.insert(format!("objects/{digest}"));
+        }
+    }
+    for store in &stores {
+        collect_files(
+            &root.join("pas").join(store),
+            &format!("pas/{store}"),
+            &mut paths,
+        )
+        .map_err(DlvError::Io)?;
+    }
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let data = std::fs::read(root.join(&path)).map_err(DlvError::Io)?;
+        out.push(ManifestEntry {
+            hash: hash::sha256_hex(&data),
+            size: data.len() as u64,
+            path,
+        });
+    }
+    Ok(out)
+}
+
+/// Recursively collect regular files under `dir` as `prefix/`-relative
+/// paths, skipping symlinks and transient files.
+fn collect_files(dir: &Path, prefix: &str, out: &mut BTreeSet<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
-        let to = dst.join(entry.file_name());
-        if entry.file_type()?.is_dir() {
-            copy_dir(&entry.path(), &to)?;
-        } else {
-            std::fs::copy(entry.path(), &to)?;
+        let ft = entry.file_type()?; // does not follow symlinks
+        let name = entry.file_name().to_string_lossy().to_string();
+        if is_transient(&name) {
+            continue;
+        }
+        if ft.is_dir() {
+            collect_files(&entry.path(), &format!("{prefix}/{name}"), out)?;
+        } else if ft.is_file() {
+            out.insert(format!("{prefix}/{name}"));
         }
     }
     Ok(())
+}
+
+/// Copy a directory tree, skipping symlinks and transient working files
+/// (locks, atomic-write temporaries, hidden staging dirs).
+fn copy_dir_filtered(src: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        let ft = entry.file_type()?; // does not follow symlinks
+        let name = entry.file_name().to_string_lossy().to_string();
+        if is_transient(&name) {
+            continue;
+        }
+        let to = dst.join(entry.file_name());
+        if ft.is_dir() {
+            copy_dir_filtered(&entry.path(), &to)?;
+        } else if ft.is_file() {
+            std::fs::copy(entry.path(), &to)?;
+        }
+        // Symlinks and special files are deliberately not copied.
+    }
+    Ok(())
+}
+
+static STAGE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique suffix for staging directory names.
+fn unique_suffix() -> String {
+    let seq = STAGE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    format!("{}-{seq}-{nanos}", std::process::id())
+}
+
+/// Create the standard repository directories an assembled copy needs
+/// even when empty (`Repository::archive` and friends read them).
+pub fn create_standard_dirs(root: &Path) -> std::io::Result<()> {
+    for d in ["weights", "objects", "pas"] {
+        std::fs::create_dir_all(root.join(d))?;
+    }
+    Ok(())
+}
+
+/// Atomically (re)place the published repository `name` under `root`:
+/// `build` populates a hidden staging directory which is then renamed
+/// into place, replacing any previous publication. A failure in `build`
+/// — or a crash at any point — leaves the previous publication intact;
+/// the worst case is an orphaned hidden staging directory, which later
+/// publishes ignore and never serve. Concurrent publishers of the same
+/// name race on the final rename and both succeed (last writer wins).
+pub fn replace_published<F>(root: &Path, name: &str, build: F) -> Result<(), DlvError>
+where
+    F: FnOnce(&Path) -> Result<(), DlvError>,
+{
+    validate_repo_name(name)?;
+    let dst = root.join(name);
+    // Refuse to nest a publication inside an existing published repo.
+    let mut anc = PathBuf::from(root);
+    let segments: Vec<&str> = name.split('/').collect();
+    for seg in &segments[..segments.len() - 1] {
+        anc.push(seg);
+        if anc.join("catalog.mhs").exists() {
+            return Err(DlvError::Hub(format!(
+                "'{name}' would nest inside published repository '{}'",
+                anc.strip_prefix(root).unwrap_or(&anc).display()
+            )));
+        }
+    }
+    let suffix = unique_suffix();
+    let stage = root.join(format!(".stage-{suffix}"));
+    std::fs::create_dir_all(&stage).map_err(DlvError::Io)?;
+    if let Err(e) = build(&stage) {
+        let _ = std::fs::remove_dir_all(&stage);
+        return Err(e);
+    }
+    if let Some(parent) = dst.parent() {
+        std::fs::create_dir_all(parent).map_err(DlvError::Io)?;
+    }
+    for attempt in 0..16 {
+        if dst.exists() {
+            let old = root.join(format!(".old-{suffix}-{attempt}"));
+            match std::fs::rename(&dst, &old) {
+                Ok(()) => {
+                    let _ = std::fs::remove_dir_all(&old);
+                }
+                // A racing publisher already moved it aside.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(_) => continue,
+            }
+        }
+        match std::fs::rename(&stage, &dst) {
+            Ok(()) => return Ok(()),
+            // Raced with another publisher whose stage landed first: loop
+            // to move theirs aside and try again.
+            Err(_) if dst.exists() => continue,
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&stage);
+                return Err(DlvError::Io(e));
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&stage);
+    Err(DlvError::Hub(format!(
+        "publish of '{name}' kept losing the rename race; giving up"
+    )))
+}
+
+/// Post-pull verification: run the repository's own fsck and fail the
+/// pull if anything is inconsistent.
+pub fn verify_pulled(repo: &Repository) -> Result<(), DlvError> {
+    let problems = repo.fsck();
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(DlvError::Verify(problems.join("; ")))
+    }
 }
 
 impl Hub {
@@ -47,20 +296,35 @@ impl Hub {
         })
     }
 
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
     /// `dlv publish`: push a repository under a public name (replacing any
-    /// previous publication of the same name).
+    /// previous publication of the same name). The copy is staged into a
+    /// hidden sibling directory and renamed into place, so a crash
+    /// mid-publish never destroys the previous publication; only the
+    /// repository's committed content is copied.
     pub fn publish(&self, repo: &Repository, name: &str) -> Result<(), DlvError> {
-        let dst = self.root.join(name);
-        if dst.exists() {
-            std::fs::remove_dir_all(&dst).map_err(DlvError::Io)?;
-        }
-        copy_dir(repo.root(), &dst).map_err(DlvError::Io)?;
-        Ok(())
+        let manifest = committed_manifest(repo)?;
+        let src_root = repo.root().to_path_buf();
+        replace_published(&self.root, name, |stage| {
+            create_standard_dirs(stage).map_err(DlvError::Io)?;
+            for entry in &manifest {
+                let to = stage.join(&entry.path);
+                if let Some(parent) = to.parent() {
+                    std::fs::create_dir_all(parent).map_err(DlvError::Io)?;
+                }
+                std::fs::copy(src_root.join(&entry.path), &to).map_err(DlvError::Io)?;
+            }
+            Ok(())
+        })
     }
 
     /// Published repository names. Names may contain `/` (e.g.
     /// `team/vision`): a directory is a repository iff it holds a
     /// `catalog.mhs`; other directories are namespaces to recurse into.
+    /// Hidden entries (staging, caches) are never listed.
     pub fn repositories(&self) -> Result<Vec<String>, DlvError> {
         fn walk(dir: &Path, prefix: &str, out: &mut Vec<String>) -> std::io::Result<()> {
             for entry in std::fs::read_dir(dir)? {
@@ -69,6 +333,9 @@ impl Hub {
                     continue;
                 }
                 let name = entry.file_name().to_string_lossy().to_string();
+                if name.starts_with('.') {
+                    continue;
+                }
                 let full = if prefix.is_empty() {
                     name
                 } else {
@@ -116,15 +383,72 @@ impl Hub {
     }
 
     /// `dlv pull`: clone a published repository to a local destination.
+    /// The copy is staged next to `dest` and renamed into place, then
+    /// integrity-checked before the pull reports success.
     pub fn pull(&self, name: &str, dest: &Path) -> Result<Repository, DlvError> {
+        validate_repo_name(name)?;
         let src = self.root.join(name);
-        if !src.exists() {
+        if !src.join("catalog.mhs").exists() {
             return Err(DlvError::NoSuchVersion(name.to_string()));
         }
         if dest.exists() {
             return Err(DlvError::AlreadyExists(dest.display().to_string()));
         }
-        copy_dir(&src, dest).map_err(DlvError::Io)?;
-        Repository::open(dest)
+        let parent = dest.parent().unwrap_or(Path::new("."));
+        std::fs::create_dir_all(parent).map_err(DlvError::Io)?;
+        let stage = parent.join(format!(".pull-{}", unique_suffix()));
+        let assembled = copy_dir_filtered(&src, &stage)
+            .and_then(|()| create_standard_dirs(&stage))
+            .map_err(DlvError::Io)
+            .and_then(|()| {
+                std::fs::rename(&stage, dest).map_err(|e| {
+                    if dest.exists() {
+                        DlvError::AlreadyExists(dest.display().to_string())
+                    } else {
+                        DlvError::Io(e)
+                    }
+                })
+            });
+        if let Err(e) = assembled {
+            let _ = std::fs::remove_dir_all(&stage);
+            return Err(e);
+        }
+        let repo = Repository::open(dest)?;
+        verify_pulled(&repo)?;
+        Ok(repo)
+    }
+
+    /// A hash → repo-relative-path index over the committed content of a
+    /// published repository, used by `hubd` for have/want negotiation.
+    /// Returns an empty map if `name` is not published.
+    pub fn published_objects(&self, name: &str) -> Result<BTreeMap<String, String>, DlvError> {
+        validate_repo_name(name)?;
+        let dir = self.root.join(name);
+        if !dir.join("catalog.mhs").exists() {
+            return Ok(BTreeMap::new());
+        }
+        let repo = Repository::open(&dir)?;
+        Ok(committed_manifest(&repo)?
+            .into_iter()
+            .map(|e| (e.hash, e.path))
+            .collect())
+    }
+}
+
+impl HubBackend for Hub {
+    fn publish(&self, repo: &Repository, name: &str) -> Result<(), DlvError> {
+        Hub::publish(self, repo, name)
+    }
+
+    fn repositories(&self) -> Result<Vec<String>, DlvError> {
+        Hub::repositories(self)
+    }
+
+    fn search(&self, pattern: &str) -> Result<Vec<SearchHit>, DlvError> {
+        Hub::search(self, pattern)
+    }
+
+    fn pull(&self, name: &str, dest: &Path) -> Result<Repository, DlvError> {
+        Hub::pull(self, name, dest)
     }
 }

@@ -40,7 +40,10 @@ pub mod repo;
 pub mod wfile;
 
 pub use diff::{diff, DiffReport};
-pub use hub::{Hub, SearchHit};
+pub use hub::{
+    committed_manifest, create_standard_dirs, replace_published, validate_rel_path,
+    validate_repo_name, verify_pulled, Hub, HubBackend, ManifestEntry, SearchHit,
+};
 pub use repo::{
     ArchiveConfig, ArchiveId, ArchiveReport, CommitRequest, Repository, SnapshotInfo, VersionDesc,
     VersionKey, VersionSummary,
@@ -67,6 +70,13 @@ pub enum DlvError {
     Archived(String),
     /// Deletion refused: version has lineage descendants.
     HasDescendants(String),
+    /// A repository name (or manifest path) failed validation — empty,
+    /// absolute, containing `..`, dot-prefixed, or illegal characters.
+    InvalidName(String),
+    /// A hosted-hub operation failed (transport, protocol, or server).
+    Hub(String),
+    /// A pulled repository failed post-transfer integrity verification.
+    Verify(String),
 }
 
 impl std::fmt::Display for DlvError {
@@ -91,6 +101,13 @@ impl std::fmt::Display for DlvError {
             }
             Self::HasDescendants(v) => {
                 write!(f, "'{v}' has lineage descendants; delete them first")
+            }
+            Self::InvalidName(n) => {
+                write!(f, "invalid repository name or path '{n}'")
+            }
+            Self::Hub(m) => write!(f, "hub error: {m}"),
+            Self::Verify(m) => {
+                write!(f, "pulled repository failed verification: {m}")
             }
         }
     }

@@ -1,0 +1,296 @@
+//! Hub hardening tests: atomic publish, path-traversal rejection,
+//! transient/symlink exclusion, concurrent publishers, nested
+//! namespaces, and pulls into existing destinations.
+
+#![allow(clippy::unwrap_used)] // test code: panics are failures
+use mh_dlv::{
+    committed_manifest, replace_published, validate_rel_path, validate_repo_name, DlvError, Hub,
+    HubBackend, Repository,
+};
+use mh_dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mh-hubedge-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A small committed repository to publish.
+fn sample_repo(dir: &std::path::Path, name: &str, seed: u64) -> Repository {
+    let repo = Repository::init(dir).unwrap();
+    let net = zoo::lenet_s(3);
+    let data = synth_dataset(&SynthConfig {
+        num_classes: 3,
+        train_per_class: 6,
+        test_per_class: 3,
+        noise: 0.05,
+        seed: 11,
+        height: 16,
+        width: 16,
+    });
+    let trainer = Trainer {
+        hp: Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        },
+        snapshot_every: 3,
+    };
+    let init = Weights::init(&net, seed).unwrap();
+    let result = trainer.train(&net, init, &data, 6).unwrap();
+    let mut req = mh_dlv::CommitRequest::new(name, net);
+    req.snapshots = result.snapshots.clone();
+    req.log = result.log.clone();
+    req.accuracy = Some(result.final_accuracy);
+    req.files.push(("notes.txt".into(), b"hello".to_vec()));
+    req.comment = format!("edge-case model {name}");
+    repo.commit(&req).unwrap();
+    repo
+}
+
+#[test]
+fn traversal_names_are_rejected() {
+    for bad in [
+        "../escape",
+        "a/../b",
+        "/absolute",
+        "a//b",
+        "",
+        ".hidden",
+        "a/.hidden",
+        "nul\0byte",
+        "sp ace",
+    ] {
+        assert!(validate_repo_name(bad).is_err(), "accepted '{bad}'");
+    }
+    for good in ["lenet", "team/vision", "a-b_c.d/e9"] {
+        assert!(validate_repo_name(good).is_ok(), "rejected '{good}'");
+    }
+    assert!(validate_rel_path("weights/../../x").is_err());
+    assert!(validate_rel_path("weights/m_1_s0.mhw").is_ok());
+
+    let dir = temp_dir("trav-repo");
+    let hub_dir = temp_dir("trav-hub");
+    let repo = sample_repo(&dir, "m", 1);
+    let hub = Hub::open(&hub_dir).unwrap();
+    for bad in ["../escape", "/absolute", "a/../b"] {
+        assert!(
+            matches!(hub.publish(&repo, bad), Err(DlvError::InvalidName(_))),
+            "publish accepted '{bad}'"
+        );
+        assert!(
+            matches!(
+                hub.pull(bad, &temp_dir("trav-pull").join("d")),
+                Err(DlvError::InvalidName(_))
+            ),
+            "pull accepted '{bad}'"
+        );
+    }
+    // Nothing escaped the hub root.
+    assert!(!hub_dir.parent().unwrap().join("escape").exists());
+    assert!(!PathBuf::from("/absolute").exists());
+}
+
+#[test]
+fn publish_excludes_transients_and_symlinks() {
+    let dir = temp_dir("excl-repo");
+    let hub_dir = temp_dir("excl-hub");
+    let repo = sample_repo(&dir, "m", 2);
+
+    // Litter the working repo with state that must not be published.
+    std::fs::write(dir.join("catalog.mhs.tmp"), b"partial").unwrap();
+    std::fs::write(dir.join("weights").join("w.lock"), b"").unwrap();
+    std::fs::write(dir.join("weights").join("x.part"), b"").unwrap();
+    std::fs::write(dir.join("orphan.bin"), b"not committed").unwrap();
+    std::fs::create_dir_all(dir.join(".cache")).unwrap();
+    std::fs::write(dir.join(".cache").join("junk"), b"junk").unwrap();
+    #[cfg(unix)]
+    std::os::unix::fs::symlink("/etc/hostname", dir.join("weights").join("link")).unwrap();
+
+    let hub = Hub::open(&hub_dir).unwrap();
+    hub.publish(&repo, "clean").unwrap();
+    let pub_dir = hub_dir.join("clean");
+    assert!(pub_dir.join("catalog.mhs").exists());
+    for absent in [
+        "catalog.mhs.tmp",
+        "orphan.bin",
+        ".cache",
+        "weights/w.lock",
+        "weights/x.part",
+        "weights/link",
+    ] {
+        assert!(!pub_dir.join(absent).exists(), "published {absent}");
+    }
+
+    // The published copy is exactly the committed content.
+    let src_manifest = committed_manifest(&repo).unwrap();
+    let pub_manifest = committed_manifest(&Repository::open(&pub_dir).unwrap()).unwrap();
+    assert_eq!(src_manifest, pub_manifest);
+
+    // A pull of it skips transients dropped into the hub copy too.
+    std::fs::write(pub_dir.join("stray.lock"), b"").unwrap();
+    let dest = temp_dir("excl-pull").join("clone");
+    let pulled = hub.pull("clean", &dest).unwrap();
+    assert!(!dest.join("stray.lock").exists());
+    assert_eq!(committed_manifest(&pulled).unwrap(), src_manifest);
+}
+
+#[test]
+fn failed_publish_leaves_previous_publication_intact() {
+    let dir = temp_dir("atomic-repo");
+    let hub_dir = temp_dir("atomic-hub");
+    let repo = sample_repo(&dir, "m", 3);
+    let hub = Hub::open(&hub_dir).unwrap();
+    hub.publish(&repo, "stable").unwrap();
+    let before = committed_manifest(&Repository::open(&hub_dir.join("stable")).unwrap()).unwrap();
+
+    // A publish whose build fails halfway must not disturb the previous
+    // publication and must clean up its staging directory.
+    let err = replace_published(&hub_dir, "stable", |stage| {
+        std::fs::write(stage.join("catalog.mhs"), b"half-written garbage").unwrap();
+        Err(DlvError::Hub("simulated mid-publish crash".into()))
+    })
+    .unwrap_err();
+    assert!(matches!(err, DlvError::Hub(_)));
+
+    let after = committed_manifest(&Repository::open(&hub_dir.join("stable")).unwrap()).unwrap();
+    assert_eq!(before, after, "previous publication was disturbed");
+    let leftovers: Vec<String> = std::fs::read_dir(&hub_dir)
+        .unwrap()
+        .filter_map(|e| {
+            let n = e.unwrap().file_name().to_string_lossy().to_string();
+            n.starts_with('.').then_some(n)
+        })
+        .collect();
+    assert!(leftovers.is_empty(), "staging leftovers: {leftovers:?}");
+
+    // And the pull of the intact publication still verifies.
+    hub.pull("stable", &temp_dir("atomic-pull").join("c"))
+        .unwrap();
+}
+
+#[test]
+fn concurrent_publish_same_name_is_safe() {
+    let dir_a = temp_dir("conc-a");
+    let dir_b = temp_dir("conc-b");
+    let hub_dir = temp_dir("conc-hub");
+    let repo_a = Arc::new(sample_repo(&dir_a, "ma", 4));
+    let repo_b = Arc::new(sample_repo(&dir_b, "mb", 5));
+    let hub_dir = Arc::new(hub_dir);
+
+    let mut handles = Vec::new();
+    for repo in [Arc::clone(&repo_a), Arc::clone(&repo_b)] {
+        let hub_dir = Arc::clone(&hub_dir);
+        handles.push(std::thread::spawn(move || {
+            let hub = Hub::open(&hub_dir).unwrap();
+            for _ in 0..4 {
+                hub.publish(&repo, "contested").unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Whoever won, the published state is one complete, verifiable repo.
+    let hub = Hub::open(&hub_dir).unwrap();
+    assert_eq!(hub.repositories().unwrap(), vec!["contested"]);
+    let pulled = hub
+        .pull("contested", &temp_dir("conc-pull").join("c"))
+        .unwrap();
+    let got = committed_manifest(&pulled).unwrap();
+    let a = committed_manifest(&repo_a).unwrap();
+    let b = committed_manifest(&repo_b).unwrap();
+    assert!(got == a || got == b, "published state is neither input");
+    // No hidden staging/old dirs left behind.
+    for e in std::fs::read_dir(hub_dir.as_path()).unwrap() {
+        let n = e.unwrap().file_name().to_string_lossy().to_string();
+        assert!(!n.starts_with('.'), "leftover hidden entry {n}");
+    }
+}
+
+#[test]
+fn pull_into_existing_destination_fails_cleanly() {
+    let dir = temp_dir("dest-repo");
+    let hub_dir = temp_dir("dest-hub");
+    let repo = sample_repo(&dir, "m", 6);
+    let hub = Hub::open(&hub_dir).unwrap();
+    hub.publish(&repo, "m").unwrap();
+
+    let dest_parent = temp_dir("dest-pull");
+    let dest = dest_parent.join("clone");
+    hub.pull("m", &dest).unwrap();
+    // Second pull into the same destination: typed error, dest untouched.
+    let before = committed_manifest(&Repository::open(&dest).unwrap()).unwrap();
+    assert!(matches!(
+        hub.pull("m", &dest),
+        Err(DlvError::AlreadyExists(_))
+    ));
+    let after = committed_manifest(&Repository::open(&dest).unwrap()).unwrap();
+    assert_eq!(before, after);
+    // A plain existing file is refused the same way.
+    let file_dest = dest_parent.join("a-file");
+    std::fs::write(&file_dest, b"x").unwrap();
+    assert!(matches!(
+        hub.pull("m", &file_dest),
+        Err(DlvError::AlreadyExists(_))
+    ));
+    // No staging leftovers next to dest.
+    for e in std::fs::read_dir(&dest_parent).unwrap() {
+        let n = e.unwrap().file_name().to_string_lossy().to_string();
+        assert!(!n.starts_with(".pull-"), "leftover staging {n}");
+    }
+}
+
+#[test]
+fn nested_namespaces_publish_search_pull() {
+    let dir_a = temp_dir("ns-a");
+    let dir_b = temp_dir("ns-b");
+    let hub_dir = temp_dir("ns-hub");
+    let repo_a = sample_repo(&dir_a, "resnet-mini", 7);
+    let repo_b = sample_repo(&dir_b, "lstm-mini", 8);
+    let hub = Hub::open(&hub_dir).unwrap();
+    hub.publish(&repo_a, "team/vision/resnet").unwrap();
+    hub.publish(&repo_b, "team/nlp/lstm").unwrap();
+
+    assert_eq!(
+        hub.repositories().unwrap(),
+        vec!["team/nlp/lstm", "team/vision/resnet"]
+    );
+    let hits = hub.search("%vision%").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].repo, "team/vision/resnet");
+    let hits = hub.search("%mini%").unwrap();
+    assert_eq!(hits.len(), 2);
+
+    // Publishing inside an existing publication is refused.
+    assert!(matches!(
+        hub.publish(&repo_b, "team/vision/resnet/sub"),
+        Err(DlvError::Hub(_))
+    ));
+
+    let pulled = hub
+        .pull("team/vision/resnet", &temp_dir("ns-pull").join("c"))
+        .unwrap();
+    assert_eq!(
+        committed_manifest(&pulled).unwrap(),
+        committed_manifest(&repo_a).unwrap()
+    );
+}
+
+#[test]
+fn hub_backend_trait_object_works_for_local_hub() {
+    let dir = temp_dir("dyn-repo");
+    let hub_dir = temp_dir("dyn-hub");
+    let repo = sample_repo(&dir, "m", 9);
+    let backend: Box<dyn HubBackend> = Box::new(Hub::open(&hub_dir).unwrap());
+    backend.publish(&repo, "via-trait").unwrap();
+    assert_eq!(backend.repositories().unwrap(), vec!["via-trait"]);
+    assert_eq!(backend.search("%via%").unwrap().len(), 1);
+    let pulled = backend
+        .pull("via-trait", &temp_dir("dyn-pull").join("c"))
+        .unwrap();
+    assert_eq!(pulled.list().len(), 1);
+}

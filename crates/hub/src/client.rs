@@ -1,0 +1,443 @@
+//! [`RemoteHub`] — the client side of the hub wire protocol. Implements
+//! `mh_dlv::HubBackend`, so `dlv publish/search/pull` work against
+//! `http://host:port` specs exactly as against local hub directories.
+//!
+//! Resilience model:
+//! - every request carries connect/read/write timeouts;
+//! - transient failures (transport errors, 5xx, checksum mismatches) are
+//!   retried with exponential backoff plus jitter, up to a bounded
+//!   attempt count;
+//! - pulls are resumable at object granularity: each verified object
+//!   lands in a hash-keyed cache as it arrives, every retry re-negotiates
+//!   with the server from what the cache already holds, and making
+//!   progress resets the retry budget;
+//! - publishes re-negotiate from scratch on retry (the server answers
+//!   idempotently from its current content);
+//! - every pulled repository is fsck'd before the pull reports success.
+
+use crate::http::{read_body, read_response_head, write_request, ResponseHead};
+use crate::protocol::{
+    encode_manifest, parse_error, parse_hits, parse_manifest, pct_encode, read_object_stream,
+    write_object, write_object_stream_end,
+};
+use crate::stats::{parse_stats, StatLine};
+use crate::{HubError, URL_PREFIX};
+use mh_dlv::hash::Sha256;
+use mh_dlv::{
+    committed_manifest, create_standard_dirs, validate_rel_path, validate_repo_name, verify_pulled,
+    DlvError, HubBackend, ManifestEntry, Repository, SearchHit,
+};
+use std::collections::BTreeSet;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+const DEFAULT_RETRIES: u32 = 4;
+const DEFAULT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Client for a remote `hubd` instance.
+#[derive(Debug, Clone)]
+pub struct RemoteHub {
+    /// `host:port`, used both to connect and as the HTTP Host header.
+    host: String,
+    timeout: Duration,
+    retries: u32,
+    backoff: Duration,
+    /// Hash-keyed object cache for resumable / incremental pulls. When
+    /// unset, each pull uses an ephemeral cache removed on success.
+    cache: Option<PathBuf>,
+}
+
+impl RemoteHub {
+    /// Parse an `http://host:port` hub spec.
+    pub fn open(spec: &str) -> Result<Self, HubError> {
+        let rest = spec.strip_prefix(URL_PREFIX).ok_or_else(|| {
+            HubError::Protocol(format!("hub URL must start with http://: '{spec}'"))
+        })?;
+        let host = rest.trim_end_matches('/');
+        if host.is_empty() || !host.contains(':') {
+            return Err(HubError::Protocol(format!(
+                "hub URL needs host:port: '{spec}'"
+            )));
+        }
+        Ok(Self {
+            host: host.to_string(),
+            timeout: DEFAULT_TIMEOUT,
+            retries: DEFAULT_RETRIES,
+            backoff: DEFAULT_BACKOFF,
+            cache: None,
+        })
+    }
+
+    /// Use a persistent object cache, making repeat pulls of unchanged
+    /// content transfer near-zero object bytes.
+    pub fn with_cache(mut self, dir: &Path) -> Self {
+        self.cache = Some(dir.to_path_buf());
+        self
+    }
+
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    pub fn with_retries(mut self, retries: u32, backoff: Duration) -> Self {
+        self.retries = retries.max(1);
+        self.backoff = backoff;
+        self
+    }
+
+    fn connect(&self) -> Result<TcpStream, HubError> {
+        let addr = self
+            .host
+            .to_socket_addrs()
+            .map_err(|e| HubError::Protocol(format!("cannot resolve '{}': {e}", self.host)))?
+            .next()
+            .ok_or_else(|| HubError::Protocol(format!("'{}' resolves to nothing", self.host)))?;
+        let stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(stream)
+    }
+
+    /// One buffered request/response; 4xx/5xx bodies become
+    /// [`HubError::Server`].
+    fn attempt(&self, method: &str, target: &str, body: &[u8]) -> Result<Vec<u8>, HubError> {
+        let mut stream = self.connect()?;
+        write_request(&mut stream, method, target, &self.host, body)?;
+        let mut reader = BufReader::new(stream);
+        let head = read_response_head(&mut reader)?;
+        let body = read_body(&mut reader, &head)?;
+        check_status(&head, &body)?;
+        Ok(body)
+    }
+
+    /// Retry wrapper: transient errors back off and retry, everything
+    /// else surfaces immediately.
+    fn with_retry<T>(&self, mut f: impl FnMut() -> Result<T, HubError>) -> Result<T, HubError> {
+        let mut attempt = 0u32;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt + 1 < self.retries => {
+                    self.sleep_backoff(attempt);
+                    attempt += 1;
+                }
+                Err(e) if e.is_transient() => {
+                    return Err(HubError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        last: e.to_string(),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn sleep_backoff(&self, attempt: u32) {
+        let base = self.backoff.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(10));
+        std::thread::sleep(Duration::from_millis(exp + jitter(base.max(1))));
+    }
+
+    fn request(&self, method: &str, target: &str, body: &[u8]) -> Result<Vec<u8>, HubError> {
+        self.with_retry(|| self.attempt(method, target, body))
+    }
+
+    /// `GET /repos`.
+    pub fn repositories(&self) -> Result<Vec<String>, HubError> {
+        let body = self.request("GET", "/repos", b"")?;
+        Ok(text(&body)?.lines().map(str::to_string).collect())
+    }
+
+    /// `GET /search?q=`.
+    pub fn search(&self, pattern: &str) -> Result<Vec<SearchHit>, HubError> {
+        let target = format!("/search?q={}", pct_encode(pattern));
+        let body = self.request("GET", &target, b"")?;
+        parse_hits(&text(&body)?)
+    }
+
+    /// `GET /manifest/<name>` — the committed-content manifest of a
+    /// published repository.
+    pub fn manifest(&self, name: &str) -> Result<Vec<ManifestEntry>, HubError> {
+        validate_repo_name(name).map_err(HubError::Dlv)?;
+        let body = self.request("GET", &format!("/manifest/{name}"), b"")?;
+        parse_manifest(&text(&body)?)
+    }
+
+    /// `GET /stats` — the server's per-endpoint counters.
+    pub fn stats(&self) -> Result<Vec<StatLine>, HubError> {
+        let body = self.request("GET", "/stats", b"")?;
+        Ok(parse_stats(&text(&body)?))
+    }
+
+    /// Incremental publish: negotiate which objects the hub is missing
+    /// under `name`, then upload exactly those plus the manifest in one
+    /// atomic commit. Retries restart from negotiation, so a hub state
+    /// change between attempts is handled.
+    pub fn publish_repo(&self, repo: &Repository, name: &str) -> Result<(), HubError> {
+        validate_repo_name(name).map_err(HubError::Dlv)?;
+        let manifest = committed_manifest(repo).map_err(HubError::Dlv)?;
+        let manifest_body = encode_manifest(&manifest);
+        self.with_retry(|| {
+            let wants_raw = self.attempt(
+                "POST",
+                &format!("/publish/{name}?phase=negotiate"),
+                manifest_body.as_bytes(),
+            )?;
+            let wants: BTreeSet<String> = text(&wants_raw)?.lines().map(str::to_string).collect();
+            let mut body = Vec::new();
+            body.extend_from_slice(format!("{}\n", manifest_body.len()).as_bytes());
+            body.extend_from_slice(manifest_body.as_bytes());
+            let mut transfer = Sha256::new();
+            let mut sent = BTreeSet::new();
+            for entry in &manifest {
+                if wants.contains(&entry.hash) && sent.insert(entry.hash.clone()) {
+                    let data = std::fs::read(repo.root().join(&entry.path))
+                        .map_err(|e| HubError::Dlv(DlvError::Io(e)))?;
+                    write_object(&mut body, &entry.hash, &data, &mut transfer)
+                        .map_err(HubError::from)?;
+                }
+            }
+            write_object_stream_end(&mut body, transfer).map_err(HubError::from)?;
+            self.attempt("POST", &format!("/publish/{name}?phase=commit"), &body)?;
+            Ok(())
+        })
+    }
+
+    /// Pull `name` into `dest` (which must not exist): fetch the
+    /// manifest, negotiate objects against the cache, assemble into a
+    /// staging directory, atomically rename into place, and fsck the
+    /// result.
+    pub fn pull_repo(&self, name: &str, dest: &Path) -> Result<Repository, HubError> {
+        validate_repo_name(name).map_err(HubError::Dlv)?;
+        if dest.exists() {
+            return Err(HubError::Dlv(DlvError::AlreadyExists(
+                dest.display().to_string(),
+            )));
+        }
+        let manifest = self.manifest(name)?;
+        for entry in &manifest {
+            validate_rel_path(&entry.path).map_err(HubError::Dlv)?;
+        }
+
+        let parent = dest.parent().unwrap_or_else(|| Path::new("."));
+        std::fs::create_dir_all(parent).map_err(HubError::Io)?;
+        let (cache_dir, ephemeral) = match &self.cache {
+            Some(d) => (d.clone(), false),
+            None => (parent.join(format!(".pullcache-{}", unique_suffix())), true),
+        };
+        std::fs::create_dir_all(&cache_dir).map_err(HubError::Io)?;
+
+        let result = self.fetch_and_assemble(name, &manifest, &cache_dir, dest);
+        if ephemeral {
+            let _ = std::fs::remove_dir_all(&cache_dir);
+        }
+        result
+    }
+
+    fn fetch_and_assemble(
+        &self,
+        name: &str,
+        manifest: &[ManifestEntry],
+        cache_dir: &Path,
+        dest: &Path,
+    ) -> Result<Repository, HubError> {
+        let needed: BTreeSet<&str> = manifest.iter().map(|e| e.hash.as_str()).collect();
+
+        // Object-granular resumable fetch: every verified object persists
+        // in the cache immediately, each round re-negotiates from the
+        // cache contents, and progress resets the retry budget.
+        let mut attempt = 0u32;
+        loop {
+            let haves: BTreeSet<&str> = needed
+                .iter()
+                .copied()
+                .filter(|h| cache_dir.join(h).is_file())
+                .collect();
+            if haves.len() == needed.len() {
+                break;
+            }
+            let mut received = 0usize;
+            match self.fetch_objects(name, &haves, cache_dir, &mut received) {
+                Ok(()) => {}
+                Err(e) if e.is_transient() => {
+                    if received > 0 {
+                        attempt = 0; // progress: reset the budget
+                    } else if attempt + 1 >= self.retries {
+                        return Err(HubError::RetriesExhausted {
+                            attempts: attempt + 1,
+                            last: e.to_string(),
+                        });
+                    } else {
+                        attempt += 1;
+                    }
+                    self.sleep_backoff(attempt.min(4));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Assemble next to dest, then a single rename publishes it.
+        let stage = dest.with_file_name(format!(
+            ".pull-{}-{}",
+            dest.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            unique_suffix()
+        ));
+        let assembled = (|| -> Result<(), HubError> {
+            create_standard_dirs(&stage).map_err(HubError::Io)?;
+            for entry in manifest {
+                let to = stage.join(&entry.path);
+                if let Some(parent) = to.parent() {
+                    std::fs::create_dir_all(parent).map_err(HubError::Io)?;
+                }
+                std::fs::copy(cache_dir.join(&entry.hash), &to).map_err(HubError::Io)?;
+            }
+            std::fs::rename(&stage, dest).map_err(HubError::Io)
+        })();
+        if assembled.is_err() {
+            let _ = std::fs::remove_dir_all(&stage);
+        }
+        assembled?;
+
+        let repo = Repository::open(dest).map_err(HubError::Dlv)?;
+        verify_pulled(&repo).map_err(HubError::Dlv)?;
+        Ok(repo)
+    }
+
+    /// One `/objects` round: send the cache's hashes as "have", stream
+    /// the server's missing objects into the cache (tmp + rename, so a
+    /// torn write never poisons the cache). `received` counts verified
+    /// objects delivered this round even when the stream later breaks.
+    fn fetch_objects(
+        &self,
+        name: &str,
+        haves: &BTreeSet<&str>,
+        cache_dir: &Path,
+        received: &mut usize,
+    ) -> Result<(), HubError> {
+        let mut stream = self.connect()?;
+        let haves_body: String = haves.iter().map(|h| format!("{h}\n")).collect();
+        write_request(
+            &mut stream,
+            "POST",
+            &format!("/objects/{name}"),
+            &self.host,
+            haves_body.as_bytes(),
+        )?;
+        let mut reader = BufReader::new(stream);
+        let head = read_response_head(&mut reader)?;
+        if head.status >= 400 {
+            let body = read_body(&mut reader, &head)?;
+            check_status(&head, &body)?;
+        }
+        read_object_stream(&mut reader, |hash, payload| {
+            let to = cache_dir.join(hash);
+            if !to.is_file() {
+                let tmp = cache_dir.join(format!(".{hash}.tmp{}", std::process::id()));
+                std::fs::write(&tmp, payload).map_err(HubError::Io)?;
+                std::fs::rename(&tmp, &to).map_err(HubError::Io)?;
+            }
+            *received += 1;
+            Ok(())
+        })?;
+        Ok(())
+    }
+}
+
+impl HubBackend for RemoteHub {
+    fn publish(&self, repo: &Repository, name: &str) -> Result<(), DlvError> {
+        self.publish_repo(repo, name).map_err(HubError::into_dlv)
+    }
+
+    fn repositories(&self) -> Result<Vec<String>, DlvError> {
+        RemoteHub::repositories(self).map_err(HubError::into_dlv)
+    }
+
+    fn search(&self, pattern: &str) -> Result<Vec<SearchHit>, DlvError> {
+        RemoteHub::search(self, pattern).map_err(HubError::into_dlv)
+    }
+
+    fn pull(&self, name: &str, dest: &Path) -> Result<Repository, DlvError> {
+        self.pull_repo(name, dest).map_err(HubError::into_dlv)
+    }
+}
+
+fn check_status(head: &ResponseHead, body: &[u8]) -> Result<(), HubError> {
+    if head.status >= 400 {
+        return Err(parse_error(head.status, &String::from_utf8_lossy(body)));
+    }
+    Ok(())
+}
+
+fn text(body: &[u8]) -> Result<String, HubError> {
+    String::from_utf8(body.to_vec())
+        .map_err(|_| HubError::Protocol("non-utf8 response body".to_string()))
+}
+
+/// Process-unique suffix for staging/cache directory names.
+fn unique_suffix() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    format!(
+        "{}-{}-{nanos}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Small xorshift-based jitter in `[0, limit)` — no RNG dependency.
+fn jitter(limit: u64) -> u64 {
+    static STATE: AtomicU64 = AtomicU64::new(0);
+    let mut s = STATE.load(Ordering::Relaxed);
+    if s == 0 {
+        s = u64::from(
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0x9e37),
+        ) | 1;
+    }
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    STATE.store(s, Ordering::Relaxed);
+    if limit == 0 {
+        0
+    } else {
+        s % limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing() {
+        let h = RemoteHub::open("http://127.0.0.1:8080").unwrap();
+        assert_eq!(h.host, "127.0.0.1:8080");
+        let h = RemoteHub::open("http://127.0.0.1:8080/").unwrap();
+        assert_eq!(h.host, "127.0.0.1:8080");
+        assert!(RemoteHub::open("ftp://x:1").is_err());
+        assert!(RemoteHub::open("http://noport").is_err());
+        assert!(crate::is_remote_spec("http://h:1"));
+        assert!(!crate::is_remote_spec("/var/hub"));
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        for _ in 0..100 {
+            assert!(jitter(50) < 50);
+        }
+        assert_eq!(jitter(0), 0);
+    }
+}

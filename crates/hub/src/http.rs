@@ -1,0 +1,214 @@
+//! A minimal HTTP/1.1 subset shared by the `hubd` server and the
+//! [`crate::RemoteHub`] client: request line + headers + Content-Length
+//! bodies, one request per connection (`Connection: close`). This is not
+//! a general HTTP implementation — just enough structure that the wire
+//! format is debuggable with curl.
+
+use crate::protocol::read_line;
+use crate::HubError;
+use std::io::{BufRead, Write};
+
+/// Upper bound on request/response bodies handled in memory (object
+/// streams are parsed incrementally and are not subject to this cap on
+/// the client side).
+pub const MAX_BODY_BYTES: u64 = 1 << 30;
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path portion of the target, without the query string.
+    pub path: String,
+    /// Raw query string (after `?`), if any.
+    pub query: Option<String>,
+    pub body: Vec<u8>,
+}
+
+/// A parsed response status line + headers; the body is read separately
+/// (buffered or streamed, per endpoint).
+#[derive(Debug)]
+pub struct ResponseHead {
+    pub status: u16,
+    pub content_length: u64,
+}
+
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Read and parse one request (line, headers, body).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HubError> {
+    let line = read_line(r)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(HubError::Protocol(format!("bad request line '{line}'"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HubError::Protocol(format!(
+            "unsupported version '{version}'"
+        )));
+    }
+    let content_length = read_headers(r)?;
+    if content_length > MAX_BODY_BYTES {
+        return Err(HubError::Protocol(format!(
+            "request body too large ({content_length} bytes)"
+        )));
+    }
+    let mut body = vec![0u8; content_length as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| HubError::ConnectionDropped(format!("mid-request-body: {e}")))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+    })
+}
+
+/// Read headers until the blank line; returns the Content-Length (0 if
+/// absent).
+fn read_headers<R: BufRead>(r: &mut R) -> Result<u64, HubError> {
+    let mut content_length = 0u64;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(r)?;
+        if line.is_empty() {
+            return Ok(content_length);
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HubError::Protocol(format!("bad content-length '{value}'")))?;
+            }
+        }
+    }
+    Err(HubError::Protocol("too many headers".to_string()))
+}
+
+/// Write a request with a body.
+pub fn write_request<W: Write>(
+    w: &mut W,
+    method: &str,
+    target: &str,
+    host: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "{method} {target} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Write a response head; the caller follows with exactly
+/// `content_length` body bytes.
+pub fn write_response_head<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_length: u64,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Length: {content_length}\r\nContent-Type: application/octet-stream\r\nConnection: close\r\n\r\n",
+        status_reason(status)
+    )
+}
+
+/// Read a response status line + headers.
+pub fn read_response_head<R: BufRead>(r: &mut R) -> Result<ResponseHead, HubError> {
+    let line = read_line(r)?;
+    let mut parts = line.split(' ');
+    let (version, status) = match (parts.next(), parts.next()) {
+        (Some(v), Some(s)) => (v, s),
+        _ => return Err(HubError::Protocol(format!("bad status line '{line}'"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HubError::Protocol(format!(
+            "unsupported version '{version}'"
+        )));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| HubError::Protocol(format!("bad status code '{status}'")))?;
+    let content_length = read_headers(r)?;
+    Ok(ResponseHead {
+        status,
+        content_length,
+    })
+}
+
+/// Read a fully buffered response body of the declared length.
+pub fn read_body<R: BufRead>(r: &mut R, head: &ResponseHead) -> Result<Vec<u8>, HubError> {
+    if head.content_length > MAX_BODY_BYTES {
+        return Err(HubError::Protocol(format!(
+            "response body too large ({} bytes)",
+            head.content_length
+        )));
+    }
+    let mut body = vec![0u8; head.content_length as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| HubError::ConnectionDropped(format!("mid-response-body: {e}")))?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            "POST",
+            "/objects/m?x=1",
+            "h:1",
+            b"have1\nhave2\n",
+        )
+        .unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/objects/m");
+        assert_eq!(req.query.as_deref(), Some("x=1"));
+        assert_eq!(req.body, b"have1\nhave2\n");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut wire = Vec::new();
+        write_response_head(&mut wire, 404, 5).unwrap();
+        wire.extend_from_slice(b"gone\n");
+        let mut r = BufReader::new(&wire[..]);
+        let head = read_response_head(&mut r).unwrap();
+        assert_eq!(head.status, 404);
+        assert_eq!(read_body(&mut r, &head).unwrap(), b"gone\n");
+    }
+
+    #[test]
+    fn garbage_is_a_protocol_error() {
+        let mut r = BufReader::new(&b"NOT-HTTP\r\n\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut r).unwrap_err(),
+            HubError::Protocol(_)
+        ));
+    }
+}

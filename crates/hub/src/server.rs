@@ -1,0 +1,589 @@
+//! `hubd` — the hosted hub server. A hand-rolled HTTP/1.1-subset server
+//! over `std::net::TcpListener`; accepted connections are dispatched to a
+//! fixed worker pool fed from an `mh_par::BoundedQueue` (worker count
+//! from `--jobs` / `MH_THREADS` / core count, exactly like every other
+//! parallel path in the workspace).
+//!
+//! ## Endpoints
+//!
+//! | method & path                  | body in            | body out |
+//! |--------------------------------|--------------------|----------|
+//! | `GET /repos`                   | —                  | repo names, one per line |
+//! | `GET /search?q=<pct-pattern>`  | —                  | search hits (see `protocol::encode_hits`) |
+//! | `GET /manifest/<name>`         | —                  | committed-content manifest |
+//! | `POST /objects/<name>`         | "have" hashes      | object stream of missing objects |
+//! | `POST /publish/<name>?phase=negotiate` | manifest   | "want" hashes, one per line |
+//! | `POST /publish/<name>?phase=commit`    | manifest + object stream | `ok` |
+//! | `GET /stats`                   | —                  | per-endpoint counters |
+//!
+//! Repository names are validated against path traversal before any
+//! filesystem access; publishes are atomic replace-by-rename via
+//! `mh_dlv::replace_published`.
+
+use crate::http::{read_request, write_response_head, Request};
+use crate::protocol::{
+    encode_error, encode_hits, encode_manifest, object_stream_len, parse_manifest, pct_decode,
+    read_object_stream, write_object, write_object_stream_end,
+};
+use crate::stats::{Endpoint, Stats};
+use crate::HubError;
+use mh_dlv::hash::{sha256_hex, Sha256};
+use mh_dlv::{
+    committed_manifest, replace_published, validate_rel_path, validate_repo_name, DlvError, Hub,
+    ManifestEntry, Repository,
+};
+use mh_par::BoundedQueue;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection socket deadline: a stalled peer cannot pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Fault-injection knobs for tests: while `drop_object_responses > 0`,
+/// each `/objects` response is truncated mid-object and the connection
+/// dropped (decremented per faulted response). Exercises client
+/// retry/backoff and pull resumption.
+#[derive(Debug, Default)]
+pub struct Faults {
+    pub drop_object_responses: AtomicU32,
+}
+
+impl Faults {
+    fn take_object_drop(&self) -> bool {
+        self.drop_object_responses
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// A running hub server; dropping it (or calling [`HubServer::stop`])
+/// shuts down the accept loop and joins every worker.
+#[derive(Debug)]
+pub struct HubServer {
+    root: PathBuf,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    stats: Arc<Stats>,
+    faults: Arc<Faults>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HubServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) serving the
+    /// hub rooted at `root`, with `jobs` workers (default: the ambient
+    /// `mh_par` thread count).
+    pub fn start(root: &Path, addr: &str, jobs: Option<usize>) -> Result<Self, HubError> {
+        // Hub::open creates the root directory and validates access.
+        Hub::open(root).map_err(HubError::Dlv)?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = jobs.unwrap_or_else(mh_par::current_threads).clamp(1, 64);
+        let queue = Arc::new(BoundedQueue::<TcpStream>::new(workers * 4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Stats::new());
+        let faults = Arc::new(Faults::default());
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let faults = Arc::clone(&faults);
+            let root = root.to_path_buf();
+            worker_handles.push(std::thread::spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    handle_conn(&root, stream, &stats, &faults);
+                }
+            }));
+        }
+
+        let accept_handle = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            Some(std::thread::spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if queue.push(stream).is_err() {
+                            break; // queue closed: shutting down
+                        }
+                    }
+                    Err(_) => {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }))
+        };
+
+        Ok(Self {
+            root: root.to_path_buf(),
+            local_addr,
+            stop,
+            queue,
+            stats,
+            faults,
+            accept_handle,
+            worker_handles,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The `http://host:port` URL clients should use.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.local_addr)
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn stats(&self) -> Arc<Stats> {
+        Arc::clone(&self.stats)
+    }
+
+    pub fn faults(&self) -> Arc<Faults> {
+        Arc::clone(&self.faults)
+    }
+
+    /// Graceful shutdown: stop accepting, drain workers, join threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Serve until the process is killed (the `modelhub hubd` CLI path).
+    pub fn run(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(500));
+        self.queue.close_and_discard();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HubServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How a request was answered: a buffered body, or a response streamed
+/// directly to the socket (the `/objects` path).
+enum Handled {
+    Full { status: u16, body: Vec<u8> },
+    Streamed { bytes_out: u64, error: bool },
+}
+
+fn classify(path: &str) -> Endpoint {
+    if path == "/repos" {
+        Endpoint::Repos
+    } else if path == "/stats" {
+        Endpoint::Stats
+    } else if path == "/search" {
+        Endpoint::Search
+    } else if path.starts_with("/manifest/") {
+        Endpoint::Manifest
+    } else if path.starts_with("/objects/") {
+        Endpoint::Objects
+    } else if path.starts_with("/publish/") {
+        Endpoint::Publish
+    } else {
+        Endpoint::Other
+    }
+}
+
+fn dlv_status(e: &DlvError) -> (u16, &'static str) {
+    match e {
+        DlvError::InvalidName(_) => (422, "invalid-name"),
+        DlvError::NoSuchVersion(_) => (404, "not-found"),
+        DlvError::AlreadyExists(_) => (409, "conflict"),
+        _ => (500, "internal"),
+    }
+}
+
+fn error_body(e: &DlvError) -> Handled {
+    let (status, code) = dlv_status(e);
+    Handled::Full {
+        status,
+        body: encode_error(code, &e.to_string()).into_bytes(),
+    }
+}
+
+fn write_full(stream: &mut TcpStream, status: u16, body: &[u8]) -> std::io::Result<()> {
+    write_response_head(stream, status, body.len() as u64)?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn handle_conn(root: &Path, stream: TcpStream, stats: &Stats, faults: &Faults) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut stream = stream;
+    let mut reader = BufReader::new(read_half);
+    let req = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(_) => {
+            let body = encode_error("bad-request", "malformed request");
+            let err = write_full(&mut stream, 400, body.as_bytes());
+            stats.record(Endpoint::Other, 0, body.len() as u64, true);
+            drop(err);
+            return;
+        }
+    };
+    let ep = classify(&req.path);
+    let bytes_in = req.body.len() as u64;
+    match route(root, &req, stats, faults, &mut stream) {
+        Handled::Full { status, body } => {
+            let write_ok = write_full(&mut stream, status, &body).is_ok();
+            stats.record(ep, bytes_in, body.len() as u64, status >= 400 || !write_ok);
+        }
+        Handled::Streamed { bytes_out, error } => {
+            stats.record(ep, bytes_in, bytes_out, error);
+        }
+    }
+}
+
+fn route(
+    root: &Path,
+    req: &Request,
+    stats: &Stats,
+    faults: &Faults,
+    stream: &mut TcpStream,
+) -> Handled {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/repos") => match Hub::open(root).and_then(|h| h.repositories()) {
+            Ok(names) => Handled::Full {
+                status: 200,
+                body: names
+                    .iter()
+                    .map(|n| format!("{n}\n"))
+                    .collect::<String>()
+                    .into_bytes(),
+            },
+            Err(e) => error_body(&e),
+        },
+        ("GET", "/stats") => Handled::Full {
+            status: 200,
+            body: stats.render().into_bytes(),
+        },
+        ("GET", "/search") => {
+            let pattern = req
+                .query
+                .as_deref()
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("q=").map(str::to_string))
+                })
+                .and_then(|enc| pct_decode(&enc).ok());
+            let Some(pattern) = pattern else {
+                return Handled::Full {
+                    status: 400,
+                    body: encode_error("bad-request", "search needs ?q=<pattern>").into_bytes(),
+                };
+            };
+            match Hub::open(root).and_then(|h| h.search(&pattern)) {
+                Ok(hits) => Handled::Full {
+                    status: 200,
+                    body: encode_hits(&hits).into_bytes(),
+                },
+                Err(e) => error_body(&e),
+            }
+        }
+        ("GET", path) if path.starts_with("/manifest/") => {
+            let name = &path["/manifest/".len()..];
+            match published_manifest(root, name) {
+                Ok(manifest) => Handled::Full {
+                    status: 200,
+                    body: encode_manifest(&manifest).into_bytes(),
+                },
+                Err(e) => error_body(&e),
+            }
+        }
+        ("POST", path) if path.starts_with("/objects/") => {
+            let name = &path["/objects/".len()..];
+            let haves: BTreeSet<String> = std::str::from_utf8(&req.body)
+                .unwrap_or("")
+                .lines()
+                .filter(|l| !l.is_empty())
+                .map(str::to_string)
+                .collect();
+            respond_objects(root, name, &haves, faults, stream)
+        }
+        ("POST", path) if path.starts_with("/publish/") => {
+            let name = &path["/publish/".len()..];
+            let phase = req
+                .query
+                .as_deref()
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("phase=").map(str::to_string))
+                })
+                .unwrap_or_default();
+            match phase.as_str() {
+                "negotiate" => handle_negotiate(root, name, &req.body),
+                "commit" => handle_commit(root, name, &req.body),
+                other => Handled::Full {
+                    status: 400,
+                    body: encode_error("bad-request", &format!("unknown phase '{other}'"))
+                        .into_bytes(),
+                },
+            }
+        }
+        _ => Handled::Full {
+            status: 404,
+            body: encode_error("not-found", "no such endpoint").into_bytes(),
+        },
+    }
+}
+
+/// The committed-content manifest of a published repository.
+fn published_manifest(root: &Path, name: &str) -> Result<Vec<ManifestEntry>, DlvError> {
+    validate_repo_name(name)?;
+    let dir = root.join(name);
+    if !dir.join("catalog.mhs").exists() {
+        return Err(DlvError::NoSuchVersion(name.to_string()));
+    }
+    committed_manifest(&Repository::open(&dir)?)
+}
+
+/// Stream the objects of `name` the client does not yet have. The
+/// response body is length-prefixed per object with a trailing
+/// whole-transfer checksum; `Content-Length` is exact, so payload bytes
+/// stream straight from disk without buffering the transfer.
+fn respond_objects(
+    root: &Path,
+    name: &str,
+    haves: &BTreeSet<String>,
+    faults: &Faults,
+    stream: &mut TcpStream,
+) -> Handled {
+    let manifest = match published_manifest(root, name) {
+        Ok(m) => m,
+        Err(e) => return error_body(&e),
+    };
+    let mut seen = BTreeSet::new();
+    let missing: Vec<&ManifestEntry> = manifest
+        .iter()
+        .filter(|e| !haves.contains(&e.hash) && seen.insert(e.hash.clone()))
+        .collect();
+    let lens: Vec<(String, u64)> = missing.iter().map(|e| (e.hash.clone(), e.size)).collect();
+    let total = object_stream_len(&lens);
+    let dir = root.join(name);
+
+    if faults.take_object_drop() {
+        // Injected fault: promise the full stream, deliver a truncated
+        // first object, then drop the connection.
+        let mut partial = 0u64;
+        if write_response_head(stream, 200, total).is_ok() {
+            if let Some(first) = missing.first() {
+                if let Ok(data) = std::fs::read(dir.join(&first.path)) {
+                    let header = format!("obj {} {}\n", first.hash, data.len());
+                    let half = &data[..data.len() / 2];
+                    if stream.write_all(header.as_bytes()).is_ok() && stream.write_all(half).is_ok()
+                    {
+                        partial = half.len() as u64;
+                    }
+                }
+            }
+            let _ = stream.flush();
+        }
+        return Handled::Streamed {
+            bytes_out: partial,
+            error: true,
+        };
+    }
+
+    if write_response_head(stream, 200, total).is_err() {
+        return Handled::Streamed {
+            bytes_out: 0,
+            error: true,
+        };
+    }
+    let mut transfer = Sha256::new();
+    let mut bytes_out = 0u64;
+    for entry in &missing {
+        let data = match std::fs::read(dir.join(&entry.path)) {
+            Ok(d) => d,
+            Err(_) => {
+                // Raced with a concurrent republish: drop the connection;
+                // the client will retry against the new content.
+                return Handled::Streamed {
+                    bytes_out,
+                    error: true,
+                };
+            }
+        };
+        if sha256_hex(&data) != entry.hash {
+            return Handled::Streamed {
+                bytes_out,
+                error: true,
+            };
+        }
+        if write_object(stream, &entry.hash, &data, &mut transfer).is_err() {
+            return Handled::Streamed {
+                bytes_out,
+                error: true,
+            };
+        }
+        bytes_out += data.len() as u64;
+    }
+    let end_ok = write_object_stream_end(stream, transfer)
+        .and_then(|()| stream.flush())
+        .is_ok();
+    Handled::Streamed {
+        bytes_out: if end_ok { total } else { bytes_out },
+        error: !end_ok,
+    }
+}
+
+/// Publish negototiation: given the client's manifest, answer with the
+/// hashes the hub does not already hold under this name.
+fn handle_negotiate(root: &Path, name: &str, body: &[u8]) -> Handled {
+    if let Err(e) = validate_repo_name(name) {
+        return error_body(&e);
+    }
+    let Ok(body) = std::str::from_utf8(body) else {
+        return Handled::Full {
+            status: 400,
+            body: encode_error("bad-request", "manifest must be utf-8").into_bytes(),
+        };
+    };
+    let manifest = match parse_manifest(body) {
+        Ok(m) => m,
+        Err(e) => {
+            return Handled::Full {
+                status: 400,
+                body: encode_error("bad-request", &e.to_string()).into_bytes(),
+            }
+        }
+    };
+    let existing = match Hub::open(root).and_then(|h| h.published_objects(name)) {
+        Ok(m) => m,
+        Err(e) => return error_body(&e),
+    };
+    let wants: BTreeSet<&str> = manifest
+        .iter()
+        .filter(|e| !existing.contains_key(&e.hash))
+        .map(|e| e.hash.as_str())
+        .collect();
+    let body: String = wants.iter().map(|h| format!("{h}\n")).collect();
+    Handled::Full {
+        status: 200,
+        body: body.into_bytes(),
+    }
+}
+
+/// Publish commit: body = `<manifest-byte-length>\n` + manifest + object
+/// stream of the negotiated objects. Assembles the new publication from
+/// received objects plus objects reused from the previous publication of
+/// the same name, then atomically replaces it.
+fn handle_commit(root: &Path, name: &str, body: &[u8]) -> Handled {
+    if let Err(e) = validate_repo_name(name) {
+        return error_body(&e);
+    }
+    let bad = |msg: &str| Handled::Full {
+        status: 400,
+        body: encode_error("bad-request", msg).into_bytes(),
+    };
+    let Some(nl) = body.iter().position(|&b| b == b'\n') else {
+        return bad("missing manifest length prefix");
+    };
+    let Ok(manifest_len) = std::str::from_utf8(&body[..nl])
+        .unwrap_or("")
+        .trim()
+        .parse::<usize>()
+    else {
+        return bad("bad manifest length prefix");
+    };
+    let rest = &body[nl + 1..];
+    if manifest_len > rest.len() {
+        return bad("manifest length prefix exceeds body");
+    }
+    let Ok(manifest_str) = std::str::from_utf8(&rest[..manifest_len]) else {
+        return bad("manifest must be utf-8");
+    };
+    let manifest = match parse_manifest(manifest_str) {
+        Ok(m) => m,
+        Err(e) => return bad(&e.to_string()),
+    };
+    for entry in &manifest {
+        if let Err(e) = validate_rel_path(&entry.path) {
+            return error_body(&e);
+        }
+    }
+    let mut received: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut reader = std::io::BufReader::new(&rest[manifest_len..]);
+    if let Err(e) = read_object_stream(&mut reader, |hash, payload| {
+        received.insert(hash.to_string(), payload.to_vec());
+        Ok(())
+    }) {
+        return bad(&format!("bad object stream: {e}"));
+    }
+    let existing = match Hub::open(root).and_then(|h| h.published_objects(name)) {
+        Ok(m) => m,
+        Err(e) => return error_body(&e),
+    };
+    // Every manifest hash must be covered before we stage anything.
+    for entry in &manifest {
+        if !received.contains_key(&entry.hash) && !existing.contains_key(&entry.hash) {
+            return Handled::Full {
+                status: 409,
+                body: encode_error(
+                    "conflict",
+                    &format!("object {} neither uploaded nor already held", entry.hash),
+                )
+                .into_bytes(),
+            };
+        }
+    }
+    let old_dir = root.join(name);
+    let result = replace_published(root, name, |stage| {
+        mh_dlv::create_standard_dirs(stage).map_err(DlvError::Io)?;
+        for entry in &manifest {
+            let to = stage.join(&entry.path);
+            if let Some(parent) = to.parent() {
+                std::fs::create_dir_all(parent).map_err(DlvError::Io)?;
+            }
+            if let Some(data) = received.get(&entry.hash) {
+                std::fs::write(&to, data).map_err(DlvError::Io)?;
+            } else if let Some(rel) = existing.get(&entry.hash) {
+                std::fs::copy(old_dir.join(rel), &to).map_err(DlvError::Io)?;
+            }
+        }
+        Ok(())
+    });
+    match result {
+        Ok(()) => Handled::Full {
+            status: 200,
+            body: b"ok\n".to_vec(),
+        },
+        Err(e) => error_body(&e),
+    }
+}

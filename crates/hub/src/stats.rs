@@ -1,0 +1,172 @@
+//! Per-endpoint request/byte/error counters, exported at `GET /stats`
+//! in a line-oriented text format the client can parse back.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The hub endpoints tracked individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Repos,
+    Search,
+    Manifest,
+    Objects,
+    Publish,
+    Stats,
+    Other,
+}
+
+pub const ENDPOINTS: [Endpoint; 7] = [
+    Endpoint::Repos,
+    Endpoint::Search,
+    Endpoint::Manifest,
+    Endpoint::Objects,
+    Endpoint::Publish,
+    Endpoint::Stats,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Repos => "repos",
+            Self::Search => "search",
+            Self::Manifest => "manifest",
+            Self::Objects => "objects",
+            Self::Publish => "publish",
+            Self::Stats => "stats",
+            Self::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|e| *e == self)
+            .unwrap_or(ENDPOINTS.len() - 1)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counter {
+    requests: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Monotonic per-endpoint counters. Cheap to record from any worker.
+#[derive(Debug, Default)]
+pub struct Stats {
+    counters: [Counter; ENDPOINTS.len()],
+}
+
+/// One parsed `/stats` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatLine {
+    pub endpoint: String,
+    pub requests: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub errors: u64,
+}
+
+impl Stats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one handled request: request-body bytes in, response-body
+    /// bytes out, and whether it ended in an error (status >= 400 or a
+    /// transport failure).
+    pub fn record(&self, ep: Endpoint, bytes_in: u64, bytes_out: u64, error: bool) {
+        let c = &self.counters[ep.index()];
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        c.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        c.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        if error {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Render the `/stats` body: one line per endpoint,
+    /// `<endpoint> requests=<n> bytes_in=<n> bytes_out=<n> errors=<n>`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in self.snapshot() {
+            out.push_str(&format!(
+                "{} requests={} bytes_in={} bytes_out={} errors={}\n",
+                line.endpoint, line.requests, line.bytes_in, line.bytes_out, line.errors
+            ));
+        }
+        out
+    }
+
+    pub fn snapshot(&self) -> Vec<StatLine> {
+        ENDPOINTS
+            .iter()
+            .map(|ep| {
+                let c = &self.counters[ep.index()];
+                StatLine {
+                    endpoint: ep.name().to_string(),
+                    requests: c.requests.load(Ordering::Relaxed),
+                    bytes_in: c.bytes_in.load(Ordering::Relaxed),
+                    bytes_out: c.bytes_out.load(Ordering::Relaxed),
+                    errors: c.errors.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Parse a `/stats` body (used by the client and tests).
+pub fn parse_stats(body: &str) -> Vec<StatLine> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let mut fields = line.split(' ');
+        let Some(endpoint) = fields.next() else {
+            continue;
+        };
+        let mut stat = StatLine {
+            endpoint: endpoint.to_string(),
+            requests: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            errors: 0,
+        };
+        for f in fields {
+            if let Some((k, v)) = f.split_once('=') {
+                let v: u64 = v.parse().unwrap_or(0);
+                match k {
+                    "requests" => stat.requests = v,
+                    "bytes_in" => stat.bytes_in = v,
+                    "bytes_out" => stat.bytes_out = v,
+                    "errors" => stat.errors = v,
+                    _ => {}
+                }
+            }
+        }
+        out.push(stat);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_render_parse_roundtrip() {
+        let s = Stats::new();
+        s.record(Endpoint::Objects, 10, 2000, false);
+        s.record(Endpoint::Objects, 5, 70, true);
+        s.record(Endpoint::Manifest, 0, 300, false);
+        let parsed = parse_stats(&s.render());
+        let obj = parsed.iter().find(|l| l.endpoint == "objects").unwrap();
+        assert_eq!(obj.requests, 2);
+        assert_eq!(obj.bytes_in, 15);
+        assert_eq!(obj.bytes_out, 2070);
+        assert_eq!(obj.errors, 1);
+        let man = parsed.iter().find(|l| l.endpoint == "manifest").unwrap();
+        assert_eq!(man.bytes_out, 300);
+    }
+}

@@ -1,0 +1,313 @@
+//! End-to-end tests over a real loopback socket: publish → search →
+//! pull round-trips bit-identically, repeat pulls are near-zero-byte
+//! (asserted via `/stats`), and injected connection drops are recovered
+//! by client retry/backoff — or surface as typed errors, never a hang.
+
+#![allow(clippy::unwrap_used)] // test code: panics are failures
+use mh_dlv::{committed_manifest, DlvError, HubBackend, Repository};
+use mh_dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
+use mh_hub::{HubError, HubServer, RemoteHub};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mh-hubnet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn sample_repo(dir: &std::path::Path, name: &str, seed: u64) -> Repository {
+    let repo = Repository::init(dir).unwrap();
+    let net = zoo::lenet_s(3);
+    let data = synth_dataset(&SynthConfig {
+        num_classes: 3,
+        train_per_class: 6,
+        test_per_class: 3,
+        noise: 0.05,
+        seed: 11,
+        height: 16,
+        width: 16,
+    });
+    let trainer = Trainer {
+        hp: Hyperparams {
+            base_lr: 0.08,
+            ..Default::default()
+        },
+        snapshot_every: 3,
+    };
+    let init = Weights::init(&net, seed).unwrap();
+    let result = trainer.train(&net, init, &data, 6).unwrap();
+    let mut req = mh_dlv::CommitRequest::new(name, net);
+    req.snapshots = result.snapshots.clone();
+    req.log = result.log.clone();
+    req.accuracy = Some(result.final_accuracy);
+    req.files.push(("notes.txt".into(), b"remote".to_vec()));
+    req.comment = format!("remote model {name}");
+    repo.commit(&req).unwrap();
+    repo
+}
+
+fn start_server(tag: &str) -> (HubServer, RemoteHub) {
+    let root = temp_dir(&format!("{tag}-hubroot"));
+    let server = HubServer::start(&root, "127.0.0.1:0", Some(2)).unwrap();
+    let client = RemoteHub::open(&server.url())
+        .unwrap()
+        .with_timeout(Duration::from_secs(5))
+        .with_retries(4, Duration::from_millis(20));
+    (server, client)
+}
+
+fn endpoint_bytes_out(client: &RemoteHub, endpoint: &str) -> u64 {
+    client
+        .stats()
+        .unwrap()
+        .iter()
+        .find(|l| l.endpoint == endpoint)
+        .map(|l| l.bytes_out)
+        .unwrap_or(0)
+}
+
+#[test]
+fn publish_search_pull_roundtrip_over_socket() {
+    let dir = temp_dir("rt-repo");
+    let repo = sample_repo(&dir, "lenet-remote", 21);
+    let (server, client) = start_server("rt");
+
+    client.publish_repo(&repo, "team/vision").unwrap();
+    assert_eq!(client.repositories().unwrap(), vec!["team/vision"]);
+    let hits = client.search("%lenet%").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].repo, "team/vision");
+    assert!(client.search("%no-such-model%").unwrap().is_empty());
+
+    let dest = temp_dir("rt-pull").join("clone");
+    let pulled = client.pull_repo("team/vision", &dest).unwrap();
+    // Bit-identical: same committed-content manifest on both sides.
+    assert_eq!(
+        committed_manifest(&pulled).unwrap(),
+        committed_manifest(&repo).unwrap()
+    );
+    let w1 = repo.get_weights("lenet-remote", None).unwrap();
+    let w2 = pulled.get_weights("lenet-remote", None).unwrap();
+    assert_eq!(w1, w2);
+
+    // Unknown names surface as typed errors mapped through the trait.
+    let backend: &dyn HubBackend = &client;
+    assert!(matches!(
+        backend.pull("missing/name", &temp_dir("rt-x").join("y")),
+        Err(DlvError::NoSuchVersion(_) | DlvError::Hub(_))
+    ));
+    server.stop();
+}
+
+#[test]
+fn second_pull_with_cache_transfers_near_zero_object_bytes() {
+    let dir = temp_dir("inc-repo");
+    let repo = sample_repo(&dir, "lenet-inc", 22);
+    let (server, client) = start_server("inc");
+    client.publish_repo(&repo, "inc").unwrap();
+
+    let cache = temp_dir("inc-cache");
+    let cached_client = client.clone().with_cache(&cache);
+
+    let before_first = endpoint_bytes_out(&client, "objects");
+    let dest1 = temp_dir("inc-pull1").join("c");
+    cached_client.pull_repo("inc", &dest1).unwrap();
+    let after_first = endpoint_bytes_out(&client, "objects");
+    let first_bytes = after_first - before_first;
+    assert!(
+        first_bytes > 10_000,
+        "first pull should move real object bytes, moved {first_bytes}"
+    );
+
+    // Second pull of unchanged content: every object is already in the
+    // cache, so the object channel moves (near) nothing.
+    let dest2 = temp_dir("inc-pull2").join("c");
+    let pulled = cached_client.pull_repo("inc", &dest2).unwrap();
+    let after_second = endpoint_bytes_out(&client, "objects");
+    let second_bytes = after_second - after_first;
+    assert!(
+        second_bytes < 256,
+        "repeat pull should be near-zero object bytes, moved {second_bytes}"
+    );
+    assert_eq!(
+        committed_manifest(&pulled).unwrap(),
+        committed_manifest(&repo).unwrap()
+    );
+
+    // Incremental republish of unchanged content uploads no objects
+    // either: negotiation answers an empty want set.
+    let publish_in_before = client
+        .stats()
+        .unwrap()
+        .iter()
+        .find(|l| l.endpoint == "publish")
+        .map(|l| l.bytes_in)
+        .unwrap_or(0);
+    client.publish_repo(&repo, "inc").unwrap();
+    let publish_in_after = client
+        .stats()
+        .unwrap()
+        .iter()
+        .find(|l| l.endpoint == "publish")
+        .map(|l| l.bytes_in)
+        .unwrap_or(0);
+    let manifest_overhead = (committed_manifest(&repo).unwrap().len() as u64 + 2) * 200;
+    assert!(
+        publish_in_after - publish_in_before < 2 * manifest_overhead + 256,
+        "republish uploaded object bytes: {}",
+        publish_in_after - publish_in_before
+    );
+    server.stop();
+}
+
+#[test]
+fn injected_connection_drops_are_recovered_by_retry() {
+    let dir = temp_dir("fault-repo");
+    let repo = sample_repo(&dir, "lenet-fault", 23);
+    let (server, client) = start_server("fault");
+    client.publish_repo(&repo, "faulty").unwrap();
+
+    // Drop the first two /objects responses mid-object: the pull must
+    // retry, resume from what already arrived, and still verify.
+    server
+        .faults()
+        .drop_object_responses
+        .store(2, Ordering::SeqCst);
+    let dest = temp_dir("fault-pull").join("c");
+    let started = Instant::now();
+    let pulled = client.pull_repo("faulty", &dest).unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "faulted pull took too long"
+    );
+    assert_eq!(
+        committed_manifest(&pulled).unwrap(),
+        committed_manifest(&repo).unwrap()
+    );
+    assert_eq!(
+        server.faults().drop_object_responses.load(Ordering::SeqCst),
+        0,
+        "both faults were consumed"
+    );
+
+    // Errors were recorded against the objects endpoint.
+    let errors = client
+        .stats()
+        .unwrap()
+        .iter()
+        .find(|l| l.endpoint == "objects")
+        .map(|l| l.errors)
+        .unwrap_or(0);
+    assert!(
+        errors >= 2,
+        "expected >=2 recorded object errors, got {errors}"
+    );
+    server.stop();
+}
+
+#[test]
+fn exhausted_retries_surface_a_typed_error_not_a_hang() {
+    let dir = temp_dir("dead-repo");
+    let repo = sample_repo(&dir, "lenet-dead", 24);
+    let (server, client) = start_server("dead");
+    client.publish_repo(&repo, "doomed").unwrap();
+
+    // More injected faults than the client has retries (and no object
+    // ever completes, so progress never resets the budget: every drop
+    // truncates the same first object).
+    let impatient = client.clone().with_retries(2, Duration::from_millis(5));
+    server
+        .faults()
+        .drop_object_responses
+        .store(1000, Ordering::SeqCst);
+    let started = Instant::now();
+    let err = impatient
+        .pull_repo("doomed", &temp_dir("dead-pull").join("c"))
+        .unwrap_err();
+    assert!(
+        matches!(err, HubError::RetriesExhausted { .. }),
+        "unexpected error: {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "exhaustion took {:?}",
+        started.elapsed()
+    );
+    server
+        .faults()
+        .drop_object_responses
+        .store(0, Ordering::SeqCst);
+    server.stop();
+}
+
+#[test]
+fn unresponsive_server_times_out() {
+    // A listener that accepts but never answers: requests must time out,
+    // then retries must exhaust — bounded wall-clock, typed error.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = listener.accept() {
+            held.push(s); // keep sockets open, say nothing
+            if held.len() >= 8 {
+                break;
+            }
+        }
+    });
+    let client = RemoteHub::open(&format!("http://{addr}"))
+        .unwrap()
+        .with_timeout(Duration::from_millis(300))
+        .with_retries(2, Duration::from_millis(5));
+    let started = Instant::now();
+    let err = client.repositories().unwrap_err();
+    assert!(
+        matches!(err, HubError::RetriesExhausted { .. }),
+        "unexpected error: {err}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(10));
+    drop(handle); // listener thread exits when the test process does
+}
+
+#[test]
+fn raw_traversal_requests_are_rejected_with_4xx() {
+    use std::io::{Read, Write};
+    let (server, client) = start_server("raw");
+    // Raw request, bypassing client-side validation entirely.
+    for (method, target) in [
+        ("GET", "/manifest/../escape"),
+        ("GET", "/manifest/.hidden"),
+        ("POST", "/publish/..%2Fx?phase=negotiate"),
+        ("POST", "/objects/a//b"),
+    ] {
+        let mut s = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        write!(
+            s,
+            "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let status: u16 = resp
+            .split(' ')
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        assert!(
+            (400..500).contains(&status),
+            "target {target} answered {status}: {resp}"
+        );
+    }
+    // And a malformed request line gets a 400, not a dropped worker.
+    let mut s = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    s.write_all(b"complete garbage\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 400"), "got: {resp}");
+    // The server still works afterwards.
+    assert!(client.repositories().unwrap().is_empty());
+    server.stop();
+}

@@ -10,18 +10,24 @@
 //! dlv copy <dir> <src> <new-name>
 //! dlv archive <dir> [--alpha A] [--scheme independent|parallel]
 //! dlv query <dir> "<DQL>" [--dataset classes=N,seed=S]
-//! dlv publish <dir> <hub-dir> <name>
-//! dlv search <hub-dir> <pattern>
-//! dlv pull <hub-dir> <name> <dest-dir>
+//! dlv publish <dir> <hub> <name>
+//! dlv search <hub> <pattern>
+//! dlv pull <hub> <name> <dest-dir> [--cache <dir>]
 //! ```
+//!
+//! `<hub>` is either a local hub directory or a remote `hubd` URL of the
+//! form `http://host:port` (see `modelhub hubd`). Remote pulls may pass
+//! `--cache <dir>` to keep a persistent object cache, making repeat pulls
+//! of unchanged content transfer near-zero object bytes.
 //!
 //! The `demo` and `--dataset` conveniences stand in for the external
 //! training systems (caffe etc.) the paper wraps: they generate synthetic
 //! data and train locally so every command is exercisable end to end.
 
-use modelhub::dlv::{diff, ArchiveConfig, CommitRequest, Hub, Repository};
+use modelhub::dlv::{diff, ArchiveConfig, CommitRequest, Hub, HubBackend, Repository};
 use modelhub::dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
 use modelhub::dql::{Executor, QueryResult};
+use modelhub::hub::{is_remote_spec, RemoteHub};
 use modelhub::pas::RetrievalScheme;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,6 +44,23 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Open a hub backend from a spec: `http://host:port` for a remote
+/// `hubd`, anything else as a local hub directory.
+fn open_hub(
+    spec: &str,
+    cache: Option<&PathBuf>,
+) -> Result<Box<dyn HubBackend>, Box<dyn std::error::Error>> {
+    if is_remote_spec(spec) {
+        let mut remote = RemoteHub::open(spec)?;
+        if let Some(dir) = cache {
+            remote = remote.with_cache(dir);
+        }
+        Ok(Box::new(remote))
+    } else {
+        Ok(Box::new(Hub::open(&PathBuf::from(spec))?))
+    }
 }
 
 fn parse_dataset_spec(spec: Option<String>) -> SynthConfig {
@@ -289,17 +312,17 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         }
         "publish" => {
             let dir = path(1).ok_or("publish needs <repo> <hub> <name>")?;
-            let hub_dir = path(2).ok_or("publish needs <repo> <hub> <name>")?;
+            let hub_spec = args.get(2).ok_or("publish needs <repo> <hub> <name>")?;
             let name = args.get(3).ok_or("publish needs <repo> <hub> <name>")?;
             let repo = Repository::open(&dir)?;
-            Hub::open(&hub_dir)?.publish(&repo, name)?;
-            println!("published {} as {name}", dir.display());
+            open_hub(hub_spec, None)?.publish(&repo, name)?;
+            println!("published {} as {name} to {hub_spec}", dir.display());
             Ok(ExitCode::SUCCESS)
         }
         "search" => {
-            let hub_dir = path(1).ok_or("search needs <hub> <pattern>")?;
+            let hub_spec = args.get(1).ok_or("search needs <hub> <pattern>")?;
             let pattern = args.get(2).ok_or("search needs <hub> <pattern>")?;
-            for hit in Hub::open(&hub_dir)?.search(pattern)? {
+            for hit in open_hub(hub_spec, None)?.search(pattern)? {
                 println!(
                     "{}/{}  {}  {}",
                     hit.repo, hit.version, hit.architecture, hit.comment
@@ -308,11 +331,12 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         "pull" => {
-            let hub_dir = path(1).ok_or("pull needs <hub> <name> <dest>")?;
+            let hub_spec = args.get(1).ok_or("pull needs <hub> <name> <dest>")?;
             let name = args.get(2).ok_or("pull needs <hub> <name> <dest>")?;
             let dest = path(3).ok_or("pull needs <hub> <name> <dest>")?;
-            Hub::open(&hub_dir)?.pull(name, &dest)?;
-            println!("pulled {name} into {}", dest.display());
+            let cache = flag_value(&args, "--cache").map(PathBuf::from);
+            open_hub(hub_spec, cache.as_ref())?.pull(name, &dest)?;
+            println!("pulled {name} into {} (verified)", dest.display());
             Ok(ExitCode::SUCCESS)
         }
         _ => Ok(usage()),

@@ -5,6 +5,7 @@
 //! modelhub check <query> [--repo <dir>]    # DQL semantic analysis (no execution)
 //! modelhub gen-sample <dir>                # create a small trained sample repo
 //! modelhub archive <dir> [--alpha F] [--jobs N]  # archive staged snapshots into PAS
+//! modelhub hubd <root> [--addr H:P] [--jobs N]   # serve a hosted hub over TCP
 //! ```
 //!
 //! `fsck` runs the mh-check layers (catalog referential integrity, blob
@@ -19,6 +20,11 @@
 //! `gen-sample` and `archive` exist for smoke testing and demos: the first
 //! trains two tiny lineage-related models and commits their checkpoints,
 //! the second runs the PAS archival pipeline over everything staged.
+//!
+//! `hubd` serves the hub rooted at `<root>` (created if absent) over a
+//! small HTTP/1.1-subset wire protocol with git-style incremental object
+//! transfer; `dlv publish/search/pull` accept its `http://host:port` URL
+//! anywhere a hub directory is accepted. Default address: 127.0.0.1:7797.
 //!
 //! `--jobs N` bounds the worker pool for the invocation (overrides the
 //! `MH_THREADS` environment variable; default: all available cores).
@@ -35,6 +41,7 @@ fn usage() -> ExitCode {
     eprintln!("       modelhub check \"<DQL>\" [--repo <dir>]");
     eprintln!("       modelhub gen-sample <dir>");
     eprintln!("       modelhub archive <dir> [--alpha F] [--jobs N]");
+    eprintln!("       modelhub hubd <root> [--addr HOST:PORT] [--jobs N]");
     ExitCode::from(2)
 }
 
@@ -225,6 +232,27 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                     "exceeded"
                 }
             );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("hubd") => {
+            let root = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .ok_or("hubd needs a hub root directory")?;
+            let addr = flag_value::<String>(&args, "--addr")?
+                .unwrap_or_else(|| "127.0.0.1:7797".to_string());
+            let jobs = flag_value::<usize>(&args, "--jobs")?;
+            if jobs == Some(0) {
+                return Err("--jobs must be at least 1".into());
+            }
+            let server = modelhub::hub::HubServer::start(&root, &addr, jobs)?;
+            println!(
+                "hubd serving {} at {} (ctrl-c to stop)",
+                root.display(),
+                server.url()
+            );
+            server.run();
             Ok(ExitCode::SUCCESS)
         }
         _ => Ok(usage()),

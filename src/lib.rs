@@ -9,6 +9,7 @@
 //! - [`pas`] — the parameter archival store (segmentation, deltas, plans,
 //!   progressive evaluation)
 //! - [`dnn`] — the deep-network substrate (layers, training, interval eval)
+//! - [`hub`] — the hosted hub service (`hubd` server + remote client)
 //! - [`check`] — static integrity verification (`modelhub fsck`)
 //! - [`par`] — the shared worker-pool scheduling layer (`MH_THREADS`, `--jobs`)
 //! - [`tensor`], [`delta`], [`compress`], [`store`] — supporting substrates
@@ -19,6 +20,7 @@ pub use mh_delta as delta;
 pub use mh_dlv as dlv;
 pub use mh_dnn as dnn;
 pub use mh_dql as dql;
+pub use mh_hub as hub;
 pub use mh_par as par;
 pub use mh_pas as pas;
 pub use mh_store as store;
