@@ -5,8 +5,9 @@
 //! `--quick` shrinks training lengths and workload sizes so the full suite
 //! finishes in well under a minute; without it the defaults match the
 //! numbers recorded in EXPERIMENTS.md.
-
-use mh_bench::experiments::*;
+//!
+//! The same experiments are reachable as `modelhub repro <name>`, where
+//! they compose with `modelhub prof` and `--trace`.
 
 fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,49 +18,21 @@ fn main() -> std::io::Result<()> {
         .map(String::as_str)
         .unwrap_or("all");
 
-    // Workload knobs.
-    let train_iters = if quick { 6 } else { 24 };
-    let (sd_versions, sd_snapshots) = if quick { (3, 2) } else { (6, 4) };
-    let (t5_snapshots, t5_iters) = if quick { (3, 3) } else { (6, 6) };
-    let fig6d_iters = if quick { 8 } else { 80 };
-
     let run_one = |name: &str| -> std::io::Result<()> {
         println!("\n### {name} ###");
-        match name {
-            "table1" => table1::run(),
-            "fig6a" => fig6a::run(train_iters),
-            "fig6b" => fig6b::run(train_iters),
-            "table4" => table4::run(train_iters),
-            "fig6c" => fig6c::run(sd_versions, sd_snapshots),
-            "table5" => table5::run(t5_snapshots, t5_iters),
-            "fig6d" => fig6d::run(4, fig6d_iters),
-            "ablations" => ablations::run(train_iters),
-            "pas" => pas::run(quick),
-            "rd" => rd::run(),
-            other => {
-                eprintln!("unknown experiment '{other}'");
-                std::process::exit(2);
-            }
-        }
+        mh_bench::run_experiment(name, quick)
     };
 
     if what == "all" {
-        for name in [
-            "table1",
-            "fig6a",
-            "fig6b",
-            "table4",
-            "fig6c",
-            "table5",
-            "fig6d",
-            "rd",
-            "ablations",
-            "pas",
-        ] {
+        for name in mh_bench::EXPERIMENTS {
             run_one(name)?;
         }
-    } else {
-        run_one(what)?;
+    } else if let Err(e) = run_one(what) {
+        if e.kind() == std::io::ErrorKind::InvalidInput {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return Err(e);
     }
     println!("\nresults written under results/");
     Ok(())

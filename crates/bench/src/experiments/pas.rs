@@ -58,6 +58,10 @@ pub struct PasBenchReport {
     pub hardware_threads: usize,
     pub parallel_threads: usize,
     pub bit_identical: bool,
+    /// Overhead of span tracing on the serial archival build, in percent
+    /// (min-of-3 traced vs min-of-3 untraced). `None` when ambient tracing
+    /// was already on at entry, leaving no clean untraced baseline.
+    pub trace_overhead_pct: Option<f64>,
     pub stages: Vec<StageResult>,
 }
 
@@ -79,6 +83,13 @@ impl PasBenchReport {
             self.parallel_threads
         ));
         out.push_str(&format!("  \"bit_identical\": {},\n", self.bit_identical));
+        out.push_str(&format!(
+            "  \"trace_overhead_pct\": {},\n",
+            match self.trace_overhead_pct {
+                Some(pct) => format!("{pct:.3}"),
+                None => "null".to_string(),
+            }
+        ));
         out.push_str("  \"stages\": [\n");
         for (i, s) in self.stages.iter().enumerate() {
             out.push_str("    {\n");
@@ -278,6 +289,56 @@ pub fn run(quick: bool) -> std::io::Result<()> {
         parallel_ms: prog_parallel,
     });
 
+    // Stage 5 — tracing overhead guard: span instrumentation, when turned
+    // on, must cost no more than 5% of the untraced serial archival build
+    // (min-of-3 each way, plus a 10ms floor so sub-second builds don't
+    // gate on scheduler noise).
+    let trace_overhead_pct = if mh_obs::enabled() {
+        // Ambient tracing already on (e.g. under `modelhub prof` or
+        // `--trace`): there is no untraced baseline to compare against.
+        None
+    } else {
+        serial();
+        let dir_t = temp_store_dir("traceleg");
+        let min_build_ms = || -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let _ = std::fs::remove_dir_all(&dir_t);
+                let (_, ms) = time_ms(|| {
+                    SegmentStore::create(
+                        &dir_t,
+                        &graph,
+                        &plan_s,
+                        &matrices,
+                        DeltaOp::Sub,
+                        Level::Fast,
+                    )
+                    .expect("trace-leg store")
+                });
+                best = best.min(ms);
+            }
+            best
+        };
+        let untraced = min_build_ms();
+        mh_obs::enable_capture();
+        let traced = min_build_ms();
+        let spans = mh_obs::drain_capture().len();
+        mh_obs::disable();
+        let _ = std::fs::remove_dir_all(&dir_t);
+        assert!(spans > 0, "traced build must have recorded spans");
+        let pct = if untraced > 0.0 {
+            (traced - untraced) / untraced * 100.0
+        } else {
+            0.0
+        };
+        assert!(
+            traced <= untraced * 1.05 + 10.0,
+            "tracing overhead {pct:.1}% exceeds the 5% budget: \
+             traced {traced:.1}ms vs untraced {untraced:.1}ms"
+        );
+        Some(pct)
+    };
+
     mh_par::set_threads(None);
     let _ = std::fs::remove_dir_all(&dir_s);
     let _ = std::fs::remove_dir_all(&dir_p);
@@ -289,6 +350,7 @@ pub fn run(quick: bool) -> std::io::Result<()> {
             .unwrap_or(1),
         parallel_threads: PARALLEL_THREADS,
         bit_identical,
+        trace_overhead_pct,
         stages,
     };
 
@@ -312,6 +374,10 @@ pub fn run(quick: bool) -> std::io::Result<()> {
         ]);
     }
     t.emit(&results_dir(), "bench_pas")?;
+    match report.trace_overhead_pct {
+        Some(pct) => println!("tracing overhead on serial build (min-of-3): {pct:.1}%"),
+        None => println!("tracing overhead leg skipped: ambient tracing already enabled"),
+    }
 
     let json_path = results_dir().join("BENCH_pas.json");
     std::fs::create_dir_all(results_dir())?;
@@ -330,6 +396,7 @@ mod tests {
             hardware_threads: 4,
             parallel_threads: 4,
             bit_identical: true,
+            trace_overhead_pct: Some(1.25),
             stages: vec![
                 StageResult {
                     name: "archival_build",
@@ -360,6 +427,7 @@ mod tests {
             "\"hardware_threads\"",
             "\"parallel_threads\"",
             "\"bit_identical\"",
+            "\"trace_overhead_pct\"",
             "\"stages\"",
             "\"name\"",
             "\"bytes\"",
@@ -379,6 +447,16 @@ mod tests {
         for banned in ["time\":", "date", "hostname", "epoch"] {
             assert!(!a.contains(banned), "gated JSON must not contain {banned}");
         }
+    }
+
+    #[test]
+    fn skipped_trace_leg_renders_null() {
+        let mut r = fixed_report();
+        r.trace_overhead_pct = None;
+        assert!(r.render_json().contains("\"trace_overhead_pct\": null,"));
+        assert!(fixed_report()
+            .render_json()
+            .contains("\"trace_overhead_pct\": 1.250,"));
     }
 
     #[test]

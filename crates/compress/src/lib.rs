@@ -25,6 +25,23 @@ pub mod rle;
 
 use format::{adler32, read_varint, write_varint, MAGIC, METHOD_LZ_HUFF, METHOD_RLE, METHOD_STORE};
 
+/// Compression-ratio histogram buckets (original/compressed, >= 1 shrank).
+const RATIO_BUCKETS: &[f64] = &[1.0, 1.5, 2.0, 3.0, 5.0, 10.0];
+
+/// Pre-register this crate's metric series in the global mh-obs registry
+/// so they appear (at zero) in `/metrics` before any (de)compression runs.
+pub fn register_metrics() {
+    let _ = mh_obs::counter!("compress_calls_total");
+    let _ = mh_obs::counter!("compress_bytes_in_total");
+    let _ = mh_obs::counter!("compress_bytes_out_total");
+    let _ = mh_obs::counter!("compress_matchfind_us_total");
+    let _ = mh_obs::histogram!("compress_ratio", RATIO_BUCKETS);
+    let _ = mh_obs::counter!("decompress_calls_total");
+    let _ = mh_obs::counter!("decompress_bytes_in_total");
+    let _ = mh_obs::counter!("decompress_bytes_out_total");
+    let _ = mh_obs::counter!("decompress_errors_total");
+}
+
 /// Errors produced while decoding a compressed stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompressError {
@@ -112,12 +129,18 @@ pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
 /// with reusable matcher state. Produces byte-identical containers to
 /// [`compress`].
 pub fn compress_into(data: &[u8], level: Level, scratch: &mut Scratch, out: &mut Vec<u8>) {
+    // Match finding dominates compression cost; time it only when span
+    // tracing is on so the disabled path stays clock-read-free.
+    let matchfind_start = mh_obs::enabled().then(std::time::Instant::now);
     lz77::tokenize_into(
         data,
         level.matcher(),
         &mut scratch.matcher,
         &mut scratch.tokens,
     );
+    if let Some(t) = matchfind_start {
+        mh_obs::counter!("compress_matchfind_us_total").add(t.elapsed().as_micros() as u64);
+    }
     let lz = format::encode_tokens(&scratch.tokens);
     let rle = rle::encode(data);
 
@@ -136,10 +159,31 @@ pub fn compress_into(data: &[u8], level: Level, scratch: &mut Scratch, out: &mut
     write_varint(out, data.len() as u64);
     out.extend_from_slice(&adler32(data).to_le_bytes());
     out.extend_from_slice(payload);
+
+    mh_obs::counter!("compress_calls_total").inc();
+    mh_obs::counter!("compress_bytes_in_total").add(data.len() as u64);
+    mh_obs::counter!("compress_bytes_out_total").add(out.len() as u64);
+    if !data.is_empty() {
+        mh_obs::histogram!("compress_ratio", RATIO_BUCKETS)
+            .observe(data.len() as f64 / out.len() as f64);
+    }
 }
 
 /// Decompress an MHZ container produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
+    let out = decompress_inner(data);
+    mh_obs::counter!("decompress_calls_total").inc();
+    mh_obs::counter!("decompress_bytes_in_total").add(data.len() as u64);
+    match &out {
+        Ok(plain) => {
+            mh_obs::counter!("decompress_bytes_out_total").add(plain.len() as u64);
+        }
+        Err(_) => mh_obs::counter!("decompress_errors_total").inc(),
+    }
+    out
+}
+
+fn decompress_inner(data: &[u8]) -> Result<Vec<u8>, CompressError> {
     if data.len() < 4 || data[..4] != MAGIC {
         return Err(CompressError::BadMagic);
     }

@@ -432,6 +432,11 @@ impl Repository {
 
     /// `dlv add` + `dlv commit`: record a model version with its artifacts.
     pub fn commit(&self, req: &CommitRequest) -> Result<VersionKey, DlvError> {
+        let mut sp = mh_obs::span("dlv.commit");
+        if sp.is_recording() {
+            sp.field("name", &req.name);
+            sp.field("snapshots", req.snapshots.len());
+        }
         if req.snapshots.is_empty() {
             return Err(DlvError::EmptyCommit);
         }
@@ -464,6 +469,7 @@ impl Repository {
         let mut snapshot_rows = Vec::new();
         for (sidx, (iter, w)) in req.snapshots.iter().enumerate() {
             let blob = weights_to_bytes(w, Level::Fast);
+            sp.add_bytes_out(blob.len() as u64);
             let rel = format!("weights/{}_{}_s{}.mhw", sanitize_name(&req.name), vid, sidx);
             std::fs::write(self.root.join(&rel), &blob).map_err(DlvError::Io)?;
             snapshot_rows.push((sidx as i64, *iter as i64, format!("staged:{rel}")));
@@ -749,6 +755,10 @@ impl Repository {
     /// Fetch the weights of a snapshot (`None` = latest), transparently
     /// recreating from PAS if archived.
     pub fn get_weights(&self, spec: &str, snap: Option<usize>) -> Result<Weights, DlvError> {
+        let mut sp = mh_obs::span("dlv.checkout");
+        if sp.is_recording() {
+            sp.field("spec", spec);
+        }
         let (row_id, _) = self.find_version(spec)?;
         let mv = row_id as i64;
         let infos = self.snapshots(spec)?;
@@ -764,6 +774,8 @@ impl Repository {
         };
         if let Some(rel) = info.location.strip_prefix("staged:") {
             let blob = std::fs::read(self.root.join(rel)).map_err(DlvError::Io)?;
+            sp.add_bytes_in(blob.len() as u64);
+            sp.field("source", "staged");
             return weights_from_bytes(&blob);
         }
         if let Some(store_name) = info.location.strip_prefix("pas:") {
@@ -787,6 +799,7 @@ impl Repository {
             if w.is_empty() {
                 return Err(DlvError::Corrupt("archived snapshot has no vertices"));
             }
+            sp.field("source", "pas");
             return Ok(w);
         }
         Err(DlvError::Corrupt("unknown snapshot location"))
@@ -957,6 +970,7 @@ impl Repository {
     /// store under the given policy. Returns the store id and the achieved
     /// (storage bytes, plan) summary.
     pub fn archive(&self, cfg: &ArchiveConfig) -> Result<ArchiveReport, DlvError> {
+        let mut sp = mh_obs::span("dlv.archive");
         // Gather all staged snapshots grouped by version.
         let staged: Vec<(mh_store::RowId, VersionKey, Vec<SnapshotInfo>)> = {
             let summaries = self.list();
@@ -998,6 +1012,10 @@ impl Repository {
                     .map(move |info| (vname.clone(), info.index, info.index == latest_idx))
             })
             .collect();
+        if sp.is_recording() {
+            sp.field("snapshots", jobs.len());
+        }
+        let load_sp = mh_obs::span("dlv.archive.load_staged");
         let loaded = mh_par::parallel_map(&jobs, |_, (vname, index, latest)| {
             let mut w = self.get_weights(vname, Some(*index))?;
             // Lossy checkpoint archival: round-trip non-latest snapshots
@@ -1018,6 +1036,7 @@ impl Repository {
             Ok::<Weights, DlvError>(w)
         })
         .map_err(|e| DlvError::Pas(mh_pas::PasError::Parallel(e.to_string())))?;
+        drop(load_sp);
 
         // Register snapshots and remember vertex assignments.
         let mut assignments: Vec<(i64, usize, BTreeMap<String, mh_pas::VertexId>)> = Vec::new();
@@ -1049,6 +1068,7 @@ impl Repository {
             }
         }
 
+        let solve_sp = mh_obs::span("dlv.archive.plan_solve");
         let (mut graph, matrices) = builder.finish();
         apply_alpha_budgets(&mut graph, cfg.alpha, cfg.scheme).map_err(DlvError::Pas2)?;
         // Run both heuristics and keep the better feasible plan.
@@ -1072,10 +1092,12 @@ impl Repository {
             }
         };
         let plan = pick(mt, pt);
+        drop(solve_sp);
 
         // Create the physical store.
         let store_name = format!("store{:04}", self.next_store_index()?);
         let store_dir = self.root.join("pas").join(&store_name);
+        let create_sp = mh_obs::span("dlv.archive.store_create");
         let store = SegmentStore::create(
             &store_dir,
             &graph,
@@ -1085,6 +1107,7 @@ impl Repository {
             cfg.level,
         )
         .map_err(DlvError::Pas)?;
+        drop(create_sp);
 
         // Flip snapshot locations and record vertex assignments; delete the
         // staged blobs afterwards.

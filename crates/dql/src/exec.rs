@@ -92,7 +92,10 @@ impl<'a> Executor<'a> {
 
     /// Parse and run a DQL string.
     pub fn run(&self, query: &str) -> Result<QueryResult, DqlError> {
-        let q = crate::parser::parse(query).map_err(DqlError::Parse)?;
+        let q = {
+            let _sp = mh_obs::span("dql.parse");
+            crate::parser::parse(query).map_err(DqlError::Parse)?
+        };
         self.execute(&q)
     }
 
@@ -100,7 +103,11 @@ impl<'a> Executor<'a> {
     /// executor's repository, registered configs, and datasets — without
     /// executing it. Returns the diagnostics (empty = clean).
     pub fn check(&self, query: &str) -> Result<Vec<crate::analyze::Diagnostic>, DqlError> {
-        let q = crate::parser::parse(query).map_err(DqlError::Parse)?;
+        let q = {
+            let _sp = mh_obs::span("dql.parse");
+            crate::parser::parse(query).map_err(DqlError::Parse)?
+        };
+        let _sp = mh_obs::span("dql.analyze");
         let mut ctx = crate::analyze::AnalyzeContext::from_repository(self.repo);
         ctx.configs = Some(self.configs.keys().cloned().collect());
         ctx.datasets = Some(self.datasets.keys().cloned().collect());
@@ -109,12 +116,29 @@ impl<'a> Executor<'a> {
 
     /// Run a parsed query.
     pub fn execute(&self, q: &Query) -> Result<QueryResult, DqlError> {
-        match q {
-            Query::Select(s) => Ok(QueryResult::Versions(self.select(s)?)),
-            Query::Slice(s) => Ok(QueryResult::Derived(self.slice(s)?)),
-            Query::Construct(c) => Ok(QueryResult::Derived(self.construct(c)?)),
-            Query::Evaluate(e) => Ok(QueryResult::Evaluated(self.evaluate(e)?)),
+        let kind = match q {
+            Query::Select(_) => "select",
+            Query::Slice(_) => "slice",
+            Query::Construct(_) => "construct",
+            Query::Evaluate(_) => "evaluate",
+        };
+        let mut sp = mh_obs::span("dql.execute");
+        let result = match q {
+            Query::Select(s) => QueryResult::Versions(self.select(s)?),
+            Query::Slice(s) => QueryResult::Derived(self.slice(s)?),
+            Query::Construct(c) => QueryResult::Derived(self.construct(c)?),
+            Query::Evaluate(e) => QueryResult::Evaluated(self.evaluate(e)?),
+        };
+        if sp.is_recording() {
+            sp.field("kind", kind);
+            let rows = match &result {
+                QueryResult::Versions(v) => v.len(),
+                QueryResult::Derived(d) => d.len(),
+                QueryResult::Evaluated(e) => e.len(),
+            };
+            sp.field("rows", rows);
         }
+        Ok(result)
     }
 
     // ---- select -------------------------------------------------------
@@ -122,7 +146,10 @@ impl<'a> Executor<'a> {
     fn select(&self, q: &SelectQuery) -> Result<Vec<VersionSummary>, DqlError> {
         // Reorder conjuncts so cheap metadata predicates filter candidates
         // before expensive structural (network-loading) checks.
-        let pred = crate::optimizer::optimize(&q.pred);
+        let pred = {
+            let _sp = mh_obs::span("dql.optimize");
+            crate::optimizer::optimize(&q.pred)
+        };
         let mut out = Vec::new();
         for summary in self.repo.list() {
             if self.eval_pred(&pred, &q.alias, &summary)? {

@@ -174,6 +174,13 @@ impl RemoteHub {
         Ok(parse_stats(&text(&body)?))
     }
 
+    /// `GET /metrics` — the server's Prometheus text-format exposition
+    /// (hub request counters plus process-wide PAS/compression metrics).
+    pub fn metrics_text(&self) -> Result<String, HubError> {
+        let body = self.request("GET", "/metrics", b"")?;
+        text(&body)
+    }
+
     /// Incremental publish: negotiate which objects the hub is missing
     /// under `name`, then upload exactly those plus the manifest in one
     /// atomic commit. Retries restart from negotiation, so a hub state

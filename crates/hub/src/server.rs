@@ -15,6 +15,7 @@
 //! | `POST /publish/<name>?phase=negotiate` | manifest   | "want" hashes, one per line |
 //! | `POST /publish/<name>?phase=commit`    | manifest + object stream | `ok` |
 //! | `GET /stats`                   | —                  | per-endpoint counters |
+//! | `GET /metrics`                 | —                  | Prometheus text format (hub + process metrics) |
 //!
 //! Repository names are validated against path traversal before any
 //! filesystem access; publishes are atomic replace-by-rename via
@@ -80,6 +81,12 @@ impl HubServer {
     /// hub rooted at `root`, with `jobs` workers (default: the ambient
     /// `mh_par` thread count).
     pub fn start(root: &Path, addr: &str, jobs: Option<usize>) -> Result<Self, HubError> {
+        // Pre-register the process-wide series so `/metrics` exposes the
+        // PAS / compression / worker-pool metrics at zero before any
+        // request touches those code paths.
+        mh_compress::register_metrics();
+        mh_pas::register_metrics();
+        mh_par::register_metrics();
         // Hub::open creates the root directory and validates access.
         Hub::open(root).map_err(HubError::Dlv)?;
         let listener = TcpListener::bind(addr)?;
@@ -203,6 +210,8 @@ fn classify(path: &str) -> Endpoint {
         Endpoint::Repos
     } else if path == "/stats" {
         Endpoint::Stats
+    } else if path == "/metrics" {
+        Endpoint::Metrics
     } else if path == "/search" {
         Endpoint::Search
     } else if path.starts_with("/manifest/") {
@@ -233,10 +242,23 @@ fn error_body(e: &DlvError) -> Handled {
     }
 }
 
-fn write_full(stream: &mut TcpStream, status: u16, body: &[u8]) -> std::io::Result<()> {
-    write_response_head(stream, status, body.len() as u64)?;
-    stream.write_all(body)?;
-    stream.flush()
+/// Write a buffered response, reporting how many body bytes actually
+/// reached the socket and whether the write completed. A peer that hangs
+/// up mid-response must not be accounted as a full transfer.
+fn write_full(stream: &mut TcpStream, status: u16, body: &[u8]) -> (u64, bool) {
+    if write_response_head(stream, status, body.len() as u64).is_err() {
+        return (0, false);
+    }
+    let mut written = 0usize;
+    while written < body.len() {
+        match stream.write(&body[written..]) {
+            Ok(0) => return (written as u64, false),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return (written as u64, false),
+        }
+    }
+    (written as u64, stream.flush().is_ok())
 }
 
 fn handle_conn(root: &Path, stream: TcpStream, stats: &Stats, faults: &Faults) {
@@ -251,22 +273,32 @@ fn handle_conn(root: &Path, stream: TcpStream, stats: &Stats, faults: &Faults) {
         Ok(r) => r,
         Err(_) => {
             let body = encode_error("bad-request", "malformed request");
-            let err = write_full(&mut stream, 400, body.as_bytes());
-            stats.record(Endpoint::Other, 0, body.len() as u64, true);
-            drop(err);
+            let (bytes_out, _) = write_full(&mut stream, 400, body.as_bytes());
+            stats.record(Endpoint::Other, 0, bytes_out, true);
             return;
         }
     };
     let ep = classify(&req.path);
     let bytes_in = req.body.len() as u64;
-    match route(root, &req, stats, faults, &mut stream) {
+    let mut sp = mh_obs::span("hub.request");
+    if sp.is_recording() {
+        sp.field("endpoint", ep.name());
+        sp.field("method", &req.method);
+        sp.add_bytes_in(bytes_in);
+    }
+    // Stats are recorded at exactly one point per outcome, from the bytes
+    // that actually hit the socket — never from the intended body length.
+    let (bytes_out, error) = match route(root, &req, stats, faults, &mut stream) {
         Handled::Full { status, body } => {
-            let write_ok = write_full(&mut stream, status, &body).is_ok();
-            stats.record(ep, bytes_in, body.len() as u64, status >= 400 || !write_ok);
+            let (bytes_out, write_ok) = write_full(&mut stream, status, &body);
+            (bytes_out, status >= 400 || !write_ok)
         }
-        Handled::Streamed { bytes_out, error } => {
-            stats.record(ep, bytes_in, bytes_out, error);
-        }
+        Handled::Streamed { bytes_out, error } => (bytes_out, error),
+    };
+    stats.record(ep, bytes_in, bytes_out, error);
+    if sp.is_recording() {
+        sp.add_bytes_out(bytes_out);
+        sp.field("error", error);
     }
 }
 
@@ -292,6 +324,10 @@ fn route(
         ("GET", "/stats") => Handled::Full {
             status: 200,
             body: stats.render().into_bytes(),
+        },
+        ("GET", "/metrics") => Handled::Full {
+            status: 200,
+            body: stats.render_prometheus().into_bytes(),
         },
         ("GET", "/search") => {
             let pattern = req
@@ -585,5 +621,53 @@ fn handle_commit(root: &Path, name: &str, body: &[u8]) -> Handled {
             body: b"ok\n".to_vec(),
         },
         Err(e) => error_body(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    #[test]
+    fn write_full_reports_actual_bytes_on_broken_pipe() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (mut server_side, _) = listener.accept().expect("accept");
+        drop(client); // peer hangs up before we respond
+        server_side
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        // Far larger than any socket buffer, so the write must hit the
+        // dead peer before completing.
+        let body = vec![0u8; 32 * 1024 * 1024];
+        let (written, ok) = write_full(&mut server_side, 200, &body);
+        assert!(!ok, "write to a closed peer must be reported as failed");
+        assert!(
+            (written as usize) < body.len(),
+            "partial write ({written} bytes) must not be accounted as the full body"
+        );
+    }
+
+    #[test]
+    fn write_full_counts_complete_writes_exactly() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reader = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).expect("connect");
+            let mut sink = Vec::new();
+            let _ = client.read_to_end(&mut sink);
+            sink
+        });
+        let (mut server_side, _) = listener.accept().expect("accept");
+        let body = vec![7u8; 256 * 1024];
+        let (written, ok) = write_full(&mut server_side, 200, &body);
+        drop(server_side);
+        let received = reader.join().expect("reader");
+        assert!(ok);
+        assert_eq!(written as usize, body.len());
+        assert!(received.ends_with(&body), "client saw the whole body");
     }
 }

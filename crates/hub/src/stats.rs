@@ -1,7 +1,13 @@
-//! Per-endpoint request/byte/error counters, exported at `GET /stats`
-//! in a line-oriented text format the client can parse back.
+//! Per-endpoint request/byte/error counters, backed by an mh-obs
+//! [`mh_obs::Registry`] and exported two ways: the line-oriented
+//! `GET /stats` text the client can parse back, and Prometheus text format
+//! at `GET /metrics` (which additionally includes the process-global
+//! registry — PAS, compression, and pool series).
+//!
+//! The registry is **per server instance**, not global, so several
+//! `HubServer`s in one test process keep independent counts.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mh_obs::Registry;
 
 /// The hub endpoints tracked individually.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,16 +18,18 @@ pub enum Endpoint {
     Objects,
     Publish,
     Stats,
+    Metrics,
     Other,
 }
 
-pub const ENDPOINTS: [Endpoint; 7] = [
+pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Repos,
     Endpoint::Search,
     Endpoint::Manifest,
     Endpoint::Objects,
     Endpoint::Publish,
     Endpoint::Stats,
+    Endpoint::Metrics,
     Endpoint::Other,
 ];
 
@@ -34,30 +42,22 @@ impl Endpoint {
             Self::Objects => "objects",
             Self::Publish => "publish",
             Self::Stats => "stats",
+            Self::Metrics => "metrics",
             Self::Other => "other",
         }
     }
-
-    fn index(self) -> usize {
-        ENDPOINTS
-            .iter()
-            .position(|e| *e == self)
-            .unwrap_or(ENDPOINTS.len() - 1)
-    }
-}
-
-#[derive(Debug, Default)]
-struct Counter {
-    requests: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    errors: AtomicU64,
 }
 
 /// Monotonic per-endpoint counters. Cheap to record from any worker.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Stats {
-    counters: [Counter; ENDPOINTS.len()],
+    registry: Registry,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// One parsed `/stats` line.
@@ -72,19 +72,37 @@ pub struct StatLine {
 
 impl Stats {
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        // Pre-register every series so `/stats` and `/metrics` show each
+        // endpoint (at zero) from the first scrape.
+        for ep in ENDPOINTS {
+            let labels = &[("endpoint", ep.name())];
+            let _ = registry.counter_labeled("hub_requests_total", labels);
+            let _ = registry.counter_labeled("hub_bytes_in_total", labels);
+            let _ = registry.counter_labeled("hub_bytes_out_total", labels);
+            let _ = registry.counter_labeled("hub_errors_total", labels);
+        }
+        Self { registry }
     }
 
     /// Record one handled request: request-body bytes in, response-body
-    /// bytes out, and whether it ended in an error (status >= 400 or a
-    /// transport failure).
+    /// bytes actually written out, and whether it ended in an error
+    /// (status >= 400 or a transport failure).
     pub fn record(&self, ep: Endpoint, bytes_in: u64, bytes_out: u64, error: bool) {
-        let c = &self.counters[ep.index()];
-        c.requests.fetch_add(1, Ordering::Relaxed);
-        c.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
-        c.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        let labels = &[("endpoint", ep.name())];
+        self.registry
+            .counter_labeled("hub_requests_total", labels)
+            .inc();
+        self.registry
+            .counter_labeled("hub_bytes_in_total", labels)
+            .add(bytes_in);
+        self.registry
+            .counter_labeled("hub_bytes_out_total", labels)
+            .add(bytes_out);
         if error {
-            c.errors.fetch_add(1, Ordering::Relaxed);
+            self.registry
+                .counter_labeled("hub_errors_total", labels)
+                .inc();
         }
     }
 
@@ -101,17 +119,39 @@ impl Stats {
         out
     }
 
+    /// Render the `/metrics` body: this server's series in Prometheus text
+    /// format, followed by the process-global registry (PAS, compression,
+    /// worker-pool series). Metric names never overlap between the two, so
+    /// plain concatenation stays a valid exposition.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.registry.render_prometheus();
+        out.push_str(&Registry::global().render_prometheus());
+        out
+    }
+
     pub fn snapshot(&self) -> Vec<StatLine> {
         ENDPOINTS
             .iter()
             .map(|ep| {
-                let c = &self.counters[ep.index()];
+                let labels = &[("endpoint", ep.name())];
                 StatLine {
                     endpoint: ep.name().to_string(),
-                    requests: c.requests.load(Ordering::Relaxed),
-                    bytes_in: c.bytes_in.load(Ordering::Relaxed),
-                    bytes_out: c.bytes_out.load(Ordering::Relaxed),
-                    errors: c.errors.load(Ordering::Relaxed),
+                    requests: self
+                        .registry
+                        .counter_labeled("hub_requests_total", labels)
+                        .get(),
+                    bytes_in: self
+                        .registry
+                        .counter_labeled("hub_bytes_in_total", labels)
+                        .get(),
+                    bytes_out: self
+                        .registry
+                        .counter_labeled("hub_bytes_out_total", labels)
+                        .get(),
+                    errors: self
+                        .registry
+                        .counter_labeled("hub_errors_total", labels)
+                        .get(),
                 }
             })
             .collect()
@@ -168,5 +208,31 @@ mod tests {
         assert_eq!(obj.errors, 1);
         let man = parsed.iter().find(|l| l.endpoint == "manifest").unwrap();
         assert_eq!(man.bytes_out, 300);
+    }
+
+    #[test]
+    fn servers_have_independent_counters() {
+        let a = Stats::new();
+        let b = Stats::new();
+        a.record(Endpoint::Repos, 0, 10, false);
+        let bl = b.snapshot();
+        let repos = bl.iter().find(|l| l.endpoint == "repos").unwrap();
+        assert_eq!(
+            repos.requests, 0,
+            "second server must not see first's traffic"
+        );
+    }
+
+    #[test]
+    fn prometheus_export_has_labeled_series() {
+        let s = Stats::new();
+        s.record(Endpoint::Publish, 100, 3, true);
+        let text = s.render_prometheus();
+        assert!(text.contains("# TYPE hub_requests_total counter"));
+        assert!(text.contains("hub_requests_total{endpoint=\"publish\"} 1"));
+        assert!(text.contains("hub_bytes_in_total{endpoint=\"publish\"} 100"));
+        assert!(text.contains("hub_errors_total{endpoint=\"publish\"} 1"));
+        // Unused endpoints still present at zero.
+        assert!(text.contains("hub_requests_total{endpoint=\"search\"} 0"));
     }
 }

@@ -311,3 +311,60 @@ fn raw_traversal_requests_are_rejected_with_4xx() {
     assert!(client.repositories().unwrap().is_empty());
     server.stop();
 }
+
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    let dir = temp_dir("prom-repo");
+    let repo = sample_repo(&dir, "lenet-prom", 33);
+    let (server, client) = start_server("prom");
+    client.publish_repo(&repo, "prom").unwrap();
+
+    let pull_dir = temp_dir("prom-pull");
+    client.pull("prom", &pull_dir.join("prom")).unwrap();
+
+    let text = client.metrics_text().unwrap();
+    // Hub request series, labeled per endpoint, with real traffic counted.
+    assert!(text.contains("# TYPE hub_requests_total counter"), "{text}");
+    assert!(text.contains("# TYPE hub_bytes_out_total counter"));
+    assert!(text.contains("# TYPE hub_errors_total counter"));
+    let requests = |ep: &str| -> u64 {
+        let needle = format!("hub_requests_total{{endpoint=\"{ep}\"}} ");
+        text.lines()
+            .find_map(|l| l.strip_prefix(&needle))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    assert!(requests("publish") >= 2, "negotiate + commit");
+    assert!(requests("objects") >= 1, "pull fetched objects");
+    assert_eq!(requests("other"), 0);
+    let objects_bytes: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("hub_bytes_out_total{endpoint=\"objects\"} "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap();
+    assert!(objects_bytes > 0, "pull transferred object bytes");
+
+    // Process-global series (PAS / compression / pool) are pre-registered
+    // at server start, so a scrape exposes them even before first use.
+    for series in [
+        "compress_calls_total",
+        "compress_bytes_in_total",
+        "pas_repair_rounds_total",
+        "par_tasks_total",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {series} counter")),
+            "missing {series} in exposition"
+        );
+    }
+    assert!(text.contains("# TYPE pas_progressive_planes_used histogram"));
+    assert!(text.contains("# TYPE par_task_wait_us histogram"));
+
+    // /metrics traffic is itself accounted, from actual bytes written.
+    let stats = client.stats().unwrap();
+    let metrics_line = stats.iter().find(|l| l.endpoint == "metrics").unwrap();
+    assert_eq!(metrics_line.requests, 1);
+    assert_eq!(metrics_line.bytes_out, text.len() as u64);
+    assert_eq!(metrics_line.errors, 0);
+    server.stop();
+}

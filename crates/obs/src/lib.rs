@@ -1,0 +1,133 @@
+//! # mh-obs — unified observability for the ModelHub workspace
+//!
+//! A dependency-free (std-only) layer at the bottom of the workspace
+//! dependency graph, with three facilities:
+//!
+//! * **Metrics** ([`metrics`]): counters, gauges, and fixed-bucket
+//!   histograms behind atomics, registered by name in a [`Registry`]
+//!   (instantiable, plus a process-global one), snapshot-able and
+//!   renderable as Prometheus text format — served by hubd at
+//!   `GET /metrics`.
+//! * **Spans** ([`span`]): RAII regions recording wall time, bytes
+//!   in/out, and k/v fields, nesting through a per-thread current-span
+//!   cell and re-parented across mh-par pool threads with
+//!   [`with_parent`]. Off by default (one relaxed atomic load per site);
+//!   sinks are an in-memory capture buffer and a JSONL file
+//!   (`--trace <file>` / `MH_TRACE`).
+//! * **Logging** ([`log`]): leveled stderr logging for the CLIs
+//!   (`--verbose` / `-q`), keeping stdout stable for scripts.
+//!
+//! [`prof`] turns captured spans into the deterministic self/total-time
+//! tree printed by `modelhub prof`.
+//!
+//! ## Hot-path usage
+//!
+//! The `counter!` / `gauge!` / `histogram!` macros cache the registry
+//! lookup in a per-call-site `OnceLock`, so steady-state recording is a
+//! single atomic op with no lock:
+//!
+//! ```
+//! mh_obs::counter!("compress_calls_total").inc();
+//! mh_obs::histogram!("task_run_us", mh_obs::DURATION_US_BUCKETS).observe(12.5);
+//! let mut sp = mh_obs::span("pas.delta_encode");
+//! sp.add_bytes_in(4096);
+//! ```
+
+pub mod log;
+pub mod metrics;
+pub mod prof;
+pub mod span;
+
+pub use metrics::{
+    escape_label_value, Counter, Gauge, Histogram, Metric, Registry, Sample, SampleValue,
+};
+pub use prof::{build_profile, format_us, render_profile, ProfileNode};
+pub use span::{
+    current_span, disable, drain_capture, enable_capture, enable_jsonl, enabled, flush, span,
+    with_parent, Span, SpanRecord,
+};
+
+/// Standard duration buckets (microseconds): 100us … 10s.
+pub const DURATION_US_BUCKETS: &[f64] = &[
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+];
+
+/// Standard size buckets (bytes): 1KiB … 64MiB.
+pub const SIZE_BYTES_BUCKETS: &[f64] = &[1024.0, 16_384.0, 262_144.0, 4_194_304.0, 67_108_864.0];
+
+/// Resolve (registering on first use) a counter in the global registry,
+/// caching the lookup per call site. Labels, if given, must be static —
+/// the cached resolution is per call site, not per label value.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::Registry::global().counter($name))
+    }};
+    ($name:expr, $($k:expr => $v:expr),+ $(,)?) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| {
+            $crate::Registry::global().counter_labeled($name, &[$(($k, $v)),+])
+        })
+    }};
+}
+
+/// Resolve (registering on first use) a gauge in the global registry,
+/// caching the lookup per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::Registry::global().gauge($name))
+    }};
+}
+
+/// Resolve (registering on first use) a histogram in the global registry,
+/// caching the lookup per call site. The first registration anywhere in
+/// the process fixes the bucket bounds.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $bounds:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::Registry::global().histogram($name, $bounds))
+    }};
+}
+
+/// Serializes tests that mutate the process-global trace state (enable /
+/// drain / disable). Tests in this crate and downstream crates hold this
+/// guard around any capture-sink usage so parallel tests don't steal each
+/// other's records.
+#[doc(hidden)]
+pub fn test_trace_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_cache_and_record() {
+        let c = counter!("obs_selftest_total");
+        c.add(2);
+        assert_eq!(counter!("obs_selftest_total").get(), 2);
+        gauge!("obs_selftest_depth").set(3);
+        assert_eq!(gauge!("obs_selftest_depth").get(), 3);
+        let h = histogram!("obs_selftest_us", crate::DURATION_US_BUCKETS);
+        h.observe(50.0);
+        assert_eq!(h.count(), 1);
+        // Labeled variant.
+        counter!("obs_selftest_labeled_total", "kind" => "a").inc();
+        let text = crate::Registry::global().render_prometheus();
+        assert!(text.contains("obs_selftest_labeled_total{kind=\"a\"} 1"));
+    }
+}

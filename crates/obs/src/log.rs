@@ -1,0 +1,147 @@
+//! Minimal leveled logging to stderr.
+//!
+//! The CLIs route progress/diagnostic output through this instead of bare
+//! `eprintln!`, so `-q` silences chatter and `--verbose` adds detail while
+//! **stdout stays stable** for scripts and tests. Levels: `Error` < `Warn`
+//! < `Info` < `Debug`; the default threshold is `Info`.
+//!
+//! Use via the crate-root macros: `mh_obs::info!("...")` etc.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the logging threshold: messages above it are dropped.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current threshold.
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Would a message at `level` currently be emitted?
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Map the conventional CLI flags onto a threshold: `-q` → `Error`,
+/// `--verbose` → `Debug`, neither → `Info` (quiet wins if both are set).
+pub fn apply_verbosity(verbose: bool, quiet: bool) {
+    set_level(if quiet {
+        Level::Error
+    } else if verbose {
+        Level::Debug
+    } else {
+        Level::Info
+    });
+}
+
+/// Emit a message at `level` (to stderr, never stdout). Prefer the
+/// crate-root macros, which skip argument formatting when disabled.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if level_enabled(level) {
+        eprintln!("{}: {}", level.tag(), args);
+    }
+}
+
+/// Log at error level: `mh_obs::error!("...: {e}")`.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Error) {
+            $crate::log::log($crate::log::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at warn level.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at info level (the default threshold).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at debug level (shown under `--verbose`).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_mapping() {
+        apply_verbosity(false, false);
+        assert_eq!(max_level(), Level::Info);
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Debug));
+
+        apply_verbosity(true, false);
+        assert_eq!(max_level(), Level::Debug);
+        assert!(level_enabled(Level::Debug));
+
+        apply_verbosity(false, true);
+        assert_eq!(max_level(), Level::Error);
+        assert!(!level_enabled(Level::Warn));
+
+        // Quiet wins over verbose.
+        apply_verbosity(true, true);
+        assert_eq!(max_level(), Level::Error);
+
+        apply_verbosity(false, false);
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

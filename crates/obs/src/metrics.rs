@@ -1,0 +1,510 @@
+//! The metrics half of mh-obs: counters, gauges, and fixed-bucket
+//! histograms behind plain atomics, registered by name (plus optional
+//! static label pairs) in a [`Registry`], snapshot-able and renderable as
+//! Prometheus text exposition format.
+//!
+//! Recording is always-on and cheap: one `fetch_add` for a counter, a
+//! bucket scan plus two atomic adds for a histogram. Registration goes
+//! through a mutex, so hot paths should resolve their metric once — the
+//! `counter!`/`gauge!`/`histogram!` macros in the crate root cache the
+//! lookup in a per-call-site `OnceLock`.
+//!
+//! Registered metrics are leaked (`Box::leak`) so recording sites can hold
+//! `&'static` references; the set of metric names in a process is small
+//! and fixed, so this is a bounded, deliberate leak.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, in-flight work).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, d: i64) {
+        self.value.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed upper-bound buckets (Prometheus semantics: a
+/// bucket with bound `le` counts observations `<= le`; the implicit last
+/// bucket is `+Inf`).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values, stored as f64 bits and updated by CAS.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let mut b = bounds.to_vec();
+        b.retain(|x| x.is_finite());
+        b.sort_by(f64::total_cmp);
+        b.dedup();
+        let n = b.len();
+        Self {
+            bounds: b,
+            buckets: (0..=n).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured finite upper bounds (the `+Inf` bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Cumulative `(le, count)` pairs in Prometheus order, ending with the
+    /// `+Inf` bucket (whose count equals [`Histogram::count`]).
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// The kind + storage of one registered metric.
+#[derive(Debug, Clone, Copy)]
+pub enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn type_name(self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered series: metric name, label pairs, storage.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// A point-in-time reading of one series, for tests and the CLI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: SampleValue,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    /// `(cumulative buckets, sum, count)`.
+    Histogram(Vec<(f64, u64)>, f64, u64),
+}
+
+/// A collection of named metrics. Most code uses the process-global
+/// registry via [`Registry::global`] (or the crate-root convenience
+/// functions and macros); components that need isolated counters — e.g.
+/// one hub server instance among several in a test process — create their
+/// own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+fn lock_entries(r: &Registry) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+    r.entries.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Series key: metric name plus rendered labels, so differently-labeled
+/// series of the same metric coexist.
+fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut key = String::from(name);
+    for (k, v) in labels {
+        key.push('\u{1}');
+        key.push_str(k);
+        key.push('\u{2}');
+        key.push_str(v);
+    }
+    key
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-global registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Register (or fetch) a counter named `name`.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        self.counter_labeled(name, &[])
+    }
+
+    /// Register (or fetch) a counter with label pairs.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> &'static Counter {
+        let mut entries = lock_entries(self);
+        let entry = entries
+            .entry(series_key(name, labels))
+            .or_insert_with(|| Entry {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                metric: Metric::Counter(Box::leak(Box::new(Counter::default()))),
+            });
+        match entry.metric {
+            Metric::Counter(c) => c,
+            // A name collision across metric kinds is a programming error;
+            // fall back to a detached counter rather than panicking in a
+            // recording path.
+            _ => Box::leak(Box::new(Counter::default())),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        self.gauge_labeled(name, &[])
+    }
+
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> &'static Gauge {
+        let mut entries = lock_entries(self);
+        let entry = entries
+            .entry(series_key(name, labels))
+            .or_insert_with(|| Entry {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                metric: Metric::Gauge(Box::leak(Box::new(Gauge::default()))),
+            });
+        match entry.metric {
+            Metric::Gauge(g) => g,
+            _ => Box::leak(Box::new(Gauge::default())),
+        }
+    }
+
+    /// Register (or fetch) a histogram. The first registration fixes the
+    /// bucket bounds; later calls with different bounds get the original.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> &'static Histogram {
+        self.histogram_labeled(name, &[], bounds)
+    }
+
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> &'static Histogram {
+        let mut entries = lock_entries(self);
+        let entry = entries
+            .entry(series_key(name, labels))
+            .or_insert_with(|| Entry {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                metric: Metric::Histogram(Box::leak(Box::new(Histogram::new(bounds)))),
+            });
+        match entry.metric {
+            Metric::Histogram(h) => h,
+            _ => Box::leak(Box::new(Histogram::new(bounds))),
+        }
+    }
+
+    /// Point-in-time readings of every registered series, sorted by
+    /// (name, labels) — deterministic for tests and reports.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let entries = lock_entries(self);
+        entries
+            .values()
+            .map(|e| Sample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                value: match e.metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => {
+                        SampleValue::Histogram(h.cumulative(), h.sum(), h.count())
+                    }
+                },
+            })
+            .collect()
+    }
+
+    /// Render every registered series in Prometheus text exposition
+    /// format: one `# TYPE` line per metric name, then its series in
+    /// deterministic (name, labels) order.
+    pub fn render_prometheus(&self) -> String {
+        let entries = lock_entries(self);
+        // Group by metric name, preserving BTreeMap order.
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for e in entries.values() {
+            if last_name != Some(e.name.as_str()) {
+                out.push_str(&format!("# TYPE {} {}\n", e.name, e.metric.type_name()));
+                last_name = Some(e.name.as_str());
+            }
+            match e.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        g.get()
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    for (le, cum) in h.cumulative() {
+                        let le = if le.is_infinite() {
+                            "+Inf".to_string()
+                        } else {
+                            format_f64(le)
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            e.name,
+                            render_labels(&e.labels, Some(&le)),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        format_f64(h.sum())
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render a f64 the way Prometheus expects (shortest round-trip; Rust's
+/// `{}` for f64 already is).
+fn format_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Escape a label value per the Prometheus text format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("test_requests_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("test_depth");
+        g.set(7);
+        g.sub(3);
+        g.add(1);
+        assert_eq!(g.get(), 5);
+        // Same name resolves to the same storage.
+        r.counter("test_requests_total").inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn histogram_observe_le_semantics() {
+        let r = Registry::new();
+        let h = r.histogram("test_h", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 1.5, 10.0, 99.9, 100.0, 1e6] {
+            h.observe(v);
+        }
+        // le=1: 0.5, 1.0 | le=10: +1.5, 10.0 | le=100: +99.9, 100.0 | +Inf: 1e6
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 1]);
+        assert_eq!(
+            h.cumulative(),
+            vec![(1.0, 2), (10.0, 4), (100.0, 6), (f64::INFINITY, 7)]
+        );
+        assert_eq!(h.count(), 7);
+        assert!((h.sum() - (0.5 + 1.0 + 1.5 + 10.0 + 99.9 + 100.0 + 1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_typed() {
+        let r = Registry::new();
+        r.counter_labeled("z_total", &[("endpoint", "b")]).add(2);
+        r.counter_labeled("z_total", &[("endpoint", "a")]).add(1);
+        r.gauge("a_depth").set(-3);
+        let text = r.render_prometheus();
+        let again = r.render_prometheus();
+        assert_eq!(text, again);
+        // Sorted: a_depth before z_total; labeled series sorted by label.
+        let ia = text.find("a_depth -3").expect("gauge line");
+        let iza = text.find("z_total{endpoint=\"a\"} 1").expect("labeled a");
+        let izb = text.find("z_total{endpoint=\"b\"} 2").expect("labeled b");
+        assert!(ia < iza && iza < izb);
+        assert!(text.contains("# TYPE a_depth gauge"));
+        assert!(text.contains("# TYPE z_total counter"));
+        // Exactly one TYPE line for z_total despite two series.
+        assert_eq!(text.matches("# TYPE z_total").count(), 1);
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(
+            escape_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd" // backslash, quote, newline all escaped
+        );
+    }
+
+    #[test]
+    fn concurrent_histogram_sum_is_exact_for_integers() {
+        let r = Registry::new();
+        let h = r.histogram("test_conc", &[10.0, 1000.0]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        h.observe(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert!((h.sum() - 8000.0).abs() < 1e-9);
+        assert_eq!(h.bucket_counts(), vec![8000, 0, 0]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Aggregation of captured span records into a self/total-time profile
+//! tree — the backend of `modelhub prof`.
+//!
+//! Spans are grouped by their *path* (the chain of span names from the
+//! root), so a thousand `compress.compress` spans under
+//! `pas.archive_build` collapse into one line with `count=1000`. Children
+//! are sorted by name, making the tree structure and ordering
+//! deterministic run-to-run (the measured times of course vary).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::span::SpanRecord;
+
+/// One aggregated node of the profile tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    pub name: String,
+    /// Number of spans aggregated into this node.
+    pub count: u64,
+    /// Sum of wall time across those spans, microseconds.
+    pub total_us: u64,
+    /// `total_us` minus the total of direct children (saturating: parallel
+    /// children can overlap and sum past the parent's wall time).
+    pub self_us: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub children: Vec<ProfileNode>,
+}
+
+#[derive(Default)]
+struct Agg {
+    count: u64,
+    total_us: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    children: BTreeMap<&'static str, Agg>,
+}
+
+impl Agg {
+    fn into_node(self, name: &str) -> ProfileNode {
+        let child_total: u64 = self.children.values().map(|c| c.total_us).sum();
+        ProfileNode {
+            name: name.to_string(),
+            count: self.count,
+            total_us: self.total_us,
+            self_us: self.total_us.saturating_sub(child_total),
+            bytes_in: self.bytes_in,
+            bytes_out: self.bytes_out,
+            children: self
+                .children
+                .into_iter()
+                .map(|(n, a)| a.into_node(n))
+                .collect(),
+        }
+    }
+}
+
+/// Build the aggregated profile tree from a batch of span records.
+/// Records whose parent is missing from the batch (still open when the
+/// capture was drained, or drained earlier) are treated as roots.
+pub fn build_profile(records: &[SpanRecord]) -> Vec<ProfileNode> {
+    let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    let mut root = Agg::default();
+    for r in records {
+        // Path from root to this span, via the parent chain.
+        let mut path = vec![r.name];
+        let mut cur = r.parent;
+        while cur != 0 {
+            match by_id.get(&cur) {
+                Some(p) => {
+                    path.push(p.name);
+                    cur = p.parent;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        let mut node = &mut root;
+        for name in path {
+            node = node.children.entry(name).or_default();
+        }
+        node.count += 1;
+        node.total_us += r.dur_us;
+        node.bytes_in += r.bytes_in;
+        node.bytes_out += r.bytes_out;
+    }
+    root.children
+        .into_iter()
+        .map(|(n, a)| a.into_node(n))
+        .collect()
+}
+
+/// Format microseconds with an adaptive unit.
+pub fn format_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+fn format_bytes(b: u64) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// Render the profile tree as an aligned text report. Structure and
+/// ordering are deterministic; the time columns reflect the measured run.
+pub fn render_profile(roots: &[ProfileNode]) -> String {
+    let mut rows: Vec<(String, u64, u64, u64, String)> = Vec::new();
+    fn walk(node: &ProfileNode, depth: usize, rows: &mut Vec<(String, u64, u64, u64, String)>) {
+        let label = format!("{}{}", "  ".repeat(depth), node.name);
+        let mut extra = String::new();
+        if node.bytes_in > 0 {
+            extra.push_str(&format!(" in={}", format_bytes(node.bytes_in)));
+        }
+        if node.bytes_out > 0 {
+            extra.push_str(&format!(" out={}", format_bytes(node.bytes_out)));
+        }
+        rows.push((label, node.count, node.total_us, node.self_us, extra));
+        for child in &node.children {
+            walk(child, depth + 1, rows);
+        }
+    }
+    for root in roots {
+        walk(root, 0, &mut rows);
+    }
+    if rows.is_empty() {
+        return "no spans recorded\n".to_string();
+    }
+    let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>7}  {:>10}  {:>10}\n",
+        "span", "count", "total", "self"
+    ));
+    for (label, count, total, self_us, extra) in rows {
+        out.push_str(&format!(
+            "{label:<name_w$}  {count:>7}  {:>10}  {:>10}{extra}\n",
+            format_us(total),
+            format_us(self_us),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, name: &'static str, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            start_us: 0,
+            dur_us,
+            bytes_in: 0,
+            bytes_out: 0,
+            fields: Vec::new(),
+            thread: 1,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_path_with_self_time() {
+        // root(100) -> a(30), a(20); a -> b(10)
+        let records = vec![
+            rec(1, 0, "root", 100),
+            rec(2, 1, "a", 30),
+            rec(3, 1, "a", 20),
+            rec(4, 2, "b", 10),
+        ];
+        let tree = build_profile(&records);
+        assert_eq!(tree.len(), 1);
+        let root = &tree[0];
+        assert_eq!(
+            (root.name.as_str(), root.count, root.total_us),
+            ("root", 1, 100)
+        );
+        assert_eq!(root.self_us, 50); // 100 - (30+20)
+        let a = &root.children[0];
+        assert_eq!(
+            (a.name.as_str(), a.count, a.total_us, a.self_us),
+            ("a", 2, 50, 40)
+        );
+        let b = &a.children[0];
+        assert_eq!(
+            (b.name.as_str(), b.count, b.total_us, b.self_us),
+            ("b", 1, 10, 10)
+        );
+    }
+
+    #[test]
+    fn children_sorted_by_name_and_orphans_are_roots() {
+        let records = vec![
+            rec(1, 0, "root", 10),
+            rec(2, 1, "zeta", 1),
+            rec(3, 1, "alpha", 1),
+            // Parent 99 was never recorded: treated as a root.
+            rec(4, 99, "orphan", 5),
+        ];
+        let tree = build_profile(&records);
+        let names: Vec<&str> = tree.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["orphan", "root"]);
+        let child_names: Vec<&str> = tree[1].children.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(child_names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn self_time_saturates_with_overlapping_children() {
+        // Parallel children sum past the parent's wall clock.
+        let records = vec![rec(1, 0, "par", 10), rec(2, 1, "w", 8), rec(3, 1, "w", 8)];
+        let tree = build_profile(&records);
+        assert_eq!(tree[0].self_us, 0);
+        assert_eq!(tree[0].children[0].total_us, 16);
+    }
+
+    #[test]
+    fn render_is_aligned_and_stable() {
+        let records = vec![rec(1, 0, "root", 2_500_000), rec(2, 1, "leaf", 1500)];
+        let tree = build_profile(&records);
+        let text = render_profile(&tree);
+        assert_eq!(text, render_profile(&tree));
+        assert!(text.contains("root"));
+        assert!(text.contains("  leaf"));
+        assert!(text.contains("2.50s"));
+        assert!(text.contains("1.5ms"));
+        assert!(text.starts_with("span"));
+        assert_eq!(render_profile(&[]), "no spans recorded\n");
+    }
+
+    #[test]
+    fn format_us_units() {
+        assert_eq!(format_us(999), "999us");
+        assert_eq!(format_us(1000), "1.0ms");
+        assert_eq!(format_us(1_500_000), "1.50s");
+    }
+}

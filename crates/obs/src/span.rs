@@ -1,0 +1,387 @@
+//! RAII span tracing with parent/child nesting.
+//!
+//! A [`Span`] measures one region of work: wall time, bytes in/out, and
+//! arbitrary k/v fields. Spans nest through a per-thread "current span"
+//! cell; work handed to mh-par pool workers re-parents itself with
+//! [`with_parent`] so traces stay connected across threads.
+//!
+//! Tracing is **off by default** and costs one relaxed atomic load per
+//! call site when disabled. When enabled, finished spans are delivered to
+//! one or both sinks: an in-memory capture buffer (used by tests and by
+//! `modelhub prof`) and a JSONL file (enabled by `--trace <file>` or
+//! `MH_TRACE`).
+
+use std::cell::Cell;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPTURE: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Id of the innermost open span on this thread (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// Small sequential per-thread id, stable for the thread's lifetime.
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn capture_buf() -> &'static Mutex<Vec<SpanRecord>> {
+    static BUF: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    BUF.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn jsonl_sink() -> &'static Mutex<Option<BufWriter<File>>> {
+    static SINK: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Is span tracing currently enabled? Instrumented code uses this to skip
+/// expensive measurement (e.g. timing an inner loop) when nobody listens.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable tracing with the in-memory capture sink. Records accumulate
+/// until [`drain_capture`] is called.
+pub fn enable_capture() {
+    epoch();
+    CAPTURE.store(true, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Remove and return every captured span record so far.
+pub fn drain_capture() -> Vec<SpanRecord> {
+    std::mem::take(&mut *lock(capture_buf()))
+}
+
+/// Enable tracing with a JSONL file sink: one JSON object per finished
+/// span, in completion order.
+pub fn enable_jsonl(path: &Path) -> std::io::Result<()> {
+    epoch();
+    let file = File::create(path)?;
+    *lock(jsonl_sink()) = Some(BufWriter::new(file));
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flush the JSONL sink (if any) to disk.
+pub fn flush() {
+    if let Some(w) = lock(jsonl_sink()).as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Disable tracing and detach both sinks (flushing the JSONL sink).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+    CAPTURE.store(false, Ordering::Relaxed);
+    if let Some(mut w) = lock(jsonl_sink()).take() {
+        let _ = w.flush();
+    }
+    lock(capture_buf()).clear();
+}
+
+/// Id of the innermost open span on the calling thread, if any. Capture
+/// this before handing work to another thread, then re-establish it there
+/// with [`with_parent`].
+pub fn current_span() -> Option<u64> {
+    let id = CURRENT.with(Cell::get);
+    (id != 0).then_some(id)
+}
+
+/// Run `f` with the per-thread current span set to `parent`, restoring the
+/// previous value afterwards (even on panic, via an RAII guard). This is
+/// how pool workers attach their spans under the span that submitted the
+/// work.
+pub fn with_parent<T>(parent: Option<u64>, f: impl FnOnce() -> T) -> T {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.0));
+        }
+    }
+    let prev = CURRENT.with(|c| {
+        let prev = c.get();
+        c.set(parent.unwrap_or(0));
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// One finished span, as delivered to the sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    pub name: &'static str,
+    /// Start time in microseconds since the process trace epoch.
+    pub start_us: u64,
+    pub dur_us: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub fields: Vec<(&'static str, String)>,
+    /// Small sequential id of the recording thread.
+    pub thread: u64,
+}
+
+struct SpanInner {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    fields: Vec<(&'static str, String)>,
+    /// CURRENT value to restore when this span closes.
+    prev: u64,
+}
+
+/// An open span; closes (and reports) when dropped. Obtained from
+/// [`span`]. When tracing is disabled this is an inert shell.
+pub struct Span {
+    inner: Option<Box<SpanInner>>,
+}
+
+/// Open a span named `name`, parented under the thread's current span.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT.with(|c| {
+        let prev = c.get();
+        c.set(id);
+        prev
+    });
+    let start = Instant::now();
+    Span {
+        inner: Some(Box::new(SpanInner {
+            id,
+            parent: prev,
+            name,
+            start,
+            start_us: start.duration_since(epoch()).as_micros() as u64,
+            bytes_in: 0,
+            bytes_out: 0,
+            fields: Vec::new(),
+            prev,
+        })),
+    }
+}
+
+impl Span {
+    /// Is this a live (recording) span?
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn add_bytes_in(&mut self, n: u64) {
+        if let Some(s) = self.inner.as_mut() {
+            s.bytes_in += n;
+        }
+    }
+
+    pub fn add_bytes_out(&mut self, n: u64) {
+        if let Some(s) = self.inner.as_mut() {
+            s.bytes_out += n;
+        }
+    }
+
+    /// Attach a k/v field. The value is only formatted when recording.
+    pub fn field(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(s) = self.inner.as_mut() {
+            s.fields.push((key, value.to_string()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(s) = self.inner.take() else { return };
+        CURRENT.with(|c| c.set(s.prev));
+        let record = SpanRecord {
+            id: s.id,
+            parent: s.parent,
+            name: s.name,
+            start_us: s.start_us,
+            dur_us: s.start.elapsed().as_micros() as u64,
+            bytes_in: s.bytes_in,
+            bytes_out: s.bytes_out,
+            fields: s.fields,
+            thread: THREAD_ID.with(|t| *t),
+        };
+        emit(record);
+    }
+}
+
+fn emit(record: SpanRecord) {
+    if let Some(w) = lock(jsonl_sink()).as_mut() {
+        let _ = writeln!(w, "{}", record.to_json());
+    }
+    if CAPTURE.load(Ordering::Relaxed) {
+        lock(capture_buf()).push(record);
+    }
+}
+
+impl SpanRecord {
+    /// Render as a single-line JSON object (the JSONL sink format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push('{');
+        out.push_str(&format!(
+            "\"id\":{},\"parent\":{},\"name\":\"{}\",\"thread\":{},\"start_us\":{},\"dur_us\":{},\"bytes_in\":{},\"bytes_out\":{}",
+            self.id,
+            self.parent,
+            escape_json(self.name),
+            self.thread,
+            self.start_us,
+            self.dur_us,
+            self.bytes_in,
+            self.bytes_out,
+        ));
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        // Tracing defaults to off; guard only against other tests in this
+        // file having enabled it.
+        let _g = crate::test_trace_lock();
+        disable();
+        let mut s = span("test.inert");
+        assert!(!s.is_recording());
+        s.field("k", 1);
+        s.add_bytes_in(10);
+        drop(s);
+        assert!(drain_capture().is_empty());
+    }
+
+    #[test]
+    fn nesting_and_fields_are_captured() {
+        let _g = crate::test_trace_lock();
+        enable_capture();
+        {
+            let mut outer = span("test.outer");
+            outer.field("model", "lenet");
+            {
+                let mut inner = span("test.inner");
+                inner.add_bytes_in(3);
+                inner.add_bytes_out(7);
+            }
+        }
+        let records = drain_capture();
+        disable();
+        let recs: Vec<_> = records
+            .iter()
+            .filter(|r| r.name.starts_with("test."))
+            .collect();
+        assert_eq!(recs.len(), 2);
+        // Inner closes first.
+        assert_eq!(recs[0].name, "test.inner");
+        assert_eq!(recs[1].name, "test.outer");
+        assert_eq!(recs[0].parent, recs[1].id);
+        assert_eq!(recs[1].parent, 0);
+        assert_eq!(recs[0].bytes_in, 3);
+        assert_eq!(recs[0].bytes_out, 7);
+        assert_eq!(recs[1].fields, vec![("model", "lenet".to_string())]);
+    }
+
+    #[test]
+    fn with_parent_restores_previous_current() {
+        let _g = crate::test_trace_lock();
+        enable_capture();
+        let outer = span("test.wp_outer");
+        let outer_id = current_span().expect("outer open");
+        let nested = with_parent(None, || {
+            assert_eq!(current_span(), None);
+            let s = span("test.wp_root");
+            let id = current_span();
+            drop(s);
+            id
+        });
+        assert!(nested.is_some());
+        assert_eq!(current_span(), Some(outer_id));
+        drop(outer);
+        let records = drain_capture();
+        disable();
+        let root = records
+            .iter()
+            .find(|r| r.name == "test.wp_root")
+            .expect("root span recorded");
+        assert_eq!(root.parent, 0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        let r = SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "x",
+            start_us: 2,
+            dur_us: 3,
+            bytes_in: 4,
+            bytes_out: 5,
+            fields: vec![("k", "v\"w".to_string())],
+            thread: 1,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"id\":1,\"parent\":0,\"name\":\"x\",\"thread\":1,\"start_us\":2,\"dur_us\":3,\"bytes_in\":4,\"bytes_out\":5,\"fields\":{\"k\":\"v\\\"w\"}}"
+        );
+    }
+}

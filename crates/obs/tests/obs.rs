@@ -1,0 +1,118 @@
+//! Integration tests for mh-obs: JSONL sink end-to-end, capture → profile
+//! tree, and Prometheus rendering of an isolated registry.
+
+use std::io::BufRead;
+
+use mh_obs::{build_profile, render_profile, Registry};
+
+/// A full enable → span → disable cycle through the JSONL sink produces
+/// one valid JSON object per span with nesting intact.
+#[test]
+fn jsonl_sink_end_to_end() {
+    let _g = mh_obs::test_trace_lock();
+    let dir = std::env::temp_dir().join(format!("mh-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("trace.jsonl");
+    mh_obs::enable_jsonl(&path).expect("enable jsonl");
+    {
+        let mut outer = mh_obs::span("it.outer");
+        outer.field("phase", "test");
+        {
+            let mut inner = mh_obs::span("it.inner");
+            inner.add_bytes_out(42);
+        }
+    }
+    mh_obs::disable();
+
+    let file = std::fs::File::open(&path).expect("trace file exists");
+    let lines: Vec<String> = std::io::BufReader::new(file)
+        .lines()
+        .map(|l| l.expect("line"))
+        .filter(|l| l.contains("\"it."))
+        .collect();
+    assert_eq!(lines.len(), 2);
+    // Completion order: inner first.
+    assert!(lines[0].contains("\"name\":\"it.inner\""));
+    assert!(lines[0].contains("\"bytes_out\":42"));
+    assert!(lines[1].contains("\"name\":\"it.outer\""));
+    assert!(lines[1].contains("\"fields\":{\"phase\":\"test\"}"));
+    // The inner span's parent is the outer span's id.
+    let outer_id = lines[1]
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .expect("outer id");
+    assert!(lines[0].contains(&format!("\"parent\":{outer_id}")));
+    // Every line is a single JSON object.
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Capture a nested workload and check the aggregated profile tree:
+/// grouping by path, counts, and deterministic child ordering.
+#[test]
+fn capture_to_profile_tree() {
+    let _g = mh_obs::test_trace_lock();
+    mh_obs::enable_capture();
+    {
+        let _root = mh_obs::span("pt.archive");
+        for _ in 0..3 {
+            let _enc = mh_obs::span("pt.encode");
+            let _c = mh_obs::span("pt.compress");
+        }
+        let _w = mh_obs::span("pt.write");
+    }
+    let records: Vec<_> = mh_obs::drain_capture()
+        .into_iter()
+        .filter(|r| r.name.starts_with("pt."))
+        .collect();
+    mh_obs::disable();
+
+    let tree = build_profile(&records);
+    assert_eq!(tree.len(), 1);
+    let root = &tree[0];
+    assert_eq!(root.name, "pt.archive");
+    assert_eq!(root.count, 1);
+    let child_names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(child_names, vec!["pt.encode", "pt.write"]);
+    assert_eq!(root.children[0].count, 3);
+    assert_eq!(root.children[0].children[0].name, "pt.compress");
+    assert_eq!(root.children[0].children[0].count, 3);
+
+    let text = render_profile(&tree);
+    let expected_order = ["pt.archive", "pt.encode", "pt.compress", "pt.write"];
+    let mut pos = 0;
+    for name in expected_order {
+        let at = text[pos..].find(name).expect("name present in order");
+        pos += at;
+    }
+}
+
+/// An isolated Registry renders valid Prometheus text with histogram
+/// bucket/sum/count series.
+#[test]
+fn isolated_registry_prometheus_text() {
+    let r = Registry::new();
+    r.counter_labeled("it_requests_total", &[("endpoint", "objects")])
+        .add(5);
+    r.gauge("it_queue_depth").set(2);
+    let h = r.histogram("it_latency_us", &[100.0, 1000.0]);
+    h.observe(50.0);
+    h.observe(5000.0);
+
+    let text = r.render_prometheus();
+    assert!(text.contains("# TYPE it_latency_us histogram"));
+    assert!(text.contains("it_latency_us_bucket{le=\"100\"} 1"));
+    assert!(text.contains("it_latency_us_bucket{le=\"1000\"} 1"));
+    assert!(text.contains("it_latency_us_bucket{le=\"+Inf\"} 2"));
+    assert!(text.contains("it_latency_us_sum 5050"));
+    assert!(text.contains("it_latency_us_count 2"));
+    assert!(text.contains("it_requests_total{endpoint=\"objects\"} 5"));
+    assert!(text.contains("it_queue_depth 2"));
+    // Isolation: the global registry does not see these series.
+    assert!(!Registry::global()
+        .render_prometheus()
+        .contains("it_requests_total"));
+}

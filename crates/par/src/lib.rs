@@ -29,6 +29,17 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Condvar;
+use std::time::Instant;
+
+/// Pre-register the pool's metric series in the global mh-obs registry so
+/// they appear (at zero) in `/metrics` before any parallel work runs.
+pub fn register_metrics() {
+    let _ = mh_obs::counter!("par_tasks_total");
+    let _ = mh_obs::counter!("par_worker_panics_total");
+    let _ = mh_obs::gauge!("par_queue_depth");
+    let _ = mh_obs::histogram!("par_task_wait_us", mh_obs::DURATION_US_BUCKETS);
+    let _ = mh_obs::histogram!("par_task_run_us", mh_obs::DURATION_US_BUCKETS);
+}
 
 /// Errors surfaced by the pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -216,9 +227,19 @@ where
             .collect());
     }
 
-    let queue = BoundedQueue::new(threads * 4);
+    let queue: BoundedQueue<(usize, Instant)> = BoundedQueue::new(threads * 4);
     let panic_slot: Mutex<Option<String>> = Mutex::new(None);
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+
+    // Metric handles resolved once per call (and cached per call site);
+    // the submitting thread's open span becomes the parent of any spans
+    // the workers record, keeping traces connected across the pool.
+    let parent_span = mh_obs::current_span();
+    let tasks = mh_obs::counter!("par_tasks_total");
+    let panics = mh_obs::counter!("par_worker_panics_total");
+    let depth = mh_obs::gauge!("par_queue_depth");
+    let wait_hist = mh_obs::histogram!("par_task_wait_us", mh_obs::DURATION_US_BUCKETS);
+    let run_hist = mh_obs::histogram!("par_task_run_us", mh_obs::DURATION_US_BUCKETS);
 
     let worker_outputs: Result<Vec<Vec<(usize, R)>>, PoolError> = crossbeam::thread::scope(|s| {
         let queue = &queue;
@@ -233,18 +254,30 @@ where
                     let mut scratch = match catch_unwind(AssertUnwindSafe(init)) {
                         Ok(sc) => Some(sc),
                         Err(p) => {
+                            panics.inc();
                             *panic_slot.lock() = Some(panic_message(p));
                             queue.close_and_discard();
                             None
                         }
                     };
-                    while let Some(i) = queue.pop() {
+                    while let Some((i, enqueued)) = queue.pop() {
+                        depth.sub(1);
                         let Some(scratch) = scratch.as_mut() else {
                             continue;
                         };
-                        match catch_unwind(AssertUnwindSafe(|| f(scratch, i, &items[i]))) {
-                            Ok(r) => local.push((i, r)),
+                        tasks.inc();
+                        wait_hist.observe(enqueued.elapsed().as_micros() as f64);
+                        let run_start = Instant::now();
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            mh_obs::with_parent(parent_span, || f(scratch, i, &items[i]))
+                        }));
+                        match out {
+                            Ok(r) => {
+                                run_hist.observe(run_start.elapsed().as_micros() as f64);
+                                local.push((i, r));
+                            }
                             Err(p) => {
+                                panics.inc();
                                 let mut slot = panic_slot.lock();
                                 if slot.is_none() {
                                     *slot = Some(panic_message(p));
@@ -259,11 +292,13 @@ where
             })
             .collect();
 
-        // Produce indices; a closed (poisoned) queue stops us early.
+        // Produce indices; a closed (poisoned) queue stops us early. The
+        // enqueue timestamp feeds the task-wait histogram.
         for i in 0..items.len() {
-            if queue.push(i).is_err() {
+            if queue.push((i, Instant::now())).is_err() {
                 break;
             }
+            depth.add(1);
         }
         queue.close();
 
@@ -274,6 +309,7 @@ where
                 // A panic that escaped catch_unwind (e.g. in the local
                 // Vec) still surfaces as an error, never a deadlock.
                 Err(p) => {
+                    panics.inc();
                     let mut slot = panic_slot.lock();
                     if slot.is_none() {
                         *slot = Some(panic_message(p));
@@ -287,6 +323,10 @@ where
         Ok(outputs)
     })
     .unwrap_or_else(|p| Err(PoolError::WorkerPanic(panic_message(p))));
+
+    // The failure path discards queued items wholesale, so the running
+    // add/sub bookkeeping can be left nonzero; the queue is gone either way.
+    depth.set(0);
 
     for (i, r) in worker_outputs?.into_iter().flatten() {
         slots[i] = Some(r);

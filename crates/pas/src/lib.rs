@@ -54,6 +54,13 @@ pub use plan::{PlanError, RetrievalScheme, StoragePlan};
 pub use progressive::{BatchStats, ModelBinding, ProgressiveEvaluator, ProgressiveResult};
 pub use segstore::{Histogram, SegmentStore};
 
+/// Pre-register this crate's metric series in the global mh-obs registry
+/// so they appear (at zero) in `/metrics` before any PAS work runs.
+pub fn register_metrics() {
+    let _ = mh_obs::counter!("pas_repair_rounds_total");
+    let _ = mh_obs::histogram!("pas_progressive_planes_used", &[1.0, 2.0, 3.0]);
+}
+
 /// Errors from PAS operations.
 #[derive(Debug)]
 pub enum PasError {

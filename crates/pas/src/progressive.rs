@@ -96,16 +96,39 @@ impl<'a> ProgressiveEvaluator<'a> {
     /// Evaluate one input progressively, guaranteeing the returned top-k
     /// prediction equals the full-precision result.
     pub fn eval(&self, input: &Tensor3, top_k: usize) -> Result<ProgressiveResult, PasError> {
+        let mut sp = mh_obs::span("pas.progressive.eval");
         let full_bytes = self.chain_bytes(4);
         for k in 1..=4usize {
+            let mut step = mh_obs::span("pas.progressive.step");
             let iw = self.interval_weights(k)?;
             let out = interval_forward(&self.binding.net, &iw, input)
                 .map_err(|e| PasError::Eval(e.to_string()))?;
+            if step.is_recording() {
+                // Residual logit-interval width: the α-error still present
+                // after k planes (0 means the prediction is exact).
+                let width = out
+                    .hi
+                    .as_slice()
+                    .iter()
+                    .zip(out.lo.as_slice())
+                    .map(|(h, l)| h - l)
+                    .fold(0.0f32, f32::max);
+                step.field("planes", k);
+                step.field("logit_interval_width", width);
+            }
             if let Some(pred) = determined_top_k(&out, top_k) {
+                let bytes_read = self.chain_bytes(k);
+                drop(step);
+                mh_obs::histogram!("pas_progressive_planes_used", &[1.0, 2.0, 3.0])
+                    .observe(k as f64);
+                if sp.is_recording() {
+                    sp.field("planes_used", k);
+                    sp.add_bytes_in(bytes_read);
+                }
                 return Ok(ProgressiveResult {
                     prediction: pred,
                     planes_used: k,
-                    bytes_read: self.chain_bytes(k),
+                    bytes_read,
                     full_bytes,
                 });
             }
@@ -118,6 +141,11 @@ impl<'a> ProgressiveEvaluator<'a> {
         let mut idx: Vec<usize> = (0..out.lo.len()).collect();
         idx.sort_by(|&a, &b| out.lo.as_slice()[b].total_cmp(&out.lo.as_slice()[a]));
         idx.truncate(top_k);
+        mh_obs::histogram!("pas_progressive_planes_used", &[1.0, 2.0, 3.0]).observe(4.0);
+        if sp.is_recording() {
+            sp.field("planes_used", 4);
+            sp.add_bytes_in(full_bytes);
+        }
         Ok(ProgressiveResult {
             prediction: idx,
             planes_used: 4,

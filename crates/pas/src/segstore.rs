@@ -85,6 +85,7 @@ fn encode_object(
     let (kind, words) = if parent == NULL_VERTEX {
         (ObjectKind::Materialized, matrix_words(m))
     } else {
+        let _sp = mh_obs::span("pas.delta_encode");
         let base = matrices
             .get(&parent)
             .ok_or_else(|| PasError::MissingMatrix(graph.label(parent).to_string()))?;
@@ -102,8 +103,15 @@ fn encode_object(
     };
     let raw_planes = words_to_planes(&words);
     let mut planes: [Vec<u8>; 4] = std::array::from_fn(|_| Vec::new());
-    for (packed, plane) in planes.iter_mut().zip(&raw_planes) {
-        mh_compress::compress_into(plane, level, scratch, packed);
+    {
+        let mut sp = mh_obs::span("pas.plane_compress");
+        for (packed, plane) in planes.iter_mut().zip(&raw_planes) {
+            mh_compress::compress_into(plane, level, scratch, packed);
+        }
+        if sp.is_recording() {
+            sp.add_bytes_in(4 * words.len() as u64);
+            sp.add_bytes_out(planes.iter().map(|p| p.len() as u64).sum());
+        }
     }
     Ok(EncodedObject {
         kind,
@@ -146,6 +154,7 @@ impl SegmentStore {
         op: DeltaOp,
         level: Level,
     ) -> Result<Self, PasError> {
+        let mut sp = mh_obs::span("pas.archive_build");
         plan.validate(graph).map_err(PasError::Plan)?;
         std::fs::create_dir_all(dir).map_err(PasError::Io)?;
         // Delta encoding + per-plane compression is the archival hot path:
@@ -167,6 +176,7 @@ impl SegmentStore {
             for (p, packed) in enc.planes.iter().enumerate() {
                 plane_sizes[p] = packed.len() as u64;
                 std::fs::write(plane_path(dir, v, p), packed).map_err(PasError::Io)?;
+                sp.add_bytes_out(packed.len() as u64);
             }
             objects.insert(
                 v,
@@ -181,6 +191,7 @@ impl SegmentStore {
                 },
             );
         }
+        sp.field("objects", vertices.len());
         let store = Self {
             dir: dir.to_path_buf(),
             objects,
@@ -307,6 +318,11 @@ impl SegmentStore {
     /// independent MHZ stream); the merge stays serial in plane order, so
     /// the result is identical either way.
     fn load_words(&self, o: &ObjectMeta, k: usize) -> Result<Vec<u32>, PasError> {
+        let mut sp = mh_obs::span("pas.load_planes");
+        if sp.is_recording() {
+            sp.field("planes", k);
+            sp.add_bytes_in(o.plane_sizes.iter().take(k).sum());
+        }
         let n = o.rows * o.cols;
         let read_plane = |p: usize| -> Result<Vec<u8>, PasError> {
             let packed = std::fs::read(plane_path(&self.dir, o.vertex, p)).map_err(PasError::Io)?;
@@ -338,7 +354,11 @@ impl SegmentStore {
 
     /// Recreate the full-precision matrix at `v` by walking its chain.
     pub fn recreate(&self, v: VertexId) -> Result<Matrix, PasError> {
+        let mut sp = mh_obs::span("pas.recreate");
         let path = self.path(v);
+        if sp.is_recording() {
+            sp.field("chain_len", path.len());
+        }
         let mut acc: Vec<u32> = Vec::new();
         let mut shape = (0usize, 0usize);
         for (i, o) in path.iter().enumerate() {

@@ -319,10 +319,26 @@ pub fn repair(
     scheme: RetrievalScheme,
     max_rounds: usize,
 ) {
-    for _ in 0..max_rounds {
+    let mut sp = mh_obs::span("pas.solver.repair");
+    let rounds = repair_impl(graph, plan, scheme, max_rounds);
+    mh_obs::counter!("pas_repair_rounds_total").add(rounds as u64);
+    if sp.is_recording() {
+        sp.field("rounds", rounds);
+    }
+}
+
+/// [`repair`] body, returning the number of swap rounds executed so the
+/// wrapper can report it.
+fn repair_impl(
+    graph: &StorageGraph,
+    plan: &mut StoragePlan,
+    scheme: RetrievalScheme,
+    max_rounds: usize,
+) -> usize {
+    for round in 0..max_rounds {
         let violated = plan.violated_snapshots(graph, scheme);
         if violated.is_empty() {
-            return;
+            return round;
         }
         let n = graph.num_vertices();
         // One O(V + E) pass per round: children adjacency, recreation costs
@@ -448,7 +464,9 @@ pub fn repair(
                 // group. Re-hanging the entire SPT path of a vertex sets
                 // its recreation cost to the graph minimum, so if the SPT
                 // satisfies the budgets at all, this terminates feasible.
-                let Ok(spt_plan) = spt(graph) else { return };
+                let Ok(spt_plan) = spt(graph) else {
+                    return round + 1;
+                };
                 for gi in violated {
                     for &m in &graph.snapshots[gi].members {
                         for eid in spt_plan.path_edges(graph, m) {
@@ -456,14 +474,16 @@ pub fn repair(
                         }
                     }
                 }
-                return;
+                return round + 1;
             }
         }
     }
+    max_rounds
 }
 
 /// PAS-MT: MST followed by iterative constraint repair.
 pub fn pas_mt(graph: &StorageGraph, scheme: RetrievalScheme) -> Result<StoragePlan, PlanError> {
+    let _sp = mh_obs::span("pas.solver.pas_mt");
     let mut plan = mst(graph)?;
     let bound = graph.num_edges().max(16) * 4;
     repair(graph, &mut plan, scheme, bound);
@@ -473,6 +493,7 @@ pub fn pas_mt(graph: &StorageGraph, scheme: RetrievalScheme) -> Result<StoragePl
 /// PAS-PT: grow the tree cheapest-storage-first with group feasibility
 /// estimates, then repair any residual violations.
 pub fn pas_pt(graph: &StorageGraph, scheme: RetrievalScheme) -> Result<StoragePlan, PlanError> {
+    let _sp = mh_obs::span("pas.solver.pas_pt");
     let n = graph.num_vertices();
     let mut in_tree = vec![false; n];
     in_tree[NULL_VERTEX] = true;

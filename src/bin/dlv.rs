@@ -33,10 +33,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: dlv <init|demo|list|desc|weights|diff|eval|copy|archive|query|publish|search|pull> ..."
+    mh_obs::error!(
+        "usage: dlv <init|demo|list|desc|weights|diff|eval|copy|archive|query|publish|search|pull> ...\n       \
+         global flags: [--verbose|-v] [--quiet|-q] [--trace <file>]\n       \
+         (see `dlv help` or the module docs for argument details)"
     );
-    eprintln!("       (see `dlv help` or the module docs for argument details)");
     ExitCode::from(2)
 }
 
@@ -81,7 +82,8 @@ fn parse_dataset_spec(spec: Option<String>) -> SynthConfig {
 }
 
 fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    modelhub::cli::apply_global_flags(&mut args)?;
     let Some(cmd) = args.first().map(String::as_str) else {
         return Ok(usage());
     };
@@ -315,6 +317,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let hub_spec = args.get(2).ok_or("publish needs <repo> <hub> <name>")?;
             let name = args.get(3).ok_or("publish needs <repo> <hub> <name>")?;
             let repo = Repository::open(&dir)?;
+            mh_obs::debug!("publishing {} to {hub_spec} as {name}", dir.display());
             open_hub(hub_spec, None)?.publish(&repo, name)?;
             println!("published {} as {name} to {hub_spec}", dir.display());
             Ok(ExitCode::SUCCESS)
@@ -335,6 +338,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let name = args.get(2).ok_or("pull needs <hub> <name> <dest>")?;
             let dest = path(3).ok_or("pull needs <hub> <name> <dest>")?;
             let cache = flag_value(&args, "--cache").map(PathBuf::from);
+            mh_obs::debug!("pulling {name} from {hub_spec} into {}", dest.display());
             open_hub(hub_spec, cache.as_ref())?.pull(name, &dest)?;
             println!("pulled {name} into {} (verified)", dest.display());
             Ok(ExitCode::SUCCESS)
@@ -344,11 +348,13 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let code = match run() {
         Ok(code) => code,
         Err(e) => {
-            eprintln!("dlv: {e}");
+            mh_obs::error!("dlv: {e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    mh_obs::flush();
+    code
 }

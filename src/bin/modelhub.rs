@@ -6,7 +6,13 @@
 //! modelhub gen-sample <dir>                # create a small trained sample repo
 //! modelhub archive <dir> [--alpha F] [--jobs N]  # archive staged snapshots into PAS
 //! modelhub hubd <root> [--addr H:P] [--jobs N]   # serve a hosted hub over TCP
+//! modelhub repro <experiment> [--quick] [--jobs N]  # run an mh-bench experiment
+//! modelhub prof <subcommand...>            # run a subcommand, print a span profile
 //! ```
+//!
+//! Global flags (any command): `--verbose`/`-v` and `--quiet`/`-q` set the
+//! stderr log level; `--trace <file>` (or `MH_TRACE=<file>`) streams every
+//! completed span as JSON Lines. Command output on stdout is unaffected.
 //!
 //! `fsck` runs the mh-check layers (catalog referential integrity, blob
 //! hashes, PAS plan invariants, α-budget accounting; `--deep` additionally
@@ -37,11 +43,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: modelhub fsck <dir> [--deep] [--jobs N]");
-    eprintln!("       modelhub check \"<DQL>\" [--repo <dir>]");
-    eprintln!("       modelhub gen-sample <dir>");
-    eprintln!("       modelhub archive <dir> [--alpha F] [--jobs N]");
-    eprintln!("       modelhub hubd <root> [--addr HOST:PORT] [--jobs N]");
+    mh_obs::error!(
+        "usage: modelhub fsck <dir> [--deep] [--jobs N]\n       \
+         modelhub check \"<DQL>\" [--repo <dir>]\n       \
+         modelhub gen-sample <dir>\n       \
+         modelhub archive <dir> [--alpha F] [--jobs N]\n       \
+         modelhub hubd <root> [--addr HOST:PORT] [--jobs N]\n       \
+         modelhub repro <experiment|all> [--quick] [--jobs N]\n       \
+         modelhub prof <subcommand...>\n       \
+         global flags: [--verbose|-v] [--quiet|-q] [--trace <file>]"
+    );
     ExitCode::from(2)
 }
 
@@ -112,7 +123,49 @@ fn trained_commit(name: &str, seed: u64, parent: Option<&str>) -> CommitRequest 
 }
 
 fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    modelhub::cli::apply_global_flags(&mut args)?;
+    dispatch(&args)
+}
+
+fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    match args.first().map(String::as_str) {
+        Some("prof") => {
+            let rest = &args[1..];
+            if rest.first().is_none_or(|a| a.starts_with("--")) {
+                return Err(
+                    "prof needs a subcommand to profile (e.g. `modelhub prof repro pas --quick`)"
+                        .into(),
+                );
+            }
+            mh_obs::enable_capture();
+            let code = dispatch(rest)?;
+            let profile = mh_obs::build_profile(&mh_obs::drain_capture());
+            println!("--- profile ---");
+            print!("{}", mh_obs::render_profile(&profile));
+            return Ok(code);
+        }
+        Some("repro") => {
+            apply_jobs(args)?;
+            let quick = args.iter().any(|a| a == "--quick");
+            let what = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or("all");
+            mh_obs::debug!("running experiment(s) '{what}' (quick={quick})");
+            if what == "all" {
+                for name in modelhub::bench::EXPERIMENTS {
+                    println!("\n### {name} ###");
+                    modelhub::bench::run_experiment(name, quick)?;
+                }
+            } else {
+                modelhub::bench::run_experiment(what, quick)?;
+            }
+            return Ok(ExitCode::SUCCESS);
+        }
+        _ => {}
+    }
     match args.first().map(String::as_str) {
         Some("fsck") => {
             let dir = args
@@ -120,10 +173,11 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .filter(|a| !a.starts_with("--"))
                 .map(PathBuf::from);
             let dir = dir.ok_or("fsck needs a repository directory")?;
-            apply_jobs(&args)?;
+            apply_jobs(args)?;
             let cfg = FsckConfig {
                 deep: args.iter().any(|a| a == "--deep"),
             };
+            mh_obs::debug!("fsck {} (deep={})", dir.display(), cfg.deep);
             let report = fsck(&dir, &cfg)?;
             for f in &report.findings {
                 println!("{f}");
@@ -167,7 +221,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let diags = match analyze::check(query, &ctx) {
                 Ok(d) => d,
                 Err(e) => {
-                    eprintln!("parse error: {e}");
+                    mh_obs::error!("parse error: {e}");
                     return Ok(ExitCode::FAILURE);
                 }
             };
@@ -210,12 +264,13 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .filter(|a| !a.starts_with("--"))
                 .map(PathBuf::from)
                 .ok_or("archive needs a repository directory")?;
-            apply_jobs(&args)?;
+            apply_jobs(args)?;
             let cfg = ArchiveConfig {
-                alpha: flag_value::<f64>(&args, "--alpha")?
+                alpha: flag_value::<f64>(args, "--alpha")?
                     .unwrap_or(ArchiveConfig::default().alpha),
                 ..Default::default()
             };
+            mh_obs::debug!("archiving {} with alpha {}", dir.display(), cfg.alpha);
             let repo = Repository::open(&dir)?;
             let report = repo.archive(&cfg)?;
             println!(
@@ -240,9 +295,9 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .filter(|a| !a.starts_with("--"))
                 .map(PathBuf::from)
                 .ok_or("hubd needs a hub root directory")?;
-            let addr = flag_value::<String>(&args, "--addr")?
+            let addr = flag_value::<String>(args, "--addr")?
                 .unwrap_or_else(|| "127.0.0.1:7797".to_string());
-            let jobs = flag_value::<usize>(&args, "--jobs")?;
+            let jobs = flag_value::<usize>(args, "--jobs")?;
             if jobs == Some(0) {
                 return Err("--jobs must be at least 1".into());
             }
@@ -268,11 +323,13 @@ fn render(src: &str, d: &modelhub::dql::Diagnostic) {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let code = match run() {
         Ok(code) => code,
         Err(e) => {
-            eprintln!("modelhub: {e}");
+            mh_obs::error!("modelhub: {e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    mh_obs::flush();
+    code
 }

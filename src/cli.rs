@@ -1,0 +1,73 @@
+//! Shared global CLI flags for the `dlv` and `modelhub` binaries.
+//!
+//! - `--verbose` / `-v` and `--quiet` / `-q` drive the mh-obs log level
+//!   (diagnostics go to stderr only; stdout stays reserved for command
+//!   output, so scripted callers keep parsing it);
+//! - `--trace <file>` — or the `MH_TRACE` environment variable — streams
+//!   every completed span as one JSON object per line.
+
+use std::path::PathBuf;
+
+/// Strip the global flags out of `args` and apply them. Call before
+/// subcommand dispatch so per-command parsers never see these flags.
+pub fn apply_global_flags(args: &mut Vec<String>) -> Result<(), String> {
+    let mut verbose = false;
+    let mut quiet = false;
+    let mut trace: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--verbose" | "-v" => {
+                verbose = true;
+                args.remove(i);
+            }
+            "--quiet" | "-q" => {
+                quiet = true;
+                args.remove(i);
+            }
+            "--trace" => {
+                args.remove(i);
+                if i >= args.len() {
+                    return Err("--trace needs a file path".into());
+                }
+                trace = Some(PathBuf::from(args.remove(i)));
+            }
+            _ => i += 1,
+        }
+    }
+    mh_obs::log::apply_verbosity(verbose, quiet);
+    if trace.is_none() {
+        if let Ok(path) = std::env::var("MH_TRACE") {
+            if !path.is_empty() {
+                trace = Some(PathBuf::from(path));
+            }
+        }
+    }
+    if let Some(path) = &trace {
+        mh_obs::enable_jsonl(path)
+            .map_err(|e| format!("cannot open trace file {}: {e}", path.display()))?;
+        mh_obs::debug!("tracing spans to {}", path.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_global_flags_and_keeps_the_rest() {
+        let mut args: Vec<String> = ["archive", "--verbose", "repo", "-q", "--alpha", "2.0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        apply_global_flags(&mut args).unwrap();
+        assert_eq!(args, ["archive", "repo", "--alpha", "2.0"]);
+    }
+
+    #[test]
+    fn trace_without_value_is_an_error() {
+        let mut args: Vec<String> = vec!["fsck".into(), "--trace".into()];
+        assert!(apply_global_flags(&mut args).is_err());
+    }
+}

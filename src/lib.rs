@@ -12,8 +12,13 @@
 //! - [`hub`] — the hosted hub service (`hubd` server + remote client)
 //! - [`check`] — static integrity verification (`modelhub fsck`)
 //! - [`par`] — the shared worker-pool scheduling layer (`MH_THREADS`, `--jobs`)
+//! - [`obs`] — metrics, span tracing, and leveled logging (`--trace`, `prof`)
+//! - [`bench`] — the experiment harness behind `repro` / `modelhub repro`
 //! - [`tensor`], [`delta`], [`compress`], [`store`] — supporting substrates
 
+pub mod cli;
+
+pub use mh_bench as bench;
 pub use mh_check as check;
 pub use mh_compress as compress;
 pub use mh_delta as delta;
@@ -21,6 +26,7 @@ pub use mh_dlv as dlv;
 pub use mh_dnn as dnn;
 pub use mh_dql as dql;
 pub use mh_hub as hub;
+pub use mh_obs as obs;
 pub use mh_par as par;
 pub use mh_pas as pas;
 pub use mh_store as store;
