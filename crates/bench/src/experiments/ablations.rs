@@ -11,7 +11,6 @@ use crate::workload::snapshot_pair;
 use mh_compress::Level;
 use mh_delta::{Delta, DeltaOp};
 use mh_pas::{apply_alpha_budgets, solver, RetrievalScheme, StorageGraph};
-use std::time::Instant;
 
 /// Replace each co-usage group with singleton groups carrying an equal
 /// share of the budget (the strawman the paper's formulation generalizes).
@@ -90,7 +89,7 @@ fn compressor_levels(t: &mut Table, iters: usize) {
         ("default", Level::Default),
         ("best", Level::Best),
     ] {
-        let start = Instant::now();
+        let start = mh_par::sync::now();
         let packed = mh_compress::compress(&plane0, level);
         let ms = start.elapsed().as_secs_f64() * 1000.0;
         t.row(vec![

@@ -17,7 +17,6 @@ use mh_pas::{
     RetrievalScheme, SegmentStore,
 };
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Thread count for the "parallel" leg. Fixed (not `available_parallelism`)
 /// so the JSON is comparable across machines; the gate scales its speedup
@@ -62,6 +61,11 @@ pub struct PasBenchReport {
     /// (min-of-3 traced vs min-of-3 untraced). `None` when ambient tracing
     /// was already on at entry, leaving no clean untraced baseline.
     pub trace_overhead_pct: Option<f64>,
+    /// Overhead of the `mh_par::sync` facade's std backend over raw
+    /// `std::sync` primitives on an uncontended lock loop, in percent
+    /// (min-of-3 each way). In release builds the facade must be a
+    /// zero-cost veneer: the debug lock-order detector compiles out.
+    pub sync_overhead_pct: f64,
     pub stages: Vec<StageResult>,
 }
 
@@ -89,6 +93,10 @@ impl PasBenchReport {
                 Some(pct) => format!("{pct:.3}"),
                 None => "null".to_string(),
             }
+        ));
+        out.push_str(&format!(
+            "  \"sync_overhead_pct\": {:.3},\n",
+            self.sync_overhead_pct
         ));
         out.push_str("  \"stages\": [\n");
         for (i, s) in self.stages.iter().enumerate() {
@@ -119,7 +127,7 @@ impl PasBenchReport {
 }
 
 fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
-    let start = Instant::now();
+    let start = mh_par::sync::now();
     let r = f();
     (r, start.elapsed().as_secs_f64() * 1000.0)
 }
@@ -339,6 +347,53 @@ pub fn run(quick: bool) -> std::io::Result<()> {
         Some(pct)
     };
 
+    // Stage 6 — sync-facade overhead guard: the facade's std backend is a
+    // thin wrapper whose debug-only lock-order instrumentation compiles
+    // out of release builds, so an uncontended lock loop through the
+    // facade must cost what the raw primitive costs. Asserted only in
+    // release: debug builds keep the always-on M003 detector and are
+    // legitimately slower.
+    let sync_overhead_pct = {
+        const ROUNDS: u64 = 1_000_000;
+        let min_ms = |f: &dyn Fn() -> u64| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let (v, ms) = time_ms(f);
+                assert_eq!(v, ROUNDS, "lock loop must count every round");
+                best = best.min(ms);
+            }
+            best
+        };
+        let facade = min_ms(&|| {
+            let m = mh_par::sync::Mutex::new(0u64);
+            for _ in 0..ROUNDS {
+                *m.lock() += 1;
+            }
+            m.into_inner()
+        });
+        let raw = min_ms(&|| {
+            // lint-scan: allow L002 — measuring the facade against the raw primitive
+            let m = std::sync::Mutex::new(0u64);
+            for _ in 0..ROUNDS {
+                *m.lock().expect("unpoisoned") += 1;
+            }
+            m.into_inner().expect("unpoisoned")
+        });
+        let pct = if raw > 0.0 {
+            (facade - raw) / raw * 100.0
+        } else {
+            0.0
+        };
+        if cfg!(not(debug_assertions)) {
+            assert!(
+                facade <= raw * 1.25 + 10.0,
+                "sync facade overhead {pct:.1}% exceeds the release budget: \
+                 facade {facade:.1}ms vs raw {raw:.1}ms over {ROUNDS} locks"
+            );
+        }
+        pct
+    };
+
     mh_par::set_threads(None);
     let _ = std::fs::remove_dir_all(&dir_s);
     let _ = std::fs::remove_dir_all(&dir_p);
@@ -351,6 +406,7 @@ pub fn run(quick: bool) -> std::io::Result<()> {
         parallel_threads: PARALLEL_THREADS,
         bit_identical,
         trace_overhead_pct,
+        sync_overhead_pct,
         stages,
     };
 
@@ -378,6 +434,10 @@ pub fn run(quick: bool) -> std::io::Result<()> {
         Some(pct) => println!("tracing overhead on serial build (min-of-3): {pct:.1}%"),
         None => println!("tracing overhead leg skipped: ambient tracing already enabled"),
     }
+    println!(
+        "sync facade overhead on uncontended locks (min-of-3): {:.1}%",
+        report.sync_overhead_pct
+    );
 
     let json_path = results_dir().join("BENCH_pas.json");
     std::fs::create_dir_all(results_dir())?;
@@ -397,6 +457,7 @@ mod tests {
             parallel_threads: 4,
             bit_identical: true,
             trace_overhead_pct: Some(1.25),
+            sync_overhead_pct: 0.5,
             stages: vec![
                 StageResult {
                     name: "archival_build",
@@ -428,6 +489,7 @@ mod tests {
             "\"parallel_threads\"",
             "\"bit_identical\"",
             "\"trace_overhead_pct\"",
+            "\"sync_overhead_pct\"",
             "\"stages\"",
             "\"name\"",
             "\"bytes\"",

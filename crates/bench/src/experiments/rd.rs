@@ -7,7 +7,6 @@ use crate::report::{results_dir, Table};
 use mh_pas::{apply_alpha_budgets, solver, EdgeKind, RetrievalScheme, StorageGraph, NULL_VERTEX};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// Synthetic SD-like graph with parameterized structure.
 pub fn rd_graph(
@@ -87,10 +86,10 @@ pub fn run() -> std::io::Result<()> {
         apply_alpha_budgets(&mut g, 1.6, scheme).expect("budgets");
         let mst = solver::mst(&g).expect("mst").storage_cost(&g);
         let last = solver::last(&g, 0.6).expect("last").storage_cost(&g);
-        let t0 = Instant::now();
+        let t0 = mh_par::sync::now();
         let mt = solver::pas_mt(&g, scheme).expect("mt");
         let mt_ms = t0.elapsed().as_secs_f64() * 1000.0;
-        let t0 = Instant::now();
+        let t0 = mh_par::sync::now();
         let pt = solver::pas_pt(&g, scheme).expect("pt");
         let pt_ms = t0.elapsed().as_secs_f64() * 1000.0;
         assert!(mt.satisfies_budgets(&g, scheme) && pt.satisfies_budgets(&g, scheme));

@@ -16,7 +16,6 @@ use mh_pas::{
 };
 use mh_tensor::Matrix;
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 struct Setup {
     graph: StorageGraph,
@@ -47,7 +46,7 @@ fn build(snapshots: usize, iters_each: usize) -> Setup {
 /// Wall-clock of recreating every group, averaged per snapshot, in ms.
 fn measure(store: &SegmentStore, groups: &[Vec<VertexId>], planes: usize, parallel: bool) -> f64 {
     let reps = 3;
-    let start = Instant::now();
+    let start = mh_par::sync::now();
     for _ in 0..reps {
         for g in groups {
             if parallel {
@@ -55,16 +54,15 @@ fn measure(store: &SegmentStore, groups: &[Vec<VertexId>], planes: usize, parall
                     store.recreate_group_parallel(g).expect("retrieve");
                 } else {
                     // Parallel partial retrieval via scoped threads.
-                    crossbeam::thread::scope(|s| {
+                    mh_par::sync::thread::scope(|s| {
                         let handles: Vec<_> = g
                             .iter()
-                            .map(|&v| s.spawn(move |_| store.recreate_bounds(v, planes)))
+                            .map(|&v| s.spawn(move || store.recreate_bounds(v, planes)))
                             .collect();
                         for h in handles {
                             h.join().expect("thread").expect("retrieve");
                         }
-                    })
-                    .expect("scope");
+                    });
                 }
             } else {
                 for &v in g {
@@ -146,7 +144,7 @@ pub fn run(snapshots: usize, iters_each: usize) -> std::io::Result<()> {
         // recreated once per snapshot group.
         {
             let reps = 3;
-            let start = Instant::now();
+            let start = mh_par::sync::now();
             for _ in 0..reps {
                 for g in &setup.groups {
                     store.recreate_group_reusable(g).expect("retrieve");

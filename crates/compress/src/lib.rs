@@ -131,6 +131,10 @@ pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
 pub fn compress_into(data: &[u8], level: Level, scratch: &mut Scratch, out: &mut Vec<u8>) {
     // Match finding dominates compression cost; time it only when span
     // tracing is on so the disabled path stays clock-read-free.
+    // mh-compress sits below mh-par in the dependency graph, so the
+    // facade's now() is out of reach; this is a span-only timestamp,
+    // gated off unless tracing is enabled.
+    // lint-scan: allow L004
     let matchfind_start = mh_obs::enabled().then(std::time::Instant::now);
     lz77::tokenize_into(
         data,

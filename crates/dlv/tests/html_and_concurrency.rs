@@ -66,7 +66,7 @@ fn concurrent_readers_and_writers() {
     let mut handles = Vec::new();
     for t in 0..4 {
         let r = Arc::clone(&repo);
-        handles.push(std::thread::spawn(move || {
+        handles.push(mh_par::sync::thread::spawn(move || {
             for _ in 0..20 {
                 let list = r.list();
                 assert!(!list.is_empty());
@@ -79,7 +79,7 @@ fn concurrent_readers_and_writers() {
     }
     for t in 0..2 {
         let r = Arc::clone(&repo);
-        handles.push(std::thread::spawn(move || {
+        handles.push(mh_par::sync::thread::spawn(move || {
             for i in 0..5 {
                 quick_commit(&r, &format!("writer{t}-{i}"));
             }

@@ -183,7 +183,7 @@ fn concurrent_publish_same_name_is_safe() {
     let mut handles = Vec::new();
     for repo in [Arc::clone(&repo_a), Arc::clone(&repo_b)] {
         let hub_dir = Arc::clone(&hub_dir);
-        handles.push(std::thread::spawn(move || {
+        handles.push(mh_par::sync::thread::spawn(move || {
             let hub = Hub::open(&hub_dir).unwrap();
             for _ in 0..4 {
                 hub.publish(&repo, "contested").unwrap();

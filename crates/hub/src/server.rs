@@ -33,12 +33,13 @@ use mh_dlv::{
     committed_manifest, replace_published, validate_rel_path, validate_repo_name, DlvError, Hub,
     ManifestEntry, Repository,
 };
+use mh_par::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use mh_par::sync::thread::JoinHandle;
 use mh_par::BoundedQueue;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -72,8 +73,8 @@ pub struct HubServer {
     queue: Arc<BoundedQueue<TcpStream>>,
     stats: Arc<Stats>,
     faults: Arc<Faults>,
-    accept_handle: Option<std::thread::JoinHandle<()>>,
-    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
 }
 
 impl HubServer {
@@ -103,7 +104,7 @@ impl HubServer {
             let stats = Arc::clone(&stats);
             let faults = Arc::clone(&faults);
             let root = root.to_path_buf();
-            worker_handles.push(std::thread::spawn(move || {
+            worker_handles.push(mh_par::sync::thread::spawn(move || {
                 while let Some(stream) = queue.pop() {
                     handle_conn(&root, stream, &stats, &faults);
                 }
@@ -113,7 +114,7 @@ impl HubServer {
         let accept_handle = {
             let queue = Arc::clone(&queue);
             let stop = Arc::clone(&stop);
-            Some(std::thread::spawn(move || loop {
+            Some(mh_par::sync::thread::spawn(move || loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         if stop.load(Ordering::SeqCst) {
@@ -655,7 +656,7 @@ mod tests {
     fn write_full_counts_complete_writes_exactly() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
-        let reader = std::thread::spawn(move || {
+        let reader = mh_par::sync::thread::spawn(move || {
             let mut client = TcpStream::connect(addr).expect("connect");
             let mut sink = Vec::new();
             let _ = client.read_to_end(&mut sink);

@@ -190,6 +190,44 @@ pub fn parse_stats(body: &str) -> Vec<StatLine> {
     out
 }
 
+/// Model-checked exploration of concurrent stat recording
+/// (`cargo test -p mh-hub --features model`): with the `model` feature
+/// the registry behind [`Stats`] runs on instrumented primitives, so
+/// every interleaving of two workers recording into the same endpoint
+/// counters is executed deterministically.
+#[cfg(all(test, feature = "model"))]
+mod model_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn model_concurrent_record_loses_nothing() {
+        let stats = mh_par::model::Builder::new().preemption_bound(2).check(|| {
+            let s = Arc::new(Stats::new());
+            let (sa, sb) = (Arc::clone(&s), Arc::clone(&s));
+            let ta = mh_par::sync::thread::spawn(move || {
+                sa.record(Endpoint::Objects, 10, 100, false);
+            });
+            let tb = mh_par::sync::thread::spawn(move || {
+                sb.record(Endpoint::Objects, 3, 7, true);
+            });
+            ta.join().expect("worker a");
+            tb.join().expect("worker b");
+            let snap = s.snapshot();
+            let obj = snap
+                .iter()
+                .find(|l| l.endpoint == "objects")
+                .expect("objects line");
+            assert_eq!(obj.requests, 2, "a request count was lost");
+            assert_eq!(obj.bytes_in, 13);
+            assert_eq!(obj.bytes_out, 107);
+            assert_eq!(obj.errors, 1);
+        });
+        assert!(stats.complete, "exploration should finish: {stats:?}");
+        assert!(stats.iterations > 1, "expected multiple interleavings");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,7 @@ use mh_dnn::{synth_dataset, zoo, Hyperparams, SynthConfig, Trainer, Weights};
 use mh_hub::{HubError, HubServer, RemoteHub};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("mh-hubnet-{tag}-{}", std::process::id()));
@@ -177,7 +177,7 @@ fn injected_connection_drops_are_recovered_by_retry() {
         .drop_object_responses
         .store(2, Ordering::SeqCst);
     let dest = temp_dir("fault-pull").join("c");
-    let started = Instant::now();
+    let started = mh_par::sync::now();
     let pulled = client.pull_repo("faulty", &dest).unwrap();
     assert!(
         started.elapsed() < Duration::from_secs(60),
@@ -223,7 +223,7 @@ fn exhausted_retries_surface_a_typed_error_not_a_hang() {
         .faults()
         .drop_object_responses
         .store(1000, Ordering::SeqCst);
-    let started = Instant::now();
+    let started = mh_par::sync::now();
     let err = impatient
         .pull_repo("doomed", &temp_dir("dead-pull").join("c"))
         .unwrap_err();
@@ -249,7 +249,7 @@ fn unresponsive_server_times_out() {
     // then retries must exhaust — bounded wall-clock, typed error.
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let handle = std::thread::spawn(move || {
+    let handle = mh_par::sync::thread::spawn(move || {
         let mut held = Vec::new();
         while let Ok((s, _)) = listener.accept() {
             held.push(s); // keep sockets open, say nothing
@@ -262,7 +262,7 @@ fn unresponsive_server_times_out() {
         .unwrap()
         .with_timeout(Duration::from_millis(300))
         .with_retries(2, Duration::from_millis(5));
-    let started = Instant::now();
+    let started = mh_par::sync::now();
     let err = client.repositories().unwrap_err();
     assert!(
         matches!(err, HubError::RetriesExhausted { .. }),

@@ -1,0 +1,198 @@
+//! Lock-order tracking: a directed graph of "held A while acquiring B"
+//! edges with cycle detection. A cycle means two code paths acquire the
+//! same locks in opposite orders — a latent deadlock even if no schedule
+//! explored so far actually deadlocked (finding code `M003`).
+//!
+//! Two users:
+//! * the model checker keeps a per-execution [`Graph`] keyed by lock
+//!   address;
+//! * [`debug_acquire`]/[`debug_release`] implement a cheap **always-on
+//!   detector for plain debug builds**, keyed by each lock's *creation
+//!   site* (file/line/column), so ordinary `cargo test` runs flag
+//!   inversions between lock classes without any model feature. Edges
+//!   between two locks of the same class are skipped (many instances of
+//!   one class are routinely nested, e.g. two different queues).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A small directed graph with incremental cycle detection.
+pub struct Graph<K: Eq + Hash + Clone> {
+    edges: HashMap<K, Vec<K>>,
+}
+
+impl<K: Eq + Hash + Clone> Default for Graph<K> {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> Graph<K> {
+    pub fn new() -> Self {
+        Graph {
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Add the edge `from -> to`. If this closes a cycle, return the
+    /// cycle as a node path starting and ending at `from` (the edge is
+    /// still recorded). Duplicate edges are ignored.
+    pub fn add_edge(&mut self, from: K, to: K) -> Option<Vec<K>> {
+        if from == to {
+            // Self-edges are the double-lock case, reported separately.
+            return None;
+        }
+        let out = self.edges.entry(from.clone()).or_default();
+        if out.contains(&to) {
+            return None;
+        }
+        out.push(to.clone());
+        // A cycle through the new edge exists iff `from` is reachable
+        // from `to`.
+        let path = self.find_path(&to, &from)?;
+        let mut cycle = Vec::with_capacity(path.len() + 2);
+        cycle.push(from.clone());
+        cycle.extend(path);
+        cycle.push(from);
+        Some(cycle)
+    }
+
+    /// DFS for a path `start ⇝ goal`; returns the node sequence from
+    /// `start` to `goal` inclusive.
+    fn find_path(&self, start: &K, goal: &K) -> Option<Vec<K>> {
+        let mut stack = vec![(start.clone(), vec![start.clone()])];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(start.clone());
+        while let Some((node, path)) = stack.pop() {
+            if &node == goal {
+                return Some(path);
+            }
+            if let Some(next) = self.edges.get(&node) {
+                for n in next {
+                    if seen.insert(n.clone()) {
+                        let mut p = path.clone();
+                        p.push(n.clone());
+                        stack.push((n.clone(), p));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Debug-build global detector
+// ---------------------------------------------------------------------------
+
+/// A lock's class: its creation site.
+pub type LockClass = (&'static str, u32, u32);
+
+#[doc(hidden)]
+pub fn class_of(loc: &'static std::panic::Location<'static>) -> LockClass {
+    (loc.file(), loc.line(), loc.column())
+}
+
+struct DebugState {
+    graph: Graph<LockClass>,
+}
+
+fn debug_state() -> &'static std::sync::Mutex<DebugState> {
+    static STATE: std::sync::OnceLock<std::sync::Mutex<DebugState>> = std::sync::OnceLock::new();
+    STATE.get_or_init(|| {
+        std::sync::Mutex::new(DebugState {
+            graph: Graph::new(),
+        })
+    })
+}
+
+thread_local! {
+    static HELD: std::cell::RefCell<Vec<LockClass>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn fmt_class(c: &LockClass) -> String {
+    format!("{}:{}:{}", c.0, c.1, c.2)
+}
+
+/// Record that the calling thread is acquiring a lock of class `class`
+/// while (possibly) holding others. Panics with an `M003` report when the
+/// cross-class acquisition graph acquires a cycle. Intended to be called
+/// only in debug builds (the facade compiles the calls out in release).
+pub fn debug_acquire(class: LockClass) {
+    let cycle = HELD.with(|h| {
+        let held = h.borrow();
+        if held.is_empty() {
+            return None;
+        }
+        let mut st = debug_state().lock().unwrap_or_else(|e| e.into_inner());
+        for held_class in held.iter() {
+            if *held_class == class {
+                continue;
+            }
+            if let Some(cycle) = st.graph.add_edge(*held_class, class) {
+                return Some(cycle);
+            }
+        }
+        None
+    });
+    HELD.with(|h| h.borrow_mut().push(class));
+    if let Some(cycle) = cycle {
+        let names: Vec<String> = cycle.iter().map(fmt_class).collect();
+        panic!(
+            "mh-model [M003] lock-order cycle between lock classes: {}\n\
+             (locks created at these sites are acquired in conflicting orders; \
+             a schedule interleaving these paths can deadlock)",
+            names.join(" -> ")
+        );
+    }
+}
+
+/// Record that the calling thread released a lock of class `class`.
+pub fn debug_release(class: LockClass) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(i) = held.iter().rposition(|c| *c == class) {
+            held.remove(i);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cycle_on_consistent_order() {
+        let mut g: Graph<u32> = Graph::new();
+        assert!(g.add_edge(1, 2).is_none());
+        assert!(g.add_edge(2, 3).is_none());
+        assert!(g.add_edge(1, 3).is_none());
+        // Duplicate edges are fine.
+        assert!(g.add_edge(1, 2).is_none());
+    }
+
+    #[test]
+    fn two_cycle_detected_with_path() {
+        let mut g: Graph<u32> = Graph::new();
+        assert!(g.add_edge(1, 2).is_none());
+        let cycle = g.add_edge(2, 1).expect("A/B-B/A must cycle");
+        assert_eq!(cycle.first(), Some(&2));
+        assert_eq!(cycle.last(), Some(&2));
+        assert!(cycle.contains(&1));
+    }
+
+    #[test]
+    fn three_cycle_detected() {
+        let mut g: Graph<u32> = Graph::new();
+        assert!(g.add_edge(1, 2).is_none());
+        assert!(g.add_edge(2, 3).is_none());
+        assert!(g.add_edge(3, 1).is_some());
+    }
+
+    #[test]
+    fn self_edge_ignored() {
+        let mut g: Graph<u32> = Graph::new();
+        assert!(g.add_edge(1, 1).is_none());
+        assert!(g.add_edge(1, 1).is_none());
+    }
+}

@@ -1,0 +1,1122 @@
+//! The model-checking runtime: a cooperative scheduler that runs each test
+//! body many times, choosing at every synchronization point which thread
+//! advances next, and systematically enumerating those choices.
+//!
+//! ## Execution model
+//!
+//! Every model thread is a real OS thread, but **exactly one is allowed to
+//! run at a time** — everyone else is parked on the execution's condvar.
+//! Each instrumented operation (lock, unlock, condvar wait/notify, atomic
+//! access, spawn, join, yield) calls [`Exec::op_point`]: the thread
+//! declares the operation it is *about to* perform, a scheduling decision
+//! picks who runs next, and the thread parks until it is chosen. Because
+//! only the active thread executes user code, a schedule (the sequence of
+//! decisions) fully determines the execution — runs are replayable.
+//!
+//! ## Exploration
+//!
+//! [`explore`] drives a depth-first search over schedules: each execution
+//! follows a replay `plan` (the decision prefix reached by backtracking)
+//! and then extends it with a default policy (keep the current thread
+//! running — the zero-preemption baseline). After a run, the deepest
+//! decision point with an unexplored alternative is flipped and the run
+//! repeats. Two prunings bound the search:
+//!
+//! * **Preemption bounding**: alternatives that would preempt a still
+//!   runnable thread are only explored while the path's preemption count
+//!   is within the budget (`preemption_bound`).
+//! * **Sleep sets**: after exploring thread `t` at a decision point, `t`
+//!   is put to sleep for the point's remaining branches and stays asleep
+//!   until another thread executes an operation *dependent* on `t`'s
+//!   pending one (same object, not both plain loads). Schedules that only
+//!   commute independent operations are never re-run.
+//!
+//! ## Failure detection
+//!
+//! A failing schedule surfaces as [`Failure`]: user panics/assertions
+//! (M005), deadlocks — every live thread blocked, which covers lost
+//! wakeups (M001), double-locks (M002), lock-order cycles via a
+//! runtime acquisition-order graph (M003), and livelocks via a bounded
+//! step budget (M004). The failure carries the decision string; setting
+//! `MH_MODEL_REPLAY=<string>` re-runs exactly that schedule.
+
+use crate::lockorder::Graph;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Sleep sets and explored sets are `u64` bitmasks over thread ids.
+pub(crate) const MAX_THREADS: usize = 63;
+
+/// Panic payload used to tear down parked threads once a failure is
+/// recorded. Caught (and swallowed) at each model thread's root.
+pub(crate) struct Abort;
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    Start,
+    Spawn(usize),
+    Join(usize),
+    Lock,
+    Unlock,
+    RdLock,
+    RdUnlock,
+    CvWait,
+    NotifyOne,
+    NotifyAll,
+    AtomicLoad,
+    AtomicStore,
+    AtomicRmw,
+    Yield,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Op {
+    pub kind: OpKind,
+    /// Primary object address (lock, condvar, atomic); 0 when none.
+    pub obj: usize,
+    /// Secondary object (the mutex of a condvar wait); 0 when none.
+    pub obj2: usize,
+}
+
+impl Op {
+    pub(crate) fn new(kind: OpKind, obj: usize) -> Self {
+        Op { kind, obj, obj2: 0 }
+    }
+}
+
+/// Are two operations dependent (non-commuting)? Conservative: thread
+/// lifecycle ops conflict with everything; otherwise ops conflict when
+/// they touch a common object unless both are plain atomic loads.
+fn dependent(a: &Op, b: &Op) -> bool {
+    use OpKind::*;
+    let wild = |k: &OpKind| matches!(k, Start | Spawn(_) | Join(_) | Yield);
+    if wild(&a.kind) || wild(&b.kind) {
+        return true;
+    }
+    let objs = |o: &Op| [o.obj, o.obj2];
+    let overlap = objs(a).iter().any(|&x| x != 0 && objs(b).contains(&x));
+    if !overlap {
+        return false;
+    }
+    !(a.kind == AtomicLoad && b.kind == AtomicLoad)
+}
+
+// ---------------------------------------------------------------------------
+// Failures
+// ---------------------------------------------------------------------------
+
+/// What went wrong on a failing schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every live thread is blocked (includes lost wakeups). `M001`.
+    Deadlock,
+    /// A thread re-acquired a lock it already holds. `M002`.
+    DoubleLock,
+    /// The runtime lock acquisition graph acquired a cycle. `M003`.
+    LockOrderCycle,
+    /// The execution exceeded the step budget without finishing. `M004`.
+    Livelock,
+    /// A model thread panicked (assertion failure). `M005`.
+    Panic,
+    /// A replay plan diverged from the recorded schedule. `M090`.
+    ReplayDivergence,
+    /// More threads than the checker supports. `M091`.
+    TooManyThreads,
+}
+
+impl FailureKind {
+    pub fn code(self) -> &'static str {
+        match self {
+            FailureKind::Deadlock => "M001",
+            FailureKind::DoubleLock => "M002",
+            FailureKind::LockOrderCycle => "M003",
+            FailureKind::Livelock => "M004",
+            FailureKind::Panic => "M005",
+            FailureKind::ReplayDivergence => "M090",
+            FailureKind::TooManyThreads => "M091",
+        }
+    }
+}
+
+/// A failing schedule: what happened, on which decision string, and a
+/// rendered trace. `Display` produces the full replayable report.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// One-line description, e.g. `deadlock: every live thread is blocked`.
+    pub message: String,
+    /// The decision string, e.g. `1,0,2` — feed to `MH_MODEL_REPLAY`.
+    pub schedule: String,
+    /// Which execution (1-based) of the exploration failed.
+    pub iteration: usize,
+    /// Human-readable per-step trace plus blocked-thread summary.
+    pub trace: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "mh-model [{}] {} (iteration {})",
+            self.kind.code(),
+            self.message,
+            self.iteration
+        )?;
+        write!(f, "{}", self.trace)?;
+        writeln!(f, "  schedule: [{}]", self.schedule)?;
+        writeln!(f, "  replay with: MH_MODEL_REPLAY={}", self.schedule)
+    }
+}
+
+impl std::error::Error for Failure {}
+
+// ---------------------------------------------------------------------------
+// Per-execution state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Running, or parked at an op point waiting for its turn.
+    Running,
+    /// Parked in a condvar wait; not schedulable until notified.
+    CvWaiting(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSlot {
+    pending: Option<Op>,
+    phase: Phase,
+    /// Addresses of exclusively-held locks, in acquisition order.
+    held: Vec<usize>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LockState {
+    Writer(usize),
+    Readers(Vec<usize>),
+}
+
+/// One recorded scheduling decision (only points with > 1 alternative are
+/// recorded; forced moves are silent and cost nothing to replay).
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    pub enabled: Vec<usize>,
+    pub chosen: usize,
+    /// True for notify_one wake-target choices (no preemption accounting).
+    pub is_wake: bool,
+    pub prev_active: usize,
+    pub preempt_before: usize,
+    pub sleep_entry: u64,
+}
+
+pub(crate) struct ExecSt {
+    // Configuration for this run.
+    plan: Vec<usize>,
+    /// Threads put to sleep right after the last planned decision (the
+    /// alternatives already explored at the branch point).
+    sleep_after_plan: u64,
+    max_steps: usize,
+    // Dynamic state.
+    threads: Vec<ThreadSlot>,
+    active: usize,
+    live: usize,
+    choices: Vec<Choice>,
+    ops: Vec<(usize, Op)>,
+    sleep: u64,
+    preemptions: usize,
+    locks: HashMap<usize, LockState>,
+    cv_waiters: HashMap<usize, VecDeque<usize>>,
+    lock_graph: Graph<usize>,
+    /// Display names: address -> (kind letter, per-kind index).
+    objects: HashMap<usize, (char, usize)>,
+    obj_counts: HashMap<char, usize>,
+    failure: Option<(FailureKind, String, String)>,
+    aborting: bool,
+    done: bool,
+}
+
+impl ExecSt {
+    fn obj_name(&mut self, kind: char, addr: usize) -> String {
+        if addr == 0 {
+            return String::new();
+        }
+        let next = self.obj_counts.entry(kind).or_insert(0);
+        let (k, i) = *self.objects.entry(addr).or_insert_with(|| {
+            let i = *next;
+            *next += 1;
+            (kind, i)
+        });
+        format!("{k}{i}")
+    }
+
+    fn op_label(&mut self, op: &Op) -> String {
+        match op.kind {
+            OpKind::Start => "start".to_string(),
+            OpKind::Spawn(t) => format!("spawn(t{t})"),
+            OpKind::Join(t) => format!("join(t{t})"),
+            OpKind::Lock => format!("lock({})", self.obj_name('m', op.obj)),
+            OpKind::Unlock => format!("unlock({})", self.obj_name('m', op.obj)),
+            OpKind::RdLock => format!("read_lock({})", self.obj_name('m', op.obj)),
+            OpKind::RdUnlock => format!("read_unlock({})", self.obj_name('m', op.obj)),
+            OpKind::CvWait => format!(
+                "wait({}, {})",
+                self.obj_name('c', op.obj),
+                self.obj_name('m', op.obj2)
+            ),
+            OpKind::NotifyOne => format!("notify_one({})", self.obj_name('c', op.obj)),
+            OpKind::NotifyAll => format!("notify_all({})", self.obj_name('c', op.obj)),
+            OpKind::AtomicLoad => format!("atomic_load({})", self.obj_name('a', op.obj)),
+            OpKind::AtomicStore => format!("atomic_store({})", self.obj_name('a', op.obj)),
+            OpKind::AtomicRmw => format!("atomic_rmw({})", self.obj_name('a', op.obj)),
+            OpKind::Yield => "yield".to_string(),
+        }
+    }
+
+    /// Render the executed-op trace (tail-truncated) plus, for blocking
+    /// failures, one line per live thread describing what it waits on.
+    fn render_trace(&mut self, blocked_summary: bool) -> String {
+        let mut out = String::new();
+        if blocked_summary {
+            for tid in 0..self.threads.len() {
+                if self.threads[tid].phase == Phase::Finished {
+                    continue;
+                }
+                let line = match (self.threads[tid].phase, self.threads[tid].pending) {
+                    (Phase::CvWaiting(cv), _) => {
+                        format!("  t{tid} blocked: wait({})", self.obj_name('c', cv))
+                    }
+                    (_, Some(op)) => {
+                        let extra = match (op.kind, self.locks.get(&op.obj)) {
+                            (OpKind::Lock, Some(LockState::Writer(h))) => {
+                                format!(" (held by t{h})")
+                            }
+                            (OpKind::Lock, Some(LockState::Readers(r))) if !r.is_empty() => {
+                                format!(" (read-held by {:?})", r)
+                            }
+                            _ => String::new(),
+                        };
+                        let label = self.op_label(&op);
+                        format!("  t{tid} blocked: {label}{extra}")
+                    }
+                    (_, None) => format!("  t{tid}: running"),
+                };
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        let total = self.ops.len();
+        let start = total.saturating_sub(40);
+        out.push_str(&format!("  trace ({} of {} ops):\n", total - start, total));
+        let ops: Vec<(usize, Op)> = self.ops[start..].to_vec();
+        for (i, (tid, op)) in ops.iter().enumerate() {
+            let label = self.op_label(op);
+            out.push_str(&format!("    #{:<4} t{tid} {label}\n", start + i));
+        }
+        out
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String, blocked_summary: bool) {
+        if self.failure.is_none() {
+            let trace = self.render_trace(blocked_summary);
+            self.failure = Some((kind, message, trace));
+        }
+        self.aborting = true;
+    }
+
+    /// Is `tid`'s pending operation startable right now?
+    fn enabled(&self, tid: usize) -> bool {
+        let t = &self.threads[tid];
+        if t.phase != Phase::Running {
+            return false;
+        }
+        let Some(op) = t.pending else { return false };
+        match op.kind {
+            OpKind::Lock => !self.locks.contains_key(&op.obj),
+            OpKind::RdLock => !matches!(self.locks.get(&op.obj), Some(LockState::Writer(_))),
+            OpKind::Join(target) => self.threads[target].phase == Phase::Finished,
+            _ => true,
+        }
+    }
+
+    fn enabled_set(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.enabled(t))
+            .collect()
+    }
+
+    /// Take one scheduling decision among `enabled` (threads or, for
+    /// `is_wake`, notify targets) and record it when it is a real choice.
+    /// Returns the pick.
+    fn decide(&mut self, enabled: Vec<usize>, is_wake: bool, prefer: Option<usize>) -> usize {
+        debug_assert!(!enabled.is_empty());
+        if enabled.len() == 1 {
+            return enabled[0];
+        }
+        let step = self.choices.len();
+        let chosen = if step < self.plan.len() {
+            let want = self.plan[step];
+            if !enabled.contains(&want) {
+                self.fail(
+                    FailureKind::ReplayDivergence,
+                    format!(
+                        "replay divergence at decision {step}: planned t{want}, enabled {:?}",
+                        enabled
+                    ),
+                    false,
+                );
+                enabled[0]
+            } else {
+                want
+            }
+        } else {
+            // Default policy: keep the preferred (previously running)
+            // thread going if possible, avoiding sleeping threads; fall
+            // back to the first enabled one.
+            let awake = |t: &usize| self.sleep & (1u64 << *t) == 0;
+            prefer
+                .filter(|p| enabled.contains(p) && awake(p))
+                .or_else(|| enabled.iter().copied().find(|t| awake(t)))
+                .unwrap_or(enabled[0])
+        };
+        let preempt_before = self.preemptions;
+        if !is_wake && chosen != self.active && enabled.contains(&self.active) {
+            self.preemptions += 1;
+        }
+        self.choices.push(Choice {
+            enabled,
+            chosen,
+            is_wake,
+            prev_active: self.active,
+            preempt_before,
+            sleep_entry: self.sleep,
+        });
+        self.sleep &= !(1u64 << chosen);
+        if self.choices.len() == self.plan.len() {
+            // We just took the branch-point decision: the alternatives the
+            // DFS already explored there go to sleep for this branch.
+            self.sleep |= self.sleep_after_plan & !(1u64 << chosen);
+        }
+        chosen
+    }
+
+    /// Pick the next thread to run (after the current thread declared an
+    /// op, blocked in a condvar, or finished). Handles completion and
+    /// deadlock. Returns false when the execution is over (done/failed).
+    fn schedule(&mut self) -> bool {
+        if self.aborting {
+            return false;
+        }
+        if self.live == 0 {
+            self.done = true;
+            return false;
+        }
+        let enabled = self.enabled_set();
+        if enabled.is_empty() {
+            self.fail(
+                FailureKind::Deadlock,
+                "deadlock: every live thread is blocked".to_string(),
+                true,
+            );
+            return false;
+        }
+        let prefer = Some(self.active);
+        let chosen = self.decide(enabled, false, prefer);
+        self.active = chosen;
+        true
+    }
+
+    /// Apply the semantics of `op` (executed by `tid`) to the scheduler
+    /// state: lock bookkeeping, condvar queues, trace recording, sleep-set
+    /// wakeups, lock-order checking.
+    fn apply(&mut self, tid: usize, op: Op) {
+        if self.ops.len() >= self.max_steps {
+            self.fail(
+                FailureKind::Livelock,
+                format!(
+                    "livelock: execution exceeded {} steps without finishing \
+                     (possible lost wakeup or spin loop)",
+                    self.max_steps
+                ),
+                true,
+            );
+            return;
+        }
+        self.ops.push((tid, op));
+        // Wake sleeping threads whose pending op depends on this one.
+        if self.sleep != 0 {
+            for u in 0..self.threads.len() {
+                if self.sleep & (1u64 << u) == 0 || u == tid {
+                    continue;
+                }
+                if let Some(p) = self.threads[u].pending {
+                    if dependent(&op, &p) {
+                        self.sleep &= !(1u64 << u);
+                    }
+                }
+            }
+        }
+        match op.kind {
+            OpKind::Lock => {
+                // Lock-order: an edge held -> acquired; a cycle means two
+                // code paths acquire the same locks in opposite orders.
+                let held = self.threads[tid].held.clone();
+                for h in held {
+                    if let Some(cycle) = self.lock_graph.add_edge(h, op.obj) {
+                        let names: Vec<String> =
+                            cycle.iter().map(|&a| self.obj_name('m', a)).collect();
+                        self.fail(
+                            FailureKind::LockOrderCycle,
+                            format!("lock-order cycle: {}", names.join(" -> ")),
+                            false,
+                        );
+                        return;
+                    }
+                }
+                self.locks.insert(op.obj, LockState::Writer(tid));
+                self.threads[tid].held.push(op.obj);
+            }
+            OpKind::Unlock => {
+                self.locks.remove(&op.obj);
+                self.threads[tid].held.retain(|&a| a != op.obj);
+            }
+            OpKind::RdLock => {
+                match self
+                    .locks
+                    .entry(op.obj)
+                    .or_insert_with(|| LockState::Readers(Vec::new()))
+                {
+                    LockState::Readers(r) => r.push(tid),
+                    LockState::Writer(_) => {}
+                }
+            }
+            OpKind::RdUnlock => {
+                let empty = match self.locks.get_mut(&op.obj) {
+                    Some(LockState::Readers(r)) => {
+                        if let Some(i) = r.iter().position(|&t| t == tid) {
+                            r.remove(i);
+                        }
+                        r.is_empty()
+                    }
+                    _ => false,
+                };
+                if empty {
+                    self.locks.remove(&op.obj);
+                }
+            }
+            OpKind::CvWait => {
+                // Atomically release the mutex and join the wait queue.
+                self.locks.remove(&op.obj2);
+                self.threads[tid].held.retain(|&a| a != op.obj2);
+                self.cv_waiters.entry(op.obj).or_default().push_back(tid);
+                self.threads[tid].phase = Phase::CvWaiting(op.obj);
+                // What the thread will do once notified: reacquire.
+                self.threads[tid].pending = Some(Op::new(OpKind::Lock, op.obj2));
+            }
+            OpKind::NotifyOne => {
+                let waiters: Vec<usize> = self
+                    .cv_waiters
+                    .get(&op.obj)
+                    .map(|q| q.iter().copied().collect())
+                    .unwrap_or_default();
+                if !waiters.is_empty() {
+                    // Which waiter wakes is itself nondeterministic: a
+                    // recorded decision, explored like a thread choice.
+                    let woken = self.decide(waiters, true, None);
+                    if let Some(q) = self.cv_waiters.get_mut(&op.obj) {
+                        q.retain(|&t| t != woken);
+                    }
+                    self.threads[woken].phase = Phase::Running;
+                }
+            }
+            OpKind::NotifyAll => {
+                if let Some(q) = self.cv_waiters.remove(&op.obj) {
+                    for t in q {
+                        self.threads[t].phase = Phase::Running;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared execution object and thread-local context
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Exec {
+    m: StdMutex<ExecSt>,
+    cv: StdCondvar,
+}
+
+struct Ctx {
+    exec: Arc<Exec>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Is the calling OS thread a model thread inside an active execution?
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<Exec>, usize) -> R) -> Option<R> {
+    CTX.with(|c| {
+        let b = c.borrow();
+        b.as_ref().map(|ctx| f(&ctx.exec, ctx.tid))
+    })
+}
+
+fn lock_st(exec: &Exec) -> StdMutexGuard<'_, ExecSt> {
+    exec.m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Exec {
+    fn new(cfg: &Config, plan: Vec<usize>, sleep_after_plan: u64) -> Self {
+        Exec {
+            m: StdMutex::new(ExecSt {
+                plan,
+                sleep_after_plan,
+                max_steps: cfg.max_steps,
+                threads: vec![ThreadSlot {
+                    pending: Some(Op::new(OpKind::Start, 0)),
+                    phase: Phase::Running,
+                    held: Vec::new(),
+                }],
+                active: 0,
+                live: 1,
+                choices: Vec::new(),
+                ops: Vec::new(),
+                sleep: 0,
+                preemptions: 0,
+                locks: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                lock_graph: Graph::new(),
+                objects: HashMap::new(),
+                obj_counts: HashMap::new(),
+                failure: None,
+                aborting: false,
+                done: false,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Park until this thread is the active one. On abort: panic with
+    /// [`Abort`] so the thread unwinds — unless it is already unwinding,
+    /// in which case it returns and the caller skips all bookkeeping.
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, ExecSt>,
+        tid: usize,
+    ) -> StdMutexGuard<'a, ExecSt> {
+        loop {
+            if st.aborting {
+                if std::thread::panicking() {
+                    return st;
+                }
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == tid && st.threads[tid].phase == Phase::Running {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The core handshake: declare `op`, let the scheduler pick who runs,
+    /// park until chosen, then apply the op's semantics. On return the
+    /// calling thread is active and may perform the op's data part.
+    fn op_point(&self, tid: usize, op: Op) {
+        let mut st = lock_st(self);
+        if st.aborting {
+            if std::thread::panicking() {
+                return;
+            }
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        // Immediate-error checks on the declaration itself.
+        if let OpKind::Lock = op.kind {
+            let self_held = match st.locks.get(&op.obj) {
+                Some(LockState::Writer(h)) => *h == tid,
+                Some(LockState::Readers(r)) => r.contains(&tid),
+                None => false,
+            };
+            if self_held {
+                let name = st.obj_name('m', op.obj);
+                st.fail(
+                    FailureKind::DoubleLock,
+                    format!("double lock: t{tid} acquired {name} while already holding it"),
+                    false,
+                );
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+        }
+        st.threads[tid].pending = Some(op);
+        if !st.schedule() {
+            self.cv.notify_all();
+            st = self.wait_turn(st, tid); // aborts or (done) never returns here
+            drop(st);
+            return;
+        }
+        self.cv.notify_all();
+        st = self.wait_turn(st, tid);
+        if st.aborting {
+            return;
+        }
+        if let Some(op) = st.threads[tid].pending.take() {
+            st.apply(tid, op);
+            if st.aborting {
+                drop(st);
+                if !std::thread::panicking() {
+                    self.cv.notify_all();
+                    std::panic::panic_any(Abort);
+                }
+            }
+        }
+    }
+
+    fn finish(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = lock_st(self);
+        st.threads[tid].phase = Phase::Finished;
+        st.threads[tid].pending = None;
+        st.live -= 1;
+        if let Some(msg) = panic_msg {
+            st.fail(FailureKind::Panic, format!("panic: {msg}"), false);
+        }
+        if !st.aborting {
+            st.schedule();
+        }
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public (crate-internal) instrumentation entry points
+// ---------------------------------------------------------------------------
+
+/// A no-effect scheduling point (atomics, yields). No-op outside a model
+/// execution.
+pub(crate) fn point(op: Op) {
+    let _ = with_ctx(|exec, tid| exec.op_point(tid, op));
+}
+
+pub(crate) fn lock(addr: usize) {
+    point(Op::new(OpKind::Lock, addr));
+}
+
+pub(crate) fn unlock(addr: usize) {
+    point(Op::new(OpKind::Unlock, addr));
+}
+
+pub(crate) fn rd_lock(addr: usize) {
+    point(Op::new(OpKind::RdLock, addr));
+}
+
+pub(crate) fn rd_unlock(addr: usize) {
+    point(Op::new(OpKind::RdUnlock, addr));
+}
+
+pub(crate) fn notify(addr: usize, all: bool) {
+    let kind = if all {
+        OpKind::NotifyAll
+    } else {
+        OpKind::NotifyOne
+    };
+    point(Op::new(kind, addr));
+}
+
+/// Condvar wait: release the mutex and block until notified, then
+/// reacquire. Two park episodes within one logical operation.
+pub(crate) fn cv_wait(cv: usize, mutex: usize) {
+    let ran = with_ctx(|exec, tid| {
+        // Phase 1: the wait itself (always startable). After `apply` runs
+        // we are in CvWaiting and scheduled out.
+        exec.op_point(
+            tid,
+            Op {
+                kind: OpKind::CvWait,
+                obj: cv,
+                obj2: mutex,
+            },
+        );
+        // We are active but now CvWaiting: hand control to someone else
+        // and park until notified *and* chosen (with the mutex free).
+        let mut st = lock_st(exec);
+        if !st.aborting {
+            st.schedule();
+        }
+        exec.cv.notify_all();
+        st = exec.wait_turn(st, tid);
+        if st.aborting {
+            return;
+        }
+        // Phase 2: the reacquisition (pending was set to Lock(mutex)).
+        if let Some(op) = st.threads[tid].pending.take() {
+            st.apply(tid, op);
+        }
+    });
+    debug_assert!(ran.is_some(), "cv_wait outside a model execution");
+}
+
+/// Result slot + completion flag shared between a spawned model thread and
+/// its join handle.
+pub(crate) struct ThreadDone {
+    done: StdMutex<bool>,
+    cv: StdCondvar,
+    pub(crate) panic_payload: StdMutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ThreadDone {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ThreadDone {
+            done: StdMutex::new(false),
+            cv: StdCondvar::new(),
+            panic_payload: StdMutex::new(None),
+        })
+    }
+
+    pub(crate) fn set(&self) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    /// Raw (non-scheduler) wait for thread completion; only for teardown
+    /// and fallback joins.
+    pub(crate) fn wait(&self) {
+        let mut g = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn thread_main(exec: Arc<Exec>, tid: usize, main: Box<dyn FnOnce() + Send>, done: Arc<ThreadDone>) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+        })
+    });
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // First turn: consume the Start op.
+        {
+            let st = lock_st(&exec);
+            let mut st = exec.wait_turn(st, tid);
+            if !st.aborting {
+                if let Some(op) = st.threads[tid].pending.take() {
+                    st.apply(tid, op);
+                }
+            }
+        }
+        main();
+    }));
+    let panic_msg = match result {
+        Ok(()) => None,
+        Err(p) => {
+            if p.downcast_ref::<Abort>().is_some() {
+                None
+            } else {
+                let msg = panic_message(p.as_ref());
+                *done.panic_payload.lock().unwrap_or_else(|e| e.into_inner()) = Some(p);
+                Some(msg)
+            }
+        }
+    };
+    exec.finish(tid, panic_msg);
+    CTX.with(|c| *c.borrow_mut() = None);
+    done.set();
+}
+
+/// Spawn a model thread running `main`. Must be called from a model
+/// thread; the spawn itself is a scheduling point. Returns the child's
+/// tid and completion flag.
+pub(crate) fn model_spawn(main: Box<dyn FnOnce() + Send>) -> (usize, Arc<ThreadDone>) {
+    with_ctx(|exec, tid| {
+        let done = ThreadDone::new();
+        let child = {
+            let mut st = lock_st(exec);
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            let child = st.threads.len();
+            if child >= MAX_THREADS {
+                st.fail(
+                    FailureKind::TooManyThreads,
+                    format!("more than {MAX_THREADS} threads in one execution"),
+                    false,
+                );
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            st.threads.push(ThreadSlot {
+                pending: Some(Op::new(OpKind::Start, 0)),
+                phase: Phase::Running,
+                held: Vec::new(),
+            });
+            st.live += 1;
+            child
+        };
+        let exec2 = Arc::clone(exec);
+        let done2 = Arc::clone(&done);
+        std::thread::Builder::new()
+            .name(format!("mh-model-t{child}"))
+            .stack_size(256 * 1024)
+            .spawn(move || thread_main(exec2, child, main, done2))
+            .expect("spawning a model thread");
+        exec.op_point(tid, Op::new(OpKind::Spawn(child), 0));
+        (child, done)
+    })
+    .expect("model_spawn outside a model execution")
+}
+
+/// Join a model thread through the scheduler (blocks until the target is
+/// finished, as a schedulable decision).
+pub(crate) fn model_join(target: usize) {
+    let ran = with_ctx(|exec, tid| exec.op_point(tid, Op::new(OpKind::Join(target), 0)));
+    debug_assert!(ran.is_some(), "model_join outside a model execution");
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Config {
+    pub preemption_bound: Option<usize>,
+    pub max_iterations: usize,
+    pub max_steps: usize,
+}
+
+/// Aggregate statistics of one exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Executions run.
+    pub iterations: usize,
+    /// Total recorded scheduling decisions across all executions.
+    pub decisions: u64,
+    /// True when the (bounded) schedule tree was exhausted; false when the
+    /// iteration budget ran out first.
+    pub complete: bool,
+}
+
+struct RunOutcome {
+    choices: Vec<Choice>,
+    failure: Option<(FailureKind, String, String)>,
+}
+
+/// Serializes explorations process-wide: model runs may interleave on
+/// shared global objects (metric registries, thread-count overrides), and
+/// two concurrent executions exploring the same global mutex would both
+/// believe they own it.
+fn run_serializer() -> &'static StdMutex<()> {
+    static LOCK: std::sync::OnceLock<StdMutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| StdMutex::new(()))
+}
+
+fn run_one<F>(cfg: &Config, plan: Vec<usize>, sleep_after_plan: u64, f: Arc<F>) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Exec::new(cfg, plan, sleep_after_plan));
+    let done = ThreadDone::new();
+    let exec2 = Arc::clone(&exec);
+    let done2 = Arc::clone(&done);
+    let root = std::thread::Builder::new()
+        .name("mh-model-t0".to_string())
+        .stack_size(512 * 1024)
+        .spawn(move || thread_main(exec2, 0, Box::new(move || f()), done2))
+        .expect("spawning the model root thread");
+    // Wait for every model thread to finish (normal completion or abort
+    // teardown both drive `live` to zero).
+    {
+        let mut st = lock_st(&exec);
+        while st.live > 0 {
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = root.join();
+    let mut st = lock_st(&exec);
+    RunOutcome {
+        choices: st.choices.clone(),
+        failure: st.failure.take(),
+    }
+}
+
+struct PathNode {
+    enabled: Vec<usize>,
+    chosen: usize,
+    explored: u64,
+    is_wake: bool,
+    prev_active: usize,
+    preempt_before: usize,
+    sleep_entry: u64,
+}
+
+fn schedule_string(choices: &[Choice]) -> String {
+    choices
+        .iter()
+        .map(|c| c.chosen.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parse a decision string (`"0,1,2"`); empty string means empty plan.
+pub(crate) fn parse_schedule(s: &str) -> Result<Vec<usize>, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad decision {p:?} in schedule {s:?}"))
+        })
+        .collect()
+}
+
+fn make_failure(
+    pf: (FailureKind, String, String),
+    choices: &[Choice],
+    iteration: usize,
+) -> Failure {
+    Failure {
+        kind: pf.0,
+        message: pf.1,
+        trace: pf.2,
+        schedule: schedule_string(choices),
+        iteration,
+    }
+}
+
+/// Run a single execution following `plan` exactly (decisions beyond the
+/// plan use the default policy). Used for `MH_MODEL_REPLAY`.
+pub(crate) fn replay<F>(cfg: &Config, plan: Vec<usize>, f: Arc<F>) -> Result<Stats, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = run_serializer().lock().unwrap_or_else(|e| e.into_inner());
+    let out = run_one(cfg, plan, 0, f);
+    let decisions = out.choices.len() as u64;
+    match out.failure {
+        Some(pf) => Err(make_failure(pf, &out.choices, 1)),
+        None => Ok(Stats {
+            iterations: 1,
+            decisions,
+            complete: false,
+        }),
+    }
+}
+
+/// Exhaustively (up to the preemption bound and iteration budget) explore
+/// the schedules of `f`, returning the first failure found.
+pub(crate) fn explore<F>(cfg: &Config, f: Arc<F>) -> Result<Stats, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        !in_model(),
+        "nested model checking: check() called from inside a model execution"
+    );
+    let _serial = run_serializer().lock().unwrap_or_else(|e| e.into_inner());
+    let mut path: Vec<PathNode> = Vec::new();
+    let mut stats = Stats {
+        iterations: 0,
+        decisions: 0,
+        complete: false,
+    };
+    loop {
+        stats.iterations += 1;
+        let plan: Vec<usize> = path.iter().map(|n| n.chosen).collect();
+        let sleep_after_plan = path
+            .last()
+            .map(|n| n.explored & !(1u64 << n.chosen))
+            .unwrap_or(0);
+        let out = run_one(cfg, plan, sleep_after_plan, Arc::clone(&f));
+        stats.decisions += out.choices.len() as u64;
+        if let Some(pf) = out.failure {
+            return Err(make_failure(pf, &out.choices, stats.iterations));
+        }
+        for c in out.choices.iter().skip(path.len()) {
+            path.push(PathNode {
+                enabled: c.enabled.clone(),
+                chosen: c.chosen,
+                explored: 1u64 << c.chosen,
+                is_wake: c.is_wake,
+                prev_active: c.prev_active,
+                preempt_before: c.preempt_before,
+                sleep_entry: c.sleep_entry,
+            });
+        }
+        // Depth-first backtrack to the deepest point with an unexplored,
+        // non-sleeping, within-budget alternative.
+        loop {
+            let Some(node) = path.last_mut() else {
+                stats.complete = true;
+                return Ok(stats);
+            };
+            let mut next = None;
+            for &t in &node.enabled {
+                let bit = 1u64 << t;
+                if node.explored & bit != 0 {
+                    continue;
+                }
+                if !node.is_wake && node.sleep_entry & bit != 0 {
+                    // Sleeping: covered by a sibling branch.
+                    node.explored |= bit;
+                    continue;
+                }
+                if !node.is_wake {
+                    if let Some(bound) = cfg.preemption_bound {
+                        let cost = usize::from(
+                            t != node.prev_active && node.enabled.contains(&node.prev_active),
+                        );
+                        if node.preempt_before + cost > bound {
+                            node.explored |= bit;
+                            continue;
+                        }
+                    }
+                }
+                next = Some(t);
+                break;
+            }
+            match next {
+                Some(t) => {
+                    node.explored |= 1u64 << t;
+                    node.chosen = t;
+                    break;
+                }
+                None => {
+                    path.pop();
+                }
+            }
+        }
+        if stats.iterations >= cfg.max_iterations {
+            return Ok(stats);
+        }
+    }
+}

@@ -36,6 +36,7 @@
 pub mod log;
 pub mod metrics;
 pub mod prof;
+mod shim;
 pub mod span;
 
 pub use metrics::{

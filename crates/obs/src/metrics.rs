@@ -13,9 +13,10 @@
 //! `&'static` references; the set of metric names in a process is small
 //! and fixed, so this is a bounded, deliberate leak.
 
+use crate::shim::{AtomicI64, AtomicU64, Mutex};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -199,10 +200,6 @@ pub struct Registry {
     entries: Mutex<BTreeMap<String, Entry>>,
 }
 
-fn lock_entries(r: &Registry) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
-    r.entries.lock().unwrap_or_else(|e| e.into_inner())
-}
-
 /// Series key: metric name plus rendered labels, so differently-labeled
 /// series of the same metric coexist.
 fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
@@ -234,7 +231,7 @@ impl Registry {
 
     /// Register (or fetch) a counter with label pairs.
     pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> &'static Counter {
-        let mut entries = lock_entries(self);
+        let mut entries = self.entries.lock();
         let entry = entries
             .entry(series_key(name, labels))
             .or_insert_with(|| Entry {
@@ -259,7 +256,7 @@ impl Registry {
     }
 
     pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> &'static Gauge {
-        let mut entries = lock_entries(self);
+        let mut entries = self.entries.lock();
         let entry = entries
             .entry(series_key(name, labels))
             .or_insert_with(|| Entry {
@@ -288,7 +285,7 @@ impl Registry {
         labels: &[(&str, &str)],
         bounds: &[f64],
     ) -> &'static Histogram {
-        let mut entries = lock_entries(self);
+        let mut entries = self.entries.lock();
         let entry = entries
             .entry(series_key(name, labels))
             .or_insert_with(|| Entry {
@@ -308,7 +305,7 @@ impl Registry {
     /// Point-in-time readings of every registered series, sorted by
     /// (name, labels) — deterministic for tests and reports.
     pub fn snapshot(&self) -> Vec<Sample> {
-        let entries = lock_entries(self);
+        let entries = self.entries.lock();
         entries
             .values()
             .map(|e| Sample {
@@ -329,7 +326,7 @@ impl Registry {
     /// format: one `# TYPE` line per metric name, then its series in
     /// deterministic (name, labels) order.
     pub fn render_prometheus(&self) -> String {
-        let entries = lock_entries(self);
+        let entries = self.entries.lock();
         // Group by metric name, preserving BTreeMap order.
         let mut out = String::new();
         let mut last_name: Option<&str> = None;
@@ -490,6 +487,8 @@ mod tests {
         );
     }
 
+    /// With `--features model` this exercises the instrumented shim's
+    /// real-primitive fallback path (no checker run active).
     #[test]
     fn concurrent_histogram_sum_is_exact_for_integers() {
         let r = Registry::new();
@@ -506,5 +505,69 @@ mod tests {
         assert_eq!(h.count(), 8000);
         assert!((h.sum() - 8000.0).abs() < 1e-9);
         assert_eq!(h.bucket_counts(), vec![8000, 0, 0]);
+    }
+}
+
+/// Model-checked explorations of the registry's concurrency-sensitive
+/// paths (`cargo test -p mh-obs --features model`). These run every
+/// interleaving of the instrumented mutex/atomic operations up to the
+/// preemption bound, so a lost registration or torn histogram update is
+/// found deterministically rather than by stress.
+#[cfg(all(test, feature = "model"))]
+mod model_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Two threads racing to get-or-register the same counter name must
+    /// resolve to the *same* storage — a lost registration would drop one
+    /// thread's increments on a detached counter.
+    #[test]
+    fn model_get_or_register_single_storage() {
+        let stats = mh_model::Builder::new().preemption_bound(2).check(|| {
+            let r = Arc::new(Registry::new());
+            let (ra, rb) = (Arc::clone(&r), Arc::clone(&r));
+            let ta = mh_model::sync::thread::spawn(move || {
+                let c = ra.counter_labeled("model_reg_total", &[("side", "x")]);
+                c.inc();
+                c as *const Counter as usize
+            });
+            let tb = mh_model::sync::thread::spawn(move || {
+                let c = rb.counter_labeled("model_reg_total", &[("side", "x")]);
+                c.inc();
+                c as *const Counter as usize
+            });
+            let pa = ta.join().expect("registering thread a");
+            let pb = tb.join().expect("registering thread b");
+            assert_eq!(pa, pb, "racing registrations resolved to different storage");
+            let snap = r.snapshot();
+            assert_eq!(snap.len(), 1, "exactly one series registered");
+            assert_eq!(snap[0].value, SampleValue::Counter(2));
+        });
+        assert!(stats.complete, "exploration should finish within budget");
+        assert!(stats.iterations > 1, "expected multiple interleavings");
+    }
+
+    /// Concurrent `observe` calls: the bucket/count `fetch_add`s and the
+    /// CAS loop over `sum_bits` must not lose updates under any
+    /// interleaving.
+    #[test]
+    fn model_histogram_observe_no_lost_updates() {
+        let stats = mh_model::Builder::new().preemption_bound(2).check(|| {
+            let h = Arc::new(Histogram::new(&[2.0]));
+            let (ha, hb) = (Arc::clone(&h), Arc::clone(&h));
+            let ta = mh_model::sync::thread::spawn(move || ha.observe(1.0));
+            let tb = mh_model::sync::thread::spawn(move || hb.observe(3.0));
+            ta.join().expect("observer a");
+            tb.join().expect("observer b");
+            assert_eq!(h.count(), 2);
+            assert_eq!(h.bucket_counts(), vec![1, 1]);
+            assert!(
+                (h.sum() - 4.0).abs() < 1e-9,
+                "sum lost an update: {}",
+                h.sum()
+            );
+        });
+        assert!(stats.complete, "exploration should finish within budget");
+        assert!(stats.iterations > 1, "expected multiple interleavings");
     }
 }

@@ -1,0 +1,58 @@
+//! Internal sync shim for the metrics registry.
+//!
+//! mh-obs sits *below* `mh-par` in the dependency graph, so it cannot use
+//! the workspace sync facade (`mh_par::sync`) — instead it is part of the
+//! facade lint's allowlist and carries this tiny shim: by default the
+//! registry runs on raw std primitives (keeping the crate
+//! dependency-free); under the `model` feature the registry mutex and the
+//! metric atomics resolve to mh-model's instrumented versions, so the
+//! get-or-register and histogram-increment paths can be explored by the
+//! deterministic model checker (`cargo test -p mh-obs --features model`).
+
+#[cfg(feature = "model")]
+pub(crate) use mh_model::sync::atomic::{AtomicI64, AtomicU64};
+#[cfg(feature = "model")]
+pub(crate) use mh_model::sync::Mutex;
+
+#[cfg(not(feature = "model"))]
+mod std_shim {
+    use std::ops::{Deref, DerefMut};
+
+    pub(crate) use std::sync::atomic::{AtomicI64, AtomicU64};
+
+    /// `std::sync::Mutex` with poisoning swallowed (lock state is
+    /// re-validated by every caller anyway) and a guard-returning `lock`
+    /// matching the model backend's API.
+    #[derive(Debug, Default)]
+    pub(crate) struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard {
+                inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+    }
+
+    pub(crate) struct MutexGuard<'a, T: ?Sized> {
+        inner: std::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+}
+
+#[cfg(not(feature = "model"))]
+pub(crate) use std_shim::*;

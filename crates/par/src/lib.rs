@@ -1,10 +1,10 @@
 //! # mh-par
 //!
 //! The workspace's work-scheduling layer: a scoped worker pool fed from a
-//! bounded work queue, built on the vendored `crossbeam` scoped threads and
-//! `parking_lot` locks. PAS archival, segment retrieval, progressive
-//! evaluation, solver candidate scoring, and `fsck --deep` all fan out
-//! through [`parallel_map`] and friends.
+//! bounded work queue, built on the workspace sync facade ([`sync`]). PAS
+//! archival, segment retrieval, progressive evaluation, solver candidate
+//! scoring, and `fsck --deep` all fan out through [`parallel_map`] and
+//! friends.
 //!
 //! Design rules, in priority order:
 //!
@@ -23,13 +23,30 @@
 //! argument, the process-wide override set by [`set_threads`] (the CLI
 //! `--jobs` flag), the `MH_THREADS` environment variable, and finally
 //! [`std::thread::available_parallelism`].
+//!
+//! All shared-state primitives come from [`sync`] — std-backed by
+//! default, instrumented for the deterministic model checker under the
+//! `model` feature (`cargo test -p mh-par --features model` runs the
+//! exhaustive interleaving suites in `model_tests`).
 
-use parking_lot::Mutex;
+pub mod sync;
+
+/// The model checker itself, re-exported so downstream crates can write
+/// model-checked tests (`mh_par::model::Builder`) without depending on
+/// `mh-model` directly.
+pub use mh_model as model;
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Condvar;
-use std::time::Instant;
+use sync::atomic::{AtomicUsize, Ordering};
+use sync::{Condvar, Mutex};
+
+/// Which sync backend this build compiled against: `"std"` (real
+/// primitives) or `"model"` (checker-instrumented primitives with a
+/// graceful runtime fallback). Surfaced by `modelhub fsck --version`.
+pub fn backend() -> &'static str {
+    sync::BACKEND
+}
 
 /// Pre-register the pool's metric series in the global mh-obs registry so
 /// they appear (at zero) in `/metrics` before any parallel work runs.
@@ -93,6 +110,14 @@ pub fn current_threads() -> usize {
 /// while empty. Closing wakes everyone; `close_and_discard` additionally
 /// drops pending items so a stalled producer can never deadlock against
 /// dead consumers.
+///
+/// The mutex/condvar pairing is one coherent facade implementation
+/// (previously a `parking_lot` mutex was paired with a `std` condvar,
+/// which only type-checked because the vendored stub re-exported std's
+/// guard type). Wake-up discipline: each state transition notifies the
+/// one condvar it can satisfy (`not_empty` after push, `not_full` after
+/// pop — `notify_one` each, since one transition unblocks at most one
+/// waiter), and closing notifies **all** waiters on both sides.
 #[derive(Debug)]
 pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
@@ -133,7 +158,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            guard = self.not_full.wait(guard).unwrap_or_else(|e| e.into_inner());
+            guard = self.not_full.wait(guard);
         }
     }
 
@@ -148,10 +173,7 @@ impl<T> BoundedQueue<T> {
             if guard.closed {
                 return None;
             }
-            guard = self
-                .not_empty
-                .wait(guard)
-                .unwrap_or_else(|e| e.into_inner());
+            guard = self.not_empty.wait(guard);
         }
     }
 
@@ -162,6 +184,7 @@ impl<T> BoundedQueue<T> {
         guard.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
+        drop(guard);
     }
 
     /// Close AND discard pending items — the failure path: consumers stop
@@ -172,6 +195,7 @@ impl<T> BoundedQueue<T> {
         guard.items.clear();
         self.not_empty.notify_all();
         self.not_full.notify_all();
+        drop(guard);
     }
 
     pub fn len(&self) -> usize {
@@ -227,7 +251,7 @@ where
             .collect());
     }
 
-    let queue: BoundedQueue<(usize, Instant)> = BoundedQueue::new(threads * 4);
+    let queue: BoundedQueue<(usize, std::time::Instant)> = BoundedQueue::new(threads * 4);
     let panic_slot: Mutex<Option<String>> = Mutex::new(None);
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
 
@@ -241,14 +265,14 @@ where
     let wait_hist = mh_obs::histogram!("par_task_wait_us", mh_obs::DURATION_US_BUCKETS);
     let run_hist = mh_obs::histogram!("par_task_run_us", mh_obs::DURATION_US_BUCKETS);
 
-    let worker_outputs: Result<Vec<Vec<(usize, R)>>, PoolError> = crossbeam::thread::scope(|s| {
+    let worker_outputs: Result<Vec<Vec<(usize, R)>>, PoolError> = sync::thread::scope(|s| {
         let queue = &queue;
         let panic_slot = &panic_slot;
         let f = &f;
         let init = &init;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     // `init` may itself panic; treat it like a task panic.
                     let mut scratch = match catch_unwind(AssertUnwindSafe(init)) {
@@ -267,7 +291,7 @@ where
                         };
                         tasks.inc();
                         wait_hist.observe(enqueued.elapsed().as_micros() as f64);
-                        let run_start = Instant::now();
+                        let run_start = sync::now();
                         let out = catch_unwind(AssertUnwindSafe(|| {
                             mh_obs::with_parent(parent_span, || f(scratch, i, &items[i]))
                         }));
@@ -295,7 +319,7 @@ where
         // Produce indices; a closed (poisoned) queue stops us early. The
         // enqueue timestamp feeds the task-wait histogram.
         for i in 0..items.len() {
-            if queue.push((i, Instant::now())).is_err() {
+            if queue.push((i, sync::now())).is_err() {
                 break;
             }
             depth.add(1);
@@ -321,8 +345,7 @@ where
             return Err(PoolError::WorkerPanic(msg));
         }
         Ok(outputs)
-    })
-    .unwrap_or_else(|p| Err(PoolError::WorkerPanic(panic_message(p))));
+    });
 
     // The failure path discards queued items wholesale, so the running
     // add/sub bookkeeping can be left nonzero; the queue is gone either way.
@@ -362,8 +385,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
     use std::time::Duration;
+    use sync::atomic::AtomicBool;
 
     #[test]
     fn map_preserves_order_across_thread_counts() {
@@ -452,10 +475,10 @@ mod tests {
         q.push(2).unwrap();
         assert_eq!(q.len(), 2);
         let full = AtomicBool::new(false);
-        crossbeam::thread::scope(|s| {
+        sync::thread::scope(|s| {
             let q = &q;
             let full = &full;
-            let h = s.spawn(move |_| {
+            let h = s.spawn(move || {
                 q.push(3).unwrap(); // blocks until a pop
                 full.store(true, Ordering::SeqCst);
             });
@@ -463,8 +486,7 @@ mod tests {
             assert!(!full.load(Ordering::SeqCst), "push must block while full");
             assert_eq!(q.pop(), Some(1));
             h.join().unwrap();
-        })
-        .unwrap();
+        });
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
         q.close();
@@ -476,15 +498,56 @@ mod tests {
     fn close_and_discard_unblocks_producer() {
         let q = BoundedQueue::new(1);
         q.push(0).unwrap();
-        crossbeam::thread::scope(|s| {
+        sync::thread::scope(|s| {
             let q = &q;
-            let h = s.spawn(move |_| q.push(1)); // blocked: queue full
+            let h = s.spawn(move || q.push(1)); // blocked: queue full
             std::thread::sleep(Duration::from_millis(20));
             q.close_and_discard();
             assert!(h.join().unwrap().is_err(), "producer must wake with Err");
-        })
-        .unwrap();
+        });
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wakeup_semantics_one_notify_per_transition() {
+        // Pin the queue's wake-up discipline on the facade primitives:
+        // each push's notify_one wakes a distinct parked consumer (two
+        // pushes satisfy two waiters — no lost wakeup), each pop's
+        // notify_one wakes a distinct parked producer, and close wakes
+        // *all* remaining waiters at once.
+        let q = BoundedQueue::new(4);
+        sync::thread::scope(|s| {
+            let c1 = s.spawn(|| q.pop());
+            let c2 = s.spawn(|| q.pop());
+            std::thread::sleep(Duration::from_millis(20));
+            q.push(1).unwrap();
+            q.push(2).unwrap();
+            let mut got = vec![c1.join().unwrap(), c2.join().unwrap()];
+            got.sort();
+            assert_eq!(got, vec![Some(1), Some(2)]);
+            let c3 = s.spawn(|| q.pop());
+            let c4 = s.spawn(|| q.pop());
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert_eq!(c3.join().unwrap(), None, "close wakes every consumer");
+            assert_eq!(c4.join().unwrap(), None, "close wakes every consumer");
+        });
+
+        let q = BoundedQueue::new(1);
+        q.push(10).unwrap();
+        sync::thread::scope(|s| {
+            let p1 = s.spawn(|| q.push(11));
+            let p2 = s.spawn(|| q.push(12));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.pop(), Some(10));
+            let a = q.pop().unwrap(); // wakes the second producer
+            assert!(p1.join().unwrap().is_ok(), "pop must wake producer 1");
+            assert!(p2.join().unwrap().is_ok(), "pop must wake producer 2");
+            let b = q.pop().unwrap();
+            let mut got = vec![a, b];
+            got.sort();
+            assert_eq!(got, vec![11, 12]);
+        });
     }
 
     #[test]
@@ -495,5 +558,262 @@ mod tests {
         assert_eq!(current_threads(), 3);
         set_threads(None);
         assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn backend_matches_feature() {
+        if cfg!(feature = "model") {
+            assert_eq!(backend(), "model");
+        } else {
+            assert_eq!(backend(), "std");
+        }
+    }
+}
+
+/// Exhaustive interleaving suites, run under the deterministic model
+/// checker: `cargo test -p mh-par --features model`. Each test body is
+/// executed once per schedule; `Stats::complete` asserts the (preemption-
+/// bounded) schedule space was exhausted, not sampled.
+#[cfg(all(test, feature = "model"))]
+mod model_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn model_bounded_queue_2p2c_exhaustive() {
+        // 2 producers / 2 consumers over a capacity-1 queue: producers
+        // must block on the full queue and be woken by pops; every
+        // consumer gets exactly one item. Preemption bound 2, exhaustive.
+        // The bound-2 schedule space measures 174,566 interleavings
+        // (~35s in release); the cap is headroom, not a truncation —
+        // `stats.complete` below asserts nothing was cut off.
+        let stats = mh_model::Builder::new()
+            .preemption_bound(2)
+            .max_iterations(400_000)
+            .try_check(|| {
+                let q = Arc::new(BoundedQueue::new(1));
+                let mut producers = Vec::new();
+                for v in 0..2u32 {
+                    let q2 = Arc::clone(&q);
+                    producers.push(sync::thread::spawn(move || {
+                        q2.push(v).expect("queue is never closed");
+                    }));
+                }
+                let mut consumers = Vec::new();
+                for _ in 0..2 {
+                    let q2 = Arc::clone(&q);
+                    consumers.push(sync::thread::spawn(move || q2.pop()));
+                }
+                for h in producers {
+                    h.join().expect("producer");
+                }
+                let mut got: Vec<u32> = consumers
+                    .into_iter()
+                    .map(|h| h.join().expect("consumer").expect("one item each"))
+                    .collect();
+                got.sort();
+                assert_eq!(got, vec![0, 1], "every pushed item is popped once");
+            })
+            .expect("no deadlock or race in push/pop");
+        assert!(stats.complete, "exploration must be exhaustive: {stats:?}");
+        assert!(
+            stats.iterations > 10,
+            "nontrivial schedule space: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn model_queue_close_vs_pop() {
+        // close() racing pop(): the consumer either drains the item or
+        // observes the closure — it never hangs.
+        let stats = mh_model::Builder::new()
+            .preemption_bound(2)
+            .try_check(|| {
+                let q = Arc::new(BoundedQueue::new(2));
+                let q2 = Arc::clone(&q);
+                let consumer = sync::thread::spawn(move || q2.pop());
+                let q3 = Arc::clone(&q);
+                let producer = sync::thread::spawn(move || {
+                    let _ = q3.push(7);
+                    q3.close();
+                });
+                producer.join().expect("producer");
+                let got = consumer.join().expect("consumer never hangs");
+                assert!(got == Some(7) || got.is_none());
+            })
+            .expect("close vs pop never deadlocks");
+        assert!(stats.complete, "{stats:?}");
+    }
+
+    #[test]
+    fn model_close_and_discard_unblocks_producer() {
+        // The poison path: a producer blocked on a full queue must be
+        // woken with Err by close_and_discard in every schedule.
+        let stats = mh_model::Builder::new()
+            .preemption_bound(2)
+            .try_check(|| {
+                let q = Arc::new(BoundedQueue::new(1));
+                q.push(0).expect("open");
+                let q2 = Arc::clone(&q);
+                let producer = sync::thread::spawn(move || q2.push(1));
+                let q3 = Arc::clone(&q);
+                let killer = sync::thread::spawn(move || q3.close_and_discard());
+                killer.join().expect("killer");
+                let res = producer.join().expect("producer woke up");
+                if let Ok(()) = res {
+                    // Legal: the push landed before the discard.
+                }
+                assert_eq!(q.pop(), None, "discarded queue is empty");
+            })
+            .expect("blocked producer is always woken");
+        assert!(stats.complete, "{stats:?}");
+    }
+
+    #[test]
+    fn model_worker_panic_never_deadlocks() {
+        // The real worker-panic path through parallel_map: a panicking
+        // task poisons the queue; the pool must surface WorkerPanic —
+        // never hang — in every explored schedule.
+        let stats = mh_model::Builder::new()
+            .preemption_bound(1)
+            .try_check(|| {
+                let items: Vec<usize> = (0..3).collect();
+                let err = parallel_map_threads(2, &items, |_, &x| {
+                    if x == 0 {
+                        panic!("injected worker failure");
+                    }
+                    x
+                })
+                .expect_err("the injected panic must surface");
+                let PoolError::WorkerPanic(msg) = err;
+                assert!(msg.contains("injected worker failure"), "{msg}");
+            })
+            .expect("worker panic never deadlocks");
+        assert!(stats.iterations > 1, "{stats:?}");
+    }
+
+    #[test]
+    fn model_parallel_map_result_correct_under_interleaving() {
+        let stats = mh_model::Builder::new()
+            .preemption_bound(1)
+            .try_check(|| {
+                let items: Vec<u32> = (0..3).collect();
+                let got = parallel_map_threads(2, &items, |_, &x| x * 2).expect("no worker fails");
+                assert_eq!(got, vec![0, 2, 4], "order preserved in every schedule");
+            })
+            .expect("no race in result assembly");
+        assert!(stats.iterations >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn model_set_threads_vs_reader_race() {
+        // set_threads racing current_threads(): the reader sees either
+        // the old or the new value, never garbage, and the override wins
+        // once both threads join.
+        let stats = mh_model::Builder::new()
+            .preemption_bound(2)
+            .try_check(|| {
+                let setter = sync::thread::spawn(|| set_threads(Some(2)));
+                let reader = sync::thread::spawn(current_threads);
+                let seen = reader.join().expect("reader");
+                assert!(seen >= 1, "thread count is always sane, got {seen}");
+                setter.join().expect("setter");
+                assert_eq!(current_threads(), 2, "override visible after join");
+                set_threads(None);
+            })
+            .expect("no race in the override");
+        assert!(stats.complete, "{stats:?}");
+    }
+
+    // ---- seeded racy fixture + replay-trace regression --------------
+
+    /// A deliberately broken use of the queue: each pusher checks
+    /// `len()` and then pushes, without holding the lock across the
+    /// check — the classic TOCTOU that `BoundedQueue::push` itself
+    /// avoids by deciding under the lock. When both pushers pass the
+    /// stale check, `push` (which does enforce capacity) blocks the
+    /// loser on a full queue nobody ever drains — the race manifests as
+    /// a lost-progress hang, which the checker reports as an `M001`
+    /// deadlock with a replayable schedule. Used as the checker's
+    /// negative self-check (CI asserts this is caught) and as the
+    /// replay-trace regression fixture.
+    fn racy_overfill_fixture() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let mut handles = Vec::new();
+        for v in 0..2u32 {
+            let q2 = Arc::clone(&q);
+            handles.push(sync::thread::spawn(move || {
+                // BUG (seeded): check-then-act without atomicity.
+                if q2.len() < 1 {
+                    q2.push(v).expect("fixture queue stays open");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("pusher");
+        }
+    }
+
+    #[test]
+    fn model_racy_fixture_is_caught() {
+        let failure = mh_model::Builder::new()
+            .preemption_bound(2)
+            .try_check(racy_overfill_fixture)
+            .expect_err("the seeded TOCTOU race must be found");
+        assert_eq!(failure.kind, mh_model::FailureKind::Deadlock, "{failure}");
+        assert_eq!(failure.kind.code(), "M001", "{failure}");
+        assert!(
+            !failure.schedule.is_empty(),
+            "failing schedule must be replayable: {failure}"
+        );
+        assert!(
+            failure.to_string().contains("MH_MODEL_REPLAY="),
+            "{failure}"
+        );
+    }
+
+    #[test]
+    fn model_racy_fixture_replays_from_trace() {
+        // The replay-trace regression: re-running the reported decision
+        // string reproduces the failure in exactly one execution.
+        let failure = mh_model::Builder::new()
+            .preemption_bound(2)
+            .try_check(racy_overfill_fixture)
+            .expect_err("race found");
+        let replayed = mh_model::Builder::new()
+            .try_replay(&failure.schedule, racy_overfill_fixture)
+            .expect_err("replay must reproduce the failure");
+        assert_eq!(replayed.kind, failure.kind);
+        assert_eq!(replayed.schedule, failure.schedule);
+        assert_eq!(replayed.iteration, 1, "reproduced on the first run");
+    }
+
+    #[test]
+    fn model_lock_order_inversion_is_flagged() {
+        // The injected A/B–B/A acceptance fixture, at the facade level.
+        let failure = mh_model::Builder::new()
+            .try_check(|| {
+                let a = Arc::new(sync::Mutex::new(()));
+                let b = Arc::new(sync::Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                sync::thread::spawn(move || {
+                    let _g1 = a2.lock();
+                    let _g2 = b2.lock();
+                })
+                .join()
+                .expect("first order");
+                sync::thread::spawn(move || {
+                    let _g1 = b.lock();
+                    let _g2 = a.lock();
+                })
+                .join()
+                .expect("second order");
+            })
+            .expect_err("inversion must be flagged");
+        assert_eq!(
+            failure.kind,
+            mh_model::FailureKind::LockOrderCycle,
+            "{failure}"
+        );
     }
 }

@@ -1,0 +1,279 @@
+//! The workspace sync facade.
+//!
+//! Every crate in the workspace reaches shared-state primitives — `Mutex`,
+//! `Condvar`, `RwLock`, atomics, thread spawn/join/scope, and the wall
+//! clock — through this module (`mh_par::sync`; enforced by the
+//! `tools/lint-scan` source lint). Two backends:
+//!
+//! * **default**: thin wrappers over `std::sync` with poisoning swallowed
+//!   (a panicking holder releases the lock; condition loops re-check
+//!   state anyway). The mutex/condvar pairing is a single coherent
+//!   implementation — previously `BoundedQueue` paired a `parking_lot`
+//!   mutex with a `std` condvar, which only type-checked because the
+//!   vendored stub re-exported std's guard. In debug builds, exclusive
+//!   lock acquisitions additionally feed a cheap always-on lock-order
+//!   cycle detector ([`mh_model::lockorder`], finding code `M003`);
+//!   release builds compile the calls out entirely.
+//! * **`model` feature**: re-exports [`mh_model::sync`] — instrumented
+//!   primitives whose every operation is a scheduling point for the
+//!   deterministic model checker (`mh_model::check`), and which fall
+//!   back to real primitives outside a checker run so the build stays
+//!   fully functional.
+//!
+//! [`now`] lives here so application code never names `Instant::now()`
+//! directly: timestamps come from the facade, where the model build can
+//! keep them out of scheduling decisions.
+
+#[cfg(feature = "model")]
+pub use mh_model::sync::*;
+
+#[cfg(not(feature = "model"))]
+mod std_backend {
+    use mh_model::lockorder::LockClass;
+    use std::mem::ManuallyDrop;
+    use std::ops::{Deref, DerefMut};
+
+    /// Which backend the facade compiled to (surfaced by
+    /// `modelhub fsck --version`).
+    pub const BACKEND: &str = "std";
+
+    /// The current wall-clock instant (the facade's only time source).
+    pub fn now() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+
+    #[cfg(debug_assertions)]
+    fn class_here() -> LockClass {
+        mh_model::lockorder::class_of(std::panic::Location::caller())
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn class_here() -> LockClass {
+        ("", 0, 0)
+    }
+
+    fn debug_acquire(class: LockClass) {
+        #[cfg(debug_assertions)]
+        mh_model::lockorder::debug_acquire(class);
+        #[cfg(not(debug_assertions))]
+        let _ = class;
+    }
+
+    fn debug_release(class: LockClass) {
+        #[cfg(debug_assertions)]
+        mh_model::lockorder::debug_release(class);
+        #[cfg(not(debug_assertions))]
+        let _ = class;
+    }
+
+    /// A mutual-exclusion lock over `std::sync::Mutex`, without
+    /// poisoning. Each lock's *class* is its creation site; debug builds
+    /// maintain a global class-level acquisition-order graph and panic
+    /// with an `M003` report when two call paths acquire lock classes in
+    /// conflicting orders (a latent deadlock, caught without the model).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        class: LockClass,
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        #[track_caller]
+        pub fn new(value: T) -> Self {
+            Mutex {
+                class: class_here(),
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            debug_acquire(self.class);
+            MutexGuard {
+                class: self.class,
+                inner: ManuallyDrop::new(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        class: LockClass,
+        inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            debug_release(self.class);
+            // SAFETY: dropped exactly once, here.
+            unsafe { ManuallyDrop::drop(&mut self.inner) }
+        }
+    }
+
+    /// A condition variable paired with [`Mutex`] (one coherent std
+    /// implementation underneath).
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar {
+                inner: std::sync::Condvar::new(),
+            }
+        }
+
+        /// Atomically release the guard's mutex and wait; reacquire
+        /// before returning. May wake spuriously. The lock-order state is
+        /// carried through the wait (the lock is logically re-held on
+        /// return, and the thread acquires nothing while parked).
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let class = guard.class;
+            // SAFETY: `guard` is forgotten right after, so the inner
+            // guard is not double-dropped and Drop's release never runs.
+            let std_guard = unsafe { ManuallyDrop::take(&mut guard.inner) };
+            std::mem::forget(guard);
+            let std_guard = self
+                .inner
+                .wait(std_guard)
+                .unwrap_or_else(|e| e.into_inner());
+            MutexGuard {
+                class,
+                inner: ManuallyDrop::new(std_guard),
+            }
+        }
+
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    /// A reader-writer lock over `std::sync::RwLock` (parking_lot-style
+    /// API: `read`/`write` return guards directly, no poisoning). Only
+    /// write acquisitions feed the debug lock-order detector — read-side
+    /// tracking would be noisy for a cheap always-on check; the model
+    /// backend covers reads.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T: ?Sized> {
+        class: LockClass,
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        #[track_caller]
+        pub fn new(value: T) -> Self {
+            RwLock {
+                class: class_here(),
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            RwLockReadGuard {
+                inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            debug_acquire(self.class);
+            RwLockWriteGuard {
+                class: self.class,
+                inner: ManuallyDrop::new(self.inner.write().unwrap_or_else(|e| e.into_inner())),
+            }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        inner: std::sync::RwLockReadGuard<'a, T>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        class: LockClass,
+        inner: ManuallyDrop<std::sync::RwLockWriteGuard<'a, T>>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            debug_release(self.class);
+            // SAFETY: dropped exactly once, here.
+            unsafe { ManuallyDrop::drop(&mut self.inner) }
+        }
+    }
+
+    /// Atomics are std's own — real atomics need no wrapping outside the
+    /// model backend.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+
+    pub use atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+    /// Thread spawn/join/scope (std's own; the model backend substitutes
+    /// scheduler-aware equivalents with the same API shape).
+    pub mod thread {
+        pub use std::thread::{
+            scope, spawn, yield_now, JoinHandle, Result, Scope, ScopedJoinHandle,
+        };
+    }
+}
+
+#[cfg(not(feature = "model"))]
+pub use std_backend::*;

@@ -1,10 +1,10 @@
 //! The database: a named collection of tables with whole-file persistence
-//! and coarse-grained thread safety (a `parking_lot` RwLock wrapper).
+//! and coarse-grained thread safety (an `mh_par::sync::RwLock` wrapper).
 
 use crate::codec::{self, Reader, MAGIC};
 use crate::table::{Schema, Table};
 use crate::StoreError;
-use parking_lot::RwLock;
+use mh_par::sync::RwLock;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;

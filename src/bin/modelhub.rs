@@ -44,7 +44,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     mh_obs::error!(
-        "usage: modelhub fsck <dir> [--deep] [--jobs N]\n       \
+        "usage: modelhub fsck <dir> [--deep] [--jobs N] | fsck --version\n       \
          modelhub check \"<DQL>\" [--repo <dir>]\n       \
          modelhub gen-sample <dir>\n       \
          modelhub archive <dir> [--alpha F] [--jobs N]\n       \
@@ -168,6 +168,14 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }
     match args.first().map(String::as_str) {
         Some("fsck") => {
+            if args.iter().any(|a| a == "--version") {
+                println!(
+                    "modelhub fsck {} (sync backend: {})",
+                    env!("CARGO_PKG_VERSION"),
+                    mh_par::backend()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
             let dir = args
                 .get(1)
                 .filter(|a| !a.starts_with("--"))

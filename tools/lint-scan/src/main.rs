@@ -1,0 +1,310 @@
+//! `mh-lint` — the sync-facade source lint.
+//!
+//! The workspace routes every shared-state primitive through the
+//! `mh_par::sync` facade so the `model` feature can swap in mh-model's
+//! instrumented versions. This lint keeps that invariant honest: it walks
+//! `crates/`, `src/`, and `tools/` and rejects source lines that name raw
+//! primitives directly.
+//!
+//! Rules:
+//!
+//! * **L001** — `parking_lot::*`: the vendored stub only re-exports std;
+//!   use `mh_par::sync::{Mutex, RwLock}`.
+//! * **L002** — `std::sync::Mutex` / `std::sync::RwLock` /
+//!   `std::sync::Condvar` (direct paths or brace imports): use the
+//!   facade's equivalents, which add lock-order checking in debug builds
+//!   and model instrumentation under the `model` feature.
+//! * **L003** — `std::thread::spawn` / `std::thread::scope`: use
+//!   `mh_par::sync::thread::{spawn, scope}` so spawned threads join model
+//!   executions. (`sleep`, `current`, `yield_now`, and
+//!   `available_parallelism` are not shared-state primitives and stay
+//!   allowed.)
+//! * **L004** — `Instant::now` (called or passed as a function): use
+//!   `mh_par::sync::now()`, the facade's single time source.
+//!
+//! Allowlisted paths (the layers that *implement* the facade):
+//! `crates/model/` (the instrumented primitives themselves),
+//! `crates/par/src/sync.rs` (the std backend), `crates/obs/` (sits below
+//! mh-par in the dependency graph and carries its own feature-gated
+//! shim), and `tools/lint-scan/` (this tool's pattern table).
+//!
+//! A deliberate exception elsewhere takes an inline waiver: put
+//! `lint-scan: allow` (ideally with the rule and a reason) in a comment
+//! on the offending line or the line directly above it.
+//!
+//! Comment text is ignored (everything from the first `//` on a line), so
+//! prose may mention the raw primitives freely.
+//!
+//! Usage: `cargo run -p mh-lint [--] [workspace-root]`; exits non-zero
+//! and lists `path:line: [Lxxx] ...` findings when violations exist.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The marker that waives the current (or next) line. Split so this
+/// source never waives itself by accident when scanned.
+const WAIVER: &str = concat!("lint-scan:", " allow");
+
+/// One finding: file-relative location plus rule code and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub line: usize,
+    pub code: &'static str,
+    pub message: String,
+}
+
+/// True for paths that implement the facade and may name raw primitives.
+fn allowlisted(rel: &str) -> bool {
+    let rel = rel.replace('\\', "/");
+    rel.starts_with("crates/model/")
+        || rel == "crates/par/src/sync.rs"
+        || rel.starts_with("crates/obs/")
+        || rel.starts_with("tools/lint-scan/")
+}
+
+/// Everything before the first line comment (`//`, `///`, `//!`).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Does `list` (the inside of a brace import) name `item` as a word?
+fn brace_list_names(list: &str, item: &str) -> bool {
+    list.split([',', '{', '}'])
+        .any(|tok| tok.split_whitespace().next() == Some(item))
+}
+
+/// The inside of a `prefix{...}` import on this line, if present.
+fn brace_list<'a>(code: &'a str, prefix: &str) -> Option<&'a str> {
+    let start = code.find(prefix)? + prefix.len();
+    let rest = &code[start..];
+    let end = rest.find('}')?;
+    Some(&rest[..end])
+}
+
+/// Rule violations on a single (comment-stripped) line of code.
+fn line_violations(code: &str) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    if code.contains("parking_lot") {
+        out.push((
+            "L001",
+            "parking_lot primitive; use mh_par::sync::{Mutex, RwLock}".to_string(),
+        ));
+    }
+    for prim in ["Mutex", "RwLock", "Condvar"] {
+        let direct = code.contains(&format!("std::sync::{prim}"));
+        let braced =
+            brace_list(code, "std::sync::{").is_some_and(|list| brace_list_names(list, prim));
+        if direct || braced {
+            out.push((
+                "L002",
+                format!("raw std::sync::{prim}; use mh_par::sync::{prim}"),
+            ));
+        }
+    }
+    for f in ["spawn", "scope"] {
+        let direct = code.contains(&format!("std::thread::{f}"));
+        let braced =
+            brace_list(code, "std::thread::{").is_some_and(|list| brace_list_names(list, f));
+        if direct || braced {
+            out.push((
+                "L003",
+                format!("raw std::thread::{f}; use mh_par::sync::thread::{f}"),
+            ));
+        }
+    }
+    if code.contains("Instant::now") {
+        out.push((
+            "L004",
+            "direct Instant::now; use mh_par::sync::now()".to_string(),
+        ));
+    }
+    out
+}
+
+/// Scan one file's source text, honoring same-line and previous-line
+/// waivers.
+pub fn scan_source(text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut prev_waives = false;
+    for (i, line) in text.lines().enumerate() {
+        let waived = prev_waives || line.contains(WAIVER);
+        // A waiver only reaches the *next* line when it stands alone as a
+        // comment; a violation's own trailing waiver shouldn't leak down.
+        prev_waives = line.contains(WAIVER) && code_part(line).trim().is_empty();
+        if waived {
+            continue;
+        }
+        for (code, message) in line_violations(code_part(line)) {
+            out.push(Finding {
+                line: i + 1,
+                code,
+                message,
+            });
+        }
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn run(root: &Path) -> Result<String, String> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tools"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)
+                .map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        }
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no .rs files under {} — wrong root?",
+            root.display()
+        ));
+    }
+    files.sort();
+
+    let mut report = String::new();
+    let mut violations = 0usize;
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if allowlisted(&rel) {
+            continue;
+        }
+        scanned += 1;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {rel}: {e}"))?;
+        for f in scan_source(&text) {
+            violations += 1;
+            let _ = writeln!(report, "{rel}:{}: [{}] {}", f.line, f.code, f.message);
+        }
+    }
+    if violations > 0 {
+        let _ = writeln!(
+            report,
+            "lint-scan: {violations} violation(s) in {scanned} scanned file(s); \
+             route through mh_par::sync or add a `{WAIVER}` waiver comment"
+        );
+        Err(report)
+    } else {
+        Ok(format!("lint-scan: {scanned} file(s) clean"))
+    }
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    match run(&root) {
+        Ok(msg) => println!("{msg}"),
+        Err(report) => {
+            eprint!("{report}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(text: &str) -> Vec<&'static str> {
+        scan_source(text).into_iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn direct_paths_are_flagged() {
+        assert_eq!(codes("let m = parking_lot::Mutex::new(0);"), vec!["L001"]);
+        assert_eq!(codes("let m = std::sync::Mutex::new(0);"), vec!["L002"]);
+        assert_eq!(codes("let l = std::sync::RwLock::new(0);"), vec!["L002"]);
+        assert_eq!(codes("let c = std::sync::Condvar::new();"), vec!["L002"]);
+        assert_eq!(codes("std::thread::spawn(|| {});"), vec!["L003"]);
+        assert_eq!(codes("std::thread::scope(|s| {});"), vec!["L003"]);
+        assert_eq!(codes("let t = Instant::now();"), vec!["L004"]);
+        assert_eq!(codes("x.then(std::time::Instant::now)"), vec!["L004"]);
+    }
+
+    #[test]
+    fn brace_imports_are_flagged() {
+        assert_eq!(codes("use std::sync::{Arc, Mutex};"), vec!["L002"]);
+        assert_eq!(
+            codes("use std::sync::{Condvar, Mutex, OnceLock};"),
+            vec!["L002", "L002"]
+        );
+        assert_eq!(codes("use std::thread::{sleep, spawn};"), vec!["L003"]);
+        // Non-primitive imports from the same modules stay allowed.
+        assert!(codes("use std::sync::{Arc, OnceLock};").is_empty());
+        assert!(codes("use std::thread::{sleep, yield_now};").is_empty());
+    }
+
+    #[test]
+    fn harmless_thread_and_time_usage_is_allowed() {
+        assert!(codes("std::thread::sleep(d);").is_empty());
+        assert!(codes("let id = std::thread::current().id();").is_empty());
+        assert!(codes("std::thread::available_parallelism()").is_empty());
+        assert!(codes("let t: Instant = mh_par::sync::now();").is_empty());
+        assert!(codes("use std::sync::atomic::AtomicU64;").is_empty());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        assert!(codes("// previously a parking_lot mutex was used").is_empty());
+        assert!(codes("//! pairs with std::sync::Condvar semantics").is_empty());
+        assert!(codes("let x = 1; // not Instant::now()").is_empty());
+    }
+
+    #[test]
+    fn waivers_suppress_same_and_next_line() {
+        let same = format!("std::thread::spawn(f); // {WAIVER} L003 — io helper");
+        assert!(scan_source(&same).is_empty());
+        let above =
+            format!("// {WAIVER} L004 — measuring the facade itself\nlet t = Instant::now();");
+        assert!(scan_source(&above).is_empty());
+        // A standalone waiver does not bleed past the next line.
+        let two = format!("// {WAIVER}\nlet t = Instant::now();\nlet u = Instant::now();");
+        let found = scan_source(&two);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn allowlist_covers_facade_layers_only() {
+        assert!(allowlisted("crates/model/src/sync.rs"));
+        assert!(allowlisted("crates/par/src/sync.rs"));
+        assert!(allowlisted("crates/obs/src/shim.rs"));
+        assert!(allowlisted("tools/lint-scan/src/main.rs"));
+        assert!(!allowlisted("crates/par/src/lib.rs"));
+        assert!(!allowlisted("crates/hub/src/server.rs"));
+        assert!(!allowlisted("src/bin/modelhub.rs"));
+    }
+
+    #[test]
+    fn findings_carry_line_numbers() {
+        let text = "fn ok() {}\nlet m = std::sync::Mutex::new(0);\n";
+        let found = scan_source(text);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].message.contains("mh_par::sync::Mutex"));
+    }
+}
