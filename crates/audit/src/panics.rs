@@ -1,0 +1,305 @@
+//! Pass A — panic reachability.
+//!
+//! Walks the call graph from every `no_panic_zone` entry and flags each
+//! syntactic potential-panic site inside a reachable function:
+//!
+//! * **A001** `.unwrap()` / `.unwrap_err()`
+//! * **A002** `.expect()` / `.expect_err()`
+//! * **A003** panicking macro (`panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`, `assert!`, `assert_eq!`, `assert_ne!`;
+//!   `debug_assert*` is excluded — compiled out of release builds)
+//! * **A004** indexing `expr[i]` and slice-bounds methods
+//!   (`copy_from_slice`, `copy_within`, `split_at`, `split_at_mut`)
+//! * **A005** range slicing `expr[a..b]` (bare `[..]` is total)
+//! * **A006** integer `/` or `%` with a non-literal divisor, and
+//!   `chunks`/`chunks_exact`/`windows`/`step_by` with a non-literal
+//!   (possibly zero) argument
+//!
+//! Arithmetic overflow is *not* pass A's concern (release builds wrap);
+//! attacker-influenced length arithmetic is pass B's A009.
+
+use crate::graph::Graph;
+use crate::lexer::{Tok, Token};
+use crate::parser::matching_close;
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+const SLICE_BOUND_METHODS: &[&str] =
+    &["copy_from_slice", "copy_within", "split_at", "split_at_mut"];
+
+const ZERO_STEP_METHODS: &[&str] = &["chunks", "chunks_exact", "windows", "step_by"];
+
+/// Idents that, preceding `[`, mean the bracket is *not* indexing.
+const NON_EXPR_KEYWORDS: &[&str] = &[
+    "let", "mut", "in", "if", "while", "match", "return", "break", "impl", "for", "where", "as",
+    "pub", "fn", "use", "mod", "move", "ref", "static", "const", "type", "else", "enum",
+    "struct", "trait", "dyn", "box", "unsafe", "async", "await", "loop", "continue", "crate",
+    "super",
+];
+
+/// Does the token end an expression (so a following `[` indexes it)?
+pub(crate) fn expr_ending(tok: &Tok) -> bool {
+    match tok {
+        Tok::Ident(s) => !NON_EXPR_KEYWORDS.contains(&s.as_str()),
+        Tok::Close(')') | Tok::Close(']') => true,
+        Tok::Num { .. } | Tok::Str => true,
+        Tok::Punct("?") => true,
+        _ => false,
+    }
+}
+
+/// Classify a bracket group starting at `open` (index of `[`):
+/// `Some(true)` → range slice, `Some(false)` → plain index,
+/// `None` → total (`[..]`).
+fn bracket_kind(tokens: &[Token], open: usize) -> Option<bool> {
+    let close = matching_close(tokens, open);
+    let inner = &tokens[open + 1..close.min(tokens.len())];
+    if inner.len() == 1 && matches!(inner[0].tok, Tok::Punct("..")) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut has_range = false;
+    for t in inner {
+        match &t.tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => depth = depth.saturating_sub(1),
+            Tok::Punct("..") | Tok::Punct("..=") if depth == 0 => has_range = true,
+            _ => {}
+        }
+    }
+    Some(has_range)
+}
+
+/// Is the divisor starting at token `i` a literal (possibly negated or
+/// parenthesized literal) or float-typed expression (no divide panic)?
+fn divisor_is_safe(tokens: &[Token], mut i: usize) -> bool {
+    // Skip leading `-` and `(`.
+    while matches!(
+        tokens.get(i).map(|t| &t.tok),
+        Some(Tok::Punct("-")) | Some(Tok::Open('('))
+    ) {
+        i += 1;
+    }
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Num { int }) => {
+            // A literal divisor: safe unless it is the literal where a
+            // zero would be silly-but-possible; treat all numeric
+            // literals as safe (a hardcoded `/ 0` fails to compile
+            // anyway via const eval).
+            let _ = int;
+            true
+        }
+        // A SCREAMING_CASE named constant: a const-zero divisor is a
+        // compile error (`unconditional_panic` is deny-by-default), so
+        // `x % MOD` cannot panic at runtime.
+        Some(Tok::Ident(s))
+            if s.len() >= 2
+                && s.chars().all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                && s.chars().any(|c| c.is_ascii_uppercase()) =>
+        {
+            true
+        }
+        _ => {
+            // `x / y as f32` / f64 → float division, total.
+            for k in 0..4usize {
+                if let Some(Tok::Ident(s)) = tokens.get(i + k).map(|t| &t.tok) {
+                    if s == "f32" || s == "f64" {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Scan one audited function body for panic sites.
+pub fn scan_body(tokens: &[Token], body: std::ops::Range<usize>, ctx: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let end = body.end.min(tokens.len());
+    let mut i = body.start;
+    while i < end {
+        let line = tokens[i].line;
+        match &tokens[i].tok {
+            Tok::Ident(name) => {
+                let next_is = |p: &str| {
+                    matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p)
+                };
+                let next_open_paren =
+                    matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Open('(')));
+                let prev_dot = i > 0
+                    && matches!(tokens.get(i - 1).map(|t| &t.tok), Some(Tok::Punct(".")));
+                if next_is("!") && PANIC_MACROS.contains(&name.as_str()) {
+                    out.push(Finding::new(
+                        line,
+                        "A003",
+                        format!("panicking macro `{name}!` reachable {ctx}"),
+                    ));
+                } else if next_open_paren && (name == "unwrap" || name == "unwrap_err") {
+                    out.push(Finding::new(
+                        line,
+                        "A001",
+                        format!("`.{name}()` reachable {ctx}"),
+                    ));
+                } else if next_open_paren && (name == "expect" || name == "expect_err") {
+                    out.push(Finding::new(
+                        line,
+                        "A002",
+                        format!("`.{name}()` reachable {ctx}"),
+                    ));
+                } else if next_open_paren && prev_dot && SLICE_BOUND_METHODS.contains(&name.as_str())
+                {
+                    out.push(Finding::new(
+                        line,
+                        "A004",
+                        format!("slice-bounds method `.{name}()` reachable {ctx}"),
+                    ));
+                } else if next_open_paren
+                    && prev_dot
+                    && ZERO_STEP_METHODS.contains(&name.as_str())
+                    && !matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Num { int: true }))
+                {
+                    out.push(Finding::new(
+                        line,
+                        "A006",
+                        format!("`.{name}(n)` with non-literal n (panics when n == 0) {ctx}"),
+                    ));
+                }
+                i += 1;
+            }
+            Tok::Open('[') => {
+                let indexing = i > 0 && expr_ending(&tokens[i - 1].tok);
+                if indexing {
+                    match bracket_kind(tokens, i) {
+                        Some(true) => out.push(Finding::new(
+                            line,
+                            "A005",
+                            format!("range slice `expr[a..b]` reachable {ctx}"),
+                        )),
+                        Some(false) => out.push(Finding::new(
+                            line,
+                            "A004",
+                            format!("indexing `expr[i]` reachable {ctx}"),
+                        )),
+                        None => {}
+                    }
+                }
+                i += 1;
+            }
+            Tok::Punct(p @ ("/" | "%" | "/=" | "%=")) => {
+                let lhs_expr = i > 0 && expr_ending(&tokens[i - 1].tok);
+                if lhs_expr && !divisor_is_safe(tokens, i + 1) {
+                    out.push(Finding::new(
+                        line,
+                        "A006",
+                        format!("integer `{p}` with non-literal divisor (div-by-zero panic) {ctx}"),
+                    ));
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Run pass A over the graph; returns findings keyed by file index.
+pub fn run(graph: &Graph, tokens_of_file: &[&[Token]]) -> BTreeMap<usize, Vec<Finding>> {
+    let (audited, parents) = graph.reachable();
+    let mut out: BTreeMap<usize, Vec<Finding>> = BTreeMap::new();
+    for id in audited {
+        let f = &graph.funcs[id];
+        if f.body.is_empty() {
+            continue;
+        }
+        let entry = graph.witness_entry(&parents, id);
+        let ctx = if entry == id {
+            format!("in entry `{}`", f.qualified())
+        } else {
+            format!(
+                "in `{}` (reachable from entry `{}`)",
+                f.qualified(),
+                graph.funcs[entry].qualified()
+            )
+        };
+        let fi = graph.file_of[id];
+        let findings = scan_body(tokens_of_file[fi], f.body.clone(), &ctx);
+        out.entry(fi).or_default().extend(findings);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let lf = lex(src);
+        let n = lf.tokens.len();
+        scan_body(&lf.tokens, 0..n, "in test")
+            .iter()
+            .map(|f| f.code)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect() {
+        assert_eq!(codes("x.unwrap()"), vec!["A001"]);
+        assert_eq!(codes("x.unwrap_err()"), vec!["A001"]);
+        assert_eq!(codes("x.expect(\"msg\")"), vec!["A002"]);
+        assert!(codes("x.unwrap_or(0)").is_empty());
+        assert!(codes("x.unwrap_or_else(|| 0)").is_empty());
+        assert!(codes("x.unwrap_or_default()").is_empty());
+    }
+
+    #[test]
+    fn macros() {
+        assert_eq!(codes("panic!(\"boom\")"), vec!["A003"]);
+        assert_eq!(codes("unreachable!()"), vec!["A003"]);
+        assert_eq!(codes("assert_eq!(a, b)"), vec!["A003"]);
+        assert!(codes("debug_assert!(a)").is_empty());
+        assert!(codes("println!(\"{}\", x)").is_empty());
+    }
+
+    #[test]
+    fn indexing_and_slicing() {
+        assert_eq!(codes("v[i]"), vec!["A004"]);
+        assert_eq!(codes("v[a..b]"), vec!["A005"]);
+        assert_eq!(codes("v[..n]"), vec!["A005"]);
+        assert!(codes("v[..]").is_empty());
+        assert!(codes("let a = [0u8; 4];").is_empty());
+        assert!(codes("fn f(x: [u8; 4]) {}").is_empty());
+        assert!(codes("#[derive(Debug)]").is_empty());
+        assert!(codes("vec![1, 2]").is_empty());
+        assert!(codes("let v: &[u8] = b;").is_empty());
+    }
+
+    #[test]
+    fn slice_bound_methods() {
+        assert_eq!(codes("a.copy_from_slice(b)"), vec!["A004"]);
+        assert_eq!(codes("a.split_at(n)"), vec!["A004"]);
+    }
+
+    #[test]
+    fn division() {
+        assert_eq!(codes("a / b"), vec!["A006"]);
+        assert_eq!(codes("a % n"), vec!["A006"]);
+        assert!(codes("a / 2").is_empty());
+        assert!(codes("a % 16").is_empty());
+        assert!(codes("x / count as f32").is_empty());
+        assert!(codes("1.0 / scale as f64").is_empty());
+        assert_eq!(codes("data.chunks(n)"), vec!["A006"]);
+        assert!(codes("data.chunks(64)").is_empty());
+    }
+}

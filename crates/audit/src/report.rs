@@ -1,0 +1,174 @@
+//! Findings, waiver application, and deterministic rendering.
+
+use crate::lexer::{Ann, Directive};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One finding. `file` is filled in by the driver once the file is
+/// known (passes produce findings with only line/code/message).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(line: u32, code: &'static str, message: String) -> Finding {
+        Finding {
+            file: String::new(),
+            line,
+            code,
+            message,
+        }
+    }
+}
+
+/// Full audit result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived waivers, sorted by (file, line, code).
+    pub findings: Vec<Finding>,
+    /// Count of findings suppressed by a reasoned waiver.
+    pub waived: usize,
+    /// Files scanned.
+    pub scanned_files: usize,
+    /// Functions audited by the panic/taint passes (zone-reachable).
+    pub audited_fns: usize,
+    /// Declared entry points (qualified names, sorted).
+    pub entries: Vec<String>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Deterministic text rendering: one `file:line: [CODE] message`
+    /// per finding plus a trailer summary. Byte-identical across runs
+    /// on identical sources.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.code, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "mh-audit: {} finding(s), {} waived, {} file(s) scanned, {} fn(s) audited from {} entry point(s)",
+            self.findings.len(),
+            self.waived,
+            self.scanned_files,
+            self.audited_fns,
+            self.entries.len(),
+        );
+        out
+    }
+}
+
+/// Apply waivers to raw findings for one file.
+///
+/// An `allow(CODE, reason)` on the finding's own line — or standing
+/// alone on the line directly above — suppresses it. A malformed or
+/// reason-less directive becomes an **A010** finding itself and waives
+/// nothing.
+pub fn apply_waivers(
+    rel: &str,
+    anns: &[Ann],
+    raw: Vec<Finding>,
+    waived_count: &mut usize,
+) -> Vec<Finding> {
+    // line → codes allowed there.
+    let mut allowed: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    let mut out: Vec<Finding> = Vec::new();
+    for ann in anns {
+        match &ann.directive {
+            Directive::Allow { code, reason: _ } => {
+                let line = if ann.standalone { ann.line + 1 } else { ann.line };
+                allowed.entry(line).or_default().push(code.as_str());
+            }
+            Directive::Malformed(msg) => {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: ann.line,
+                    code: "A010",
+                    message: format!("malformed mh-audit directive: {msg}"),
+                });
+            }
+            _ => {}
+        }
+    }
+    for mut f in raw {
+        let waived = allowed
+            .get(&f.line)
+            .is_some_and(|codes| codes.iter().any(|c| *c == f.code));
+        if waived {
+            *waived_count += 1;
+            continue;
+        }
+        f.file = rel.to_string();
+        out.push(f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn waiver_suppresses_matching_code_only() {
+        let m = crate::lexer::MARKER;
+        let src = format!("let a = v[i]; // {m} allow(A004, caller checked bounds)\n");
+        let anns = lex(&src).anns;
+        let raw = vec![
+            Finding::new(1, "A004", "indexing".into()),
+            Finding::new(1, "A001", "unwrap".into()),
+        ];
+        let mut waived = 0;
+        let out = apply_waivers("f.rs", &anns, raw, &mut waived);
+        assert_eq!(waived, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "A001");
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_line() {
+        let m = crate::lexer::MARKER;
+        let src = format!("// {m} allow(A001, startup only)\nlet a = x.unwrap();\n");
+        let anns = lex(&src).anns;
+        let raw = vec![Finding::new(2, "A001", "unwrap".into())];
+        let mut waived = 0;
+        let out = apply_waivers("f.rs", &anns, raw, &mut waived);
+        assert_eq!(waived, 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reasonless_waiver_is_a010_and_waives_nothing() {
+        let m = crate::lexer::MARKER;
+        let src = format!("let a = x.unwrap(); // {m} allow(A001)\n");
+        let anns = lex(&src).anns;
+        let raw = vec![Finding::new(1, "A001", "unwrap".into())];
+        let mut waived = 0;
+        let out = apply_waivers("f.rs", &anns, raw, &mut waived);
+        assert_eq!(waived, 0);
+        let codes: Vec<&str> = out.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"A010"));
+        assert!(codes.contains(&"A001"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            file: "a.rs".into(),
+            line: 3,
+            code: "A001",
+            message: "x".into(),
+        });
+        assert_eq!(r.render(), r.render());
+        assert!(r.render().contains("a.rs:3: [A001] x"));
+    }
+}

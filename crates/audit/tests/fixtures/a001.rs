@@ -1,0 +1,6 @@
+// Fixture: exactly one A001 — `.unwrap()` reachable in a no-panic zone.
+
+// mh-audit: no_panic_zone
+fn entry(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

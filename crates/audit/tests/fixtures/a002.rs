@@ -1,0 +1,6 @@
+// Fixture: exactly one A002 — `.expect()` reachable in a no-panic zone.
+
+// mh-audit: no_panic_zone
+fn entry(v: &[u8]) -> u8 {
+    *v.first().expect("nonempty")
+}

@@ -1,0 +1,8 @@
+// Fixture: exactly one A003 — a panicking macro in a no-panic zone.
+
+// mh-audit: no_panic_zone
+fn entry(v: &[u8]) {
+    if v.is_empty() {
+        panic!("boom");
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: exactly one A004 — direct indexing in a no-panic zone.
+
+// mh-audit: no_panic_zone
+fn entry(v: &[u8]) -> u8 {
+    v[0]
+}

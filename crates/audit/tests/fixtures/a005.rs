@@ -1,0 +1,6 @@
+// Fixture: exactly one A005 — range slicing in a no-panic zone.
+
+// mh-audit: no_panic_zone
+fn entry(v: &[u8]) -> &[u8] {
+    &v[1..]
+}

@@ -1,0 +1,7 @@
+// Fixture: exactly one A006 — division by a non-literal divisor in a
+// no-panic zone.
+
+// mh-audit: no_panic_zone
+fn entry(a: usize, b: usize) -> usize {
+    a / b
+}

@@ -1,0 +1,14 @@
+// Fixture: exactly one A008 — an untrusted value used as an index. The
+// accompanying A004 (the indexing itself) is waived so the taint finding
+// stands alone.
+
+// mh-audit: source(length decoded from the wire)
+fn read_len(_buf: &[u8]) -> usize {
+    0
+}
+
+// mh-audit: no_panic_zone
+fn entry(buf: &[u8]) -> u8 {
+    let n = read_len(buf);
+    buf[n] // mh-audit: allow(A004, fixture isolates the taint finding)
+}

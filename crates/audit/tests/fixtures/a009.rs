@@ -1,0 +1,13 @@
+// Fixture: exactly one A009 — unchecked arithmetic on an untrusted
+// length.
+
+// mh-audit: source(length decoded from the wire)
+fn read_len(_buf: &[u8]) -> usize {
+    0
+}
+
+// mh-audit: no_panic_zone
+fn entry(buf: &[u8]) {
+    let n = read_len(buf);
+    let _total = n * 4;
+}

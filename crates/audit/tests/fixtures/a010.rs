@@ -1,0 +1,4 @@
+// Fixture: exactly one A010 — a waiver without a reason is itself a
+// finding.
+
+fn helper() {} // mh-audit: allow(A001)

@@ -1,0 +1,6 @@
+// Fixture: exactly one A101 — direct parking_lot primitive instead of
+// the workspace sync facade.
+
+fn helper() {
+    let _m = parking_lot::Mutex::new(0);
+}

@@ -1,0 +1,6 @@
+// Fixture: exactly one A102 — direct std::sync primitive instead of the
+// workspace sync facade.
+
+fn helper() {
+    let _m = std::sync::Mutex::new(0);
+}

@@ -1,0 +1,6 @@
+// Fixture: exactly one A103 — direct std::thread::spawn instead of the
+// workspace sync facade.
+
+fn helper() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,6 @@
+// Fixture: exactly one A104 — direct Instant::now instead of the
+// mockable clock.
+
+fn helper() {
+    let _t = Instant::now();
+}

@@ -1,0 +1,61 @@
+//! Auditor robustness: the lexer, parser, and full pipeline must be
+//! total over arbitrary input — the tool that proves hot paths cannot be
+//! crashed must itself not be crashable by the source text it scans.
+
+use mh_audit::{audit_sources, lexer, parser, SourceFile};
+use proptest::prelude::*;
+
+fn audit_one(text: &str) {
+    let _ = audit_sources(&[SourceFile {
+        rel: "fuzz.rs".into(),
+        crate_name: "fuzz".into(),
+        module: Vec::new(),
+        text: text.into(),
+    }]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn lexer_total_on_arbitrary_strings(input in ".{0,300}") {
+        let _ = lexer::lex(&input);
+    }
+
+    #[test]
+    fn pipeline_total_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("fn".to_string()), Just("impl".to_string()),
+                Just("mod".to_string()), Just("pub".to_string()),
+                Just("unsafe".to_string()), Just("trait".to_string()),
+                Just("entry".to_string()), Just("self".to_string()),
+                Just("{".to_string()), Just("}".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just("[".to_string()), Just("]".to_string()),
+                Just("::".to_string()), Just(".".to_string()),
+                Just("..".to_string()), Just("/".to_string()),
+                Just("%".to_string()), Just("#".to_string()),
+                Just("unwrap".to_string()), Just("expect".to_string()),
+                Just("with_capacity".to_string()),
+                Just("// mh-audit: no_panic_zone".to_string()),
+                Just("// mh-audit: allow(A001, r)".to_string()),
+                Just("// mh-audit: trusted(t)".to_string()),
+                Just("\"str\"".to_string()), Just("'c'".to_string()),
+                Just("r#\"raw\"#".to_string()), Just("0x1f".to_string()),
+            ],
+            0..48
+        ),
+        sep in prop_oneof![Just(" "), Just("\n")],
+    ) {
+        // Must terminate quickly and never panic, even on deeply
+        // unbalanced nesting and directives in odd positions.
+        audit_one(&words.join(sep));
+    }
+
+    #[test]
+    fn parser_total_on_arbitrary_strings(input in ".{0,300}") {
+        let lexed = lexer::lex(&input);
+        let _ = parser::parse("f.rs", "fuzz", &[], lexed);
+    }
+}

@@ -372,7 +372,7 @@ pub fn run(quick: bool) -> std::io::Result<()> {
             m.into_inner()
         });
         let raw = min_ms(&|| {
-            // lint-scan: allow L002 — measuring the facade against the raw primitive
+            // mh-audit: allow(A102, measuring the facade against the raw primitive)
             let m = std::sync::Mutex::new(0u64);
             for _ in 0..ROUNDS {
                 *m.lock().expect("unpoisoned") += 1;

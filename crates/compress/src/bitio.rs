@@ -83,8 +83,11 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn refill(&mut self) {
-        while self.nbits <= 56 && self.pos < self.data.len() {
-            self.acc |= u64::from(self.data[self.pos]) << self.nbits;
+        while self.nbits <= 56 {
+            let Some(&b) = self.data.get(self.pos) else {
+                break;
+            };
+            self.acc |= u64::from(b) << self.nbits;
             self.pos += 1;
             self.nbits += 8;
         }

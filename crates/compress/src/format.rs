@@ -79,6 +79,7 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+// mh-audit: source(length decoded from attacker-controlled container header)
 pub fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, CompressError> {
     let mut v = 0u64;
     let mut shift = 0u32;
@@ -185,7 +186,7 @@ pub fn decode_tokens(payload: &[u8], orig_len: usize) -> Result<Vec<u8>, Compres
     let dist_lens = read_lengths(&mut r, NUM_DIST)?;
     let lit_dec = Decoder::from_lengths(&lit_lens)?;
     let dist_dec = Decoder::from_lengths(&dist_lens)?;
-    let mut out: Vec<u8> = Vec::with_capacity(orig_len);
+    let mut out: Vec<u8> = Vec::with_capacity(orig_len.min(crate::MAX_PREALLOC_BYTES));
     loop {
         let sym = lit_dec.read(&mut r)?;
         if sym < 256 {
@@ -193,32 +194,39 @@ pub fn decode_tokens(payload: &[u8], orig_len: usize) -> Result<Vec<u8>, Compres
         } else if sym == EOB {
             break;
         } else {
-            let lc = sym - 257;
-            if lc >= 29 {
-                return Err(CompressError::Corrupt("invalid length code"));
-            }
-            let extra = if LEN_EXTRA[lc] > 0 {
-                r.read_bits(u32::from(LEN_EXTRA[lc]))? as u16
+            let lc = sym.wrapping_sub(257);
+            let (lbase, lbits) = match (LEN_BASE.get(lc), LEN_EXTRA.get(lc)) {
+                (Some(&b), Some(&e)) => (b, e),
+                _ => return Err(CompressError::Corrupt("invalid length code")),
+            };
+            let extra = if lbits > 0 {
+                r.read_bits(u32::from(lbits))? as u16
             } else {
                 0
             };
-            let len = (LEN_BASE[lc] + extra) as usize;
+            let len = usize::from(lbase) + usize::from(extra);
             let dc = dist_dec.read(&mut r)?;
-            if dc >= 30 {
-                return Err(CompressError::Corrupt("invalid distance code"));
-            }
-            let dextra = if DIST_EXTRA[dc] > 0 {
-                r.read_bits(u32::from(DIST_EXTRA[dc]))? as u16
+            let (dbase, dbits) = match (DIST_BASE.get(dc), DIST_EXTRA.get(dc)) {
+                (Some(&b), Some(&e)) => (b, e),
+                _ => return Err(CompressError::Corrupt("invalid distance code")),
+            };
+            let dextra = if dbits > 0 {
+                r.read_bits(u32::from(dbits))? as u16
             } else {
                 0
             };
-            let dist = (DIST_BASE[dc] + dextra) as usize;
-            if dist > out.len() {
+            let dist = usize::from(dbase) + usize::from(dextra);
+            let Some(start) = out.len().checked_sub(dist) else {
                 return Err(CompressError::Corrupt("distance exceeds output"));
-            }
-            let start = out.len() - dist;
+            };
             for i in 0..len {
-                let b = out[start + i];
+                // `start + i < out.len()` holds because dist >= 1 and the
+                // push below grows `out` every iteration; `get` keeps the
+                // invariant checked rather than assumed.
+                let b = out
+                    .get(start + i)
+                    .copied()
+                    .ok_or(CompressError::Corrupt("back-reference out of range"))?;
                 out.push(b);
             }
         }

@@ -134,27 +134,41 @@ impl Encoder {
     /// first, ties broken by symbol order; codes are emitted LSB-first so we
     /// store them bit-reversed).
     pub fn from_lengths(lengths: &[u8]) -> Result<Self, CompressError> {
+        // Lengths arrive from attacker-controlled containers on the decode
+        // path, so every table access below is `get`-based: the length
+        // bound check and the array access are one operation.
         let mut bl_count = [0u32; (MAX_BITS + 1) as usize];
         for &l in lengths {
-            if u32::from(l) > MAX_BITS {
-                return Err(CompressError::Corrupt("code length exceeds limit"));
+            match bl_count.get_mut(l as usize) {
+                Some(c) => *c += 1,
+                None => return Err(CompressError::Corrupt("code length exceeds limit")),
             }
-            bl_count[l as usize] += 1;
         }
-        bl_count[0] = 0;
+        if let Some(c0) = bl_count.get_mut(0) {
+            *c0 = 0;
+        }
         let mut next_code = [0u32; (MAX_BITS + 2) as usize];
         let mut code = 0u32;
         for bits in 1..=MAX_BITS as usize {
-            code = (code + bl_count[bits - 1]) << 1;
-            next_code[bits] = code;
+            code = (code + bl_count.get(bits - 1).copied().unwrap_or(0)) << 1;
+            if let Some(nc) = next_code.get_mut(bits) {
+                *nc = code;
+            }
         }
         let mut codes = vec![0u16; lengths.len()];
         for (sym, &l) in lengths.iter().enumerate() {
             if l == 0 {
                 continue;
             }
-            let c = next_code[l as usize];
-            next_code[l as usize] += 1;
+            // l <= MAX_BITS is established by the bl_count pass above.
+            let c = match next_code.get_mut(l as usize) {
+                Some(nc) => {
+                    let c = *nc;
+                    *nc += 1;
+                    c
+                }
+                None => return Err(CompressError::Corrupt("code length exceeds limit")),
+            };
             if c >= (1 << l) {
                 return Err(CompressError::Corrupt("over-subscribed code"));
             }
@@ -165,7 +179,9 @@ impl Encoder {
                     rev |= 1 << (l - 1 - b);
                 }
             }
-            codes[sym] = rev as u16;
+            if let Some(slot) = codes.get_mut(sym) {
+                *slot = rev as u16;
+            }
         }
         Ok(Self {
             codes,
@@ -205,11 +221,11 @@ impl Decoder {
             if l == 0 {
                 continue;
             }
-            let code = u32::from(enc.codes[sym]);
+            let code = u32::from(enc.codes.get(sym).copied().unwrap_or(0));
             let step = 1u32 << l;
             let mut idx = code;
-            while idx < (1 << MAX_BITS) {
-                table[idx as usize] = ((sym as u32) << 4) | u32::from(l);
+            while let Some(slot) = table.get_mut(idx as usize) {
+                *slot = ((sym as u32) << 4) | u32::from(l);
                 idx += step;
             }
         }
@@ -220,7 +236,9 @@ impl Decoder {
     #[inline]
     pub fn read(&self, r: &mut BitReader<'_>) -> Result<usize, CompressError> {
         let bits = r.peek_bits(MAX_BITS) as usize;
-        let entry = self.table[bits];
+        // `bits < 1 << MAX_BITS` always holds; a zero entry (also the
+        // out-of-range default) decodes as "invalid code" below.
+        let entry = self.table.get(bits).copied().unwrap_or(0);
         let len = entry & 0xf;
         if len == 0 {
             return Err(CompressError::Corrupt("invalid Huffman code"));

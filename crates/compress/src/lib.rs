@@ -28,6 +28,17 @@ use format::{adler32, read_varint, write_varint, MAGIC, METHOD_LZ_HUFF, METHOD_R
 /// Compression-ratio histogram buckets (original/compressed, >= 1 shrank).
 const RATIO_BUCKETS: &[f64] = &[1.0, 1.5, 2.0, 3.0, 5.0, 10.0];
 
+/// Hard ceiling on the declared decompressed size. A container claiming
+/// more than this is rejected before any allocation, so a few attacker
+/// bytes can never demand an arbitrarily large buffer. Matches the hub's
+/// per-object cap.
+pub const MAX_DECOMPRESSED_BYTES: usize = 1 << 30;
+
+/// Initial allocation granted on the declared length alone; beyond this
+/// the output buffer grows only as decoded bytes actually materialize,
+/// so the worst-case resident set tracks real payload, not the header.
+pub(crate) const MAX_PREALLOC_BYTES: usize = 1 << 20;
+
 /// Pre-register this crate's metric series in the global mh-obs registry
 /// so they appear (at zero) in `/metrics` before any (de)compression runs.
 pub fn register_metrics() {
@@ -134,7 +145,7 @@ pub fn compress_into(data: &[u8], level: Level, scratch: &mut Scratch, out: &mut
     // mh-compress sits below mh-par in the dependency graph, so the
     // facade's now() is out of reach; this is a span-only timestamp,
     // gated off unless tracing is enabled.
-    // lint-scan: allow L004
+    // mh-audit: allow(A104, span-only timestamp below mh-par; facade now() unreachable)
     let matchfind_start = mh_obs::enabled().then(std::time::Instant::now);
     lz77::tokenize_into(
         data,
@@ -174,6 +185,11 @@ pub fn compress_into(data: &[u8], level: Level, scratch: &mut Scratch, out: &mut
 }
 
 /// Decompress an MHZ container produced by [`compress`].
+///
+/// Total on arbitrary input: corrupt, truncated, or hostile containers
+/// produce an error, never a panic, and never an allocation larger than
+/// [`MAX_DECOMPRESSED_BYTES`].
+// mh-audit: no_panic_zone
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
     let out = decompress_inner(data);
     mh_obs::counter!("decompress_calls_total").inc();
@@ -188,18 +204,25 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
 }
 
 fn decompress_inner(data: &[u8]) -> Result<Vec<u8>, CompressError> {
-    if data.len() < 4 || data[..4] != MAGIC {
+    if data.get(..4) != Some(MAGIC.as_slice()) {
         return Err(CompressError::BadMagic);
     }
     let method = *data.get(4).ok_or(CompressError::UnexpectedEof)?;
     let mut pos = 5usize;
     let orig_len = read_varint(data, &mut pos)? as usize;
-    if pos + 4 > data.len() {
-        return Err(CompressError::UnexpectedEof);
+    if orig_len > MAX_DECOMPRESSED_BYTES {
+        return Err(CompressError::Corrupt("declared length exceeds cap"));
     }
-    let expected = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("fixed-size chunk"));
-    pos += 4;
-    let payload = &data[pos..];
+    let checksum_bytes = data
+        .get(pos..pos.saturating_add(4))
+        .ok_or(CompressError::UnexpectedEof)?;
+    let expected = u32::from_le_bytes(
+        checksum_bytes
+            .try_into()
+            .map_err(|_| CompressError::UnexpectedEof)?,
+    );
+    pos = pos.saturating_add(4);
+    let payload = data.get(pos..).unwrap_or_default();
     let out = match method {
         METHOD_STORE => {
             if payload.len() != orig_len {

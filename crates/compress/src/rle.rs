@@ -49,18 +49,18 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 }
 
 /// Decode an RLE stream; `orig_len` is validated against the result.
+/// Total on arbitrary input: truncation and over-length streams are
+/// errors, and the initial allocation is bounded regardless of the
+/// declared length.
 pub fn decode(data: &[u8], orig_len: usize) -> Result<Vec<u8>, CompressError> {
-    let mut out = Vec::with_capacity(orig_len);
+    let mut out = Vec::with_capacity(orig_len.min(crate::MAX_PREALLOC_BYTES));
     let mut i = 0usize;
-    while i < data.len() {
-        let ctrl = data[i];
+    while let Some(&ctrl) = data.get(i) {
         i += 1;
         if ctrl < 128 {
             let n = ctrl as usize + 1;
-            if i + n > data.len() {
-                return Err(CompressError::UnexpectedEof);
-            }
-            out.extend_from_slice(&data[i..i + n]);
+            let lits = data.get(i..i + n).ok_or(CompressError::UnexpectedEof)?;
+            out.extend_from_slice(lits);
             i += n;
         } else {
             let n = ctrl as usize - 128 + 2;

@@ -44,6 +44,7 @@ impl Sha256 {
         }
     }
 
+    // mh-audit: trusted(fixed 64-byte block buffering; take <= 64 - buf_len and chunks_exact(64) make every slice in range)
     pub fn update(&mut self, mut data: &[u8]) {
         self.total = self.total.wrapping_add(data.len() as u64);
         if self.buf_len > 0 {
@@ -72,6 +73,7 @@ impl Sha256 {
         self.buf_len = rem.len();
     }
 
+    // mh-audit: trusted(padding tail is a fixed 128-byte array; buf_len < 64 is a struct invariant)
     pub fn finalize(mut self) -> [u8; 32] {
         let bitlen = self.total.wrapping_mul(8);
         let mut tail = [0u8; 128];
@@ -113,6 +115,7 @@ pub fn sha256_hex(data: &[u8]) -> String {
     sha256(data).iter().map(|b| format!("{b:02x}")).collect()
 }
 
+// mh-audit: trusted(SHA-256 compression over fixed [u8; 64] / [u32; 64] arrays; all indices are literal-bounded loop counters)
 fn compress(h: &mut [u32; 8], block: &[u8; 64]) {
     let mut w = [0u32; 64];
     for (i, c) in block.chunks_exact(4).enumerate() {

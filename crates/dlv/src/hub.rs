@@ -228,7 +228,8 @@ where
     // Refuse to nest a publication inside an existing published repo.
     let mut anc = PathBuf::from(root);
     let segments: Vec<&str> = name.split('/').collect();
-    for seg in &segments[..segments.len() - 1] {
+    let (_, ancestors) = segments.split_last().unwrap_or((&"", &[]));
+    for seg in ancestors {
         anc.push(seg);
         if anc.join("catalog.mhs").exists() {
             return Err(DlvError::Hub(format!(

@@ -411,6 +411,7 @@ impl Repository {
 
     /// Internal: the catalog row of a version by name (+ optional id);
     /// without an id the newest version under that name wins.
+    // mh-audit: trusted(reads rows of the repository's own catalog, written by this crate under a fixed schema)
     fn find_version(&self, spec: &str) -> Result<(mh_store::RowId, VersionKey), DlvError> {
         let (name, id) = VersionKey::parse(spec);
         let rows = self.catalog.read(|db| {
@@ -585,6 +586,7 @@ impl Repository {
     }
 
     /// `dlv list`: all versions, newest first.
+    // mh-audit: trusted(reads rows of the repository's own catalog, written by this crate under a fixed schema)
     pub fn list(&self) -> Vec<VersionSummary> {
         let mut out: Vec<VersionSummary> = self.catalog.read(|db| {
             let t = db.table("model_version").expect("schema");
@@ -594,6 +596,7 @@ impl Repository {
         out
     }
 
+    // mh-audit: trusted(decodes a catalog row with the fixed model_version schema this crate wrote)
     fn summary_from_row(&self, db: &mh_store::Database, r: &Row) -> VersionSummary {
         let mv = r.id as i64;
         let snaps = db
@@ -619,6 +622,7 @@ impl Repository {
     }
 
     /// `dlv desc`: full metadata of one version.
+    // mh-audit: trusted(reads rows of the repository's own catalog, written by this crate under a fixed schema)
     pub fn desc(&self, spec: &str) -> Result<VersionDesc, DlvError> {
         let (row_id, _) = self.find_version(spec)?;
         let mv = row_id as i64;
@@ -702,6 +706,7 @@ impl Repository {
     }
 
     /// Reconstruct the network DAG of a version.
+    // mh-audit: trusted(reads rows of the repository's own catalog, written by this crate under a fixed schema)
     pub fn get_network(&self, spec: &str) -> Result<Network, DlvError> {
         let (row_id, _) = self.find_version(spec)?;
         let mv = row_id as i64;

@@ -84,7 +84,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, t: Token, what: &'static str) -> Result<(), ParseError> {
+    fn expect_tok(&mut self, t: Token, what: &'static str) -> Result<(), ParseError> {
         if self.peek() == Some(&t) {
             self.pos += 1;
             Ok(())
@@ -136,13 +136,13 @@ impl Parser {
             if alias != out_alias {
                 return Err(ParseError::Expected("output alias on mutate lhs", self.pos));
             }
-            self.expect(Token::Dot, ".")?;
+            self.expect_tok(Token::Dot, ".")?;
             let which = self.expect_ident("'input' or 'output'")?;
-            self.expect(Token::Eq, "=")?;
+            self.expect_tok(Token::Eq, "=")?;
             let _src = self.expect_ident("input alias")?;
-            self.expect(Token::LBracket, "[")?;
+            self.expect_tok(Token::LBracket, "[")?;
             let sel = self.expect_str("selector string")?;
-            self.expect(Token::RBracket, "]")?;
+            self.expect_tok(Token::RBracket, "]")?;
             match which.as_str() {
                 "input" => input_selector = Some(sel),
                 "output" => output_selector = Some(sel),
@@ -178,13 +178,13 @@ impl Parser {
         loop {
             // m["sel"].insert = TEMPLATE(...)  |  m["sel"].delete
             let _alias = self.expect_ident("model alias")?;
-            self.expect(Token::LBracket, "[")?;
+            self.expect_tok(Token::LBracket, "[")?;
             let selector = self.expect_str("selector string")?;
-            self.expect(Token::RBracket, "]")?;
-            self.expect(Token::Dot, ".")?;
+            self.expect_tok(Token::RBracket, "]")?;
+            self.expect_tok(Token::Dot, ".")?;
             match self.next() {
                 Some(Token::Keyword(Kw::Insert)) => {
-                    self.expect(Token::Eq, "=")?;
+                    self.expect_tok(Token::Eq, "=")?;
                     let template = self.node_template()?;
                     actions.push(MutationAction::Insert { selector, template });
                 }
@@ -217,7 +217,7 @@ impl Parser {
             Some(Token::LParen) => {
                 self.next();
                 let q = self.query()?;
-                self.expect(Token::RParen, ")")?;
+                self.expect_tok(Token::RParen, ")")?;
                 EvalSource::Nested(Box::new(q))
             }
             _ => {
@@ -233,7 +233,7 @@ impl Parser {
             if ident != "config" {
                 return Err(ParseError::Expected("'config'", self.pos));
             }
-            self.expect(Token::Eq, "=")?;
+            self.expect_tok(Token::Eq, "=")?;
             config = Some(self.expect_str("config reference")?);
         }
         let mut vary = Vec::new();
@@ -265,13 +265,13 @@ impl Parser {
         if root != "config" {
             return Err(ParseError::Expected("'config'", self.pos));
         }
-        self.expect(Token::Dot, ".")?;
+        self.expect_tok(Token::Dot, ".")?;
         let field = self.expect_ident("config field")?;
         if field == "net" {
-            self.expect(Token::LBracket, "[")?;
+            self.expect_tok(Token::LBracket, "[")?;
             let selector = self.expect_str("selector")?;
-            self.expect(Token::RBracket, "]")?;
-            self.expect(Token::Dot, ".")?;
+            self.expect_tok(Token::RBracket, "]")?;
+            self.expect_tok(Token::Dot, ".")?;
             let sub = self.expect_ident("'lr'")?;
             if sub != "lr" {
                 return Err(ParseError::Expected("'lr'", self.pos));
@@ -297,13 +297,13 @@ impl Parser {
     /// `top(k, m["metric"], iters)` or `m["metric"] < value , iters`.
     fn keep_rule(&mut self, alias: &str) -> Result<KeepRule, ParseError> {
         if self.eat_kw(Kw::Top) {
-            self.expect(Token::LParen, "(")?;
+            self.expect_tok(Token::LParen, "(")?;
             let k = self.number()? as usize;
-            self.expect(Token::Comma, ",")?;
+            self.expect_tok(Token::Comma, ",")?;
             let metric = self.metric_ref(alias)?;
-            self.expect(Token::Comma, ",")?;
+            self.expect_tok(Token::Comma, ",")?;
             let iterations = self.number()? as usize;
-            self.expect(Token::RParen, ")")?;
+            self.expect_tok(Token::RParen, ")")?;
             return Ok(KeepRule::Top {
                 k,
                 metric,
@@ -313,7 +313,7 @@ impl Parser {
         let metric = self.metric_ref(alias)?;
         let op = self.cmp_op()?;
         let value = self.number()?;
-        self.expect(Token::Comma, ",")?;
+        self.expect_tok(Token::Comma, ",")?;
         let iterations = self.number()? as usize;
         Ok(KeepRule::Threshold {
             metric,
@@ -332,7 +332,7 @@ impl Parser {
         match self.next() {
             Some(Token::LBracket) => {
                 let m = self.expect_str("metric name")?;
-                self.expect(Token::RBracket, "]")?;
+                self.expect_tok(Token::RBracket, "]")?;
                 Ok(m)
             }
             Some(Token::Dot) => self.expect_ident("metric name"),
@@ -372,7 +372,7 @@ impl Parser {
     }
 
     fn literal_list(&mut self) -> Result<Vec<Literal>, ParseError> {
-        self.expect(Token::LBracket, "[")?;
+        self.expect_tok(Token::LBracket, "[")?;
         let mut out = Vec::new();
         if self.peek() != Some(&Token::RBracket) {
             loop {
@@ -383,7 +383,7 @@ impl Parser {
                 self.next();
             }
         }
-        self.expect(Token::RBracket, "]")?;
+        self.expect_tok(Token::RBracket, "]")?;
         Ok(out)
     }
 
@@ -414,7 +414,7 @@ impl Parser {
         if self.peek() == Some(&Token::LParen) {
             self.next();
             let inner = self.pred()?;
-            self.expect(Token::RParen, ")")?;
+            self.expect_tok(Token::RParen, ")")?;
             return Ok(inner);
         }
         let path = self.path()?;
@@ -450,7 +450,7 @@ impl Parser {
                 Some(Token::LBracket) => {
                     self.next();
                     let sel = self.expect_str("selector")?;
-                    self.expect(Token::RBracket, "]")?;
+                    self.expect_tok(Token::RBracket, "]")?;
                     steps.push(PathStep::Selector(sel));
                 }
                 _ => break,
@@ -474,7 +474,7 @@ impl Parser {
                     self.next();
                 }
             }
-            self.expect(Token::RParen, ")")?;
+            self.expect_tok(Token::RParen, ")")?;
         }
         Ok(NodeTemplate {
             ty: ty.to_ascii_uppercase(),

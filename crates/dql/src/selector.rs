@@ -58,8 +58,8 @@ impl Selector {
         let chars: Vec<char> = pattern.chars().collect();
         let mut i = 0usize;
         let mut depth = 0i32;
-        while i < chars.len() {
-            match chars[i] {
+        while let Some(&ch) = chars.get(i) {
+            match ch {
                 '*' => items.push(Item::Star),
                 '?' => items.push(Item::One),
                 '(' => depth += 1,
@@ -70,11 +70,12 @@ impl Selector {
                     }
                 }
                 '[' => {
-                    let close = chars[i + 1..]
+                    let rest = chars.get(i + 1..).unwrap_or_default();
+                    let close = rest
                         .iter()
                         .position(|&c| c == ']')
                         .ok_or(SelectorError::UnclosedBracket)?;
-                    let body: String = chars[i + 1..i + 1 + close].iter().collect();
+                    let body: String = rest.get(..close).unwrap_or_default().iter().collect();
                     let alts: Vec<String> = body.split(',').map(|s| s.trim().to_string()).collect();
                     if alts.iter().any(String::is_empty) {
                         return Err(SelectorError::EmptyAlternative);
@@ -123,10 +124,10 @@ impl Selector {
         pos: usize,
         caps: &mut Vec<String>,
     ) -> bool {
-        if item_idx == self.items.len() {
+        let Some(item) = self.items.get(item_idx) else {
             return pos == text.len();
-        }
-        match &self.items[item_idx] {
+        };
+        match item {
             Item::Lit(c) => {
                 if text.get(pos) == Some(c) {
                     self.match_from(item_idx + 1, text, pos + 1, caps)
@@ -135,8 +136,8 @@ impl Selector {
                 }
             }
             Item::One => {
-                if pos < text.len() {
-                    caps.push(text[pos].to_string());
+                if let Some(ch) = text.get(pos) {
+                    caps.push(ch.to_string());
                     if self.match_from(item_idx + 1, text, pos + 1, caps) {
                         return true;
                     }
@@ -147,7 +148,7 @@ impl Selector {
             Item::Star => {
                 // Try progressively longer captures.
                 for end in pos..=text.len() {
-                    caps.push(text[pos..end].iter().collect());
+                    caps.push(text.get(pos..end).unwrap_or_default().iter().collect());
                     if self.match_from(item_idx + 1, text, end, caps) {
                         return true;
                     }
@@ -158,7 +159,7 @@ impl Selector {
             Item::Alt(alts) => {
                 for alt in alts {
                     let ac: Vec<char> = alt.chars().collect();
-                    if text[pos..].starts_with(&ac) {
+                    if text.get(pos..).unwrap_or_default().starts_with(&ac) {
                         caps.push(alt.clone());
                         if self.match_from(item_idx + 1, text, pos + ac.len(), caps) {
                             return true;

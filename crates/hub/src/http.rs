@@ -47,6 +47,7 @@ pub fn status_reason(status: u16) -> &'static str {
 }
 
 /// Read and parse one request (line, headers, body).
+// mh-audit: no_panic_zone
 pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HubError> {
     let line = read_line(r)?;
     let mut parts = line.split(' ');
@@ -133,6 +134,7 @@ pub fn write_response_head<W: Write>(
 }
 
 /// Read a response status line + headers.
+// mh-audit: no_panic_zone
 pub fn read_response_head<R: BufRead>(r: &mut R) -> Result<ResponseHead, HubError> {
     let line = read_line(r)?;
     let mut parts = line.split(' ');
@@ -156,6 +158,7 @@ pub fn read_response_head<R: BufRead>(r: &mut R) -> Result<ResponseHead, HubErro
 }
 
 /// Read a fully buffered response body of the declared length.
+// mh-audit: no_panic_zone
 pub fn read_body<R: BufRead>(r: &mut R, head: &ResponseHead) -> Result<Vec<u8>, HubError> {
     if head.content_length > MAX_BODY_BYTES {
         return Err(HubError::Protocol(format!(

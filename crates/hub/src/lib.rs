@@ -57,6 +57,9 @@ pub enum HubError {
     ConnectionDropped(String),
     /// A frame or message violated the wire protocol.
     Protocol(String),
+    /// A declared size (object, manifest entry, entry count) exceeded a
+    /// hard cap. Rejected before any allocation; never transient.
+    TooLarge(String),
     /// An object or transfer checksum did not match.
     Checksum { expected: String, got: String },
     /// The server answered with an error status.
@@ -78,6 +81,7 @@ impl std::fmt::Display for HubError {
             Self::Timeout(m) => write!(f, "request timed out: {m}"),
             Self::ConnectionDropped(m) => write!(f, "connection dropped: {m}"),
             Self::Protocol(m) => write!(f, "protocol error: {m}"),
+            Self::TooLarge(m) => write!(f, "declared size exceeds cap: {m}"),
             Self::Checksum { expected, got } => {
                 write!(f, "checksum mismatch: expected {expected}, got {got}")
             }
@@ -127,7 +131,9 @@ impl HubError {
                 true
             }
             Self::Server { status, .. } => *status >= 500,
-            Self::Protocol(_) | Self::RetriesExhausted { .. } | Self::Dlv(_) => false,
+            Self::Protocol(_) | Self::TooLarge(_) | Self::RetriesExhausted { .. } | Self::Dlv(_) => {
+                false
+            }
         }
     }
 

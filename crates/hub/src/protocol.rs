@@ -24,6 +24,15 @@ use std::io::{BufRead, Write};
 /// prefix from ballooning receiver memory).
 pub const MAX_OBJECT_BYTES: u64 = 1 << 30;
 
+/// Hard cap on manifest entry count: a manifest declaring more lines
+/// than this is rejected before the entries are materialized.
+pub const MAX_MANIFEST_ENTRIES: usize = 1 << 16;
+
+/// Hard cap on one protocol line (object headers, manifest lines,
+/// request lines all fit in well under this); a peer streaming bytes
+/// with no newline is cut off instead of growing the line buffer.
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+
 /// Percent-encode everything outside `[A-Za-z0-9._~-]`.
 pub fn pct_encode(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -38,12 +47,14 @@ pub fn pct_encode(s: &str) -> String {
 }
 
 /// Decode percent-encoding; rejects malformed escapes and invalid UTF-8.
+/// Total on arbitrary input (query strings arrive straight off the wire).
+// mh-audit: no_panic_zone
 pub fn pct_decode(s: &str) -> Result<String, HubError> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
+    while let Some(&b) = bytes.get(i) {
+        if b == b'%' {
             let hex = bytes
                 .get(i + 1..i + 3)
                 .and_then(|h| std::str::from_utf8(h).ok())
@@ -52,7 +63,7 @@ pub fn pct_decode(s: &str) -> Result<String, HubError> {
             out.push(hex);
             i += 3;
         } else {
-            out.push(bytes[i]);
+            out.push(b);
             i += 1;
         }
     }
@@ -68,11 +79,23 @@ pub fn encode_manifest(entries: &[ManifestEntry]) -> String {
     out
 }
 
+/// Parse a manifest body, enforcing the declared-size caps: at most
+/// [`MAX_MANIFEST_ENTRIES`] entries, each declaring at most
+/// [`MAX_OBJECT_BYTES`]. Oversized declarations are [`HubError::TooLarge`]
+/// (mapped to HTTP 422 by the server) and rejected before the entry
+/// vector grows — a handful of hostile header bytes cannot reserve
+/// gigabytes.
+// mh-audit: no_panic_zone
 pub fn parse_manifest(body: &str) -> Result<Vec<ManifestEntry>, HubError> {
     let mut out = Vec::new();
     for line in body.lines() {
         if line.is_empty() {
             continue;
+        }
+        if out.len() >= MAX_MANIFEST_ENTRIES {
+            return Err(HubError::TooLarge(format!(
+                "manifest exceeds {MAX_MANIFEST_ENTRIES} entries"
+            )));
         }
         let mut parts = line.splitn(3, ' ');
         let (hash, size, path) = match (parts.next(), parts.next(), parts.next()) {
@@ -85,6 +108,11 @@ pub fn parse_manifest(body: &str) -> Result<Vec<ManifestEntry>, HubError> {
         let size: u64 = size
             .parse()
             .map_err(|_| HubError::Protocol(format!("bad manifest size '{size}'")))?;
+        if size > MAX_OBJECT_BYTES {
+            return Err(HubError::TooLarge(format!(
+                "manifest entry declares {size} bytes (cap {MAX_OBJECT_BYTES})"
+            )));
+        }
         out.push(ManifestEntry {
             hash: hash.to_string(),
             size,
@@ -110,6 +138,7 @@ pub fn encode_hits(hits: &[SearchHit]) -> String {
     out
 }
 
+// mh-audit: no_panic_zone
 pub fn parse_hits(body: &str) -> Result<Vec<SearchHit>, HubError> {
     let mut out = Vec::new();
     for line in body.lines() {
@@ -117,14 +146,14 @@ pub fn parse_hits(body: &str) -> Result<Vec<SearchHit>, HubError> {
             continue;
         }
         let fields: Vec<&str> = line.split(' ').collect();
-        if fields.len() != 4 {
+        let [repo, version, architecture, comment] = fields.as_slice() else {
             return Err(HubError::Protocol(format!("bad search hit line '{line}'")));
-        }
+        };
         out.push(SearchHit {
-            repo: pct_decode(fields[0])?,
-            version: pct_decode(fields[1])?,
-            architecture: pct_decode(fields[2])?,
-            comment: pct_decode(fields[3])?,
+            repo: pct_decode(repo)?,
+            version: pct_decode(version)?,
+            architecture: pct_decode(architecture)?,
+            comment: pct_decode(comment)?,
         });
     }
     Ok(out)
@@ -156,12 +185,21 @@ pub fn parse_error(status: u16, body: &str) -> HubError {
 /// Byte length of an object-stream body for the given `(hash, size)`
 /// sequence — computable before any payload is read, so responses can
 /// carry an exact `Content-Length` while still streaming object bytes.
+// mh-audit: no_panic_zone
 pub fn object_stream_len(objects: &[(String, u64)]) -> u64 {
+    // Saturating length-prefix arithmetic: sizes are validated against
+    // the per-object cap upstream, but a promised Content-Length must
+    // never be computed through a silent wrap.
     let mut total = 0u64;
     for (hash, size) in objects {
-        total += "obj ".len() as u64 + hash.len() as u64 + 1 + decimal_len(*size) + 1 + size;
+        let header = ("obj ".len() as u64)
+            .saturating_add(hash.len() as u64)
+            .saturating_add(1)
+            .saturating_add(decimal_len(*size))
+            .saturating_add(1);
+        total = total.saturating_add(header).saturating_add(*size);
     }
-    total + "end ".len() as u64 + 64 + 1
+    total.saturating_add("end ".len() as u64 + 64 + 1)
 }
 
 fn decimal_len(mut n: u64) -> u64 {
@@ -197,6 +235,7 @@ pub fn write_object_stream_end<W: Write>(w: &mut W, transfer: Sha256) -> std::io
 /// delivery, so everything handed to `on_object` is durable even if the
 /// stream later breaks; the trailing whole-transfer checksum is verified
 /// at the end. Returns the number of objects received.
+// mh-audit: no_panic_zone
 pub fn read_object_stream<R: BufRead>(
     r: &mut R,
     mut on_object: impl FnMut(&str, &[u8]) -> Result<(), HubError>,
@@ -209,13 +248,12 @@ pub fn read_object_stream<R: BufRead>(
             let (hash, len) = rest
                 .split_once(' ')
                 .ok_or_else(|| HubError::Protocol(format!("bad object header '{line}'")))?;
+            // mh-audit: tainted(object length parsed off the wire)
             let len: u64 = len
                 .parse()
                 .map_err(|_| HubError::Protocol(format!("bad object length '{len}'")))?;
             if len > MAX_OBJECT_BYTES {
-                return Err(HubError::Protocol(format!(
-                    "object too large ({len} bytes)"
-                )));
+                return Err(HubError::TooLarge(format!("object declares {len} bytes")));
             }
             let mut payload = vec![0u8; len as usize];
             r.read_exact(&mut payload).map_err(|e| {
@@ -249,16 +287,42 @@ pub fn read_object_stream<R: BufRead>(
 }
 
 /// Read one `\n`-terminated line (CR stripped); EOF before the newline is
-/// a dropped connection.
+/// a dropped connection, and a line longer than [`MAX_LINE_BYTES`] is a
+/// protocol error — the buffer never grows past the cap no matter how
+/// many bytes the peer pushes without a newline.
+// mh-audit: no_panic_zone
 pub fn read_line<R: BufRead>(r: &mut R) -> Result<String, HubError> {
-    let mut buf = Vec::new();
-    let n = r.read_until(b'\n', &mut buf).map_err(HubError::from)?;
-    if n == 0 || buf.last() != Some(&b'\n') {
-        return Err(HubError::ConnectionDropped(
-            "EOF before end of line".to_string(),
-        ));
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf().map_err(HubError::from)?;
+        if chunk.is_empty() {
+            return Err(HubError::ConnectionDropped(
+                "EOF before end of line".to_string(),
+            ));
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len().saturating_add(pos) > MAX_LINE_BYTES {
+                    return Err(HubError::TooLarge(format!(
+                        "line exceeds {MAX_LINE_BYTES} bytes"
+                    )));
+                }
+                buf.extend_from_slice(chunk.get(..pos).unwrap_or_default());
+                r.consume(pos + 1);
+                break;
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len().saturating_add(n) > MAX_LINE_BYTES {
+                    return Err(HubError::TooLarge(format!(
+                        "line exceeds {MAX_LINE_BYTES} bytes"
+                    )));
+                }
+                buf.extend_from_slice(chunk);
+                r.consume(n);
+            }
+        }
     }
-    buf.pop();
     if buf.last() == Some(&b'\r') {
         buf.pop();
     }

@@ -243,6 +243,20 @@ fn error_body(e: &DlvError) -> Handled {
     }
 }
 
+/// Protocol-level errors from request parsing: declared-size cap
+/// violations are 422 `too-large` (well-formed but unacceptable);
+/// everything else is a plain 400.
+fn hub_error_body(e: &HubError) -> Handled {
+    let (status, code) = match e {
+        HubError::TooLarge(_) => (422, "too-large"),
+        _ => (400, "bad-request"),
+    };
+    Handled::Full {
+        status,
+        body: encode_error(code, &e.to_string()).into_bytes(),
+    }
+}
+
 /// Write a buffered response, reporting how many body bytes actually
 /// reached the socket and whether the write completed. A peer that hangs
 /// up mid-response must not be accounted as a full transfer.
@@ -252,7 +266,8 @@ fn write_full(stream: &mut TcpStream, status: u16, body: &[u8]) -> (u64, bool) {
     }
     let mut written = 0usize;
     while written < body.len() {
-        match stream.write(&body[written..]) {
+        let rest = body.get(written..).unwrap_or_default();
+        match stream.write(rest) {
             Ok(0) => return (written as u64, false),
             Ok(n) => written += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -262,6 +277,10 @@ fn write_full(stream: &mut TcpStream, status: u16, body: &[u8]) -> (u64, bool) {
     (written as u64, stream.flush().is_ok())
 }
 
+/// Per-connection worker body: everything reachable from here handles
+/// attacker-controlled bytes, so the whole router is a no-panic zone — a
+/// request must never be able to kill a worker.
+// mh-audit: no_panic_zone
 fn handle_conn(root: &Path, stream: TcpStream, stats: &Stats, faults: &Faults) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
@@ -354,7 +373,7 @@ fn route(
             }
         }
         ("GET", path) if path.starts_with("/manifest/") => {
-            let name = &path["/manifest/".len()..];
+            let name = path.strip_prefix("/manifest/").unwrap_or_default();
             match published_manifest(root, name) {
                 Ok(manifest) => Handled::Full {
                     status: 200,
@@ -364,7 +383,7 @@ fn route(
             }
         }
         ("POST", path) if path.starts_with("/objects/") => {
-            let name = &path["/objects/".len()..];
+            let name = path.strip_prefix("/objects/").unwrap_or_default();
             let haves: BTreeSet<String> = std::str::from_utf8(&req.body)
                 .unwrap_or("")
                 .lines()
@@ -374,7 +393,7 @@ fn route(
             respond_objects(root, name, &haves, faults, stream)
         }
         ("POST", path) if path.starts_with("/publish/") => {
-            let name = &path["/publish/".len()..];
+            let name = path.strip_prefix("/publish/").unwrap_or_default();
             let phase = req
                 .query
                 .as_deref()
@@ -442,7 +461,7 @@ fn respond_objects(
             if let Some(first) = missing.first() {
                 if let Ok(data) = std::fs::read(dir.join(&first.path)) {
                     let header = format!("obj {} {}\n", first.hash, data.len());
-                    let half = &data[..data.len() / 2];
+                    let half = data.get(..data.len() / 2).unwrap_or_default();
                     if stream.write_all(header.as_bytes()).is_ok() && stream.write_all(half).is_ok()
                     {
                         partial = half.len() as u64;
@@ -514,12 +533,7 @@ fn handle_negotiate(root: &Path, name: &str, body: &[u8]) -> Handled {
     };
     let manifest = match parse_manifest(body) {
         Ok(m) => m,
-        Err(e) => {
-            return Handled::Full {
-                status: 400,
-                body: encode_error("bad-request", &e.to_string()).into_bytes(),
-            }
-        }
+        Err(e) => return hub_error_body(&e),
     };
     let existing = match Hub::open(root).and_then(|h| h.published_objects(name)) {
         Ok(m) => m,
@@ -552,23 +566,26 @@ fn handle_commit(root: &Path, name: &str, body: &[u8]) -> Handled {
     let Some(nl) = body.iter().position(|&b| b == b'\n') else {
         return bad("missing manifest length prefix");
     };
-    let Ok(manifest_len) = std::str::from_utf8(&body[..nl])
+    let Ok(manifest_len) = std::str::from_utf8(body.get(..nl).unwrap_or_default())
         .unwrap_or("")
         .trim()
         .parse::<usize>()
     else {
         return bad("bad manifest length prefix");
     };
-    let rest = &body[nl + 1..];
-    if manifest_len > rest.len() {
+    let rest = body.get(nl + 1..).unwrap_or_default();
+    // The length-prefix check and the slice are one `get`: a prefix
+    // exceeding the remaining body cannot reach the parser, and no
+    // arithmetic on the attacker's length happens outside it.
+    let Some(manifest_bytes) = rest.get(..manifest_len) else {
         return bad("manifest length prefix exceeds body");
-    }
-    let Ok(manifest_str) = std::str::from_utf8(&rest[..manifest_len]) else {
+    };
+    let Ok(manifest_str) = std::str::from_utf8(manifest_bytes) else {
         return bad("manifest must be utf-8");
     };
     let manifest = match parse_manifest(manifest_str) {
         Ok(m) => m,
-        Err(e) => return bad(&e.to_string()),
+        Err(e) => return hub_error_body(&e),
     };
     for entry in &manifest {
         if let Err(e) = validate_rel_path(&entry.path) {
@@ -576,11 +593,14 @@ fn handle_commit(root: &Path, name: &str, body: &[u8]) -> Handled {
         }
     }
     let mut received: BTreeMap<String, Vec<u8>> = BTreeMap::new();
-    let mut reader = std::io::BufReader::new(&rest[manifest_len..]);
+    let mut reader = std::io::BufReader::new(rest.get(manifest_len..).unwrap_or_default());
     if let Err(e) = read_object_stream(&mut reader, |hash, payload| {
         received.insert(hash.to_string(), payload.to_vec());
         Ok(())
     }) {
+        if matches!(e, HubError::TooLarge(_)) {
+            return hub_error_body(&e);
+        }
         return bad(&format!("bad object stream: {e}"));
     }
     let existing = match Hub::open(root).and_then(|h| h.published_objects(name)) {

@@ -289,11 +289,14 @@ where
                         let Some(scratch) = scratch.as_mut() else {
                             continue;
                         };
+                        let Some(item) = items.get(i) else {
+                            continue;
+                        };
                         tasks.inc();
                         wait_hist.observe(enqueued.elapsed().as_micros() as f64);
                         let run_start = sync::now();
                         let out = catch_unwind(AssertUnwindSafe(|| {
-                            mh_obs::with_parent(parent_span, || f(scratch, i, &items[i]))
+                            mh_obs::with_parent(parent_span, || f(scratch, i, item))
                         }));
                         match out {
                             Ok(r) => {
@@ -352,7 +355,9 @@ where
     depth.set(0);
 
     for (i, r) in worker_outputs?.into_iter().flatten() {
-        slots[i] = Some(r);
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(r);
+        }
     }
     // Every index was produced and no worker failed, so every slot is full.
     slots

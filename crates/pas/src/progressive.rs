@@ -85,19 +85,18 @@ impl<'a> ProgressiveEvaluator<'a> {
         Ok(iw)
     }
 
-    fn chain_bytes(&self, k: usize) -> u64 {
+    fn chain_bytes(&self, k: usize) -> Result<u64, PasError> {
         self.binding
             .layer_vertex
             .values()
-            .map(|&v| self.store.prefix_bytes(v, k))
-            .sum()
+            .try_fold(0u64, |acc, &v| Ok(acc + self.store.prefix_bytes(v, k)?))
     }
 
     /// Evaluate one input progressively, guaranteeing the returned top-k
     /// prediction equals the full-precision result.
     pub fn eval(&self, input: &Tensor3, top_k: usize) -> Result<ProgressiveResult, PasError> {
         let mut sp = mh_obs::span("pas.progressive.eval");
-        let full_bytes = self.chain_bytes(4);
+        let full_bytes = self.chain_bytes(4)?;
         for k in 1..=4usize {
             let mut step = mh_obs::span("pas.progressive.step");
             let iw = self.interval_weights(k)?;
@@ -117,7 +116,7 @@ impl<'a> ProgressiveEvaluator<'a> {
                 step.field("logit_interval_width", width);
             }
             if let Some(pred) = determined_top_k(&out, top_k) {
-                let bytes_read = self.chain_bytes(k);
+                let bytes_read = self.chain_bytes(k)?;
                 drop(step);
                 mh_obs::histogram!("pas_progressive_planes_used", &[1.0, 2.0, 3.0])
                     .observe(k as f64);

@@ -230,7 +230,10 @@ impl SegmentStore {
         std::fs::write(Self::manifest_path(&self.dir), out).map_err(PasError::Io)
     }
 
-    /// Open an existing store.
+    /// Open an existing store. The manifest may arrive inside a pulled
+    /// repository, so every field is validated before use: malformed rows,
+    /// bad numbers, and `rows * cols` overflow are errors, never panics.
+    // mh-audit: no_panic_zone
     pub fn open(dir: &Path) -> Result<Self, PasError> {
         let text = std::fs::read_to_string(Self::manifest_path(dir)).map_err(PasError::Io)?;
         let mut lines = text.lines();
@@ -240,30 +243,35 @@ impl SegmentStore {
         let mut objects = BTreeMap::new();
         for line in lines {
             let f: Vec<&str> = line.split('\t').collect();
-            if f.len() != 10 {
+            let [v, kind, parent, rows, cols, p0, p1, p2, p3, label] = f.as_slice() else {
                 return Err(PasError::Corrupt("bad manifest row"));
-            }
-            let parse = |s: &str| -> Result<u64, PasError> {
+            };
+            let parse = |s: &&str| -> Result<u64, PasError> {
                 s.parse()
                     .map_err(|_| PasError::Corrupt("bad manifest number"))
             };
-            let vertex = parse(f[0])? as VertexId;
-            let kind = match f[1] {
+            let vertex = parse(v)? as VertexId;
+            let kind = match *kind {
                 "mat" => ObjectKind::Materialized,
                 "sub" => ObjectKind::DeltaSub,
                 "xor" => ObjectKind::DeltaXor,
                 _ => return Err(PasError::Corrupt("bad object kind")),
             };
+            let rows = parse(rows)? as usize;
+            let cols = parse(cols)? as usize;
+            if rows.checked_mul(cols).is_none() {
+                return Err(PasError::Corrupt("manifest shape overflows"));
+            }
             objects.insert(
                 vertex,
                 ObjectMeta {
                     vertex,
                     kind,
-                    parent: parse(f[2])? as VertexId,
-                    rows: parse(f[3])? as usize,
-                    cols: parse(f[4])? as usize,
-                    plane_sizes: [parse(f[5])?, parse(f[6])?, parse(f[7])?, parse(f[8])?],
-                    label: f[9].to_string(),
+                    parent: parse(parent)? as VertexId,
+                    rows,
+                    cols,
+                    plane_sizes: [parse(p0)?, parse(p1)?, parse(p2)?, parse(p3)?],
+                    label: label.to_string(),
                 },
             );
         }
@@ -283,11 +291,12 @@ impl SegmentStore {
 
     /// Compressed bytes needed to fetch the first `k` planes of everything
     /// on `v`'s recreation path.
-    pub fn prefix_bytes(&self, v: VertexId, k: usize) -> u64 {
-        self.path(v)
+    pub fn prefix_bytes(&self, v: VertexId, k: usize) -> Result<u64, PasError> {
+        Ok(self
+            .path(v)?
             .iter()
-            .map(|o| o.plane_sizes[..k].iter().sum::<u64>())
-            .sum()
+            .map(|o| o.plane_sizes.iter().take(k).sum::<u64>())
+            .sum())
     }
 
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
@@ -298,17 +307,25 @@ impl SegmentStore {
         self.objects.get(&v).map(|o| o.label.as_str())
     }
 
-    /// Objects on the recreation path of `v`, root-first.
-    fn path(&self, v: VertexId) -> Vec<&ObjectMeta> {
+    /// Objects on the recreation path of `v`, root-first. A dangling
+    /// parent or a parent cycle in the manifest is a corruption error, not
+    /// a panic or an infinite loop.
+    fn path(&self, v: VertexId) -> Result<Vec<&ObjectMeta>, PasError> {
         let mut rev = Vec::new();
         let mut cur = v;
         while cur != NULL_VERTEX {
-            let o = &self.objects[&cur];
+            let o = self
+                .objects
+                .get(&cur)
+                .ok_or(PasError::Corrupt("dangling parent in manifest"))?;
             rev.push(o);
+            if rev.len() > self.objects.len() {
+                return Err(PasError::Corrupt("parent cycle in manifest"));
+            }
             cur = o.parent;
         }
         rev.reverse();
-        rev
+        Ok(rev)
     }
 
     /// Read and decompress the first `k` planes of one object, returning
@@ -317,13 +334,17 @@ impl SegmentStore {
     /// Large objects decompress their planes on the pool (each plane is an
     /// independent MHZ stream); the merge stays serial in plane order, so
     /// the result is identical either way.
+    // mh-audit: no_panic_zone
     fn load_words(&self, o: &ObjectMeta, k: usize) -> Result<Vec<u32>, PasError> {
         let mut sp = mh_obs::span("pas.load_planes");
         if sp.is_recording() {
             sp.field("planes", k);
             sp.add_bytes_in(o.plane_sizes.iter().take(k).sum());
         }
-        let n = o.rows * o.cols;
+        let n = o
+            .rows
+            .checked_mul(o.cols)
+            .ok_or(PasError::Corrupt("manifest shape overflows"))?;
         let read_plane = |p: usize| -> Result<Vec<u8>, PasError> {
             let packed = std::fs::read(plane_path(&self.dir, o.vertex, p)).map_err(PasError::Io)?;
             let plane = mh_compress::decompress(&packed).map_err(PasError::Compress)?;
@@ -353,9 +374,12 @@ impl SegmentStore {
     }
 
     /// Recreate the full-precision matrix at `v` by walking its chain.
+    /// The chain metadata and every plane file may come from a pulled
+    /// archive, so the whole walk is corruption-tolerant.
+    // mh-audit: no_panic_zone
     pub fn recreate(&self, v: VertexId) -> Result<Matrix, PasError> {
         let mut sp = mh_obs::span("pas.recreate");
-        let path = self.path(v);
+        let path = self.path(v)?;
         if sp.is_recording() {
             sp.field("chain_len", path.len());
         }
@@ -462,7 +486,7 @@ impl SegmentStore {
         let mut cache: BTreeMap<VertexId, (Vec<u32>, (usize, usize))> = BTreeMap::new();
         let mut out = Vec::with_capacity(members.len());
         for &m in members {
-            let path = self.path(m);
+            let path = self.path(m)?;
             // Deepest already-computed vertex on this path.
             let start = path
                 .iter()
@@ -511,7 +535,7 @@ impl SegmentStore {
             let m = self.recreate(v)?;
             return Ok((m.clone(), m));
         }
-        let path = self.path(v);
+        let path = self.path(v)?;
         let mut acc: Vec<u32> = Vec::new();
         let mut shape = (0usize, 0usize);
         // Number of objects whose unknown low bytes feed additive carries.
@@ -645,29 +669,41 @@ fn apply_positional(
 ) -> Vec<u32> {
     let (br, bc) = base_shape;
     let (tr, tc) = target_shape;
-    let mut out = Vec::with_capacity(tr * tc);
+    let total = tr.saturating_mul(tc);
+    // Fast path: same-shape delta application (the overwhelmingly common
+    // case on real chains) is a straight zip — no per-element bounds
+    // checks in the retrieval hot loop.
+    if (br, bc) == (tr, tc) && base.len() == total && delta.len() == total {
+        return base.iter().zip(delta).map(|(&b, &d)| op(b, d)).collect();
+    }
+    let mut out = Vec::with_capacity(total.min(1 << 24));
     for r in 0..tr {
+        let base_row = if r < br {
+            let start = r.saturating_mul(bc);
+            base.get(start..start.saturating_add(bc)).unwrap_or(&[])
+        } else {
+            &[]
+        };
+        let delta_start = r.saturating_mul(tc);
+        let delta_row = delta
+            .get(delta_start..delta_start.saturating_add(tc))
+            .unwrap_or(&[]);
         for c in 0..tc {
-            let b = if r < br && c < bc {
-                base[r * bc + c]
-            } else {
-                0
-            };
-            out.push(op(b, delta[r * tc + c]));
+            let b = base_row.get(c).copied().unwrap_or(0);
+            let d = delta_row.get(c).copied().unwrap_or(0);
+            out.push(op(b, d));
         }
     }
     out
 }
 
 fn words_to_matrix(words: &[u32], rows: usize, cols: usize) -> Result<Matrix, PasError> {
-    if words.len() != rows * cols {
-        return Err(PasError::Corrupt("word count mismatch"));
-    }
-    Ok(Matrix::from_vec(
+    Matrix::try_from_vec(
         rows,
         cols,
         words.iter().map(|&w| f32::from_bits(w)).collect(),
-    ))
+    )
+    .ok_or(PasError::Corrupt("word count mismatch"))
 }
 
 #[cfg(test)]
@@ -845,9 +881,9 @@ mod tests {
         let store =
             SegmentStore::create(&dir, &g, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
         let v = *mats.keys().last().unwrap();
-        let b1 = store.prefix_bytes(v, 1);
-        let b2 = store.prefix_bytes(v, 2);
-        let b4 = store.prefix_bytes(v, 4);
+        let b1 = store.prefix_bytes(v, 1).unwrap();
+        let b2 = store.prefix_bytes(v, 2).unwrap();
+        let b4 = store.prefix_bytes(v, 4).unwrap();
         assert!(b1 < b2 && b2 < b4);
         std::fs::remove_dir_all(&dir).ok();
     }

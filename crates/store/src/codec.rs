@@ -39,28 +39,39 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
-        if self.pos + n > self.data.len() {
-            return Err(StoreError::Corrupt("unexpected end of catalog file"));
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(StoreError::Corrupt("length prefix overflows"))?;
+        let s = self
+            .data
+            .get(self.pos..end)
+            .ok_or(StoreError::Corrupt("unexpected end of catalog file"))?;
+        self.pos = end;
         Ok(s)
     }
 
     pub fn read_u8(&mut self) -> Result<u8, StoreError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or(StoreError::Corrupt("unexpected end of catalog file"))
     }
 
     pub fn read_u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("fixed-size chunk"),
-        ))
+        let b = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| StoreError::Corrupt("unexpected end of catalog file"))?;
+        Ok(u32::from_le_bytes(b))
     }
 
     pub fn read_u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("fixed-size chunk"),
-        ))
+        let b = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| StoreError::Corrupt("unexpected end of catalog file"))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     pub fn read_bytes(&mut self) -> Result<Vec<u8>, StoreError> {
@@ -100,14 +111,17 @@ pub fn write_value(out: &mut Vec<u8>, v: &Value) {
 }
 
 pub fn read_value(r: &mut Reader<'_>) -> Result<Value, StoreError> {
+    let corrupt = StoreError::Corrupt("unexpected end of catalog file");
     match r.read_u8()? {
         0 => Ok(Value::Null),
-        1 => Ok(Value::Int(i64::from_le_bytes(
-            r.take(8)?.try_into().expect("fixed-size chunk"),
-        ))),
-        2 => Ok(Value::Real(f64::from_le_bytes(
-            r.take(8)?.try_into().expect("fixed-size chunk"),
-        ))),
+        1 => {
+            let b = r.take(8)?.try_into().map_err(|_| corrupt)?;
+            Ok(Value::Int(i64::from_le_bytes(b)))
+        }
+        2 => {
+            let b = r.take(8)?.try_into().map_err(|_| corrupt)?;
+            Ok(Value::Real(f64::from_le_bytes(b)))
+        }
         3 => Ok(Value::Text(r.read_str()?)),
         4 => Ok(Value::Blob(r.read_bytes()?)),
         _ => Err(StoreError::Corrupt("unknown value tag")),

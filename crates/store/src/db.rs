@@ -62,10 +62,10 @@ impl Database {
     }
 
     pub fn from_bytes(data: &[u8]) -> Result<Self, StoreError> {
-        if data.len() < 4 || data[..4] != MAGIC {
+        if data.get(..4) != Some(MAGIC.as_slice()) {
             return Err(StoreError::Corrupt("not a catalog file"));
         }
-        let mut r = Reader::new(&data[4..]);
+        let mut r = Reader::new(data.get(4..).unwrap_or_default());
         let version = r.read_u32()?;
         if version != 1 {
             return Err(StoreError::Corrupt("unsupported catalog version"));

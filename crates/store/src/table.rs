@@ -195,7 +195,10 @@ impl Table {
             .ok_or(StoreError::NoSuchColumn)?;
         let mut index: BTreeMap<Value, BTreeSet<RowId>> = BTreeMap::new();
         for (&id, values) in &self.rows {
-            index.entry(values[col].clone()).or_default().insert(id);
+            let v = values
+                .get(col)
+                .ok_or(StoreError::Corrupt("row shorter than schema"))?;
+            index.entry(v.clone()).or_default().insert(id);
         }
         self.indexes.insert(col, index);
         Ok(())
@@ -223,7 +226,9 @@ impl Table {
             .iter()
             .filter(|(_, values)| {
                 let get = |name: &str| -> Option<Value> {
-                    self.schema.column_index(name).map(|i| values[i].clone())
+                    self.schema
+                        .column_index(name)
+                        .and_then(|i| values.get(i).cloned())
                 };
                 pred.eval(&get)
             })
@@ -329,8 +334,11 @@ impl Table {
     }
 
     pub fn from_reader(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        // Cap preallocation from file-declared counts; the vectors still
+        // grow to the real size as decoding proceeds.
+        const MAX_PREALLOC: usize = 4096;
         let ncols = r.read_u32()? as usize;
-        let mut columns = Vec::with_capacity(ncols);
+        let mut columns = Vec::with_capacity(ncols.min(MAX_PREALLOC));
         for _ in 0..ncols {
             let name = r.read_str()?;
             let ty = codec::read_column_type(r)?;
@@ -343,7 +351,7 @@ impl Table {
         let mut rows = BTreeMap::new();
         for _ in 0..nrows {
             let id = r.read_u64()?;
-            let mut values = Vec::with_capacity(ncols);
+            let mut values = Vec::with_capacity(ncols.min(MAX_PREALLOC));
             for _ in 0..ncols {
                 values.push(codec::read_value(r)?);
             }
@@ -358,10 +366,13 @@ impl Table {
         let nindexes = r.read_u32()? as usize;
         for _ in 0..nindexes {
             let col = r.read_u32()? as usize;
-            if col >= table.schema.columns.len() {
-                return Err(StoreError::Corrupt("index on unknown column"));
-            }
-            let name = table.schema.columns[col].name.clone();
+            let name = table
+                .schema
+                .columns
+                .get(col)
+                .ok_or(StoreError::Corrupt("index on unknown column"))?
+                .name
+                .clone();
             table.create_index(&name)?;
         }
         Ok(table)

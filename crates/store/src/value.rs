@@ -159,26 +159,45 @@ impl From<Vec<u8>> for Value {
 }
 
 /// SQL-LIKE pattern matching: `%` matches any run, `_` any single char.
+///
+/// Iterative two-pointer matcher with greedy `%` backtracking — no
+/// recursion (attacker patterns cannot blow the stack) and no slicing.
+// mh-audit: no_panic_zone
 pub fn like_match(pattern: &str, text: &str) -> bool {
-    fn rec(p: &[char], t: &[char]) -> bool {
-        match p.first() {
-            None => t.is_empty(),
-            Some('%') => {
-                // Try consuming 0..=len chars.
-                for skip in 0..=t.len() {
-                    if rec(&p[1..], &t[skip..]) {
-                        return true;
-                    }
-                }
-                false
-            }
-            Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
-            Some(&c) => t.first() == Some(&c) && rec(&p[1..], &t[1..]),
-        }
-    }
     let p: Vec<char> = pattern.chars().collect();
     let t: Vec<char> = text.chars().collect();
-    rec(&p, &t)
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Most recent `%`: (pattern index after it, text index it last absorbed to).
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        match p.get(pi) {
+            Some('%') => {
+                pi += 1;
+                star = Some((pi, ti));
+            }
+            Some('_') => {
+                pi += 1;
+                ti += 1;
+            }
+            Some(c) if t.get(ti) == Some(c) => {
+                pi += 1;
+                ti += 1;
+            }
+            _ => match star {
+                // Backtrack: let the last `%` absorb one more char.
+                Some((sp, st)) => {
+                    pi = sp;
+                    ti = st + 1;
+                    star = Some((sp, st + 1));
+                }
+                None => return false,
+            },
+        }
+    }
+    while p.get(pi) == Some(&'%') {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 /// A row predicate over named columns.

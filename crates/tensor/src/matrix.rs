@@ -26,6 +26,16 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Fallible [`Matrix::from_vec`] for shapes decoded from untrusted
+    /// input: `None` on shape overflow or length mismatch instead of a
+    /// panic.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Option<Self> {
+        if rows.checked_mul(cols) != Some(data.len()) {
+            return None;
+        }
+        Some(Self { rows, cols, data })
+    }
+
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {

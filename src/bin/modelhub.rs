@@ -6,6 +6,7 @@
 //! modelhub gen-sample <dir>                # create a small trained sample repo
 //! modelhub archive <dir> [--alpha F] [--jobs N]  # archive staged snapshots into PAS
 //! modelhub hubd <root> [--addr H:P] [--jobs N]   # serve a hosted hub over TCP
+//! modelhub audit [root] [--report FILE] [--max-waivers N]  # panic/alloc static audit
 //! modelhub repro <experiment> [--quick] [--jobs N]  # run an mh-bench experiment
 //! modelhub prof <subcommand...>            # run a subcommand, print a span profile
 //! ```
@@ -26,6 +27,13 @@
 //! `gen-sample` and `archive` exist for smoke testing and demos: the first
 //! trains two tiny lineage-related models and commits their checkpoints,
 //! the second runs the PAS archival pipeline over everything staged.
+//!
+//! `audit` runs the mh-audit static analyzer over the workspace rooted at
+//! `[root]` (default `.`): panic-reachability from every
+//! `mh-audit: no_panic_zone` entry point, untrusted-length taint, and the
+//! sync-facade token rules. Exits nonzero on any unwaived finding, or when
+//! `--max-waivers N` is exceeded; `--report FILE` writes the deterministic
+//! findings report.
 //!
 //! `hubd` serves the hub rooted at `<root>` (created if absent) over a
 //! small HTTP/1.1-subset wire protocol with git-style incremental object
@@ -49,6 +57,7 @@ fn usage() -> ExitCode {
          modelhub gen-sample <dir>\n       \
          modelhub archive <dir> [--alpha F] [--jobs N]\n       \
          modelhub hubd <root> [--addr HOST:PORT] [--jobs N]\n       \
+         modelhub audit [root] [--report FILE] [--max-waivers N]\n       \
          modelhub repro <experiment|all> [--quick] [--jobs N]\n       \
          modelhub prof <subcommand...>\n       \
          global flags: [--verbose|-v] [--quiet|-q] [--trace <file>]"
@@ -295,6 +304,40 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     "exceeded"
                 }
             );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("audit") => {
+            let root = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            let report_path = flag_value::<PathBuf>(args, "--report")?;
+            let max_waivers = flag_value::<usize>(args, "--max-waivers")?;
+            let report = modelhub::audit::audit_root(&root)
+                .map_err(|e| format!("walking {}: {e}", root.display()))?;
+            let rendered = report.render();
+            if let Some(path) = &report_path {
+                std::fs::write(path, &rendered)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            }
+            print!("{rendered}");
+            if !report.is_clean() {
+                mh_obs::error!(
+                    "audit: FAIL — fix the finding or add `mh-audit: allow(CODE, reason)`"
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+            if let Some(cap) = max_waivers {
+                if report.waived > cap {
+                    mh_obs::error!(
+                        "audit: FAIL — waiver count {} exceeds --max-waivers {cap}; \
+                         remove a waiver or consciously raise the cap",
+                        report.waived
+                    );
+                    return Ok(ExitCode::FAILURE);
+                }
+            }
             Ok(ExitCode::SUCCESS)
         }
         Some("hubd") => {

@@ -11,6 +11,7 @@
 //! - [`dnn`] — the deep-network substrate (layers, training, interval eval)
 //! - [`hub`] — the hosted hub service (`hubd` server + remote client)
 //! - [`check`] — static integrity verification (`modelhub fsck`)
+//! - [`audit`] — syntax-aware panic/alloc auditor (`modelhub audit`)
 //! - [`par`] — the shared worker-pool scheduling layer (`MH_THREADS`, `--jobs`)
 //! - [`obs`] — metrics, span tracing, and leveled logging (`--trace`, `prof`)
 //! - [`bench`] — the experiment harness behind `repro` / `modelhub repro`
@@ -18,6 +19,7 @@
 
 pub mod cli;
 
+pub use mh_audit as audit;
 pub use mh_bench as bench;
 pub use mh_check as check;
 pub use mh_compress as compress;

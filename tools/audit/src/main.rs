@@ -1,0 +1,81 @@
+//! `mh-audit` — CI driver for the workspace static auditor.
+//!
+//! Walks `crates/`, `src/` and `tools/`, runs the panic-reachability
+//! pass (A001–A006), the untrusted-length taint pass (A007–A009), the
+//! waiver checker (A010) and the absorbed sync-facade token rules
+//! (A101–A104), and exits non-zero when any unwaived finding remains.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p mh-audit [--] [workspace-root] [--report FILE] [--max-waivers N]
+//! ```
+//!
+//! `--report FILE` additionally writes the deterministic findings
+//! report (byte-identical across runs on identical sources) so CI can
+//! upload it as an artifact and diff runs. `--max-waivers N` fails the
+//! run when the in-tree reasoned-waiver count exceeds N — the ratchet
+//! that keeps waivers from accumulating silently.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    let mut max_waivers: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mh-audit: --report requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-waivers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_waivers = Some(n),
+                None => {
+                    eprintln!("mh-audit: --max-waivers requires a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--" => {}
+            other => root = PathBuf::from(other),
+        }
+    }
+
+    let report = match mh_audit::audit_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mh-audit: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = report.render();
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("mh-audit: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !report.is_clean() {
+        eprint!("{rendered}");
+        eprintln!("mh-audit: FAIL — fix the finding or add `mh-audit: allow(CODE, reason)`");
+        return ExitCode::FAILURE;
+    }
+    if let Some(cap) = max_waivers {
+        if report.waived > cap {
+            eprint!("{rendered}");
+            eprintln!(
+                "mh-audit: FAIL — waiver count {} exceeds --max-waivers {cap}; \
+                 remove a waiver or consciously raise the cap",
+                report.waived
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{rendered}");
+    ExitCode::SUCCESS
+}
