@@ -292,19 +292,15 @@ pub fn parse(rel: &str, crate_name: &str, file_module: &[String], lexed: LexFile
         match &tokens[i].tok {
             Tok::Punct("#") if matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Open('['))) => {
                 let close = matching_close(&tokens, i + 1);
-                let mut has_cfg = false;
                 let mut has_test = false;
                 for t in &tokens[i + 1..close.min(tokens.len())] {
                     if let Tok::Ident(s) = &t.tok {
-                        if s == "cfg" {
-                            has_cfg = true;
-                        }
                         if s == "test" {
                             has_test = true;
                         }
                     }
                 }
-                if has_test && (has_cfg || !has_cfg) {
+                if has_test {
                     // #[test], #[cfg(test)], #[cfg(feature="test")]… —
                     // over-approximate: anything naming `test` marks the
                     // next item as test-only.

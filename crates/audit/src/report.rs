@@ -101,7 +101,7 @@ pub fn apply_waivers(
     for mut f in raw {
         let waived = allowed
             .get(&f.line)
-            .is_some_and(|codes| codes.iter().any(|c| *c == f.code));
+            .is_some_and(|codes| codes.contains(&f.code));
         if waived {
             *waived_count += 1;
             continue;

@@ -237,30 +237,30 @@ fn stmt_sinks(
                     }
                 }
             }
-            Tok::Ident(s) if s == "vec" => {
-                // vec![elem; t]
-                if matches!(tokens.get(k + 1).map(|t| &t.tok), Some(Tok::Punct("!")))
-                    && matches!(tokens.get(k + 2).map(|t| &t.tok), Some(Tok::Open('[')))
-                {
-                    let close = matching_close(tokens, k + 2);
-                    let inner = &tokens[k + 3..close.min(tokens.len())];
-                    let mut depth = 0usize;
-                    let mut after_semi = false;
-                    for it in inner {
-                        match &it.tok {
-                            Tok::Open(_) => depth += 1,
-                            Tok::Close(_) => depth = depth.saturating_sub(1),
-                            Tok::Punct(";") if depth == 0 => after_semi = true,
-                            Tok::Ident(n) if after_semi && taint.contains(n) => {
-                                out.push(Finding::new(
-                                    line,
-                                    "A007",
-                                    format!("untrusted length flows into `vec![_; {n}]` {ctx}"),
-                                ));
-                                break;
-                            }
-                            _ => {}
+            // vec![elem; t]
+            Tok::Ident(s)
+                if s == "vec"
+                    && matches!(tokens.get(k + 1).map(|t| &t.tok), Some(Tok::Punct("!")))
+                    && matches!(tokens.get(k + 2).map(|t| &t.tok), Some(Tok::Open('['))) =>
+            {
+                let close = matching_close(tokens, k + 2);
+                let inner = &tokens[k + 3..close.min(tokens.len())];
+                let mut depth = 0usize;
+                let mut after_semi = false;
+                for it in inner {
+                    match &it.tok {
+                        Tok::Open(_) => depth += 1,
+                        Tok::Close(_) => depth = depth.saturating_sub(1),
+                        Tok::Punct(";") if depth == 0 => after_semi = true,
+                        Tok::Ident(n) if after_semi && taint.contains(n) => {
+                            out.push(Finding::new(
+                                line,
+                                "A007",
+                                format!("untrusted length flows into `vec![_; {n}]` {ctx}"),
+                            ));
+                            break;
                         }
+                        _ => {}
                     }
                 }
             }

@@ -1,13 +1,17 @@
-//! `bench_gate` — CI perf-regression gate over `BENCH_pas.json`.
+//! `bench_gate` — CI perf-regression gate over bench reports.
 //!
 //! ```text
 //! bench_gate <report.json> [--baseline tools/bench_baseline.json] [--tolerance 0.30]
 //! ```
 //!
-//! Exits 0 when every baseline stage meets its hardware-clamped speedup
-//! expectation and the report's stores were bit-identical; exits 1 with
-//! one line per violation otherwise. See `crates/bench/src/gate.rs` for
-//! the threshold semantics.
+//! Dispatches on the report's `schema` field: `bench-pas-v1`
+//! (`BENCH_pas.json`, pair with `tools/bench_baseline.json`) checks
+//! hardware-clamped stage speedups and bit-identical stores;
+//! `bench-hub-v1` (`BENCH_hub.json`, pair with
+//! `tools/bench_baseline_hub.json`) checks the reactor's concurrency
+//! headroom, latency-under-load, cache hit rate, and 503 backpressure.
+//! Exits 0 when every check passes; exits 1 with one line per violation
+//! otherwise. See `crates/bench/src/gate.rs` for the threshold semantics.
 
 use mh_bench::gate;
 use std::process::ExitCode;
@@ -44,7 +48,7 @@ fn run() -> Result<ExitCode, String> {
     let current = read(report_path)?;
     let baseline = read(&baseline_path)?;
 
-    let outcome = gate::check_report(&current, &baseline, tolerance);
+    let outcome = gate::check_any(&current, &baseline, tolerance);
     if outcome.passed() {
         println!(
             "bench_gate: ok — {} stages within {:.0}% of baseline expectations",

@@ -1,0 +1,541 @@
+//! hubd reactor load benchmark — `repro hub`.
+//!
+//! Drives a real `HubServer` (the nonblocking reactor, not a mock) over
+//! loopback and measures the four properties the reactor redesign exists
+//! to deliver:
+//!
+//! 1. **Concurrency headroom** — hold `HELD_CONNECTIONS` open connections
+//!    (each parked on a partial request head) against a worker pool of
+//!    only `POOL_WIDTH` threads, then probe latency *through* that load.
+//!    Under the old one-thread-per-connection design the probes would
+//!    starve; on the reactor they must be as fast as the idle baseline.
+//! 2. **Connection throughput** — sequential connect→request→read cycles
+//!    per second against the `/repos` endpoint.
+//! 3. **Cache effectiveness** — two identical object-stream pulls; the
+//!    second wave must be served from the byte-budgeted LRU.
+//! 4. **Backpressure** — a server capped at `SATURATION_CAP` connections
+//!    must answer the over-cap connection `503` + `Retry-After`, not
+//!    queue it.
+//!
+//! The machine-readable `results/BENCH_hub.json` (`schema: bench-hub-v1`)
+//! feeds the CI `bench_gate` against `tools/bench_baseline_hub.json`. The
+//! JSON is deterministic in *shape*: fixed field order, no timestamps, no
+//! host names — only the measured numbers vary between runs.
+
+use crate::report::{results_dir, Table};
+use mh_dnn::zoo;
+use mh_hub::server::Config;
+use mh_hub::{HubServer, RemoteHub};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Worker-pool width for the load leg. Deliberately small: the benchmark
+/// exists to prove connection concurrency is no longer bounded by it.
+pub const POOL_WIDTH: usize = 2;
+
+/// Connections held open while latency is probed — 8x the pool width,
+/// comfortably above the >= 4x the acceptance gate requires.
+pub const HELD_CONNECTIONS: usize = 16;
+
+/// Connection cap for the saturation leg.
+pub const SATURATION_CAP: usize = 8;
+
+/// Damping constant for the loaded/idle p99 comparison: sub-millisecond
+/// loopback latencies would otherwise turn scheduler noise into huge
+/// ratios.
+const P99_DAMP_MS: f64 = 1.0;
+
+/// One latency distribution, in milliseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+}
+
+/// Percentiles over a sample set (nearest-rank).
+pub fn latency_stats(samples_ms: &[f64]) -> LatencyStats {
+    let mut sorted = samples_ms.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pick = |q: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((sorted.len() as f64) * q).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(sorted.len() - 1);
+        sorted[idx]
+    };
+    LatencyStats {
+        p50_ms: pick(0.50),
+        p99_ms: pick(0.99),
+    }
+}
+
+/// The full report behind `BENCH_hub.json`.
+#[derive(Debug, Clone)]
+pub struct HubBenchReport {
+    pub mode: &'static str,
+    pub hardware_threads: usize,
+    /// Live poller backend: `"epoll"` or `"poll-fallback"`.
+    pub backend: &'static str,
+    pub pool_width: usize,
+    pub held_connections: usize,
+    /// High-water mark of simultaneously open server connections.
+    pub connections_peak: u64,
+    pub conns_per_sec: f64,
+    pub idle: LatencyStats,
+    pub loaded: LatencyStats,
+    pub cache_hit_rate: f64,
+    pub max_conns: usize,
+    /// Held connections at the point the next connect was answered 503.
+    pub saturation_conns: usize,
+    pub saturated_503: bool,
+}
+
+impl HubBenchReport {
+    /// Held connections per pool thread — the acceptance gate requires
+    /// this to stay >= 4 (the old design capped it at ~1).
+    pub fn concurrency_ratio(&self) -> f64 {
+        if self.pool_width > 0 {
+            self.held_connections as f64 / self.pool_width as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Damped loaded/idle p99 ratio; ~1.0 means holding the connections
+    /// cost nothing, which is the whole point of the reactor.
+    pub fn p99_ratio(&self) -> f64 {
+        (self.loaded.p99_ms + P99_DAMP_MS) / (self.idle.p99_ms + P99_DAMP_MS)
+    }
+
+    /// Deterministic JSON: fixed field order, fixed float precision, no
+    /// timestamps. The gate's parser and the baseline file both assume
+    /// this exact shape (`schema: bench-hub-v1`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"bench-hub-v1\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!(
+            "  \"hardware_threads\": {},\n",
+            self.hardware_threads
+        ));
+        out.push_str(&format!("  \"backend\": \"{}\",\n", self.backend));
+        out.push_str(&format!("  \"pool_width\": {},\n", self.pool_width));
+        out.push_str(&format!(
+            "  \"held_connections\": {},\n",
+            self.held_connections
+        ));
+        out.push_str(&format!(
+            "  \"concurrency_ratio\": {:.3},\n",
+            self.concurrency_ratio()
+        ));
+        out.push_str(&format!(
+            "  \"connections_peak\": {},\n",
+            self.connections_peak
+        ));
+        out.push_str(&format!(
+            "  \"conns_per_sec\": {:.3},\n",
+            self.conns_per_sec
+        ));
+        out.push_str(&format!("  \"idle_p50_ms\": {:.3},\n", self.idle.p50_ms));
+        out.push_str(&format!("  \"idle_p99_ms\": {:.3},\n", self.idle.p99_ms));
+        out.push_str(&format!(
+            "  \"loaded_p50_ms\": {:.3},\n",
+            self.loaded.p50_ms
+        ));
+        out.push_str(&format!(
+            "  \"loaded_p99_ms\": {:.3},\n",
+            self.loaded.p99_ms
+        ));
+        out.push_str(&format!("  \"p99_ratio\": {:.3},\n", self.p99_ratio()));
+        out.push_str(&format!(
+            "  \"cache_hit_rate\": {:.3},\n",
+            self.cache_hit_rate
+        ));
+        out.push_str(&format!("  \"max_conns\": {},\n", self.max_conns));
+        out.push_str(&format!(
+            "  \"saturation_conns\": {},\n",
+            self.saturation_conns
+        ));
+        out.push_str(&format!("  \"saturated_503\": {}\n", self.saturated_503));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mh-bench-hub-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("bench temp dir");
+    d
+}
+
+/// A repository with a payload large enough that the cache leg moves real
+/// bytes, small enough to publish in well under a second.
+fn sample_repo(dir: &std::path::Path, name: &str, blob_bytes: usize) -> mh_dlv::Repository {
+    let repo = mh_dlv::Repository::init(dir).expect("init repo");
+    let net = zoo::lenet_s(3);
+    let weights = mh_dnn::Weights::init(&net, 7).expect("init weights");
+    let mut req = mh_dlv::CommitRequest::new(name, net);
+    req.snapshots = vec![(0, weights)];
+    req.files
+        .push(("blob.bin".into(), vec![0xA5u8; blob_bytes]));
+    req.comment = "hub load benchmark payload".into();
+    repo.commit(&req).expect("commit");
+    repo
+}
+
+/// One connect → `GET /repos` → drain cycle; returns latency in ms.
+fn probe(addr: SocketAddr) -> f64 {
+    let start = mh_par::sync::now();
+    let mut s = TcpStream::connect(addr).expect("probe connect");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    s.write_all(b"GET /repos HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .expect("probe write");
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).expect("probe read");
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.starts_with("HTTP/1.1 200 "), "probe failed: {text}");
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+fn objects_request(name: &str) -> Vec<u8> {
+    format!(
+        "POST /objects/{name} HTTP/1.1\r\nHost: bench\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Fetch a full object stream; returns the body size drained.
+fn fetch_objects(addr: SocketAddr, name: &str) -> usize {
+    let mut s = TcpStream::connect(addr).expect("fetch connect");
+    s.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    s.write_all(&objects_request(name)).expect("fetch write");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("fetch read");
+    let text = String::from_utf8_lossy(&out[..out.len().min(64)]);
+    assert!(text.starts_with("HTTP/1.1 200 "), "fetch failed: {text}");
+    out.len()
+}
+
+pub fn run(quick: bool) -> std::io::Result<()> {
+    let probes = if quick { 100 } else { 300 };
+    let wave = if quick { 100 } else { 400 };
+    let blob_bytes = if quick { 256 << 10 } else { 4 << 20 };
+    let repo_name = "bench-hub";
+
+    let backend = mh_hub::reactor::Poller::new()
+        .map(|p| p.backend())
+        .unwrap_or("unavailable");
+
+    // --- Main server: small pool, generous connection cap. -------------
+    let repo = sample_repo(&temp_dir("repo"), repo_name, blob_bytes);
+    let root = temp_dir("hubroot");
+    let server = HubServer::start_with(
+        &root,
+        "127.0.0.1:0",
+        Config {
+            jobs: Some(POOL_WIDTH),
+            max_conns: 1024,
+            ..Config::default()
+        },
+    )
+    .map_err(std::io::Error::other)?;
+    let addr = server.local_addr();
+    let client = RemoteHub::open(&server.url())
+        .map_err(std::io::Error::other)?
+        .with_timeout(Duration::from_secs(10))
+        .with_retries(2, Duration::from_millis(20));
+    client
+        .publish_repo(&repo, repo_name)
+        .map_err(|e| std::io::Error::other(format!("publishing bench repo: {e}")))?;
+
+    // Warm up sockets and code paths before timing anything.
+    for _ in 0..5 {
+        let _ = probe(addr);
+    }
+
+    // --- Leg 1: idle latency baseline. ----------------------------------
+    let idle_samples: Vec<f64> = (0..probes).map(|_| probe(addr)).collect();
+    let idle = latency_stats(&idle_samples);
+
+    // --- Leg 2: latency under held-connection load. ----------------------
+    // Park HELD_CONNECTIONS connections on partial request heads. The
+    // old design would starve its 2-thread pool here; the reactor keeps
+    // serving probes at idle speed.
+    let mut held: Vec<TcpStream> = Vec::new();
+    for _ in 0..HELD_CONNECTIONS {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_secs(30)))?;
+        s.write_all(b"GET /repos HTT")?;
+        held.push(s);
+    }
+    // Wait until the server has actually registered all holders.
+    let mut holders_seen = false;
+    for _ in 0..500 {
+        if server.stats().conn_open().get() >= HELD_CONNECTIONS as i64 {
+            holders_seen = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        holders_seen,
+        "all {HELD_CONNECTIONS} held connections must be open concurrently \
+         (open = {})",
+        server.stats().conn_open().get()
+    );
+    let loaded_samples: Vec<f64> = (0..probes).map(|_| probe(addr)).collect();
+    let loaded = latency_stats(&loaded_samples);
+
+    // Complete every held request: the reactor must serve all of them
+    // through the width-2 pool once their heads arrive.
+    for s in &mut held {
+        s.write_all(b"P/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")?;
+    }
+    for mut s in held {
+        let mut resp = Vec::new();
+        let _ = s.read_to_end(&mut resp);
+        let text = String::from_utf8_lossy(&resp);
+        assert!(
+            text.starts_with("HTTP/1.1 200 "),
+            "held conn failed: {text}"
+        );
+    }
+    let connections_peak = server.stats().conn_peak().get().max(0) as u64;
+
+    // --- Leg 3: sequential connection throughput. ------------------------
+    let t0 = mh_par::sync::now();
+    for _ in 0..wave {
+        let _ = probe(addr);
+    }
+    let wave_secs = t0.elapsed().as_secs_f64();
+    let conns_per_sec = if wave_secs > 0.0 {
+        wave as f64 / wave_secs
+    } else {
+        0.0
+    };
+
+    // --- Leg 4: cache hit rate over two identical pull waves. ------------
+    let first = fetch_objects(addr, repo_name);
+    let second = fetch_objects(addr, repo_name);
+    assert_eq!(
+        first, second,
+        "both waves must deliver the identical stream"
+    );
+    let cache = server.stats().cache_metrics();
+    let (hits, misses) = (cache.hits.get() as f64, cache.misses.get() as f64);
+    let cache_hit_rate = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+    server.stop();
+
+    // --- Leg 5: saturation point on a capped server. ----------------------
+    let sat_root = temp_dir("satroot");
+    let sat = HubServer::start_with(
+        &sat_root,
+        "127.0.0.1:0",
+        Config {
+            jobs: Some(1),
+            max_conns: SATURATION_CAP,
+            idle_timeout: Duration::from_secs(10),
+            state_deadline: Duration::from_secs(10),
+            ..Config::default()
+        },
+    )
+    .map_err(std::io::Error::other)?;
+    let mut sat_held: Vec<TcpStream> = Vec::new();
+    for _ in 0..SATURATION_CAP {
+        let mut s = TcpStream::connect(sat.local_addr())?;
+        s.set_read_timeout(Some(Duration::from_secs(10)))?;
+        s.write_all(b"GET /repos HTT")?;
+        sat_held.push(s);
+    }
+    let mut cap_seen = false;
+    for _ in 0..500 {
+        if sat.stats().conn_open().get() >= SATURATION_CAP as i64 {
+            cap_seen = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(cap_seen, "saturation holders must all register as open");
+    let mut over = TcpStream::connect(sat.local_addr())?;
+    over.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let _ = over.write_all(b"GET /repos HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n");
+    let mut resp = Vec::new();
+    let _ = over.read_to_end(&mut resp);
+    let text = String::from_utf8_lossy(&resp);
+    let saturated_503 = text.starts_with("HTTP/1.1 503 ") && text.contains("Retry-After: 1");
+    drop(sat_held);
+    sat.stop();
+
+    let report = HubBenchReport {
+        mode: if quick { "quick" } else { "full" },
+        hardware_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        backend,
+        pool_width: POOL_WIDTH,
+        held_connections: HELD_CONNECTIONS,
+        connections_peak,
+        conns_per_sec,
+        idle,
+        loaded,
+        cache_hit_rate,
+        max_conns: SATURATION_CAP,
+        saturation_conns: SATURATION_CAP,
+        saturated_503,
+    };
+
+    let mut t = Table::new("hubd reactor load (repro hub)", &["metric", "value"]);
+    t.row(vec!["backend".into(), report.backend.to_string()]);
+    t.row(vec!["pool width".into(), report.pool_width.to_string()]);
+    t.row(vec![
+        "held connections".into(),
+        report.held_connections.to_string(),
+    ]);
+    t.row(vec![
+        "concurrency ratio".into(),
+        format!("{:.1}x", report.concurrency_ratio()),
+    ]);
+    t.row(vec![
+        "connections peak".into(),
+        report.connections_peak.to_string(),
+    ]);
+    t.row(vec![
+        "connections/s".into(),
+        format!("{:.0}", report.conns_per_sec),
+    ]);
+    t.row(vec![
+        "idle p50/p99 ms".into(),
+        format!("{:.2} / {:.2}", report.idle.p50_ms, report.idle.p99_ms),
+    ]);
+    t.row(vec![
+        "loaded p50/p99 ms".into(),
+        format!("{:.2} / {:.2}", report.loaded.p50_ms, report.loaded.p99_ms),
+    ]);
+    t.row(vec![
+        "p99 ratio (damped)".into(),
+        format!("{:.2}", report.p99_ratio()),
+    ]);
+    t.row(vec![
+        "cache hit rate".into(),
+        format!("{:.0}%", report.cache_hit_rate * 100.0),
+    ]);
+    t.row(vec![
+        "saturation point".into(),
+        format!(
+            "{} conns -> {}",
+            report.saturation_conns,
+            if report.saturated_503 {
+                "503 + Retry-After"
+            } else {
+                "NO BACKPRESSURE"
+            }
+        ),
+    ]);
+    let dir = results_dir();
+    t.emit(&dir, "bench_hub")?;
+    std::fs::write(dir.join("BENCH_hub.json"), report.render_json())?;
+    println!("wrote {}", dir.join("BENCH_hub.json").display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> HubBenchReport {
+        HubBenchReport {
+            mode: "quick",
+            hardware_threads: 4,
+            backend: "epoll",
+            pool_width: 2,
+            held_connections: 16,
+            connections_peak: 17,
+            conns_per_sec: 1234.5678,
+            idle: LatencyStats {
+                p50_ms: 0.2,
+                p99_ms: 0.9,
+            },
+            loaded: LatencyStats {
+                p50_ms: 0.25,
+                p99_ms: 1.1,
+            },
+            cache_hit_rate: 0.5,
+            max_conns: 8,
+            saturation_conns: 8,
+            saturated_503: true,
+        }
+    }
+
+    #[test]
+    fn json_has_fixed_field_order_and_schema() {
+        let json = sample_report().render_json();
+        let order = [
+            "\"schema\"",
+            "\"mode\"",
+            "\"hardware_threads\"",
+            "\"backend\"",
+            "\"pool_width\"",
+            "\"held_connections\"",
+            "\"concurrency_ratio\"",
+            "\"connections_peak\"",
+            "\"conns_per_sec\"",
+            "\"idle_p50_ms\"",
+            "\"idle_p99_ms\"",
+            "\"loaded_p50_ms\"",
+            "\"loaded_p99_ms\"",
+            "\"p99_ratio\"",
+            "\"cache_hit_rate\"",
+            "\"max_conns\"",
+            "\"saturation_conns\"",
+            "\"saturated_503\"",
+        ];
+        let mut last = 0;
+        for key in order {
+            let at = json.find(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(at > last || last == 0, "{key} out of order");
+            last = at;
+        }
+        assert!(json.contains("\"schema\": \"bench-hub-v1\""));
+        assert!(json.contains("\"concurrency_ratio\": 8.000"));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_timestamp_free() {
+        let r = sample_report();
+        assert_eq!(r.render_json(), r.render_json());
+        let json = r.render_json().to_lowercase();
+        for banned in ["time\":", "date", "hostname", "epoch"] {
+            assert!(!json.contains(banned), "found banned token {banned}");
+        }
+    }
+
+    #[test]
+    fn p99_ratio_is_damped_against_microsecond_noise() {
+        let mut r = sample_report();
+        r.idle.p99_ms = 0.05;
+        r.loaded.p99_ms = 0.15;
+        // Raw ratio would be 3.0; damping keeps sub-ms jitter harmless.
+        assert!(r.p99_ratio() < 1.2, "ratio = {}", r.p99_ratio());
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let stats = latency_stats(&samples);
+        assert_eq!(stats.p50_ms, 50.0);
+        assert_eq!(stats.p99_ms, 99.0);
+        let empty = latency_stats(&[]);
+        assert_eq!(empty.p50_ms, 0.0);
+    }
+}

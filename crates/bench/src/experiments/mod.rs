@@ -6,6 +6,7 @@ pub mod fig6a;
 pub mod fig6b;
 pub mod fig6c;
 pub mod fig6d;
+pub mod hub;
 pub mod pas;
 pub mod rd;
 pub mod table1;

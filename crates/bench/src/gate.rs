@@ -306,12 +306,148 @@ pub fn check_report(current: &Json, baseline: &Json, tolerance: f64) -> GateOutc
     }
 }
 
+/// Compare a `bench-hub-v1` load-test report (from `repro hub`) against
+/// the hub baseline. The checks mirror the reactor's acceptance criteria:
+///
+/// - `concurrency_ratio` (held connections / pool width) must meet the
+///   baseline's `min_concurrency_ratio` with **no** tolerance — it is a
+///   structural property of the reactor, not a timing.
+/// - `connections_peak` must cover every held connection.
+/// - `saturated_503` must be true: the over-cap connection got
+///   backpressure, not a queue slot.
+/// - `p99_ratio` (damped loaded/idle p99) must stay under the baseline's
+///   `max_p99_ratio`, widened by the tolerance — probing through the held
+///   load must cost ~nothing.
+/// - `cache_hit_rate` must reach the baseline's `min_cache_hit_rate`,
+///   shrunk by the tolerance.
+/// - `conns_per_sec` must reach the baseline's `min_conns_per_sec`,
+///   shrunk by the tolerance and halved on single-thread machines (the
+///   reactor and the load generator share one core there).
+pub fn check_hub_report(current: &Json, baseline: &Json, tolerance: f64) -> GateOutcome {
+    let mut violations = Vec::new();
+    let mut checks = 0;
+
+    if current.get("schema").and_then(Json::as_str) != Some("bench-hub-v1") {
+        violations.push("report schema is not bench-hub-v1".to_string());
+    }
+    if baseline.get("schema").and_then(Json::as_str) != Some("bench-hub-baseline-v1") {
+        violations.push("baseline schema is not bench-hub-baseline-v1".to_string());
+    }
+    let num = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_f64);
+
+    // Structural: concurrency headroom, peak coverage, backpressure.
+    let min_ratio = num(baseline, "min_concurrency_ratio").unwrap_or(4.0);
+    let ratio = num(current, "concurrency_ratio").unwrap_or(0.0);
+    checks += 1;
+    if ratio < min_ratio {
+        violations.push(format!(
+            "concurrency_ratio {ratio:.1} below required {min_ratio:.1} \
+             (held connections per pool thread)"
+        ));
+    }
+    let held = num(current, "held_connections").unwrap_or(f64::INFINITY);
+    let peak = num(current, "connections_peak").unwrap_or(0.0);
+    checks += 1;
+    if peak < held {
+        violations.push(format!(
+            "connections_peak {peak:.0} below held_connections {held:.0}: \
+             the server never held the full load concurrently"
+        ));
+    }
+    checks += 1;
+    if current.get("saturated_503").and_then(Json::as_bool) != Some(true) {
+        violations.push(
+            "saturated_503 is not true: over-cap connections must get 503 + Retry-After"
+                .to_string(),
+        );
+    }
+
+    // Timing: latency under load, cache, throughput (tolerance-widened).
+    let max_p99 = num(baseline, "max_p99_ratio").unwrap_or(1.5);
+    let p99_ratio = num(current, "p99_ratio").unwrap_or(f64::INFINITY);
+    let p99_limit = max_p99 * (1.0 + tolerance);
+    checks += 1;
+    if p99_ratio > p99_limit {
+        violations.push(format!(
+            "p99_ratio {p99_ratio:.3} above limit {p99_limit:.3} \
+             (loaded p99 must stay near the idle baseline)"
+        ));
+    }
+    let min_hit = num(baseline, "min_cache_hit_rate").unwrap_or(0.3);
+    let hit_rate = num(current, "cache_hit_rate").unwrap_or(0.0);
+    let hit_floor = (1.0 - tolerance) * min_hit;
+    checks += 1;
+    if hit_rate < hit_floor {
+        violations.push(format!(
+            "cache_hit_rate {hit_rate:.3} below floor {hit_floor:.3}"
+        ));
+    }
+    let hw = num(current, "hardware_threads").unwrap_or(1.0);
+    let hw_clamp = if hw <= 1.0 { 0.5 } else { 1.0 };
+    let min_cps = num(baseline, "min_conns_per_sec").unwrap_or(50.0);
+    let cps = num(current, "conns_per_sec").unwrap_or(0.0);
+    let cps_floor = (1.0 - tolerance) * min_cps * hw_clamp;
+    checks += 1;
+    if cps < cps_floor {
+        violations.push(format!(
+            "conns_per_sec {cps:.1} below floor {cps_floor:.1} \
+             (hw clamp {hw_clamp:.2})"
+        ));
+    }
+
+    GateOutcome {
+        violations,
+        stages_checked: checks,
+    }
+}
+
+/// Dispatch on the report's `schema` field: `bench-pas-v1` reports go to
+/// [`check_report`], `bench-hub-v1` reports to [`check_hub_report`]. An
+/// unknown schema is a violation, so a garbled report cannot pass.
+pub fn check_any(current: &Json, baseline: &Json, tolerance: f64) -> GateOutcome {
+    match current.get("schema").and_then(Json::as_str) {
+        Some("bench-pas-v1") => check_report(current, baseline, tolerance),
+        Some("bench-hub-v1") => check_hub_report(current, baseline, tolerance),
+        other => GateOutcome {
+            violations: vec![format!("unrecognized report schema {other:?}")],
+            stages_checked: 0,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const BASELINE: &str = include_str!("../../../tools/bench_baseline.json");
     const REGRESSED: &str = include_str!("../../../tools/bench_regressed_fixture.json");
+    const HUB_BASELINE: &str = include_str!("../../../tools/bench_baseline_hub.json");
+    const HUB_REGRESSED: &str = include_str!("../../../tools/bench_regressed_hub_fixture.json");
+
+    fn good_hub_report(hw: usize) -> String {
+        format!(
+            r#"{{
+  "schema": "bench-hub-v1",
+  "mode": "quick",
+  "hardware_threads": {hw},
+  "backend": "epoll",
+  "pool_width": 2,
+  "held_connections": 16,
+  "concurrency_ratio": 8.000,
+  "connections_peak": 17,
+  "conns_per_sec": 900.000,
+  "idle_p50_ms": 0.200,
+  "idle_p99_ms": 0.900,
+  "loaded_p50_ms": 0.250,
+  "loaded_p99_ms": 1.100,
+  "p99_ratio": 1.105,
+  "cache_hit_rate": 0.500,
+  "max_conns": 8,
+  "saturation_conns": 8,
+  "saturated_503": true
+}}"#
+        )
+    }
 
     fn good_report(hw: usize) -> String {
         format!(
@@ -395,6 +531,77 @@ mod tests {
             "violations: {:?}",
             outcome.violations
         );
+    }
+
+    #[test]
+    fn hub_gate_passes_healthy_report() {
+        let current = parse(&good_hub_report(4)).expect("report");
+        let baseline = parse(HUB_BASELINE).expect("baseline");
+        let outcome = check_hub_report(&current, &baseline, 0.30);
+        assert!(outcome.passed(), "violations: {:?}", outcome.violations);
+        assert_eq!(outcome.stages_checked, 6);
+    }
+
+    #[test]
+    fn hub_gate_fails_on_regressed_fixture() {
+        let current = parse(HUB_REGRESSED).expect("fixture");
+        let baseline = parse(HUB_BASELINE).expect("baseline");
+        let outcome = check_hub_report(&current, &baseline, 0.30);
+        assert!(!outcome.passed(), "regressed hub fixture must fail");
+        let all = outcome.violations.join("; ");
+        assert!(all.contains("concurrency_ratio"), "violations: {all}");
+        assert!(all.contains("saturated_503"), "violations: {all}");
+    }
+
+    #[test]
+    fn hub_gate_enforces_structure_without_tolerance() {
+        // concurrency_ratio is structural: 30% tolerance must not save a
+        // report that only held 2 connections per worker.
+        let report = good_hub_report(4).replace(
+            "\"concurrency_ratio\": 8.000",
+            "\"concurrency_ratio\": 2.000",
+        );
+        let current = parse(&report).expect("report");
+        let baseline = parse(HUB_BASELINE).expect("baseline");
+        assert!(!check_hub_report(&current, &baseline, 0.30).passed());
+
+        // connections_peak below held_connections is likewise fatal.
+        let report =
+            good_hub_report(4).replace("\"connections_peak\": 17", "\"connections_peak\": 3");
+        let current = parse(&report).expect("report");
+        assert!(!check_hub_report(&current, &baseline, 0.30).passed());
+    }
+
+    #[test]
+    fn hub_gate_relaxes_throughput_on_one_hardware_thread() {
+        let baseline = parse(HUB_BASELINE).expect("baseline");
+        // 45 conns/s fails the multi-core floor (0.7 * 80 = 56)...
+        let report =
+            good_hub_report(4).replace("\"conns_per_sec\": 900.000", "\"conns_per_sec\": 45.000");
+        let current = parse(&report).expect("report");
+        assert!(!check_hub_report(&current, &baseline, 0.30).passed());
+        // ...but passes on a single hardware thread (floor halves to 28).
+        let report =
+            good_hub_report(1).replace("\"conns_per_sec\": 900.000", "\"conns_per_sec\": 45.000");
+        let current = parse(&report).expect("report");
+        let outcome = check_hub_report(&current, &baseline, 0.30);
+        assert!(outcome.passed(), "violations: {:?}", outcome.violations);
+    }
+
+    #[test]
+    fn check_any_dispatches_on_schema() {
+        let pas = parse(&good_report(4)).expect("pas report");
+        let pas_baseline = parse(BASELINE).expect("pas baseline");
+        assert!(check_any(&pas, &pas_baseline, 0.30).passed());
+
+        let hub = parse(&good_hub_report(4)).expect("hub report");
+        let hub_baseline = parse(HUB_BASELINE).expect("hub baseline");
+        assert!(check_any(&hub, &hub_baseline, 0.30).passed());
+
+        let junk = parse(r#"{"schema": "bench-nope-v9"}"#).expect("junk");
+        let outcome = check_any(&junk, &hub_baseline, 0.30);
+        assert!(!outcome.passed());
+        assert!(outcome.violations[0].contains("unrecognized"));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "rd",
     "ablations",
     "pas",
+    "hub",
 ];
 
 /// Run one named experiment (writing its artifacts under `results/`).
@@ -44,6 +45,7 @@ pub fn run_experiment(name: &str, quick: bool) -> std::io::Result<()> {
         "fig6d" => fig6d::run(4, fig6d_iters),
         "ablations" => ablations::run(train_iters),
         "pas" => pas::run(quick),
+        "hub" => hub::run(quick),
         "rd" => rd::run(),
         other => Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,

@@ -1,0 +1,11 @@
+fn main() {
+    // `reactor_epoll` marks targets where the raw inline-asm epoll
+    // syscalls in src/reactor.rs are valid ABI; everything else uses
+    // the portable fallback poller.
+    println!("cargo:rustc-check-cfg=cfg(reactor_epoll)");
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    if os == "linux" && (arch == "x86_64" || arch == "aarch64") {
+        println!("cargo:rustc-cfg=reactor_epoll");
+    }
+}

@@ -14,6 +14,13 @@ use std::io::{BufRead, Write};
 pub const MAX_BODY_BYTES: u64 = 1 << 30;
 const MAX_HEADERS: usize = 64;
 
+/// Upper bound on a buffered request head (request line + headers).
+/// The reactor rejects a connection whose head grows past this without
+/// terminating — a slowloris sending one header byte at a time hits the
+/// per-state deadline first, but a fast sender of endless headers hits
+/// this cap immediately.
+pub const MAX_HEAD_BYTES: usize = 64 << 10;
+
 /// A parsed request.
 #[derive(Debug)]
 pub struct Request {
@@ -42,8 +49,96 @@ pub fn status_reason(status: u16) -> &'static str {
         409 => "Conflict",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// A request head parsed incrementally from a connection's read buffer
+/// (the reactor path): everything except the body, plus how many buffer
+/// bytes the head consumed.
+#[derive(Debug)]
+pub struct RequestHead {
+    pub method: String,
+    pub path: String,
+    pub query: Option<String>,
+    pub content_length: u64,
+    /// Bytes of `buf` occupied by the head (the body starts here).
+    pub head_len: usize,
+}
+
+/// Byte offset just past the head terminator (the blank line), if the
+/// buffer holds a complete head yet. Accepts `\r\n\r\n` and bare `\n\n`
+/// (and the mixed forms), matching the tolerant line reader used by the
+/// blocking parser.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    for (idx, w) in buf.windows(2).enumerate() {
+        if w == b"\n\n" {
+            return Some(idx + 2);
+        }
+        if w == b"\n\r" && buf.get(idx + 2) == Some(&b'\n') {
+            return Some(idx + 3);
+        }
+    }
+    None
+}
+
+/// Incremental request-head parse over a partially-received buffer.
+///
+/// * `Ok(None)` — head not complete yet, keep reading.
+/// * `Ok(Some(h))` — head parsed; the body is `buf[h.head_len..]` as it
+///   arrives.
+/// * `Err(_)` — the bytes can never become a valid request (bad request
+///   line, header flood past [`MAX_HEAD_BYTES`], bad content-length).
+// mh-audit: no_panic_zone
+pub fn parse_request_head(buf: &[u8]) -> Result<Option<RequestHead>, HubError> {
+    let Some(end) = head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HubError::Protocol(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes without terminating"
+            )));
+        }
+        return Ok(None);
+    };
+    let mut r = buf.get(..end).unwrap_or_default();
+    let line = read_line(&mut r)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(HubError::Protocol(format!("bad request line '{line}'"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HubError::Protocol(format!(
+            "unsupported version '{version}'"
+        )));
+    }
+    let content_length = read_headers(&mut r)?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    Ok(Some(RequestHead {
+        method: method.to_string(),
+        path,
+        query,
+        content_length,
+        head_len: end,
+    }))
+}
+
+/// Render a response head as bytes for a reactor write buffer. Same
+/// shape as [`write_response_head`], plus an optional `Retry-After`
+/// (the backpressure signal on a 503).
+pub fn response_head_bytes(status: u16, content_length: u64, retry_after: Option<u32>) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Length: {content_length}\r\nContent-Type: application/octet-stream\r\nConnection: close\r\n",
+        status_reason(status)
+    );
+    if let Some(secs) = retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    head.into_bytes()
 }
 
 /// Read and parse one request (line, headers, body).
@@ -213,5 +308,57 @@ mod tests {
             read_request(&mut r).unwrap_err(),
             HubError::Protocol(_)
         ));
+    }
+
+    #[test]
+    fn incremental_head_parse_matches_blocking_parse() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/objects/m?x=1", "h:1", b"abc").unwrap();
+        // Feed the wire byte by byte: no prefix short of the blank line
+        // completes the head.
+        let mut complete_at = None;
+        for n in 0..=wire.len() {
+            match parse_request_head(&wire[..n]).unwrap() {
+                Some(h) => {
+                    complete_at.get_or_insert(n);
+                    assert_eq!(h.method, "POST");
+                    assert_eq!(h.path, "/objects/m");
+                    assert_eq!(h.query.as_deref(), Some("x=1"));
+                    assert_eq!(h.content_length, 3);
+                    assert_eq!(&wire[h.head_len..], b"abc");
+                }
+                None => assert!(complete_at.is_none()),
+            }
+        }
+        assert!(complete_at.is_some(), "full wire must parse");
+    }
+
+    #[test]
+    fn incremental_head_parse_accepts_bare_lf() {
+        let wire = b"GET /repos HTTP/1.1\nContent-Length: 0\n\n";
+        let h = parse_request_head(wire).unwrap().expect("complete head");
+        assert_eq!(h.path, "/repos");
+        assert_eq!(h.head_len, wire.len());
+    }
+
+    #[test]
+    fn incremental_head_parse_caps_unterminated_heads() {
+        let flood = vec![b'A'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            parse_request_head(&flood),
+            Err(HubError::Protocol(_))
+        ));
+        // Under the cap and unterminated: still waiting.
+        assert!(parse_request_head(&flood[..100]).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_head_bytes_carries_retry_after() {
+        let head = String::from_utf8(response_head_bytes(503, 5, Some(1))).unwrap();
+        assert!(head.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(head.contains("Retry-After: 1\r\n"));
+        assert!(head.ends_with("\r\n\r\n"));
+        let plain = String::from_utf8(response_head_bytes(200, 0, None)).unwrap();
+        assert!(!plain.contains("Retry-After"));
     }
 }

@@ -26,9 +26,11 @@
 //! count) and exports per-endpoint request/byte/error counters at
 //! `GET /stats`.
 
+pub mod cache;
 pub mod client;
 pub mod http;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod stats;
 
@@ -131,9 +133,10 @@ impl HubError {
                 true
             }
             Self::Server { status, .. } => *status >= 500,
-            Self::Protocol(_) | Self::TooLarge(_) | Self::RetriesExhausted { .. } | Self::Dlv(_) => {
-                false
-            }
+            Self::Protocol(_)
+            | Self::TooLarge(_)
+            | Self::RetriesExhausted { .. }
+            | Self::Dlv(_) => false,
         }
     }
 

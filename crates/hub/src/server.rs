@@ -1,8 +1,34 @@
-//! `hubd` — the hosted hub server. A hand-rolled HTTP/1.1-subset server
-//! over `std::net::TcpListener`; accepted connections are dispatched to a
-//! fixed worker pool fed from an `mh_par::BoundedQueue` (worker count
-//! from `--jobs` / `MH_THREADS` / core count, exactly like every other
-//! parallel path in the workspace).
+//! `hubd` — the hosted hub server, built on a nonblocking reactor.
+//!
+//! One reactor thread owns every socket: a nonblocking listener, a wake
+//! socket, and up to `--max-conns` client connections, multiplexed
+//! through [`crate::reactor::Poller`] (epoll on Linux, portable
+//! fallback elsewhere). Each connection is a small state machine:
+//!
+//! ```text
+//!   accept ──▶ Reading ──▶ Dispatched ──▶ Writing ──▶ close
+//!                │  (request complete:      ▲  │
+//!                │   job → mh_par pool)     │  └─ partial writes resume
+//!                │                          │     on EPOLLOUT
+//!                └─ parse error ────────────┘  (completion queue + wake
+//!                   (error response)            socket re-enter reactor)
+//! ```
+//!
+//! CPU-bound request handling (manifest diffing, hash verification,
+//! publish assembly) runs on the fixed `mh_par` worker pool; finished
+//! responses come back through an `mh_par::CompletionQueue` whose waker
+//! writes one byte to the wake socket, so the reactor never misses a
+//! completion while parked in the poller (the handoff discipline is
+//! model-checked in `mh_par::completion`).
+//!
+//! Two timeout axes defend every connection slot: an **idle timeout**
+//! (no read/write progress) and a **per-state deadline** (maximum wall
+//! time in one state, which a byte-at-a-time slowloris cannot reset by
+//! trickling traffic). Saturation — the connection cap or a full worker
+//! queue — answers `503` + `Retry-After` instead of queueing unbounded
+//! work. Hot objects and manifest responses serve from the
+//! byte-budgeted [`crate::cache::ObjectCache`] as zero-copy `Arc`
+//! segments on the write buffer.
 //!
 //! ## Endpoints
 //!
@@ -19,13 +45,16 @@
 //!
 //! Repository names are validated against path traversal before any
 //! filesystem access; publishes are atomic replace-by-rename via
-//! `mh_dlv::replace_published`.
+//! `mh_dlv::replace_published` and invalidate the repo's cached
+//! manifest.
 
-use crate::http::{read_request, write_response_head, Request};
+use crate::cache::{manifest_key, manifest_prefix, object_key, ObjectCache};
+use crate::http::{parse_request_head, response_head_bytes, Request, RequestHead, MAX_BODY_BYTES};
 use crate::protocol::{
     encode_error, encode_hits, encode_manifest, object_stream_len, parse_manifest, pct_decode,
-    read_object_stream, write_object, write_object_stream_end,
+    read_object_stream,
 };
+use crate::reactor::{fd_of_listener, fd_of_stream, Event, Interest, Poller};
 use crate::stats::{Endpoint, Stats};
 use crate::HubError;
 use mh_dlv::hash::{sha256_hex, Sha256};
@@ -35,16 +64,54 @@ use mh_dlv::{
 };
 use mh_par::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use mh_par::sync::thread::JoinHandle;
-use mh_par::BoundedQueue;
-use std::collections::{BTreeMap, BTreeSet};
-use std::io::{BufReader, Write};
+use mh_par::{sync, BoundedQueue, CompletionQueue, TryPushError};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Per-connection socket deadline: a stalled peer cannot pin a worker.
-const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Reactor tuning; [`HubServer::start`] uses the defaults, the CLI and
+/// tests override through [`HubServer::start_with`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Worker pool width (default: the ambient `mh_par` thread count).
+    pub jobs: Option<usize>,
+    /// Maximum simultaneously open connections; beyond this, accepts are
+    /// answered `503` + `Retry-After`.
+    pub max_conns: usize,
+    /// Byte budget for the hot-object/manifest cache (0 disables it).
+    pub cache_bytes: usize,
+    /// Reap a connection making no read/write progress for this long.
+    pub idle_timeout: Duration,
+    /// Reap a connection stuck in one state this long regardless of
+    /// trickled progress (the anti-slowloris axis).
+    pub state_deadline: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            jobs: None,
+            max_conns: 1024,
+            cache_bytes: 64 << 20,
+            idle_timeout: Duration::from_secs(10),
+            state_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// `Retry-After` seconds advertised on backpressure 503s.
+const RETRY_AFTER_SECS: u32 = 1;
+
+/// Poller tokens 0 and 1 are reserved; connections start at 2.
+const WAKE_TOKEN: usize = 0;
+const LISTENER_TOKEN: usize = 1;
+const FIRST_CONN_TOKEN: usize = 2;
+
+/// Per-read chunk size in the Reading state.
+const READ_CHUNK: usize = 16 << 10;
 
 /// Fault-injection knobs for tests: while `drop_object_responses > 0`,
 /// each `/objects` response is truncated mid-object and the connection
@@ -64,24 +131,77 @@ impl Faults {
 }
 
 /// A running hub server; dropping it (or calling [`HubServer::stop`])
-/// shuts down the accept loop and joins every worker.
+/// shuts down the reactor, drains the worker pool, and joins every
+/// thread.
 #[derive(Debug)]
 pub struct HubServer {
     root: PathBuf,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    queue: Arc<BoundedQueue<TcpStream>>,
+    wake: Waker,
+    jobs: Arc<BoundedQueue<Job>>,
     stats: Arc<Stats>,
     faults: Arc<Faults>,
-    accept_handle: Option<JoinHandle<()>>,
+    reactor_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+}
+
+/// One byte to the reactor's wake socket. Nonblocking: a full socket
+/// buffer means a wakeup is already pending, so `WouldBlock` is success.
+#[derive(Debug)]
+struct Waker {
+    tx: TcpStream,
+}
+
+impl Waker {
+    fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    fn try_clone(&self) -> std::io::Result<Self> {
+        Ok(Self {
+            tx: self.tx.try_clone()?,
+        })
+    }
+}
+
+/// Loopback socketpair for the wake channel: connect to an ephemeral
+/// listener and accept our own connection back (verified by peer
+/// address, so a port-scanner racing the accept cannot hijack it).
+fn wake_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let tx = TcpStream::connect(addr)?;
+    let ours = tx.local_addr()?;
+    for _ in 0..16 {
+        let (rx, peer) = listener.accept()?;
+        if peer == ours {
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            let _ = tx.set_nodelay(true);
+            return Ok((tx, rx));
+        }
+    }
+    Err(std::io::Error::other("wake socketpair: peer never matched"))
 }
 
 impl HubServer {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) serving the
     /// hub rooted at `root`, with `jobs` workers (default: the ambient
-    /// `mh_par` thread count).
+    /// `mh_par` thread count) and default reactor limits.
     pub fn start(root: &Path, addr: &str, jobs: Option<usize>) -> Result<Self, HubError> {
+        Self::start_with(
+            root,
+            addr,
+            Config {
+                jobs,
+                ..Config::default()
+            },
+        )
+    }
+
+    /// [`HubServer::start`] with full reactor tuning.
+    pub fn start_with(root: &Path, addr: &str, config: Config) -> Result<Self, HubError> {
         // Pre-register the process-wide series so `/metrics` exposes the
         // PAS / compression / worker-pool metrics at zero before any
         // request touches those code paths.
@@ -91,46 +211,55 @@ impl HubServer {
         // Hub::open creates the root directory and validates access.
         Hub::open(root).map_err(HubError::Dlv)?;
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let workers = jobs.unwrap_or_else(mh_par::current_threads).clamp(1, 64);
-        let queue = Arc::new(BoundedQueue::<TcpStream>::new(workers * 4));
+        let workers = config
+            .jobs
+            .unwrap_or_else(mh_par::current_threads)
+            .clamp(1, 64);
+        let jobs = Arc::new(BoundedQueue::<Job>::new(workers * 4));
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(Stats::new());
         let faults = Arc::new(Faults::default());
+        let cache = Arc::new(ObjectCache::new(config.cache_bytes, stats.cache_metrics()));
+
+        let (wake_tx, wake_rx) = wake_pair()?;
+        let wake = Waker { tx: wake_tx };
+        let completion_waker = wake.try_clone()?;
+        let completions: Arc<CompletionQueue<Completion>> =
+            Arc::new(CompletionQueue::new(move || completion_waker.wake()));
 
         let mut worker_handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let queue = Arc::clone(&queue);
+            let jobs = Arc::clone(&jobs);
+            let completions = Arc::clone(&completions);
             let stats = Arc::clone(&stats);
             let faults = Arc::clone(&faults);
+            let cache = Arc::clone(&cache);
             let root = root.to_path_buf();
-            worker_handles.push(mh_par::sync::thread::spawn(move || {
-                while let Some(stream) = queue.pop() {
-                    handle_conn(&root, stream, &stats, &faults);
+            worker_handles.push(sync::thread::spawn(move || {
+                while let Some(job) = jobs.pop() {
+                    let resp = process(&root, &job, &stats, &faults, &cache);
+                    completions.push(Completion {
+                        token: job.token,
+                        resp,
+                    });
                 }
             }));
         }
 
-        let accept_handle = {
-            let queue = Arc::clone(&queue);
+        let reactor_handle = {
             let stop = Arc::clone(&stop);
-            Some(mh_par::sync::thread::spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if queue.push(stream).is_err() {
-                            break; // queue closed: shutting down
-                        }
-                    }
-                    Err(_) => {
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                }
+            let stats = Arc::clone(&stats);
+            let jobs = Arc::clone(&jobs);
+            let config = config.clone();
+            Some(sync::thread::spawn(move || {
+                let mut reactor =
+                    match Reactor::new(listener, wake_rx, stop, stats, jobs, completions, config) {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    };
+                reactor.run();
             }))
         };
 
@@ -138,10 +267,11 @@ impl HubServer {
             root: root.to_path_buf(),
             local_addr,
             stop,
-            queue,
+            wake,
+            jobs,
             stats,
             faults,
-            accept_handle,
+            reactor_handle,
             worker_handles,
         })
     }
@@ -167,26 +297,25 @@ impl HubServer {
         Arc::clone(&self.faults)
     }
 
-    /// Graceful shutdown: stop accepting, drain workers, join threads.
+    /// Graceful shutdown: stop the reactor, drain workers, join threads.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
     /// Serve until the process is killed (the `modelhub hubd` CLI path).
     pub fn run(mut self) {
-        if let Some(h) = self.accept_handle.take() {
+        if let Some(h) = self.reactor_handle.take() {
             let _ = h.join();
         }
     }
 
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the accept loop with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(500));
-        self.queue.close_and_discard();
-        if let Some(h) = self.accept_handle.take() {
+        self.wake.wake();
+        if let Some(h) = self.reactor_handle.take() {
             let _ = h.join();
         }
+        self.jobs.close_and_discard();
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
@@ -199,11 +328,696 @@ impl Drop for HubServer {
     }
 }
 
-/// How a request was answered: a buffered body, or a response streamed
-/// directly to the socket (the `/objects` path).
-enum Handled {
-    Full { status: u16, body: Vec<u8> },
-    Streamed { bytes_out: u64, error: bool },
+/// A parsed request handed to the worker pool.
+#[derive(Debug)]
+struct Job {
+    token: usize,
+    req: Request,
+    ep: Endpoint,
+}
+
+/// A finished response on its way back to the reactor.
+#[derive(Debug)]
+struct Completion {
+    token: usize,
+    resp: Response,
+}
+
+/// One write-buffer segment: owned bytes (heads, error bodies, framing
+/// lines) or a zero-copy reference into the object cache.
+#[derive(Debug)]
+enum Seg {
+    Owned(Vec<u8>),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Seg {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Self::Owned(v) => v,
+            Self::Shared(v) => v,
+        }
+    }
+}
+
+/// A fully-staged response: HTTP head + body segments. `truncated`
+/// marks fault-injected partial streams (declared length not delivered)
+/// so stats record the outcome as an error even on status 200.
+#[derive(Debug)]
+struct Response {
+    status: u16,
+    segs: Vec<Seg>,
+    head_len: u64,
+    truncated: bool,
+}
+
+impl Response {
+    fn new(status: u16, declared_len: u64, body: Vec<Seg>, truncated: bool) -> Self {
+        let head = response_head_bytes(status, declared_len, None);
+        let head_len = head.len() as u64;
+        let mut segs = Vec::with_capacity(body.len() + 1);
+        segs.push(Seg::Owned(head));
+        segs.extend(body);
+        Self {
+            status,
+            segs,
+            head_len,
+            truncated,
+        }
+    }
+
+    fn full(status: u16, body: Vec<u8>) -> Self {
+        let len = body.len() as u64;
+        Self::new(status, len, vec![Seg::Owned(body)], false)
+    }
+
+    fn error(status: u16, code: &str, message: &str) -> Self {
+        Self::full(status, encode_error(code, message).into_bytes())
+    }
+
+    /// Backpressure answer: 503 with `Retry-After`.
+    fn saturated(message: &str) -> Self {
+        let body = encode_error("saturated", message).into_bytes();
+        let head = response_head_bytes(503, body.len() as u64, Some(RETRY_AFTER_SECS));
+        let head_len = head.len() as u64;
+        Self {
+            status: 503,
+            segs: vec![Seg::Owned(head), Seg::Owned(body)],
+            head_len,
+            truncated: false,
+        }
+    }
+}
+
+/// Per-connection state. `Reading` accumulates the head+body buffer;
+/// `Queued` parks a complete request while the worker queue is full
+/// (retried FIFO as completions free slots); `Dispatched` parks the
+/// socket (interest `None`) while the worker pool holds the request;
+/// `Writing` drains the segment list across partial writes.
+#[derive(Debug)]
+enum ConnState {
+    Reading {
+        buf: Vec<u8>,
+        head: Option<RequestHead>,
+        eof: bool,
+    },
+    Queued {
+        job: Job,
+    },
+    Dispatched,
+    Writing {
+        resp: Response,
+        seg_idx: usize,
+        seg_pos: usize,
+        written: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    interest: Interest,
+    ep: Endpoint,
+    bytes_in: u64,
+    last_activity: Instant,
+    state_entered: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Self {
+        Self {
+            stream,
+            state: ConnState::Reading {
+                buf: Vec::new(),
+                head: None,
+                eof: false,
+            },
+            interest: Interest::Read,
+            ep: Endpoint::Other,
+            bytes_in: 0,
+            last_activity: now,
+            state_entered: now,
+        }
+    }
+
+    /// Body bytes that actually reached the socket so far.
+    fn body_bytes_written(&self) -> u64 {
+        match &self.state {
+            ConnState::Writing { resp, written, .. } => written.saturating_sub(resp.head_len),
+            _ => 0,
+        }
+    }
+}
+
+/// What to do with a connection after an I/O pass.
+enum Disposition {
+    Keep,
+    /// Close and record stats; `error` marks failed/partial outcomes.
+    Close {
+        error: bool,
+    },
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+    jobs: Arc<BoundedQueue<Job>>,
+    completions: Arc<CompletionQueue<Completion>>,
+    config: Config,
+    conns: BTreeMap<usize, Conn>,
+    /// Tokens whose requests are parked in `ConnState::Queued`, FIFO.
+    queued: VecDeque<usize>,
+    next_token: usize,
+    events: Vec<Event>,
+}
+
+impl Reactor {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        listener: TcpListener,
+        wake_rx: TcpStream,
+        stop: Arc<AtomicBool>,
+        stats: Arc<Stats>,
+        jobs: Arc<BoundedQueue<Job>>,
+        completions: Arc<CompletionQueue<Completion>>,
+        config: Config,
+    ) -> std::io::Result<Self> {
+        let mut poller = Poller::new()?;
+        poller.register(fd_of_stream(&wake_rx), WAKE_TOKEN, Interest::Read)?;
+        poller.register(fd_of_listener(&listener), LISTENER_TOKEN, Interest::Read)?;
+        Ok(Self {
+            poller,
+            listener,
+            wake_rx,
+            stop,
+            stats,
+            jobs,
+            completions,
+            config,
+            conns: BTreeMap::new(),
+            queued: VecDeque::new(),
+            next_token: FIRST_CONN_TOKEN,
+            events: Vec::new(),
+        })
+    }
+
+    /// Poll tick: short enough that timeout reaping stays responsive
+    /// even against sub-second test deadlines.
+    fn tick(&self) -> Duration {
+        let finest = self.config.idle_timeout.min(self.config.state_deadline);
+        (finest / 4).clamp(Duration::from_millis(5), Duration::from_millis(200))
+    }
+
+    /// The event loop. Everything reachable from here handles
+    /// attacker-controlled bytes, so the whole dispatch path is a
+    /// no-panic zone — a connection must never be able to kill the
+    /// reactor.
+    // mh-audit: no_panic_zone
+    fn run(&mut self) {
+        loop {
+            let tick = self.tick();
+            let mut events = std::mem::take(&mut self.events);
+            let _ = self.poller.wait(&mut events, tick);
+            if self.stop.load(Ordering::SeqCst) {
+                self.events = events;
+                break;
+            }
+            for ev in &events {
+                match ev.token {
+                    WAKE_TOKEN => self.drain_wake(),
+                    LISTENER_TOKEN => self.accept_ready(),
+                    token => self.conn_ready(token, *ev),
+                }
+            }
+            self.events = events;
+            self.deliver_completions();
+            self.drain_queued();
+            self.reap_expired();
+        }
+        // Shutdown: every open connection is abandoned; account them as
+        // errored so stats never silently lose a connection.
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token, true);
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        let mut scratch = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut scratch) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock or transient accept failure
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let now = sync::now();
+            let token = self.next_token;
+            self.next_token = self.next_token.wrapping_add(1).max(FIRST_CONN_TOKEN);
+            let mut conn = Conn::new(stream, now);
+            if self.conns.len() >= self.config.max_conns {
+                // Saturated: answer 503 + Retry-After instead of queueing
+                // the connection. The tiny response still goes through
+                // the normal Writing machinery so a slow reject cannot
+                // block the reactor either.
+                self.stats.conn_rejected().inc();
+                set_writing(
+                    &mut conn,
+                    Response::saturated("connection limit reached"),
+                    now,
+                );
+            }
+            let interest = conn.interest;
+            if self
+                .poller
+                .register(fd_of_stream(&conn.stream), token, interest)
+                .is_err()
+            {
+                continue;
+            }
+            self.conns.insert(token, conn);
+            let open = self.conns.len() as i64;
+            self.stats.conn_open().set(open);
+            if open > self.stats.conn_peak().get() {
+                self.stats.conn_peak().set(open);
+            }
+            // Drive freshly-accepted rejects immediately; their sockets
+            // are almost always writable right now.
+            if let Some(c) = self.conns.get(&token) {
+                if matches!(c.state, ConnState::Writing { .. }) {
+                    self.conn_ready(
+                        token,
+                        Event {
+                            token,
+                            readable: false,
+                            writable: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Advance one connection's state machine for a readiness event.
+    fn conn_ready(&mut self, token: usize, ev: Event) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let reading = matches!(conn.state, ConnState::Reading { .. });
+        let writing = matches!(conn.state, ConnState::Writing { .. });
+        let disposition = if reading && ev.readable {
+            read_some(conn)
+        } else if writing && ev.writable {
+            write_some(conn)
+        } else {
+            Disposition::Keep
+        };
+        match disposition {
+            Disposition::Keep => {
+                self.after_progress(token);
+            }
+            Disposition::Close { error } => self.close_conn(token, error),
+        }
+    }
+
+    /// Post-I/O transitions: dispatch completed requests, update poller
+    /// interest to match the state.
+    fn after_progress(&mut self, token: usize) {
+        // A complete request leaves Reading: hand it to the pool, or
+        // park it FIFO when the pool's queue is momentarily full — the
+        // connection count is already bounded by `max_conns`, so the
+        // parked set is too.
+        let dispatch = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            take_ready_request(conn)
+        };
+        if let Some(req) = dispatch {
+            let ep = classify(&req.path);
+            let now = sync::now();
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn.ep = ep;
+            conn.bytes_in = req.body.len() as u64;
+            conn.interest = Interest::None;
+            conn.state_entered = now;
+            conn.last_activity = now;
+            match self.jobs.try_push(Job { token, req, ep }) {
+                Ok(()) => {
+                    conn.state = ConnState::Dispatched;
+                }
+                Err(TryPushError::Full(job)) => {
+                    conn.state = ConnState::Queued { job };
+                    self.queued.push_back(token);
+                }
+                Err(TryPushError::Closed(_)) => {
+                    self.close_conn(token, true);
+                    return;
+                }
+            }
+        }
+        self.sync_interest(token);
+    }
+
+    /// Retry parked dispatches in arrival order. Runs every loop pass:
+    /// worker completions (and pops) free queue slots between passes.
+    fn drain_queued(&mut self) {
+        while let Some(&token) = self.queued.front() {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                // Reaped while parked; drop the stale token.
+                self.queued.pop_front();
+                continue;
+            };
+            if !matches!(conn.state, ConnState::Queued { .. }) {
+                self.queued.pop_front();
+                continue;
+            }
+            let state = std::mem::replace(&mut conn.state, ConnState::Dispatched);
+            let ConnState::Queued { job } = state else {
+                continue; // unreachable: matched Queued above
+            };
+            match self.jobs.try_push(job) {
+                Ok(()) => {
+                    conn.state_entered = sync::now();
+                    self.queued.pop_front();
+                }
+                Err(TryPushError::Full(job)) => {
+                    // Still no room; put it back and stop — FIFO order.
+                    conn.state = ConnState::Queued { job };
+                    break;
+                }
+                Err(TryPushError::Closed(_)) => {
+                    self.queued.pop_front();
+                    self.close_conn(token, true);
+                }
+            }
+        }
+    }
+
+    /// Reconcile poller interest with the connection's current state.
+    fn sync_interest(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = match &conn.state {
+            ConnState::Reading { .. } => Interest::Read,
+            ConnState::Queued { .. } | ConnState::Dispatched => Interest::None,
+            ConnState::Writing { .. } => Interest::Write,
+        };
+        if conn.interest != want {
+            let fd = fd_of_stream(&conn.stream);
+            if self.poller.modify(fd, token, want).is_ok() {
+                conn.interest = want;
+            }
+        }
+    }
+
+    /// Move finished worker responses onto their connections' write
+    /// buffers and try an immediate flush (the common case: the whole
+    /// response fits in the socket buffer in one pass).
+    fn deliver_completions(&mut self) {
+        for Completion { token, resp } in self.completions.drain() {
+            let now = sync::now();
+            match self.conns.get_mut(&token) {
+                Some(conn) if matches!(conn.state, ConnState::Dispatched) => {
+                    set_writing(conn, resp, now);
+                }
+                // Connection already reaped (timeout) or recycled: the
+                // response has nowhere to go.
+                _ => continue,
+            }
+            if let Some(conn) = self.conns.get_mut(&token) {
+                match write_some(conn) {
+                    Disposition::Keep => self.sync_interest(token),
+                    Disposition::Close { error } => self.close_conn(token, error),
+                }
+            }
+        }
+    }
+
+    /// Enforce both timeout axes. A stalled connection is reaped without
+    /// touching any other connection's progress.
+    fn reap_expired(&mut self) {
+        let now = sync::now();
+        let idle = self.config.idle_timeout;
+        let deadline = self.config.state_deadline;
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                let idle_for = now.saturating_duration_since(c.last_activity);
+                let in_state = now.saturating_duration_since(c.state_entered);
+                match c.state {
+                    // The pool decides how long request handling takes;
+                    // only the overall state deadline applies while a
+                    // request is queued or dispatched.
+                    ConnState::Queued { .. } | ConnState::Dispatched => in_state > deadline,
+                    _ => idle_for > idle || in_state > deadline,
+                }
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for token in expired {
+            self.close_conn(token, true);
+        }
+    }
+
+    /// Record the connection's stats exactly once and drop it.
+    fn close_conn(&mut self, token: usize, error: bool) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.deregister(fd_of_stream(&conn.stream), token);
+        self.stats.conn_open().set(self.conns.len() as i64);
+        let status_error = match &conn.state {
+            ConnState::Writing { resp, .. } => resp.status >= 400 || resp.truncated,
+            _ => false,
+        };
+        self.stats.record(
+            conn.ep,
+            conn.bytes_in,
+            conn.body_bytes_written(),
+            error || status_error,
+        );
+    }
+}
+
+/// Enter the Writing state with a staged response.
+fn set_writing(conn: &mut Conn, resp: Response, now: Instant) {
+    conn.state = ConnState::Writing {
+        resp,
+        seg_idx: 0,
+        seg_pos: 0,
+        written: 0,
+    };
+    // Poller interest is reconciled by the caller via sync_interest.
+    conn.state_entered = now;
+    conn.last_activity = now;
+}
+
+/// Nonblocking read pass in the Reading state. Returns Close on fatal
+/// parse errors only after staging the error response (so the close
+/// goes through Writing); returns Close directly on transport failure.
+// mh-audit: no_panic_zone
+fn read_some(conn: &mut Conn) -> Disposition {
+    let mut progressed = false;
+    let mut transport_dead = false;
+    {
+        let ConnState::Reading { buf, head, eof } = &mut conn.state else {
+            return Disposition::Keep;
+        };
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            // Stop reading once the staged request is complete; anything
+            // extra is ignored (one request per connection).
+            if let Some(h) = head.as_ref() {
+                let expect = h.head_len.saturating_add(h.content_length as usize);
+                if buf.len() >= expect {
+                    break;
+                }
+            }
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    // EOF with a complete request is the half-close idiom
+                    // (send, shutdown write, await the response); an
+                    // incomplete request at EOF is answered 400 below.
+                    *eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    transport_dead = true;
+                    break;
+                }
+            }
+        }
+    }
+    if transport_dead {
+        return Disposition::Close { error: true };
+    }
+    let now = sync::now();
+    if progressed {
+        conn.last_activity = now;
+    }
+
+    // Parse as far as the buffer allows.
+    let ConnState::Reading { buf, head, eof } = &mut conn.state else {
+        return Disposition::Keep;
+    };
+    if head.is_none() {
+        match parse_request_head(buf) {
+            Ok(Some(h)) => {
+                if h.content_length > MAX_BODY_BYTES {
+                    set_writing(
+                        conn,
+                        Response::error(
+                            400,
+                            "bad-request",
+                            &format!("request body too large ({} bytes)", h.content_length),
+                        ),
+                        now,
+                    );
+                    return Disposition::Keep;
+                }
+                *head = Some(h);
+            }
+            Ok(None) => {
+                if *eof {
+                    // Peer hung up before completing a request head.
+                    set_writing(
+                        conn,
+                        Response::error(400, "bad-request", "malformed request"),
+                        now,
+                    );
+                    return Disposition::Keep;
+                }
+            }
+            Err(e) => {
+                let resp = protocol_error_response(&e);
+                set_writing(conn, resp, now);
+                return Disposition::Keep;
+            }
+        }
+    }
+    if let Some(h) = head.as_ref() {
+        let expect = h.head_len.saturating_add(h.content_length as usize);
+        if buf.len() < expect && *eof {
+            set_writing(
+                conn,
+                Response::error(400, "bad-request", "malformed request"),
+                now,
+            );
+        }
+    }
+    Disposition::Keep
+}
+
+/// If the Reading buffer holds a complete request, extract it.
+fn take_ready_request(conn: &mut Conn) -> Option<Request> {
+    let ConnState::Reading { buf, head, .. } = &mut conn.state else {
+        return None;
+    };
+    let h = head.as_ref()?;
+    let expect = h.head_len.saturating_add(h.content_length as usize);
+    if buf.len() < expect {
+        return None;
+    }
+    let body = buf
+        .get(h.head_len..expect)
+        .map(<[u8]>::to_vec)
+        .unwrap_or_default();
+    let h = head.take()?;
+    buf.clear();
+    Some(Request {
+        method: h.method,
+        path: h.path,
+        query: h.query,
+        body,
+    })
+}
+
+/// Nonblocking write pass in the Writing state: drain segments until
+/// done, blocked, or broken.
+// mh-audit: no_panic_zone
+fn write_some(conn: &mut Conn) -> Disposition {
+    let mut progressed = false;
+    let done = {
+        let ConnState::Writing {
+            resp,
+            seg_idx,
+            seg_pos,
+            written,
+        } = &mut conn.state
+        else {
+            return Disposition::Keep;
+        };
+        loop {
+            let Some(seg) = resp.segs.get(*seg_idx) else {
+                break true; // every segment fully written
+            };
+            let rest = seg.as_slice().get(*seg_pos..).unwrap_or_default();
+            if rest.is_empty() {
+                *seg_idx = seg_idx.saturating_add(1);
+                *seg_pos = 0;
+                continue;
+            }
+            match (&conn.stream).write(rest) {
+                Ok(0) => return Disposition::Close { error: true },
+                Ok(n) => {
+                    *seg_pos = seg_pos.saturating_add(n);
+                    *written = written.saturating_add(n as u64);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Disposition::Close { error: true },
+            }
+        }
+    };
+    if progressed {
+        conn.last_activity = sync::now();
+    }
+    if done {
+        // Connection: close — one request per connection.
+        Disposition::Close { error: false }
+    } else {
+        Disposition::Keep
+    }
+}
+
+/// Map a request-parse error to its response, preserving the blocking
+/// server's status mapping (TooLarge → 422, everything else → 400).
+fn protocol_error_response(e: &HubError) -> Response {
+    let (status, code) = match e {
+        HubError::TooLarge(_) => (422, "too-large"),
+        _ => (400, "bad-request"),
+    };
+    Response::error(status, code, &e.to_string())
 }
 
 fn classify(path: &str) -> Endpoint {
@@ -235,91 +1049,41 @@ fn dlv_status(e: &DlvError) -> (u16, &'static str) {
     }
 }
 
-fn error_body(e: &DlvError) -> Handled {
+fn error_response(e: &DlvError) -> Response {
     let (status, code) = dlv_status(e);
-    Handled::Full {
-        status,
-        body: encode_error(code, &e.to_string()).into_bytes(),
-    }
+    Response::error(status, code, &e.to_string())
 }
 
-/// Protocol-level errors from request parsing: declared-size cap
-/// violations are 422 `too-large` (well-formed but unacceptable);
-/// everything else is a plain 400.
-fn hub_error_body(e: &HubError) -> Handled {
-    let (status, code) = match e {
-        HubError::TooLarge(_) => (422, "too-large"),
-        _ => (400, "bad-request"),
-    };
-    Handled::Full {
-        status,
-        body: encode_error(code, &e.to_string()).into_bytes(),
-    }
-}
-
-/// Write a buffered response, reporting how many body bytes actually
-/// reached the socket and whether the write completed. A peer that hangs
-/// up mid-response must not be accounted as a full transfer.
-fn write_full(stream: &mut TcpStream, status: u16, body: &[u8]) -> (u64, bool) {
-    if write_response_head(stream, status, body.len() as u64).is_err() {
-        return (0, false);
-    }
-    let mut written = 0usize;
-    while written < body.len() {
-        let rest = body.get(written..).unwrap_or_default();
-        match stream.write(rest) {
-            Ok(0) => return (written as u64, false),
-            Ok(n) => written += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return (written as u64, false),
-        }
-    }
-    (written as u64, stream.flush().is_ok())
-}
-
-/// Per-connection worker body: everything reachable from here handles
-/// attacker-controlled bytes, so the whole router is a no-panic zone — a
-/// request must never be able to kill a worker.
+/// Worker-side request handling: route, stage the response. Everything
+/// reachable from here handles attacker-controlled bytes, so the whole
+/// router is a no-panic zone — a request must never kill a worker.
 // mh-audit: no_panic_zone
-fn handle_conn(root: &Path, stream: TcpStream, stats: &Stats, faults: &Faults) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut stream = stream;
-    let mut reader = BufReader::new(read_half);
-    let req = match read_request(&mut reader) {
-        Ok(r) => r,
-        Err(_) => {
-            let body = encode_error("bad-request", "malformed request");
-            let (bytes_out, _) = write_full(&mut stream, 400, body.as_bytes());
-            stats.record(Endpoint::Other, 0, bytes_out, true);
-            return;
-        }
-    };
-    let ep = classify(&req.path);
-    let bytes_in = req.body.len() as u64;
+fn process(
+    root: &Path,
+    job: &Job,
+    stats: &Stats,
+    faults: &Faults,
+    cache: &ObjectCache,
+) -> Response {
+    let req = &job.req;
     let mut sp = mh_obs::span("hub.request");
     if sp.is_recording() {
-        sp.field("endpoint", ep.name());
+        sp.field("endpoint", job.ep.name());
         sp.field("method", &req.method);
-        sp.add_bytes_in(bytes_in);
+        sp.add_bytes_in(req.body.len() as u64);
     }
-    // Stats are recorded at exactly one point per outcome, from the bytes
-    // that actually hit the socket — never from the intended body length.
-    let (bytes_out, error) = match route(root, &req, stats, faults, &mut stream) {
-        Handled::Full { status, body } => {
-            let (bytes_out, write_ok) = write_full(&mut stream, status, &body);
-            (bytes_out, status >= 400 || !write_ok)
-        }
-        Handled::Streamed { bytes_out, error } => (bytes_out, error),
-    };
-    stats.record(ep, bytes_in, bytes_out, error);
+    let resp = route(root, req, stats, faults, cache);
     if sp.is_recording() {
-        sp.add_bytes_out(bytes_out);
-        sp.field("error", error);
+        let body_len: u64 = resp
+            .segs
+            .iter()
+            .map(|s| s.as_slice().len() as u64)
+            .sum::<u64>()
+            .saturating_sub(resp.head_len);
+        sp.add_bytes_out(body_len);
+        sp.field("error", resp.status >= 400 || resp.truncated);
     }
+    resp
 }
 
 fn route(
@@ -327,28 +1091,22 @@ fn route(
     req: &Request,
     stats: &Stats,
     faults: &Faults,
-    stream: &mut TcpStream,
-) -> Handled {
+    cache: &ObjectCache,
+) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/repos") => match Hub::open(root).and_then(|h| h.repositories()) {
-            Ok(names) => Handled::Full {
-                status: 200,
-                body: names
+            Ok(names) => Response::full(
+                200,
+                names
                     .iter()
                     .map(|n| format!("{n}\n"))
                     .collect::<String>()
                     .into_bytes(),
-            },
-            Err(e) => error_body(&e),
+            ),
+            Err(e) => error_response(&e),
         },
-        ("GET", "/stats") => Handled::Full {
-            status: 200,
-            body: stats.render().into_bytes(),
-        },
-        ("GET", "/metrics") => Handled::Full {
-            status: 200,
-            body: stats.render_prometheus().into_bytes(),
-        },
+        ("GET", "/stats") => Response::full(200, stats.render().into_bytes()),
+        ("GET", "/metrics") => Response::full(200, stats.render_prometheus().into_bytes()),
         ("GET", "/search") => {
             let pattern = req
                 .query
@@ -359,28 +1117,16 @@ fn route(
                 })
                 .and_then(|enc| pct_decode(&enc).ok());
             let Some(pattern) = pattern else {
-                return Handled::Full {
-                    status: 400,
-                    body: encode_error("bad-request", "search needs ?q=<pattern>").into_bytes(),
-                };
+                return Response::error(400, "bad-request", "search needs ?q=<pattern>");
             };
             match Hub::open(root).and_then(|h| h.search(&pattern)) {
-                Ok(hits) => Handled::Full {
-                    status: 200,
-                    body: encode_hits(&hits).into_bytes(),
-                },
-                Err(e) => error_body(&e),
+                Ok(hits) => Response::full(200, encode_hits(&hits).into_bytes()),
+                Err(e) => error_response(&e),
             }
         }
         ("GET", path) if path.starts_with("/manifest/") => {
             let name = path.strip_prefix("/manifest/").unwrap_or_default();
-            match published_manifest(root, name) {
-                Ok(manifest) => Handled::Full {
-                    status: 200,
-                    body: encode_manifest(&manifest).into_bytes(),
-                },
-                Err(e) => error_body(&e),
-            }
+            respond_manifest(root, name, cache)
         }
         ("POST", path) if path.starts_with("/objects/") => {
             let name = path.strip_prefix("/objects/").unwrap_or_default();
@@ -390,7 +1136,7 @@ fn route(
                 .filter(|l| !l.is_empty())
                 .map(str::to_string)
                 .collect();
-            respond_objects(root, name, &haves, faults, stream)
+            respond_objects(root, name, &haves, faults, cache)
         }
         ("POST", path) if path.starts_with("/publish/") => {
             let name = path.strip_prefix("/publish/").unwrap_or_default();
@@ -404,18 +1150,11 @@ fn route(
                 .unwrap_or_default();
             match phase.as_str() {
                 "negotiate" => handle_negotiate(root, name, &req.body),
-                "commit" => handle_commit(root, name, &req.body),
-                other => Handled::Full {
-                    status: 400,
-                    body: encode_error("bad-request", &format!("unknown phase '{other}'"))
-                        .into_bytes(),
-                },
+                "commit" => handle_commit(root, name, &req.body, cache),
+                other => Response::error(400, "bad-request", &format!("unknown phase '{other}'")),
             }
         }
-        _ => Handled::Full {
-            status: 404,
-            body: encode_error("not-found", "no such endpoint").into_bytes(),
-        },
+        _ => Response::error(404, "not-found", "no such endpoint"),
     }
 }
 
@@ -429,115 +1168,130 @@ fn published_manifest(root: &Path, name: &str) -> Result<Vec<ManifestEntry>, Dlv
     committed_manifest(&Repository::open(&dir)?)
 }
 
-/// Stream the objects of `name` the client does not yet have. The
+/// `GET /manifest/<name>`: encoded manifests for hot repos serve from
+/// the cache; publishes invalidate the prefix.
+fn respond_manifest(root: &Path, name: &str, cache: &ObjectCache) -> Response {
+    if validate_repo_name(name).is_ok() {
+        if let Some(cached) = cache.get(&manifest_key(name)) {
+            return Response::new(200, cached.len() as u64, vec![Seg::Shared(cached)], false);
+        }
+    }
+    match published_manifest(root, name) {
+        Ok(manifest) => {
+            let body = Arc::new(encode_manifest(&manifest).into_bytes());
+            cache.put(&manifest_key(name), Arc::clone(&body));
+            Response::new(200, body.len() as u64, vec![Seg::Shared(body)], false)
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Load one object's payload: cache hit hands back the shared bytes;
+/// miss reads from disk, verifies the content hash, and admits it.
+fn load_object(dir: &Path, entry: &ManifestEntry, cache: &ObjectCache) -> Result<Arc<Vec<u8>>, ()> {
+    let key = object_key(&entry.hash);
+    if let Some(hit) = cache.get(&key) {
+        return Ok(hit);
+    }
+    // Raced with a concurrent republish or the content is corrupt: both
+    // surface as a load failure and the response becomes an error (the
+    // client retries against the new content).
+    let data = std::fs::read(dir.join(&entry.path)).map_err(|_| ())?;
+    if sha256_hex(&data) != entry.hash {
+        return Err(());
+    }
+    let data = Arc::new(data);
+    cache.put(&key, Arc::clone(&data));
+    Ok(data)
+}
+
+/// Stage the objects of `name` the client does not yet have. The
 /// response body is length-prefixed per object with a trailing
-/// whole-transfer checksum; `Content-Length` is exact, so payload bytes
-/// stream straight from disk without buffering the transfer.
+/// whole-transfer checksum; payload segments are zero-copy references
+/// into the cache.
 fn respond_objects(
     root: &Path,
     name: &str,
     haves: &BTreeSet<String>,
     faults: &Faults,
-    stream: &mut TcpStream,
-) -> Handled {
+    cache: &ObjectCache,
+) -> Response {
     let manifest = match published_manifest(root, name) {
         Ok(m) => m,
-        Err(e) => return error_body(&e),
+        Err(e) => return error_response(&e),
     };
     let mut seen = BTreeSet::new();
     let missing: Vec<&ManifestEntry> = manifest
         .iter()
         .filter(|e| !haves.contains(&e.hash) && seen.insert(e.hash.clone()))
         .collect();
-    let lens: Vec<(String, u64)> = missing.iter().map(|e| (e.hash.clone(), e.size)).collect();
-    let total = object_stream_len(&lens);
     let dir = root.join(name);
+
+    // Load every payload first (cache or disk+verify); sizes come from
+    // the actual bytes so the declared Content-Length is always exact.
+    let mut payloads: Vec<(&ManifestEntry, Arc<Vec<u8>>)> = Vec::with_capacity(missing.len());
+    for entry in &missing {
+        match load_object(&dir, entry, cache) {
+            Ok(data) => payloads.push((entry, data)),
+            Err(()) => {
+                return Response::error(
+                    500,
+                    "internal",
+                    &format!("object {} unavailable or corrupt", entry.hash),
+                )
+            }
+        }
+    }
+    let lens: Vec<(String, u64)> = payloads
+        .iter()
+        .map(|(e, d)| (e.hash.clone(), d.len() as u64))
+        .collect();
+    let total = object_stream_len(&lens);
 
     if faults.take_object_drop() {
         // Injected fault: promise the full stream, deliver a truncated
         // first object, then drop the connection.
-        let mut partial = 0u64;
-        if write_response_head(stream, 200, total).is_ok() {
-            if let Some(first) = missing.first() {
-                if let Ok(data) = std::fs::read(dir.join(&first.path)) {
-                    let header = format!("obj {} {}\n", first.hash, data.len());
-                    let half = data.get(..data.len() / 2).unwrap_or_default();
-                    if stream.write_all(header.as_bytes()).is_ok() && stream.write_all(half).is_ok()
-                    {
-                        partial = half.len() as u64;
-                    }
-                }
-            }
-            let _ = stream.flush();
+        let mut segs = Vec::new();
+        if let Some((entry, data)) = payloads.first() {
+            let header = format!("obj {} {}\n", entry.hash, data.len());
+            let half = data.get(..data.len() / 2).unwrap_or_default().to_vec();
+            segs.push(Seg::Owned(header.into_bytes()));
+            segs.push(Seg::Owned(half));
         }
-        return Handled::Streamed {
-            bytes_out: partial,
-            error: true,
-        };
+        return Response::new(200, total, segs, true);
     }
 
-    if write_response_head(stream, 200, total).is_err() {
-        return Handled::Streamed {
-            bytes_out: 0,
-            error: true,
-        };
-    }
     let mut transfer = Sha256::new();
-    let mut bytes_out = 0u64;
-    for entry in &missing {
-        let data = match std::fs::read(dir.join(&entry.path)) {
-            Ok(d) => d,
-            Err(_) => {
-                // Raced with a concurrent republish: drop the connection;
-                // the client will retry against the new content.
-                return Handled::Streamed {
-                    bytes_out,
-                    error: true,
-                };
-            }
-        };
-        if sha256_hex(&data) != entry.hash {
-            return Handled::Streamed {
-                bytes_out,
-                error: true,
-            };
-        }
-        if write_object(stream, &entry.hash, &data, &mut transfer).is_err() {
-            return Handled::Streamed {
-                bytes_out,
-                error: true,
-            };
-        }
-        bytes_out += data.len() as u64;
+    let mut segs: Vec<Seg> = Vec::with_capacity(payloads.len() * 2 + 1);
+    for (entry, data) in &payloads {
+        segs.push(Seg::Owned(
+            format!("obj {} {}\n", entry.hash, data.len()).into_bytes(),
+        ));
+        transfer.update(data);
+        segs.push(Seg::Shared(Arc::clone(data)));
     }
-    let end_ok = write_object_stream_end(stream, transfer)
-        .and_then(|()| stream.flush())
-        .is_ok();
-    Handled::Streamed {
-        bytes_out: if end_ok { total } else { bytes_out },
-        error: !end_ok,
-    }
+    segs.push(Seg::Owned(
+        format!("end {}\n", transfer.finalize_hex()).into_bytes(),
+    ));
+    Response::new(200, total, segs, false)
 }
 
-/// Publish negototiation: given the client's manifest, answer with the
+/// Publish negotiation: given the client's manifest, answer with the
 /// hashes the hub does not already hold under this name.
-fn handle_negotiate(root: &Path, name: &str, body: &[u8]) -> Handled {
+fn handle_negotiate(root: &Path, name: &str, body: &[u8]) -> Response {
     if let Err(e) = validate_repo_name(name) {
-        return error_body(&e);
+        return error_response(&e);
     }
     let Ok(body) = std::str::from_utf8(body) else {
-        return Handled::Full {
-            status: 400,
-            body: encode_error("bad-request", "manifest must be utf-8").into_bytes(),
-        };
+        return Response::error(400, "bad-request", "manifest must be utf-8");
     };
     let manifest = match parse_manifest(body) {
         Ok(m) => m,
-        Err(e) => return hub_error_body(&e),
+        Err(e) => return protocol_error_response(&e),
     };
     let existing = match Hub::open(root).and_then(|h| h.published_objects(name)) {
         Ok(m) => m,
-        Err(e) => return error_body(&e),
+        Err(e) => return error_response(&e),
     };
     let wants: BTreeSet<&str> = manifest
         .iter()
@@ -545,24 +1299,19 @@ fn handle_negotiate(root: &Path, name: &str, body: &[u8]) -> Handled {
         .map(|e| e.hash.as_str())
         .collect();
     let body: String = wants.iter().map(|h| format!("{h}\n")).collect();
-    Handled::Full {
-        status: 200,
-        body: body.into_bytes(),
-    }
+    Response::full(200, body.into_bytes())
 }
 
 /// Publish commit: body = `<manifest-byte-length>\n` + manifest + object
 /// stream of the negotiated objects. Assembles the new publication from
 /// received objects plus objects reused from the previous publication of
-/// the same name, then atomically replaces it.
-fn handle_commit(root: &Path, name: &str, body: &[u8]) -> Handled {
+/// the same name, then atomically replaces it and invalidates the repo's
+/// cached manifest.
+fn handle_commit(root: &Path, name: &str, body: &[u8], cache: &ObjectCache) -> Response {
     if let Err(e) = validate_repo_name(name) {
-        return error_body(&e);
+        return error_response(&e);
     }
-    let bad = |msg: &str| Handled::Full {
-        status: 400,
-        body: encode_error("bad-request", msg).into_bytes(),
-    };
+    let bad = |msg: &str| Response::error(400, "bad-request", msg);
     let Some(nl) = body.iter().position(|&b| b == b'\n') else {
         return bad("missing manifest length prefix");
     };
@@ -585,11 +1334,11 @@ fn handle_commit(root: &Path, name: &str, body: &[u8]) -> Handled {
     };
     let manifest = match parse_manifest(manifest_str) {
         Ok(m) => m,
-        Err(e) => return hub_error_body(&e),
+        Err(e) => return protocol_error_response(&e),
     };
     for entry in &manifest {
         if let Err(e) = validate_rel_path(&entry.path) {
-            return error_body(&e);
+            return error_response(&e);
         }
     }
     let mut received: BTreeMap<String, Vec<u8>> = BTreeMap::new();
@@ -599,25 +1348,22 @@ fn handle_commit(root: &Path, name: &str, body: &[u8]) -> Handled {
         Ok(())
     }) {
         if matches!(e, HubError::TooLarge(_)) {
-            return hub_error_body(&e);
+            return protocol_error_response(&e);
         }
         return bad(&format!("bad object stream: {e}"));
     }
     let existing = match Hub::open(root).and_then(|h| h.published_objects(name)) {
         Ok(m) => m,
-        Err(e) => return error_body(&e),
+        Err(e) => return error_response(&e),
     };
     // Every manifest hash must be covered before we stage anything.
     for entry in &manifest {
         if !received.contains_key(&entry.hash) && !existing.contains_key(&entry.hash) {
-            return Handled::Full {
-                status: 409,
-                body: encode_error(
-                    "conflict",
-                    &format!("object {} neither uploaded nor already held", entry.hash),
-                )
-                .into_bytes(),
-            };
+            return Response::error(
+                409,
+                "conflict",
+                &format!("object {} neither uploaded nor already held", entry.hash),
+            );
         }
     }
     let old_dir = root.join(name);
@@ -637,58 +1383,64 @@ fn handle_commit(root: &Path, name: &str, body: &[u8]) -> Handled {
         Ok(())
     });
     match result {
-        Ok(()) => Handled::Full {
-            status: 200,
-            body: b"ok\n".to_vec(),
-        },
-        Err(e) => error_body(&e),
+        Ok(()) => {
+            // Republish replaces content: the cached manifest for this
+            // name is stale the instant the rename lands.
+            cache.invalidate_prefix(&manifest_prefix(name));
+            Response::full(200, b"ok\n".to_vec())
+        }
+        Err(e) => error_response(&e),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read;
-    use std::net::TcpListener;
 
     #[test]
-    fn write_full_reports_actual_bytes_on_broken_pipe() {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addr = listener.local_addr().expect("addr");
-        let client = TcpStream::connect(addr).expect("connect");
-        let (mut server_side, _) = listener.accept().expect("accept");
-        drop(client); // peer hangs up before we respond
-        server_side
-            .set_write_timeout(Some(Duration::from_secs(5)))
-            .expect("timeout");
-        // Far larger than any socket buffer, so the write must hit the
-        // dead peer before completing.
-        let body = vec![0u8; 32 * 1024 * 1024];
-        let (written, ok) = write_full(&mut server_side, 200, &body);
-        assert!(!ok, "write to a closed peer must be reported as failed");
-        assert!(
-            (written as usize) < body.len(),
-            "partial write ({written} bytes) must not be accounted as the full body"
-        );
+    fn response_staging_separates_head_from_body() {
+        let r = Response::full(200, b"hello".to_vec());
+        assert_eq!(r.segs.len(), 2);
+        let head = r.segs.first().map(|s| s.as_slice().to_vec()).unwrap();
+        assert_eq!(head.len() as u64, r.head_len);
+        assert!(String::from_utf8_lossy(&head).contains("Content-Length: 5"));
+        assert!(!r.truncated);
     }
 
     #[test]
-    fn write_full_counts_complete_writes_exactly() {
+    fn saturated_response_advertises_retry_after() {
+        let r = Response::saturated("full");
+        assert_eq!(r.status, 503);
+        let head = r.segs.first().map(|s| s.as_slice().to_vec()).unwrap();
+        assert!(String::from_utf8_lossy(&head).contains("Retry-After: 1"));
+    }
+
+    #[test]
+    fn body_bytes_written_excludes_head() {
+        let resp = Response::full(200, vec![7u8; 100]);
+        let head_len = resp.head_len;
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
-        let reader = mh_par::sync::thread::spawn(move || {
-            let mut client = TcpStream::connect(addr).expect("connect");
-            let mut sink = Vec::new();
-            let _ = client.read_to_end(&mut sink);
-            sink
-        });
-        let (mut server_side, _) = listener.accept().expect("accept");
-        let body = vec![7u8; 256 * 1024];
-        let (written, ok) = write_full(&mut server_side, 200, &body);
-        drop(server_side);
-        let received = reader.join().expect("reader");
-        assert!(ok);
-        assert_eq!(written as usize, body.len());
-        assert!(received.ends_with(&body), "client saw the whole body");
+        let _client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        let mut conn = Conn::new(server_side, sync::now());
+        set_writing(&mut conn, resp, sync::now());
+        // A small response fits the socket buffer in one pass.
+        loop {
+            match write_some(&mut conn) {
+                Disposition::Close { error } => {
+                    assert!(!error);
+                    break;
+                }
+                Disposition::Keep => continue,
+            }
+        }
+        // write_some consumed the state on Close... the conn retains it.
+        let ConnState::Writing { written, .. } = &conn.state else {
+            panic!("still Writing");
+        };
+        assert_eq!(*written, head_len + 100);
+        assert_eq!(conn.body_bytes_written(), 100);
     }
 }

@@ -7,7 +7,8 @@
 //! The registry is **per server instance**, not global, so several
 //! `HubServer`s in one test process keep independent counts.
 
-use mh_obs::Registry;
+use crate::cache::CacheMetrics;
+use mh_obs::{Counter, Gauge, Registry};
 
 /// The hub endpoints tracked individually.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,7 +83,34 @@ impl Stats {
             let _ = registry.counter_labeled("hub_bytes_out_total", labels);
             let _ = registry.counter_labeled("hub_errors_total", labels);
         }
+        // Reactor + cache series, present (at zero) from the first scrape.
+        let _ = registry.gauge("hub_connections_open");
+        let _ = registry.gauge("hub_connections_peak");
+        let _ = registry.counter("hub_connections_rejected_total");
+        let _ = CacheMetrics::for_registry(&registry);
         Self { registry }
+    }
+
+    /// Currently open reactor connections.
+    pub fn conn_open(&self) -> &'static Gauge {
+        self.registry.gauge("hub_connections_open")
+    }
+
+    /// High-water mark of simultaneously open connections — the metric
+    /// that proves the old one-worker-per-connection ceiling is gone.
+    pub fn conn_peak(&self) -> &'static Gauge {
+        self.registry.gauge("hub_connections_peak")
+    }
+
+    /// Connections answered 503 + `Retry-After` by backpressure (either
+    /// the `--max-conns` cap or a saturated worker queue).
+    pub fn conn_rejected(&self) -> &'static Counter {
+        self.registry.counter("hub_connections_rejected_total")
+    }
+
+    /// Handles for the hot-object cache series on this server's registry.
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        CacheMetrics::for_registry(&self.registry)
     }
 
     /// Record one handled request: request-body bytes in, response-body

@@ -1,0 +1,352 @@
+//! Reactor-specific regression tests over raw loopback sockets: stalled
+//! and hostile clients must be reaped by the per-state timeout axes
+//! without stalling anyone else, saturation must answer 503 +
+//! `Retry-After`, and the connection peak must be able to exceed the
+//! worker pool width (the old one-worker-per-connection ceiling).
+
+#![allow(clippy::unwrap_used)] // test code: panics are failures
+use mh_dnn::zoo;
+use mh_hub::server::Config;
+use mh_hub::{HubServer, RemoteHub};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mh-hubreactor-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A repository whose object stream is far larger than loopback socket
+/// buffers, so a non-reading client forces the server into partial
+/// writes.
+fn big_repo(dir: &std::path::Path, name: &str) -> mh_dlv::Repository {
+    let repo = mh_dlv::Repository::init(dir).unwrap();
+    let net = zoo::lenet_s(3);
+    let weights = mh_dnn::Weights::init(&net, 7).unwrap();
+    let mut req = mh_dlv::CommitRequest::new(name, net);
+    req.snapshots = vec![(0, weights)];
+    req.files.push(("blob.bin".into(), vec![0xA5u8; 8 << 20]));
+    req.comment = "big payload for stall tests".into();
+    repo.commit(&req).unwrap();
+    repo
+}
+
+fn start_server(tag: &str, config: Config) -> (HubServer, RemoteHub) {
+    let root = temp_dir(&format!("{tag}-hubroot"));
+    let server = HubServer::start_with(&root, "127.0.0.1:0", config).unwrap();
+    let client = RemoteHub::open(&server.url())
+        .unwrap()
+        .with_timeout(Duration::from_secs(5))
+        .with_retries(2, Duration::from_millis(20));
+    (server, client)
+}
+
+fn objects_request(name: &str) -> Vec<u8> {
+    format!(
+        "POST /objects/{name} HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Parse `Content-Length` out of a response-head prefix.
+fn content_length_of(head: &str) -> Option<u64> {
+    head.lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[test]
+fn stalled_mid_stream_client_is_reaped_without_stalling_others() {
+    let repo_dir = temp_dir("stall-repo");
+    let repo = big_repo(&repo_dir, "big-stall");
+    let (server, client) = start_server(
+        "stall",
+        Config {
+            jobs: Some(2),
+            idle_timeout: Duration::from_millis(400),
+            state_deadline: Duration::from_secs(10),
+            ..Config::default()
+        },
+    );
+    client.publish_repo(&repo, "big-stall").unwrap();
+
+    // The staller: request the whole object stream, read a token amount,
+    // then stop reading entirely. The server's send fills the socket
+    // buffers and blocks; idle (no write progress) must reap it.
+    let mut staller = TcpStream::connect(server.local_addr()).unwrap();
+    staller
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    staller.write_all(&objects_request("big-stall")).unwrap();
+    let mut first = vec![0u8; 1024];
+    let n = staller.read(&mut first).unwrap();
+    assert!(n > 0, "stream must start");
+    let head = String::from_utf8_lossy(&first[..n]).to_string();
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let declared = content_length_of(&head).expect("content-length header");
+    assert!(declared > 8 << 20, "stream must exceed socket buffers");
+
+    // While the staller is wedged, other connections make normal
+    // progress — each request is served well inside the stall window.
+    let t0 = std::time::Instant::now();
+    for _ in 0..5 {
+        assert_eq!(client.repositories().unwrap(), vec!["big-stall"]);
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(4),
+        "healthy connections must not be stalled by the wedged one: {:?}",
+        t0.elapsed()
+    );
+
+    // Give the reaper time, then drain: the server must have cut us off
+    // long before the declared length arrived.
+    std::thread::sleep(Duration::from_millis(1200));
+    let mut rest = Vec::new();
+    let _ = staller.read_to_end(&mut rest);
+    let got = n as u64 + rest.len() as u64;
+    assert!(
+        got < declared,
+        "stalled connection must be reaped mid-stream (got {got} of {declared})"
+    );
+    server.stop();
+}
+
+#[test]
+fn never_reading_client_is_reaped_and_write_buffer_stays_bounded() {
+    let repo_dir = temp_dir("noread-repo");
+    let repo = big_repo(&repo_dir, "big-noread");
+    let (server, client) = start_server(
+        "noread",
+        Config {
+            jobs: Some(2),
+            idle_timeout: Duration::from_millis(400),
+            state_deadline: Duration::from_secs(10),
+            ..Config::default()
+        },
+    );
+    client.publish_repo(&repo, "big-noread").unwrap();
+    let baseline_open = server.stats().conn_open().get();
+
+    // Request the stream and never read a single byte. The response is a
+    // fixed segment list staged once — the server buffers nothing more on
+    // a slow reader, it just stops writing until reaped.
+    let mut silent = TcpStream::connect(server.local_addr()).unwrap();
+    silent
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    silent.write_all(&objects_request("big-noread")).unwrap();
+
+    // The connection must be reaped: open-connection gauge returns to
+    // baseline even though we never read.
+    let mut reaped = false;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(100));
+        if server.stats().conn_open().get() <= baseline_open {
+            reaped = true;
+            break;
+        }
+    }
+    assert!(reaped, "non-reading client must be reaped by idle timeout");
+
+    // The server is fully healthy afterwards.
+    assert_eq!(client.repositories().unwrap(), vec!["big-noread"]);
+    drop(silent);
+    server.stop();
+}
+
+#[test]
+fn slowloris_headers_hit_the_state_deadline() {
+    let (server, client) = start_server(
+        "slowloris",
+        Config {
+            jobs: Some(2),
+            // Idle alone would never fire: the attacker trickles a byte
+            // well inside it. The per-state deadline is the axis that
+            // catches this.
+            idle_timeout: Duration::from_secs(30),
+            state_deadline: Duration::from_millis(700),
+            ..Config::default()
+        },
+    );
+
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    sock.write_all(b"POST /publish/x?phase=commit HTTP/1.1\r\n")
+        .unwrap();
+    let t0 = std::time::Instant::now();
+    let mut cut_off = false;
+    // One header byte every 50ms — each write resets idle, none finish
+    // the head. The server must cut the connection near the state
+    // deadline; detect it via write failure or EOF on read.
+    for _ in 0..200usize {
+        std::thread::sleep(Duration::from_millis(50));
+        if sock.write_all(b"X").is_err() {
+            cut_off = true;
+            break;
+        }
+        let mut probe = [0u8; 64];
+        match sock.read(&mut probe) {
+            Ok(0) => {
+                cut_off = true;
+                break;
+            }
+            Ok(_) => {
+                // An error response counts as a cut: the server has
+                // abandoned the request either way.
+                cut_off = true;
+                break;
+            }
+            Err(_) => {} // timeout: still trickling
+        }
+    }
+    assert!(
+        cut_off,
+        "byte-at-a-time headers must not hold a connection forever"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "cutoff must come from the state deadline, not some 30s fallback: {:?}",
+        t0.elapsed()
+    );
+    // Healthy clients are unaffected.
+    assert_eq!(client.repositories().unwrap(), Vec::<String>::new());
+    server.stop();
+}
+
+#[test]
+fn saturation_answers_503_with_retry_after() {
+    let (server, client) = start_server(
+        "sat",
+        Config {
+            jobs: Some(1),
+            max_conns: 2,
+            idle_timeout: Duration::from_secs(5),
+            state_deadline: Duration::from_secs(5),
+            ..Config::default()
+        },
+    );
+
+    // Two idle connections occupy every slot.
+    let hold_a = TcpStream::connect(server.local_addr()).unwrap();
+    let hold_b = TcpStream::connect(server.local_addr()).unwrap();
+    let mut seen = false;
+    for _ in 0..100 {
+        if server.stats().conn_open().get() >= 2 {
+            seen = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(seen, "both holders must register as open connections");
+
+    // The third connection is rejected with backpressure, not queued.
+    let mut extra = TcpStream::connect(server.local_addr()).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let _ = extra.write_all(b"GET /repos HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    let mut resp = Vec::new();
+    let _ = extra.read_to_end(&mut resp);
+    let text = String::from_utf8_lossy(&resp);
+    assert!(
+        text.starts_with("HTTP/1.1 503 "),
+        "over-cap connection must get 503: {text}"
+    );
+    assert!(text.contains("Retry-After: 1"), "{text}");
+    assert!(server.stats().conn_rejected().get() >= 1);
+
+    // Freeing the slots restores service.
+    drop(hold_a);
+    drop(hold_b);
+    assert_eq!(client.repositories().unwrap(), Vec::<String>::new());
+    server.stop();
+}
+
+#[test]
+fn connection_peak_exceeds_pool_width() {
+    let (server, client) = start_server(
+        "peak",
+        Config {
+            jobs: Some(2),
+            max_conns: 256,
+            idle_timeout: Duration::from_secs(10),
+            state_deadline: Duration::from_secs(10),
+            ..Config::default()
+        },
+    );
+
+    // 16 connections each holding a partial request head — under the old
+    // one-worker-per-connection design with 2 workers, at most a handful
+    // could even exist in-flight; the reactor holds all of them.
+    let mut held: Vec<TcpStream> = Vec::new();
+    for _ in 0..16 {
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /repos HTT").unwrap();
+        held.push(s);
+    }
+    let mut peak_ok = false;
+    for _ in 0..200 {
+        if server.stats().conn_peak().get() >= 16 {
+            peak_ok = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        peak_ok,
+        "16 simultaneous connections must all be open (peak = {})",
+        server.stats().conn_peak().get()
+    );
+
+    // Complete every request: all must succeed despite pool width 2.
+    for s in &mut held {
+        s.write_all(b"P/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+    }
+    for mut s in held {
+        let mut resp = Vec::new();
+        let _ = s.read_to_end(&mut resp);
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.1 200 "), "{text}");
+    }
+    assert!(server.stats().conn_peak().get() > 2);
+    assert_eq!(client.repositories().unwrap(), Vec::<String>::new());
+    server.stop();
+}
+
+#[test]
+fn second_pull_wave_hits_the_object_cache() {
+    let repo_dir = temp_dir("cache-repo");
+    let repo = big_repo(&repo_dir, "big-cache");
+    let (server, client) = start_server("cache", Config::default());
+    client.publish_repo(&repo, "big-cache").unwrap();
+
+    let addr: SocketAddr = server.local_addr();
+    let fetch = |addr: SocketAddr| {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        s.write_all(&objects_request("big-cache")).unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        out
+    };
+    let first = fetch(addr);
+    let hits_after_first = server.stats().cache_metrics().hits.get();
+    let second = fetch(addr);
+    assert_eq!(
+        first.len(),
+        second.len(),
+        "both waves must deliver the identical stream"
+    );
+    assert!(
+        server.stats().cache_metrics().hits.get() > hits_after_first,
+        "second pull wave must hit the cache"
+    );
+    server.stop();
+}

@@ -1,0 +1,274 @@
+//! Reactor↔pool completion handoff.
+//!
+//! The hub's event loop offloads CPU-bound request handling to the
+//! worker pool and gets finished responses back through a
+//! [`CompletionQueue`]: workers `push` under a facade mutex and then
+//! invoke a *waker* (in `hubd`, one byte written to a loopback wake
+//! socket registered in the reactor's poller); the single-threaded
+//! reactor `drain`s everything pending after each wakeup.
+//!
+//! The no-lost-wakeup argument is an ordering discipline, not luck:
+//!
+//! 1. a worker makes its completion visible (push under the lock,
+//!    guard dropped) **before** invoking the waker, and
+//! 2. the reactor drains **after** observing the wake signal.
+//!
+//! So for every completion there is a wake signal that happens-after
+//! it; a reactor that drains on every signal can never sleep forever
+//! with work pending. Spurious wakeups are harmless (`drain` of an
+//! empty queue returns nothing). This property is model-checked in
+//! `model_tests` below (`cargo test -p mh-par --features model`): the
+//! checker explores every interleaving of two pushing workers against
+//! a draining reactor and proves the reactor always terminates with
+//! both completions — a deadlock here would be exactly the lost-wakeup
+//! bug the discipline exists to prevent.
+
+use crate::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// An unbounded MPSC-style completion buffer with an attached waker.
+///
+/// "Unbounded" is safe by construction: at most one completion per
+/// in-flight connection can be pending, and the reactor caps in-flight
+/// connections (`--max-conns`), so the queue's high-water mark is the
+/// connection limit, not attacker-controlled.
+pub struct CompletionQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    waker: Box<dyn Fn() + Send + Sync>,
+}
+
+impl<T> std::fmt::Debug for CompletionQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionQueue")
+            .field("pending", &self.inner.lock().len())
+            .finish()
+    }
+}
+
+impl<T> CompletionQueue<T> {
+    /// Build a queue whose `waker` is invoked after every push. The
+    /// waker must be cheap, non-blocking, and idempotent (extra wakes
+    /// are fine; missed wakes are not — see the module docs).
+    pub fn new(waker: impl Fn() + Send + Sync + 'static) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            waker: Box::new(waker),
+        }
+    }
+
+    /// Publish one completion, then wake the consumer. The item is
+    /// visible to `drain` strictly before the waker runs.
+    pub fn push(&self, item: T) {
+        let mut guard = self.inner.lock();
+        guard.push_back(item);
+        drop(guard);
+        (self.waker)();
+    }
+
+    /// Take everything currently pending, in push order.
+    pub fn drain(&self) -> Vec<T> {
+        let mut guard = self.inner.lock();
+        guard.drain(..).collect()
+    }
+
+    /// Completions currently pending (diagnostic only — racy by nature).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A condvar-backed wake signal with the same raise/await contract as
+/// the hub's wake-socket byte: `raise` is idempotent and never blocks,
+/// `await_and_clear` parks until at least one raise happened since the
+/// last clear. Used by in-process consumers and by the model tests as
+/// a checker-visible stand-in for the epoll wakeup path.
+#[derive(Debug, Default)]
+pub struct WakeFlag {
+    raised: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WakeFlag {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a wake and notify the (single) waiter.
+    pub fn raise(&self) {
+        let mut guard = self.raised.lock();
+        *guard = true;
+        drop(guard);
+        self.cv.notify_one();
+    }
+
+    /// Block until raised, then consume the signal.
+    pub fn await_and_clear(&self) {
+        let mut guard = self.raised.lock();
+        while !*guard {
+            guard = self.cv.wait(guard);
+        }
+        *guard = false;
+    }
+
+    /// Nonblocking probe: consume the signal if raised.
+    pub fn take(&self) -> bool {
+        let mut guard = self.raised.lock();
+        std::mem::take(&mut *guard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_then_drain_preserves_order_and_wakes() {
+        let flag = Arc::new(WakeFlag::new());
+        let f2 = Arc::clone(&flag);
+        let q = CompletionQueue::new(move || f2.raise());
+        q.push(1);
+        q.push(2);
+        assert!(flag.take(), "waker must run on push");
+        assert_eq!(q.drain(), vec![1, 2]);
+        assert!(q.is_empty());
+        assert_eq!(q.drain(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn concurrent_pushers_lose_nothing() {
+        let flag = Arc::new(WakeFlag::new());
+        let f2 = Arc::clone(&flag);
+        let q = Arc::new(CompletionQueue::new(move || f2.raise()));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let q2 = Arc::clone(&q);
+            handles.push(sync::thread::spawn(move || {
+                for i in 0..100u32 {
+                    q2.push(t * 1000 + i);
+                }
+            }));
+        }
+        let mut got = Vec::new();
+        // Drain concurrently with the pushers, then once more after join.
+        while got.len() < 400 {
+            flag.await_and_clear();
+            got.extend(q.drain());
+        }
+        for h in handles {
+            h.join().expect("pusher");
+        }
+        got.extend(q.drain());
+        got.sort_unstable();
+        let mut expect: Vec<u32> = (0..4u32)
+            .flat_map(|t| (0..100u32).map(move |i| t * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}
+
+/// Exhaustive interleaving checks of the handoff discipline
+/// (`cargo test -p mh-par --features model`).
+#[cfg(all(test, feature = "model"))]
+mod model_tests {
+    use super::*;
+    use crate::sync;
+    use std::sync::Arc;
+
+    #[test]
+    fn model_completion_handoff_no_lost_wakeup() {
+        // Two workers push; the reactor thread drains on each wake.
+        // A lost wakeup would leave the reactor parked forever with a
+        // completion pending — the checker reports that as M001.
+        let stats = mh_model::Builder::new()
+            .preemption_bound(2)
+            .try_check(|| {
+                let flag = Arc::new(WakeFlag::new());
+                let f2 = Arc::clone(&flag);
+                let q = Arc::new(CompletionQueue::new(move || f2.raise()));
+                let mut workers = Vec::new();
+                for v in 0..2u32 {
+                    let q2 = Arc::clone(&q);
+                    workers.push(sync::thread::spawn(move || q2.push(v)));
+                }
+                let reactor = {
+                    let q2 = Arc::clone(&q);
+                    let flag2 = Arc::clone(&flag);
+                    sync::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while got.len() < 2 {
+                            flag2.await_and_clear();
+                            got.extend(q2.drain());
+                        }
+                        got
+                    })
+                };
+                for h in workers {
+                    h.join().expect("worker");
+                }
+                let mut got = reactor.join().expect("reactor never hangs");
+                got.sort_unstable();
+                assert_eq!(got, vec![0, 1], "every completion is delivered");
+            })
+            .expect("no lost wakeup or deadlock in the handoff");
+        assert!(stats.complete, "exploration must be exhaustive: {stats:?}");
+        assert!(stats.iterations > 1, "nontrivial schedule space: {stats:?}");
+    }
+
+    #[test]
+    fn model_drain_racing_push_never_drops() {
+        // One worker pushing while the reactor is mid-drain: the item
+        // lands either in this drain or a later one, never nowhere.
+        let stats = mh_model::Builder::new()
+            .preemption_bound(2)
+            .try_check(|| {
+                let flag = Arc::new(WakeFlag::new());
+                let f2 = Arc::clone(&flag);
+                let q = Arc::new(CompletionQueue::new(move || f2.raise()));
+                let q2 = Arc::clone(&q);
+                let worker = sync::thread::spawn(move || q2.push(7u32));
+                let mut got = Vec::new();
+                got.extend(q.drain()); // racy early drain: may be empty
+                while got.is_empty() {
+                    flag.await_and_clear();
+                    got.extend(q.drain());
+                }
+                worker.join().expect("worker");
+                assert_eq!(got, vec![7]);
+            })
+            .expect("no drop under drain/push races");
+        assert!(stats.complete, "{stats:?}");
+    }
+
+    #[test]
+    fn model_try_push_never_blocks_against_close() {
+        // The reactor-side handoff INTO the pool is nonblocking by
+        // construction: try_push racing close() either lands the job or
+        // reports Closed — it can never park the reactor thread.
+        let stats = mh_model::Builder::new()
+            .preemption_bound(2)
+            .try_check(|| {
+                let q = Arc::new(crate::BoundedQueue::<u32>::new(1));
+                let q2 = Arc::clone(&q);
+                let closer = sync::thread::spawn(move || q2.close_and_discard());
+                let q3 = Arc::clone(&q);
+                let reactor = sync::thread::spawn(move || q3.try_push(5));
+                let res = reactor.join().expect("try_push returned immediately");
+                match res {
+                    Ok(()) | Err(crate::TryPushError::Closed(_)) => {}
+                    Err(crate::TryPushError::Full(_)) => {
+                        panic!("capacity-1 empty queue cannot be full")
+                    }
+                }
+                closer.join().expect("closer");
+            })
+            .expect("try_push vs close never deadlocks");
+        assert!(stats.complete, "{stats:?}");
+    }
+}

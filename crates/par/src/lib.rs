@@ -29,7 +29,10 @@
 //! `model` feature (`cargo test -p mh-par --features model` runs the
 //! exhaustive interleaving suites in `model_tests`).
 
+pub mod completion;
 pub mod sync;
+
+pub use completion::{CompletionQueue, WakeFlag};
 
 /// The model checker itself, re-exported so downstream crates can write
 /// model-checked tests (`mh_par::model::Builder`) without depending on
@@ -75,6 +78,16 @@ impl std::fmt::Display for PoolError {
 }
 
 impl std::error::Error for PoolError {}
+
+/// Why a [`BoundedQueue::try_push`] did not enqueue; the item comes
+/// back in either case.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity — the saturation/backpressure signal.
+    Full(T),
+    /// The queue was closed (shutdown).
+    Closed(T),
+}
 
 /// Process-wide thread-count override (0 = unset). Set by `--jobs`.
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -160,6 +173,25 @@ impl<T> BoundedQueue<T> {
             }
             guard = self.not_full.wait(guard);
         }
+    }
+
+    /// Nonblocking push: enqueue if there is room, otherwise report why
+    /// not — without ever parking the caller. This is the reactor-side
+    /// handoff into the pool: a single-threaded event loop must never
+    /// block on a full job queue (a full queue is the *saturation
+    /// signal* that turns into `503 Retry-After`, not a wait).
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut guard = self.state.lock();
+        if guard.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if guard.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        guard.items.push_back(item);
+        drop(guard);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Block until an item is available or the queue is closed and drained.
@@ -497,6 +529,24 @@ mod tests {
         q.close();
         assert_eq!(q.pop(), None);
         assert!(q.push(9).is_err(), "closed queue rejects pushes");
+    }
+
+    #[test]
+    fn try_push_reports_full_and_closed_without_blocking() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push(1).is_ok());
+        match q.try_push(2) {
+            Err(TryPushError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        q.close();
+        match q.try_push(4) {
+            Err(TryPushError::Closed(v)) => assert_eq!(v, 4),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(3), "closed queue still drains");
     }
 
     #[test]

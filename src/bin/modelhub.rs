@@ -5,7 +5,7 @@
 //! modelhub check <query> [--repo <dir>]    # DQL semantic analysis (no execution)
 //! modelhub gen-sample <dir>                # create a small trained sample repo
 //! modelhub archive <dir> [--alpha F] [--jobs N]  # archive staged snapshots into PAS
-//! modelhub hubd <root> [--addr H:P] [--jobs N]   # serve a hosted hub over TCP
+//! modelhub hubd <root> [--addr H:P] [--jobs N] [--max-conns N] [--cache-bytes N]  # serve a hosted hub over TCP
 //! modelhub audit [root] [--report FILE] [--max-waivers N]  # panic/alloc static audit
 //! modelhub repro <experiment> [--quick] [--jobs N]  # run an mh-bench experiment
 //! modelhub prof <subcommand...>            # run a subcommand, print a span profile
@@ -39,6 +39,10 @@
 //! small HTTP/1.1-subset wire protocol with git-style incremental object
 //! transfer; `dlv publish/search/pull` accept its `http://host:port` URL
 //! anywhere a hub directory is accepted. Default address: 127.0.0.1:7797.
+//! The nonblocking reactor holds `--max-conns` simultaneous connections
+//! (default 1024; over-cap connects get 503 + Retry-After) over a worker
+//! pool of `--jobs` threads, and serves hot objects and manifests from an
+//! in-memory LRU capped at `--cache-bytes` (default 64 MiB; 0 disables).
 //!
 //! `--jobs N` bounds the worker pool for the invocation (overrides the
 //! `MH_THREADS` environment variable; default: all available cores).
@@ -56,7 +60,7 @@ fn usage() -> ExitCode {
          modelhub check \"<DQL>\" [--repo <dir>]\n       \
          modelhub gen-sample <dir>\n       \
          modelhub archive <dir> [--alpha F] [--jobs N]\n       \
-         modelhub hubd <root> [--addr HOST:PORT] [--jobs N]\n       \
+         modelhub hubd <root> [--addr HOST:PORT] [--jobs N] [--max-conns N] [--cache-bytes N]\n       \
          modelhub audit [root] [--report FILE] [--max-waivers N]\n       \
          modelhub repro <experiment|all> [--quick] [--jobs N]\n       \
          modelhub prof <subcommand...>\n       \
@@ -352,7 +356,20 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             if jobs == Some(0) {
                 return Err("--jobs must be at least 1".into());
             }
-            let server = modelhub::hub::HubServer::start(&root, &addr, jobs)?;
+            let mut config = modelhub::hub::server::Config {
+                jobs,
+                ..modelhub::hub::server::Config::default()
+            };
+            if let Some(max_conns) = flag_value::<usize>(args, "--max-conns")? {
+                if max_conns == 0 {
+                    return Err("--max-conns must be at least 1".into());
+                }
+                config.max_conns = max_conns;
+            }
+            if let Some(cache_bytes) = flag_value::<usize>(args, "--cache-bytes")? {
+                config.cache_bytes = cache_bytes;
+            }
+            let server = modelhub::hub::HubServer::start_with(&root, &addr, config)?;
             println!(
                 "hubd serving {} at {} (ctrl-c to stop)",
                 root.display(),
