@@ -23,6 +23,7 @@
 //! the owning server's stats registry (`/metrics`).
 
 use mh_obs::{Counter, Gauge, Registry};
+use mh_par::sync::atomic::{AtomicU64, Ordering};
 use mh_par::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -120,6 +121,13 @@ pub struct ObjectCache {
     shards: Vec<Mutex<Shard>>,
     shard_budget: usize,
     metrics: CacheMetrics,
+    /// Invalidation generation: bumped (before any entry is removed) by
+    /// [`ObjectCache::invalidate_prefix`]. A reader that fills the cache
+    /// from disk snapshots it *before* the read and hands it back to
+    /// [`ObjectCache::put_if_current`], which refuses the fill if an
+    /// invalidation landed in between — so a publish racing a GET can
+    /// never be resurrected as stale cached bytes.
+    generation: AtomicU64,
 }
 
 const SHARD_COUNT: usize = 16;
@@ -144,12 +152,26 @@ impl ObjectCache {
             shards,
             shard_budget: budget_bytes / 16,
             metrics,
+            generation: AtomicU64::new(0),
         }
     }
 
     /// Total byte budget across all shards.
     pub fn budget(&self) -> usize {
         self.shard_budget.saturating_mul(SHARD_COUNT)
+    }
+
+    /// Largest entry the cache can ever admit (the per-shard budget).
+    /// Anything bigger is served without touching the cache.
+    pub fn admissible_max(&self) -> usize {
+        self.shard_budget
+    }
+
+    /// Current invalidation generation. Snapshot it before reading
+    /// backing storage and pass it to [`ObjectCache::put_if_current`] to
+    /// make the fill race-safe against invalidation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
     }
 
     fn shard(&self, key: &str) -> Option<&Mutex<Shard>> {
@@ -175,6 +197,19 @@ impl ObjectCache {
     /// Insert (or refresh) a key. Entries above the per-shard budget
     /// are not admitted; admission may evict older entries.
     pub fn put(&self, key: &str, value: Arc<Vec<u8>>) {
+        self.put_guarded(key, value, None);
+    }
+
+    /// [`ObjectCache::put`] guarded by an invalidation generation: the
+    /// entry is admitted only if no [`ObjectCache::invalidate_prefix`]
+    /// ran since `gen` was snapshotted. Use for fills whose source data
+    /// can be replaced concurrently (manifests); content-addressed
+    /// objects are immutable and use the plain `put`.
+    pub fn put_if_current(&self, key: &str, value: Arc<Vec<u8>>, gen: u64) {
+        self.put_guarded(key, value, Some(gen));
+    }
+
+    fn put_guarded(&self, key: &str, value: Arc<Vec<u8>>, required_gen: Option<u64>) {
         let len = value.len();
         if len == 0 || len > self.shard_budget {
             return;
@@ -183,6 +218,15 @@ impl ObjectCache {
             return;
         };
         let mut guard = shard.lock();
+        // Checked under the shard lock: an invalidation either bumped the
+        // generation before we got the lock (we refuse), or its removal
+        // sweep is still ahead of us on this shard (it will remove what
+        // we insert). No interleaving caches stale bytes.
+        if let Some(gen) = required_gen {
+            if self.generation.load(Ordering::SeqCst) != gen {
+                return;
+            }
+        }
         let replaced = guard.remove(key);
         let tick = guard.next_tick;
         guard.next_tick = guard.next_tick.wrapping_add(1);
@@ -202,6 +246,10 @@ impl ObjectCache {
     /// invalidation on republish). Not counted as evictions — these are
     /// correctness removals, not budget pressure.
     pub fn invalidate_prefix(&self, prefix: &str) {
+        // Bump the generation *before* removing: a concurrent guarded
+        // fill either sees the new generation and refuses, or inserted
+        // before this point and is removed by the sweep below.
+        self.generation.fetch_add(1, Ordering::SeqCst);
         let mut freed = 0usize;
         for shard in &self.shards {
             let mut guard = shard.lock();
@@ -351,6 +399,29 @@ mod tests {
         assert!(c.get(&object_key("abcd")).is_some());
         assert_eq!(m.evictions.get(), 0, "invalidations are not evictions");
         assert_eq!(m.bytes.get() as usize, c.bytes());
+    }
+
+    #[test]
+    fn stale_fill_after_invalidation_is_refused() {
+        let (c, _m) = test_cache(16 * 1024);
+        // A fill snapshots the generation, reads (old) bytes from disk,
+        // loses the race to a publish's invalidation, then tries to cache
+        // what it read: the put must be refused.
+        let gen = c.generation();
+        c.invalidate_prefix(&manifest_prefix("alexnet"));
+        c.put_if_current(&manifest_key("alexnet"), val(10), gen);
+        assert!(
+            c.get(&manifest_key("alexnet")).is_none(),
+            "a fill that raced an invalidation must not be admitted"
+        );
+        // A fill that snapshotted after the invalidation is admitted.
+        let gen = c.generation();
+        c.put_if_current(&manifest_key("alexnet"), val(10), gen);
+        assert!(c.get(&manifest_key("alexnet")).is_some());
+        // Plain puts (content-addressed objects) are unaffected.
+        c.invalidate_prefix(&manifest_prefix("alexnet"));
+        c.put(&object_key("abcd"), val(10));
+        assert!(c.get(&object_key("abcd")).is_some());
     }
 
     #[test]

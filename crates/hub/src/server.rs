@@ -24,11 +24,19 @@
 //! Two timeout axes defend every connection slot: an **idle timeout**
 //! (no read/write progress) and a **per-state deadline** (maximum wall
 //! time in one state, which a byte-at-a-time slowloris cannot reset by
-//! trickling traffic). Saturation — the connection cap or a full worker
-//! queue — answers `503` + `Retry-After` instead of queueing unbounded
-//! work. Hot objects and manifest responses serve from the
-//! byte-budgeted [`crate::cache::ObjectCache`] as zero-copy `Arc`
-//! segments on the write buffer.
+//! trickling traffic). Backpressure answers `503` + `Retry-After` in
+//! two places: at accept once `--max-conns` connections are open
+//! (counted in `hub_connections_rejected_total`), and at head-parse
+//! when a declared request body would overrun the reactor-wide
+//! [`BodyBudget`] (counted in `hub_body_rejected_total`). A full worker
+//! queue is *not* a rejection: complete requests park FIFO in
+//! `ConnState::Queued` and retry as completions free slots. Hot objects
+//! and manifest responses serve from the byte-budgeted
+//! [`crate::cache::ObjectCache`] as zero-copy `Arc` segments on the
+//! write buffer; payloads past the per-response
+//! [`RESPONSE_LOAD_BUDGET`] (or too large for the cache to ever admit)
+//! stream lazily from disk in bounded chunks, so per-connection staged
+//! memory stays bounded no matter how large the repo.
 //!
 //! ## Endpoints
 //!
@@ -66,7 +74,7 @@ use mh_par::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use mh_par::sync::thread::JoinHandle;
 use mh_par::{sync, BoundedQueue, CompletionQueue, TryPushError};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::io::{Read, Write};
+use std::io::{Read, Seek, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -88,6 +96,14 @@ pub struct Config {
     /// Reap a connection stuck in one state this long regardless of
     /// trickled progress (the anti-slowloris axis).
     pub state_deadline: Duration,
+    /// Aggregate budget for declared request-body bytes buffered in
+    /// userspace across all connections. A request whose declared body
+    /// would overrun it is answered `503` + `Retry-After`; when nothing
+    /// is in flight one body is always admitted regardless of size (so
+    /// a single max-size publish can always make progress). Without
+    /// this, `--max-conns` connections each declaring the per-request
+    /// body cap could drive `max_conns × MAX_BODY_BYTES` of allocation.
+    pub body_budget_bytes: u64,
 }
 
 impl Default for Config {
@@ -98,6 +114,7 @@ impl Default for Config {
             cache_bytes: 64 << 20,
             idle_timeout: Duration::from_secs(10),
             state_deadline: Duration::from_secs(30),
+            body_budget_bytes: 256 << 20,
         }
     }
 }
@@ -112,6 +129,50 @@ const FIRST_CONN_TOKEN: usize = 2;
 
 /// Per-read chunk size in the Reading state.
 const READ_CHUNK: usize = 16 << 10;
+
+/// Most bytes one connection may pull off its socket in a single read
+/// pass. Bounds how far a fast sender can grow its buffer before the
+/// head is parsed (and its declared body admitted against the
+/// [`BodyBudget`]), and keeps one firehose connection from hogging the
+/// reactor. Level-triggered readiness re-delivers the remainder on the
+/// next tick.
+const MAX_READ_PASS_BYTES: usize = 256 << 10;
+
+/// Aggregate declared request-body bytes admitted for userspace
+/// buffering across all live connections (reactor-thread state, no
+/// atomics needed). Reserved when a request head parses, released when
+/// its connection closes — the body `Vec` lives until the response is
+/// done, and connections carry one request each.
+#[derive(Debug)]
+struct BodyBudget {
+    cap: u64,
+    in_use: u64,
+}
+
+impl BodyBudget {
+    fn new(cap: u64) -> Self {
+        Self { cap, in_use: 0 }
+    }
+
+    /// Admit `want` declared body bytes, or refuse. When nothing is in
+    /// flight one body is always admitted (even past the cap): a single
+    /// max-size request must be able to make progress, and the resulting
+    /// bound is `max(cap, MAX_BODY_BYTES)` rather than unbounded.
+    fn try_reserve(&mut self, want: u64) -> bool {
+        if want == 0 {
+            return true;
+        }
+        if self.in_use > 0 && self.in_use.saturating_add(want) > self.cap {
+            return false;
+        }
+        self.in_use = self.in_use.saturating_add(want);
+        true
+    }
+
+    fn release(&mut self, reserved: u64) {
+        self.in_use = self.in_use.saturating_sub(reserved);
+    }
+}
 
 /// Fault-injection knobs for tests: while `drop_object_responses > 0`,
 /// each `/objects` response is truncated mid-object and the connection
@@ -343,19 +404,90 @@ struct Completion {
     resp: Response,
 }
 
+/// Chunk size for lazily-streamed file segments (and for the streaming
+/// hash-verify pass that stages them).
+const FILE_CHUNK: usize = 64 << 10;
+
+/// A payload streamed from disk in bounded chunks on write readiness:
+/// the staged segment costs one scratch buffer (≤ [`FILE_CHUNK`]), not
+/// the whole object — so a never-reading client holds kilobytes, not
+/// the multi-GiB object it requested. The open handle pins the inode,
+/// so a raced republish (replace-by-rename) cannot swap the verified
+/// bytes out from under the stream. Chunk reads are blocking disk I/O
+/// on the reactor thread, bounded at [`FILE_CHUNK`] per pass — the
+/// standard tradeoff for a sendfile-less event loop.
+#[derive(Debug)]
+struct FileSeg {
+    file: std::fs::File,
+    /// Total payload length (what the object header declared).
+    len: u64,
+    /// Bytes not yet read out of the file.
+    remaining: u64,
+    /// Scratch chunk awaiting socket writes; the write cursor into it is
+    /// the connection's `seg_pos`.
+    buf: Vec<u8>,
+}
+
+impl FileSeg {
+    fn new(file: std::fs::File, len: u64) -> Self {
+        Self {
+            file,
+            len,
+            remaining: len,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Refill the scratch buffer with the next chunk. Errors (including
+    /// premature EOF: the file shrank under us) are unrecoverable — the
+    /// declared Content-Length can no longer be honored and the caller
+    /// must drop the connection.
+    // mh-audit: no_panic_zone
+    fn refill(&mut self) -> Result<(), ()> {
+        let want = usize::try_from(self.remaining.min(FILE_CHUNK as u64)).unwrap_or(FILE_CHUNK);
+        self.buf.resize(want, 0);
+        loop {
+            match self.file.read(&mut self.buf) {
+                Ok(0) => return Err(()), // premature EOF
+                Ok(n) => {
+                    self.buf.truncate(n);
+                    self.remaining = self.remaining.saturating_sub(n as u64);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+    }
+}
+
 /// One write-buffer segment: owned bytes (heads, error bodies, framing
-/// lines) or a zero-copy reference into the object cache.
+/// lines), a zero-copy reference into the object cache, or a lazily
+/// chunk-streamed file.
 #[derive(Debug)]
 enum Seg {
     Owned(Vec<u8>),
     Shared(Arc<Vec<u8>>),
+    File(FileSeg),
 }
 
 impl Seg {
+    /// In-memory bytes of this segment right now (a `File` segment
+    /// exposes only its current scratch chunk).
     fn as_slice(&self) -> &[u8] {
         match self {
             Self::Owned(v) => v,
             Self::Shared(v) => v,
+            Self::File(f) => &f.buf,
+        }
+    }
+
+    /// Total bytes this segment contributes to the response body.
+    fn len(&self) -> u64 {
+        match self {
+            Self::Owned(v) => v.len() as u64,
+            Self::Shared(v) => v.len() as u64,
+            Self::File(f) => f.len,
         }
     }
 }
@@ -440,6 +572,9 @@ struct Conn {
     interest: Interest,
     ep: Endpoint,
     bytes_in: u64,
+    /// Declared body bytes this connection holds against the reactor's
+    /// [`BodyBudget`]; released at close.
+    body_reserved: u64,
     last_activity: Instant,
     state_entered: Instant,
 }
@@ -456,6 +591,7 @@ impl Conn {
             interest: Interest::Read,
             ep: Endpoint::Other,
             bytes_in: 0,
+            body_reserved: 0,
             last_activity: now,
             state_entered: now,
         }
@@ -491,6 +627,7 @@ struct Reactor {
     conns: BTreeMap<usize, Conn>,
     /// Tokens whose requests are parked in `ConnState::Queued`, FIFO.
     queued: VecDeque<usize>,
+    body_budget: BodyBudget,
     next_token: usize,
     events: Vec<Event>,
 }
@@ -509,6 +646,7 @@ impl Reactor {
         let mut poller = Poller::new()?;
         poller.register(fd_of_stream(&wake_rx), WAKE_TOKEN, Interest::Read)?;
         poller.register(fd_of_listener(&listener), LISTENER_TOKEN, Interest::Read)?;
+        let body_budget = BodyBudget::new(config.body_budget_bytes);
         Ok(Self {
             poller,
             listener,
@@ -520,6 +658,7 @@ impl Reactor {
             config,
             conns: BTreeMap::new(),
             queued: VecDeque::new(),
+            body_budget,
             next_token: FIRST_CONN_TOKEN,
             events: Vec::new(),
         })
@@ -644,7 +783,7 @@ impl Reactor {
         let reading = matches!(conn.state, ConnState::Reading { .. });
         let writing = matches!(conn.state, ConnState::Writing { .. });
         let disposition = if reading && ev.readable {
-            read_some(conn)
+            read_some(conn, &mut self.body_budget, &self.stats)
         } else if writing && ev.writable {
             write_some(conn)
         } else {
@@ -807,6 +946,7 @@ impl Reactor {
         let Some(conn) = self.conns.remove(&token) else {
             return;
         };
+        self.body_budget.release(conn.body_reserved);
         let _ = self.poller.deregister(fd_of_stream(&conn.stream), token);
         self.stats.conn_open().set(self.conns.len() as i64);
         let status_error = match &conn.state {
@@ -838,8 +978,11 @@ fn set_writing(conn: &mut Conn, resp: Response, now: Instant) {
 /// Nonblocking read pass in the Reading state. Returns Close on fatal
 /// parse errors only after staging the error response (so the close
 /// goes through Writing); returns Close directly on transport failure.
+/// At most [`MAX_READ_PASS_BYTES`] are buffered per pass, so the parse
+/// (and the [`BodyBudget`] admission decision) runs before a fast
+/// sender can grow the buffer unboundedly.
 // mh-audit: no_panic_zone
-fn read_some(conn: &mut Conn) -> Disposition {
+fn read_some(conn: &mut Conn, budget: &mut BodyBudget, stats: &Stats) -> Disposition {
     let mut progressed = false;
     let mut transport_dead = false;
     {
@@ -847,6 +990,7 @@ fn read_some(conn: &mut Conn) -> Disposition {
             return Disposition::Keep;
         };
         let mut chunk = [0u8; READ_CHUNK];
+        let mut pass_bytes = 0usize;
         loop {
             // Stop reading once the staged request is complete; anything
             // extra is ignored (one request per connection).
@@ -855,6 +999,9 @@ fn read_some(conn: &mut Conn) -> Disposition {
                 if buf.len() >= expect {
                     break;
                 }
+            }
+            if pass_bytes >= MAX_READ_PASS_BYTES {
+                break; // level-triggered readiness re-delivers the rest
             }
             match (&conn.stream).read(&mut chunk) {
                 Ok(0) => {
@@ -866,6 +1013,7 @@ fn read_some(conn: &mut Conn) -> Disposition {
                 }
                 Ok(n) => {
                     buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                    pass_bytes = pass_bytes.saturating_add(n);
                     progressed = true;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -904,6 +1052,19 @@ fn read_some(conn: &mut Conn) -> Disposition {
                     );
                     return Disposition::Keep;
                 }
+                // Admit the declared body against the reactor-wide
+                // budget before buffering it; refusal is backpressure
+                // (retryable), not a protocol error.
+                if !budget.try_reserve(h.content_length) {
+                    stats.body_rejected().inc();
+                    set_writing(
+                        conn,
+                        Response::saturated("request-body budget exhausted"),
+                        now,
+                    );
+                    return Disposition::Keep;
+                }
+                conn.body_reserved = h.content_length;
                 *head = Some(h);
             }
             Ok(None) => {
@@ -962,7 +1123,9 @@ fn take_ready_request(conn: &mut Conn) -> Option<Request> {
 }
 
 /// Nonblocking write pass in the Writing state: drain segments until
-/// done, blocked, or broken.
+/// done, blocked, or broken. `File` segments refill their bounded
+/// scratch chunk from disk as the socket drains it, so per-connection
+/// write memory stays O([`FILE_CHUNK`]) regardless of payload size.
 // mh-audit: no_panic_zone
 fn write_some(conn: &mut Conn) -> Disposition {
     let mut progressed = false;
@@ -977,9 +1140,19 @@ fn write_some(conn: &mut Conn) -> Disposition {
             return Disposition::Keep;
         };
         loop {
-            let Some(seg) = resp.segs.get(*seg_idx) else {
+            let Some(seg) = resp.segs.get_mut(*seg_idx) else {
                 break true; // every segment fully written
             };
+            if let Seg::File(fs) = seg {
+                // Scratch drained with file bytes left: pull the next
+                // chunk and restart the write cursor on it.
+                if *seg_pos >= fs.buf.len() && fs.remaining > 0 {
+                    if fs.refill().is_err() {
+                        return Disposition::Close { error: true };
+                    }
+                    *seg_pos = 0;
+                }
+            }
             let rest = seg.as_slice().get(*seg_pos..).unwrap_or_default();
             if rest.is_empty() {
                 *seg_idx = seg_idx.saturating_add(1);
@@ -1077,7 +1250,7 @@ fn process(
         let body_len: u64 = resp
             .segs
             .iter()
-            .map(|s| s.as_slice().len() as u64)
+            .map(Seg::len)
             .sum::<u64>()
             .saturating_sub(resp.head_len);
         sp.add_bytes_out(body_len);
@@ -1176,39 +1349,124 @@ fn respond_manifest(root: &Path, name: &str, cache: &ObjectCache) -> Response {
             return Response::new(200, cached.len() as u64, vec![Seg::Shared(cached)], false);
         }
     }
+    // Snapshot the invalidation generation *before* touching disk: if a
+    // publish commits (rename + invalidate) while we read the old
+    // manifest, the guarded put below is refused and the pre-publish
+    // bytes are never cached.
+    let gen = cache.generation();
     match published_manifest(root, name) {
         Ok(manifest) => {
             let body = Arc::new(encode_manifest(&manifest).into_bytes());
-            cache.put(&manifest_key(name), Arc::clone(&body));
+            cache.put_if_current(&manifest_key(name), Arc::clone(&body), gen);
             Response::new(200, body.len() as u64, vec![Seg::Shared(body)], false)
         }
         Err(e) => error_response(&e),
     }
 }
 
-/// Load one object's payload: cache hit hands back the shared bytes;
-/// miss reads from disk, verifies the content hash, and admits it.
-fn load_object(dir: &Path, entry: &ManifestEntry, cache: &ObjectCache) -> Result<Arc<Vec<u8>>, ()> {
+/// Per-response budget for object payloads loaded privately into memory
+/// on a cache miss. Misses up to this many bytes are read whole,
+/// verified, and admitted to the cache (zero-copy `Shared` segments);
+/// past it — and for any object too large for the cache to ever admit —
+/// the payload is staged as a lazy [`FileSeg`] that streams from disk in
+/// bounded chunks on write readiness. Cache hits are exempt: they
+/// reference memory the cache already accounts for, shared across every
+/// connection serving the same object. Net bound per connection: this
+/// budget plus one [`FILE_CHUNK`] scratch buffer, no matter how large
+/// the repo — a never-reading client cannot hold multi-GiB staged
+/// responses for the idle-timeout window.
+const RESPONSE_LOAD_BUDGET: u64 = 8 << 20;
+
+/// One staged object payload: resident bytes (cache hit or a
+/// budget-admitted load) or an open file streamed lazily at write time.
+#[derive(Debug)]
+enum Payload {
+    Mem(Arc<Vec<u8>>),
+    File { file: std::fs::File, len: u64 },
+}
+
+impl Payload {
+    fn len(&self) -> u64 {
+        match self {
+            Self::Mem(d) => d.len() as u64,
+            Self::File { len, .. } => *len,
+        }
+    }
+
+    fn into_seg(self) -> Seg {
+        match self {
+            Self::Mem(d) => Seg::Shared(d),
+            Self::File { file, len } => Seg::File(FileSeg::new(file, len)),
+        }
+    }
+}
+
+/// Stage one object's payload, feeding its bytes (in stream order) into
+/// the whole-transfer checksum. Cache hit hands back the shared bytes;
+/// a small in-budget miss reads, verifies, and admits it; anything else
+/// is hash-verified in a streaming pass and staged as an open file
+/// handle — the payload is never fully resident.
+fn stage_object(
+    dir: &Path,
+    entry: &ManifestEntry,
+    cache: &ObjectCache,
+    loaded: &mut u64,
+    transfer: &mut Sha256,
+) -> Result<Payload, ()> {
     let key = object_key(&entry.hash);
     if let Some(hit) = cache.get(&key) {
-        return Ok(hit);
+        transfer.update(&hit);
+        return Ok(Payload::Mem(hit));
     }
     // Raced with a concurrent republish or the content is corrupt: both
     // surface as a load failure and the response becomes an error (the
     // client retries against the new content).
-    let data = std::fs::read(dir.join(&entry.path)).map_err(|_| ())?;
-    if sha256_hex(&data) != entry.hash {
+    let path = dir.join(&entry.path);
+    let in_budget = entry.size <= cache.admissible_max() as u64
+        && loaded.saturating_add(entry.size) <= RESPONSE_LOAD_BUDGET;
+    if in_budget {
+        let data = std::fs::read(&path).map_err(|_| ())?;
+        if sha256_hex(&data) != entry.hash {
+            return Err(());
+        }
+        transfer.update(&data);
+        *loaded = loaded.saturating_add(data.len() as u64);
+        let data = Arc::new(data);
+        cache.put(&key, Arc::clone(&data));
+        return Ok(Payload::Mem(data));
+    }
+    // Streaming verify: hash the file in bounded chunks, then rewind for
+    // the lazy write-time stream. The held handle pins the inode, so the
+    // bytes that verified here are the bytes that will stream.
+    let mut file = std::fs::File::open(&path).map_err(|_| ())?;
+    let mut hasher = Sha256::new();
+    let mut len = 0u64;
+    let mut chunk = vec![0u8; FILE_CHUNK];
+    loop {
+        match file.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                let part = chunk.get(..n).unwrap_or_default();
+                hasher.update(part);
+                transfer.update(part);
+                len = len.saturating_add(n as u64);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    if hasher.finalize_hex() != entry.hash {
         return Err(());
     }
-    let data = Arc::new(data);
-    cache.put(&key, Arc::clone(&data));
-    Ok(data)
+    file.seek(std::io::SeekFrom::Start(0)).map_err(|_| ())?;
+    Ok(Payload::File { file, len })
 }
 
 /// Stage the objects of `name` the client does not yet have. The
 /// response body is length-prefixed per object with a trailing
 /// whole-transfer checksum; payload segments are zero-copy references
-/// into the cache.
+/// into the cache or lazily-streamed file handles (see
+/// [`RESPONSE_LOAD_BUDGET`]).
 fn respond_objects(
     root: &Path,
     name: &str,
@@ -1227,12 +1485,15 @@ fn respond_objects(
         .collect();
     let dir = root.join(name);
 
-    // Load every payload first (cache or disk+verify); sizes come from
-    // the actual bytes so the declared Content-Length is always exact.
-    let mut payloads: Vec<(&ManifestEntry, Arc<Vec<u8>>)> = Vec::with_capacity(missing.len());
+    // Stage every payload (verifying hashes and accumulating the
+    // whole-transfer checksum in stream order); lengths come from the
+    // staged payloads so the declared Content-Length is always exact.
+    let mut loaded = 0u64;
+    let mut transfer = Sha256::new();
+    let mut payloads: Vec<(&ManifestEntry, Payload)> = Vec::with_capacity(missing.len());
     for entry in &missing {
-        match load_object(&dir, entry, cache) {
-            Ok(data) => payloads.push((entry, data)),
+        match stage_object(&dir, entry, cache, &mut loaded, &mut transfer) {
+            Ok(payload) => payloads.push((entry, payload)),
             Err(()) => {
                 return Response::error(
                     500,
@@ -1244,7 +1505,7 @@ fn respond_objects(
     }
     let lens: Vec<(String, u64)> = payloads
         .iter()
-        .map(|(e, d)| (e.hash.clone(), d.len() as u64))
+        .map(|(e, p)| (e.hash.clone(), p.len()))
         .collect();
     let total = object_stream_len(&lens);
 
@@ -1252,23 +1513,29 @@ fn respond_objects(
         // Injected fault: promise the full stream, deliver a truncated
         // first object, then drop the connection.
         let mut segs = Vec::new();
-        if let Some((entry, data)) = payloads.first() {
-            let header = format!("obj {} {}\n", entry.hash, data.len());
-            let half = data.get(..data.len() / 2).unwrap_or_default().to_vec();
+        if let Some((entry, payload)) = payloads.into_iter().next() {
+            let len = payload.len();
+            let header = format!("obj {} {len}\n", entry.hash);
+            let half = match payload {
+                Payload::Mem(data) => data.get(..data.len() / 2).unwrap_or_default().to_vec(),
+                Payload::File { mut file, .. } => {
+                    let mut data = Vec::new();
+                    let _ = std::io::Read::take(&mut file, len / 2).read_to_end(&mut data);
+                    data
+                }
+            };
             segs.push(Seg::Owned(header.into_bytes()));
             segs.push(Seg::Owned(half));
         }
         return Response::new(200, total, segs, true);
     }
 
-    let mut transfer = Sha256::new();
     let mut segs: Vec<Seg> = Vec::with_capacity(payloads.len() * 2 + 1);
-    for (entry, data) in &payloads {
+    for (entry, payload) in payloads {
         segs.push(Seg::Owned(
-            format!("obj {} {}\n", entry.hash, data.len()).into_bytes(),
+            format!("obj {} {}\n", entry.hash, payload.len()).into_bytes(),
         ));
-        transfer.update(data);
-        segs.push(Seg::Shared(Arc::clone(data)));
+        segs.push(payload.into_seg());
     }
     segs.push(Seg::Owned(
         format!("end {}\n", transfer.finalize_hex()).into_bytes(),
@@ -1413,6 +1680,89 @@ mod tests {
         assert_eq!(r.status, 503);
         let head = r.segs.first().map(|s| s.as_slice().to_vec()).unwrap();
         assert!(String::from_utf8_lossy(&head).contains("Retry-After: 1"));
+    }
+
+    #[test]
+    fn file_segments_stream_lazily_in_bounded_chunks() {
+        let dir = std::env::temp_dir().join(format!("mh-fileseg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // Payload spans several FILE_CHUNKs so refill runs repeatedly.
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let path = dir.join("payload.bin");
+        std::fs::write(&path, &payload).expect("write payload");
+        let file = std::fs::File::open(&path).expect("open payload");
+        let len = payload.len() as u64;
+        let resp = Response::new(200, len, vec![Seg::File(FileSeg::new(file, len))], false);
+        let head_len = resp.head_len as usize;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        let reader = sync::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut c = client;
+            c.read_to_end(&mut got).expect("drain stream");
+            got
+        });
+        let mut conn = Conn::new(server_side, sync::now());
+        set_writing(&mut conn, resp, sync::now());
+        loop {
+            match write_some(&mut conn) {
+                Disposition::Close { error } => {
+                    assert!(!error);
+                    break;
+                }
+                Disposition::Keep => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        // The staged segment holds one scratch chunk, not the payload.
+        if let ConnState::Writing { resp, .. } = &conn.state {
+            for seg in &resp.segs {
+                if let Seg::File(fs) = seg {
+                    assert!(fs.buf.len() <= FILE_CHUNK);
+                    assert_eq!(fs.remaining, 0, "file fully streamed");
+                }
+            }
+        }
+        drop(conn); // EOF for the reader
+        let got = reader.join().expect("reader thread");
+        assert_eq!(got.len(), head_len + payload.len());
+        assert_eq!(got.get(head_len..), Some(&payload[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_file_segment_closes_with_error() {
+        let dir = std::env::temp_dir().join(format!("mh-filesegerr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("short.bin");
+        std::fs::write(&path, vec![7u8; 100]).expect("write payload");
+        let file = std::fs::File::open(&path).expect("open payload");
+        // Declare more bytes than the file holds: the stream cannot honor
+        // its Content-Length and must close as an error.
+        let resp = Response::new(200, 500, vec![Seg::File(FileSeg::new(file, 500))], false);
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        let mut conn = Conn::new(server_side, sync::now());
+        set_writing(&mut conn, resp, sync::now());
+        loop {
+            match write_some(&mut conn) {
+                Disposition::Close { error } => {
+                    assert!(error, "premature EOF must surface as an error close");
+                    break;
+                }
+                Disposition::Keep => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -87,6 +87,7 @@ impl Stats {
         let _ = registry.gauge("hub_connections_open");
         let _ = registry.gauge("hub_connections_peak");
         let _ = registry.counter("hub_connections_rejected_total");
+        let _ = registry.counter("hub_body_rejected_total");
         let _ = CacheMetrics::for_registry(&registry);
         Self { registry }
     }
@@ -102,10 +103,19 @@ impl Stats {
         self.registry.gauge("hub_connections_peak")
     }
 
-    /// Connections answered 503 + `Retry-After` by backpressure (either
-    /// the `--max-conns` cap or a saturated worker queue).
+    /// Connections answered 503 + `Retry-After` at accept time because
+    /// the `--max-conns` cap was reached. A full worker queue is *not*
+    /// counted here (and never 503s): complete requests park FIFO in
+    /// the reactor and retry as completions free queue slots.
     pub fn conn_rejected(&self) -> &'static Counter {
         self.registry.counter("hub_connections_rejected_total")
+    }
+
+    /// Requests answered 503 + `Retry-After` because admitting their
+    /// declared body would overrun the reactor's aggregate in-flight
+    /// request-body budget (`--body-budget`).
+    pub fn body_rejected(&self) -> &'static Counter {
+        self.registry.counter("hub_body_rejected_total")
     }
 
     /// Handles for the hot-object cache series on this server's registry.

@@ -321,6 +321,123 @@ fn connection_peak_exceeds_pool_width() {
 }
 
 #[test]
+fn uncached_objects_stream_lazily_and_still_verify() {
+    // cache-bytes 0: nothing is ever admitted, so every payload must go
+    // out as a lazily-streamed file segment. The stream must still parse
+    // and verify end to end — per-object hashes and the trailing
+    // whole-transfer checksum — proving the streaming-verify pass feeds
+    // the same bytes the write path later reads from disk.
+    let repo_dir = temp_dir("lazy-repo");
+    let repo = big_repo(&repo_dir, "big-lazy");
+    let (server, client) = start_server(
+        "lazy",
+        Config {
+            jobs: Some(2),
+            cache_bytes: 0,
+            ..Config::default()
+        },
+    );
+    client.publish_repo(&repo, "big-lazy").unwrap();
+
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(&objects_request("big-lazy")).unwrap();
+    let mut r = std::io::BufReader::new(s);
+    let head = mh_hub::http::read_response_head(&mut r).unwrap();
+    assert_eq!(head.status, 200);
+    let mut objects = 0usize;
+    let mut payload_bytes = 0u64;
+    mh_hub::protocol::read_object_stream(&mut r, |_hash, payload| {
+        objects += 1;
+        payload_bytes += payload.len() as u64;
+        Ok(())
+    })
+    .expect("lazily-streamed object stream must parse and verify");
+    assert!(objects > 0, "stream must carry objects");
+    assert!(
+        payload_bytes > 8u64 << 20,
+        "the oversized blob must be included ({payload_bytes} bytes)"
+    );
+    assert_eq!(
+        server.stats().cache_metrics().bytes.get(),
+        0,
+        "a disabled cache must hold nothing"
+    );
+    server.stop();
+}
+
+#[test]
+fn request_body_budget_rejects_concurrent_large_bodies() {
+    let (server, client) = start_server(
+        "bodybudget",
+        Config {
+            jobs: Some(2),
+            body_budget_bytes: 64 << 10,
+            idle_timeout: Duration::from_secs(10),
+            state_deadline: Duration::from_secs(10),
+            ..Config::default()
+        },
+    );
+    let declare_64k =
+        b"POST /publish/x?phase=commit HTTP/1.1\r\nHost: t\r\nContent-Length: 65536\r\nConnection: close\r\n\r\n";
+
+    // The holder declares a budget-filling body (admitted: nothing else
+    // in flight) and then stalls, pinning the reservation in Reading.
+    let mut holder = TcpStream::connect(server.local_addr()).unwrap();
+    holder.write_all(declare_64k).unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+
+    // A second large declared body overruns the aggregate budget: 503 +
+    // Retry-After at head-parse, counted in hub_body_rejected_total —
+    // and NOT in the accept-time connection-cap counter.
+    let mut second = TcpStream::connect(server.local_addr()).unwrap();
+    second
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    second.write_all(declare_64k).unwrap();
+    let mut resp = Vec::new();
+    let _ = second.read_to_end(&mut resp);
+    let text = String::from_utf8_lossy(&resp);
+    assert!(
+        text.starts_with("HTTP/1.1 503 "),
+        "over-budget body must get 503: {text}"
+    );
+    assert!(text.contains("Retry-After: 1"), "{text}");
+    assert!(server.stats().body_rejected().get() >= 1);
+    assert_eq!(
+        server.stats().conn_rejected().get(),
+        0,
+        "body-budget rejections are not connection-cap rejections"
+    );
+
+    // Requests with no body are unaffected while the budget is pinned.
+    assert_eq!(client.repositories().unwrap(), Vec::<String>::new());
+
+    // Closing the holder releases its reservation; a retry is admitted
+    // past head-parse (it fails later as a malformed commit, not a 503).
+    drop(holder);
+    let mut admitted = false;
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(100));
+        let mut retry = TcpStream::connect(server.local_addr()).unwrap();
+        retry
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        retry.write_all(declare_64k).unwrap();
+        retry.write_all(&vec![0u8; 65536]).unwrap();
+        let mut resp = Vec::new();
+        let _ = retry.read_to_end(&mut resp);
+        let text = String::from_utf8_lossy(&resp);
+        if !text.starts_with("HTTP/1.1 503 ") {
+            admitted = true;
+            break;
+        }
+    }
+    assert!(admitted, "released budget must admit a retry");
+    server.stop();
+}
+
+#[test]
 fn second_pull_wave_hits_the_object_cache() {
     let repo_dir = temp_dir("cache-repo");
     let repo = big_repo(&repo_dir, "big-cache");

@@ -5,7 +5,7 @@
 //! modelhub check <query> [--repo <dir>]    # DQL semantic analysis (no execution)
 //! modelhub gen-sample <dir>                # create a small trained sample repo
 //! modelhub archive <dir> [--alpha F] [--jobs N]  # archive staged snapshots into PAS
-//! modelhub hubd <root> [--addr H:P] [--jobs N] [--max-conns N] [--cache-bytes N]  # serve a hosted hub over TCP
+//! modelhub hubd <root> [--addr H:P] [--jobs N] [--max-conns N] [--cache-bytes N] [--body-budget N]  # serve a hosted hub over TCP
 //! modelhub audit [root] [--report FILE] [--max-waivers N]  # panic/alloc static audit
 //! modelhub repro <experiment> [--quick] [--jobs N]  # run an mh-bench experiment
 //! modelhub prof <subcommand...>            # run a subcommand, print a span profile
@@ -43,6 +43,10 @@
 //! (default 1024; over-cap connects get 503 + Retry-After) over a worker
 //! pool of `--jobs` threads, and serves hot objects and manifests from an
 //! in-memory LRU capped at `--cache-bytes` (default 64 MiB; 0 disables).
+//! `--body-budget` (bytes, default 256 MiB) caps the aggregate declared
+//! request-body bytes buffered across all connections; requests past it
+//! are answered 503 + Retry-After (one body is always admitted when
+//! nothing else is in flight).
 //!
 //! `--jobs N` bounds the worker pool for the invocation (overrides the
 //! `MH_THREADS` environment variable; default: all available cores).
@@ -60,7 +64,7 @@ fn usage() -> ExitCode {
          modelhub check \"<DQL>\" [--repo <dir>]\n       \
          modelhub gen-sample <dir>\n       \
          modelhub archive <dir> [--alpha F] [--jobs N]\n       \
-         modelhub hubd <root> [--addr HOST:PORT] [--jobs N] [--max-conns N] [--cache-bytes N]\n       \
+         modelhub hubd <root> [--addr HOST:PORT] [--jobs N] [--max-conns N] [--cache-bytes N] [--body-budget N]\n       \
          modelhub audit [root] [--report FILE] [--max-waivers N]\n       \
          modelhub repro <experiment|all> [--quick] [--jobs N]\n       \
          modelhub prof <subcommand...>\n       \
@@ -368,6 +372,9 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             if let Some(cache_bytes) = flag_value::<usize>(args, "--cache-bytes")? {
                 config.cache_bytes = cache_bytes;
+            }
+            if let Some(body_budget) = flag_value::<u64>(args, "--body-budget")? {
+                config.body_budget_bytes = body_budget;
             }
             let server = modelhub::hub::HubServer::start_with(&root, &addr, config)?;
             println!(
