@@ -241,9 +241,31 @@ fn hardware_scale(hw: f64) -> f64 {
     }
 }
 
+/// Per-stage overhead floor: the parallel leg may cost at most this factor
+/// of the serial leg, on ANY machine. Hardware-aware speedup clamping can
+/// excuse a missing speedup on a starved runner, but it must never excuse
+/// parallel losing outright to serial — that is the pool taxing the
+/// workload, not the machine lacking cores.
+const OVERHEAD_FACTOR: f64 = 1.10;
+/// Absolute grace on the overhead floor, so sub-millisecond stages are not
+/// failed on scheduler noise.
+const OVERHEAD_GRACE_MS: f64 = 1.0;
+/// Half-ULP of the report's 3-decimal rounding: `serial_ms`,
+/// `parallel_ms`, and `speedup` are each written rounded to 0.001, so a
+/// reported value may sit up to this far from the true one.
+const ROUND_EPS: f64 = 0.0005;
+
 /// Compare a measured report against the baseline with a relative
 /// `tolerance` (0.30 = 30%). Structural problems (wrong schema, missing
 /// stages) are violations too, so a truncated report cannot pass.
+///
+/// Beyond the hardware-clamped speedup expectation, every stage must
+/// satisfy two machine-independent checks:
+/// * the overhead floor: `parallel_ms <= 1.10 * serial_ms + 1 ms`, and
+/// * speedup consistency: the reported `speedup` must equal
+///   `serial_ms / parallel_ms` within the 3-decimal rounding interval —
+///   a report whose headline number disagrees with its own timings fails,
+///   it is not merely suspicious.
 pub fn check_report(current: &Json, baseline: &Json, tolerance: f64) -> GateOutcome {
     let mut violations = Vec::new();
     let mut stages_checked = 0;
@@ -262,8 +284,12 @@ pub fn check_report(current: &Json, baseline: &Json, tolerance: f64) -> GateOutc
         .get("hardware_threads")
         .and_then(Json::as_f64)
         .unwrap_or(1.0);
+    // Prefer the width the parallel legs actually ran at; older reports
+    // only record the requested width, which hw.min() clamps to the same
+    // effective value.
     let par = current
-        .get("parallel_threads")
+        .get("parallel_threads_effective")
+        .or_else(|| current.get("parallel_threads"))
         .and_then(Json::as_f64)
         .unwrap_or(1.0);
     // Never expect more than the benchmark's own thread count either.
@@ -295,6 +321,42 @@ pub fn check_report(current: &Json, baseline: &Json, tolerance: f64) -> GateOutc
                  (expected {expected_speedup:.2}, hw scale {scale:.2}, tolerance {tolerance:.0}%)",
                 tolerance = tolerance * 100.0
             ));
+        }
+        match (
+            stage.get("serial_ms").and_then(Json::as_f64),
+            stage.get("parallel_ms").and_then(Json::as_f64),
+        ) {
+            (Some(s), Some(p)) => {
+                let floor = OVERHEAD_FACTOR * s + OVERHEAD_GRACE_MS;
+                if p > floor {
+                    violations.push(format!(
+                        "stage {name}: parallel {p:.3} ms exceeds the overhead floor \
+                         {floor:.3} ms ({OVERHEAD_FACTOR:.2} x serial {s:.3} ms + \
+                         {OVERHEAD_GRACE_MS:.0} ms grace) — parallel must never lose \
+                         to serial, regardless of core count"
+                    ));
+                }
+                // Interval of true ratios compatible with the rounded
+                // serial/parallel values, widened by the speedup's own
+                // rounding half-ULP.
+                let lo = (s - ROUND_EPS) / (p + ROUND_EPS);
+                let hi = if p - ROUND_EPS <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    (s + ROUND_EPS) / (p - ROUND_EPS)
+                };
+                if speedup < lo - ROUND_EPS || speedup > hi + ROUND_EPS {
+                    violations.push(format!(
+                        "stage {name}: reported speedup {speedup:.3} is inconsistent \
+                         with serial {s:.3} ms / parallel {p:.3} ms \
+                         (rounding admits [{lo:.4}, {hi:.4}])"
+                    ));
+                }
+            }
+            _ => violations.push(format!(
+                "stage {name}: serial_ms/parallel_ms missing — the overhead floor \
+                 cannot be checked"
+            )),
         }
     }
     if stages_checked == 0 {
@@ -421,6 +483,8 @@ mod tests {
 
     const BASELINE: &str = include_str!("../../../tools/bench_baseline.json");
     const REGRESSED: &str = include_str!("../../../tools/bench_regressed_fixture.json");
+    const REGRESSED_PARALLEL: &str =
+        include_str!("../../../tools/bench_regressed_parallel_fixture.json");
     const HUB_BASELINE: &str = include_str!("../../../tools/bench_baseline_hub.json");
     const HUB_REGRESSED: &str = include_str!("../../../tools/bench_regressed_hub_fixture.json");
 
@@ -495,22 +559,107 @@ mod tests {
     }
 
     #[test]
-    fn gate_on_one_hardware_thread_enforces_only_overhead_bound() {
-        // hw=1: speedup ~1.0 everywhere must pass, heavy slowdown must not.
+    fn gate_on_one_hardware_thread_enforces_the_overhead_floor() {
+        // hw=1: near-1.0 speedups (mild pool overhead, inside the 10%
+        // floor) must pass; parallel losing >10% to serial must not, even
+        // though the hardware-clamped speedup threshold alone would have
+        // allowed it — that loophole is how the original regression
+        // shipped.
         let mut report = good_report(1);
         report = report
-            .replace("\"speedup\": 2.222", "\"speedup\": 0.95")
-            .replace("\"speedup\": 1.667", "\"speedup\": 0.90");
+            .replace(
+                "\"serial_ms\": 100.0, \"parallel_ms\": 45.0, \"speedup\": 2.222",
+                "\"serial_ms\": 100.0, \"parallel_ms\": 105.0, \"speedup\": 0.952",
+            )
+            .replace(
+                "\"serial_ms\": 100.0, \"parallel_ms\": 60.0, \"speedup\": 1.667",
+                "\"serial_ms\": 100.0, \"parallel_ms\": 108.0, \"speedup\": 0.926",
+            );
         let current = parse(&report).expect("report");
         let baseline = parse(BASELINE).expect("baseline");
-        assert!(check_report(&current, &baseline, 0.30).passed());
+        let outcome = check_report(&current, &baseline, 0.30);
+        assert!(outcome.passed(), "violations: {:?}", outcome.violations);
 
-        let regressed = report.replace("\"speedup\": 0.95", "\"speedup\": 0.40");
+        // 0.79x: parallel 126.582 ms against serial 100 ms breaches the
+        // 1.10x + 1 ms floor on any machine.
+        let regressed = report.replace(
+            "\"serial_ms\": 100.0, \"parallel_ms\": 105.0, \"speedup\": 0.952",
+            "\"serial_ms\": 100.0, \"parallel_ms\": 126.582, \"speedup\": 0.790",
+        );
         let current = parse(&regressed).expect("report");
         let outcome = check_report(&current, &baseline, 0.30);
         assert!(
             !outcome.passed(),
-            "0.4x on 1 thread is pool overhead gone bad"
+            "parallel-slower-than-serial must fail even at hw=1"
+        );
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.contains("overhead floor")),
+            "violations: {:?}",
+            outcome.violations
+        );
+    }
+
+    #[test]
+    fn gate_fails_inconsistent_speedup_beyond_rounding() {
+        // A headline speedup that cannot be serial_ms/parallel_ms under
+        // any 3-decimal rounding is a violation, not a warning.
+        let report = good_report(4).replace(
+            "\"serial_ms\": 100.0, \"parallel_ms\": 45.0, \"speedup\": 2.222",
+            "\"serial_ms\": 100.0, \"parallel_ms\": 45.0, \"speedup\": 2.300",
+        );
+        let current = parse(&report).expect("report");
+        let baseline = parse(BASELINE).expect("baseline");
+        let outcome = check_report(&current, &baseline, 0.30);
+        assert!(!outcome.passed());
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.contains("inconsistent")),
+            "violations: {:?}",
+            outcome.violations
+        );
+
+        // Rounding itself is never punished: 1.667 vs 100/60 passes (the
+        // healthy report), and a stage without timings fails structurally.
+        let stripped = good_report(4).replace(
+            "\"serial_ms\": 100.0, \"parallel_ms\": 45.0, \"speedup\": 2.222",
+            "\"speedup\": 2.222",
+        );
+        let current = parse(&stripped).expect("report");
+        let outcome = check_report(&current, &baseline, 0.30);
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .any(|v| v.contains("serial_ms/parallel_ms missing")),
+            "violations: {:?}",
+            outcome.violations
+        );
+    }
+
+    #[test]
+    fn gate_fails_regressed_parallel_fixture_that_old_clamp_passed() {
+        // The dedicated CI negative fixture: hw=1, every speedup above the
+        // old hardware-clamped threshold (0.7), yet parallel strictly
+        // slower than serial. The overhead floor must reject it.
+        let current = parse(REGRESSED_PARALLEL).expect("fixture");
+        let baseline = parse(BASELINE).expect("baseline");
+        let outcome = check_report(&current, &baseline, 0.30);
+        assert!(
+            !outcome.passed(),
+            "regressed-parallel fixture must fail the gate"
+        );
+        assert!(
+            outcome
+                .violations
+                .iter()
+                .all(|v| v.contains("overhead floor")),
+            "it must fail on the floor alone (the old rule passed it): {:?}",
+            outcome.violations
         );
     }
 

@@ -19,6 +19,8 @@
 
 use mh_tensor::{split_byte_planes, Matrix};
 
+pub mod simd;
+
 /// The delta operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeltaOp {
@@ -60,8 +62,28 @@ fn base_bits(base: &Matrix, r: usize, c: usize) -> u32 {
 
 impl Delta {
     /// Compute the delta that recreates `target` from `base`.
+    ///
+    /// Same-shape pairs (the overwhelmingly common archival case — every
+    /// snapshot of one layer has one shape) take a SIMD fast path over
+    /// the flat word arrays; the positional fallback handles crop/extend.
+    /// Both produce identical words: the flat loop visits elements in
+    /// the same row-major order with the same wrapping integer ops.
     pub fn compute(base: &Matrix, target: &Matrix, op: DeltaOp) -> Self {
         let (rows, cols) = target.shape();
+        if base.shape() == target.shape() {
+            let mut words: Vec<u32> = target.as_slice().iter().map(|x| x.to_bits()).collect();
+            let base_bits = simd::bits_of(base.as_slice());
+            match op {
+                DeltaOp::Sub => simd::sub_assign(&mut words, base_bits),
+                DeltaOp::Xor => simd::xor_assign(&mut words, base_bits),
+            }
+            return Self {
+                op,
+                rows,
+                cols,
+                words,
+            };
+        }
         let mut words = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -84,6 +106,15 @@ impl Delta {
     /// Recreate the target from the base this delta was computed against.
     /// (Any base works shape-wise; correctness requires the original base.)
     pub fn apply(&self, base: &Matrix) -> Matrix {
+        if base.shape() == (self.rows, self.cols) {
+            let mut bits: Vec<u32> = simd::bits_of(base.as_slice()).to_vec();
+            match self.op {
+                DeltaOp::Sub => simd::add_assign(&mut bits, &self.words),
+                DeltaOp::Xor => simd::xor_assign(&mut bits, &self.words),
+            }
+            let data: Vec<f32> = bits.into_iter().map(f32::from_bits).collect();
+            return Matrix::from_vec(self.rows, self.cols, data);
+        }
         let mut data = Vec::with_capacity(self.rows * self.cols);
         for r in 0..self.rows {
             for c in 0..self.cols {
@@ -276,6 +307,31 @@ mod tests {
             "top delta plane not sparse: {trivial}/{}",
             top.len()
         );
+    }
+
+    #[test]
+    fn same_shape_fast_path_matches_positional_path() {
+        // Force the positional path by cropping a (rows+1) base down to
+        // the target shape element-for-element, then compare against the
+        // same-shape SIMD path on the identical element values.
+        for (rows, cols) in [(1, 1), (3, 5), (7, 9), (16, 16), (5, 33)] {
+            let target = Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f32).sin());
+            let base_same = Matrix::from_fn(rows, cols, |r, c| ((r + c) as f32).cos() * 0.7);
+            let base_bigger = Matrix::from_fn(rows + 1, cols, |r, c| {
+                if r < rows {
+                    base_same.get(r, c)
+                } else {
+                    9.9
+                }
+            });
+            for op in [DeltaOp::Sub, DeltaOp::Xor] {
+                let fast = Delta::compute(&base_same, &target, op);
+                let positional = Delta::compute(&base_bigger, &target, op);
+                assert_eq!(fast.words, positional.words, "{rows}x{cols} {op:?}");
+                assert!(bit_equal(&fast.apply(&base_same), &target));
+                assert!(bit_equal(&positional.apply(&base_bigger), &target));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Runtime-dispatched SIMD kernels for the delta/XOR word loops.
+//!
+//! Every kernel here is **bit-exact** against its scalar fallback — the
+//! operations are wrapping 32-bit integer arithmetic and XOR on IEEE-754
+//! bit patterns, so there is no floating-point reassociation to worry
+//! about. The widest available instruction set is picked once per
+//! process on x86_64 (AVX2, else the SSE2 baseline that the target
+//! guarantees); every other architecture runs the scalar path. The
+//! proptest suite at the bottom pins scalar/SSE2/AVX2 equivalence on
+//! adversarial lengths and misaligned slices.
+//!
+//! Safety story, uniform across kernels: all pointer arithmetic is
+//! bounded by `n = dst.len().min(src.len())` computed in safe code, the
+//! vector loop advances in whole lanes with `i + LANES <= n`, and the
+//! tail is handled by the scalar loop. Loads/stores are unaligned
+//! (`loadu`/`storeu`), so slice alignment is irrelevant.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const LEVEL_UNKNOWN: u8 = 0;
+// On x86_64 this level is unreachable (SSE2 is baseline), so the const is
+// referenced only on other targets.
+#[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+const LEVEL_SCALAR: u8 = 1;
+#[cfg(target_arch = "x86_64")]
+const LEVEL_SSE2: u8 = 2;
+#[cfg(target_arch = "x86_64")]
+const LEVEL_AVX2: u8 = 3;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNKNOWN);
+
+fn detect() -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            LEVEL_AVX2
+        } else {
+            // SSE2 is part of the x86_64 baseline: always available.
+            LEVEL_SSE2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        LEVEL_SCALAR
+    }
+}
+
+fn level() -> u8 {
+    let l = LEVEL.load(Ordering::Relaxed);
+    if l != LEVEL_UNKNOWN {
+        return l;
+    }
+    let detected = detect();
+    LEVEL.store(detected, Ordering::Relaxed);
+    detected
+}
+
+/// The dispatch level in effect: `"avx2"`, `"sse2"`, or `"scalar"`.
+/// Surfaced in bench reports so perf numbers carry their ISA context.
+pub fn level_name() -> &'static str {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        LEVEL_AVX2 => "avx2",
+        #[cfg(target_arch = "x86_64")]
+        LEVEL_SSE2 => "sse2",
+        _ => "scalar",
+    }
+}
+
+/// Reinterpret a float slice as its IEEE-754 bit patterns without
+/// copying. `f32` and `u32` have identical size and alignment, and every
+/// bit pattern is a valid `u32`, so the view is total.
+// mh-audit: trusted(total: same-size same-align reinterpret, no arithmetic)
+pub fn bits_of(s: &[f32]) -> &[u32] {
+    // SAFETY: size_of::<f32>() == size_of::<u32>(), align_of matches,
+    // and u32 has no invalid bit patterns; lifetime is inherited from s.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u32>(), s.len()) }
+}
+
+macro_rules! op_kernel {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $scalar:ident, $sse2:ident, $avx2:ident,
+        $scalar_op:expr, $sse2_insn:ident, $avx2_insn:ident
+    ) => {
+        $(#[$doc])*
+        // mh-audit: trusted(total: prefix-length-bounded loops, equivalence proptests in delta::simd::tests)
+        pub fn $name(dst: &mut [u32], src: &[u32]) {
+            match level() {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: level() returned AVX2 only after runtime
+                // feature detection succeeded on this CPU.
+                LEVEL_AVX2 => unsafe { $avx2(dst, src) },
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: SSE2 is unconditionally present on x86_64.
+                LEVEL_SSE2 => unsafe { $sse2(dst, src) },
+                _ => $scalar(dst, src),
+            }
+        }
+
+        fn $scalar(dst: &mut [u32], src: &[u32]) {
+            let op = $scalar_op;
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = op(*d, *s);
+            }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "sse2")]
+        unsafe fn $sse2(dst: &mut [u32], src: &[u32]) {
+            use std::arch::x86_64::*;
+            let n = dst.len().min(src.len());
+            let mut i = 0usize;
+            while i + 4 <= n {
+                // SAFETY: i + 4 <= n <= len of both slices; unaligned ok.
+                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), $sse2_insn(d, s));
+                i += 4;
+            }
+            $scalar(&mut dst[i..], &src[i..]);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx2(dst: &mut [u32], src: &[u32]) {
+            use std::arch::x86_64::*;
+            let n = dst.len().min(src.len());
+            let mut i = 0usize;
+            while i + 8 <= n {
+                // SAFETY: i + 8 <= n <= len of both slices; unaligned ok.
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), $avx2_insn(d, s));
+                i += 8;
+            }
+            $scalar(&mut dst[i..], &src[i..]);
+        }
+    };
+}
+
+op_kernel!(
+    /// `dst[i] ^= src[i]` over the common prefix of the two slices —
+    /// the XOR delta loop (self-inverse: compute and apply are the
+    /// same operation).
+    xor_assign,
+    xor_assign_scalar,
+    xor_assign_sse2,
+    xor_assign_avx2,
+    |d: u32, s: u32| d ^ s,
+    _mm_xor_si128,
+    _mm256_xor_si256
+);
+
+op_kernel!(
+    /// `dst[i] = dst[i].wrapping_sub(src[i])` over the common prefix —
+    /// the Sub-delta *compute* loop (target bits minus base bits).
+    sub_assign,
+    sub_assign_scalar,
+    sub_assign_sse2,
+    sub_assign_avx2,
+    |d: u32, s: u32| d.wrapping_sub(s),
+    _mm_sub_epi32,
+    _mm256_sub_epi32
+);
+
+op_kernel!(
+    /// `dst[i] = dst[i].wrapping_add(src[i])` over the common prefix —
+    /// the Sub-delta *apply* loop (base bits plus delta words).
+    add_assign,
+    add_assign_scalar,
+    add_assign_sse2,
+    add_assign_avx2,
+    |d: u32, s: u32| d.wrapping_add(s),
+    _mm_add_epi32,
+    _mm256_add_epi32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    #[test]
+    fn level_is_stable_and_named() {
+        let l = level_name();
+        assert!(["avx2", "sse2", "scalar"].contains(&l), "{l}");
+        assert_eq!(level_name(), l, "detection is cached");
+    }
+
+    #[test]
+    fn bits_of_roundtrips_patterns() {
+        let floats = [0.0f32, -0.0, 1.5, f32::NAN, f32::INFINITY, -2.25];
+        let bits = bits_of(&floats);
+        for (f, b) in floats.iter().zip(bits) {
+            assert_eq!(f.to_bits(), *b);
+        }
+        assert!(bits_of(&[]).is_empty());
+    }
+
+    /// Run one op through every implementation compiled for this target
+    /// and demand bit-identical results, including on misaligned
+    /// sub-slices (offset 1 breaks 16/32-byte alignment for u32).
+    fn assert_all_impls_agree(
+        dst: &[u32],
+        src: &[u32],
+        scalar: fn(&mut [u32], &[u32]),
+        dispatched: fn(&mut [u32], &[u32]),
+        #[cfg(target_arch = "x86_64")] sse2: unsafe fn(&mut [u32], &[u32]),
+        #[cfg(target_arch = "x86_64")] avx2: unsafe fn(&mut [u32], &[u32]),
+    ) {
+        for offset in [0usize, 1, 3] {
+            if offset > dst.len() || offset > src.len() {
+                continue;
+            }
+            let (d0, s0) = (&dst[offset..], &src[offset..]);
+            let mut want = d0.to_vec();
+            scalar(&mut want, s0);
+
+            let mut got = d0.to_vec();
+            dispatched(&mut got, s0);
+            assert_eq!(got, want, "dispatched != scalar at offset {offset}");
+
+            #[cfg(target_arch = "x86_64")]
+            {
+                let mut got = d0.to_vec();
+                // SAFETY: SSE2 is baseline on x86_64.
+                unsafe { sse2(&mut got, s0) };
+                assert_eq!(got, want, "sse2 != scalar at offset {offset}");
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    let mut got = d0.to_vec();
+                    // SAFETY: AVX2 presence just checked.
+                    unsafe { avx2(&mut got, s0) };
+                    assert_eq!(got, want, "avx2 != scalar at offset {offset}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn xor_matches_scalar_on_adversarial_inputs(
+            dst in vec(any::<u32>(), 0..200),
+            src in vec(any::<u32>(), 0..200),
+        ) {
+            assert_all_impls_agree(
+                &dst, &src,
+                xor_assign_scalar, xor_assign,
+                #[cfg(target_arch = "x86_64")] xor_assign_sse2,
+                #[cfg(target_arch = "x86_64")] xor_assign_avx2,
+            );
+        }
+
+        #[test]
+        fn sub_matches_scalar_on_adversarial_inputs(
+            dst in vec(any::<u32>(), 0..200),
+            src in vec(any::<u32>(), 0..200),
+        ) {
+            assert_all_impls_agree(
+                &dst, &src,
+                sub_assign_scalar, sub_assign,
+                #[cfg(target_arch = "x86_64")] sub_assign_sse2,
+                #[cfg(target_arch = "x86_64")] sub_assign_avx2,
+            );
+        }
+
+        #[test]
+        fn add_matches_scalar_on_adversarial_inputs(
+            dst in vec(any::<u32>(), 0..200),
+            src in vec(any::<u32>(), 0..200),
+        ) {
+            assert_all_impls_agree(
+                &dst, &src,
+                add_assign_scalar, add_assign,
+                #[cfg(target_arch = "x86_64")] add_assign_sse2,
+                #[cfg(target_arch = "x86_64")] add_assign_avx2,
+            );
+        }
+
+        #[test]
+        fn sub_then_add_is_identity(
+            base in vec(any::<u32>(), 0..200),
+        ) {
+            let target: Vec<u32> = base.iter().map(|b| b.rotate_left(7) ^ 0xA5A5_5A5A).collect();
+            let mut delta = target.clone();
+            sub_assign(&mut delta, &base);
+            let mut back = base.clone();
+            add_assign(&mut back, &delta);
+            prop_assert_eq!(back, target);
+        }
+    }
+
+    #[test]
+    fn exact_lane_boundaries() {
+        // Lengths straddling the 4-lane SSE2 and 8-lane AVX2 widths,
+        // plus the empty and single-element cases.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+            let dst: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B1)).collect();
+            let src: Vec<u32> = (0..n as u32).map(|i| !i).collect();
+            assert_all_impls_agree(
+                &dst,
+                &src,
+                xor_assign_scalar,
+                xor_assign,
+                #[cfg(target_arch = "x86_64")]
+                xor_assign_sse2,
+                #[cfg(target_arch = "x86_64")]
+                xor_assign_avx2,
+            );
+        }
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::layer::{Activation, LayerKind, PoolKind};
 use crate::network::{Network, NetworkError, NodeId};
+use crate::simd;
 use crate::weights::Weights;
 use mh_tensor::Tensor3;
 use std::collections::BTreeMap;
@@ -119,11 +120,10 @@ pub fn apply_layer(
             let flat = x.as_slice();
             for o in 0..out {
                 let row = w.row(o);
-                let mut acc = row[x.len()]; // bias
-                for (wi, xi) in row[..x.len()].iter().zip(flat) {
-                    acc += wi * xi;
-                }
-                y.as_mut_slice()[o] = acc;
+                // Shared lane-structured kernel: interval evaluation uses
+                // the same accumulation order, so zero-width intervals
+                // reproduce this sum bit-for-bit.
+                y.as_mut_slice()[o] = simd::dot_bias(&row[..x.len()], flat, row[x.len()]);
             }
             Ok(y)
         }

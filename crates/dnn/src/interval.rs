@@ -11,6 +11,7 @@
 use crate::forward::activate;
 use crate::layer::{LayerKind, PoolKind};
 use crate::network::{Network, NetworkError};
+use crate::simd;
 use crate::weights::Weights;
 use mh_tensor::{Matrix, Tensor3};
 use std::collections::BTreeMap;
@@ -157,13 +158,18 @@ fn apply_interval_layer(
             for o in 0..out {
                 let rl = wl.row(o);
                 let rh = wh.row(o);
-                let mut acc_l = rl[n_in];
-                let mut acc_h = rh[n_in];
-                for i in 0..n_in {
-                    let (pl, ph) = imul(rl[i], rh[i], x.lo.as_slice()[i], x.hi.as_slice()[i]);
-                    acc_l += pl;
-                    acc_h += ph;
-                }
+                // Same lane-structured kernel as the exact forward path:
+                // a zero-width interval reproduces forward's dot product
+                // bit-for-bit, so containment of the exact output holds
+                // with equality rather than by a tolerance.
+                let (acc_l, acc_h) = simd::interval_dot_bias(
+                    &rl[..n_in],
+                    &rh[..n_in],
+                    x.lo.as_slice(),
+                    x.hi.as_slice(),
+                    rl[n_in],
+                    rh[n_in],
+                );
                 lo.as_mut_slice()[o] = acc_l;
                 hi.as_mut_slice()[o] = acc_h;
             }

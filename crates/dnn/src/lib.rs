@@ -22,6 +22,7 @@ pub mod interval;
 pub mod layer;
 pub mod metrics;
 pub mod network;
+pub mod simd;
 pub mod train;
 pub mod weights;
 pub mod zoo;

@@ -1,0 +1,376 @@
+//! Runtime-dispatched kernels for the dense dot-product loops — the
+//! inner loops of exact forward evaluation and interval (perturbation-
+//! aware) evaluation.
+//!
+//! Floating-point addition is not associative, so unlike the integer
+//! delta kernels these cannot silently change the summation order
+//! per-path: the kernel *contract* is a fixed 8-lane strided
+//! accumulation (lane `j` sums elements `j, j+8, j+16, …` of the
+//! product stream, lanes reduced pairwise `(0+4, 1+5, 2+6, 3+7)` then
+//! `(a0+a2, a1+a3)` then `b0+b1`, bias added before the scalar tail).
+//! The scalar fallback implements that contract directly; the AVX2 path
+//! implements it with one vector accumulator and the matching shuffle
+//! reduction. Both therefore produce **bit-identical** results — pinned
+//! by the equivalence proptests below — and the exact-forward and
+//! interval paths share the same contract, so a zero-width interval
+//! evaluation reproduces the point forward bit-for-bit.
+//!
+//! Min/max use hardware select semantics (`if a < b { a } else { b }`,
+//! exactly `_mm256_min_ps`), mirrored in the scalar fallback, so
+//! signed-zero and single-NaN selection agree between paths too. (The
+//! one excluded case: a multiply where *both* operands are NaN has an
+//! order-dependent result payload, and LLVM may commute scalar `fmul`;
+//! network weights and activations are never NaN, so the contract
+//! covers all non-NaN inputs.)
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const LEVEL_UNKNOWN: u8 = 0;
+const LEVEL_SCALAR: u8 = 1;
+#[cfg(target_arch = "x86_64")]
+const LEVEL_AVX2: u8 = 2;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNKNOWN);
+
+fn level() -> u8 {
+    let l = LEVEL.load(Ordering::Relaxed);
+    if l != LEVEL_UNKNOWN {
+        return l;
+    }
+    #[cfg(target_arch = "x86_64")]
+    let detected = if std::arch::is_x86_feature_detected!("avx2") {
+        LEVEL_AVX2
+    } else {
+        LEVEL_SCALAR
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let detected = LEVEL_SCALAR;
+    LEVEL.store(detected, Ordering::Relaxed);
+    detected
+}
+
+/// Hardware-select minimum: `if a < b { a } else { b }` — the exact
+/// semantics of `_mm256_min_ps` (second operand on NaN or equality).
+#[inline]
+fn min_ps(a: f32, b: f32) -> f32 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Hardware-select maximum: `if a > b { a } else { b }` — the exact
+/// semantics of `_mm256_max_ps`.
+#[inline]
+fn max_ps(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// The fixed pairwise lane reduction shared by every path.
+#[inline]
+fn reduce8(v: [f32; 8]) -> f32 {
+    let a = [v[0] + v[4], v[1] + v[5], v[2] + v[6], v[3] + v[7]];
+    let b = [a[0] + a[2], a[1] + a[3]];
+    b[0] + b[1]
+}
+
+/// `bias + Σ row[i]·x[i]` over the common prefix of `row` and `x`, in
+/// the 8-lane strided order described in the module docs.
+// mh-audit: trusted(total: prefix-length-bounded loops, equivalence proptests in dnn::simd::tests)
+pub fn dot_bias(row: &[f32], x: &[f32], bias: f32) -> f32 {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 presence established by runtime detection.
+        LEVEL_AVX2 => unsafe { dot_bias_avx2(row, x, bias) },
+        _ => dot_bias_scalar(row, x, bias),
+    }
+}
+
+fn dot_bias_scalar(row: &[f32], x: &[f32], bias: f32) -> f32 {
+    let n = row.len().min(x.len());
+    let mut lanes = [0f32; 8];
+    let mut i = 0usize;
+    while i + 8 <= n {
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane += row[i + j] * x[i + j];
+        }
+        i += 8;
+    }
+    let mut acc = bias + reduce8(lanes);
+    while i < n {
+        acc += row[i] * x[i];
+        i += 1;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// mh-audit: trusted(total: loads bounded by i+8 <= n = min of slice lengths)
+unsafe fn dot_bias_avx2(row: &[f32], x: &[f32], bias: f32) -> f32 {
+    use std::arch::x86_64::*;
+    let n = row.len().min(x.len());
+    let mut acc_v = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n <= len of both slices; unaligned loads.
+        let r = _mm256_loadu_ps(row.as_ptr().add(i));
+        let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+        // No FMA: separate mul/add keeps every path IEEE-identical.
+        acc_v = _mm256_add_ps(acc_v, _mm256_mul_ps(r, xv));
+        i += 8;
+    }
+    let mut acc = bias + hreduce(acc_v);
+    while i < n {
+        acc += row[i] * x[i];
+        i += 1;
+    }
+    acc
+}
+
+/// Horizontal reduction matching [`reduce8`]'s pairing exactly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hreduce(v: std::arch::x86_64::__m256) -> f32 {
+    use std::arch::x86_64::*;
+    let a = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+    let b = _mm_add_ps(a, _mm_movehl_ps(a, a));
+    _mm_cvtss_f32(_mm_add_ss(b, _mm_shuffle_ps(b, b, 0b01)))
+}
+
+/// Interval dot product with bias: accumulates the four-corner product
+/// bounds `[min(a,b,c,d), max(a,b,c,d)]` of `[rl,rh]·[xl,xh]` per
+/// element, in the same 8-lane strided order as [`dot_bias`]. With
+/// zero-width inputs (`rl == rh`, `xl == xh`) both bounds reproduce
+/// [`dot_bias`] bit-for-bit.
+// mh-audit: trusted(total: prefix-length-bounded loops, equivalence proptests in dnn::simd::tests)
+pub fn interval_dot_bias(
+    rl: &[f32],
+    rh: &[f32],
+    xl: &[f32],
+    xh: &[f32],
+    bias_l: f32,
+    bias_h: f32,
+) -> (f32, f32) {
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 presence established by runtime detection.
+        LEVEL_AVX2 => unsafe { interval_dot_bias_avx2(rl, rh, xl, xh, bias_l, bias_h) },
+        _ => interval_dot_bias_scalar(rl, rh, xl, xh, bias_l, bias_h),
+    }
+}
+
+/// Four-corner product bounds for one element, with hardware select
+/// semantics and the fixed `(min(a,b), min(c,d))` pairing.
+#[inline]
+fn corners(wl: f32, wh: f32, xl: f32, xh: f32) -> (f32, f32) {
+    let a = wl * xl;
+    let b = wl * xh;
+    let c = wh * xl;
+    let d = wh * xh;
+    (
+        min_ps(min_ps(a, b), min_ps(c, d)),
+        max_ps(max_ps(a, b), max_ps(c, d)),
+    )
+}
+
+fn interval_dot_bias_scalar(
+    rl: &[f32],
+    rh: &[f32],
+    xl: &[f32],
+    xh: &[f32],
+    bias_l: f32,
+    bias_h: f32,
+) -> (f32, f32) {
+    let n = rl.len().min(rh.len()).min(xl.len()).min(xh.len());
+    let mut lanes_l = [0f32; 8];
+    let mut lanes_h = [0f32; 8];
+    let mut i = 0usize;
+    while i + 8 <= n {
+        for j in 0..8 {
+            let (pl, ph) = corners(rl[i + j], rh[i + j], xl[i + j], xh[i + j]);
+            lanes_l[j] += pl;
+            lanes_h[j] += ph;
+        }
+        i += 8;
+    }
+    let mut acc_l = bias_l + reduce8(lanes_l);
+    let mut acc_h = bias_h + reduce8(lanes_h);
+    while i < n {
+        let (pl, ph) = corners(rl[i], rh[i], xl[i], xh[i]);
+        acc_l += pl;
+        acc_h += ph;
+        i += 1;
+    }
+    (acc_l, acc_h)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// mh-audit: trusted(total: loads bounded by i+8 <= n = min of slice lengths)
+unsafe fn interval_dot_bias_avx2(
+    rl: &[f32],
+    rh: &[f32],
+    xl: &[f32],
+    xh: &[f32],
+    bias_l: f32,
+    bias_h: f32,
+) -> (f32, f32) {
+    use std::arch::x86_64::*;
+    let n = rl.len().min(rh.len()).min(xl.len()).min(xh.len());
+    let mut acc_l_v = _mm256_setzero_ps();
+    let mut acc_h_v = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n <= len of all four slices; unaligned loads.
+        let wl = _mm256_loadu_ps(rl.as_ptr().add(i));
+        let wh = _mm256_loadu_ps(rh.as_ptr().add(i));
+        let xlv = _mm256_loadu_ps(xl.as_ptr().add(i));
+        let xhv = _mm256_loadu_ps(xh.as_ptr().add(i));
+        let a = _mm256_mul_ps(wl, xlv);
+        let b = _mm256_mul_ps(wl, xhv);
+        let c = _mm256_mul_ps(wh, xlv);
+        let d = _mm256_mul_ps(wh, xhv);
+        let pl = _mm256_min_ps(_mm256_min_ps(a, b), _mm256_min_ps(c, d));
+        let ph = _mm256_max_ps(_mm256_max_ps(a, b), _mm256_max_ps(c, d));
+        acc_l_v = _mm256_add_ps(acc_l_v, pl);
+        acc_h_v = _mm256_add_ps(acc_h_v, ph);
+        i += 8;
+    }
+    let mut acc_l = bias_l + hreduce(acc_l_v);
+    let mut acc_h = bias_h + hreduce(acc_h_v);
+    while i < n {
+        let (pl, ph) = corners(rl[i], rh[i], xl[i], xh[i]);
+        acc_l += pl;
+        acc_h += ph;
+        i += 1;
+    }
+    (acc_l, acc_h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Map raw bits to floats with the exponent's top bit cleared:
+    /// |f| < 2, covering denormals, signed zeros, and every mantissa
+    /// pattern. NaN inputs are excluded deliberately — when BOTH
+    /// operands of a multiply are NaN the result payload depends on
+    /// operand order, which LLVM may commute for scalar `fmul` while
+    /// the intrinsic order is fixed, so both-NaN payloads are outside
+    /// the bit-identity contract (single NaNs, produced by the select
+    /// ops, still propagate identically — see
+    /// `select_semantics_match_hardware`).
+    fn to_floats(bits: &[u32]) -> Vec<f32> {
+        bits.iter()
+            .map(|&b| f32::from_bits(b & 0xBFFF_FFFF))
+            .collect()
+    }
+
+    fn assert_dot_agrees(row: &[f32], x: &[f32], bias: f32) {
+        let want = dot_bias_scalar(row, x, bias);
+        let got = dot_bias(row, x, bias);
+        assert_eq!(got.to_bits(), want.to_bits(), "dispatched != scalar");
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence just checked.
+            let got = unsafe { dot_bias_avx2(row, x, bias) };
+            assert_eq!(got.to_bits(), want.to_bits(), "avx2 != scalar");
+        }
+    }
+
+    fn assert_interval_dot_agrees(rl: &[f32], rh: &[f32], xl: &[f32], xh: &[f32]) {
+        let want = interval_dot_bias_scalar(rl, rh, xl, xh, 0.25, 0.5);
+        let got = interval_dot_bias(rl, rh, xl, xh, 0.25, 0.5);
+        assert_eq!(
+            (got.0.to_bits(), got.1.to_bits()),
+            (want.0.to_bits(), want.1.to_bits()),
+            "dispatched != scalar"
+        );
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence just checked.
+            let got = unsafe { interval_dot_bias_avx2(rl, rh, xl, xh, 0.25, 0.5) };
+            assert_eq!(
+                (got.0.to_bits(), got.1.to_bits()),
+                (want.0.to_bits(), want.1.to_bits()),
+                "avx2 != scalar"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dot_matches_scalar_on_adversarial_bit_patterns(
+            row_bits in vec(any::<u32>(), 0..100),
+            x_bits in vec(any::<u32>(), 0..100),
+            bias_bits in any::<u32>(),
+        ) {
+            let row = to_floats(&row_bits);
+            let x = to_floats(&x_bits);
+            let bias = f32::from_bits(bias_bits & 0xBFFF_FFFF);
+            assert_dot_agrees(&row, &x, bias);
+            // Misaligned views exercise unaligned loads.
+            if !row.is_empty() && !x.is_empty() {
+                assert_dot_agrees(&row[1..], &x[1..], bias);
+            }
+        }
+
+        #[test]
+        fn interval_dot_matches_scalar_on_adversarial_bit_patterns(
+            rl_bits in vec(any::<u32>(), 0..100),
+            rh_bits in vec(any::<u32>(), 0..100),
+            x_bits in vec(any::<u32>(), 0..100),
+        ) {
+            let rl = to_floats(&rl_bits);
+            let rh = to_floats(&rh_bits);
+            let xl = to_floats(&x_bits);
+            let xh: Vec<f32> = xl.iter().map(|v| v + 1.0).collect();
+            assert_interval_dot_agrees(&rl, &rh, &xl, &xh);
+            if !rl.is_empty() && !rh.is_empty() && !xl.is_empty() {
+                assert_interval_dot_agrees(&rl[1..], &rh[1..], &xl[1..], &xh[1..]);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_boundary_lengths() {
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+            let row: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.73).cos()).collect();
+            assert_dot_agrees(&row, &x, 0.125);
+            let rh: Vec<f32> = row.iter().map(|v| v + 0.01).collect();
+            let xh: Vec<f32> = x.iter().map(|v| v + 0.01).collect();
+            assert_interval_dot_agrees(&row, &rh, &x, &xh);
+        }
+    }
+
+    #[test]
+    fn zero_width_interval_reproduces_point_dot() {
+        // The contract that keeps exact-forward containment exact: a
+        // degenerate interval dot equals the point dot bit-for-bit.
+        let row: Vec<f32> = (0..37).map(|i| ((i * 13) as f32 * 0.11).sin()).collect();
+        let x: Vec<f32> = (0..37).map(|i| ((i * 7) as f32 * 0.19).cos()).collect();
+        let point = dot_bias(&row, &x, 0.75);
+        let (lo, hi) = interval_dot_bias(&row, &row, &x, &x, 0.75, 0.75);
+        assert_eq!(lo.to_bits(), point.to_bits());
+        assert_eq!(hi.to_bits(), point.to_bits());
+    }
+
+    #[test]
+    fn select_semantics_match_hardware() {
+        // min_ps/max_ps return the SECOND operand on NaN-in-first and on
+        // equality — the _mm256_min_ps/_mm256_max_ps contract.
+        assert_eq!(min_ps(f32::NAN, 2.0), 2.0);
+        assert!(min_ps(2.0, f32::NAN).is_nan());
+        assert_eq!(min_ps(-0.0, 0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(max_ps(0.0, -0.0).to_bits(), (-0.0f32).to_bits());
+    }
+}

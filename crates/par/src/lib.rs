@@ -59,6 +59,8 @@ pub fn register_metrics() {
     let _ = mh_obs::gauge!("par_queue_depth");
     let _ = mh_obs::histogram!("par_task_wait_us", mh_obs::DURATION_US_BUCKETS);
     let _ = mh_obs::histogram!("par_task_run_us", mh_obs::DURATION_US_BUCKETS);
+    let _ = mh_obs::counter!("par_batched_items_total");
+    let _ = mh_obs::counter!("par_batched_chunks_total");
 }
 
 /// Errors surfaced by the pool.
@@ -419,6 +421,142 @@ where
     parallel_map_threads(current_threads(), items, f)
 }
 
+/// Default per-task payload budget for the batched maps. Each queue task
+/// carries at least this many payload bytes (except possibly the final
+/// remainder chunk), so the per-task costs — one bounded-queue
+/// push/pop with its mutex/condvar traffic, one wait-histogram
+/// timestamp, one catch_unwind frame — are amortized over a quarter
+/// megabyte of real work instead of being paid per matrix plane.
+pub const DEFAULT_BATCH_BYTES: usize = 256 * 1024;
+
+/// The effective batch budget: the `MH_BATCH_BYTES` environment
+/// variable when set to a positive integer, else
+/// [`DEFAULT_BATCH_BYTES`]. Tunable so perf investigations can sweep
+/// the batch size without a rebuild.
+pub fn batch_bytes() -> usize {
+    if let Ok(v) = std::env::var("MH_BATCH_BYTES") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    DEFAULT_BATCH_BYTES
+}
+
+/// Greedy contiguous chunking by byte weight: accumulate items left to
+/// right, closing a chunk as soon as it carries `budget` bytes. The
+/// boundaries depend only on the items and the budget — never on the
+/// thread count — and chunks partition `0..items.len()` in order.
+fn chunk_by_bytes<T, W: Fn(&T) -> usize>(
+    items: &[T],
+    weight: &W,
+    budget: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let budget = budget.max(1);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, item) in items.iter().enumerate() {
+        acc = acc.saturating_add(weight(item));
+        if acc >= budget {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < items.len() {
+        out.push(start..items.len());
+    }
+    out
+}
+
+/// [`parallel_map_init`] with byte-budgeted task batching: instead of
+/// one queue task per item, contiguous runs of items are coalesced into
+/// chunks of at least `budget` payload bytes (per `weight`), and each
+/// chunk is one task. A worker maps its chunk left to right with its
+/// local scratch, and chunk outputs are flattened in chunk order — so
+/// the output is in input order and bit-identical to the serial path at
+/// any thread count, exactly like [`parallel_map_init`].
+///
+/// When only one chunk results (small total payload) or `threads <= 1`,
+/// everything runs inline on the caller's thread: tiny workloads never
+/// pay for the pool at all.
+pub fn parallel_map_batched_with<T, S, R, W, FI, F>(
+    threads: usize,
+    items: &[T],
+    budget: usize,
+    weight: W,
+    init: FI,
+    f: F,
+) -> Result<Vec<R>, PoolError>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&T) -> usize,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let chunks = chunk_by_bytes(items, &weight, budget);
+    if threads == 1 || chunks.len() <= 1 {
+        let mut scratch = init();
+        return Ok(items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut scratch, i, item))
+            .collect());
+    }
+    mh_obs::counter!("par_batched_items_total").add(items.len() as u64);
+    mh_obs::counter!("par_batched_chunks_total").add(chunks.len() as u64);
+    let nested = parallel_map_init(threads, &chunks, init, |scratch, _, range| {
+        let base = range.start;
+        items
+            .get(range.clone())
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+            .map(|(k, item)| f(scratch, base + k, item))
+            .collect::<Vec<R>>()
+    })?;
+    Ok(nested.into_iter().flatten().collect())
+}
+
+/// [`parallel_map_batched_with`] at the ambient batch budget
+/// ([`batch_bytes`]).
+pub fn parallel_map_batched_init<T, S, R, W, FI, F>(
+    threads: usize,
+    items: &[T],
+    weight: W,
+    init: FI,
+    f: F,
+) -> Result<Vec<R>, PoolError>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&T) -> usize,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    parallel_map_batched_with(threads, items, batch_bytes(), weight, init, f)
+}
+
+/// [`parallel_map_batched_init`] without worker-local state.
+pub fn parallel_map_batched<T, R, W, F>(
+    threads: usize,
+    items: &[T],
+    weight: W,
+    f: F,
+) -> Result<Vec<R>, PoolError>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&T) -> usize,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_batched_init(threads, items, weight, || (), |(), i, item| f(i, item))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +741,139 @@ mod tests {
             got.sort();
             assert_eq!(got, vec![11, 12]);
         });
+    }
+
+    #[test]
+    fn chunks_close_exactly_at_the_byte_budget() {
+        // Four 128-byte items against a 256-byte budget: two chunks of
+        // two; the boundary lands exactly where the budget fills.
+        let items = [128usize; 4];
+        let got = chunk_by_bytes(&items, &|&w| w, 256);
+        assert_eq!(got, vec![0..2, 2..4]);
+        // Off-by-one above the budget: the third item starts a new chunk.
+        let items = [129usize, 128, 128];
+        let got = chunk_by_bytes(&items, &|&w| w, 256);
+        assert_eq!(got, vec![0..2, 2..3]);
+    }
+
+    #[test]
+    fn oversized_and_zero_weight_items_chunk_sanely() {
+        // An item larger than the whole budget closes its chunk at once.
+        let items = [1usize, 600, 1, 700, 1];
+        let got = chunk_by_bytes(&items, &|&w| w, 256);
+        assert_eq!(got, vec![0..2, 2..4, 4..5]);
+        // All-zero weights never fill the budget: one remainder chunk.
+        let items = [0usize; 9];
+        let got = chunk_by_bytes(&items, &|&w| w, 256);
+        assert_eq!(got, vec![0..9]);
+        // Empty input produces no chunks.
+        assert!(chunk_by_bytes(&Vec::<usize>::new(), &|&w| w, 256).is_empty());
+    }
+
+    #[test]
+    fn chunks_partition_the_input_in_order() {
+        let items: Vec<usize> = (0..97).map(|i| (i * 37) % 90).collect();
+        for budget in [1, 7, 64, 1000, usize::MAX] {
+            let chunks = chunk_by_bytes(&items, &|&w| w, budget);
+            let mut next = 0usize;
+            for c in &chunks {
+                assert_eq!(c.start, next, "budget={budget}");
+                assert!(c.end > c.start, "budget={budget}");
+                next = c.end;
+            }
+            assert_eq!(next, items.len(), "budget={budget}");
+        }
+    }
+
+    #[test]
+    fn batched_map_matches_serial_across_widths_and_budgets() {
+        // Payloads straddling the byte budget, single-item batches
+        // (budget 1), and one giant chunk (budget MAX) must all produce
+        // the exact serial output at every thread count.
+        let items: Vec<u64> = (0..311).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 7 + 5).collect();
+        for budget in [1usize, 8, 64, 1 << 20, usize::MAX] {
+            for threads in [1, 2, 3, 8] {
+                let got = parallel_map_batched_with(
+                    threads,
+                    &items,
+                    budget,
+                    |_| 16,
+                    || (),
+                    |(), _, &x| x * 7 + 5,
+                )
+                .unwrap();
+                assert_eq!(got, expect, "threads={threads} budget={budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_map_reuses_worker_scratch_and_reports_panics() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..200).collect();
+        let got = parallel_map_batched_with(
+            4,
+            &items,
+            4, // 1-byte items, 4-byte budget: 50 chunks
+            |_| 1,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0u64
+            },
+            |acc, _, &x| {
+                *acc += 1;
+                x + 1
+            },
+        )
+        .unwrap();
+        assert_eq!(got, (1..=200).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::SeqCst) <= 4);
+
+        let err = parallel_map_batched_with(
+            2,
+            &items,
+            1,
+            |_| 1,
+            || (),
+            |(), _, &x| {
+                if x == 7 {
+                    panic!("batched task failed at {x}");
+                }
+                x
+            },
+        )
+        .unwrap_err();
+        let PoolError::WorkerPanic(msg) = err;
+        assert!(msg.contains("batched task failed"), "got: {msg}");
+    }
+
+    #[test]
+    fn single_chunk_batched_map_runs_inline() {
+        // A payload under the budget collapses to the serial path: the
+        // closure runs on the calling thread, no pool is spun up.
+        let caller = std::thread::current().id();
+        let same = parallel_map_batched_with(
+            8,
+            &[0u8; 16],
+            usize::MAX,
+            |_| 1,
+            || (),
+            |(), _, _| std::thread::current().id() == caller,
+        )
+        .unwrap();
+        assert!(same.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn batch_bytes_env_override() {
+        // Note: process-global env; keep writes confined to this test.
+        std::env::set_var("MH_BATCH_BYTES", "4096");
+        assert_eq!(batch_bytes(), 4096);
+        std::env::set_var("MH_BATCH_BYTES", "not-a-number");
+        assert_eq!(batch_bytes(), DEFAULT_BATCH_BYTES);
+        std::env::remove_var("MH_BATCH_BYTES");
+        assert_eq!(batch_bytes(), DEFAULT_BATCH_BYTES);
     }
 
     #[test]

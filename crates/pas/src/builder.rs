@@ -127,13 +127,15 @@ impl GraphBuilder {
         weights: &Weights,
     ) -> BTreeMap<String, VertexId> {
         // Cost measurement actually compresses every byte plane — the
-        // builder's hot loop. Measure all layers on the pool, then mutate
-        // the graph serially in layer order.
+        // builder's hot loop. Measure all layers on the pool in
+        // byte-batched chunks (weight = matrix payload bytes, so small
+        // layers coalesce), then mutate the graph serially in layer order.
         let layers: Vec<(&String, &Matrix)> = weights.layers().collect();
         let level = self.cost.level;
-        let measured = mh_par::parallel_map_init(
+        let measured = mh_par::parallel_map_batched_init(
             mh_par::current_threads(),
             &layers,
+            |(_, m)| m.len() * 4,
             mh_compress::Scratch::new,
             |scratch, _, (_, m)| {
                 let seg = SegmentedMatrix::from_matrix(m);
@@ -187,13 +189,14 @@ impl GraphBuilder {
         snap_idx: usize,
         weights: &Weights,
     ) -> BTreeMap<String, (VertexId, VertexId)> {
-        // Measure both halves of every layer on the pool (serial fallback
-        // when single-threaded), then register vertices in layer order.
+        // Measure both halves of every layer on the pool in byte-batched
+        // chunks, then register vertices in layer order.
         let layers: Vec<(&String, &Matrix)> = weights.layers().collect();
         let level = self.cost.level;
-        let measured = mh_par::parallel_map_init(
+        let measured = mh_par::parallel_map_batched_init(
             mh_par::current_threads(),
             &layers,
+            |(_, m)| m.len() * 4,
             mh_compress::Scratch::new,
             |scratch, _, (_, m)| {
                 let seg = SegmentedMatrix::from_matrix(m);
@@ -275,14 +278,19 @@ impl GraphBuilder {
             .filter_map(|(layer, &va)| b.get(layer).map(|&vb| (va, vb)))
             .collect();
         // Delta computation + plane compression per shared layer is
-        // independent work: measure on the pool, add edges serially.
+        // independent work: measure on the pool in byte-batched chunks
+        // (weight = both endpoint payloads), add edges serially.
         let level = self.cost.level;
         let op = self.cost.delta_op;
         let (rw, aw) = (self.cost.read_weight, self.cost.apply_weight);
         let matrices = &self.matrices;
-        let measured = mh_par::parallel_map_init(
+        let measured = mh_par::parallel_map_batched_init(
             mh_par::current_threads(),
             &jobs,
+            |&(va, vb)| {
+                4 * (matrices.get(&va).map_or(0, |m| m.len())
+                    + matrices.get(&vb).map_or(0, |m| m.len()))
+            },
             mh_compress::Scratch::new,
             |scratch, _, &(va, vb)| {
                 let planes_size = |bytes: &[u8], scratch: &mut mh_compress::Scratch| {

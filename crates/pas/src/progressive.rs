@@ -66,8 +66,10 @@ impl<'a> ProgressiveEvaluator<'a> {
 
     /// Interval weights from the first `k` planes of every bound layer.
     /// Each layer's chain reconstruction is independent, so the per-layer
-    /// bounds are computed on the pool and inserted serially in layer
-    /// order (insertion order never depends on thread count).
+    /// bounds are computed on the pool in byte-batched chunks (weight =
+    /// the layer's k-plane prefix bytes, so small layers coalesce into
+    /// one inline chunk) and inserted serially in layer order (insertion
+    /// order never depends on thread count or batch budget).
     fn interval_weights(&self, k: usize) -> Result<IntervalWeights, PasError> {
         let layers: Vec<(&String, VertexId)> = self
             .binding
@@ -75,8 +77,13 @@ impl<'a> ProgressiveEvaluator<'a> {
             .iter()
             .map(|(l, &v)| (l, v))
             .collect();
-        let bounds = mh_par::parallel_map(&layers, |_, &(_, v)| self.store.recreate_bounds(v, k))
-            .map_err(PasError::from)?;
+        let bounds = mh_par::parallel_map_batched(
+            mh_par::current_threads(),
+            &layers,
+            |&(_, v)| self.store.prefix_bytes(v, k).unwrap_or(0) as usize,
+            |_, &(_, v)| self.store.recreate_bounds(v, k),
+        )
+        .map_err(PasError::from)?;
         let mut iw = IntervalWeights::default();
         for ((layer, _), b) in layers.iter().zip(bounds) {
             let (lo, hi) = b?;

@@ -52,9 +52,16 @@ pub struct SegmentStore {
     objects: BTreeMap<VertexId, ObjectMeta>,
 }
 
-/// Minimum words per object before plane decompression fans out to the
-/// pool; below this the spawn overhead dominates the decode.
-const PARALLEL_PLANE_WORDS: usize = 16 * 1024;
+/// Which word-combine a delta plane applies. Dispatching on this (rather
+/// than a closure) lets the same-shape fast path hit the SIMD kernels in
+/// `mh_delta::simd`.
+#[derive(Clone, Copy)]
+enum WordOp {
+    /// Wrapping add: SUB-delta application.
+    Add,
+    /// XOR: self-inverse delta application.
+    Xor,
+}
 
 /// One fully-encoded object, ready to hit disk: the output of the parallel
 /// archival stage, consumed serially (in vertex order) by the writer.
@@ -158,13 +165,16 @@ impl SegmentStore {
         plan.validate(graph).map_err(PasError::Plan)?;
         std::fs::create_dir_all(dir).map_err(PasError::Io)?;
         // Delta encoding + per-plane compression is the archival hot path:
-        // fan out per matrix with worker-local compressor scratch, then
-        // write the results serially in vertex order so the store layout is
-        // bit-identical regardless of thread count.
+        // fan out with worker-local compressor scratch, batching matrices
+        // by payload bytes so a queue task carries a real slab of work
+        // instead of one small matrix. Results are written serially in
+        // vertex order, so the store layout is bit-identical regardless of
+        // thread count or batch budget.
         let vertices: Vec<VertexId> = graph.matrix_vertices().collect();
-        let encoded = mh_par::parallel_map_init(
+        let encoded = mh_par::parallel_map_batched_init(
             mh_par::current_threads(),
             &vertices,
+            |&v| matrices.get(&v).map_or(0, |m| m.len() * 4),
             mh_compress::Scratch::new,
             |scratch, _, &v| encode_object(graph, plan, matrices, op, level, v, scratch),
         )
@@ -331,9 +341,11 @@ impl SegmentStore {
     /// Read and decompress the first `k` planes of one object, returning
     /// its words with the low bytes zeroed.
     ///
-    /// Large objects decompress their planes on the pool (each plane is an
-    /// independent MHZ stream); the merge stays serial in plane order, so
-    /// the result is identical either way.
+    /// Plane decompression goes through the byte-batched pool map: each
+    /// plane's task weight is its compressed + decompressed size, so small
+    /// objects coalesce into a single chunk and run inline (no pool
+    /// round-trip) while large ones fan out. The merge stays serial in
+    /// plane order, so the result is identical at any width or budget.
     // mh-audit: no_panic_zone
     fn load_words(&self, o: &ObjectMeta, k: usize) -> Result<Vec<u32>, PasError> {
         let mut sp = mh_obs::span("pas.load_planes");
@@ -353,16 +365,16 @@ impl SegmentStore {
             }
             Ok(plane)
         };
-        let planes: Vec<Vec<u8>> =
-            if k >= 2 && n >= PARALLEL_PLANE_WORDS && mh_par::current_threads() > 1 {
-                let idx: Vec<usize> = (0..k).collect();
-                mh_par::parallel_map(&idx, |_, &p| read_plane(p))
-                    .map_err(PasError::from)?
-                    .into_iter()
-                    .collect::<Result<_, _>>()?
-            } else {
-                (0..k).map(read_plane).collect::<Result<_, _>>()?
-            };
+        let idx: Vec<usize> = (0..k).collect();
+        let planes: Vec<Vec<u8>> = mh_par::parallel_map_batched(
+            mh_par::current_threads(),
+            &idx,
+            |&p| o.plane_sizes.get(p).map_or(0, |&s| s as usize) + n,
+            |_, &p| read_plane(p),
+        )
+        .map_err(PasError::from)?
+        .into_iter()
+        .collect::<Result<_, _>>()?;
         let mut words = vec![0u32; n];
         for (p, plane) in planes.iter().enumerate() {
             let shift = 8 * (3 - p) as u32;
@@ -394,13 +406,11 @@ impl SegmentStore {
                 }
                 (0, _) => return Err(PasError::Corrupt("chain does not start materialized")),
                 (_, ObjectKind::DeltaSub) => {
-                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| {
-                        b.wrapping_add(d)
-                    });
+                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), WordOp::Add);
                     shape = (o.rows, o.cols);
                 }
                 (_, ObjectKind::DeltaXor) => {
-                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| b ^ d);
+                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), WordOp::Xor);
                     shape = (o.rows, o.cols);
                 }
                 (_, ObjectKind::Materialized) => {
@@ -507,13 +517,11 @@ impl SegmentStore {
                     }
                     (0, _) => return Err(PasError::Corrupt("chain does not start materialized")),
                     (_, ObjectKind::DeltaSub) => {
-                        acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| {
-                            b.wrapping_add(d)
-                        });
+                        acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), WordOp::Add);
                         shape = (o.rows, o.cols);
                     }
                     (_, ObjectKind::DeltaXor) => {
-                        acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| b ^ d);
+                        acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), WordOp::Xor);
                         shape = (o.rows, o.cols);
                     }
                     (_, ObjectKind::Materialized) => {
@@ -551,15 +559,13 @@ impl SegmentStore {
                 }
                 (0, _) => return Err(PasError::Corrupt("chain does not start materialized")),
                 (_, ObjectKind::DeltaSub) => {
-                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| {
-                        b.wrapping_add(d)
-                    });
+                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), WordOp::Add);
                     shape = (o.rows, o.cols);
                     additive_terms += 1;
                     chain_has_sub = true;
                 }
                 (_, ObjectKind::DeltaXor) => {
-                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), |b, d| b ^ d);
+                    acc = apply_positional(&acc, shape, &words, (o.rows, o.cols), WordOp::Xor);
                     shape = (o.rows, o.cols);
                     // XOR preserves the known top bytes exactly; the low
                     // bytes stay unknown but do not spill carries upward.
@@ -665,17 +671,26 @@ fn apply_positional(
     base_shape: (usize, usize),
     delta: &[u32],
     target_shape: (usize, usize),
-    op: impl Fn(u32, u32) -> u32,
+    op: WordOp,
 ) -> Vec<u32> {
     let (br, bc) = base_shape;
     let (tr, tc) = target_shape;
     let total = tr.saturating_mul(tc);
     // Fast path: same-shape delta application (the overwhelmingly common
-    // case on real chains) is a straight zip — no per-element bounds
-    // checks in the retrieval hot loop.
+    // case on real chains) runs the runtime-dispatched SIMD word kernels —
+    // exact integer ops, bit-identical to the scalar loop below.
     if (br, bc) == (tr, tc) && base.len() == total && delta.len() == total {
-        return base.iter().zip(delta).map(|(&b, &d)| op(b, d)).collect();
+        let mut out = base.to_vec();
+        match op {
+            WordOp::Add => mh_delta::simd::add_assign(&mut out, delta),
+            WordOp::Xor => mh_delta::simd::xor_assign(&mut out, delta),
+        }
+        return out;
     }
+    let op = |b: u32, d: u32| match op {
+        WordOp::Add => b.wrapping_add(d),
+        WordOp::Xor => b ^ d,
+    };
     let mut out = Vec::with_capacity(total.min(1 << 24));
     for r in 0..tr {
         let base_row = if r < br {

@@ -22,9 +22,11 @@ use crate::graph::{EdgeId, StorageGraph, VertexId, NULL_VERTEX};
 use crate::plan::{PlanError, RetrievalScheme, StoragePlan};
 use std::collections::BTreeSet;
 
-/// Minimum matrix-vertex count before `repair`'s candidate scoring fans
-/// out to the pool; small graphs finish faster serially.
-const PARALLEL_SCORING_VERTICES: usize = 64;
+/// Nominal cost in "payload bytes" of scoring one candidate edge (or
+/// scanning one violated member), fed to the byte-batched pool map so a
+/// scoring task amortizes its queue round-trip over thousands of edge
+/// evaluations. Small graphs coalesce into a single chunk and run inline.
+const SCORING_EDGE_WEIGHT: usize = 64;
 
 /// Minimum-storage spanning arborescence rooted at ν₀ (Chu-Liu/Edmonds).
 ///
@@ -439,17 +441,19 @@ fn repair_impl(
             best
         };
         // Scoring is read-only per vertex, so large instances fan out to
-        // the pool; the serial reduce below (vertex order, strict `>`)
-        // reproduces the serial scan's first-maximum choice exactly.
+        // the pool in byte-batched chunks (weight ≈ candidate edges plus
+        // violated-member scans); the serial reduce below (vertex order,
+        // strict `>`) reproduces the serial scan's first-maximum choice
+        // exactly at any thread count or batch budget.
         let verts: Vec<VertexId> = graph.matrix_vertices().collect();
-        let threads = mh_par::current_threads();
-        let per_vertex: Vec<Option<(f64, VertexId, EdgeId)>> =
-            if threads > 1 && verts.len() >= PARALLEL_SCORING_VERTICES {
-                mh_par::parallel_map_threads(threads, &verts, |_, &v| score_vertex(v))
-                    .expect("scoring workers")
-            } else {
-                verts.iter().map(|&v| score_vertex(v)).collect()
-            };
+        let members_scanned: usize = violated_members.iter().map(|(_, m)| m.len()).sum();
+        let per_vertex: Vec<Option<(f64, VertexId, EdgeId)>> = mh_par::parallel_map_batched(
+            mh_par::current_threads(),
+            &verts,
+            |&v| SCORING_EDGE_WEIGHT * (graph.incoming(v).len() + members_scanned),
+            |_, &v| score_vertex(v),
+        )
+        .expect("scoring workers");
         let mut best: Option<(f64, VertexId, EdgeId)> = None;
         for cand in per_vertex.into_iter().flatten() {
             if best.as_ref().is_none_or(|(g, _, _)| cand.0 > *g) {

@@ -65,43 +65,56 @@ fn dir_fingerprint(dir: &Path) -> StoreFingerprint {
 }
 
 #[test]
-fn archival_and_retrieval_bit_identical_across_thread_counts() {
+fn archival_and_retrieval_bit_identical_across_thread_counts_and_batch_budgets() {
     let (graph, mats) = build_graph();
     let plan = solver::mst(&graph).unwrap();
     let verts: Vec<VertexId> = graph.matrix_vertices().collect();
 
+    // Budget sweep straddles the batching boundaries: 1 byte forces one
+    // chunk per item (maximum fan-out, a boundary after every matrix),
+    // 4096 lands chunk boundaries mid-snapshot, and None is the default
+    // quarter-megabyte budget (this workload coalesces to few chunks).
+    // This test binary is its own process and these are the only tests
+    // that read the env var, so the writes below race nothing.
     let mut baseline: Option<(StoreFingerprint, Vec<Matrix>)> = None;
-    for threads in [1usize, 2, 8] {
-        mh_par::set_threads(Some(threads));
-        let dir = temp_dir(&format!("sweep-{threads}"));
-        let store =
-            SegmentStore::create(&dir, &graph, &plan, &mats, DeltaOp::Sub, Level::Fast).unwrap();
-        let files = dir_fingerprint(&dir);
-        let group = store.recreate_group_parallel(&verts).unwrap();
-        // Per-vertex retrieval agrees with the group path at this width.
-        for (m, &v) in group.iter().zip(&verts) {
-            assert!(
-                bit_equal(m, &store.recreate(v).unwrap()),
-                "group vs single retrieval diverged at {threads} threads"
-            );
+    for budget in [Some("1"), Some("4096"), None] {
+        match budget {
+            Some(b) => std::env::set_var("MH_BATCH_BYTES", b),
+            None => std::env::remove_var("MH_BATCH_BYTES"),
         }
-        match &baseline {
-            None => baseline = Some((files, group)),
-            Some((base_files, base_group)) => {
-                assert_eq!(
-                    base_files, &files,
-                    "store layout differs between 1 and {threads} threads"
+        for threads in [1usize, 2, 8] {
+            mh_par::set_threads(Some(threads));
+            let dir = temp_dir(&format!("sweep-{threads}-{}", budget.unwrap_or("def")));
+            let store = SegmentStore::create(&dir, &graph, &plan, &mats, DeltaOp::Sub, Level::Fast)
+                .unwrap();
+            let files = dir_fingerprint(&dir);
+            let group = store.recreate_group_parallel(&verts).unwrap();
+            // Per-vertex retrieval agrees with the group path at this width.
+            for (m, &v) in group.iter().zip(&verts) {
+                assert!(
+                    bit_equal(m, &store.recreate(v).unwrap()),
+                    "group vs single retrieval diverged at {threads} threads"
                 );
-                for (a, b) in base_group.iter().zip(&group) {
-                    assert!(
-                        bit_equal(a, b),
-                        "retrieved matrices differ between 1 and {threads} threads"
+            }
+            match &baseline {
+                None => baseline = Some((files, group)),
+                Some((base_files, base_group)) => {
+                    assert_eq!(
+                        base_files, &files,
+                        "store layout differs at {threads} threads, budget {budget:?}"
                     );
+                    for (a, b) in base_group.iter().zip(&group) {
+                        assert!(
+                            bit_equal(a, b),
+                            "retrieved matrices differ at {threads} threads, budget {budget:?}"
+                        );
+                    }
                 }
             }
+            std::fs::remove_dir_all(&dir).ok();
         }
-        std::fs::remove_dir_all(&dir).ok();
     }
+    std::env::remove_var("MH_BATCH_BYTES");
     mh_par::set_threads(None);
 }
 
