@@ -71,6 +71,12 @@ pub struct PasBenchReport {
     /// the build up). `None` when ambient tracing was already on at entry,
     /// leaving no clean untraced baseline.
     pub trace_overhead_pct: Option<f64>,
+    /// Overhead of the always-on flight recorder (armed ring, tracing
+    /// off) on the serial archival build, in percent: median-of-5 armed
+    /// vs median-of-5 fully-disarmed, clamped at zero. `None` when
+    /// ambient tracing was already on at entry (the recorder's marginal
+    /// cost is then hidden inside the traced build). Budget: 3%.
+    pub flightrec_overhead_pct: Option<f64>,
     /// Overhead of the `mh_par::sync` facade's std backend over raw
     /// `std::sync` primitives on an uncontended lock loop, in percent
     /// (min-of-3 each way). In release builds the facade must be a
@@ -104,6 +110,13 @@ impl PasBenchReport {
         out.push_str(&format!(
             "  \"trace_overhead_pct\": {},\n",
             match self.trace_overhead_pct {
+                Some(pct) => format!("{pct:.3}"),
+                None => "null".to_string(),
+            }
+        ));
+        out.push_str(&format!(
+            "  \"flightrec_overhead_pct\": {},\n",
+            match self.flightrec_overhead_pct {
                 Some(pct) => format!("{pct:.3}"),
                 None => "null".to_string(),
             }
@@ -357,6 +370,30 @@ pub fn run(quick: bool) -> std::io::Result<()> {
     // reports negative overhead whenever the untraced leg catches one
     // lucky run), and the percentage clamps at zero: tracing cannot speed
     // a build up, so a negative reading is timer noise, not data.
+    const OVERHEAD_SAMPLES: usize = 5;
+    const OVERHEAD_BUILDS_PER_SAMPLE: usize = 3;
+    let median_build_ms = |dir: &std::path::Path| -> f64 {
+        let mut samples = [0.0f64; OVERHEAD_SAMPLES];
+        for s in &mut samples {
+            let (_, ms) = time_ms(|| {
+                for _ in 0..OVERHEAD_BUILDS_PER_SAMPLE {
+                    let _ = std::fs::remove_dir_all(dir);
+                    SegmentStore::create(
+                        dir,
+                        &graph,
+                        &plan_s,
+                        &matrices,
+                        DeltaOp::Sub,
+                        Level::Fast,
+                    )
+                    .expect("overhead-leg store");
+                }
+            });
+            *s = ms;
+        }
+        samples.sort_by(f64::total_cmp);
+        samples[OVERHEAD_SAMPLES / 2]
+    };
     let trace_overhead_pct = if mh_obs::enabled() {
         // Ambient tracing already on (e.g. under `modelhub prof` or
         // `--trace`): there is no untraced baseline to compare against.
@@ -364,33 +401,9 @@ pub fn run(quick: bool) -> std::io::Result<()> {
     } else {
         serial();
         let dir_t = temp_store_dir("traceleg");
-        const TRACE_SAMPLES: usize = 5;
-        const TRACE_BUILDS_PER_SAMPLE: usize = 3;
-        let median_build_ms = || -> f64 {
-            let mut samples = [0.0f64; TRACE_SAMPLES];
-            for s in &mut samples {
-                let (_, ms) = time_ms(|| {
-                    for _ in 0..TRACE_BUILDS_PER_SAMPLE {
-                        let _ = std::fs::remove_dir_all(&dir_t);
-                        SegmentStore::create(
-                            &dir_t,
-                            &graph,
-                            &plan_s,
-                            &matrices,
-                            DeltaOp::Sub,
-                            Level::Fast,
-                        )
-                        .expect("trace-leg store");
-                    }
-                });
-                *s = ms;
-            }
-            samples.sort_by(f64::total_cmp);
-            samples[TRACE_SAMPLES / 2]
-        };
-        let untraced = median_build_ms();
+        let untraced = median_build_ms(&dir_t);
         mh_obs::enable_capture();
-        let traced = median_build_ms();
+        let traced = median_build_ms(&dir_t);
         let spans = mh_obs::drain_capture().len();
         mh_obs::disable();
         let _ = std::fs::remove_dir_all(&dir_t);
@@ -404,6 +417,42 @@ pub fn run(quick: bool) -> std::io::Result<()> {
             traced <= untraced * 1.05 + 10.0,
             "tracing overhead {raw_pct:.1}% exceeds the 5% budget: \
              traced {traced:.1}ms vs untraced {untraced:.1}ms"
+        );
+        Some(raw_pct.max(0.0))
+    };
+
+    // Stage 5b — flight-recorder overhead guard: the always-on ring that
+    // keeps the most recent spans even with tracing off must cost no more
+    // than 3% of the fully-disarmed serial build. Same discipline as the
+    // trace leg (median of 5 samples of a fixed 3-build workload, zero
+    // clamp); the CLI arms the recorder on every invocation, so the leg
+    // saves and restores the ambient armed state around its baselines.
+    let flightrec_overhead_pct = if mh_obs::enabled() {
+        None
+    } else {
+        let was_armed = mh_obs::flightrec::armed();
+        let dir_f = temp_store_dir("flightrecleg");
+        mh_obs::flightrec::disable();
+        let disarmed = median_build_ms(&dir_f);
+        mh_obs::flightrec::enable();
+        let armed = median_build_ms(&dir_f);
+        assert!(
+            mh_obs::flightrec::len() > 0,
+            "armed build must have recorded spans"
+        );
+        if !was_armed {
+            mh_obs::flightrec::disable();
+        }
+        let _ = std::fs::remove_dir_all(&dir_f);
+        let raw_pct = if disarmed > 0.0 {
+            (armed - disarmed) / disarmed * 100.0
+        } else {
+            0.0
+        };
+        assert!(
+            armed <= disarmed * 1.03 + 10.0,
+            "flight-recorder overhead {raw_pct:.1}% exceeds the 3% budget: \
+             armed {armed:.1}ms vs disarmed {disarmed:.1}ms"
         );
         Some(raw_pct.max(0.0))
     };
@@ -466,6 +515,7 @@ pub fn run(quick: bool) -> std::io::Result<()> {
         parallel_threads_effective,
         bit_identical,
         trace_overhead_pct,
+        flightrec_overhead_pct,
         sync_overhead_pct,
         stages,
     };
@@ -494,6 +544,10 @@ pub fn run(quick: bool) -> std::io::Result<()> {
         Some(pct) => println!("tracing overhead on serial build (median-of-5): {pct:.1}%"),
         None => println!("tracing overhead leg skipped: ambient tracing already enabled"),
     }
+    match report.flightrec_overhead_pct {
+        Some(pct) => println!("flight-recorder overhead on serial build (median-of-5): {pct:.1}%"),
+        None => println!("flight-recorder overhead leg skipped: ambient tracing already enabled"),
+    }
     println!(
         "sync facade overhead on uncontended locks (min-of-3): {:.1}%",
         report.sync_overhead_pct
@@ -518,6 +572,7 @@ mod tests {
             parallel_threads_effective: 4,
             bit_identical: true,
             trace_overhead_pct: Some(1.25),
+            flightrec_overhead_pct: Some(0.75),
             sync_overhead_pct: 0.5,
             stages: vec![
                 StageResult {
@@ -551,6 +606,7 @@ mod tests {
             "\"parallel_threads_effective\"",
             "\"bit_identical\"",
             "\"trace_overhead_pct\"",
+            "\"flightrec_overhead_pct\"",
             "\"sync_overhead_pct\"",
             "\"stages\"",
             "\"name\"",
@@ -577,10 +633,13 @@ mod tests {
     fn skipped_trace_leg_renders_null() {
         let mut r = fixed_report();
         r.trace_overhead_pct = None;
-        assert!(r.render_json().contains("\"trace_overhead_pct\": null,"));
-        assert!(fixed_report()
-            .render_json()
-            .contains("\"trace_overhead_pct\": 1.250,"));
+        r.flightrec_overhead_pct = None;
+        let json = r.render_json();
+        assert!(json.contains("\"trace_overhead_pct\": null,"));
+        assert!(json.contains("\"flightrec_overhead_pct\": null,"));
+        let full = fixed_report().render_json();
+        assert!(full.contains("\"trace_overhead_pct\": 1.250,"));
+        assert!(full.contains("\"flightrec_overhead_pct\": 0.750,"));
     }
 
     #[test]

@@ -254,6 +254,10 @@ const OVERHEAD_GRACE_MS: f64 = 1.0;
 /// `parallel_ms`, and `speedup` are each written rounded to 0.001, so a
 /// reported value may sit up to this far from the true one.
 const ROUND_EPS: f64 = 0.0005;
+/// Ceiling on `flightrec_overhead_pct`: the always-on flight recorder may
+/// cost at most this much of the fully-disarmed serial build. Machine
+/// independent — it is a ratio of two runs on the same box.
+const FLIGHTREC_OVERHEAD_MAX_PCT: f64 = 3.0;
 
 /// Compare a measured report against the baseline with a relative
 /// `tolerance` (0.30 = 30%). Structural problems (wrong schema, missing
@@ -279,6 +283,16 @@ pub fn check_report(current: &Json, baseline: &Json, tolerance: f64) -> GateOutc
     if current.get("bit_identical").and_then(Json::as_bool) != Some(true) {
         violations
             .push("bit_identical is not true: parallel store diverged from serial".to_string());
+    }
+    // Flight-recorder overhead: the leg is null under ambient tracing and
+    // absent in pre-flightrec reports, so only a present number is gated.
+    if let Some(pct) = current.get("flightrec_overhead_pct").and_then(Json::as_f64) {
+        if pct > FLIGHTREC_OVERHEAD_MAX_PCT {
+            violations.push(format!(
+                "flightrec_overhead_pct {pct:.3} exceeds the \
+                 {FLIGHTREC_OVERHEAD_MAX_PCT:.1}% always-on budget"
+            ));
+        }
     }
     let hw = current
         .get("hardware_threads")
@@ -556,6 +570,37 @@ mod tests {
         let outcome = check_report(&current, &baseline, 0.30);
         assert!(outcome.passed(), "violations: {:?}", outcome.violations);
         assert_eq!(outcome.stages_checked, 4);
+    }
+
+    #[test]
+    fn gate_enforces_the_flightrec_overhead_budget() {
+        // Over-budget recorder overhead fails; a null leg (ambient
+        // tracing) and an absent field (pre-flightrec report, as in
+        // good_report) both pass.
+        let over = good_report(4).replace(
+            "\"bit_identical\": true,",
+            "\"bit_identical\": true,\n  \"flightrec_overhead_pct\": 4.5,",
+        );
+        let baseline = parse(BASELINE).expect("baseline");
+        let outcome = check_report(&parse(&over).expect("report"), &baseline, 0.30);
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("flightrec_overhead_pct")));
+
+        let null = good_report(4).replace(
+            "\"bit_identical\": true,",
+            "\"bit_identical\": true,\n  \"flightrec_overhead_pct\": null,",
+        );
+        let outcome = check_report(&parse(&null).expect("report"), &baseline, 0.30);
+        assert!(outcome.passed(), "violations: {:?}", outcome.violations);
+
+        let under = good_report(4).replace(
+            "\"bit_identical\": true,",
+            "\"bit_identical\": true,\n  \"flightrec_overhead_pct\": 1.2,",
+        );
+        let outcome = check_report(&parse(&under).expect("report"), &baseline, 0.30);
+        assert!(outcome.passed(), "violations: {:?}", outcome.violations);
     }
 
     #[test]

@@ -104,13 +104,19 @@ impl RemoteHub {
     }
 
     /// One buffered request/response; 4xx/5xx bodies become
-    /// [`HubError::Server`].
+    /// [`HubError::Server`]. Each attempt runs in its own `hub.rpc` span
+    /// whose trace context crosses the wire as the `mh-trace` header, so
+    /// the server's `hub.request` span joins the client's trace.
     fn attempt(&self, method: &str, target: &str, body: &[u8]) -> Result<Vec<u8>, HubError> {
+        let mut sp = rpc_span(target);
+        sp.add_bytes_out(body.len() as u64);
         let mut stream = self.connect()?;
-        write_request(&mut stream, method, target, &self.host, body)?;
+        let ctx = mh_obs::current_context();
+        write_request(&mut stream, method, target, &self.host, ctx, body)?;
         let mut reader = BufReader::new(stream);
         let head = read_response_head(&mut reader)?;
         let body = read_body(&mut reader, &head)?;
+        sp.add_bytes_in(body.len() as u64);
         check_status(&head, &body)?;
         Ok(body)
     }
@@ -178,6 +184,14 @@ impl RemoteHub {
     /// (hub request counters plus process-wide PAS/compression metrics).
     pub fn metrics_text(&self) -> Result<String, HubError> {
         let body = self.request("GET", "/metrics", b"")?;
+        text(&body)
+    }
+
+    /// `GET /debug/flightrec` — the server's flight-recorder dump: the
+    /// most recent span records and warn/error log events as JSONL,
+    /// captured even when tracing is off.
+    pub fn flightrec_text(&self) -> Result<String, HubError> {
+        let body = self.request("GET", "/debug/flightrec", b"")?;
         text(&body)
     }
 
@@ -328,13 +342,16 @@ impl RemoteHub {
         cache_dir: &Path,
         received: &mut usize,
     ) -> Result<(), HubError> {
+        let mut sp = rpc_span("/objects");
         let mut stream = self.connect()?;
         let haves_body: String = haves.iter().map(|h| format!("{h}\n")).collect();
+        sp.add_bytes_out(haves_body.len() as u64);
         write_request(
             &mut stream,
             "POST",
             &format!("/objects/{name}"),
             &self.host,
+            mh_obs::current_context(),
             haves_body.as_bytes(),
         )?;
         let mut reader = BufReader::new(stream);
@@ -343,6 +360,7 @@ impl RemoteHub {
             let body = read_body(&mut reader, &head)?;
             check_status(&head, &body)?;
         }
+        sp.add_bytes_in(head.content_length);
         read_object_stream(&mut reader, |hash, payload| {
             let to = cache_dir.join(hash);
             if !to.is_file() {
@@ -355,6 +373,20 @@ impl RemoteHub {
         })?;
         Ok(())
     }
+}
+
+/// Open the `hub.rpc` span for one request attempt. The thread's trace
+/// id is minted first (when anything records spans) so the rpc span
+/// itself carries it; while the span is open, `mh_obs::current_context()`
+/// is exactly the context to send in the `mh-trace` header — the trace id
+/// plus the rpc span as the server's remote parent.
+fn rpc_span(target: &str) -> mh_obs::Span {
+    if mh_obs::enabled() || mh_obs::flightrec::armed() {
+        mh_obs::begin_trace();
+    }
+    let mut sp = mh_obs::span("hub.rpc");
+    sp.field("target", target);
+    sp
 }
 
 impl HubBackend for RemoteHub {

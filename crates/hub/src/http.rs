@@ -6,6 +6,7 @@
 
 use crate::protocol::read_line;
 use crate::HubError;
+use mh_obs::SpanContext;
 use std::io::{BufRead, Write};
 
 /// Upper bound on request/response bodies handled in memory (object
@@ -29,6 +30,9 @@ pub struct Request {
     pub path: String,
     /// Raw query string (after `?`), if any.
     pub query: Option<String>,
+    /// Distributed trace context from the `mh-trace` header
+    /// (`SpanContext::NONE` when absent or malformed).
+    pub trace: SpanContext,
     pub body: Vec<u8>,
 }
 
@@ -63,6 +67,9 @@ pub struct RequestHead {
     pub path: String,
     pub query: Option<String>,
     pub content_length: u64,
+    /// Distributed trace context from the `mh-trace` header
+    /// (`SpanContext::NONE` when absent or malformed).
+    pub trace: SpanContext,
     /// Bytes of `buf` occupied by the head (the body starts here).
     pub head_len: usize,
 }
@@ -112,7 +119,7 @@ pub fn parse_request_head(buf: &[u8]) -> Result<Option<RequestHead>, HubError> {
             "unsupported version '{version}'"
         )));
     }
-    let content_length = read_headers(&mut r)?;
+    let headers = read_headers(&mut r)?;
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), Some(q.to_string())),
         None => (target.to_string(), None),
@@ -121,7 +128,8 @@ pub fn parse_request_head(buf: &[u8]) -> Result<Option<RequestHead>, HubError> {
         method: method.to_string(),
         path,
         query,
-        content_length,
+        content_length: headers.content_length,
+        trace: headers.trace,
         head_len: end,
     }))
 }
@@ -155,7 +163,8 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HubError> {
             "unsupported version '{version}'"
         )));
     }
-    let content_length = read_headers(r)?;
+    let headers = read_headers(r)?;
+    let content_length = headers.content_length;
     if content_length > MAX_BODY_BYTES {
         return Err(HubError::Protocol(format!(
             "request body too large ({content_length} bytes)"
@@ -172,44 +181,64 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HubError> {
         method: method.to_string(),
         path,
         query,
+        trace: headers.trace,
         body,
     })
 }
 
-/// Read headers until the blank line; returns the Content-Length (0 if
-/// absent).
-fn read_headers<R: BufRead>(r: &mut R) -> Result<u64, HubError> {
-    let mut content_length = 0u64;
+/// Headers this protocol subset cares about.
+struct HeaderInfo {
+    content_length: u64,
+    trace: SpanContext,
+}
+
+/// Read headers until the blank line; extracts Content-Length (0 if
+/// absent) and the `mh-trace` context (NONE if absent; a malformed value
+/// degrades to NONE rather than failing the request).
+// mh-audit: no_panic_zone
+fn read_headers<R: BufRead>(r: &mut R) -> Result<HeaderInfo, HubError> {
+    let mut info = HeaderInfo {
+        content_length: 0,
+        trace: SpanContext::NONE,
+    };
     for _ in 0..MAX_HEADERS {
         let line = read_line(r)?;
         if line.is_empty() {
-            return Ok(content_length);
+            return Ok(info);
         }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                info.content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| HubError::Protocol(format!("bad content-length '{value}'")))?;
+            } else if name.eq_ignore_ascii_case("mh-trace") {
+                info.trace = SpanContext::from_header(value).unwrap_or(SpanContext::NONE);
             }
         }
     }
     Err(HubError::Protocol("too many headers".to_string()))
 }
 
-/// Write a request with a body.
+/// Write a request with a body. A non-empty `trace` context is propagated
+/// as the `mh-trace` header (`<trace-id-hex32> <parent-span-id>`).
 pub fn write_request<W: Write>(
     w: &mut W,
     method: &str,
     target: &str,
     host: &str,
+    trace: SpanContext,
     body: &[u8],
 ) -> std::io::Result<()> {
     write!(
         w,
-        "{method} {target} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    if trace.trace != 0 {
+        write!(w, "mh-trace: {}\r\n", trace.to_header())?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -245,7 +274,7 @@ pub fn read_response_head<R: BufRead>(r: &mut R) -> Result<ResponseHead, HubErro
     let status: u16 = status
         .parse()
         .map_err(|_| HubError::Protocol(format!("bad status code '{status}'")))?;
-    let content_length = read_headers(r)?;
+    let content_length = read_headers(r)?.content_length;
     Ok(ResponseHead {
         status,
         content_length,
@@ -280,14 +309,52 @@ mod tests {
             "POST",
             "/objects/m?x=1",
             "h:1",
+            SpanContext::NONE,
             b"have1\nhave2\n",
         )
         .unwrap();
+        // No trace context → no header on the wire.
+        assert!(!String::from_utf8_lossy(&wire).contains("mh-trace"));
         let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/objects/m");
         assert_eq!(req.query.as_deref(), Some("x=1"));
+        assert_eq!(req.trace, SpanContext::NONE);
         assert_eq!(req.body, b"have1\nhave2\n");
+    }
+
+    #[test]
+    fn trace_context_crosses_the_wire() {
+        let ctx = SpanContext {
+            trace: 0x0123_4567_89ab_cdef_0011_2233_4455_6677,
+            parent: 99,
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/manifest/m", "h:1", ctx, b"").unwrap();
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.contains("mh-trace: 0123456789abcdef0011223344556677 99\r\n"));
+        // Blocking parse sees it …
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.trace, ctx);
+        // … and the incremental reactor parse agrees.
+        let head = parse_request_head(&wire).unwrap().expect("complete");
+        assert_eq!(head.trace, ctx);
+    }
+
+    #[test]
+    fn malformed_trace_header_degrades_to_none() {
+        for bad in [
+            "mh-trace: zz\r\n",
+            "mh-trace: deadbeef 1\r\n",
+            "mh-trace: 0123456789abcdef0011223344556677\r\n",
+            "mh-trace:\r\n",
+        ] {
+            let wire = format!("GET /repos HTTP/1.1\r\n{bad}Content-Length: 0\r\n\r\n");
+            let head = parse_request_head(wire.as_bytes())
+                .unwrap()
+                .expect("complete");
+            assert_eq!(head.trace, SpanContext::NONE, "input: {bad:?}");
+        }
     }
 
     #[test]
@@ -313,7 +380,15 @@ mod tests {
     #[test]
     fn incremental_head_parse_matches_blocking_parse() {
         let mut wire = Vec::new();
-        write_request(&mut wire, "POST", "/objects/m?x=1", "h:1", b"abc").unwrap();
+        write_request(
+            &mut wire,
+            "POST",
+            "/objects/m?x=1",
+            "h:1",
+            SpanContext::NONE,
+            b"abc",
+        )
+        .unwrap();
         // Feed the wire byte by byte: no prefix short of the blank line
         // completes the head.
         let mut complete_at = None;

@@ -104,6 +104,9 @@ pub struct Config {
     /// this, `--max-conns` connections each declaring the per-request
     /// body cap could drive `max_conns × MAX_BODY_BYTES` of allocation.
     pub body_budget_bytes: u64,
+    /// Worker-side handling time (ms) above which a request gets a
+    /// slow-request warn line naming its trace id (0 disables).
+    pub slow_ms: u64,
 }
 
 impl Default for Config {
@@ -115,6 +118,7 @@ impl Default for Config {
             idle_timeout: Duration::from_secs(10),
             state_deadline: Duration::from_secs(30),
             body_budget_bytes: 256 << 20,
+            slow_ms: 1_000,
         }
     }
 }
@@ -269,6 +273,10 @@ impl HubServer {
         mh_compress::register_metrics();
         mh_pas::register_metrics();
         mh_par::register_metrics();
+        // The flight recorder is always on while a hub serves: recent
+        // spans and warn/error events stay available at
+        // `GET /debug/flightrec` even with span tracing off.
+        mh_obs::flightrec::enable();
         // Hub::open creates the root directory and validates access.
         Hub::open(root).map_err(HubError::Dlv)?;
         let listener = TcpListener::bind(addr)?;
@@ -298,9 +306,16 @@ impl HubServer {
             let faults = Arc::clone(&faults);
             let cache = Arc::clone(&cache);
             let root = root.to_path_buf();
+            let slow_ms = config.slow_ms;
             worker_handles.push(sync::thread::spawn(move || {
                 while let Some(job) = jobs.pop() {
-                    let resp = process(&root, &job, &stats, &faults, &cache);
+                    let resp = process(&root, &job, &stats, &faults, &cache, slow_ms);
+                    // Make the request's trace durable before answering:
+                    // the JSONL sink buffers, and a served hub is usually
+                    // stopped by signal, which never reaches a flush.
+                    if mh_obs::enabled() {
+                        mh_obs::flush();
+                    }
                     completions.push(Completion {
                         token: job.token,
                         resp,
@@ -1118,6 +1133,7 @@ fn take_ready_request(conn: &mut Conn) -> Option<Request> {
         method: h.method,
         path: h.path,
         query: h.query,
+        trace: h.trace,
         body,
     })
 }
@@ -1202,6 +1218,8 @@ fn classify(path: &str) -> Endpoint {
         Endpoint::Metrics
     } else if path == "/search" {
         Endpoint::Search
+    } else if path == "/debug/flightrec" {
+        Endpoint::Flightrec
     } else if path.starts_with("/manifest/") {
         Endpoint::Manifest
     } else if path.starts_with("/objects/") {
@@ -1230,6 +1248,11 @@ fn error_response(e: &DlvError) -> Response {
 /// Worker-side request handling: route, stage the response. Everything
 /// reachable from here handles attacker-controlled bytes, so the whole
 /// router is a no-panic zone — a request must never kill a worker.
+///
+/// The client's trace context (parsed from the `mh-trace` header) is
+/// re-established on the worker thread, so the `hub.request` span — and
+/// every span routing opens beneath it — carries the client's 128-bit
+/// trace id and parents under the client's rpc span.
 // mh-audit: no_panic_zone
 fn process(
     root: &Path,
@@ -1237,26 +1260,53 @@ fn process(
     stats: &Stats,
     faults: &Faults,
     cache: &ObjectCache,
+    slow_ms: u64,
 ) -> Response {
     let req = &job.req;
-    let mut sp = mh_obs::span("hub.request");
-    if sp.is_recording() {
-        sp.field("endpoint", job.ep.name());
-        sp.field("method", &req.method);
-        sp.add_bytes_in(req.body.len() as u64);
-    }
-    let resp = route(root, req, stats, faults, cache);
-    if sp.is_recording() {
-        let body_len: u64 = resp
-            .segs
-            .iter()
-            .map(Seg::len)
-            .sum::<u64>()
-            .saturating_sub(resp.head_len);
-        sp.add_bytes_out(body_len);
-        sp.field("error", resp.status >= 400 || resp.truncated);
-    }
-    resp
+    mh_obs::with_context(req.trace, || {
+        let mut sp = mh_obs::span("hub.request");
+        if sp.is_recording() {
+            sp.field("endpoint", job.ep.name());
+            sp.field("method", &req.method);
+            sp.add_bytes_in(req.body.len() as u64);
+        }
+        let start = sync::now();
+        let resp = route(root, req, stats, faults, cache);
+        let dur_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        stats.record_duration(job.ep, dur_ms);
+        let error = resp.status >= 400 || resp.truncated;
+        if error {
+            // Lands in the flight recorder (and stderr when warn is
+            // enabled) with the trace id, so a failing request's recent
+            // history survives in the server log.
+            mh_obs::warn!(
+                "hub: request error endpoint={} status={} truncated={} trace={:032x}",
+                job.ep.name(),
+                resp.status,
+                resp.truncated,
+                req.trace.trace,
+            );
+        }
+        if slow_ms > 0 && dur_ms >= slow_ms as f64 {
+            mh_obs::warn!(
+                "hub: slow request endpoint={} dur_ms={:.1} trace={:032x}",
+                job.ep.name(),
+                dur_ms,
+                req.trace.trace,
+            );
+        }
+        if sp.is_recording() {
+            let body_len: u64 = resp
+                .segs
+                .iter()
+                .map(Seg::len)
+                .sum::<u64>()
+                .saturating_sub(resp.head_len);
+            sp.add_bytes_out(body_len);
+            sp.field("error", error);
+        }
+        resp
+    })
 }
 
 fn route(
@@ -1280,6 +1330,9 @@ fn route(
         },
         ("GET", "/stats") => Response::full(200, stats.render().into_bytes()),
         ("GET", "/metrics") => Response::full(200, stats.render_prometheus().into_bytes()),
+        // Flight-recorder dump: the most recent span records and
+        // warn/error log events, captured even with tracing off.
+        ("GET", "/debug/flightrec") => Response::full(200, mh_obs::flightrec::dump().into_bytes()),
         ("GET", "/search") => {
             let pattern = req
                 .query

@@ -20,10 +20,11 @@ pub enum Endpoint {
     Publish,
     Stats,
     Metrics,
+    Flightrec,
     Other,
 }
 
-pub const ENDPOINTS: [Endpoint; 8] = [
+pub const ENDPOINTS: [Endpoint; 9] = [
     Endpoint::Repos,
     Endpoint::Search,
     Endpoint::Manifest,
@@ -31,6 +32,7 @@ pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Publish,
     Endpoint::Stats,
     Endpoint::Metrics,
+    Endpoint::Flightrec,
     Endpoint::Other,
 ];
 
@@ -44,10 +46,16 @@ impl Endpoint {
             Self::Publish => "publish",
             Self::Stats => "stats",
             Self::Metrics => "metrics",
+            Self::Flightrec => "flightrec",
             Self::Other => "other",
         }
     }
 }
+
+/// Request-duration buckets (milliseconds): sub-ms cache hits through
+/// multi-second object streams.
+pub const DURATION_MS_BUCKETS: &[f64] =
+    &[0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0];
 
 /// Monotonic per-endpoint counters. Cheap to record from any worker.
 #[derive(Debug)]
@@ -62,13 +70,17 @@ impl Default for Stats {
 }
 
 /// One parsed `/stats` line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatLine {
     pub endpoint: String,
     pub requests: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
     pub errors: u64,
+    /// Request-duration quantiles (milliseconds), interpolated from the
+    /// server-side histogram; 0.0 when the endpoint saw no traffic.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
 }
 
 impl Stats {
@@ -82,6 +94,8 @@ impl Stats {
             let _ = registry.counter_labeled("hub_bytes_in_total", labels);
             let _ = registry.counter_labeled("hub_bytes_out_total", labels);
             let _ = registry.counter_labeled("hub_errors_total", labels);
+            let _ =
+                registry.histogram_labeled("hub_request_duration_ms", labels, DURATION_MS_BUCKETS);
         }
         // Reactor + cache series, present (at zero) from the first scrape.
         let _ = registry.gauge("hub_connections_open");
@@ -144,14 +158,41 @@ impl Stats {
         }
     }
 
+    /// Record one request's worker-side handling time into the
+    /// per-endpoint duration histogram (the `/stats` p50/p99 source).
+    pub fn record_duration(&self, ep: Endpoint, ms: f64) {
+        self.registry
+            .histogram_labeled(
+                "hub_request_duration_ms",
+                &[("endpoint", ep.name())],
+                DURATION_MS_BUCKETS,
+            )
+            .observe(ms);
+    }
+
     /// Render the `/stats` body: one line per endpoint,
-    /// `<endpoint> requests=<n> bytes_in=<n> bytes_out=<n> errors=<n>`.
+    /// `<endpoint> requests=<n> bytes_in=<n> bytes_out=<n> errors=<n>
+    /// p50_ms=<q> p99_ms=<q>`. The quantiles are bucket-interpolated
+    /// estimates from the duration histogram ([`mh_obs::Histogram::quantile`]);
+    /// `parse_stats` ignores keys it does not know, so older clients keep
+    /// working.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for line in self.snapshot() {
+        for (ep, line) in ENDPOINTS.iter().zip(self.snapshot()) {
+            let h = self.registry.histogram_labeled(
+                "hub_request_duration_ms",
+                &[("endpoint", ep.name())],
+                DURATION_MS_BUCKETS,
+            );
             out.push_str(&format!(
-                "{} requests={} bytes_in={} bytes_out={} errors={}\n",
-                line.endpoint, line.requests, line.bytes_in, line.bytes_out, line.errors
+                "{} requests={} bytes_in={} bytes_out={} errors={} p50_ms={:.3} p99_ms={:.3}\n",
+                line.endpoint,
+                line.requests,
+                line.bytes_in,
+                line.bytes_out,
+                line.errors,
+                h.quantile(0.5),
+                h.quantile(0.99),
             ));
         }
         out
@@ -190,6 +231,14 @@ impl Stats {
                         .registry
                         .counter_labeled("hub_errors_total", labels)
                         .get(),
+                    p50_ms: self
+                        .registry
+                        .histogram_labeled("hub_request_duration_ms", labels, DURATION_MS_BUCKETS)
+                        .quantile(0.5),
+                    p99_ms: self
+                        .registry
+                        .histogram_labeled("hub_request_duration_ms", labels, DURATION_MS_BUCKETS)
+                        .quantile(0.99),
                 }
             })
             .collect()
@@ -210,15 +259,18 @@ pub fn parse_stats(body: &str) -> Vec<StatLine> {
             bytes_in: 0,
             bytes_out: 0,
             errors: 0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
         };
         for f in fields {
             if let Some((k, v)) = f.split_once('=') {
-                let v: u64 = v.parse().unwrap_or(0);
                 match k {
-                    "requests" => stat.requests = v,
-                    "bytes_in" => stat.bytes_in = v,
-                    "bytes_out" => stat.bytes_out = v,
-                    "errors" => stat.errors = v,
+                    "requests" => stat.requests = v.parse().unwrap_or(0),
+                    "bytes_in" => stat.bytes_in = v.parse().unwrap_or(0),
+                    "bytes_out" => stat.bytes_out = v.parse().unwrap_or(0),
+                    "errors" => stat.errors = v.parse().unwrap_or(0),
+                    "p50_ms" => stat.p50_ms = v.parse().unwrap_or(0.0),
+                    "p99_ms" => stat.p99_ms = v.parse().unwrap_or(0.0),
                     _ => {}
                 }
             }
@@ -284,6 +336,44 @@ mod tests {
         assert_eq!(obj.errors, 1);
         let man = parsed.iter().find(|l| l.endpoint == "manifest").unwrap();
         assert_eq!(man.bytes_out, 300);
+    }
+
+    #[test]
+    fn stats_lines_carry_latency_quantiles() {
+        let s = Stats::new();
+        // 5 fast requests, 5 slower: p50 lands exactly on the first
+        // bucket's edge, p99 interpolates inside the 5..10ms bucket.
+        for _ in 0..5 {
+            s.record_duration(Endpoint::Objects, 0.25);
+        }
+        for _ in 0..5 {
+            s.record_duration(Endpoint::Objects, 6.0);
+        }
+        let text = s.render();
+        let obj_line = text
+            .lines()
+            .find(|l| l.starts_with("objects "))
+            .expect("objects line");
+        assert!(obj_line.contains("p50_ms=0.500"), "line: {obj_line}");
+        assert!(obj_line.contains("p99_ms=9.900"), "line: {obj_line}");
+        // Endpoints with no samples render zero quantiles.
+        let repos_line = text.lines().find(|l| l.starts_with("repos ")).unwrap();
+        assert!(repos_line.contains("p50_ms=0.000"));
+        // Old parsers ignore the new keys.
+        let parsed = parse_stats(&text);
+        assert_eq!(parsed.len(), ENDPOINTS.len());
+    }
+
+    #[test]
+    fn prometheus_export_has_duration_histograms() {
+        let s = Stats::new();
+        s.record_duration(Endpoint::Manifest, 3.0);
+        let text = s.render_prometheus();
+        assert!(text.contains("# TYPE hub_request_duration_ms histogram"));
+        assert!(text.contains("hub_request_duration_ms_bucket{endpoint=\"manifest\",le=\"5\"} 1"));
+        assert!(text.contains("hub_request_duration_ms_count{endpoint=\"manifest\"} 1"));
+        // Pre-registered at zero for endpoints with no traffic yet.
+        assert!(text.contains("hub_request_duration_ms_count{endpoint=\"objects\"} 0"));
     }
 
     #[test]

@@ -366,5 +366,58 @@ fn metrics_endpoint_serves_prometheus_exposition() {
     assert_eq!(metrics_line.requests, 1);
     assert_eq!(metrics_line.bytes_out, text.len() as u64);
     assert_eq!(metrics_line.errors, 0);
+
+    // Server-side latency quantiles ride along on both surfaces.
+    assert!(
+        text.contains("# TYPE hub_request_duration_ms histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("hub_request_duration_ms_bucket{endpoint=\"publish\",le=\"+Inf\"}"),
+        "{text}"
+    );
+    let publish_line = stats.iter().find(|l| l.endpoint == "publish").unwrap();
+    assert!(publish_line.p99_ms >= publish_line.p50_ms);
+    assert!(
+        publish_line.p99_ms > 0.0,
+        "real publishes took nonzero time"
+    );
+    server.stop();
+}
+
+#[test]
+fn flight_recorder_captures_requests_with_tracing_off() {
+    // No MH_TRACE / enable_stderr anywhere: spans are inert for JSONL
+    // output, yet the server's always-on flight recorder still holds
+    // the most recent request history for post-hoc debugging.
+    assert!(!mh_obs::enabled(), "test requires tracing off");
+    let dir = temp_dir("fr-repo");
+    let repo = sample_repo(&dir, "lenet-fr", 44);
+    let (server, client) = start_server("fr");
+    client.publish_repo(&repo, "fr").unwrap();
+    client.pull("fr", &temp_dir("fr-pull").join("fr")).unwrap();
+
+    let dump = client.flightrec_text().unwrap();
+    assert!(
+        dump.lines().any(|l| l.contains("\"name\":\"hub.request\"")),
+        "flight recorder should hold recent request spans, got:\n{dump}"
+    );
+    // Every line is a JSON object; the dump is machine-parseable.
+    for line in dump.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+
+    // A failing request leaves a warn event in the recorder that names
+    // the endpoint, so the error context survives in the server log.
+    let backend: &dyn HubBackend = &client;
+    assert!(backend
+        .pull("no/such-repo", &temp_dir("fr-miss").join("x"))
+        .is_err());
+    let dump = client.flightrec_text().unwrap();
+    assert!(
+        dump.lines()
+            .any(|l| l.contains("request error") && l.contains("manifest")),
+        "expected a request-error log event, got:\n{dump}"
+    );
     server.stop();
 }

@@ -16,6 +16,15 @@
 //!   (`--trace <file>` / `MH_TRACE`).
 //! * **Logging** ([`log`]): leveled stderr logging for the CLIs
 //!   (`--verbose` / `-q`), keeping stdout stable for scripts.
+//! * **Flight recorder** ([`flightrec`]): an always-on sharded ring
+//!   keeping the most recent span records and warn/error log events at
+//!   bounded overhead, dumped on panic and served by hubd at
+//!   `GET /debug/flightrec`.
+//!
+//! Spans carry a 128-bit trace id ([`SpanContext`]) propagated across
+//! pool threads with [`with_context`] and across the hub wire in the
+//! `mh-trace` request header; [`traceview`] stitches client and server
+//! JSONL files into one cross-process tree (`modelhub trace view`).
 //!
 //! [`prof`] turns captured spans into the deterministic self/total-time
 //! tree printed by `modelhub prof`.
@@ -33,19 +42,22 @@
 //! sp.add_bytes_in(4096);
 //! ```
 
+pub mod flightrec;
 pub mod log;
 pub mod metrics;
 pub mod prof;
 mod shim;
 pub mod span;
+pub mod traceview;
 
 pub use metrics::{
     escape_label_value, Counter, Gauge, Histogram, Metric, Registry, Sample, SampleValue,
 };
 pub use prof::{build_profile, format_us, render_profile, ProfileNode};
 pub use span::{
-    current_span, disable, drain_capture, enable_capture, enable_jsonl, enabled, flush, span,
-    with_parent, Span, SpanRecord,
+    begin_trace, current_context, current_span, disable, drain_capture, enable_capture,
+    enable_jsonl, enabled, flush, install_panic_hook, mint_trace_id, span, with_context,
+    with_parent, Span, SpanContext, SpanRecord,
 };
 
 /// Standard duration buckets (microseconds): 100us … 10s.

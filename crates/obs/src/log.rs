@@ -66,7 +66,12 @@ pub fn apply_verbosity(verbose: bool, quiet: bool) {
 
 /// Emit a message at `level` (to stderr, never stdout). Prefer the
 /// crate-root macros, which skip argument formatting when disabled.
+/// Warn/error messages are additionally captured by the flight recorder
+/// (when armed) even if the stderr threshold filters them out.
 pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if level <= Level::Warn && crate::flightrec::armed() {
+        crate::flightrec::record_log(level.tag(), args.to_string());
+    }
     if level_enabled(level) {
         eprintln!("{}: {}", level.tag(), args);
     }
@@ -76,9 +81,8 @@ pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
 #[macro_export]
 macro_rules! error {
     ($($arg:tt)*) => {
-        if $crate::log::level_enabled($crate::log::Level::Error) {
-            $crate::log::log($crate::log::Level::Error, format_args!($($arg)*));
-        }
+        // Always routed through `log` so the flight recorder sees it.
+        $crate::log::log($crate::log::Level::Error, format_args!($($arg)*));
     };
 }
 
@@ -86,9 +90,8 @@ macro_rules! error {
 #[macro_export]
 macro_rules! warn {
     ($($arg:tt)*) => {
-        if $crate::log::level_enabled($crate::log::Level::Warn) {
-            $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*));
-        }
+        // Always routed through `log` so the flight recorder sees it.
+        $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*));
     };
 }
 

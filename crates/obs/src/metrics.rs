@@ -146,6 +146,37 @@ impl Histogram {
         }
         out
     }
+
+    /// Estimate the `q`-quantile (0.0 ≤ q ≤ 1.0) by linear interpolation
+    /// inside the bucket containing rank `q * count`, the standard
+    /// Prometheus `histogram_quantile` scheme: the first bucket's lower
+    /// edge is 0, and ranks landing in the `+Inf` bucket are clamped to
+    /// the largest finite bound. Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut prev_le = 0.0f64;
+        let mut prev_count = 0u64;
+        for (le, cum) in self.cumulative() {
+            if (cum as f64) >= rank {
+                if le.is_infinite() {
+                    return prev_le;
+                }
+                let in_bucket = cum - prev_count;
+                if in_bucket == 0 {
+                    return le;
+                }
+                let frac = (rank - prev_count as f64) / in_bucket as f64;
+                return prev_le + frac * (le - prev_le);
+            }
+            prev_le = le;
+            prev_count = cum;
+        }
+        prev_le
+    }
 }
 
 /// The kind + storage of one registered metric.
@@ -456,6 +487,42 @@ mod tests {
         );
         assert_eq!(h.count(), 7);
         assert!((h.sum() - (0.5 + 1.0 + 1.5 + 10.0 + 99.9 + 100.0 + 1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("test_q", &[10.0, 100.0, 1000.0]);
+        // 8 observations ≤10, 2 in (10,100]: cumulative [8, 10, 10, 10].
+        for _ in 0..8 {
+            h.observe(5.0);
+        }
+        h.observe(50.0);
+        h.observe(60.0);
+        // p50: rank 5 inside the first bucket (edges 0..10) → 10 * 5/8.
+        assert_eq!(h.quantile(0.5), 6.25);
+        // p80: rank 8 is exactly the first bucket's cumulative → its edge.
+        assert_eq!(h.quantile(0.8), 10.0);
+        // p90: rank 9, second bucket (10..100), 1 of 2 → 10 + 90/2.
+        assert_eq!(h.quantile(0.9), 55.0);
+        // p100 lands on the last populated bucket's upper edge.
+        assert_eq!(h.quantile(1.0), 100.0);
+        // q is clamped.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let r = Registry::new();
+        let h = r.histogram("test_q_edge", &[10.0, 100.0]);
+        // Empty histogram: 0.
+        assert_eq!(h.quantile(0.5), 0.0);
+        // All observations beyond the last finite bound clamp to it.
+        h.observe(1e9);
+        h.observe(1e9);
+        assert_eq!(h.quantile(0.5), 100.0);
+        assert_eq!(h.quantile(0.99), 100.0);
     }
 
     #[test]

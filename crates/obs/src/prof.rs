@@ -57,18 +57,23 @@ impl Agg {
 
 /// Build the aggregated profile tree from a batch of span records.
 /// Records whose parent is missing from the batch (still open when the
-/// capture was drained, or drained earlier) are treated as roots.
+/// capture was drained, or drained earlier) are treated as roots. Parent
+/// chains that loop — possible in offline dumps where server spans carry
+/// *client* span ids that collide with local ones — are cut at the first
+/// revisited id instead of walked forever.
 pub fn build_profile(records: &[SpanRecord]) -> Vec<ProfileNode> {
     let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
     let mut root = Agg::default();
     for r in records {
         // Path from root to this span, via the parent chain.
         let mut path = vec![r.name];
+        let mut seen = vec![r.id];
         let mut cur = r.parent;
-        while cur != 0 {
+        while cur != 0 && !seen.contains(&cur) {
             match by_id.get(&cur) {
                 Some(p) => {
                     path.push(p.name);
+                    seen.push(cur);
                     cur = p.parent;
                 }
                 None => break,
@@ -157,6 +162,7 @@ mod tests {
 
     fn rec(id: u64, parent: u64, name: &'static str, dur_us: u64) -> SpanRecord {
         SpanRecord {
+            trace: 0,
             id,
             parent,
             name,

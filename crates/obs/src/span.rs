@@ -27,13 +27,27 @@ static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     /// Id of the innermost open span on this thread (0 = none).
     static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// 128-bit trace id stamped on spans opened by this thread (0 = none).
+    static TRACE: Cell<u128> = const { Cell::new(0) };
     /// Small sequential per-thread id, stable for the thread's lifetime.
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small sequential id of the calling thread (used by the flight recorder
+/// for shard selection).
+pub(crate) fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
 }
 
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Pin the trace epoch now (flight-recorder arming does this so span
+/// start offsets are measured from process start, not first use).
+pub(crate) fn touch_epoch() {
+    epoch();
 }
 
 fn capture_buf() -> &'static Mutex<Vec<SpanRecord>> {
@@ -105,6 +119,119 @@ pub fn current_span() -> Option<u64> {
     (id != 0).then_some(id)
 }
 
+/// Trace context as carried across threads (mh-par pool workers) and
+/// across processes (the `mh-trace` HTTP header): a 128-bit trace id plus
+/// the span id new spans should parent under. Zero means "none".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanContext {
+    pub trace: u128,
+    pub parent: u64,
+}
+
+impl SpanContext {
+    pub const NONE: SpanContext = SpanContext {
+        trace: 0,
+        parent: 0,
+    };
+
+    /// Render as the `mh-trace` header value: `<trace-hex32> <parent-id>`.
+    pub fn to_header(self) -> String {
+        format!("{:032x} {}", self.trace, self.parent)
+    }
+
+    /// Parse an `mh-trace` header value. Returns `None` on any deviation
+    /// from the grammar (malformed input degrades to "no context").
+    pub fn from_header(value: &str) -> Option<SpanContext> {
+        let (trace_hex, parent_dec) = value.trim().split_once(' ')?;
+        if trace_hex.len() != 32 {
+            return None;
+        }
+        let trace = u128::from_str_radix(trace_hex, 16).ok()?;
+        let parent = parent_dec.trim().parse::<u64>().ok()?;
+        if trace == 0 {
+            return None;
+        }
+        Some(SpanContext { trace, parent })
+    }
+}
+
+/// The calling thread's trace id and innermost open span id. Capture this
+/// before handing work to another thread or process, then re-establish it
+/// there with [`with_context`] (or serialize it with
+/// [`SpanContext::to_header`]).
+pub fn current_context() -> SpanContext {
+    SpanContext {
+        trace: TRACE.with(Cell::get),
+        parent: CURRENT.with(Cell::get),
+    }
+}
+
+/// Run `f` with the per-thread trace id and current span both taken from
+/// `ctx`, restoring the previous values afterwards (even on panic). The
+/// cross-thread / cross-process analogue of [`with_parent`].
+pub fn with_context<T>(ctx: SpanContext, f: impl FnOnce() -> T) -> T {
+    struct Restore {
+        trace: u128,
+        parent: u64,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TRACE.with(|c| c.set(self.trace));
+            CURRENT.with(|c| c.set(self.parent));
+        }
+    }
+    let prev = Restore {
+        trace: TRACE.with(|c| {
+            let prev = c.get();
+            c.set(ctx.trace);
+            prev
+        }),
+        parent: CURRENT.with(|c| {
+            let prev = c.get();
+            c.set(ctx.parent);
+            prev
+        }),
+    };
+    let _restore = prev;
+    f()
+}
+
+/// splitmix64: a fixed bijective mixer with good avalanche behaviour.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mint a fresh non-zero 128-bit trace id. Derived from the process id
+/// and the deterministic span-id counter (never the wall clock), so ids
+/// are unique across the processes of one run and stable under replay.
+pub fn mint_trace_id() -> u128 {
+    let seq = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let seed = ((std::process::id() as u64) << 32) ^ seq;
+    let hi = mix64(seed);
+    let lo = mix64(hi ^ seq.rotate_left(17));
+    let id = ((hi as u128) << 64) | lo as u128;
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Ensure the calling thread has a trace id, minting one if needed, and
+/// return it. CLI entry points call this once so every root span of the
+/// invocation shares one trace id.
+pub fn begin_trace() -> u128 {
+    TRACE.with(|c| {
+        if c.get() == 0 {
+            c.set(mint_trace_id());
+        }
+        c.get()
+    })
+}
+
 /// Run `f` with the per-thread current span set to `parent`, restoring the
 /// previous value afterwards (even on panic, via an RAII guard). This is
 /// how pool workers attach their spans under the span that submitted the
@@ -128,6 +255,8 @@ pub fn with_parent<T>(parent: Option<u64>, f: impl FnOnce() -> T) -> T {
 /// One finished span, as delivered to the sinks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
+    /// 128-bit trace id shared across processes, 0 when untraced.
+    pub trace: u128,
     pub id: u64,
     /// Parent span id, 0 for roots.
     pub parent: u64,
@@ -143,6 +272,7 @@ pub struct SpanRecord {
 }
 
 struct SpanInner {
+    trace: u128,
     id: u64,
     parent: u64,
     name: &'static str,
@@ -162,9 +292,11 @@ pub struct Span {
 }
 
 /// Open a span named `name`, parented under the thread's current span.
+/// Records when span tracing is enabled **or** the always-on flight
+/// recorder is armed; fully off, the cost is two relaxed atomic loads.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if !enabled() {
+    if !enabled() && !crate::flightrec::armed() {
         return Span { inner: None };
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
@@ -176,6 +308,7 @@ pub fn span(name: &'static str) -> Span {
     let start = Instant::now();
     Span {
         inner: Some(Box::new(SpanInner {
+            trace: TRACE.with(Cell::get),
             id,
             parent: prev,
             name,
@@ -193,6 +326,11 @@ impl Span {
     /// Is this a live (recording) span?
     pub fn is_recording(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The span's id while recording (e.g. to cite as a remote parent).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|s| s.id)
     }
 
     pub fn add_bytes_in(&mut self, n: u64) {
@@ -220,6 +358,7 @@ impl Drop for Span {
         let Some(s) = self.inner.take() else { return };
         CURRENT.with(|c| c.set(s.prev));
         let record = SpanRecord {
+            trace: s.trace,
             id: s.id,
             parent: s.parent,
             name: s.name,
@@ -235,6 +374,10 @@ impl Drop for Span {
 }
 
 fn emit(record: SpanRecord) {
+    crate::flightrec::record_span(&record);
+    if !enabled() {
+        return;
+    }
     if let Some(w) = lock(jsonl_sink()).as_mut() {
         let _ = writeln!(w, "{}", record.to_json());
     }
@@ -243,11 +386,36 @@ fn emit(record: SpanRecord) {
     }
 }
 
+/// Install (once) a panic hook that flushes the JSONL sink and dumps the
+/// flight recorder to stderr, so traces of crashing runs are neither
+/// truncated mid-line nor lost. Chains to the previously installed hook.
+pub fn install_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            flush();
+            let dump = crate::flightrec::dump();
+            if !dump.is_empty() {
+                eprintln!("--- flight recorder dump ---");
+                eprint!("{dump}");
+                eprintln!("--- end flight recorder ---");
+            }
+        }));
+    });
+}
+
 impl SpanRecord {
-    /// Render as a single-line JSON object (the JSONL sink format).
+    /// Render as a single-line JSON object (the JSONL sink format). The
+    /// `trace` field is present only on traced spans, keeping untraced
+    /// output byte-identical with earlier releases.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(128);
         out.push('{');
+        if self.trace != 0 {
+            out.push_str(&format!("\"trace\":\"{:032x}\",", self.trace));
+        }
         out.push_str(&format!(
             "\"id\":{},\"parent\":{},\"name\":\"{}\",\"thread\":{},\"start_us\":{},\"dur_us\":{},\"bytes_in\":{},\"bytes_out\":{}",
             self.id,
@@ -275,7 +443,7 @@ impl SpanRecord {
 }
 
 /// Minimal JSON string escaping (quotes, backslash, control chars).
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -368,7 +536,8 @@ mod tests {
     fn json_escaping() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
-        let r = SpanRecord {
+        let mut r = SpanRecord {
+            trace: 0,
             id: 1,
             parent: 0,
             name: "x",
@@ -383,5 +552,69 @@ mod tests {
             r.to_json(),
             "{\"id\":1,\"parent\":0,\"name\":\"x\",\"thread\":1,\"start_us\":2,\"dur_us\":3,\"bytes_in\":4,\"bytes_out\":5,\"fields\":{\"k\":\"v\\\"w\"}}"
         );
+        r.trace = 0xabc;
+        assert_eq!(
+            r.to_json(),
+            "{\"trace\":\"00000000000000000000000000000abc\",\"id\":1,\"parent\":0,\"name\":\"x\",\"thread\":1,\"start_us\":2,\"dur_us\":3,\"bytes_in\":4,\"bytes_out\":5,\"fields\":{\"k\":\"v\\\"w\"}}"
+        );
+    }
+
+    #[test]
+    fn trace_context_header_roundtrip() {
+        let ctx = SpanContext {
+            trace: 0xdead_beef_0123_4567_89ab_cdef_0011_2233,
+            parent: 42,
+        };
+        let header = ctx.to_header();
+        assert_eq!(header, "deadbeef0123456789abcdef00112233 42");
+        assert_eq!(SpanContext::from_header(&header), Some(ctx));
+        // Malformed values degrade to None, never panic.
+        assert_eq!(SpanContext::from_header(""), None);
+        assert_eq!(SpanContext::from_header("xyz 1"), None);
+        assert_eq!(SpanContext::from_header("deadbeef 1"), None);
+        assert_eq!(
+            SpanContext::from_header("deadbeef0123456789abcdef00112233"),
+            None
+        );
+        assert_eq!(
+            SpanContext::from_header("deadbeef0123456789abcdef00112233 -1"),
+            None
+        );
+        assert_eq!(
+            SpanContext::from_header("00000000000000000000000000000000 1"),
+            None
+        );
+    }
+
+    #[test]
+    fn mint_trace_id_is_nonzero_and_distinct() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn with_context_stamps_trace_and_restores() {
+        let _g = crate::test_trace_lock();
+        enable_capture();
+        let ctx = SpanContext {
+            trace: 0x77,
+            parent: 9000,
+        };
+        with_context(ctx, || {
+            assert_eq!(current_context(), ctx);
+            let _s = span("test.ctx_child");
+        });
+        assert_eq!(current_context(), SpanContext::NONE);
+        let records = drain_capture();
+        disable();
+        let child = records
+            .iter()
+            .find(|r| r.name == "test.ctx_child")
+            .expect("child recorded");
+        assert_eq!(child.trace, 0x77);
+        assert_eq!(child.parent, 9000);
     }
 }

@@ -90,6 +90,63 @@ fn capture_to_profile_tree() {
     }
 }
 
+/// Child-process half of `panic_hook_flushes_jsonl_and_dumps_flightrec`:
+/// panics inside an open span with the JSONL sink live, so the parent can
+/// assert the panic hook flushed the sink and dumped the flight recorder.
+/// Inert unless the env var is set.
+#[test]
+fn panic_hook_child_scenario() {
+    let Ok(path) = std::env::var("MH_OBS_PANIC_CHILD") else {
+        return;
+    };
+    mh_obs::install_panic_hook();
+    mh_obs::flightrec::enable();
+    mh_obs::enable_jsonl(std::path::Path::new(&path)).expect("enable jsonl");
+    {
+        let mut done = mh_obs::span("ph.completed");
+        done.field("phase", "before-panic");
+    }
+    let _open = mh_obs::span("ph.open_at_panic");
+    panic!("deliberate panic inside a span");
+}
+
+/// A process that panics mid-span still leaves a usable trace behind: the
+/// panic hook flushes the buffered JSONL sink (completed spans reach disk)
+/// and dumps the flight recorder to stderr.
+#[test]
+fn panic_hook_flushes_jsonl_and_dumps_flightrec() {
+    let dir = std::env::temp_dir().join(format!("mh-obs-panic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("panic-trace.jsonl");
+    let out = std::process::Command::new(std::env::current_exe().expect("test exe"))
+        .args(["--exact", "panic_hook_child_scenario", "--nocapture"])
+        .env("MH_OBS_PANIC_CHILD", &path)
+        .output()
+        .expect("spawn child");
+    assert!(
+        !out.status.success(),
+        "child must die from the deliberate panic"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--- flight recorder dump ---") && stderr.contains("ph.completed"),
+        "panic hook must dump the flight recorder to stderr, got:\n{stderr}"
+    );
+
+    // The completed span was sitting in the sink's write buffer when the
+    // panic hit; the hook's flush is what put it on disk.
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"name\":\"ph.completed\"")),
+        "flushed trace must contain the completed span, got:\n{text}"
+    );
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// An isolated Registry renders valid Prometheus text with histogram
 /// bucket/sum/count series.
 #[test]

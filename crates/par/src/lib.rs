@@ -290,9 +290,10 @@ where
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
 
     // Metric handles resolved once per call (and cached per call site);
-    // the submitting thread's open span becomes the parent of any spans
-    // the workers record, keeping traces connected across the pool.
-    let parent_span = mh_obs::current_span();
+    // the submitting thread's trace context (trace id + open span) is
+    // re-established on the workers, keeping traces connected across the
+    // pool and across processes.
+    let parent_ctx = mh_obs::current_context();
     let tasks = mh_obs::counter!("par_tasks_total");
     let panics = mh_obs::counter!("par_worker_panics_total");
     let depth = mh_obs::gauge!("par_queue_depth");
@@ -330,7 +331,7 @@ where
                         wait_hist.observe(enqueued.elapsed().as_micros() as f64);
                         let run_start = sync::now();
                         let out = catch_unwind(AssertUnwindSafe(|| {
-                            mh_obs::with_parent(parent_span, || f(scratch, i, item))
+                            mh_obs::with_context(parent_ctx, || f(scratch, i, item))
                         }));
                         match out {
                             Ok(r) => {

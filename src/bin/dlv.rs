@@ -318,13 +318,21 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let name = args.get(3).ok_or("publish needs <repo> <hub> <name>")?;
             let repo = Repository::open(&dir)?;
             mh_obs::debug!("publishing {} to {hub_spec} as {name}", dir.display());
-            open_hub(hub_spec, None)?.publish(&repo, name)?;
+            {
+                // Root span: every hub.rpc the publish makes parents here,
+                // and the minted trace id crosses the wire to the server.
+                let mut sp = mh_obs::span("dlv.publish");
+                sp.field("name", name.as_str());
+                open_hub(hub_spec, None)?.publish(&repo, name)?;
+            }
             println!("published {} as {name} to {hub_spec}", dir.display());
             Ok(ExitCode::SUCCESS)
         }
         "search" => {
             let hub_spec = args.get(1).ok_or("search needs <hub> <pattern>")?;
             let pattern = args.get(2).ok_or("search needs <hub> <pattern>")?;
+            let mut sp = mh_obs::span("dlv.search");
+            sp.field("pattern", pattern.as_str());
             for hit in open_hub(hub_spec, None)?.search(pattern)? {
                 println!(
                     "{}/{}  {}  {}",
@@ -339,7 +347,11 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let dest = path(3).ok_or("pull needs <hub> <name> <dest>")?;
             let cache = flag_value(&args, "--cache").map(PathBuf::from);
             mh_obs::debug!("pulling {name} from {hub_spec} into {}", dest.display());
-            open_hub(hub_spec, cache.as_ref())?.pull(name, &dest)?;
+            {
+                let mut sp = mh_obs::span("dlv.pull");
+                sp.field("name", name.as_str());
+                open_hub(hub_spec, cache.as_ref())?.pull(name, &dest)?;
+            }
             println!("pulled {name} into {} (verified)", dest.display());
             Ok(ExitCode::SUCCESS)
         }

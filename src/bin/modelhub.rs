@@ -9,6 +9,8 @@
 //! modelhub audit [root] [--report FILE] [--max-waivers N]  # panic/alloc static audit
 //! modelhub repro <experiment> [--quick] [--jobs N]  # run an mh-bench experiment
 //! modelhub prof <subcommand...>            # run a subcommand, print a span profile
+//! modelhub prof --from-dump <spans.jsonl>  # render a span dump as a profile tree
+//! modelhub trace view <spans.jsonl>...     # stitch client+server spans into one trace tree
 //! ```
 //!
 //! Global flags (any command): `--verbose`/`-v` and `--quiet`/`-q` set the
@@ -46,7 +48,16 @@
 //! `--body-budget` (bytes, default 256 MiB) caps the aggregate declared
 //! request-body bytes buffered across all connections; requests past it
 //! are answered 503 + Retry-After (one body is always admitted when
-//! nothing else is in flight).
+//! nothing else is in flight). `--slow-ms N` (default 1000; 0 disables)
+//! logs a warn line naming the request's trace id whenever routing takes
+//! at least N milliseconds. `GET /debug/flightrec` returns the server's
+//! always-on flight-recorder dump: the most recent span records and
+//! warn/error events, captured even with tracing off.
+//!
+//! `trace view` merges one or more `--trace` JSONL files (client- and
+//! server-side) by 128-bit trace id and prints each trace as a single
+//! cross-process tree; the gap between a client rpc span and the nested
+//! server request span is attributed as `network+queue=` explicitly.
 //!
 //! `--jobs N` bounds the worker pool for the invocation (overrides the
 //! `MH_THREADS` environment variable; default: all available cores).
@@ -64,10 +75,11 @@ fn usage() -> ExitCode {
          modelhub check \"<DQL>\" [--repo <dir>]\n       \
          modelhub gen-sample <dir>\n       \
          modelhub archive <dir> [--alpha F] [--jobs N]\n       \
-         modelhub hubd <root> [--addr HOST:PORT] [--jobs N] [--max-conns N] [--cache-bytes N] [--body-budget N]\n       \
+         modelhub hubd <root> [--addr HOST:PORT] [--jobs N] [--max-conns N] [--cache-bytes N] [--body-budget N] [--slow-ms N]\n       \
          modelhub audit [root] [--report FILE] [--max-waivers N]\n       \
          modelhub repro <experiment|all> [--quick] [--jobs N]\n       \
-         modelhub prof <subcommand...>\n       \
+         modelhub prof <subcommand...> | prof --from-dump <spans.jsonl>\n       \
+         modelhub trace view <spans.jsonl>...\n       \
          global flags: [--verbose|-v] [--quiet|-q] [--trace <file>]"
     );
     ExitCode::from(2)
@@ -149,6 +161,23 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match args.first().map(String::as_str) {
         Some("prof") => {
             let rest = &args[1..];
+            if rest.first().map(String::as_str) == Some("--from-dump") {
+                // Offline mode: render a previously captured span dump (a
+                // `--trace` JSONL file or a flight-recorder dump) as the
+                // same aggregated profile tree `prof` prints live.
+                let path = rest.get(1).ok_or("--from-dump needs a JSONL file")?;
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let spans = mh_obs::traceview::parse_jsonl(&text, 0);
+                if spans.is_empty() {
+                    return Err(format!("no span records found in {path}").into());
+                }
+                let records = mh_obs::traceview::to_records(&spans);
+                let profile = mh_obs::build_profile(&records);
+                println!("--- profile ({path}) ---");
+                print!("{}", mh_obs::render_profile(&profile));
+                return Ok(ExitCode::SUCCESS);
+            }
             if rest.first().is_none_or(|a| a.starts_with("--")) {
                 return Err(
                     "prof needs a subcommand to profile (e.g. `modelhub prof repro pas --quick`)"
@@ -161,6 +190,40 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             println!("--- profile ---");
             print!("{}", mh_obs::render_profile(&profile));
             return Ok(code);
+        }
+        Some("trace") => {
+            if args.get(1).map(String::as_str) != Some("view") {
+                return Err("trace needs a subcommand: trace view <spans.jsonl>...".into());
+            }
+            let files = &args[2..];
+            if files.is_empty() || files.iter().any(|a| a.starts_with("--")) {
+                return Err("trace view needs one or more JSONL span files".into());
+            }
+            let mut spans = Vec::new();
+            let mut sources = Vec::new();
+            for (i, path) in files.iter().enumerate() {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                spans.extend(mh_obs::traceview::parse_jsonl(&text, i));
+                sources.push(path.clone());
+            }
+            let untraced = spans.iter().filter(|s| s.trace == 0).count();
+            let trees = mh_obs::traceview::stitch(&spans);
+            if trees.is_empty() {
+                println!(
+                    "no traced spans in {} record(s) ({untraced} without a trace id); \
+                     capture with `--trace <file>` on both client and server",
+                    spans.len()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            for tree in &trees {
+                print!("{}", mh_obs::traceview::render_trace(tree, &sources));
+            }
+            if untraced > 0 {
+                mh_obs::debug!("trace view: ignored {untraced} spans without a trace id");
+            }
+            return Ok(ExitCode::SUCCESS);
         }
         Some("repro") => {
             apply_jobs(args)?;
@@ -375,6 +438,9 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             if let Some(body_budget) = flag_value::<u64>(args, "--body-budget")? {
                 config.body_budget_bytes = body_budget;
+            }
+            if let Some(slow_ms) = flag_value::<u64>(args, "--slow-ms")? {
+                config.slow_ms = slow_ms;
             }
             let server = modelhub::hub::HubServer::start_with(&root, &addr, config)?;
             println!(

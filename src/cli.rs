@@ -5,12 +5,21 @@
 //!   output, so scripted callers keep parsing it);
 //! - `--trace <file>` — or the `MH_TRACE` environment variable — streams
 //!   every completed span as one JSON object per line.
+//!
+//! Every invocation also arms the always-on flight recorder, installs a
+//! panic hook that flushes the trace sink and dumps the recorder to
+//! stderr, and mints a fresh 128-bit trace id so every span the process
+//! opens — including spans on the far side of a hub connection — shares
+//! one trace.
 
 use std::path::PathBuf;
 
 /// Strip the global flags out of `args` and apply them. Call before
 /// subcommand dispatch so per-command parsers never see these flags.
 pub fn apply_global_flags(args: &mut Vec<String>) -> Result<(), String> {
+    mh_obs::install_panic_hook();
+    mh_obs::flightrec::enable();
+    mh_obs::begin_trace();
     let mut verbose = false;
     let mut quiet = false;
     let mut trace: Option<PathBuf> = None;

@@ -168,6 +168,139 @@ fn share_then_continue_working_on_the_clone() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+/// A traced `dlv pull` against a traced `hubd` over a real socket leaves
+/// two JSONL files that share one 128-bit trace id, and `trace view`
+/// stitches them into a single cross-process tree rooted at the client's
+/// `dlv.pull` span, with the network gap attributed on the server child.
+#[test]
+fn distributed_trace_stitches_across_client_and_server() {
+    let base = temp_dir("stitch");
+
+    // A small published model to pull.
+    let repo = modelhub::dlv::Repository::init(&base.join("origin")).unwrap();
+    let d = data();
+    let net = zoo::lenet_s(3);
+    let trainer = Trainer::new(Hyperparams::default());
+    let r = trainer
+        .train(&net, Weights::init(&net, 7).unwrap(), &d, 5)
+        .unwrap();
+    let mut req = CommitRequest::new("stitch-model", net);
+    req.snapshots = vec![(5, r.weights)];
+    repo.commit(&req).unwrap();
+
+    // Real hubd child with server-side tracing; port picked by the OS and
+    // read back from its startup line.
+    let server_trace = base.join("server.jsonl");
+    let mut hubd = std::process::Command::new(env!("CARGO_BIN_EXE_modelhub"))
+        .arg("hubd")
+        .arg(base.join("hubroot"))
+        .args(["--addr", "127.0.0.1:0", "--jobs", "2"])
+        .env("MH_TRACE", &server_trace)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let url = {
+        use std::io::{BufRead, BufReader};
+        let mut line = String::new();
+        BufReader::new(hubd.stdout.take().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        line.split(" at ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no url in hubd banner {line:?}"))
+            .to_string()
+    };
+
+    // Publish untraced in-process; pull traced through the dlv binary.
+    modelhub::hub::RemoteHub::open(&url)
+        .unwrap()
+        .publish_repo(&repo, "team/stitch")
+        .unwrap();
+    let client_trace = base.join("client.jsonl");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_dlv"))
+        .args(["pull", &url, "team/stitch"])
+        .arg(base.join("clone"))
+        .env("MH_TRACE", &client_trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "pull failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = hubd.kill();
+    let _ = hubd.wait();
+
+    // Both sides carry exactly one (shared) nonzero trace id.
+    let ct = std::fs::read_to_string(&client_trace).unwrap();
+    let st = std::fs::read_to_string(&server_trace).unwrap();
+    let mut spans = mh_obs::traceview::parse_jsonl(&ct, 0);
+    let client_span_count = spans.len();
+    spans.extend(mh_obs::traceview::parse_jsonl(&st, 1));
+    let traced: std::collections::BTreeSet<u128> = spans
+        .iter()
+        .filter(|s| s.trace != 0)
+        .map(|s| s.trace)
+        .collect();
+    assert_eq!(traced.len(), 1, "client and server must share one trace id");
+    let client_traced = spans[..client_span_count]
+        .iter()
+        .filter(|s| s.trace != 0)
+        .count();
+    let server_traced = spans[client_span_count..]
+        .iter()
+        .filter(|s| s.trace != 0)
+        .count();
+    assert!(client_traced > 0, "client recorded traced spans");
+    assert!(server_traced > 0, "server recorded traced spans");
+
+    // Stitched: one tree, rooted at the client's dlv.pull, containing
+    // server-side hub.request spans as remote children with a gap.
+    let trees = mh_obs::traceview::stitch(&spans);
+    assert_eq!(trees.len(), 1, "one trace id means one tree");
+    assert_eq!(trees[0].roots.len(), 1, "single root: the client command");
+    let root = &trees[0].roots[0];
+    assert_eq!(root.span.name, "dlv.pull");
+    assert_eq!(root.span.source, 0, "root comes from the client file");
+    fn count_remote_requests(n: &mh_obs::traceview::TraceNode) -> usize {
+        let own = usize::from(
+            n.span.name == "hub.request" && n.span.source == 1 && n.remote_gap_us.is_some(),
+        );
+        own + n.children.iter().map(count_remote_requests).sum::<usize>()
+    }
+    assert!(
+        count_remote_requests(root) >= 2,
+        "manifest + objects requests must nest under the client tree"
+    );
+
+    // The CLI renders the same merge as one tree with the gap named.
+    let view = std::process::Command::new(env!("CARGO_BIN_EXE_modelhub"))
+        .args(["trace", "view"])
+        .arg(&client_trace)
+        .arg(&server_trace)
+        .output()
+        .unwrap();
+    assert!(
+        view.status.success(),
+        "trace view failed: {}",
+        String::from_utf8_lossy(&view.stderr)
+    );
+    let rendered = String::from_utf8_lossy(&view.stdout);
+    assert_eq!(
+        rendered.matches("trace ").count(),
+        1,
+        "one stitched trace: {rendered}"
+    );
+    for needle in ["dlv.pull", "hub.rpc", "hub.request", "network+queue="] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
 #[test]
 fn float_schemes_compose_with_compression() {
     // Cross-crate invariant: for trained weights, every lossy scheme's
