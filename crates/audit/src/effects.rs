@@ -1,0 +1,298 @@
+//! Blocking-effect inference — which workspace functions *may block*.
+//!
+//! Seed facts are recognized at call sites by syntax (the facade's own
+//! sources are a trust boundary, so acquisition is keyed on how the
+//! facade is *used*, not how it is implemented):
+//!
+//! * lock acquisition — `.lock()`, and 0-argument `.read()`/`.write()`
+//!   (`RwLock`; the 1-argument forms are `io::Read`/`io::Write`),
+//!   `Mutex::lock`/`RwLock::read`/`RwLock::write` type-qualified;
+//! * condvar waits — 1-argument `.wait(guard)` and `.wait_timeout(..)`;
+//! * file/socket I/O — paths into `std::fs`/`std::net` (through the
+//!   `use` map), `File`/`OpenOptions`/`Tcp*`/`UdpSocket` constructors,
+//!   and the `io::Read`/`io::Write` method family (`read_exact`,
+//!   `write_all`, `flush`, `accept`, …);
+//! * pool submit-and-wait — `thread::scope` (joins all scoped threads
+//!   on exit) and 0-argument `.join()` (thread join; the 1-argument
+//!   slice `join(sep)` is shadowed std);
+//! * `thread::sleep`.
+//!
+//! "May block" then propagates transitively through the workspace call
+//! graph. The graph's by-name resolution links a `.method(` call with
+//! an unknown receiver to *every* workspace function of that name —
+//! which is exactly the conservative widening trait methods need: a
+//! call through `dyn Trait`/generic `T: Trait` inherits the union of
+//! all same-name impls' effects. `trusted` functions (including the
+//! facade/model/obs infrastructure layer) are opaque boundaries assumed
+//! nonblocking; what they do internally is their audit's problem.
+
+use crate::graph::{CallSite, Graph};
+use crate::parser::ParsedFile;
+use std::collections::BTreeMap;
+
+/// Blocking-effect kinds, as a bitmask.
+pub const LOCK: u8 = 1 << 0;
+pub const CONDVAR: u8 = 1 << 1;
+pub const SLEEP: u8 = 1 << 2;
+pub const IO: u8 = 1 << 3;
+pub const POOL: u8 = 1 << 4;
+
+/// `io::Read`/`io::Write`/socket methods that block on the underlying
+/// descriptor regardless of arity.
+const IO_METHODS: &[&str] = &[
+    "accept",
+    "connect",
+    "flush",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "read_vectored",
+    "recv",
+    "recv_from",
+    "rewind",
+    "seek",
+    "send_to",
+    "set_len",
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "write_fmt",
+    "write_vectored",
+];
+
+/// A directly-blocking operation found at a call site.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    pub line: u32,
+    /// Token index of the operation (orders events for regions).
+    pub idx: usize,
+    /// One of the kind bits above.
+    pub kind: u8,
+    /// Human description, e.g. "`.lock()` (mutex acquire)".
+    pub what: &'static str,
+}
+
+/// Classify one call site as a direct blocking seed, if it is one.
+pub fn classify(
+    site: &CallSite,
+    uses: &BTreeMap<String, Vec<String>>,
+) -> Option<(u8, &'static str)> {
+    let name = site.name.as_str();
+    if site.is_method {
+        return match (name, site.nargs) {
+            ("lock", Some(0)) => Some((LOCK, "`.lock()` (mutex acquire)")),
+            ("read", Some(0)) => Some((LOCK, "`.read()` (rwlock acquire)")),
+            ("write", Some(0)) => Some((LOCK, "`.write()` (rwlock acquire)")),
+            ("wait", Some(1)) => Some((CONDVAR, "`.wait(guard)` (condvar wait)")),
+            ("wait_timeout", _) => Some((CONDVAR, "`.wait_timeout(..)` (condvar wait)")),
+            ("join", Some(0)) => Some((POOL, "`.join()` (thread join)")),
+            ("read", Some(1)) => Some((IO, "`.read(buf)` (io::Read)")),
+            ("write", Some(1)) => Some((IO, "`.write(buf)` (io::Write)")),
+            ("sleep", _) => Some((SLEEP, "`.sleep()`")),
+            _ if IO_METHODS.contains(&name) => Some((IO, "blocking io/socket method")),
+            _ => None,
+        };
+    }
+    // Qualified / bare calls: expand the first segment through the
+    // file's use map so `fs::read` and `use std::fs::read; read(..)`
+    // classify the same way.
+    let mut full: Vec<&str> = Vec::new();
+    match site.path.first() {
+        Some(first) => {
+            if let Some(exp) = uses.get(first) {
+                full.extend(exp.iter().map(String::as_str));
+            } else {
+                full.push(first);
+            }
+            full.extend(site.path.iter().skip(1).map(String::as_str));
+        }
+        None => {
+            if let Some(exp) = uses.get(name) {
+                // Direct import of the leaf: expansion ends in `name`.
+                full.extend(exp.iter().map(String::as_str));
+                full.pop();
+            }
+        }
+    }
+    // A path that resolves inside the workspace (`crate::…`, an `mh_*`
+    // crate) is a real call-graph edge; its effects come from the
+    // callee's own body via propagation, not from a seed here.
+    if matches!(
+        full.first(),
+        Some(&"crate") | Some(&"self") | Some(&"super")
+    ) || full.first().is_some_and(|s| s.starts_with("mh_"))
+    {
+        return None;
+    }
+    if name == "sleep" {
+        return Some((SLEEP, "`thread::sleep`"));
+    }
+    let qualifier = full.last().copied().unwrap_or("");
+    if name == "scope" && full.contains(&"thread") {
+        return Some((POOL, "`thread::scope` (joins scoped threads)"));
+    }
+    if name == "wait" && qualifier == "Condvar" {
+        return Some((CONDVAR, "`Condvar::wait` (condvar wait)"));
+    }
+    if (name == "lock" || name == "read" || name == "write")
+        && matches!(qualifier, "Mutex" | "RwLock")
+    {
+        return Some((LOCK, "type-qualified lock acquire"));
+    }
+    if full.contains(&"fs") || full.contains(&"net") {
+        return Some((IO, "std::fs / std::net call"));
+    }
+    if matches!(
+        qualifier,
+        "File" | "OpenOptions" | "TcpStream" | "TcpListener" | "UdpSocket"
+    ) {
+        return Some((IO, "file/socket constructor"));
+    }
+    if IO_METHODS.contains(&name) && !full.is_empty() {
+        return Some((IO, "blocking io/socket call"));
+    }
+    None
+}
+
+/// Per-function blocking effects for the whole workspace.
+pub struct Effects {
+    /// Bitmask of blocking kinds each function may perform, including
+    /// transitively through callees (parallel to `graph.funcs`).
+    pub may_block: Vec<u8>,
+    /// Direct seeds found in each function's own body.
+    pub seeds: Vec<Vec<Seed>>,
+}
+
+/// Infer blocking effects: seed facts per body, then propagate "may
+/// block" backwards over call edges to a fixpoint.
+pub fn infer(graph: &Graph, files: &[ParsedFile]) -> Effects {
+    let n = graph.funcs.len();
+    let mut seeds: Vec<Vec<Seed>> = vec![Vec::new(); n];
+    let mut may_block: Vec<u8> = vec![0; n];
+    for id in 0..n {
+        let f = &graph.funcs[id];
+        if f.in_test || f.trusted.is_some() || f.body.is_empty() {
+            continue;
+        }
+        let uses = &files[graph.file_of[id]].uses;
+        for site in &graph.calls[id] {
+            if let Some((kind, what)) = classify(site, uses) {
+                seeds[id].push(Seed {
+                    line: site.line,
+                    idx: site.idx,
+                    kind,
+                    what,
+                });
+                may_block[id] |= kind;
+            }
+        }
+    }
+    // Fixpoint: a function may block if any non-trusted callee may.
+    // Bounded by the longest acyclic chain; iterate until stable.
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            if graph.funcs[id].in_test || graph.funcs[id].trusted.is_some() {
+                continue;
+            }
+            let mut acc = may_block[id];
+            for &c in &graph.edges[id] {
+                if graph.funcs[c].trusted.is_none() && !graph.funcs[c].in_test {
+                    acc |= may_block[c];
+                }
+            }
+            if acc != may_block[id] {
+                may_block[id] = acc;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Effects { may_block, seeds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn effects_of(src: &str) -> (Graph, Effects) {
+        let files = vec![parse("a.rs", "c1", &[], lex(src))];
+        let g = Graph::build(&files);
+        let e = infer(&g, &files);
+        (g, e)
+    }
+
+    fn mask(src: &str, name: &str) -> u8 {
+        let (g, e) = effects_of(src);
+        let id = g.funcs.iter().position(|f| f.name == name).unwrap();
+        e.may_block[id]
+    }
+
+    #[test]
+    fn direct_seeds_classify() {
+        assert_eq!(mask("fn f(m: &M) { let g = m.lock(); }", "f"), LOCK);
+        assert_eq!(mask("fn f(l: &L) { let g = l.write(); }", "f"), LOCK);
+        assert_eq!(
+            mask("fn f(s: &mut S, b: &mut [u8]) { s.read(b); }", "f"),
+            IO
+        );
+        assert_eq!(
+            mask("fn f(c: &C, g: G) { let g2 = c.wait(g); }", "f"),
+            CONDVAR
+        );
+        assert_eq!(mask("fn f(h: H) { h.join(); }", "f"), POOL);
+        assert_eq!(mask("fn f() { std::thread::sleep(d); }", "f"), SLEEP);
+        assert_eq!(mask("fn f(p: &P) { std::fs::read(p); }", "f"), IO);
+        assert_eq!(
+            mask("use std::fs;\nfn f(p: &P) { fs::write(p, b); }", "f"),
+            IO
+        );
+    }
+
+    #[test]
+    fn nonblocking_shapes_do_not_seed() {
+        assert_eq!(
+            mask("fn f(v: &mut Vec<u32>) { v.push(1); v.pop(); }", "f"),
+            0
+        );
+        assert_eq!(
+            mask("fn f(v: &[String]) { let s = v.join(\", \"); }", "f"),
+            0
+        );
+        assert_eq!(mask("fn f(q: &Q) { q.try_lock(); }", "f"), 0);
+    }
+
+    #[test]
+    fn effects_propagate_through_calls() {
+        let src = "fn leaf(m: &M) { let g = m.lock(); }\n\
+                   fn mid(m: &M) { leaf(m); }\n\
+                   fn top(m: &M) { mid(m); }";
+        assert_eq!(mask(src, "top"), LOCK);
+    }
+
+    #[test]
+    fn trusted_callees_are_opaque() {
+        let m = crate::lexer::MARKER;
+        let src = format!(
+            "// {m} trusted(verified bounded)\nfn leaf(x: &M) {{ let g = x.lock(); }}\n\
+             fn top(x: &M) {{ leaf(x); }}"
+        );
+        assert_eq!(mask(&src, "top"), 0);
+    }
+
+    #[test]
+    fn method_widening_unions_impls() {
+        // Unknown receiver: `.store_it(` links to every workspace impl of
+        // that name — the blocking one wins (conservative widening).
+        let src = "struct A; struct B;\n\
+                   impl A { fn store_it(&self, p: &P) { std::fs::write(p, b); } }\n\
+                   impl B { fn store_it(&self, p: &P) {} }\n\
+                   fn top(x: &X, p: &P) { x.store_it(p); }";
+        assert_eq!(mask(src, "top"), IO);
+    }
+}

@@ -10,8 +10,8 @@
 //! it, every `.push(` in the workspace would link to `BoundedQueue::push`
 //! and the reachable set would be the whole workspace.
 
-use crate::parser::{matching_close, Func, ParsedFile};
 use crate::lexer::{Tok, Token};
+use crate::parser::{matching_close, Func, ParsedFile};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Method names resolved to std (assumed total) when called with
@@ -19,29 +19,172 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// resolve precisely. `read`/`write`-like names are deliberately absent
 /// so workspace codecs stay linked.
 const STD_SHADOW: &[&str] = &[
-    "abs", "all", "and_then", "any", "as_bytes", "as_deref", "as_mut", "as_ref", "as_slice",
-    "as_str", "borrow", "borrow_mut", "bytes", "capacity", "chain", "chars", "clamp", "clear",
-    "clone", "cloned", "cmp", "collect", "contains", "contains_key", "copied", "count", "dedup",
-    "drain", "entry", "enumerate", "eq", "extend", "extend_from_slice", "filter", "filter_map",
-    "find", "find_map", "first", "flat_map", "flatten", "fold", "for_each", "get", "get_mut",
-    "get_or_insert_with", "hash", "insert", "into_iter", "is_empty", "is_none", "is_some",
-    "iter", "iter_mut", "join", "keys", "last", "len", "lines", "map", "map_err", "max",
-    "max_by", "max_by_key", "min", "min_by", "min_by_key", "next", "nth", "ok", "ok_or",
-    "ok_or_else", "or_default", "or_else", "or_insert", "or_insert_with", "partition", "peek",
-    "peekable", "pop", "position", "pow", "product", "push", "push_str", "remove", "repeat",
-    "replace", "replacen", "resize", "retain", "rev", "rfind", "rposition", "skip",
-    "skip_while", "sort", "sort_by", "sort_by_key", "sort_unstable", "splitn", "split",
-    "split_whitespace", "starts_with", "step_by", "strip_prefix", "strip_suffix", "sum",
-    "take", "take_while", "to_ascii_lowercase", "to_le_bytes", "to_be_bytes", "to_lowercase",
-    "to_owned", "to_string", "to_uppercase", "to_vec", "trim", "trim_end", "trim_start",
-    "trim_end_matches", "trim_start_matches", "truncate", "unwrap_or", "unwrap_or_default",
-    "unwrap_or_else", "values", "values_mut", "windows", "zip", "rsplitn", "ends_with",
-    "parse", "finish", "fmt", "from_str", "saturating_sub", "saturating_add",
-    "saturating_mul", "wrapping_add", "wrapping_sub", "wrapping_mul", "checked_add",
-    "checked_sub", "checked_mul", "checked_div", "checked_rem", "leading_zeros", "min_by",
-    "rotate_left", "rotate_right", "swap", "swap_remove", "reserve", "with_capacity",
-    "is_ascii_digit", "is_ascii_hexdigit", "is_ascii_alphanumeric", "is_char_boundary",
-    "char_indices", "chunks", "chunks_exact", "rchunks", "concat", "into_inner", "take_while",
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "borrow",
+    "borrow_mut",
+    "bytes",
+    "capacity",
+    "chain",
+    "chars",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "extend_from_slice",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "fold",
+    "for_each",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "nth",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_else",
+    "or_insert",
+    "or_insert_with",
+    "partition",
+    "peek",
+    "peekable",
+    "pop",
+    "position",
+    "pow",
+    "product",
+    "push",
+    "push_str",
+    "remove",
+    "repeat",
+    "replace",
+    "replacen",
+    "resize",
+    "retain",
+    "rev",
+    "rfind",
+    "rposition",
+    "skip",
+    "skip_while",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "splitn",
+    "split",
+    "split_whitespace",
+    "starts_with",
+    "step_by",
+    "strip_prefix",
+    "strip_suffix",
+    "sum",
+    "take",
+    "take_while",
+    "to_ascii_lowercase",
+    "to_le_bytes",
+    "to_be_bytes",
+    "to_lowercase",
+    "to_owned",
+    "to_string",
+    "to_uppercase",
+    "to_vec",
+    "trim",
+    "trim_end",
+    "trim_start",
+    "trim_end_matches",
+    "trim_start_matches",
+    "truncate",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "zip",
+    "rsplitn",
+    "ends_with",
+    "parse",
+    "finish",
+    "fmt",
+    "from_str",
+    "saturating_sub",
+    "saturating_add",
+    "saturating_mul",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "checked_div",
+    "checked_rem",
+    "leading_zeros",
+    "min_by",
+    "rotate_left",
+    "rotate_right",
+    "swap",
+    "swap_remove",
+    "reserve",
+    "with_capacity",
+    "is_ascii_digit",
+    "is_ascii_hexdigit",
+    "is_ascii_alphanumeric",
+    "is_char_boundary",
+    "char_indices",
+    "chunks",
+    "chunks_exact",
+    "rchunks",
+    "concat",
+    "into_inner",
+    "take_while",
 ];
 
 /// Keywords that never start a call even when followed by `(`.
@@ -67,6 +210,9 @@ pub struct CallSite {
     /// Argument count at the call (None when unparsable/closure-laden).
     pub nargs: Option<usize>,
     pub line: u32,
+    /// Token index of the called name (orders call events for the
+    /// guard-held-region analysis).
+    pub idx: usize,
 }
 
 /// The resolved workspace graph.
@@ -101,7 +247,11 @@ fn count_args(tokens: &[Token], open: usize) -> Option<usize> {
 }
 
 /// Extract call sites from a function body token range.
-pub fn extract_calls(tokens: &[Token], caller: usize, body: std::ops::Range<usize>) -> Vec<CallSite> {
+pub fn extract_calls(
+    tokens: &[Token],
+    caller: usize,
+    body: std::ops::Range<usize>,
+) -> Vec<CallSite> {
     let mut out = Vec::new();
     let mut i = body.start;
     while i < body.end.min(tokens.len()) {
@@ -183,6 +333,7 @@ pub fn extract_calls(tokens: &[Token], caller: usize, body: std::ops::Range<usiz
             is_method,
             nargs,
             line: tokens[i].line,
+            idx: i,
         });
         i = after + 1;
     }
@@ -226,8 +377,7 @@ impl Graph {
                     .push(id);
             }
         }
-        let crate_names: BTreeSet<&str> =
-            files.iter().map(|pf| pf.crate_name.as_str()).collect();
+        let crate_names: BTreeSet<&str> = files.iter().map(|pf| pf.crate_name.as_str()).collect();
 
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); funcs.len()];
         let mut calls: Vec<Vec<CallSite>> = vec![Vec::new(); funcs.len()];
@@ -250,7 +400,13 @@ impl Graph {
                     // Bare call: use-alias first, then same-crate name.
                     if let Some(full) = pf.uses.get(&site.name) {
                         candidates = resolve_path(
-                            full, &site.name, f, &by_name, &by_type_method, &crate_names, &funcs,
+                            full,
+                            &site.name,
+                            f,
+                            &by_name,
+                            &by_type_method,
+                            &crate_names,
+                            &funcs,
                         );
                     } else {
                         candidates = by_name
@@ -276,7 +432,13 @@ impl Graph {
                     }
                     full.push(site.name.clone());
                     candidates = resolve_path(
-                        &full, &site.name, f, &by_name, &by_type_method, &crate_names, &funcs,
+                        &full,
+                        &site.name,
+                        f,
+                        &by_name,
+                        &by_type_method,
+                        &crate_names,
+                        &funcs,
                     );
                 }
                 // Arity filter (skipped for closure-laden calls): keep
@@ -317,16 +479,30 @@ impl Graph {
         }
     }
 
-    /// BFS from entry functions; `trusted` functions terminate the walk
-    /// (they are reachable but neither scanned nor expanded). Returns
-    /// (reachable-and-audited ids, witness parent map).
+    /// BFS from `no_panic_zone` entry functions; `trusted` functions
+    /// terminate the walk (they are reachable but neither scanned nor
+    /// expanded). Returns (reachable-and-audited ids, witness parents).
     pub fn reachable(&self) -> (Vec<usize>, BTreeMap<usize, usize>) {
+        let entries: Vec<usize> = (0..self.funcs.len())
+            .filter(|&i| self.funcs[i].entry && !self.funcs[i].in_test)
+            .collect();
+        self.reachable_from(entries)
+    }
+
+    /// BFS from `nonblocking_zone` entry functions, same boundary rules.
+    pub fn reachable_nonblocking(&self) -> (Vec<usize>, BTreeMap<usize, usize>) {
+        let entries: Vec<usize> = (0..self.funcs.len())
+            .filter(|&i| self.funcs[i].nonblocking && !self.funcs[i].in_test)
+            .collect();
+        self.reachable_from(entries)
+    }
+
+    /// BFS from the given entry set; `trusted` functions terminate the
+    /// walk (reachable but neither scanned nor expanded).
+    pub fn reachable_from(&self, mut entries: Vec<usize>) -> (Vec<usize>, BTreeMap<usize, usize>) {
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut seen: BTreeSet<usize> = BTreeSet::new();
         let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut entries: Vec<usize> = (0..self.funcs.len())
-            .filter(|&i| self.funcs[i].entry && !self.funcs[i].in_test)
-            .collect();
         entries.sort_unstable();
         for e in entries {
             if seen.insert(e) {
@@ -437,8 +613,7 @@ fn resolve_path(
                             return false;
                         }
                     }
-                    mods.iter()
-                        .all(|m| f.module.iter().any(|fm| fm == m))
+                    mods.iter().all(|m| f.module.iter().any(|fm| fm == m))
                 })
                 .collect()
         })
@@ -511,11 +686,7 @@ mod tests {
     fn cross_crate_via_use() {
         let g = graph_of(&[
             ("c2/lib.rs", "c2", "pub fn helper(x: u32) {}"),
-            (
-                "c1/lib.rs",
-                "c1",
-                "use c2::helper;\nfn a() { helper(3); }",
-            ),
+            ("c1/lib.rs", "c1", "use c2::helper;\nfn a() { helper(3); }"),
         ]);
         assert_eq!(g.edges[idx(&g, "a")], vec![idx(&g, "helper")]);
     }

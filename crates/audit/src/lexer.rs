@@ -51,6 +51,9 @@ pub struct Token {
 pub enum Directive {
     /// `no_panic_zone` — the next `fn` is a panic-reachability entry.
     NoPanicZone,
+    /// `nonblocking_zone` — the next `fn` is a blocking-reachability
+    /// entry: no transitively-blocking call may be reachable from it.
+    NonBlockingZone,
     /// `trusted(reason)` — the next `fn` is assumed total; body and
     /// callees are not audited.
     Trusted(String),
@@ -105,10 +108,7 @@ fn is_ident_continue(c: char) -> bool {
 fn parse_directive(comment: &str) -> Option<Directive> {
     let at = comment.find(MARKER)?;
     let rest = comment[at + MARKER.len()..].trim_start();
-    let word: String = rest
-        .chars()
-        .take_while(|c| is_ident_continue(*c))
-        .collect();
+    let word: String = rest.chars().take_while(|c| is_ident_continue(*c)).collect();
     let after = rest[word.len()..].trim_start();
     let paren_arg = || -> Option<String> {
         let inner = after.strip_prefix('(')?;
@@ -117,6 +117,7 @@ fn parse_directive(comment: &str) -> Option<Directive> {
     };
     Some(match word.as_str() {
         "no_panic_zone" => Directive::NoPanicZone,
+        "nonblocking_zone" => Directive::NonBlockingZone,
         "trusted" => match paren_arg() {
             Some(r) if !r.is_empty() => Directive::Trusted(r),
             _ => Directive::Malformed("trusted requires a (reason)".into()),
@@ -135,8 +136,11 @@ fn parse_directive(comment: &str) -> Option<Directive> {
                     Some((c, r)) => (c.trim().to_string(), r.trim().to_string()),
                     None => (arg.trim().to_string(), String::new()),
                 };
+                // A### panic/taint/rule codes, R### concurrency codes.
+                // W### (waiver hygiene) is deliberately NOT waivable: a
+                // stale waiver must be deleted, not excused.
                 let code_ok = code.len() == 4
-                    && code.starts_with('A')
+                    && matches!(code.chars().next(), Some('A') | Some('R'))
                     && code[1..].chars().all(|c| c.is_ascii_digit());
                 if !code_ok {
                     Directive::Malformed(format!("allow: bad finding code '{code}'"))
@@ -276,8 +280,19 @@ pub fn lex(src: &str) -> LexFile {
                     last_tok_line = line;
                     continue;
                 }
-                if let Some(raw) = name.strip_prefix("r#") {
-                    name = raw.to_string();
+                // Raw identifier `r#match`: `#` is not an ident char, so
+                // the scan above stopped at the bare `r` — consume the
+                // fence and take the escaped name.
+                if name == "r"
+                    && peek!(0) == Some('#')
+                    && bytes.get(i + 1).copied().is_some_and(is_ident_start)
+                {
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    name = bytes[start..i].iter().collect();
                 }
                 out.tokens.push(Token {
                     tok: Tok::Ident(name),
@@ -340,8 +355,7 @@ pub fn lex(src: &str) -> LexFile {
                 // Lifetime or char literal. `'a` followed by non-quote
                 // ident-continue and no closing quote right after → a
                 // lifetime; otherwise a char literal.
-                let is_lifetime = peek!(1).is_some_and(is_ident_start)
-                    && peek!(2) != Some('\'');
+                let is_lifetime = peek!(1).is_some_and(is_ident_start) && peek!(2) != Some('\'');
                 if is_lifetime {
                     i += 1;
                     while i < bytes.len() && is_ident_continue(bytes[i]) {
@@ -512,19 +526,30 @@ mod tests {
 
     #[test]
     fn raw_and_byte_strings() {
-        assert_eq!(idents(r##"let s = r#"unwrap() "quoted""#;"##), vec!["let", "s"]);
+        assert_eq!(
+            idents(r##"let s = r#"unwrap() "quoted""#;"##),
+            vec!["let", "s"]
+        );
         assert_eq!(idents(r#"let b = b"panic!";"#), vec!["let", "b"]);
     }
 
     #[test]
     fn lifetime_vs_char() {
-        let toks: Vec<Tok> = lex("'a 'x' '\\n' b'z'").tokens.into_iter().map(|t| t.tok).collect();
+        let toks: Vec<Tok> = lex("'a 'x' '\\n' b'z'")
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
         assert_eq!(toks, vec![Tok::Lifetime, Tok::Char, Tok::Char, Tok::Char]);
     }
 
     #[test]
     fn numbers_and_ranges() {
-        let toks: Vec<Tok> = lex("1..2 1.5 0xff_u32").tokens.into_iter().map(|t| t.tok).collect();
+        let toks: Vec<Tok> = lex("1..2 1.5 0xff_u32")
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
         assert_eq!(
             toks,
             vec![
@@ -539,7 +564,11 @@ mod tests {
 
     #[test]
     fn multi_char_puncts_join() {
-        let toks: Vec<Tok> = lex("a::b ..= -> =>").tokens.into_iter().map(|t| t.tok).collect();
+        let toks: Vec<Tok> = lex("a::b ..= -> =>")
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
         assert_eq!(
             toks,
             vec![

@@ -14,9 +14,15 @@
 //!   deserialization sources to allocation/index sinks (A007–A009).
 //! * **Token rules** ([`rules`]) — the absorbed sync-facade lint
 //!   (A101–A104), now over real tokens instead of text.
+//! * **Pass R** ([`conc`], on [`effects`]) — static concurrency audit:
+//!   blocking-effect inference, `// mh-audit: nonblocking_zone`
+//!   reachability (R001/R002), a whole-workspace lock-order graph with
+//!   ABBA-cycle detection (R003), and guard-held-region analysis for
+//!   blocking I/O / pool waits under a lock (R004/R005).
 //!
 //! Deliberate exceptions carry `// mh-audit: allow(CODE, reason)`
-//! waivers; a reason-less waiver is itself a finding (A010). Functions
+//! waivers; a reason-less waiver is itself a finding (A010) and a
+//! *stale* waiver — one that suppresses nothing — is W001. Functions
 //! proven total by review are `// mh-audit: trusted(reason)` boundaries.
 //! Output is deterministic: byte-identical across runs on identical
 //! sources (everything is `BTreeMap`-ordered; no timestamps).
@@ -24,10 +30,12 @@
 //! See DESIGN.md § mh-audit for the annotation grammar and the known
 //! over-approximations.
 
+pub mod conc;
+pub mod effects;
 pub mod graph;
 pub mod lexer;
-pub mod parser;
 pub mod panics;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod taint;
@@ -66,8 +74,7 @@ pub fn audit_sources(sources: &[SourceFile]) -> Report {
         })
         .collect();
     let graph = Graph::build(&parsed);
-    let tokens_of_file: Vec<&[lexer::Token]> =
-        parsed.iter().map(|p| p.tokens.as_slice()).collect();
+    let tokens_of_file: Vec<&[lexer::Token]> = parsed.iter().map(|p| p.tokens.as_slice()).collect();
     let anns_of_file: Vec<&[lexer::Ann]> = parsed.iter().map(|p| p.anns.as_slice()).collect();
 
     let mut raw_by_file: BTreeMap<usize, Vec<Finding>> = BTreeMap::new();
@@ -75,6 +82,9 @@ pub fn audit_sources(sources: &[SourceFile]) -> Report {
         raw_by_file.entry(fi).or_default().extend(findings);
     }
     for (fi, findings) in taint::run(&graph, &tokens_of_file, &anns_of_file) {
+        raw_by_file.entry(fi).or_default().extend(findings);
+    }
+    for (fi, findings) in conc::run(&graph, &parsed) {
         raw_by_file.entry(fi).or_default().extend(findings);
     }
     for (fi, p) in parsed.iter().enumerate() {
@@ -102,6 +112,17 @@ pub fn audit_sources(sources: &[SourceFile]) -> Report {
         e.sort();
         e.dedup();
         e
+    };
+    report.zones = {
+        let mut z: Vec<String> = graph
+            .funcs
+            .iter()
+            .filter(|f| f.nonblocking && !f.in_test)
+            .map(|f| f.qualified())
+            .collect();
+        z.sort();
+        z.dedup();
+        z
     };
     for (fi, p) in parsed.iter().enumerate() {
         let raw = raw_by_file.remove(&fi).unwrap_or_default();

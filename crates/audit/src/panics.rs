@@ -42,9 +42,8 @@ const ZERO_STEP_METHODS: &[&str] = &["chunks", "chunks_exact", "windows", "step_
 /// Idents that, preceding `[`, mean the bracket is *not* indexing.
 const NON_EXPR_KEYWORDS: &[&str] = &[
     "let", "mut", "in", "if", "while", "match", "return", "break", "impl", "for", "where", "as",
-    "pub", "fn", "use", "mod", "move", "ref", "static", "const", "type", "else", "enum",
-    "struct", "trait", "dyn", "box", "unsafe", "async", "await", "loop", "continue", "crate",
-    "super",
+    "pub", "fn", "use", "mod", "move", "ref", "static", "const", "type", "else", "enum", "struct",
+    "trait", "dyn", "box", "unsafe", "async", "await", "loop", "continue", "crate", "super",
 ];
 
 /// Does the token end an expression (so a following `[` indexes it)?
@@ -104,7 +103,8 @@ fn divisor_is_safe(tokens: &[Token], mut i: usize) -> bool {
         // `x % MOD` cannot panic at runtime.
         Some(Tok::Ident(s))
             if s.len() >= 2
-                && s.chars().all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                && s.chars()
+                    .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
                 && s.chars().any(|c| c.is_ascii_uppercase()) =>
         {
             true
@@ -132,13 +132,11 @@ pub fn scan_body(tokens: &[Token], body: std::ops::Range<usize>, ctx: &str) -> V
         let line = tokens[i].line;
         match &tokens[i].tok {
             Tok::Ident(name) => {
-                let next_is = |p: &str| {
-                    matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p)
-                };
+                let next_is = |p: &str| matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p);
                 let next_open_paren =
                     matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Open('(')));
-                let prev_dot = i > 0
-                    && matches!(tokens.get(i - 1).map(|t| &t.tok), Some(Tok::Punct(".")));
+                let prev_dot =
+                    i > 0 && matches!(tokens.get(i - 1).map(|t| &t.tok), Some(Tok::Punct(".")));
                 if next_is("!") && PANIC_MACROS.contains(&name.as_str()) {
                     out.push(Finding::new(
                         line,
@@ -157,7 +155,9 @@ pub fn scan_body(tokens: &[Token], body: std::ops::Range<usize>, ctx: &str) -> V
                         "A002",
                         format!("`.{name}()` reachable {ctx}"),
                     ));
-                } else if next_open_paren && prev_dot && SLICE_BOUND_METHODS.contains(&name.as_str())
+                } else if next_open_paren
+                    && prev_dot
+                    && SLICE_BOUND_METHODS.contains(&name.as_str())
                 {
                     out.push(Finding::new(
                         line,
@@ -167,7 +167,10 @@ pub fn scan_body(tokens: &[Token], body: std::ops::Range<usize>, ctx: &str) -> V
                 } else if next_open_paren
                     && prev_dot
                     && ZERO_STEP_METHODS.contains(&name.as_str())
-                    && !matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Num { int: true }))
+                    && !matches!(
+                        tokens.get(i + 2).map(|t| &t.tok),
+                        Some(Tok::Num { int: true })
+                    )
                 {
                     out.push(Finding::new(
                         line,

@@ -36,6 +36,8 @@ pub struct Func {
     pub in_test: bool,
     /// Attached annotations.
     pub entry: bool,
+    /// `nonblocking_zone` entry for the concurrency pass.
+    pub nonblocking: bool,
     pub trusted: Option<String>,
     pub source: Option<String>,
 }
@@ -246,6 +248,7 @@ fn parse_use(tokens: &[Token], start: usize, uses: &mut BTreeMap<String, Vec<Str
 #[derive(Default, Clone)]
 struct PendingAnns {
     entry: bool,
+    nonblocking: bool,
     trusted: Option<String>,
     source: Option<String>,
 }
@@ -271,7 +274,10 @@ pub fn parse(rel: &str, crate_name: &str, file_module: &[String], lexed: LexFile
         .filter(|a| {
             matches!(
                 a.directive,
-                Directive::NoPanicZone | Directive::Trusted(_) | Directive::Source(_)
+                Directive::NoPanicZone
+                    | Directive::NonBlockingZone
+                    | Directive::Trusted(_)
+                    | Directive::Source(_)
             )
         })
         .map(|a| (a.line, a.directive.clone()))
@@ -290,7 +296,9 @@ pub fn parse(rel: &str, crate_name: &str, file_module: &[String], lexed: LexFile
             }
         }
         match &tokens[i].tok {
-            Tok::Punct("#") if matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Open('['))) => {
+            Tok::Punct("#")
+                if matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Open('['))) =>
+            {
                 let close = matching_close(&tokens, i + 1);
                 let mut has_test = false;
                 for t in &tokens[i + 1..close.min(tokens.len())] {
@@ -319,9 +327,9 @@ pub fn parse(rel: &str, crate_name: &str, file_module: &[String], lexed: LexFile
                     if matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Open('{'))) {
                         let close = matching_close(&tokens, i + 2);
                         let test = pending_attr_test
-                            || scopes.iter().any(
-                                |(_, s)| matches!(s, Scope::Mod { test: true, .. }),
-                            );
+                            || scopes
+                                .iter()
+                                .any(|(_, s)| matches!(s, Scope::Mod { test: true, .. }));
                         scopes.push((close, Scope::Mod { name, test }));
                         pending_attr_test = false;
                         i += 3;
@@ -424,6 +432,7 @@ pub fn parse(rel: &str, crate_name: &str, file_module: &[String], lexed: LexFile
                     if *line <= header_line {
                         match d {
                             Directive::NoPanicZone => attached.entry = true,
+                            Directive::NonBlockingZone => attached.nonblocking = true,
                             Directive::Trusted(r) => attached.trusted = Some(r.clone()),
                             Directive::Source(r) => attached.source = Some(r.clone()),
                             _ => {}
@@ -461,6 +470,7 @@ pub fn parse(rel: &str, crate_name: &str, file_module: &[String], lexed: LexFile
                     body: body.clone(),
                     in_test,
                     entry: attached.entry,
+                    nonblocking: attached.nonblocking,
                     trusted: attached.trusted,
                     source: attached.source,
                 });
@@ -578,13 +588,22 @@ mod tests {
         );
         assert_eq!(
             p.uses.get("Read"),
-            Some(&vec!["std".to_string(), "io".to_string(), "Read".to_string()])
+            Some(&vec![
+                "std".to_string(),
+                "io".to_string(),
+                "Read".to_string()
+            ])
         );
     }
 
     #[test]
     fn inline_mod_paths_compose() {
-        let p = parse("x.rs", "c", &["filemod".into()], lex("mod inner { fn f() {} }"));
+        let p = parse(
+            "x.rs",
+            "c",
+            &["filemod".into()],
+            lex("mod inner { fn f() {} }"),
+        );
         assert_eq!(p.funcs[0].module, vec!["filemod", "inner"]);
     }
 

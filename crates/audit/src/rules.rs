@@ -93,9 +93,7 @@ pub fn scan(tokens: &[Token]) -> Vec<Finding> {
                     _ => {}
                 }
             }
-            "Instant"
-                if punct_is(tokens, i + 1, "::") && ident_is(tokens, i + 2, "now") =>
-            {
+            "Instant" if punct_is(tokens, i + 1, "::") && ident_is(tokens, i + 2, "now") => {
                 out.push(Finding::new(
                     t.line,
                     "A104",

@@ -153,8 +153,12 @@ fn any_tainted(tokens: &[Token], taint: &BTreeSet<String>) -> bool {
 fn is_guard(tokens: &[Token]) -> bool {
     for (k, t) in tokens.iter().enumerate() {
         match &t.tok {
-            Tok::Punct("<") | Tok::Punct("<=") | Tok::Punct(">") | Tok::Punct(">=")
-            | Tok::Punct("==") | Tok::Punct("!=") => return true,
+            Tok::Punct("<")
+            | Tok::Punct("<=")
+            | Tok::Punct(">")
+            | Tok::Punct(">=")
+            | Tok::Punct("==")
+            | Tok::Punct("!=") => return true,
             Tok::Ident(s)
                 if s == "min"
                     || s == "clamp"
@@ -199,7 +203,10 @@ fn let_bindings(tokens: &[Token]) -> Vec<String> {
         match &t.tok {
             Tok::Ident(s) if !started && s == "let" => started = true,
             Tok::Ident(s) if started => {
-                let lower = s.chars().next().is_some_and(|c| c.is_lowercase() || c == '_');
+                let lower = s
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_');
                 if lower && s != "mut" && s != "ref" && s != "_" {
                     out.push(s.clone());
                 }
@@ -327,9 +334,7 @@ pub fn run(
         .map(|anns| {
             anns.iter()
                 .filter_map(|a| match &a.directive {
-                    Directive::Tainted(_) => {
-                        Some(if a.standalone { a.line + 1 } else { a.line })
-                    }
+                    Directive::Tainted(_) => Some(if a.standalone { a.line + 1 } else { a.line }),
                     _ => None,
                 })
                 .collect()
@@ -430,7 +435,10 @@ pub fn run(
             if returns_taint && source_names.insert(f.name.clone()) {
                 changed = true;
             }
-            findings_by_file.entry(fi).or_default().extend(local_findings);
+            findings_by_file
+                .entry(fi)
+                .or_default()
+                .extend(local_findings);
         }
         if !changed {
             break;
@@ -486,7 +494,9 @@ mod tests {
 
     #[test]
     fn source_to_with_capacity_flags() {
-        let codes = run_src(&zone("let n = read_len(buf); let v: Vec<u8> = Vec::with_capacity(n);"));
+        let codes = run_src(&zone(
+            "let n = read_len(buf); let v: Vec<u8> = Vec::with_capacity(n);",
+        ));
         assert!(codes.iter().any(|(c, _)| c == "A007"), "{codes:?}");
     }
 

@@ -1,0 +1,7 @@
+//! R001: a blocking lock acquire is reachable in a nonblocking zone.
+
+// mh-audit: nonblocking_zone
+fn pump(state: &Shared) {
+    let guard = state.lock();
+    drop(guard);
+}

@@ -1,0 +1,12 @@
+//! R002: blocking socket I/O is transitively reachable in a
+//! nonblocking zone (the seed sits one call away from the entry).
+
+// mh-audit: nonblocking_zone
+fn pump(stream: &mut Stream, buf: &mut [u8]) {
+    poll_once(stream, buf);
+}
+
+fn poll_once(stream: &mut Stream, buf: &mut [u8]) {
+    let n = stream.read(buf);
+    let _ = n;
+}

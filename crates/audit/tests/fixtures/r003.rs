@@ -1,0 +1,23 @@
+//! R003: two paths acquire the same pair of locks in opposite orders —
+//! the classic ABBA deadlock shape, visible purely statically.
+
+struct Pair {
+    alpha: Shared,
+    beta: Shared,
+}
+
+impl Pair {
+    fn forward(&self) {
+        let g1 = self.alpha.lock();
+        let g2 = self.beta.lock();
+        drop(g2);
+        drop(g1);
+    }
+
+    fn backward(&self) {
+        let g1 = self.beta.lock();
+        let g2 = self.alpha.lock();
+        drop(g2);
+        drop(g1);
+    }
+}

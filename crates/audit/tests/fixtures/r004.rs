@@ -1,0 +1,14 @@
+//! R004: blocking file I/O while a mutex guard is held — every other
+//! acquirer of `state` stalls behind the disk write.
+
+struct Journal {
+    state: Shared,
+}
+
+impl Journal {
+    fn append(&self, path: &Path, line: &[u8]) {
+        let guard = self.state.lock();
+        std::fs::write(path, line);
+        drop(guard);
+    }
+}

@@ -1,0 +1,14 @@
+//! R005: joining a thread while a mutex guard is held — if the joined
+//! worker ever needs `state`, both sides wait forever.
+
+struct Pool {
+    state: Shared,
+}
+
+impl Pool {
+    fn shutdown(&self, worker: Handle) {
+        let guard = self.state.lock();
+        worker.join();
+        drop(guard);
+    }
+}

@@ -1,0 +1,7 @@
+//! W001: a waiver whose finding no longer exists is stale and must be
+//! deleted — the ledger shrinks with the code it excuses.
+
+fn tidy(values: &[u32]) -> u32 {
+    let total = values.iter().sum(); // mh-audit: allow(A004, indexing was removed in a refactor)
+    total
+}

@@ -1,0 +1,134 @@
+//! Adversarial lexer corpus: the shapes most likely to desynchronize a
+//! hand-rolled Rust lexer — raw strings with hash fences, nested block
+//! comments, lifetimes that look like char literals, byte strings —
+//! plus property tests that the lexer never mistakes quoted or
+//! commented-out text for live tokens or directives.
+
+use mh_audit::lexer::{lex, Tok, MARKER};
+use proptest::prelude::*;
+
+fn toks(src: &str) -> Vec<Tok> {
+    lex(src).tokens.into_iter().map(|t| t.tok).collect()
+}
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_hash_fences() {
+    // The closing fence must match the opening hash count; a `"#`
+    // inside a `##` string is content, not a terminator.
+    assert_eq!(toks(r###"let s = r#"quote " inside"#;"###).len(), 5);
+    assert_eq!(
+        idents(r#####"let s = r##"fence "# still inside"## ; after"#####),
+        vec!["let", "s", "after"]
+    );
+    // An unterminated raw string swallows the rest without panicking.
+    let lexed = lex(r###"let s = r#"never closed"###);
+    assert!(lexed.tokens.len() >= 3);
+}
+
+#[test]
+fn raw_string_hides_directives_and_code() {
+    let src = format!("let s = r#\"// {MARKER} no_panic_zone\nfn fake() {{}}\"#;");
+    let lexed = lex(&src);
+    assert!(lexed.anns.is_empty(), "directive inside raw string leaked");
+    assert!(!idents(&src).contains(&"fake".to_string()));
+}
+
+#[test]
+fn nested_block_comments() {
+    assert_eq!(idents("/* a /* b /* c */ b */ a */ live"), vec!["live"]);
+    // `/*` inside a string does not open a comment.
+    assert_eq!(idents("let s = \"/*\"; live"), vec!["let", "s", "live"]);
+    // Unclosed nesting swallows the tail totally.
+    assert!(idents("/* open /* deeper */ still open").is_empty());
+    // A directive inside a block comment is dead text.
+    let src = format!("/* // {MARKER} no_panic_zone */ fn f() {{}}");
+    assert!(lex(&src).anns.is_empty());
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    assert_eq!(
+        toks("&'a str"),
+        vec![Tok::Punct("&"), Tok::Lifetime, Tok::Ident("str".into())]
+    );
+    // `'a'` is a char; `'a ` is a lifetime; both on one line.
+    let t = toks("fn f<'a>(x: &'a u8) { let c = 'a'; }");
+    assert_eq!(t.iter().filter(|t| **t == Tok::Lifetime).count(), 2);
+    assert_eq!(t.iter().filter(|t| **t == Tok::Char).count(), 1);
+    // Escaped quote chars don't end early.
+    assert_eq!(toks(r"let c = '\'';").len(), 5);
+    assert_eq!(toks(r"let c = '\\';").len(), 5);
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    assert_eq!(
+        toks(r#"let b = b"bytes";"#),
+        vec![
+            Tok::Ident("let".into()),
+            Tok::Ident("b".into()),
+            Tok::Punct("="),
+            Tok::Str,
+            Tok::Punct(";")
+        ]
+    );
+    assert!(toks(r"let c = b'\n';").contains(&Tok::Char));
+    // Raw byte string with fence.
+    assert_eq!(
+        idents(r###"let b = br#"raw " bytes"#; after"###),
+        vec!["let", "b", "after"]
+    );
+}
+
+#[test]
+fn raw_identifiers_unescape() {
+    assert_eq!(idents("let r#match = r#fn;"), vec!["let", "match", "fn"]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Whatever surrounds it, text inside a raw string never produces
+    /// identifier tokens.
+    #[test]
+    fn raw_string_content_never_tokenizes(inner in "[a-z]{1,12}") {
+        let src = format!("let s = r#\"{inner}\"#; tail");
+        prop_assert_eq!(idents(&src), vec!["let".to_string(), "s".into(), "tail".into()]);
+    }
+
+    /// Directives never fire from inside any comment nesting depth.
+    #[test]
+    fn directives_dead_inside_block_comments(depth in 1usize..5) {
+        let open = "/* ".repeat(depth);
+        let close = " */".repeat(depth);
+        let src = format!("{open}// {MARKER} no_panic_zone{close}\nfn f() {{}}");
+        prop_assert!(lex(&src).anns.is_empty());
+    }
+
+    /// Lexing is total and loss-bounded on fence soup: arbitrary mixes
+    /// of quotes, hashes and comment openers never panic.
+    #[test]
+    fn total_on_fence_soup(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("r#\""), Just("\"#"), Just("\""), Just("b\""),
+            Just("/*"), Just("*/"), Just("//"), Just("'"),
+            Just("'a"), Just("b'x'"), Just("r##\""), Just("\"##"),
+            Just("ident"), Just("\n"),
+        ],
+        0..24,
+    )) {
+        let src: String = parts.concat();
+        let _ = lex(&src);
+    }
+}

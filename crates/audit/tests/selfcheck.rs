@@ -35,6 +35,12 @@ const CASES: &[(&str, &str, usize)] = &[
     ("a102.rs", "A102", 0),
     ("a103.rs", "A103", 0),
     ("a104.rs", "A104", 0),
+    ("r001.rs", "R001", 0),
+    ("r002.rs", "R002", 0),
+    ("r003.rs", "R003", 0),
+    ("r004.rs", "R004", 0),
+    ("r005.rs", "R005", 0),
+    ("w001.rs", "W001", 0),
 ];
 
 #[test]
@@ -64,15 +70,14 @@ fn clean_fixture_is_clean() {
 #[test]
 fn whole_corpus_report_is_deterministic() {
     let load = || {
-        let mut sources: Vec<SourceFile> =
-            CASES.iter().map(|&(f, _, _)| fixture(f)).collect();
+        let mut sources: Vec<SourceFile> = CASES.iter().map(|&(f, _, _)| fixture(f)).collect();
         sources.push(fixture("clean.rs"));
         audit_sources(&sources).render()
     };
     let r1 = load();
     let r2 = load();
     assert_eq!(r1, r2);
-    // All 14 codes present in the combined report.
+    // All 20 codes present in the combined report.
     for &(_, code, _) in CASES {
         assert!(r1.contains(code), "combined report lost {code}:\n{r1}");
     }

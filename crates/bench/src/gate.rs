@@ -495,12 +495,19 @@ pub fn check_any(current: &Json, baseline: &Json, tolerance: f64) -> GateOutcome
 mod tests {
     use super::*;
 
-    const BASELINE: &str = include_str!("../../../tools/bench_baseline.json");
-    const REGRESSED: &str = include_str!("../../../tools/bench_regressed_fixture.json");
-    const REGRESSED_PARALLEL: &str =
-        include_str!("../../../tools/bench_regressed_parallel_fixture.json");
-    const HUB_BASELINE: &str = include_str!("../../../tools/bench_baseline_hub.json");
-    const HUB_REGRESSED: &str = include_str!("../../../tools/bench_regressed_hub_fixture.json");
+    /// All checked-in gate fixtures live in `tools/`; one loader keeps
+    /// the five include paths from drifting apart.
+    macro_rules! tools_fixture {
+        ($name:literal) => {
+            include_str!(concat!("../../../tools/", $name))
+        };
+    }
+
+    const BASELINE: &str = tools_fixture!("bench_baseline.json");
+    const REGRESSED: &str = tools_fixture!("bench_regressed_fixture.json");
+    const REGRESSED_PARALLEL: &str = tools_fixture!("bench_regressed_parallel_fixture.json");
+    const HUB_BASELINE: &str = tools_fixture!("bench_baseline_hub.json");
+    const HUB_REGRESSED: &str = tools_fixture!("bench_regressed_hub_fixture.json");
 
     fn good_hub_report(hw: usize) -> String {
         format!(

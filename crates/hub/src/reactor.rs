@@ -173,6 +173,7 @@ impl Poller {
                 // caller's timeout), then report everything ready for
                 // its declared interest. Nonblocking I/O turns wrong
                 // hints into cheap WouldBlocks.
+                // mh-audit: allow(R001, the fallback poller's bounded park is the zone's one legal wait point — capped at 10ms and replaced by epoll_wait on linux)
                 std::thread::sleep(timeout.min(Duration::from_millis(10)));
                 for (&token, &interest) in &fb.tokens {
                     let (readable, writable) = match interest {

@@ -462,6 +462,7 @@ impl FileSeg {
         let want = usize::try_from(self.remaining.min(FILE_CHUNK as u64)).unwrap_or(FILE_CHUNK);
         self.buf.resize(want, 0);
         loop {
+            // mh-audit: allow(R002, bounded FILE_CHUNK read of a local segment file — the documented serve-from-reactor tradeoff, see DESIGN.md)
             match self.file.read(&mut self.buf) {
                 Ok(0) => return Err(()), // premature EOF
                 Ok(n) => {
@@ -689,8 +690,12 @@ impl Reactor {
     /// The event loop. Everything reachable from here handles
     /// attacker-controlled bytes, so the whole dispatch path is a
     /// no-panic zone — a connection must never be able to kill the
-    /// reactor.
+    /// reactor. It is also a nonblocking zone: one parked reactor
+    /// stalls every connection, so no transitively-blocking call may
+    /// be reachable (the poller's own bounded wait is the single
+    /// waived exception).
     // mh-audit: no_panic_zone
+    // mh-audit: nonblocking_zone
     fn run(&mut self) {
         loop {
             let tick = self.tick();
@@ -723,6 +728,7 @@ impl Reactor {
     fn drain_wake(&mut self) {
         let mut scratch = [0u8; 256];
         loop {
+            // mh-audit: allow(R002, wake pipe is set nonblocking at construction — a drained pipe returns WouldBlock instead of parking)
             match (&self.wake_rx).read(&mut scratch) {
                 Ok(0) => break,
                 Ok(_) => continue,
@@ -734,6 +740,7 @@ impl Reactor {
 
     fn accept_ready(&mut self) {
         loop {
+            // mh-audit: allow(R002, listener is set nonblocking — an empty backlog returns WouldBlock instead of parking)
             let (stream, _) = match self.listener.accept() {
                 Ok(pair) => pair,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -1018,6 +1025,7 @@ fn read_some(conn: &mut Conn, budget: &mut BodyBudget, stats: &Stats) -> Disposi
             if pass_bytes >= MAX_READ_PASS_BYTES {
                 break; // level-triggered readiness re-delivers the rest
             }
+            // mh-audit: allow(R002, connection sockets are set nonblocking on accept — reads return WouldBlock instead of parking)
             match (&conn.stream).read(&mut chunk) {
                 Ok(0) => {
                     // EOF with a complete request is the half-close idiom
@@ -1175,6 +1183,7 @@ fn write_some(conn: &mut Conn) -> Disposition {
                 *seg_pos = 0;
                 continue;
             }
+            // mh-audit: allow(R002, connection sockets are set nonblocking on accept — writes return WouldBlock instead of parking)
             match (&conn.stream).write(rest) {
                 Ok(0) => return Disposition::Close { error: true },
                 Ok(n) => {

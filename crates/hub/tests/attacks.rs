@@ -153,7 +153,10 @@ fn truncated_manifest_is_400() {
 
     // And a structurally broken manifest row inside a valid length frame.
     let garbage = b"7\nnot-ok\n";
-    let (status2, text2) = raw(server.local_addr(), &post("/publish/x?phase=commit", garbage));
+    let (status2, text2) = raw(
+        server.local_addr(),
+        &post("/publish/x?phase=commit", garbage),
+    );
     assert_eq!(status2, 400, "garbage manifest row must be 400: {text2}");
 
     assert_alive(&client);

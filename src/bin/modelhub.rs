@@ -254,6 +254,10 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     env!("CARGO_PKG_VERSION"),
                     mh_par::backend()
                 );
+                println!("audit rule inventory:");
+                for (code, what) in modelhub::audit::report::rules_inventory() {
+                    println!("  {code}  {what}");
+                }
                 return Ok(ExitCode::SUCCESS);
             }
             let dir = args
@@ -378,6 +382,14 @@ fn dispatch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         Some("audit") => {
+            if args.iter().any(|a| a == "--version") {
+                println!("modelhub audit {}", env!("CARGO_PKG_VERSION"));
+                println!("rule inventory:");
+                for (code, what) in modelhub::audit::report::rules_inventory() {
+                    println!("  {code}  {what}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
             let root = args
                 .get(1)
                 .filter(|a| !a.starts_with("--"))

@@ -1,0 +1,24 @@
+//! Seeded ABBA deadlock: `transfer` takes `ledger` then `index`, while
+//! `rebalance` takes `index` then `ledger`. The auditor must report
+//! R003 for this crate — CI fails if it ever stops doing so.
+
+pub struct Registry {
+    ledger: Lock,
+    index: Lock,
+}
+
+impl Registry {
+    pub fn transfer(&self) {
+        let g1 = self.ledger.lock();
+        let g2 = self.index.lock();
+        drop(g2);
+        drop(g1);
+    }
+
+    pub fn rebalance(&self) {
+        let g1 = self.index.lock();
+        let g2 = self.ledger.lock();
+        drop(g2);
+        drop(g1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded nonblocking-zone violation: the declared reactor loop parks
+//! on a mutex directly (R001) and reaches blocking file I/O through a
+//! helper (R002). The auditor must report both — CI fails if it ever
+//! stops doing so.
+
+// mh-audit: nonblocking_zone
+pub fn reactor_tick(state: &Shared, path: &Path) {
+    let guard = state.lock();
+    drop(guard);
+    spill(path);
+}
+
+fn spill(path: &Path) {
+    std::fs::write(path, b"spill");
+}

@@ -41,6 +41,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--version" => {
+                println!("mh-audit {}", env!("CARGO_PKG_VERSION"));
+                println!("rule inventory:");
+                for (code, what) in mh_audit::report::rules_inventory() {
+                    println!("  {code}  {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--" => {}
             other => root = PathBuf::from(other),
         }
